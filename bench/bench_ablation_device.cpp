@@ -1,0 +1,159 @@
+// Device/design-space ablations around the SEI structure:
+//   (a) sign mode — bipolar ±port vs the §4.2 unipolar dynamic-threshold
+//       mapping (half the cells, but the large w0 constant is exposed to
+//       programming variation);
+//   (b) device precision (2/4/6-bit, the paper cites 4–6 bit as realistic);
+//   (c) programming variation sigma;
+//   (d) stuck-cell fault injection.
+//
+// Flags: --network network2, --images 1000.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "workloads/pipeline.hpp"
+
+using namespace sei;
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const std::string net_name =
+      cli.get("network", "network2", "workload to map");
+  const int images = cli.get_int("images", 1000, "test images per point");
+  if (!cli.validate("SEI device/design-space ablations")) return 0;
+
+  data::DataBundle data = workloads::load_default_data(true);
+  workloads::Artifacts art = workloads::prepare_workload(net_name, data, {});
+  const double quant_err = art.quant_error(data.test);
+  std::printf("SEI ablations — %s (software binary error %.2f%%)\n\n",
+              net_name.c_str(), quant_err);
+
+  auto sei_error = [&](const core::HardwareConfig& cfg) {
+    core::SeiNetwork net(art.qnet, cfg);
+    return net.error_rate(data.test, images);
+  };
+
+  {
+    TextTable t("(a) Sign mode and (b) device precision");
+    t.header({"Sign mode", "Device bits", "Cells/weight", "Error"});
+    for (auto mode : {core::SignMode::kBipolarPort,
+                      core::SignMode::kUnipolarDynThresh}) {
+      for (int bits : {2, 4, 6}) {
+        core::HardwareConfig cfg;
+        cfg.sign_mode = mode;
+        cfg.device.bits = bits;
+        t.row({mode == core::SignMode::kBipolarPort ? "bipolar ±port"
+                                                    : "unipolar dyn-thresh",
+               std::to_string(bits), std::to_string(cfg.cells_per_weight()),
+               TextTable::pct(sei_error(cfg))});
+      }
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  {
+    // Device bits only change the slicing (ideal reconstruction is exact);
+    // the accuracy knob is the weight precision itself.
+    TextTable t("(b2) Weight precision on 4-bit devices");
+    t.header({"Weight bits", "Cells/weight", "Error"});
+    for (int wb : {3, 4, 6, 8}) {
+      core::HardwareConfig cfg;
+      cfg.weight_bits = wb;
+      t.row({std::to_string(wb), std::to_string(cfg.cells_per_weight()),
+             TextTable::pct(sei_error(cfg))});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  {
+    TextTable t("(c) Programming variation (lognormal sigma)");
+    t.header({"Sigma", "Bipolar error", "Unipolar error", "Misprogrammed"});
+    for (double sigma : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+      core::HardwareConfig cfg;
+      cfg.device.program_sigma = sigma;
+      core::SeiNetwork bi(art.qnet, cfg);
+      cfg.sign_mode = core::SignMode::kUnipolarDynThresh;
+      core::SeiNetwork uni(art.qnet, cfg);
+      double mis = 0;
+      for (int s = 0; s < bi.stage_count(); ++s)
+        mis += bi.layer(s).misprogrammed_fraction;
+      t.row({TextTable::num(sigma, 2),
+             TextTable::pct(bi.error_rate(data.test, images)),
+             TextTable::pct(uni.error_rate(data.test, images)),
+             TextTable::pct(100 * mis / bi.stage_count(), 1)});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  {
+    // Write-verify tuning [13] rescues open-loop programming variation.
+    TextTable t("(c2) Write-verify tuning at sigma = 0.2");
+    t.header({"Max attempts", "Bipolar error", "Unipolar error"});
+    for (int attempts : {1, 2, 4, 8}) {
+      core::HardwareConfig cfg;
+      cfg.device.program_sigma = 0.2;
+      cfg.device.max_program_attempts = attempts;
+      core::SeiNetwork bi(art.qnet, cfg);
+      cfg.sign_mode = core::SignMode::kUnipolarDynThresh;
+      core::SeiNetwork uni(art.qnet, cfg);
+      t.row({std::to_string(attempts),
+             TextTable::pct(bi.error_rate(data.test, images)),
+             TextTable::pct(uni.error_rate(data.test, images))});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  {
+    TextTable t("(d) Stuck-cell fault injection");
+    t.header({"Stuck fraction", "Error"});
+    for (double frac : {0.0, 0.001, 0.005, 0.02, 0.05}) {
+      core::HardwareConfig cfg;
+      cfg.device.stuck_fraction = frac;
+      t.row({TextTable::pct(100 * frac, 1), TextTable::pct(sei_error(cfg))});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  {
+    TextTable t("(e) First-order IR-drop (fractional loss at 512 cells)");
+    t.header({"Alpha", "Error"});
+    for (double alpha : {0.0, 0.1, 0.2, 0.4}) {
+      core::HardwareConfig cfg;
+      cfg.device.ir_drop_alpha = alpha;
+      t.row({TextTable::num(alpha, 2), TextTable::pct(sei_error(cfg))});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  {
+    TextTable t("(f) Sense-amp read noise (relative sigma per read)");
+    t.header({"Sigma", "Error"});
+    for (double sigma : {0.0, 0.01, 0.03, 0.08}) {
+      core::HardwareConfig cfg;
+      cfg.device.read_noise_sigma = sigma;
+      t.row({TextTable::num(sigma, 2), TextTable::pct(sei_error(cfg))});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  {
+    TextTable t("(g) Static sense-amp offset mismatch (integer-weight LSBs)");
+    t.header({"Offset sigma", "Error"});
+    for (double sigma : {0.0, 1.0, 2.0, 5.0, 10.0}) {
+      core::HardwareConfig cfg;
+      cfg.sa_offset_sigma = sigma;
+      t.row({TextTable::num(sigma, 1), TextTable::pct(sei_error(cfg))});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  std::printf(
+      "Shape check: 4-bit devices match the software binary accuracy; the\n"
+      "unipolar mapping halves the cells at equal ideal accuracy but is\n"
+      "more sensitive to variation (the w0 constant is stored, not wired);\n"
+      "moderate variation and sparse stuck cells degrade gracefully.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

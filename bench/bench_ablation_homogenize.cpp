@@ -1,0 +1,86 @@
+// Ablation of the matrix homogenization (§4.3): distance reduction vs
+// iteration budget, the distance→accuracy relationship, and the paper's
+// anecdote that homogenization recovers a catastrophic random order.
+//
+// Paper's claims: 80–90% distance reduction vs natural-order splitting on
+// fine-trained CNNs; accuracy recovered from 54.21% to 98.22% in the
+// anecdote.
+//
+// Flags: --network, --iters-list "0,1000,5000,30000", --images 1000.
+#include <cstdio>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "split/homogenize.hpp"
+#include "workloads/pipeline.hpp"
+
+using namespace sei;
+
+namespace {
+std::vector<int> parse_ints(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  return out;
+}
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const std::string net_name = cli.get("network", "network1");
+  const std::string iters_csv =
+      cli.get("iters-list", "0,300,1000,5000,30000", "iteration budgets");
+  const int images = cli.get_int("images", 1000, "test images per point");
+  if (!cli.validate("Homogenization ablation: distance vs accuracy")) return 0;
+
+  data::DataBundle data = workloads::load_default_data(true);
+  workloads::Artifacts art = workloads::prepare_workload(net_name, data, {});
+
+  core::HardwareConfig cfg;
+  core::SeiNetwork net(art.qnet, cfg);
+  int stage = -1;
+  for (int s = 0; s + 1 < net.stage_count(); ++s)
+    if (net.layer(s).block_count > 1) stage = s;
+  SEI_CHECK_MSG(stage >= 0, "no hidden stage splits; nothing to ablate");
+  const int k = net.layer(stage).block_count;
+  const nn::Tensor& w = art.qnet.layers[static_cast<std::size_t>(stage)].weight;
+  auto inputs = net.cache_stage_inputs(data.test, stage, images);
+
+  std::printf("Homogenization ablation — %s stage %d (K=%d), AND vote rule\n"
+              "(the rule under which order quality matters most)\n\n",
+              net_name.c_str(), stage, k);
+
+  TextTable t;
+  t.header({"Iterations", "Distance", "Reduction", "Accepted swaps",
+            "Error (AND rule)", "Error (majority)"});
+  const double natural_dist = split::partition_distance(
+      w, split::partition_from_order(
+             split::natural_order(w.dim(0)), k));
+  for (int iters : parse_ints(iters_csv)) {
+    split::HomogenizeConfig hcfg;
+    hcfg.iterations = iters;
+    const split::HomogenizeResult res = split::homogenize_rows(w, k, hcfg);
+    net.remap_layer(stage, res.order);
+    net.layer(stage).dyn_beta = 0.0f;
+    net.layer(stage).vote_threshold = k;  // AND: the order-sensitive rule
+    const double err_and = net.error_rate_from(data.test, stage, inputs);
+    net.layer(stage).vote_threshold = (k + 1) / 2;
+    const double err_maj = net.error_rate_from(data.test, stage, inputs);
+    t.row({std::to_string(iters), TextTable::num(res.final_distance, 4),
+           TextTable::pct(res.reduction_pct(), 1),
+           std::to_string(res.accepted_swaps), TextTable::pct(err_and),
+           TextTable::pct(err_maj)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Natural-order distance: %.4f (0 iterations = natural order)\n",
+              natural_dist);
+  std::printf(
+      "Shape check (paper): distance drops 80-90%% with optimization and the\n"
+      "error under the naive rule falls with it.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

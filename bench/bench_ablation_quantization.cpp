@@ -1,0 +1,87 @@
+// Ablation of Algorithm 1 itself:
+//   (a) the threshold → training-accuracy curve per layer (the data behind
+//       the greedy search; the paper describes but does not plot it);
+//   (b) the drive-level calibration extension on vs off;
+//   (c) search-grid resolution sensitivity.
+//
+// This bench re-runs the search from the cached float model (it does not
+// touch the shared .qnet cache), so it costs a few search passes.
+//
+// Flags: --network network2, --search-images 2000, --curve-points 20.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "workloads/cache.hpp"
+
+using namespace sei;
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const std::string net_name = cli.get("network", "network2");
+  const int search_images = cli.get_int("search-images", 2000);
+  const int curve_points = cli.get_int("curve-points", 20);
+  if (!cli.validate("Algorithm 1 ablations")) return 0;
+
+  data::DataBundle data = workloads::load_default_data(true);
+  const workloads::Workload wl = workloads::workload_by_name(net_name);
+
+  auto fresh_net = [&]() { return workloads::load_or_train(wl, data, true); };
+
+  // (a) + default run.
+  quant::SearchConfig base_cfg;
+  base_cfg.max_search_images = search_images;
+  nn::Network net = fresh_net();
+  quant::QuantizationResult res =
+      quant::quantize_network(net, wl.topo, data.train, base_cfg);
+  const double default_err = res.qnet.error_rate(data.test);
+
+  std::printf("Algorithm 1 ablation — %s\n\n", net_name.c_str());
+  for (const auto& tr : res.traces) {
+    TextTable t("(a) Stage " + std::to_string(tr.stage) +
+                " threshold search curve (scale " +
+                TextTable::num(tr.scale, 3) + ", best t=" +
+                TextTable::num(tr.best_threshold, 3) + ", drive=" +
+                TextTable::num(tr.drive_level, 3) + ")");
+    t.header({"Threshold", "Training accuracy"});
+    const std::size_t stride =
+        std::max<std::size_t>(1, tr.curve.size() / curve_points);
+    for (std::size_t i = 0; i < tr.curve.size(); i += stride)
+      t.row({TextTable::num(tr.curve[i].first, 3),
+             TextTable::pct(tr.curve[i].second)});
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  // (b) drive calibration off.
+  quant::SearchConfig no_drive = base_cfg;
+  no_drive.calibrate_drive = false;
+  nn::Network net2 = fresh_net();
+  const double no_drive_err =
+      quant::quantize_network(net2, wl.topo, data.train, no_drive)
+          .qnet.error_rate(data.test);
+
+  // (c) coarse grid.
+  quant::SearchConfig coarse = base_cfg;
+  coarse.step = 0.05;
+  nn::Network net3 = fresh_net();
+  const double coarse_err =
+      quant::quantize_network(net3, wl.topo, data.train, coarse)
+          .qnet.error_rate(data.test);
+
+  TextTable t("(b)+(c) Variant comparison (test error)");
+  t.header({"Variant", "Error"});
+  t.row({"default (fine grid + drive calibration)",
+         TextTable::pct(default_err)});
+  t.row({"drive calibration OFF (paper-literal)",
+         TextTable::pct(no_drive_err)});
+  t.row({"coarse grid (step 0.05)", TextTable::pct(coarse_err)});
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Reading the curves: accuracy rises steeply away from t=0 (noise\n"
+      "bits suppressed), plateaus, then falls when real activations are\n"
+      "lost — the unimodal shape that makes the brute-force scan cheap.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,73 @@
+// Reproduces Fig. 1: power and area consumption breakdown (DAC / ADC /
+// RRAM / Other) per layer for the 4-layer Network 1 at 8-bit data precision
+// on the DAC+ADC baseline structure with 512×512 crossbars.
+//
+// Paper's claim: ADCs and DACs cost more than 98% of both area and power.
+//
+// Flags: --network (default network1), --max-crossbar (default 512).
+#include <cstdio>
+
+#include "arch/cost_model.hpp"
+#include "arch/report.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "workloads/networks.hpp"
+
+using namespace sei;
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const std::string net_name = cli.get("network", "network1");
+  const int max_size = cli.get_int("max-crossbar", 512);
+  const std::string csv_path =
+      cli.get("csv", "", "CSV path prefix (writes <path>.power.csv/.area.csv)");
+  if (!cli.validate("Fig. 1: power/area breakdown of the DAC+ADC baseline"))
+    return 0;
+
+  const workloads::Workload wl = workloads::workload_by_name(net_name);
+  core::HardwareConfig cfg;
+  cfg.limits.max_rows = max_size;
+  cfg.limits.max_cols = max_size;
+
+  const arch::NetworkCost cost =
+      arch::estimate_cost(wl.topo, cfg, core::StructureKind::kDacAdc8);
+  const auto rows = arch::fig1_rows(cost, {"Conv 1", "Conv 2", "FC"});
+
+  std::printf(
+      "Fig. 1 reproduction — %s, 8-bit data, DAC+ADC baseline, %dx%d "
+      "crossbars\n\n",
+      net_name.c_str(), max_size, max_size);
+
+  TextTable power("Power breakdown (percent of layer total)");
+  power.header({"Layer", "DAC", "ADC", "RRAM", "Other"});
+  TextTable area("Area breakdown (percent of layer total)");
+  area.header({"Layer", "DAC", "ADC", "RRAM", "Other"});
+  for (const auto& r : rows) {
+    power.row({r.label, TextTable::pct(r.power.dac_pct),
+               TextTable::pct(r.power.adc_pct),
+               TextTable::pct(r.power.rram_pct),
+               TextTable::pct(r.power.other_pct)});
+    area.row({r.label, TextTable::pct(r.area.dac_pct),
+              TextTable::pct(r.area.adc_pct),
+              TextTable::pct(r.area.rram_pct),
+              TextTable::pct(r.area.other_pct)});
+  }
+  if (!csv_path.empty()) {
+    power.write_csv_if(csv_path + ".power.csv");
+    area.write_csv_if(csv_path + ".area.csv");
+  }
+  std::printf("%s\n%s\n", power.str().c_str(), area.str().c_str());
+
+  const auto total_p = rows.back().power;
+  const auto total_a = rows.back().area;
+  std::printf("ADC+DAC share of total power: %.2f%%  (paper: > 98%%)\n",
+              total_p.dac_pct + total_p.adc_pct);
+  std::printf("ADC+DAC share of total area:  %.2f%%  (paper: > 98%%)\n",
+              total_a.dac_pct + total_a.adc_pct);
+  std::printf("Total energy: %.2f uJ/picture, total area: %.3f mm^2\n",
+              cost.energy_uj_per_picture(), cost.area_mm2());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

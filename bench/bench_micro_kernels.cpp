@@ -1,0 +1,121 @@
+// google-benchmark micro kernels: the hot loops of the simulator.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "data/synthetic_digits.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "quant/qnet.hpp"
+#include "rram/crossbar.hpp"
+#include "workloads/networks.hpp"
+
+namespace {
+
+using namespace sei;
+
+void BM_Gemm(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    nn::gemm(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * k * n);
+}
+BENCHMARK(BM_Gemm)->Args({64, 300, 64})->Args({576, 25, 12});
+
+void BM_ConvForward(benchmark::State& state) {
+  Rng rng(2);
+  nn::Conv2D conv(5, 12, 64, rng);
+  nn::Tensor in({1, 12, 12, 12});
+  for (float& v : in.flat()) v = static_cast<float>(rng.uniform(0, 1));
+  for (auto _ : state) {
+    nn::Tensor out = conv.forward(in, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_CrossbarMvm(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = static_cast<int>(state.range(1));
+  Rng rng(3);
+  rram::Crossbar xb(rows, cols, rram::DeviceConfig{}, rng);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      xb.program(r, c, static_cast<int>(rng.below(16)));
+  std::vector<double> in(static_cast<std::size_t>(rows));
+  for (auto& v : in) v = rng.uniform();
+  std::vector<double> out(static_cast<std::size_t>(cols));
+  Rng read_rng(4);
+  for (auto _ : state) {
+    xb.mvm(in, out, read_rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(rows) *
+                          cols);
+}
+BENCHMARK(BM_CrossbarMvm)->Args({400, 64})->Args({512, 512});
+
+void BM_CrossbarSelected(benchmark::State& state) {
+  const int rows = 400, cols = 64;
+  Rng rng(5);
+  rram::Crossbar xb(rows, cols, rram::DeviceConfig{}, rng);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      xb.program(r, c, static_cast<int>(rng.below(16)));
+  std::vector<std::uint8_t> select(rows);
+  for (auto& s : select) s = rng.bernoulli(0.15) ? 1 : 0;  // sparse inputs
+  std::vector<double> coeff(rows, 16.0);
+  std::vector<double> out(cols);
+  Rng read_rng(6);
+  for (auto _ : state) {
+    xb.mvm_selected(select, coeff, out, read_rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CrossbarSelected);
+
+void BM_BinaryStageEval(benchmark::State& state) {
+  // Network 1 conv2-shaped binary stage evaluation — the simulator's
+  // dominant inner loop during Table 4/5 accuracy runs.
+  auto topo = workloads::network1().topo;
+  auto geoms = quant::resolve_geometry(topo);
+  quant::QLayer l;
+  l.geom = geoms[1];
+  l.weight = nn::Tensor({l.geom.rows, l.geom.cols});
+  l.bias = nn::Tensor({l.geom.cols});
+  Rng rng(7);
+  for (float& v : l.weight.flat()) v = static_cast<float>(rng.uniform(-1, 1));
+  quant::BitMap in(static_cast<std::size_t>(l.geom.in_h) * l.geom.in_w *
+                   l.geom.in_ch);
+  for (auto& b : in) b = rng.bernoulli(0.15) ? 1 : 0;
+  std::vector<float> out;
+  for (auto _ : state) {
+    quant::eval_stage_binary_input(l, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BinaryStageEval);
+
+void BM_SyntheticDigitRender(benchmark::State& state) {
+  data::SynthConfig cfg;
+  Rng rng(8);
+  std::vector<float> img(784);
+  int digit = 0;
+  for (auto _ : state) {
+    data::render_digit(digit, cfg, rng, img.data());
+    digit = (digit + 1) % 10;
+    benchmark::DoNotOptimize(img.data());
+  }
+}
+BENCHMARK(BM_SyntheticDigitRender);
+
+}  // namespace

@@ -1,0 +1,60 @@
+// Reproduces Table 3: classification error before and after the 1-bit
+// quantization of intermediate data (Algorithm 1), for the three Table 2
+// networks.
+//
+// Paper (real MNIST): Network 1: 0.93 → 1.63, Network 2: 2.88 → 3.42,
+// Network 3: 1.53 → 2.07 (percent error). On the synthetic substitute the
+// absolute errors differ but the claim under reproduction is the *small
+// delta* (quantization costs on the order of 1%).
+//
+// Flags: --search-images N (Algorithm 1 subset on a cold cache).
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "workloads/pipeline.hpp"
+
+using namespace sei;
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const int search_images = cli.get_int("search-images", 5000);
+  const std::string csv_path =
+      cli.get("csv", "", "write the table as CSV to this path");
+  if (!cli.validate("Table 3: error rate of the quantization method")) return 0;
+
+  data::DataBundle data = workloads::load_default_data(true);
+
+  struct PaperRow {
+    const char* net;
+    double before, after;
+  };
+  const PaperRow paper[] = {{"network1", 0.93, 1.63},
+                            {"network2", 2.88, 3.42},
+                            {"network3", 1.53, 2.07}};
+
+  TextTable t("Table 3 reproduction — error rate (%) on the test set");
+  t.header({"Network", "Before (paper)", "After (paper)", "Before (ours)",
+            "After (ours)", "Delta (ours)"});
+  for (const PaperRow& row : paper) {
+    workloads::PipelineOptions opts;
+    opts.verbose = true;
+    opts.search.max_search_images = search_images;
+    workloads::Artifacts art = workloads::prepare_workload(row.net, data, opts);
+    const double before = art.float_test_error_pct;
+    const double after = art.quant_error(data.test);
+    t.row({row.net, TextTable::pct(row.before), TextTable::pct(row.after),
+           TextTable::pct(before), TextTable::pct(after),
+           TextTable::pct(after - before)});
+  }
+  t.write_csv_if(csv_path);
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Shape check: after-quantization error stays within a few percent of\n"
+      "the float baseline on every network (paper deltas: 0.70 / 0.54 / "
+      "0.54).\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,154 @@
+// Reproduces Table 4: error rate of the splitting methods on Network 1 at
+// maximum crossbar sizes 512 and 256.
+//
+// Paper rows (real MNIST):
+//   Original CNN            0.93 / 0.93
+//   Quantization            1.63 / 1.63
+//   Random Order Splitting  3.90–45.89 / 4.44–49.03   (500 random orders)
+//   Matrix Homogenization   1.78 / 2.29
+//   Dynamic Threshold       1.52 / 1.82
+//
+// The paper's "directly divide the threshold into K parts" rule leaves the
+// digital combination of the K block bits under-specified; its example
+// ("0,0,1 is recognized as 0") pins it to an AND-like rule. We therefore
+// report the random/natural-order rows under all three digital vote rules
+// (OR = 1-of-K, majority, AND = K-of-K): the fragile OR/AND ends reproduce
+// the paper's catastrophic range, while majority is intrinsically robust —
+// a reproduction finding documented in EXPERIMENTS.md. The homogenization
+// row uses the majority default; the dynamic-threshold row additionally
+// optimizes the vote and the β slope on the training set (the paper's "new
+// digital threshold" + posterior compensation).
+//
+// Flags: --orders N (default 100), --order-images N (default 500),
+//        --sizes "512,256".
+#include <cstdio>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/dyn_opt.hpp"
+#include "split/homogenize.hpp"
+#include "workloads/pipeline.hpp"
+
+using namespace sei;
+
+namespace {
+
+std::vector<int> parse_sizes(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  SEI_CHECK_MSG(!out.empty(), "no crossbar sizes given");
+  return out;
+}
+
+/// First hidden stage that splits into multiple crossbars.
+int first_split_stage(const core::SeiNetwork& net) {
+  for (int s = 0; s + 1 < net.stage_count(); ++s)
+    if (net.layer(s).block_count > 1) return s;
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const int n_orders = cli.get_int("orders", 100, "random row orders");
+  const int order_images =
+      cli.get_int("order-images", 500, "test images per random order");
+  const std::string sizes_csv = cli.get("sizes", "512,256");
+  const std::string net_name = cli.get("network", "network1");
+  if (!cli.validate("Table 4: error rate of the splitting methods")) return 0;
+
+  data::DataBundle data = workloads::load_default_data(true);
+  workloads::Artifacts art = workloads::prepare_workload(net_name, data, {});
+  const double float_err = art.float_test_error_pct;
+  const double quant_err = art.quant_error(data.test);
+
+  std::printf("Table 4 reproduction — %s (paper values for real MNIST in "
+              "brackets)\n\n", net_name.c_str());
+
+  for (int max_size : parse_sizes(sizes_csv)) {
+    core::HardwareConfig cfg;
+    cfg.limits.max_rows = max_size;
+    cfg.limits.max_cols = max_size;
+
+    core::SeiNetwork net(art.qnet, cfg);
+    const int stage = first_split_stage(net);
+    SEI_CHECK_MSG(stage >= 0, "no hidden stage splits at this crossbar size");
+    const int k = net.layer(stage).block_count;
+    const int rows = art.qnet.layers[static_cast<std::size_t>(stage)].geom.rows;
+    const int majority = (k + 1) / 2;
+
+    TextTable t("Max crossbar size " + std::to_string(max_size) + "x" +
+                std::to_string(max_size) + "  (stage " +
+                std::to_string(stage) + " splits into K=" + std::to_string(k) +
+                " crossbars)");
+    t.header({"Method", "Error rate"});
+    t.row({"Original CNN  [paper 0.93 / 0.93]", TextTable::pct(float_err)});
+    t.row({"Quantization  [paper 1.63 / 1.63]", TextTable::pct(quant_err)});
+    t.separator();
+
+    // Natural and random orders under the three vote rules.
+    const auto orders = split::random_orders(rows, n_orders, 20160605);
+    auto inputs = net.cache_stage_inputs(data.test, stage, order_images);
+    struct Rule {
+      const char* name;
+      int vote;
+    };
+    const Rule rules[] = {{"OR (1-of-K)", 1},
+                          {"majority", majority},
+                          {"AND (K-of-K)", k}};
+    for (const Rule& rule : rules) {
+      net.remap_layer(stage, split::natural_order(rows));
+      net.layer(stage).vote_threshold = rule.vote;
+      net.layer(stage).dyn_beta = 0.0f;
+      const double nat = net.error_rate_from(data.test, stage, inputs);
+      double lo = 100.0, hi = 0.0;
+      for (const auto& order : orders) {
+        net.remap_layer(stage, order);
+        net.layer(stage).vote_threshold = rule.vote;
+        net.layer(stage).dyn_beta = 0.0f;
+        const double e = net.error_rate_from(data.test, stage, inputs);
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+      }
+      t.row({std::string("Natural order, ") + rule.name, TextTable::pct(nat)});
+      t.row({std::string("Random order x") + std::to_string(n_orders) + ", " +
+                 rule.name + "  [paper 3.90-45.89 / 4.44-49.03]",
+             TextTable::pct(lo) + " - " + TextTable::pct(hi)});
+    }
+    t.separator();
+
+    // Matrix homogenization (majority vote, no dynamic compensation).
+    net.remap_layer(stage, core::default_row_order(
+                               art.qnet.layers[static_cast<std::size_t>(stage)],
+                               cfg));
+    net.layer(stage).vote_threshold = majority;
+    net.layer(stage).dyn_beta = 0.0f;
+    t.row({"Matrix Homogenization  [paper 1.78 / 2.29]",
+           TextTable::pct(net.error_rate(data.test))});
+
+    // Dynamic threshold: optimize vote + beta on the training set.
+    core::DynThreshResult dyn = core::optimize_dynamic_threshold(net, data.train);
+    t.row({"Dynamic Threshold  [paper 1.52 / 1.82]",
+           TextTable::pct(net.error_rate(data.test))});
+    std::printf("%s", t.str().c_str());
+    for (const auto& c : dyn.choices)
+      std::printf("  dyn-threshold choice: stage %d K=%d vote=%d beta=%.3f "
+                  "(train err %.2f%% -> %.2f%%)\n",
+                  c.stage, c.block_count, c.vote, c.beta,
+                  c.train_error_before_pct, c.train_error_after_pct);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape check: a naive fixed rule (OR/AND) makes the error depend\n"
+      "violently on the row order; homogenization plus the dynamic\n"
+      "threshold restores accuracy to the quantization-only level.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

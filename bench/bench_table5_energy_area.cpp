@@ -1,0 +1,153 @@
+// Reproduces Table 5: error rate, per-picture energy, and energy/area
+// savings of the three structures (DAC+ADC baseline, 1-bit-Input+ADC, SEI)
+// on the three Table 2 networks, using 4-bit RRAM devices.
+//
+// Paper rows (error %, µJ/pic, energy saving %, area saving %):
+//   Network 1 @512: 0.93/74.25/—/—, 1.63/62.31/16.08/47.59, 1.52/2.58/96.52/86.57
+//   Network 1 @256: 0.93/93.75/—/—, 1.63/81.80/32.74*/36.81, 1.82/2.68/97.15/80.76
+//   Network 2 @512: 2.88/12.15/—/—, 3.42/10.45/13.97/56.31, 3.46/0.68/94.37/78.50
+//   Network 3 @512: 1.53/17.77/—/—, 2.07/292.01*/15.22/53.35, 2.07/0.73/95.89/74.35
+//   (*) self-inconsistent in the paper: 32.74% does not match 81.80/93.75,
+//   and 292.01 µJ contradicts the 15.22% saving (≈15.1 µJ implied). We
+//   reproduce the self-consistent interpretation (see EXPERIMENTS.md).
+//
+// Flags: --skip-accuracy (cost model only, fast).
+#include <cstdio>
+
+#include "arch/cost_model.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/dyn_opt.hpp"
+#include "workloads/pipeline.hpp"
+
+using namespace sei;
+
+namespace {
+
+struct PaperRow {
+  const char* err;
+  const char* energy;
+  const char* esave;
+  const char* asave;
+};
+
+struct Config {
+  const char* net;
+  int max_size;
+  // paper values for DAC+ADC / 1-bit+ADC / SEI
+  PaperRow paper[3];
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const bool skip_accuracy =
+      cli.get_bool("skip-accuracy", false, "cost model only");
+  const std::string csv_path =
+      cli.get("csv", "", "write the table as CSV to this path");
+  if (!cli.validate("Table 5: energy and area of the three structures"))
+    return 0;
+
+  const Config configs[] = {
+      {"network1", 512, {{"0.93", "74.25", "-", "-"},
+                         {"1.63", "62.31", "16.08", "47.59"},
+                         {"1.52", "2.58", "96.52", "86.57"}}},
+      {"network1", 256, {{"0.93", "93.75", "-", "-"},
+                         {"1.63", "81.80", "12.75*", "36.81"},
+                         {"1.82", "2.68", "97.15", "80.76"}}},
+      {"network2", 512, {{"2.88", "12.15", "-", "-"},
+                         {"3.42", "10.45", "13.97", "56.31"},
+                         {"3.46", "0.68", "94.37", "78.50"}}},
+      {"network3", 512, {{"1.53", "17.77", "-", "-"},
+                         {"2.07", "15.06*", "15.22", "53.35"},
+                         {"2.07", "0.73", "95.89", "74.35"}}},
+  };
+
+  data::DataBundle data;
+  if (!skip_accuracy) data = workloads::load_default_data(true);
+
+  TextTable t("Table 5 reproduction (measured | paper in brackets)");
+  t.header({"Network", "Crossbar", "Structure", "Error", "Energy uJ/pic",
+            "E-saving", "A-saving", "GOPs/J"});
+
+  for (const Config& c : configs) {
+    core::HardwareConfig cfg;
+    cfg.limits.max_rows = c.max_size;
+    cfg.limits.max_cols = c.max_size;
+    const workloads::Workload wl = workloads::workload_by_name(c.net);
+
+    // Accuracy for the three structures.
+    double err[3] = {0, 0, 0};
+    if (!skip_accuracy) {
+      workloads::Artifacts art = workloads::prepare_workload(c.net, data, {});
+      err[0] = art.float_test_error_pct;   // exact 8-bit digital pipeline
+      err[1] = art.quant_error(data.test); // binary data, exact ADC merging
+      core::SeiNetwork sei =
+          workloads::make_sei_network(art, cfg, data, true);
+      err[2] = sei.error_rate(data.test);
+    }
+
+    const arch::NetworkCost base =
+        arch::estimate_cost(wl.topo, cfg, core::StructureKind::kDacAdc8);
+    const arch::NetworkCost costs[3] = {
+        base,
+        arch::estimate_cost(wl.topo, cfg, core::StructureKind::kBinInputAdc),
+        arch::estimate_cost(wl.topo, cfg, core::StructureKind::kSei)};
+    const char* names[3] = {"DAC+ADC", "1-bit-Input+ADC", "SEI"};
+
+    for (int s = 0; s < 3; ++s) {
+      const double e_uj = costs[s].energy_uj_per_picture();
+      const double esave =
+          s == 0 ? 0.0
+                 : arch::saving_pct(base.energy_pj.total(),
+                                    costs[s].energy_pj.total());
+      const double asave =
+          s == 0 ? 0.0
+                 : arch::saving_pct(base.area_um2.total(),
+                                    costs[s].area_um2.total());
+      t.row({c.net,
+             std::to_string(c.max_size) + "x" + std::to_string(c.max_size),
+             names[s],
+             (skip_accuracy ? std::string("-")
+                            : TextTable::pct(err[s])) +
+                 " [" + c.paper[s].err + "]",
+             TextTable::num(e_uj) + " [" + c.paper[s].energy + "]",
+             (s == 0 ? std::string("-")
+                     : TextTable::pct(esave)) +
+                 " [" + c.paper[s].esave + "]",
+             (s == 0 ? std::string("-")
+                     : TextTable::pct(asave)) +
+                 " [" + c.paper[s].asave + "]",
+             TextTable::num(costs[s].gops_per_joule(), 0)});
+    }
+    t.separator();
+  }
+  t.write_csv_if(csv_path);
+  std::printf("%s\n", t.str().c_str());
+
+  // One-time programming cost of the SEI chips (not part of Table 5's
+  // per-picture metric; reported for completeness).
+  for (const Config& c : configs) {
+    if (c.max_size != 512) continue;
+    core::HardwareConfig cfg;
+    const auto cost = arch::estimate_cost(
+        workloads::workload_by_name(c.net).topo, cfg,
+        core::StructureKind::kSei);
+    const arch::ProgrammingCost pc = arch::programming_cost(cost);
+    std::printf("programming %-9s: %lld cells, %.1f uJ once — amortized "
+                "below 1%% of inference energy after %.0f pictures\n",
+                c.net, pc.cells, pc.energy_uj,
+                pc.amortized_below_1pct_pictures);
+  }
+  std::printf("\n");
+  std::printf(
+      "Shape check: SEI saves >90%% energy and 74-90%% area everywhere;\n"
+      "the 1-bit+ADC halfway point only removes the DAC slice (~10-35%%);\n"
+      "SEI exceeds 2000 GOPs/J while the baseline stays below 200.\n"
+      "(*) = self-inconsistent cell in the paper, see EXPERIMENTS.md.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

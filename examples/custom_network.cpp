@@ -1,0 +1,123 @@
+// Bring-your-own network: defines a CNN topology from a compact CLI spec,
+// trains it, quantizes it and maps it onto the SEI structure — the workflow
+// a user follows to evaluate their own model on this hardware.
+//
+// Spec grammar (comma-separated stages):
+//   cKxN[p]  — conv with K×K kernel, N output channels, optional 2×2 pool
+//   fN       — fully-connected classifier with N outputs (must be last)
+// Example: --spec "c5x8p,c3x16p,f10"  (default)
+//
+// Flags: --spec, --epochs 5, --train 4000, --test 800, --max-crossbar 512.
+#include <cstdio>
+#include <sstream>
+
+#include "arch/cost_model.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/dyn_opt.hpp"
+#include "data/synthetic_digits.hpp"
+#include "nn/trainer.hpp"
+#include "quant/threshold_search.hpp"
+#include "workloads/networks.hpp"
+
+using namespace sei;
+
+namespace {
+
+quant::Topology parse_spec(const std::string& spec) {
+  quant::Topology topo;
+  topo.name = "custom";
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    SEI_CHECK_MSG(!item.empty(), "empty stage in spec");
+    quant::StageSpec s;
+    if (item[0] == 'c') {
+      const auto x = item.find('x');
+      SEI_CHECK_MSG(x != std::string::npos, "conv stage needs KxN: " << item);
+      s.kind = quant::StageSpec::Kind::Conv;
+      s.kernel = std::stoi(item.substr(1, x - 1));
+      std::string rest = item.substr(x + 1);
+      if (!rest.empty() && rest.back() == 'p') {
+        s.pool_after = true;
+        rest.pop_back();
+      }
+      s.out_channels = std::stoi(rest);
+    } else if (item[0] == 'f') {
+      s.kind = quant::StageSpec::Kind::Fc;
+      s.out_channels = std::stoi(item.substr(1));
+    } else {
+      SEI_CHECK_MSG(false, "unknown stage kind: " << item);
+    }
+    topo.stages.push_back(s);
+  }
+  SEI_CHECK_MSG(!topo.stages.empty() &&
+                    topo.stages.back().kind == quant::StageSpec::Kind::Fc,
+                "spec must end with a fully-connected classifier (fN)");
+  return topo;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const std::string spec =
+      cli.get("spec", "c5x8p,c3x16p,f10", "topology spec (see header)");
+  const int epochs = cli.get_int("epochs", 5);
+  const int train_n = cli.get_int("train", 4000);
+  const int test_n = cli.get_int("test", 800);
+  const int max_size = cli.get_int("max-crossbar", 512);
+  if (!cli.validate("map a custom CNN onto the SEI structure")) return 0;
+
+  const quant::Topology topo = parse_spec(spec);
+  const auto geoms = quant::resolve_geometry(topo);
+  TextTable shape("Topology " + spec);
+  shape.header({"Stage", "Kind", "Input", "Matrix", "Pool"});
+  for (std::size_t i = 0; i < geoms.size(); ++i) {
+    const auto& g = geoms[i];
+    shape.row({std::to_string(i),
+               g.kind == quant::StageSpec::Kind::Conv ? "conv" : "fc",
+               std::to_string(g.in_h) + "x" + std::to_string(g.in_w) + "x" +
+                   std::to_string(g.in_ch),
+               std::to_string(g.rows) + "x" + std::to_string(g.cols),
+               g.pool_after ? "2x2" : "-"});
+  }
+  std::printf("%s\n", shape.str().c_str());
+
+  data::DataBundle data = data::synthetic_bundle(train_n, test_n, 11);
+  nn::Network net = workloads::build_float_network(topo, 2);
+  nn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.verbose = true;
+  nn::Trainer(tc).fit(net, data.train.images, data.train.label_span());
+  std::printf("float test error:      %.2f%%\n",
+              net.error_rate(data.test.images, data.test.label_span()));
+
+  quant::SearchConfig search;
+  search.max_search_images = std::min(1500, train_n);
+  quant::QuantizationResult q =
+      quant::quantize_network(net, topo, data.train, search);
+  std::printf("1-bit quantized error: %.2f%%\n", q.qnet.error_rate(data.test));
+
+  core::HardwareConfig cfg;
+  cfg.limits.max_rows = max_size;
+  cfg.limits.max_cols = max_size;
+  core::SeiNetwork sei(q.qnet, cfg);
+  core::optimize_dynamic_threshold(sei, data.train);
+  std::printf("SEI hardware error:    %.2f%%  (%d crossbars)\n",
+              sei.error_rate(data.test), sei.total_crossbars());
+
+  const auto base = arch::estimate_cost(topo, cfg, core::StructureKind::kDacAdc8);
+  const auto cost = arch::estimate_cost(topo, cfg, core::StructureKind::kSei);
+  std::printf("energy %.2f -> %.2f uJ/pic (%.1f%% saved), "
+              "area %.3f -> %.3f mm^2 (%.1f%% saved), %.0f GOPs/J\n",
+              base.energy_uj_per_picture(), cost.energy_uj_per_picture(),
+              arch::saving_pct(base.energy_pj.total(), cost.energy_pj.total()),
+              base.area_mm2(), cost.area_mm2(),
+              arch::saving_pct(base.area_um2.total(), cost.area_um2.total()),
+              cost.gops_per_joule());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,88 @@
+// Manufacturing-variability study: how robust is a finished SEI design to
+// device non-idealities? Replicates the mapping across independent
+// programming seeds and reports mean ± stddev error under programming
+// variation, read noise, and stuck cells — the "non-ideal factors" the
+// paper defers to future work.
+//
+// Flags: --network network2, --replicas 5, --images 800.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "workloads/pipeline.hpp"
+
+using namespace sei;
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const std::string net_name = cli.get("network", "network2");
+  const int replicas = cli.get_int("replicas", 5, "independent chips");
+  const int images = cli.get_int("images", 800, "test images per chip");
+  if (!cli.validate("device-variation robustness study")) return 0;
+
+  data::DataBundle data = workloads::load_default_data(true);
+  workloads::Artifacts art = workloads::prepare_workload(net_name, data, {});
+  std::printf("Variation study — %s, %d replicas x %d images "
+              "(software binary error %.2f%%)\n\n",
+              net_name.c_str(), replicas, images,
+              art.quant_error(data.test));
+
+  auto replicate = [&](core::HardwareConfig cfg, RunningStats& stats) {
+    for (int r = 0; r < replicas; ++r) {
+      cfg.seed = 90000 + static_cast<std::uint64_t>(r);  // a new "chip"
+      core::SeiNetwork sei(art.qnet, cfg);
+      stats.add(sei.error_rate(data.test, images));
+    }
+  };
+
+  TextTable t;
+  t.header({"Non-ideality", "Setting", "Error mean", "Error stddev",
+            "Error max"});
+  {
+    core::HardwareConfig cfg;
+    RunningStats s;
+    replicate(cfg, s);
+    t.row({"none (ideal devices)", "-", TextTable::pct(s.mean()),
+           TextTable::num(s.stddev(), 3), TextTable::pct(s.max())});
+    t.separator();
+  }
+  for (double sigma : {0.02, 0.05, 0.10, 0.20}) {
+    core::HardwareConfig cfg;
+    cfg.device.program_sigma = sigma;
+    RunningStats s;
+    replicate(cfg, s);
+    t.row({"programming variation", "sigma=" + TextTable::num(sigma, 2),
+           TextTable::pct(s.mean()), TextTable::num(s.stddev(), 3),
+           TextTable::pct(s.max())});
+  }
+  t.separator();
+  for (double noise : {0.01, 0.03, 0.08}) {
+    core::HardwareConfig cfg;
+    cfg.device.read_noise_sigma = noise;
+    RunningStats s;
+    replicate(cfg, s);
+    t.row({"read noise (per MVM)", "sigma=" + TextTable::num(noise, 2),
+           TextTable::pct(s.mean()), TextTable::num(s.stddev(), 3),
+           TextTable::pct(s.max())});
+  }
+  t.separator();
+  for (double frac : {0.002, 0.01, 0.05}) {
+    core::HardwareConfig cfg;
+    cfg.device.stuck_fraction = frac;
+    RunningStats s;
+    replicate(cfg, s);
+    t.row({"stuck cells", TextTable::pct(100 * frac, 1) + " of array",
+           TextTable::pct(s.mean()), TextTable::num(s.stddev(), 3),
+           TextTable::pct(s.max())});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Interpretation: the 1-bit sense-amp decision absorbs small analog\n"
+      "errors (only near-threshold sums can flip), so moderate variation\n"
+      "degrades the SEI design gracefully.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

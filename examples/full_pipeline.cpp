@@ -1,0 +1,98 @@
+// The paper's complete flow on one of the Table 2 networks, using the
+// shared model cache (first run trains, later runs load):
+//   data → float training → Algorithm 1 → homogenized SEI mapping with the
+//   dynamic-threshold compensation → hardware accuracy → energy/area.
+//
+// Flags: --network network1|network2|network3 (default network1),
+//        --max-crossbar 512, --unipolar (use the §4.2 sign mode).
+#include <cstdio>
+
+#include "arch/cost_model.hpp"
+#include "arch/latency_model.hpp"
+#include "arch/report.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/dyn_opt.hpp"
+#include "workloads/pipeline.hpp"
+
+using namespace sei;
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const std::string net_name = cli.get("network", "network1");
+  const int max_size = cli.get_int("max-crossbar", 512);
+  const bool unipolar =
+      cli.get_bool("unipolar", false, "use the unipolar dynamic-threshold "
+                                      "weight mapping (Section 4.2)");
+  if (!cli.validate("full SEI pipeline on a Table 2 network")) return 0;
+
+  data::DataBundle data = workloads::load_default_data(true);
+  workloads::PipelineOptions opts;
+  opts.verbose = true;
+  workloads::Artifacts art = workloads::prepare_workload(net_name, data, opts);
+
+  std::printf("\n== %s on %s ==\n", net_name.c_str(), data.source.c_str());
+  std::printf("float test error:      %.2f%%\n", art.float_test_error_pct);
+  std::printf("1-bit quantized error: %.2f%%\n", art.quant_error(data.test));
+
+  core::HardwareConfig cfg;
+  cfg.limits.max_rows = max_size;
+  cfg.limits.max_cols = max_size;
+  if (unipolar) cfg.sign_mode = core::SignMode::kUnipolarDynThresh;
+
+  core::DynThreshResult dyn;
+  core::SeiNetwork sei = workloads::make_sei_network(art, cfg, data, true, &dyn);
+  std::printf("SEI hardware error:    %.2f%%\n", sei.error_rate(data.test));
+
+  TextTable layout("Physical layout (" + std::string(unipolar
+                       ? "unipolar dynamic-threshold"
+                       : "bipolar ±port") + " mapping)");
+  layout.header({"Stage", "Logical matrix", "Cells/weight", "Crossbars",
+                 "Vote", "Beta"});
+  for (int s = 0; s < sei.stage_count(); ++s) {
+    const auto& m = sei.layer(s);
+    layout.row({std::to_string(s),
+                std::to_string(m.geom.rows) + "x" + std::to_string(m.geom.cols),
+                std::to_string(m.physical_rows_per_weight),
+                std::to_string(m.crossbars),
+                m.binarize ? std::to_string(m.vote_threshold) + "/" +
+                                 std::to_string(m.block_count)
+                           : "WTA",
+                TextTable::num(m.dyn_beta, 3)});
+  }
+  std::printf("\n%s\n", layout.str().c_str());
+
+  TextTable costs("Structure comparison");
+  costs.header({"Structure", "Energy uJ/pic", "Area mm^2", "GOPs/J"});
+  const workloads::Workload wl = workloads::workload_by_name(net_name);
+  for (auto kind : {core::StructureKind::kDacAdc8,
+                    core::StructureKind::kBinInputAdc,
+                    core::StructureKind::kSei}) {
+    const auto c = arch::estimate_cost(wl.topo, cfg, kind);
+    costs.row({core::to_string(kind),
+               TextTable::num(c.energy_uj_per_picture()),
+               TextTable::num(c.area_mm2(), 3),
+               TextTable::num(c.gops_per_joule(), 0)});
+  }
+  std::printf("%s", costs.str().c_str());
+
+  // The paper's buffer/replication power-vs-time trade at constant energy.
+  const auto sei_cost =
+      arch::estimate_cost(wl.topo, cfg, core::StructureKind::kSei);
+  TextTable trade("SEI power/time trade (replication, energy invariant at " +
+                  TextTable::num(sei_cost.energy_uj_per_picture()) +
+                  " uJ/pic)");
+  trade.header({"Replication", "Latency us", "Throughput kfps", "Power mW",
+                "Area mm^2"});
+  for (const auto& p : arch::replication_tradeoff(sei_cost, {1, 2, 4, 8})) {
+    trade.row({std::to_string(p.factor) + "x", TextTable::num(p.latency_us, 1),
+               TextTable::num(p.throughput_kfps, 1),
+               TextTable::num(p.average_power_mw, 1),
+               TextTable::num(p.area_mm2, 3)});
+  }
+  std::printf("\n%s", trade.str().c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

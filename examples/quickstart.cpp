@@ -1,0 +1,83 @@
+// Quickstart: the whole library in ~80 lines.
+//
+// Trains a small CNN on the synthetic digit task, quantizes its
+// intermediate data to 1 bit with Algorithm 1, maps it onto simulated RRAM
+// crossbars with the SEI structure, classifies a few digits in "hardware",
+// and prints the energy/area comparison against the DAC+ADC baseline.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "arch/cost_model.hpp"
+#include "core/sei_network.hpp"
+#include "data/synthetic_digits.hpp"
+#include "nn/trainer.hpp"
+#include "quant/threshold_search.hpp"
+#include "workloads/networks.hpp"
+
+using namespace sei;
+
+int main() try {
+  // 1. Data: 8000 training digits, 1000 test digits (deterministic seeds).
+  data::DataBundle data = data::synthetic_bundle(8000, 1000, /*seed=*/7);
+
+  // 2. A small CNN (Table 2's Network 3: conv3x3x6 → conv3x3x12 → fc 300x10).
+  workloads::Workload wl = workloads::network3();
+  wl.train.epochs = 8;
+  nn::Network float_net = workloads::build_float_network(wl.topo, /*seed=*/1);
+  nn::Trainer(wl.train).fit(float_net, data.train.images,
+                            data.train.label_span());
+  std::printf("float test error:      %.2f%%\n",
+              float_net.error_rate(data.test.images, data.test.label_span()));
+
+  // 3. Algorithm 1: layer-by-layer greedy 1-bit quantization.
+  quant::SearchConfig search;
+  search.max_search_images = 2000;
+  quant::QuantizationResult q =
+      quant::quantize_network(float_net, wl.topo, data.train, search);
+  std::printf("1-bit quantized error: %.2f%%\n",
+              q.qnet.error_rate(data.test));
+  for (const auto& tr : q.traces)
+    std::printf("  stage %d: threshold %.3f (searched over %zu candidates)\n",
+                tr.stage, tr.best_threshold, tr.curve.size());
+
+  // 4. Map onto RRAM crossbars with the SEI structure: signed 8-bit weights
+  //    on 4-bit devices in a single crossbar per block, no merging ADCs.
+  core::HardwareConfig hw;
+  core::SeiNetwork sei(q.qnet, hw);
+  std::printf("SEI hardware error:    %.2f%%  (%d crossbars, %lld cells)\n",
+              sei.error_rate(data.test), sei.total_crossbars(),
+              sei.total_cells());
+
+  // 5. Classify a few digits on the simulated hardware.
+  std::printf("sample predictions (truth -> predicted): ");
+  const std::size_t per_image = 28 * 28;
+  for (int i = 0; i < 8; ++i) {
+    const int pred = sei.predict(
+        {data.test.images.data() + static_cast<std::size_t>(i) * per_image,
+         per_image});
+    std::printf("%d->%d ", data.test.labels[static_cast<std::size_t>(i)], pred);
+  }
+  std::printf("\n\n");
+
+  // 6. What did eliminating the converters buy?
+  const auto base =
+      arch::estimate_cost(wl.topo, hw, core::StructureKind::kDacAdc8);
+  const auto sei_cost =
+      arch::estimate_cost(wl.topo, hw, core::StructureKind::kSei);
+  std::printf("energy: %.2f uJ/picture (baseline) -> %.2f uJ/picture (SEI), "
+              "%.1f%% saved\n",
+              base.energy_uj_per_picture(), sei_cost.energy_uj_per_picture(),
+              arch::saving_pct(base.energy_pj.total(),
+                               sei_cost.energy_pj.total()));
+  std::printf("area:   %.3f mm^2 (baseline) -> %.3f mm^2 (SEI), %.1f%% saved\n",
+              base.area_mm2(), sei_cost.area_mm2(),
+              arch::saving_pct(base.area_um2.total(),
+                               sei_cost.area_um2.total()));
+  std::printf("efficiency: %.0f GOPs/J (SEI) vs %.0f GOPs/J (baseline)\n",
+              sei_cost.gops_per_joule(), base.gops_per_joule());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,85 @@
+// Spiking neural network on the SEI structure — the future-work extension
+// from the paper's conclusion. Spikes are 1-bit events, so they drive the
+// SEI selection gates directly: this design needs no DACs at all, not even
+// on the input layer (the CNN design keeps input-layer DACs).
+//
+// The demo sweeps the time window and shows the latency/accuracy/activity
+// trade-off of rate coding.
+//
+// Flags: --network network3, --images 500,
+//        --timesteps "2,4,8,16,32,64", --bernoulli (stochastic coding).
+#include <cstdio>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "snn/snn_network.hpp"
+#include "workloads/pipeline.hpp"
+
+using namespace sei;
+
+namespace {
+std::vector<int> parse_ints(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  return out;
+}
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const std::string net_name = cli.get("network", "network3");
+  const int images = cli.get_int("images", 500);
+  const auto steps = parse_ints(cli.get("timesteps", "2,4,8,16,32,64"));
+  const bool bernoulli =
+      cli.get_bool("bernoulli", false, "stochastic instead of phased coding");
+  if (!cli.validate("rate-coded SNN on the SEI structure")) return 0;
+
+  data::DataBundle data = workloads::load_default_data(true);
+  workloads::Artifacts art = workloads::prepare_workload(net_name, data, {});
+
+  std::printf("SNN on SEI — %s (%s coding)\n", net_name.c_str(),
+              bernoulli ? "Bernoulli" : "phased");
+  std::printf("float CNN error %.2f%%, 1-bit CNN error %.2f%%\n\n",
+              art.float_test_error_pct, art.quant_error(data.test));
+
+  TextTable t;
+  t.header({"Timesteps", "Error", "Input spikes/img", "Hidden spikes/img",
+            "Spikes per input bit"});
+  const std::size_t per_image = 28 * 28;
+  for (int ts : steps) {
+    snn::SnnConfig cfg;
+    cfg.timesteps = ts;
+    cfg.coding = bernoulli ? snn::InputCoding::kBernoulli
+                           : snn::InputCoding::kPhased;
+    snn::SnnNetwork snn(art.qnet, cfg);
+    // Accuracy plus average spike activity over a sample.
+    double in_spikes = 0, hid_spikes = 0;
+    const int sample = std::min(50, data.test.size());
+    for (int i = 0; i < sample; ++i) {
+      snn::SpikeStats s;
+      snn.predict({data.test.images.data() +
+                       static_cast<std::size_t>(i) * per_image,
+                   per_image},
+                  &s);
+      in_spikes += static_cast<double>(s.input_spikes);
+      hid_spikes += static_cast<double>(s.hidden_spikes);
+    }
+    const double err = snn.error_rate(data.test, images);
+    t.row({std::to_string(ts), TextTable::pct(err),
+           TextTable::num(in_spikes / sample, 0),
+           TextTable::num(hid_spikes / sample, 0),
+           TextTable::num(in_spikes / sample / (28.0 * 28.0), 2)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Reading the table: accuracy approaches the float CNN as the window\n"
+      "grows, while energy scales with the spike count — the 1-bit-data\n"
+      "regime the SEI structure was built for.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,86 @@
+#include "arch/cost_model.hpp"
+
+namespace sei::arch {
+
+CostBreakdown& CostBreakdown::operator+=(const CostBreakdown& o) {
+  dac += o.dac;
+  adc += o.adc;
+  sense_amp += o.sense_amp;
+  driver += o.driver;
+  rram += o.rram;
+  decoder += o.decoder;
+  digital += o.digital;
+  buffer += o.buffer;
+  wta += o.wta;
+  return *this;
+}
+
+StageCost cost_stage(const StageHardware& hw, const core::HardwareConfig& cfg,
+                     const rram::PeripheryCatalog& cat) {
+  StageCost sc;
+  sc.hw = hw;
+  const int data_bits = cfg.input_bits;
+
+  auto& e = sc.energy_pj;
+  e.dac = static_cast<double>(hw.dac_conversions) * cat.dac_energy_pj(data_bits);
+  e.adc = static_cast<double>(hw.adc_conversions) * cat.adc_energy_pj(data_bits);
+  e.sense_amp = static_cast<double>(hw.sa_decisions) * cat.sense_amp.energy_pj;
+  e.driver = static_cast<double>(hw.driver_ops) * cat.driver_1bit.energy_pj;
+  e.rram = static_cast<double>(hw.cell_activations) * cat.rram_cell.energy_pj;
+  e.decoder =
+      static_cast<double>(hw.crossbar_activations) * cat.decoder.energy_pj;
+  e.digital = static_cast<double>(hw.digital_adds) * cat.digital_add8.energy_pj;
+  e.buffer =
+      static_cast<double>(hw.buffer_accesses_bits) * cat.buffer_bit.energy_pj;
+  e.wta = static_cast<double>(hw.wta_reads) * cat.wta_readout.energy_pj;
+
+  auto& ar = sc.area_um2;
+  ar.dac = static_cast<double>(hw.dac_instances) * cat.dac_area_um2(data_bits);
+  ar.adc = static_cast<double>(hw.adc_instances) * cat.adc_area_um2(data_bits);
+  ar.sense_amp = static_cast<double>(hw.sa_instances) * cat.sense_amp.area_um2;
+  ar.driver =
+      static_cast<double>(hw.driver_instances) * cat.driver_1bit.area_um2;
+  ar.rram = static_cast<double>(hw.cells) * cat.rram_cell.area_um2;
+  ar.decoder = static_cast<double>(hw.crossbars) * cat.decoder.area_um2;
+  ar.digital =
+      static_cast<double>(hw.adder_instances) * cat.digital_add8.area_um2;
+  ar.buffer = static_cast<double>(hw.buffer_bits) * cat.buffer_bit.area_um2;
+  ar.wta = static_cast<double>(hw.wta_instances) * cat.wta_readout.area_um2;
+  return sc;
+}
+
+NetworkCost estimate_cost(const quant::Topology& topo,
+                          const core::HardwareConfig& cfg,
+                          core::StructureKind structure,
+                          const rram::PeripheryCatalog& catalog) {
+  NetworkCost nc;
+  nc.structure = structure;
+  nc.logical_ops = logical_ops_per_picture(topo);
+  for (const StageHardware& hw : plan_network(topo, cfg, structure)) {
+    StageCost sc = cost_stage(hw, cfg, catalog);
+    nc.energy_pj += sc.energy_pj;
+    nc.area_um2 += sc.area_um2;
+    nc.stages.push_back(std::move(sc));
+  }
+  return nc;
+}
+
+double saving_pct(double baseline, double candidate) {
+  SEI_CHECK(baseline > 0);
+  return 100.0 * (1.0 - candidate / baseline);
+}
+
+ProgrammingCost programming_cost(const NetworkCost& cost,
+                                 const rram::PeripheryCatalog& catalog) {
+  ProgrammingCost pc;
+  for (const StageCost& sc : cost.stages) pc.cells += sc.hw.cells;
+  pc.energy_uj = static_cast<double>(pc.cells) *
+                 catalog.write_verify_attempts * catalog.cell_write.energy_pj *
+                 1e-6;
+  const double per_picture_uj = cost.energy_pj.total() * 1e-6;
+  pc.amortized_below_1pct_pictures =
+      per_picture_uj > 0 ? pc.energy_uj / (0.01 * per_picture_uj) : 0.0;
+  return pc;
+}
+
+}  // namespace sei::arch

@@ -1,0 +1,89 @@
+// Energy and area estimation from a hardware plan + the periphery catalog.
+//
+// Energy is per picture (the paper's metric — buffers let power trade
+// against time, but per-picture energy is invariant to that trade, §5.3).
+// Area is the minimum sum over all analog and digital module instances
+// (layout/routing overheads are out of scope, as in the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/plan.hpp"
+#include "rram/periphery.hpp"
+
+namespace sei::arch {
+
+/// Cost split by component category. Units: pJ for energy, µm² for area.
+struct CostBreakdown {
+  double dac = 0.0;
+  double adc = 0.0;
+  double sense_amp = 0.0;
+  double driver = 0.0;
+  double rram = 0.0;
+  double decoder = 0.0;
+  double digital = 0.0;
+  double buffer = 0.0;
+  double wta = 0.0;
+
+  double total() const {
+    return dac + adc + sense_amp + driver + rram + decoder + digital +
+           buffer + wta;
+  }
+  double converters() const { return dac + adc; }
+  /// Everything that is neither a converter nor the RRAM array itself.
+  double other() const { return total() - converters() - rram; }
+
+  CostBreakdown& operator+=(const CostBreakdown& o);
+};
+
+struct StageCost {
+  StageHardware hw;
+  CostBreakdown energy_pj;
+  CostBreakdown area_um2;
+};
+
+struct NetworkCost {
+  core::StructureKind structure = core::StructureKind::kDacAdc8;
+  std::vector<StageCost> stages;
+  CostBreakdown energy_pj;   // totals
+  CostBreakdown area_um2;
+  long long logical_ops = 0;  // 2 × MACs per picture
+
+  double energy_uj_per_picture() const { return energy_pj.total() * 1e-6; }
+  double area_mm2() const { return area_um2.total() * 1e-6; }
+  /// Giga-operations per joule at this per-picture energy.
+  double gops_per_joule() const {
+    const double joules = energy_pj.total() * 1e-12;
+    return joules > 0 ? static_cast<double>(logical_ops) / joules * 1e-9 : 0;
+  }
+};
+
+/// Costs one planned stage.
+StageCost cost_stage(const StageHardware& hw, const core::HardwareConfig& cfg,
+                     const rram::PeripheryCatalog& catalog);
+
+/// Plans and costs a whole network under one structure.
+NetworkCost estimate_cost(
+    const quant::Topology& topo, const core::HardwareConfig& cfg,
+    core::StructureKind structure,
+    const rram::PeripheryCatalog& catalog = rram::default_periphery());
+
+/// Percentage saving of `candidate` relative to `baseline` (energy or area
+/// totals); positive = candidate is cheaper.
+double saving_pct(double baseline, double candidate);
+
+/// One-time chip programming energy (µJ): every cell written with
+/// write-verify. Amortizes over the chip's lifetime — reported separately
+/// from the per-picture energy, with the number of pictures after which it
+/// is amortized below 1% of the inference energy.
+struct ProgrammingCost {
+  long long cells = 0;
+  double energy_uj = 0.0;
+  double amortized_below_1pct_pictures = 0.0;
+};
+ProgrammingCost programming_cost(
+    const NetworkCost& cost,
+    const rram::PeripheryCatalog& catalog = rram::default_periphery());
+
+}  // namespace sei::arch

@@ -1,0 +1,67 @@
+#include "arch/latency_model.hpp"
+
+#include <algorithm>
+
+namespace sei::arch {
+
+NetworkTiming estimate_timing(const NetworkCost& cost,
+                              const TimingParams& p) {
+  using core::StructureKind;
+  NetworkTiming t;
+  double bottleneck_us = 0.0;
+  for (const StageCost& sc : cost.stages) {
+    StageTiming st;
+    st.cycles = sc.hw.geom.activations();
+    switch (cost.structure) {
+      case StructureKind::kDacAdc8:
+        st.cycle_ns = p.dac_settle_ns + p.crossbar_read_ns +
+                      p.adc_conversion_ns + p.digital_merge_ns;
+        break;
+      case StructureKind::kBinInputAdc:
+        st.cycle_ns = p.crossbar_read_ns + p.adc_conversion_ns +
+                      p.digital_merge_ns +
+                      (sc.hw.first_stage ? p.dac_settle_ns : 0.0);
+        break;
+      case StructureKind::kSei:
+        st.cycle_ns = p.crossbar_read_ns + p.digital_merge_ns +
+                      (sc.hw.first_stage ? p.dac_settle_ns : 0.0);
+        break;
+    }
+    st.stage_latency_us = st.cycles * st.cycle_ns * 1e-3;
+    t.latency_us += st.stage_latency_us;
+    bottleneck_us = std::max(bottleneck_us, st.stage_latency_us);
+    t.stages.push_back(st);
+  }
+  SEI_CHECK(bottleneck_us > 0.0);
+  t.throughput_kfps = 1e3 / bottleneck_us;
+  // energy [pJ] × pictures/s → W; report mW.
+  t.average_power_mw =
+      cost.energy_pj.total() * 1e-12 * t.throughput_kfps * 1e3 * 1e3;
+  return t;
+}
+
+std::vector<ReplicationPoint> replication_tradeoff(
+    const NetworkCost& cost, const std::vector<int>& factors,
+    const TimingParams& params) {
+  std::vector<ReplicationPoint> out;
+  out.reserve(factors.size());
+  const NetworkTiming base = estimate_timing(cost, params);
+  // Replicated share of the area: everything except the inter-layer
+  // buffers (which are shared) scales with the factor.
+  const double replicated_um2 =
+      cost.area_um2.total() - cost.area_um2.buffer;
+  for (int f : factors) {
+    SEI_CHECK_MSG(f >= 1, "replication factor must be positive");
+    ReplicationPoint p;
+    p.factor = f;
+    p.latency_us = base.latency_us / f;
+    p.throughput_kfps = base.throughput_kfps * f;
+    p.average_power_mw = base.average_power_mw * f;
+    p.energy_uj_per_picture = cost.energy_uj_per_picture();
+    p.area_mm2 = (replicated_um2 * f + cost.area_um2.buffer) * 1e-6;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace sei::arch

@@ -1,0 +1,67 @@
+// Latency / throughput / average-power estimation.
+//
+// The paper evaluates per-picture energy (invariant to the buffer-count
+// power/time trade it mentions in §5.3); this model adds the time axis.
+// Execution model: each stage's crossbars process one output position per
+// cycle (kernels are reused across positions — the paper's area baseline),
+// stages are pipelined picture-to-picture through the inter-layer buffers,
+// so throughput is set by the slowest stage and latency by the sum.
+//
+// Cycle time per structure:
+//   DAC+ADC        : DAC settle + crossbar read + ADC conversion + merge
+//   1-bit-Input+ADC: crossbar read + ADC conversion + merge (1-bit drive
+//                    is part of the read)
+//   SEI            : crossbar read (SA latch included) + vote logic
+#pragma once
+
+#include "arch/cost_model.hpp"
+
+namespace sei::arch {
+
+struct TimingParams {
+  double dac_settle_ns = 5.0;        // 8-bit DAC + line settle
+  double crossbar_read_ns = 10.0;    // analog settle + SA latch
+  double adc_conversion_ns = 12.5;   // 8-bit conversion (per-column ADCs)
+  double digital_merge_ns = 2.0;     // shifters/adders or vote logic
+};
+
+struct StageTiming {
+  long long cycles = 0;        // output positions computed serially
+  double cycle_ns = 0.0;
+  double stage_latency_us = 0.0;
+};
+
+struct NetworkTiming {
+  std::vector<StageTiming> stages;
+  double latency_us = 0.0;         // one picture end to end
+  double throughput_kfps = 0.0;    // pipelined, bottleneck stage
+  double average_power_mw = 0.0;   // per-picture energy × throughput
+};
+
+/// Times a costed network (the cost supplies the per-picture energy).
+NetworkTiming estimate_timing(const NetworkCost& cost,
+                              const TimingParams& params = {});
+
+/// The paper's §5.3 remark made concrete: "we can use buffer amounts to
+/// trade-off the power with time" while the per-picture energy stays
+/// invariant. Replicating each stage's crossbars (and their sense
+/// amps/converters) by `factor` processes that many feature-map positions
+/// per cycle: throughput and average power scale up by the factor, the
+/// per-picture energy does not, and the area grows by the replicated
+/// share (crossbars + column periphery; the inter-layer buffers shrink
+/// per unit throughput).
+struct ReplicationPoint {
+  int factor = 1;
+  double latency_us = 0.0;
+  double throughput_kfps = 0.0;
+  double average_power_mw = 0.0;
+  double energy_uj_per_picture = 0.0;  // invariant across factors
+  double area_mm2 = 0.0;
+};
+
+/// Sweeps replication factors for one costed network.
+std::vector<ReplicationPoint> replication_tradeoff(
+    const NetworkCost& cost, const std::vector<int>& factors,
+    const TimingParams& params = {});
+
+}  // namespace sei::arch

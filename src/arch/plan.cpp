@@ -1,0 +1,147 @@
+#include "arch/plan.hpp"
+
+#include "core/mapping.hpp"
+#include "split/partition.hpp"
+
+namespace sei::arch {
+
+namespace {
+
+int bit_slices(int value_bits, int device_bits) {
+  return (value_bits + device_bits - 1) / device_bits;
+}
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+StageHardware plan_stage(const quant::StageGeometry& geom,
+                         const core::HardwareConfig& cfg,
+                         core::StructureKind structure, bool first_stage,
+                         bool final_stage) {
+  using core::StructureKind;
+  StageHardware hw;
+  hw.geom = geom;
+  hw.structure = structure;
+  hw.first_stage = first_stage;
+  hw.final_stage = final_stage;
+
+  const long long r = geom.rows, c = geom.cols, a = geom.activations();
+  const long long pixels =
+      static_cast<long long>(geom.in_h) * geom.in_w * geom.in_ch;
+  const long long out_elems =
+      static_cast<long long>(geom.pooled_h) * geom.pooled_w * c;
+  const int data_bits = cfg.input_bits;
+
+  // Bit-slice × polarity planes used by the ADC-merging structures (and by
+  // the analog-merged DAC-driven first layer of SEI).
+  const int planes = 2 * bit_slices(cfg.weight_bits - 1, cfg.device.bits);
+  const int k_base = ceil_div(geom.rows, cfg.limits.max_rows);
+  // Columns partition freely across crossbars (disjoint outputs, no
+  // merging); this factor only multiplies the array/decoder counts.
+  const int cb_base = ceil_div(geom.cols, cfg.limits.max_cols);
+
+  const bool merging = structure == StructureKind::kDacAdc8 ||
+                       structure == StructureKind::kBinInputAdc;
+  const bool quantized_inputs = structure != StructureKind::kDacAdc8;
+
+  if (merging || first_stage) {
+    // Plane-based physical layout.
+    hw.planes = planes;
+    hw.row_blocks = k_base;
+    hw.crossbars = planes * k_base * cb_base;
+    hw.cells = r * c * planes;
+    hw.cell_activations = a * r * c * planes;
+  }
+
+  if (merging) {
+    hw.adc_instances = static_cast<int>(c) * planes * k_base;
+    hw.adc_conversions = a * c * planes * k_base;
+    hw.adder_instances = static_cast<int>(c) * planes * k_base;
+    hw.digital_adds = a * c * planes * k_base;
+  }
+
+  // Input drive.
+  if (structure == StructureKind::kDacAdc8) {
+    hw.dac_instances = static_cast<int>(r);
+    hw.dac_conversions = a * r;  // full vector converted per activation
+  } else if (first_stage) {
+    // Quantized structures: the image is converted once per pixel and held.
+    hw.dac_instances = static_cast<int>(r);
+    hw.dac_conversions = pixels;
+  } else {
+    const int fan =
+        structure == StructureKind::kSei ? cfg.cells_per_weight() : 1;
+    hw.driver_instances = static_cast<int>(r) * fan;
+    hw.driver_ops = a * r * fan;
+  }
+
+  if (structure == StructureKind::kSei) {
+    if (first_stage) {
+      // Plane currents merge through ratioed mirrors into one SA per
+      // column per row block — output is 1-bit, so no ADC is needed.
+      hw.sa_instances = static_cast<int>(c) * k_base;
+      hw.sa_decisions = a * c * k_base;
+      if (k_base > 1) {
+        hw.adder_instances = static_cast<int>(c) * k_base;
+        hw.digital_adds = a * c * k_base;  // vote over row blocks
+      }
+    } else {
+      const int cpw = cfg.cells_per_weight();
+      const int k_sei =
+          split::blocks_needed(geom.rows, cfg.limits.max_rows, cpw);
+      const int cb_sei = core::column_blocks(geom.cols, cfg);
+      hw.row_blocks = k_sei;
+      hw.planes = 1;
+      hw.crossbars = k_sei * cb_sei;
+      const bool unipolar =
+          cfg.sign_mode == core::SignMode::kUnipolarDynThresh;
+      const long long extra_cols = unipolar ? cb_sei : 0;
+      hw.cells = r * cpw * (c + extra_cols);
+      hw.cell_activations = a * r * cpw * (c + extra_cols);
+      if (final_stage) {
+        hw.wta_instances = 1;
+        hw.wta_reads = a;
+      } else {
+        hw.sa_instances = static_cast<int>(c) * k_sei;
+        hw.sa_decisions = a * c * k_sei;
+        hw.adder_instances = static_cast<int>(c) * k_sei;
+        hw.digital_adds = a * c * k_sei;  // vote logic
+      }
+    }
+  }
+
+  // Inter-layer buffering. Output of a hidden stage is buffered at the data
+  // precision of the *next* stage's inputs; the classifier scores are read
+  // out directly.
+  const int out_bits = quantized_inputs ? 1 : data_bits;
+  const int in_bits = (first_stage || !quantized_inputs) ? data_bits : 1;
+  if (!final_stage) hw.buffer_bits = out_elems * out_bits;
+  const long long input_reads =
+      (first_stage && quantized_inputs) ? pixels * in_bits : a * r * in_bits;
+  hw.buffer_accesses_bits =
+      input_reads + (final_stage ? 0 : out_elems * out_bits);
+
+  hw.crossbar_activations = a * hw.crossbars;
+  return hw;
+}
+
+std::vector<StageHardware> plan_network(const quant::Topology& topo,
+                                        const core::HardwareConfig& cfg,
+                                        core::StructureKind structure) {
+  const auto geoms = quant::resolve_geometry(topo);
+  std::vector<StageHardware> out;
+  out.reserve(geoms.size());
+  for (std::size_t i = 0; i < geoms.size(); ++i)
+    out.push_back(plan_stage(geoms[i], cfg, structure, i == 0,
+                             i + 1 == geoms.size()));
+  return out;
+}
+
+long long logical_ops_per_picture(const quant::Topology& topo) {
+  long long macs = 0;
+  for (const auto& g : quant::resolve_geometry(topo)) macs += g.macs();
+  return 2 * macs;
+}
+
+}  // namespace sei::arch

@@ -1,0 +1,81 @@
+// Physical hardware planning: how many crossbars, converters, sense amps,
+// drivers and buffer bits each structure needs for each network stage, and
+// how many operations of each kind one picture costs.
+//
+// Modeling assumptions (documented per DESIGN.md §3/§7):
+//  * Kernels/crossbars are reused across feature-map positions (the paper's
+//    area baseline), so instance counts are per stage, while operation
+//    counts are per picture (activations × per-activation work).
+//  * Baseline (DAC+ADC, 8-bit data): one DAC per crossbar input row (shared
+//    across the bit-slice/polarity planes, which see the same voltages) and
+//    one ADC per crossbar column per plane — the Fig. 1 cost structure.
+//    Every activation converts its full input vector (8-bit digital
+//    pipeline, no analog hold).
+//  * Quantized structures: the input image is converted once per pixel and
+//    held (sample-and-hold) while the first-layer kernel scans; hidden
+//    layers use 1-bit drivers.
+//  * 1-bit-Input+ADC keeps the baseline's merging ADCs at every layer.
+//  * SEI: no ADCs. The first (DAC-driven) layer merges its plane currents
+//    with ratioed analog mirrors directly into the column SAs — possible
+//    only because its output is immediately thresholded to 1 bit. Hidden
+//    layers are single SEI crossbars; the classifier uses a winner-take-all
+//    readout once per picture.
+#pragma once
+
+#include <vector>
+
+#include "core/structure.hpp"
+#include "quant/qnet.hpp"
+
+namespace sei::arch {
+
+/// Instance counts (area side) and per-picture operation counts (energy
+/// side) for one stage under one structure.
+struct StageHardware {
+  quant::StageGeometry geom;
+  core::StructureKind structure = core::StructureKind::kDacAdc8;
+  bool first_stage = false;
+  bool final_stage = false;
+
+  // Instances.
+  int crossbars = 0;
+  int planes = 1;       // bit-slice × polarity planes (merging structures)
+  int row_blocks = 1;   // splits along the row dimension
+  int dac_instances = 0;
+  int adc_instances = 0;
+  int sa_instances = 0;
+  int driver_instances = 0;
+  int adder_instances = 0;
+  int wta_instances = 0;
+  long long cells = 0;          // programmed RRAM cells
+  long long buffer_bits = 0;    // output-side inter-layer buffer capacity
+
+  // Per-picture operation counts.
+  long long dac_conversions = 0;
+  long long adc_conversions = 0;
+  long long sa_decisions = 0;
+  long long driver_ops = 0;
+  long long cell_activations = 0;
+  long long digital_adds = 0;
+  long long buffer_accesses_bits = 0;
+  long long crossbar_activations = 0;  // decoder/control events
+  long long wta_reads = 0;
+};
+
+/// Plans one stage. `first/final` select the input-layer DAC and classifier
+/// readout special cases described above.
+StageHardware plan_stage(const quant::StageGeometry& geom,
+                         const core::HardwareConfig& cfg,
+                         core::StructureKind structure, bool first_stage,
+                         bool final_stage);
+
+/// Plans a whole topology.
+std::vector<StageHardware> plan_network(const quant::Topology& topo,
+                                        const core::HardwareConfig& cfg,
+                                        core::StructureKind structure);
+
+/// Logical operations (2 × MACs) per picture for a topology — the paper's
+/// GOPs accounting base.
+long long logical_ops_per_picture(const quant::Topology& topo);
+
+}  // namespace sei::arch

@@ -1,0 +1,45 @@
+#include "arch/report.hpp"
+
+namespace sei::arch {
+
+Shares breakdown_shares(const CostBreakdown& b) {
+  Shares s;
+  const double total = b.total();
+  if (total <= 0) return s;
+  s.dac_pct = 100.0 * b.dac / total;
+  s.adc_pct = 100.0 * b.adc / total;
+  s.rram_pct = 100.0 * b.rram / total;
+  s.other_pct = 100.0 * b.other() / total;
+  return s;
+}
+
+std::vector<Fig1Row> fig1_rows(const NetworkCost& cost,
+                               const std::vector<std::string>& stage_labels) {
+  SEI_CHECK(stage_labels.size() == cost.stages.size());
+  std::vector<Fig1Row> rows;
+  for (std::size_t i = 0; i < cost.stages.size(); ++i) {
+    Fig1Row r;
+    r.label = stage_labels[i];
+    r.power = breakdown_shares(cost.stages[i].energy_pj);
+    r.area = breakdown_shares(cost.stages[i].area_um2);
+    rows.push_back(std::move(r));
+  }
+  Fig1Row total;
+  total.label = "Total";
+  total.power = breakdown_shares(cost.energy_pj);
+  total.area = breakdown_shares(cost.area_um2);
+  rows.push_back(std::move(total));
+  return rows;
+}
+
+std::vector<PlatformPoint> platform_references() {
+  return {
+      // Zhang et al., FPGA'15 [2]: 61.62 GOPs at 18.61 W board power.
+      {"FPGA (Zhang FPGA'15 [2])", 61.62 / 18.61, "paper ref [2]"},
+      // Nvidia K40-class GPU running small CNNs: ~3.5 TOPs effective at
+      // 235 W TDP (same comparison point the paper uses).
+      {"GPU (Nvidia K40)", 3500.0 / 235.0, "vendor + common Caffe measurements"},
+  };
+}
+
+}  // namespace sei::arch

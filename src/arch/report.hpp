@@ -1,0 +1,43 @@
+// Report helpers: breakdown shares (Fig. 1) and platform comparison rows
+// (the paper's §5.3 FPGA/GPU efficiency comparison).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/cost_model.hpp"
+
+namespace sei::arch {
+
+/// Percentage shares of one breakdown in Fig. 1's categories.
+struct Shares {
+  double dac_pct = 0.0;
+  double adc_pct = 0.0;
+  double rram_pct = 0.0;
+  double other_pct = 0.0;
+};
+
+Shares breakdown_shares(const CostBreakdown& b);
+
+/// A Fig. 1 bar: one stage (or the total) of one cost kind.
+struct Fig1Row {
+  std::string label;      // "Conv 1", "FC", "Total", ...
+  Shares power;
+  Shares area;
+};
+
+/// Builds the Fig. 1 rows (per stage + total) for a costed network.
+std::vector<Fig1Row> fig1_rows(const NetworkCost& cost,
+                               const std::vector<std::string>& stage_labels);
+
+/// Published efficiency reference points used by the paper's comparison.
+struct PlatformPoint {
+  std::string name;
+  double gops_per_joule;
+  std::string source;
+};
+
+/// FPGA [2] (61.62 GOPs @ 18.61 W) and Nvidia K40-class GPU reference.
+std::vector<PlatformPoint> platform_references();
+
+}  // namespace sei::arch

@@ -1,0 +1,51 @@
+// Checked preconditions/invariants for the whole library.
+//
+// SEI_CHECK   — always-on validation of arguments and invariants; throws
+//               sei::CheckError with file:line and the failed condition.
+// SEI_ASSERT  — debug-only hot-path assertion (compiled out in NDEBUG).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sei {
+
+/// Thrown when a checked precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sei
+
+#define SEI_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::sei::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SEI_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream sei_check_os_;                              \
+      sei_check_os_ << msg;                                          \
+      ::sei::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                  sei_check_os_.str());              \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define SEI_ASSERT(cond) ((void)0)
+#else
+#define SEI_ASSERT(cond) SEI_CHECK(cond)
+#endif

@@ -1,0 +1,71 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/check.hpp"
+
+namespace sei {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    SEI_CHECK_MSG(arg.rfind("--", 0) == 0, "unexpected positional arg: " << arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      args_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args_[arg] = argv[++i];
+    } else {
+      args_[arg] = "true";
+    }
+  }
+}
+
+std::string Cli::get(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  known_names_.push_back(name);
+  declared_.push_back("  --" + name + " (default: " + default_value + ")  " +
+                      help);
+  const auto it = args_.find(name);
+  return it == args_.end() ? default_value : it->second;
+}
+
+int Cli::get_int(const std::string& name, int default_value,
+                 const std::string& help) {
+  const std::string v = get(name, std::to_string(default_value), help);
+  return std::atoi(v.c_str());
+}
+
+double Cli::get_double(const std::string& name, double default_value,
+                       const std::string& help) {
+  const std::string v = get(name, std::to_string(default_value), help);
+  return std::atof(v.c_str());
+}
+
+bool Cli::get_bool(const std::string& name, bool default_value,
+                   const std::string& help) {
+  const std::string v = get(name, default_value ? "true" : "false", help);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+bool Cli::validate(const std::string& program_description) const {
+  if (args_.count("help")) {
+    std::cout << program_ << " — " << program_description << "\nFlags:\n";
+    for (const auto& d : declared_) std::cout << d << '\n';
+    return false;
+  }
+  for (const auto& [name, value] : args_) {
+    (void)value;
+    const bool known =
+        std::find(known_names_.begin(), known_names_.end(), name) !=
+        known_names_.end();
+    SEI_CHECK_MSG(known, "unknown flag --" << name << " (see --help)");
+  }
+  return true;
+}
+
+}  // namespace sei

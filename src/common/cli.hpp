@@ -1,0 +1,41 @@
+// Minimal command-line flag parser for the bench/example binaries.
+//
+// Supported forms: --name value, --name=value, --flag (boolean true).
+// Unknown flags raise CheckError so typos are caught rather than ignored.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sei {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Declares a flag with a default, returning its value. Declaration doubles
+  /// as the "known flags" registry consulted by validate().
+  std::string get(const std::string& name, const std::string& default_value,
+                  const std::string& help = {});
+  int get_int(const std::string& name, int default_value,
+              const std::string& help = {});
+  double get_double(const std::string& name, double default_value,
+                    const std::string& help = {});
+  bool get_bool(const std::string& name, bool default_value,
+                const std::string& help = {});
+
+  bool has(const std::string& name) const { return args_.count(name) > 0; }
+
+  /// Throws if the command line contained flags never declared via get*().
+  /// Prints usage and returns false if --help was passed.
+  bool validate(const std::string& program_description) const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> args_;
+  mutable std::vector<std::string> declared_;  // name + help text for usage
+  mutable std::vector<std::string> known_names_;
+};
+
+}  // namespace sei

@@ -1,0 +1,149 @@
+#include "common/io.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace sei {
+
+BinaryWriter::BinaryWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  SEI_CHECK_MSG(out_.good(), "cannot open for writing: " << tmp_path_);
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (!committed_) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void BinaryWriter::raw(const void* p, std::size_t n) {
+  out_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  SEI_CHECK_MSG(out_.good(), "write failed: " << tmp_path_);
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) { raw(&v, sizeof v); }
+void BinaryWriter::write_u64(std::uint64_t v) { raw(&v, sizeof v); }
+void BinaryWriter::write_i32(std::int32_t v) { raw(&v, sizeof v); }
+void BinaryWriter::write_f32(float v) { raw(&v, sizeof v); }
+void BinaryWriter::write_f64(double v) { raw(&v, sizeof v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  raw(s.data(), s.size());
+}
+
+void BinaryWriter::write_f32_vec(const std::vector<float>& v) {
+  write_u64(v.size());
+  raw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::write_f64_vec(const std::vector<double>& v) {
+  write_u64(v.size());
+  raw(v.data(), v.size() * sizeof(double));
+}
+
+void BinaryWriter::write_i32_vec(const std::vector<std::int32_t>& v) {
+  write_u64(v.size());
+  raw(v.data(), v.size() * sizeof(std::int32_t));
+}
+
+void BinaryWriter::write_u8_vec(const std::vector<std::uint8_t>& v) {
+  write_u64(v.size());
+  raw(v.data(), v.size());
+}
+
+void BinaryWriter::commit() {
+  SEI_CHECK(!committed_);
+  out_.flush();
+  SEI_CHECK_MSG(out_.good(), "flush failed: " << tmp_path_);
+  out_.close();
+  std::filesystem::rename(tmp_path_, path_);
+  committed_ = true;
+}
+
+BinaryReader::BinaryReader(const std::string& path) : path_(path) {
+  in_.open(path, std::ios::binary);
+  SEI_CHECK_MSG(in_.good(), "cannot open for reading: " << path);
+}
+
+void BinaryReader::raw(void* p, std::size_t n) {
+  in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  SEI_CHECK_MSG(in_.gcount() == static_cast<std::streamsize>(n),
+                "truncated read from " << path_);
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+std::int32_t BinaryReader::read_i32() {
+  std::int32_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+float BinaryReader::read_f32() {
+  float v;
+  raw(&v, sizeof v);
+  return v;
+}
+double BinaryReader::read_f64() {
+  double v;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  std::string s(n, '\0');
+  raw(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_vec() {
+  const std::uint64_t n = read_u64();
+  std::vector<float> v(n);
+  raw(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<double> BinaryReader::read_f64_vec() {
+  const std::uint64_t n = read_u64();
+  std::vector<double> v(n);
+  raw(v.data(), n * sizeof(double));
+  return v;
+}
+
+std::vector<std::int32_t> BinaryReader::read_i32_vec() {
+  const std::uint64_t n = read_u64();
+  std::vector<std::int32_t> v(n);
+  raw(v.data(), n * sizeof(std::int32_t));
+  return v;
+}
+
+std::vector<std::uint8_t> BinaryReader::read_u8_vec() {
+  const std::uint64_t n = read_u64();
+  std::vector<std::uint8_t> v(n);
+  raw(v.data(), n);
+  return v;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+void ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  SEI_CHECK_MSG(!ec, "cannot create directory " << path << ": " << ec.message());
+}
+
+}  // namespace sei

@@ -1,0 +1,74 @@
+// Binary (de)serialization helpers for model and dataset caches.
+//
+// Format: little-endian PODs, length-prefixed vectors, magic/version headers
+// written by the callers. Files are written atomically (tmp + rename) so an
+// interrupted run never leaves a truncated cache behind.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sei {
+
+class BinaryWriter {
+ public:
+  /// Opens `path + ".tmp"`; commit() renames it onto `path`.
+  explicit BinaryWriter(std::string path);
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_vec(const std::vector<float>& v);
+  void write_f64_vec(const std::vector<double>& v);
+  void write_i32_vec(const std::vector<std::int32_t>& v);
+  void write_u8_vec(const std::vector<std::uint8_t>& v);
+
+  /// Flushes and atomically renames the temp file into place.
+  void commit();
+
+ private:
+  void raw(const void* p, std::size_t n);
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int32_t read_i32();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<float> read_f32_vec();
+  std::vector<double> read_f64_vec();
+  std::vector<std::int32_t> read_i32_vec();
+  std::vector<std::uint8_t> read_u8_vec();
+
+ private:
+  void raw(void* p, std::size_t n);
+  std::ifstream in_;
+  std::string path_;
+};
+
+/// True if a regular file exists at `path`.
+bool file_exists(const std::string& path);
+
+/// Creates the directory (and parents) if missing.
+void ensure_directory(const std::string& path);
+
+}  // namespace sei

@@ -1,0 +1,101 @@
+// Streaming statistics and fixed-bin histograms used by the distribution
+// analysis (Table 1) and by test assertions on stochastic components.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sei {
+
+/// Welford running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over explicit bin edges: bin i covers [edges[i], edges[i+1]),
+/// except the last bin which is closed on the right.
+class EdgeHistogram {
+ public:
+  explicit EdgeHistogram(std::vector<double> edges)
+      : edges_(std::move(edges)), counts_(edges_.size() - 1, 0) {
+    SEI_CHECK(edges_.size() >= 2);
+    SEI_CHECK(std::is_sorted(edges_.begin(), edges_.end()));
+  }
+
+  void add(double x) {
+    if (x < edges_.front() || x > edges_.back()) {
+      ++out_of_range_;
+      return;
+    }
+    auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+    std::size_t idx = static_cast<std::size_t>(it - edges_.begin());
+    if (idx == 0) idx = 1;                          // x == edges_.front()
+    if (idx >= edges_.size()) idx = edges_.size() - 1;  // x == edges_.back()
+    ++counts_[idx - 1];
+    ++total_;
+  }
+
+  void add(std::span<const float> xs) {
+    for (float x : xs) add(static_cast<double>(x));
+  }
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  std::size_t out_of_range() const { return out_of_range_; }
+
+  /// Fraction of in-range samples falling into `bin`.
+  double fraction(std::size_t bin) const {
+    return total_ ? static_cast<double>(counts_.at(bin)) /
+                        static_cast<double>(total_)
+                  : 0.0;
+  }
+
+  const std::vector<double>& edges() const { return edges_; }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t out_of_range_ = 0;
+};
+
+/// Mean of a span.
+inline double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace sei

@@ -1,0 +1,55 @@
+// ASCII table rendering for the benchmark harnesses, which print the paper's
+// tables side by side with the measured values.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sei {
+
+/// Column-aligned text table with optional title and separator rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void separator();
+
+  /// Renders with single-space-padded `|`-separated columns.
+  std::string str() const;
+
+  /// Renders as RFC-4180-style CSV (header + data rows; separators are
+  /// skipped; cells containing commas/quotes are quoted). For piping bench
+  /// tables into plotting scripts.
+  std::string csv() const;
+
+  /// Writes csv() to `path` if non-empty (helper for a --csv flag).
+  void write_csv_if(const std::string& path) const;
+
+  /// Convenience: render to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+  /// Formats a double with `digits` decimals.
+  static std::string num(double v, int digits = 2);
+
+  /// Formats a percentage (value already in percent) with `digits` decimals.
+  static std::string pct(double v, int digits = 2);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace sei

@@ -1,0 +1,275 @@
+#include "core/adc_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/weight_quant.hpp"
+#include "rram/crossbar.hpp"
+
+namespace sei::core {
+
+namespace {
+
+/// 2×2 OR-pool (floor semantics), same as the SEI engine.
+void or_pool(const quant::BitMap& in, int h, int w, int c,
+             quant::BitMap& out) {
+  const int ph = h / 2, pw = w / 2;
+  out.assign(static_cast<std::size_t>(ph) * pw * c, 0);
+  for (int y = 0; y < ph; ++y)
+    for (int x = 0; x < pw; ++x) {
+      std::uint8_t* opx =
+          out.data() + (static_cast<std::size_t>(y) * pw + x) * c;
+      for (int dy = 0; dy < 2; ++dy) {
+        const std::uint8_t* ipx =
+            in.data() +
+            (static_cast<std::size_t>(2 * y + dy) * w + 2 * x) * c;
+        for (int ch = 0; ch < c; ++ch)
+          opx[ch] |= static_cast<std::uint8_t>(ipx[ch] | ipx[c + ch]);
+      }
+    }
+}
+
+float dac_quantize(float x, int bits) {
+  const float steps = static_cast<float>((1 << bits) - 1);
+  return std::round(std::clamp(x, 0.0f, 1.0f) * steps) / steps;
+}
+
+}  // namespace
+
+AdcNetwork::AdcNetwork(const quant::QNetwork& qnet, const AdcConfig& cfg,
+                       const data::Dataset& calibration)
+    : cfg_(cfg) {
+  SEI_CHECK(!qnet.layers.empty());
+  SEI_CHECK_MSG(cfg.adc_bits >= 1 && cfg.adc_bits <= 16,
+                "adc bits out of range");
+  const int db = cfg.device.bits;
+  const int slices = (cfg.weight_bits - 1 + db - 1) / db;
+  planes_ = 2 * slices;
+  Rng rng(cfg.seed);
+
+  for (const quant::QLayer& l : qnet.layers) {
+    Stage st;
+    st.geom = l.geom;
+    st.binarize = l.binarize;
+    const quant::QuantizedMatrix q =
+        quant::quantize_weights(l.weight, cfg.weight_bits);
+    st.weight_scale = q.scale;
+
+    const int rows = l.geom.rows, cols = l.geom.cols;
+    SEI_CHECK_MSG(cols <= cfg.limits.max_cols,
+                  "stage has more columns than a crossbar");
+    // One cell per logical row per plane → row blocks at the raw limit.
+    const int k = (rows + cfg.limits.max_rows - 1) / cfg.limits.max_rows;
+    st.block_count = k;
+    st.row_to_block.resize(static_cast<std::size_t>(rows));
+    const split::Partition part =
+        split::partition_from_order(split::natural_order(rows), k);
+    for (int b = 0; b < k; ++b)
+      for (int r : part.blocks[static_cast<std::size_t>(b)])
+        st.row_to_block[static_cast<std::size_t>(r)] = b;
+
+    // Build the plane crossbars (one per slice × polarity × block) and
+    // extract effective per-plane values.
+    st.plane_eff.assign(static_cast<std::size_t>(planes_),
+                        std::vector<float>(
+                            static_cast<std::size_t>(rows) * cols, 0.0f));
+    st.plane_coeff.resize(static_cast<std::size_t>(planes_));
+    const int mask = (1 << db) - 1;
+    for (int s = 0; s < slices; ++s) {
+      const double coeff = std::exp2(db * (slices - 1 - s));
+      st.plane_coeff[static_cast<std::size_t>(s)] = coeff;            // +
+      st.plane_coeff[static_cast<std::size_t>(slices + s)] = -coeff;  // −
+    }
+    for (int b = 0; b < k; ++b) {
+      const auto& block_rows = part.blocks[static_cast<std::size_t>(b)];
+      for (int p = 0; p < planes_; ++p) {
+        const int s = p % slices;
+        const bool negative = p >= slices;
+        rram::Crossbar xb(static_cast<int>(block_rows.size()), cols,
+                          cfg.device, rng);
+        for (std::size_t i = 0; i < block_rows.size(); ++i) {
+          const int r = block_rows[i];
+          for (int c = 0; c < cols; ++c) {
+            const int v = q.at(r, c);
+            if ((v < 0) != negative) continue;  // wrong-polarity plane: off
+            const int field =
+                (std::abs(v) >> (db * (slices - 1 - s))) & mask;
+            xb.program(static_cast<int>(i), c, field);
+          }
+        }
+        for (std::size_t i = 0; i < block_rows.size(); ++i) {
+          const int r = block_rows[i];
+          for (int c = 0; c < cols; ++c)
+            st.plane_eff[static_cast<std::size_t>(p)]
+                        [static_cast<std::size_t>(r) * cols + c] =
+                static_cast<float>(xb.cell(static_cast<int>(i), c));
+        }
+      }
+    }
+
+    if (l.binarize) {
+      st.col_threshold.resize(static_cast<std::size_t>(cols));
+      for (int c = 0; c < cols; ++c)
+        st.col_threshold[static_cast<std::size_t>(c)] =
+            (l.threshold - l.bias[static_cast<std::size_t>(c)]) / q.scale;
+    } else {
+      st.col_bias.assign(l.bias.flat().begin(), l.bias.flat().end());
+    }
+    stages_.push_back(std::move(st));
+  }
+
+  // Calibrate the ADC full scales: run the calibration images with the
+  // quantizer bypassed, tracking the per-stage maximum plane current.
+  ideal_ = true;
+  const int n = std::min(calibration.size(), cfg.calibration_images);
+  const std::size_t per_image =
+      calibration.images.numel() / static_cast<std::size_t>(calibration.size());
+  for (int i = 0; i < n; ++i)
+    (void)predict({calibration.images.data() +
+                       static_cast<std::size_t>(i) * per_image,
+                   per_image});
+  ideal_ = false;
+  for (Stage& st : stages_) {
+    SEI_CHECK_MSG(st.observed_max > 0.0, "ADC calibration saw no current");
+    st.full_scale = st.observed_max;
+  }
+}
+
+double AdcNetwork::adc_quantize(double current, double full_scale) const {
+  const double codes = std::exp2(cfg_.adc_bits) - 1.0;
+  const double lsb = full_scale / codes;
+  const double clamped = std::clamp(current, 0.0, full_scale);
+  return std::round(clamped / lsb) * lsb;
+}
+
+void AdcNetwork::run_stage(const Stage& st, const quant::BitMap* bits_in,
+                           std::span<const float> float_in,
+                           quant::BitMap& bits_out,
+                           std::vector<float>& scores) const {
+  const quant::StageGeometry& g = st.geom;
+  const int cols = g.cols, k = st.block_count;
+  const std::size_t lanes =
+      static_cast<std::size_t>(planes_) * k * cols;  // plane-block sums
+  plane_sums_.assign(lanes, 0.0);
+
+  const std::size_t positions = static_cast<std::size_t>(g.out_h) * g.out_w;
+  if (st.binarize) stage_bits_.assign(positions * cols, 0);
+  else scores.assign(static_cast<std::size_t>(cols), 0.0f);
+
+  const bool is_conv = g.kind == quant::StageSpec::Kind::Conv;
+  const int span = is_conv ? g.kernel * g.in_ch : g.rows;
+  const int window_rows = is_conv ? g.kernel : 1;
+
+  for (int y = 0; y < g.out_h; ++y) {
+    for (int x = 0; x < g.out_w; ++x) {
+      std::fill(plane_sums_.begin(), plane_sums_.end(), 0.0);
+      for (int di = 0; di < window_rows; ++di) {
+        const std::size_t in_off =
+            is_conv
+                ? (static_cast<std::size_t>(y + di) * g.in_w + x) * g.in_ch
+                : 0;
+        const int r0 = di * span;
+        for (int t = 0; t < span; ++t) {
+          double drive;
+          if (bits_in) {
+            if (!(*bits_in)[in_off + static_cast<std::size_t>(t)]) continue;
+            drive = 1.0;
+          } else {
+            drive = dac_quantize(float_in[in_off + static_cast<std::size_t>(t)],
+                                 cfg_.input_bits);
+            if (drive == 0.0) continue;
+          }
+          const int r = r0 + t;
+          const int b = st.row_to_block[static_cast<std::size_t>(r)];
+          for (int p = 0; p < planes_; ++p) {
+            const float* eff =
+                st.plane_eff[static_cast<std::size_t>(p)].data() +
+                static_cast<std::size_t>(r) * cols;
+            double* sums =
+                plane_sums_.data() +
+                (static_cast<std::size_t>(p) * k + b) * cols;
+            for (int c = 0; c < cols; ++c) sums[c] += drive * eff[c];
+          }
+        }
+      }
+
+      // ADC quantization of every plane-block current + digital merge.
+      merged_.assign(static_cast<std::size_t>(cols), 0.0);
+      for (int p = 0; p < planes_; ++p) {
+        const double coeff = st.plane_coeff[static_cast<std::size_t>(p)];
+        for (int b = 0; b < k; ++b) {
+          const double* sums =
+              plane_sums_.data() +
+              (static_cast<std::size_t>(p) * k + b) * cols;
+          for (int c = 0; c < cols; ++c) {
+            double v = sums[c];
+            if (ideal_) {
+              st.observed_max = std::max(st.observed_max, v);
+            } else {
+              v = adc_quantize(v, st.full_scale);
+            }
+            merged_[static_cast<std::size_t>(c)] += coeff * v;
+          }
+        }
+      }
+
+      if (st.binarize) {
+        std::uint8_t* out =
+            stage_bits_.data() +
+            (static_cast<std::size_t>(y) * g.out_w + x) * cols;
+        for (int c = 0; c < cols; ++c)
+          out[c] = merged_[static_cast<std::size_t>(c)] >
+                           static_cast<double>(
+                               st.col_threshold[static_cast<std::size_t>(c)])
+                       ? 1
+                       : 0;
+      } else {
+        for (int c = 0; c < cols; ++c)
+          scores[static_cast<std::size_t>(c)] +=
+              static_cast<float>(merged_[static_cast<std::size_t>(c)] *
+                                 st.weight_scale) +
+              st.col_bias[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+
+  if (st.binarize) {
+    if (g.pool_after)
+      or_pool(stage_bits_, g.out_h, g.out_w, cols, bits_out);
+    else
+      bits_out = stage_bits_;
+  }
+}
+
+int AdcNetwork::predict(std::span<const float> image) const {
+  quant::BitMap bits;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const Stage& st = stages_[i];
+    if (i == 0)
+      run_stage(st, nullptr, image, pooled_bits_, scores_);
+    else
+      run_stage(st, &bits, {}, pooled_bits_, scores_);
+    if (!st.binarize)
+      return static_cast<int>(
+          std::max_element(scores_.begin(), scores_.end()) - scores_.begin());
+    bits = pooled_bits_;
+  }
+  SEI_CHECK_MSG(false, "network has no classifier stage");
+  return -1;
+}
+
+double AdcNetwork::error_rate(const data::Dataset& d, int max_images) const {
+  const int n = max_images < 0 ? d.size() : std::min(max_images, d.size());
+  SEI_CHECK(n > 0);
+  const std::size_t per_image =
+      d.images.numel() / static_cast<std::size_t>(d.size());
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::span<const float> img{
+        d.images.data() + static_cast<std::size_t>(i) * per_image, per_image};
+    if (predict(img) == d.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return 100.0 * (1.0 - static_cast<double>(correct) / n);
+}
+
+}  // namespace sei::core

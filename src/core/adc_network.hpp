@@ -1,0 +1,95 @@
+// Functional simulation of the ADC-merging structure (Fig. 2(b)):
+// the "1-bit-Input + ADC" design of Table 5.
+//
+// Each signed weight is spread over P = 2 × slices plane crossbars (one per
+// bit-slice × polarity); one cell per logical row per plane. For every
+// output, each plane (and each row block, if the matrix splits) produces an
+// analog column current that an ADC digitizes; digital shifters/adders then
+// merge the quantized partial sums with the plane weights ±2^(d·s) and the
+// threshold compare happens in the digital domain (Equ. 5).
+//
+// The ADC's full scale is calibrated per (stage, plane) over a calibration
+// set — the standard auto-ranging assumption. With enough ADC bits this
+// structure converges to the software QNetwork; the interesting question
+// (answered by bench_ablation_adc_bits) is how many bits it needs, i.e.
+// what SEI's sense amplifiers are replacing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/structure.hpp"
+#include "data/dataset.hpp"
+#include "quant/qnet.hpp"
+#include "split/partition.hpp"
+
+namespace sei::core {
+
+struct AdcConfig {
+  int adc_bits = 8;
+  int weight_bits = 8;
+  int input_bits = 8;              // input-layer DAC resolution
+  rram::DeviceConfig device{};     // 4-bit devices by default
+  rram::CrossbarLimits limits{};
+  int calibration_images = 200;    // ADC full-scale auto-ranging set
+  std::uint64_t seed = 20160605;
+};
+
+class AdcNetwork {
+ public:
+  /// Builds the plane crossbars for every stage and calibrates the ADC
+  /// ranges on the head of `calibration`.
+  AdcNetwork(const quant::QNetwork& qnet, const AdcConfig& cfg,
+             const data::Dataset& calibration);
+
+  int stage_count() const { return static_cast<int>(stages_.size()); }
+  int planes() const { return planes_; }
+
+  int predict(std::span<const float> image) const;
+  double error_rate(const data::Dataset& d, int max_images = -1) const;
+
+  /// Full-scale current (level units) chosen for a stage's planes.
+  double full_scale(int stage) const {
+    return stages_.at(static_cast<std::size_t>(stage)).full_scale;
+  }
+
+ private:
+  struct Stage {
+    quant::StageGeometry geom;
+    // Per-plane effective cell values, [plane][row × cols], level units.
+    std::vector<std::vector<float>> plane_eff;
+    std::vector<double> plane_coeff;  // ±2^(d·s) merge weight per plane
+    std::vector<int> row_to_block;
+    int block_count = 1;
+    float weight_scale = 1.0f;
+    std::vector<float> col_threshold;  // hidden stages
+    std::vector<float> col_bias;       // classifier
+    bool binarize = true;
+    double full_scale = 1.0;           // ADC range (shared by the planes)
+    mutable double observed_max = 0.0;  // calibration-mode tracking
+  };
+
+  /// ADC transfer function: clamps to [0, full_scale] and rounds to the
+  /// nearest of 2^adc_bits codes. `ideal_` (calibration mode) bypasses it.
+  double adc_quantize(double current, double full_scale) const;
+
+  /// Evaluates one stage. Exactly one of bits_in / float_in is used
+  /// (float for the DAC-driven input stage). Produces post-threshold,
+  /// post-OR-pool bits for hidden stages or classifier scores.
+  void run_stage(const Stage& st, const quant::BitMap* bits_in,
+                 std::span<const float> float_in, quant::BitMap& bits_out,
+                 std::vector<float>& scores) const;
+
+  AdcConfig cfg_;
+  int planes_ = 0;
+  bool ideal_ = false;  // calibration mode: no ADC quantization, track max
+  std::vector<Stage> stages_;
+  // Scratch buffers (single-threaded simulator).
+  mutable std::vector<double> plane_sums_;
+  mutable quant::BitMap stage_bits_;
+  mutable quant::BitMap pooled_bits_;
+  mutable std::vector<float> scores_;
+  mutable std::vector<double> merged_;
+};
+
+}  // namespace sei::core

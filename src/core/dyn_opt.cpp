@@ -1,0 +1,61 @@
+#include "core/dyn_opt.hpp"
+
+namespace sei::core {
+
+DynThreshResult optimize_dynamic_threshold(SeiNetwork& net,
+                                           const data::Dataset& train,
+                                           const DynThreshConfig& cfg) {
+  DynThreshResult result;
+  for (int stage = 0; stage + 1 < net.stage_count(); ++stage) {
+    MappedLayer& m = net.layer(stage);
+    if (m.block_count < 2) continue;
+
+    DynThreshChoice choice;
+    choice.stage = stage;
+    choice.block_count = m.block_count;
+
+    // Inputs to this stage are fixed by earlier (already optimized) stages.
+    // Stage 0 has no cached-bits form; fall back to full evaluation there.
+    std::vector<quant::BitMap> inputs;
+    const bool cached = stage >= 1;
+    if (cached)
+      inputs = net.cache_stage_inputs(train, stage, cfg.max_images);
+    auto evaluate = [&]() {
+      return cached ? net.error_rate_from(train, stage, inputs)
+                    : net.error_rate(train, cfg.max_images);
+    };
+
+    choice.train_error_before_pct = evaluate();
+
+    double best_err = 1e9;
+    int best_vote = m.vote_threshold;
+    double best_beta = 0.0;
+    std::vector<int> votes;
+    if (cfg.optimize_vote) {
+      for (int v = 1; v <= m.block_count; ++v) votes.push_back(v);
+    } else {
+      votes.push_back(m.vote_threshold);
+    }
+    for (int v : votes) {
+      for (double beta : cfg.beta_grid) {
+        m.vote_threshold = v;
+        m.dyn_beta = static_cast<float>(beta);
+        const double err = evaluate();
+        if (err < best_err) {
+          best_err = err;
+          best_vote = v;
+          best_beta = beta;
+        }
+      }
+    }
+    m.vote_threshold = best_vote;
+    m.dyn_beta = static_cast<float>(best_beta);
+    choice.vote = best_vote;
+    choice.beta = best_beta;
+    choice.train_error_after_pct = best_err;
+    result.choices.push_back(choice);
+  }
+  return result;
+}
+
+}  // namespace sei::core

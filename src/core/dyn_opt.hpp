@@ -1,0 +1,41 @@
+// Training-set optimization of the splitting compensation knobs
+// (Section 4.3, "compensating posteriori knowledge of input data").
+//
+// For every hidden stage that splits into K ≥ 2 crossbars, grid-search:
+//   * the digital vote threshold V (how many of the K block bits must fire);
+//   * the dynamic-threshold slope β — each block's sense-amp reference is
+//     Thres/K + β·|w̄|·(n_active_block − n_active_mean), realized in hardware
+//     by the input-selected extra RRAM column of Fig. 4.
+// Stages are optimized front to back (greedy, like Algorithm 1), each on the
+// training set with earlier stages' choices already applied.
+#pragma once
+
+#include "core/sei_network.hpp"
+
+namespace sei::core {
+
+struct DynThreshConfig {
+  std::vector<double> beta_grid{0.0, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0};
+  bool optimize_vote = true;  // else keep the majority-vote default
+  int max_images = 1500;      // training subset used for the search
+};
+
+struct DynThreshChoice {
+  int stage = 0;
+  int block_count = 1;
+  int vote = 1;
+  double beta = 0.0;
+  double train_error_before_pct = 0.0;
+  double train_error_after_pct = 0.0;
+};
+
+struct DynThreshResult {
+  std::vector<DynThreshChoice> choices;  // one per optimized (split) stage
+};
+
+/// Mutates `net`'s split stages in place with the best (V, β) found.
+DynThreshResult optimize_dynamic_threshold(SeiNetwork& net,
+                                           const data::Dataset& train,
+                                           const DynThreshConfig& cfg = {});
+
+}  // namespace sei::core

@@ -1,0 +1,236 @@
+#include "core/mapping.hpp"
+
+#include <cmath>
+
+#include "split/homogenize.hpp"
+
+namespace sei::core {
+
+std::string to_string(StructureKind k) {
+  switch (k) {
+    case StructureKind::kDacAdc8: return "DAC+ADC";
+    case StructureKind::kBinInputAdc: return "1-bit-Input+ADC";
+    case StructureKind::kSei: return "SEI";
+  }
+  return "?";
+}
+
+namespace {
+
+int bit_slices(int value_bits, int device_bits) {
+  return (value_bits + device_bits - 1) / device_bits;
+}
+
+/// Field values of a non-negative magnitude, most significant slice first.
+std::vector<int> slice_fields(int magnitude, int slices, int device_bits) {
+  std::vector<int> fields(static_cast<std::size_t>(slices));
+  const int mask = (1 << device_bits) - 1;
+  for (int j = 0; j < slices; ++j) {
+    const int shift = device_bits * (slices - 1 - j);
+    fields[static_cast<std::size_t>(j)] = (magnitude >> shift) & mask;
+  }
+  return fields;
+}
+
+}  // namespace
+
+int HardwareConfig::cells_per_weight() const {
+  const int db = device.bits;
+  if (sign_mode == SignMode::kBipolarPort)
+    return 2 * bit_slices(weight_bits - 1, db);
+  return bit_slices(weight_bits, db);
+}
+
+std::vector<double> port_coefficients(const HardwareConfig& cfg) {
+  const int db = cfg.device.bits;
+  std::vector<double> coeffs;
+  if (cfg.sign_mode == SignMode::kBipolarPort) {
+    const int slices = bit_slices(cfg.weight_bits - 1, db);
+    for (int j = 0; j < slices; ++j)
+      coeffs.push_back(std::exp2(db * (slices - 1 - j)));
+    for (int j = 0; j < slices; ++j)
+      coeffs.push_back(-std::exp2(db * (slices - 1 - j)));
+  } else {
+    const int slices = bit_slices(cfg.weight_bits, db);
+    for (int j = 0; j < slices; ++j)
+      coeffs.push_back(std::exp2(db * (slices - 1 - j)));
+  }
+  return coeffs;
+}
+
+int column_blocks(int cols, const HardwareConfig& cfg) {
+  const int extra = cfg.sign_mode == SignMode::kUnipolarDynThresh ? 1 : 0;
+  const int usable = cfg.limits.max_cols - extra;
+  SEI_CHECK_MSG(usable >= 1, "crossbar cannot hold any output column");
+  return (cols + usable - 1) / usable;
+}
+
+std::vector<rram::Crossbar> build_block_crossbars(
+    const quant::QuantizedMatrix& q, const HardwareConfig& cfg,
+    const split::Partition& partition, Rng& rng) {
+  const int db = cfg.device.bits;
+  const int cpw = cfg.cells_per_weight();
+  const bool unipolar = cfg.sign_mode == SignMode::kUnipolarDynThresh;
+  const int w0 = (1 << (cfg.weight_bits - 1)) - 1;  // shift making w* ≥ 0
+
+  // Columns wider than one crossbar partition freely: each column group
+  // owns disjoint outputs, so no merging is ever needed across groups
+  // (the paper therefore only discusses the row direction).
+  const int cgroups = column_blocks(q.cols, cfg);
+  const int group_cols = (q.cols + cgroups - 1) / cgroups;
+
+  std::vector<rram::Crossbar> xbars;
+  xbars.reserve(partition.blocks.size() * static_cast<std::size_t>(cgroups));
+  for (const auto& rows : partition.blocks) {
+    const int phys_rows = static_cast<int>(rows.size()) * cpw;
+    SEI_CHECK_MSG(phys_rows <= cfg.limits.max_rows,
+                  "block of " << rows.size() << " logical rows exceeds the "
+                              << cfg.limits.max_rows << "-row crossbar limit");
+    for (int g = 0; g < cgroups; ++g) {
+      const int c0 = g * group_cols;
+      const int c1 = std::min(q.cols, c0 + group_cols);
+      const int local_cols = c1 - c0;
+      rram::Crossbar xb(phys_rows, local_cols + (unipolar ? 1 : 0),
+                        cfg.device, rng);
+
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const int r = rows[i];
+        const int base = static_cast<int>(i) * cpw;
+        for (int c = c0; c < c1; ++c) {
+          const int v = q.at(r, c);
+          if (unipolar) {
+            const int slices = bit_slices(cfg.weight_bits, db);
+            const auto fields = slice_fields(v + w0, slices, db);
+            for (int j = 0; j < slices; ++j)
+              xb.program(base + j, c - c0,
+                         fields[static_cast<std::size_t>(j)]);
+          } else {
+            const int slices = bit_slices(cfg.weight_bits - 1, db);
+            const auto fields = slice_fields(std::abs(v), slices, db);
+            const int polarity_base = v >= 0 ? base : base + slices;
+            for (int j = 0; j < slices; ++j)
+              xb.program(polarity_base + j, c - c0,
+                         fields[static_cast<std::size_t>(j)]);
+            // The opposite-polarity cells stay at level 0 (off).
+          }
+        }
+        if (unipolar) {
+          // Dynamic-threshold column: stores w0 for every logical row.
+          const int slices = bit_slices(cfg.weight_bits, db);
+          const auto fields = slice_fields(w0, slices, db);
+          for (int j = 0; j < slices; ++j)
+            xb.program(base + j, local_cols,
+                       fields[static_cast<std::size_t>(j)]);
+        }
+      }
+      xbars.push_back(std::move(xb));
+    }
+  }
+  return xbars;
+}
+
+std::vector<int> default_row_order(const quant::QLayer& layer,
+                                   const HardwareConfig& cfg) {
+  const int k = split::blocks_needed(layer.geom.rows, cfg.limits.max_rows,
+                                     cfg.cells_per_weight());
+  if (k <= 1 || !cfg.homogenize) return split::natural_order(layer.geom.rows);
+  split::HomogenizeConfig hcfg;
+  hcfg.iterations = cfg.homogenize_iterations;
+  hcfg.seed = cfg.seed ^ 0x4a0b1c2dULL;
+  return split::homogenize_rows(layer.weight, k, hcfg).order;
+}
+
+MappedLayer map_layer(const quant::QLayer& layer, const HardwareConfig& cfg,
+                      const std::vector<int>& row_order, Rng& rng) {
+  const quant::StageGeometry& g = layer.geom;
+  SEI_CHECK(static_cast<int>(row_order.size()) == g.rows);
+
+  MappedLayer m;
+  m.geom = g;
+  m.binarize = layer.binarize;
+  m.physical_rows_per_weight = cfg.cells_per_weight();
+
+  const quant::QuantizedMatrix q =
+      quant::quantize_weights(layer.weight, cfg.weight_bits);
+  m.weight_scale = q.scale;
+
+  const int k = split::blocks_needed(g.rows, cfg.limits.max_rows,
+                                     cfg.cells_per_weight());
+  m.partition = split::partition_from_order(row_order, k);
+  m.block_count = k;
+  m.vote_threshold = (k + 1) / 2;  // majority vote by default
+  m.row_to_block.assign(static_cast<std::size_t>(g.rows), 0);
+  for (int b = 0; b < k; ++b)
+    for (int r : m.partition.blocks[static_cast<std::size_t>(b)])
+      m.row_to_block[static_cast<std::size_t>(r)] = b;
+
+  auto xbars = build_block_crossbars(q, cfg, m.partition, rng);
+  const auto coeffs = port_coefficients(cfg);
+  const int cpw = cfg.cells_per_weight();
+  const bool unipolar = cfg.sign_mode == SignMode::kUnipolarDynThresh;
+  const int cgroups = column_blocks(g.cols, cfg);
+  const int group_cols = (g.cols + cgroups - 1) / cgroups;
+  SEI_CHECK(static_cast<int>(xbars.size()) == k * cgroups);
+
+  // Reduce the physical cells to effective per-(row, col) analog values.
+  m.eff.assign(static_cast<std::size_t>(g.rows) * g.cols, 0.0f);
+  double mis = 0.0;
+  for (int b = 0; b < k; ++b) {
+    const auto& rows = m.partition.blocks[static_cast<std::size_t>(b)];
+    for (int cg = 0; cg < cgroups; ++cg) {
+      const rram::Crossbar& xb =
+          xbars[static_cast<std::size_t>(b) * cgroups + cg];
+      const int c0 = cg * group_cols;
+      const int c1 = std::min(g.cols, c0 + group_cols);
+      const int local_cols = c1 - c0;
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const int r = rows[i];
+        const int base = static_cast<int>(i) * cpw;
+        double w0_eff = 0.0;
+        if (unipolar) {
+          for (int j = 0; j < cpw; ++j)
+            w0_eff += coeffs[static_cast<std::size_t>(j)] *
+                      xb.cell(base + j, local_cols);
+        }
+        for (int c = c0; c < c1; ++c) {
+          double v = 0.0;
+          for (int j = 0; j < cpw; ++j)
+            v += coeffs[static_cast<std::size_t>(j)] *
+                 xb.cell(base + j, c - c0);
+          if (unipolar) v -= w0_eff;  // threshold-side subtraction (Equ. 9)
+          m.eff[static_cast<std::size_t>(r) * g.cols + c] =
+              static_cast<float>(v);
+        }
+      }
+      m.cells_used += static_cast<long long>(xb.rows()) * xb.cols();
+      mis += xb.misprogrammed_fraction();
+    }
+  }
+  m.crossbars = k * cgroups;
+  m.misprogrammed_fraction = mis / (k * cgroups);
+
+  // Per-column thresholds / biases in integer-weight units.
+  if (layer.binarize) {
+    m.col_threshold.resize(static_cast<std::size_t>(g.cols));
+    for (int c = 0; c < g.cols; ++c)
+      m.col_threshold[static_cast<std::size_t>(c)] =
+          (layer.threshold - layer.bias[static_cast<std::size_t>(c)]) /
+          q.scale;
+  } else {
+    m.col_bias.assign(layer.bias.flat().begin(), layer.bias.flat().end());
+  }
+
+  // Static sense-amp offsets (one comparator per block × column).
+  if (cfg.sa_offset_sigma > 0.0 && layer.binarize) {
+    m.sa_offset.resize(static_cast<std::size_t>(k) * g.cols);
+    for (auto& o : m.sa_offset)
+      o = static_cast<float>(rng.gaussian(0.0, cfg.sa_offset_sigma));
+  }
+
+  double abs_sum = 0.0;
+  for (float v : m.eff) abs_sum += std::fabs(v);
+  m.mean_abs_eff = static_cast<float>(abs_sum / m.eff.size());
+  return m;
+}
+
+}  // namespace sei::core

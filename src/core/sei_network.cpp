@@ -1,0 +1,330 @@
+#include "core/sei_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sei::core {
+
+namespace {
+
+/// 2×2 OR-pool of a [h×w×c] bitmap (floor semantics, like MaxPool2x2).
+void or_pool(const quant::BitMap& in, int h, int w, int c,
+             quant::BitMap& out) {
+  const int ph = h / 2, pw = w / 2;
+  out.assign(static_cast<std::size_t>(ph) * pw * c, 0);
+  for (int y = 0; y < ph; ++y) {
+    for (int x = 0; x < pw; ++x) {
+      std::uint8_t* opx =
+          out.data() + (static_cast<std::size_t>(y) * pw + x) * c;
+      for (int dy = 0; dy < 2; ++dy) {
+        const std::uint8_t* ipx =
+            in.data() +
+            (static_cast<std::size_t>(2 * y + dy) * w + 2 * x) * c;
+        for (int ch = 0; ch < c; ++ch)
+          opx[ch] |= static_cast<std::uint8_t>(ipx[ch] | ipx[c + ch]);
+      }
+    }
+  }
+}
+
+/// Input-layer DAC: quantizes a pixel to `bits` resolution.
+float dac_quantize(float x, int bits) {
+  const float steps = static_cast<float>((1 << bits) - 1);
+  const float clamped = std::clamp(x, 0.0f, 1.0f);
+  return std::round(clamped * steps) / steps;
+}
+
+}  // namespace
+
+SeiNetwork::SeiNetwork(const quant::QNetwork& qnet, const HardwareConfig& cfg)
+    : qnet_(&qnet), cfg_(cfg), rng_(cfg.seed) {
+  SEI_CHECK(!qnet.layers.empty());
+  layers_.reserve(qnet.layers.size());
+  for (const quant::QLayer& l : qnet.layers) {
+    const std::vector<int> order = default_row_order(l, cfg_);
+    layers_.push_back(map_layer(l, cfg_, order, rng_));
+  }
+}
+
+void SeiNetwork::remap_layer(int stage, const std::vector<int>& order) {
+  SEI_CHECK(stage >= 0 && stage < stage_count());
+  layers_[static_cast<std::size_t>(stage)] = map_layer(
+      qnet_->layers[static_cast<std::size_t>(stage)], cfg_, order, rng_);
+}
+
+double SeiNetwork::readout(double current) const {
+  const double sigma = cfg_.device.read_noise_sigma;
+  if (sigma <= 0.0) return current;
+  return current * (1.0 + sigma * rng_.gaussian());
+}
+
+void SeiNetwork::decide_position(const MappedLayer& m,
+                                 const double* block_sums,
+                                 const int* n_active,
+                                 std::uint8_t* out_bits) const {
+  const int cols = m.geom.cols;
+  const int k = m.block_count;
+  const bool noisy = cfg_.device.read_noise_sigma > 0.0;
+  const float* offsets = m.sa_offset.empty() ? nullptr : m.sa_offset.data();
+  if (k == 1) {
+    for (int c = 0; c < cols; ++c) {
+      const double sum = noisy ? readout(block_sums[c]) : block_sums[c];
+      const double ref =
+          static_cast<double>(m.col_threshold[static_cast<std::size_t>(c)]) +
+          (offsets ? offsets[c] : 0.0);
+      out_bits[c] = sum > ref ? 1 : 0;
+    }
+    return;
+  }
+  int total_active = 0;
+  for (int b = 0; b < k; ++b) total_active += n_active[b];
+  const double mean_active = static_cast<double>(total_active) / k;
+  const double beta_scale =
+      static_cast<double>(m.dyn_beta) * m.mean_abs_eff;
+  for (int c = 0; c < cols; ++c) {
+    const double share =
+        static_cast<double>(m.col_threshold[static_cast<std::size_t>(c)]) / k;
+    int votes = 0;
+    for (int b = 0; b < k; ++b) {
+      const double t_b =
+          share +
+          beta_scale * (static_cast<double>(n_active[b]) - mean_active) +
+          (offsets ? offsets[static_cast<std::size_t>(b) * cols + c] : 0.0);
+      const double raw = block_sums[static_cast<std::size_t>(b) * cols + c];
+      const double sum = noisy ? readout(raw) : raw;
+      if (sum > t_b) ++votes;
+    }
+    out_bits[c] = votes >= m.vote_threshold ? 1 : 0;
+  }
+}
+
+void SeiNetwork::eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
+                                 quant::BitMap& bits_out,
+                                 std::vector<float>& scores) const {
+  const quant::StageGeometry& g = m.geom;
+  SEI_CHECK(in.size() == static_cast<std::size_t>(g.in_h) * g.in_w * g.in_ch);
+  const int cols = g.cols, k = m.block_count;
+  block_sums_.assign(static_cast<std::size_t>(k) * cols, 0.0);
+  n_active_.assign(static_cast<std::size_t>(k), 0);
+
+  const std::size_t positions = static_cast<std::size_t>(g.out_h) * g.out_w;
+  if (m.binarize) stage_bits_.assign(positions * cols, 0);
+  else scores.assign(static_cast<std::size_t>(cols), 0.0f);
+
+  const bool is_conv = g.kind == quant::StageSpec::Kind::Conv;
+  const int span = is_conv ? g.kernel * g.in_ch : g.rows;
+
+  for (int y = 0; y < g.out_h; ++y) {
+    for (int x = 0; x < g.out_w; ++x) {
+      std::fill(block_sums_.begin(), block_sums_.end(), 0.0);
+      std::fill(n_active_.begin(), n_active_.end(), 0);
+      const int window_rows = is_conv ? g.kernel : 1;
+      for (int di = 0; di < window_rows; ++di) {
+        const std::uint8_t* in_px =
+            is_conv ? in.data() + (static_cast<std::size_t>(y + di) * g.in_w +
+                                   x) * g.in_ch
+                    : in.data();
+        const int r0 = di * span;
+        for (int t = 0; t < span; ++t) {
+          if (!in_px[t]) continue;
+          const int r = r0 + t;
+          const int b = m.row_to_block[static_cast<std::size_t>(r)];
+          ++n_active_[static_cast<std::size_t>(b)];
+          const float* wrow =
+              m.eff.data() + static_cast<std::size_t>(r) * cols;
+          double* sums = block_sums_.data() +
+                         static_cast<std::size_t>(b) * cols;
+          for (int c = 0; c < cols; ++c) sums[c] += wrow[c];
+        }
+      }
+      if (m.binarize) {
+        decide_position(
+            m, block_sums_.data(), n_active_.data(),
+            stage_bits_.data() +
+                (static_cast<std::size_t>(y) * g.out_w + x) * cols);
+      } else {
+        // Classifier: block currents merge exactly (WTA readout).
+        for (int c = 0; c < cols; ++c) {
+          double s = 0.0;
+          for (int b = 0; b < k; ++b)
+            s += readout(block_sums_[static_cast<std::size_t>(b) * cols + c]);
+          scores[static_cast<std::size_t>(c)] +=
+              static_cast<float>(s * m.weight_scale) +
+              m.col_bias[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+  }
+
+  if (m.binarize) {
+    if (g.pool_after)
+      or_pool(stage_bits_, g.out_h, g.out_w, cols, bits_out);
+    else
+      bits_out = stage_bits_;
+  }
+}
+
+void SeiNetwork::eval_stage_float(const MappedLayer& m,
+                                  std::span<const float> in,
+                                  quant::BitMap& bits_out,
+                                  std::vector<float>& scores) const {
+  const quant::StageGeometry& g = m.geom;
+  SEI_CHECK(in.size() == static_cast<std::size_t>(g.in_h) * g.in_w * g.in_ch);
+  const int cols = g.cols, k = m.block_count;
+  block_sums_.assign(static_cast<std::size_t>(k) * cols, 0.0);
+  n_active_.assign(static_cast<std::size_t>(k), 0);
+
+  const std::size_t positions = static_cast<std::size_t>(g.out_h) * g.out_w;
+  if (m.binarize) stage_bits_.assign(positions * cols, 0);
+  else scores.assign(static_cast<std::size_t>(cols), 0.0f);
+
+  const bool is_conv = g.kind == quant::StageSpec::Kind::Conv;
+  const int span = is_conv ? g.kernel * g.in_ch : g.rows;
+
+  for (int y = 0; y < g.out_h; ++y) {
+    for (int x = 0; x < g.out_w; ++x) {
+      std::fill(block_sums_.begin(), block_sums_.end(), 0.0);
+      std::fill(n_active_.begin(), n_active_.end(), 0);
+      const int window_rows = is_conv ? g.kernel : 1;
+      for (int di = 0; di < window_rows; ++di) {
+        const float* in_px =
+            is_conv ? in.data() + (static_cast<std::size_t>(y + di) * g.in_w +
+                                   x) * g.in_ch
+                    : in.data();
+        const int r0 = di * span;
+        for (int t = 0; t < span; ++t) {
+          const float xq = dac_quantize(in_px[t], cfg_.input_bits);
+          if (xq == 0.0f) continue;
+          const int r = r0 + t;
+          const int b = m.row_to_block[static_cast<std::size_t>(r)];
+          ++n_active_[static_cast<std::size_t>(b)];
+          const float* wrow =
+              m.eff.data() + static_cast<std::size_t>(r) * cols;
+          double* sums = block_sums_.data() +
+                         static_cast<std::size_t>(b) * cols;
+          for (int c = 0; c < cols; ++c)
+            sums[c] += static_cast<double>(xq) * wrow[c];
+        }
+      }
+      if (m.binarize) {
+        decide_position(
+            m, block_sums_.data(), n_active_.data(),
+            stage_bits_.data() +
+                (static_cast<std::size_t>(y) * g.out_w + x) * cols);
+      } else {
+        for (int c = 0; c < cols; ++c) {
+          double s = 0.0;
+          for (int b = 0; b < k; ++b)
+            s += readout(block_sums_[static_cast<std::size_t>(b) * cols + c]);
+          scores[static_cast<std::size_t>(c)] +=
+              static_cast<float>(s * m.weight_scale) +
+              m.col_bias[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+  }
+
+  if (m.binarize) {
+    if (g.pool_after)
+      or_pool(stage_bits_, g.out_h, g.out_w, cols, bits_out);
+    else
+      bits_out = stage_bits_;
+  }
+}
+
+int SeiNetwork::predict(std::span<const float> image) const {
+  quant::BitMap bits;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const MappedLayer& m = layers_[i];
+    if (i == 0)
+      eval_stage_float(m, image, pooled_bits_, scores_);
+    else
+      eval_stage_bits(m, bits, pooled_bits_, scores_);
+    if (!m.binarize)
+      return static_cast<int>(
+          std::max_element(scores_.begin(), scores_.end()) - scores_.begin());
+    bits = pooled_bits_;
+  }
+  SEI_CHECK_MSG(false, "network has no classifier stage");
+  return -1;
+}
+
+double SeiNetwork::error_rate(const data::Dataset& d, int max_images) const {
+  const int n = max_images < 0 ? d.size() : std::min(max_images, d.size());
+  SEI_CHECK(n > 0);
+  const std::size_t per_image =
+      d.images.numel() / static_cast<std::size_t>(d.size());
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::span<const float> img{
+        d.images.data() + static_cast<std::size_t>(i) * per_image, per_image};
+    if (predict(img) == d.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return 100.0 * (1.0 - static_cast<double>(correct) / n);
+}
+
+std::vector<quant::BitMap> SeiNetwork::cache_stage_inputs(
+    const data::Dataset& d, int stage, int max_images) const {
+  SEI_CHECK(stage >= 1 && stage < stage_count());
+  const int n = max_images < 0 ? d.size() : std::min(max_images, d.size());
+  const std::size_t per_image =
+      d.images.numel() / static_cast<std::size_t>(d.size());
+  std::vector<quant::BitMap> out(static_cast<std::size_t>(n));
+  quant::BitMap bits;
+  for (int i = 0; i < n; ++i) {
+    const std::span<const float> img{
+        d.images.data() + static_cast<std::size_t>(i) * per_image, per_image};
+    for (int s = 0; s < stage; ++s) {
+      const MappedLayer& m = layers_[static_cast<std::size_t>(s)];
+      SEI_CHECK_MSG(m.binarize, "cannot cache past the classifier");
+      if (s == 0)
+        eval_stage_float(m, img, pooled_bits_, scores_);
+      else
+        eval_stage_bits(m, bits, pooled_bits_, scores_);
+      bits = pooled_bits_;
+    }
+    out[static_cast<std::size_t>(i)] = bits;
+  }
+  return out;
+}
+
+double SeiNetwork::error_rate_from(
+    const data::Dataset& d, int stage,
+    const std::vector<quant::BitMap>& inputs) const {
+  SEI_CHECK(stage >= 1 && stage < stage_count());
+  const int n = static_cast<int>(inputs.size());
+  SEI_CHECK(n > 0 && n <= d.size());
+  int correct = 0;
+  quant::BitMap bits;
+  for (int i = 0; i < n; ++i) {
+    bits = inputs[static_cast<std::size_t>(i)];
+    int pred = -1;
+    for (int s = stage; s < stage_count(); ++s) {
+      const MappedLayer& m = layers_[static_cast<std::size_t>(s)];
+      eval_stage_bits(m, bits, pooled_bits_, scores_);
+      if (!m.binarize) {
+        pred = static_cast<int>(
+            std::max_element(scores_.begin(), scores_.end()) -
+            scores_.begin());
+        break;
+      }
+      bits = pooled_bits_;
+    }
+    if (pred == d.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return 100.0 * (1.0 - static_cast<double>(correct) / n);
+}
+
+int SeiNetwork::total_crossbars() const {
+  int n = 0;
+  for (const auto& l : layers_) n += l.crossbars;
+  return n;
+}
+
+long long SeiNetwork::total_cells() const {
+  long long n = 0;
+  for (const auto& l : layers_) n += l.cells_used;
+  return n;
+}
+
+}  // namespace sei::core

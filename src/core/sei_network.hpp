@@ -1,0 +1,89 @@
+// Functional simulation of a full CNN on the SEI structure.
+//
+// Every hidden stage runs on mapped crossbars: per output, each row-block
+// crossbar accumulates its analog partial sum, its sense amp compares
+// against the block threshold (static share Thres/K plus the dynamic
+// input-count compensation), and a digital vote merges the K bits. The
+// final classifier stage sums its block currents and is read out by
+// winner-take-all. The input layer is driven through `input_bits` DACs.
+#pragma once
+
+#include <span>
+
+#include "core/mapping.hpp"
+#include "data/dataset.hpp"
+
+namespace sei::core {
+
+class SeiNetwork {
+ public:
+  /// Maps every stage of `qnet` with default row orders (homogenized where
+  /// the stage splits, per cfg). Keeps a reference to `qnet` for remapping —
+  /// the QNetwork must outlive the SeiNetwork.
+  SeiNetwork(const quant::QNetwork& qnet, const HardwareConfig& cfg);
+
+  int stage_count() const { return static_cast<int>(layers_.size()); }
+  MappedLayer& layer(int stage) { return layers_.at(static_cast<std::size_t>(stage)); }
+  const MappedLayer& layer(int stage) const {
+    return layers_.at(static_cast<std::size_t>(stage));
+  }
+  const HardwareConfig& config() const { return cfg_; }
+
+  /// Re-maps one stage with an explicit logical row order (fresh crossbars,
+  /// fresh programming randomness) — the Table 4 random-order experiment.
+  void remap_layer(int stage, const std::vector<int>& order);
+
+  /// Classifies one image.
+  int predict(std::span<const float> image) const;
+
+  /// Classification error in percent. `max_images` < 0 means all.
+  double error_rate(const data::Dataset& d, int max_images = -1) const;
+
+  /// Binary activations entering `stage` (i.e. output of stage-1) for every
+  /// image of `d` — lets split experiments re-evaluate only the tail.
+  std::vector<quant::BitMap> cache_stage_inputs(const data::Dataset& d,
+                                                int stage,
+                                                int max_images = -1) const;
+
+  /// Error rate evaluating only stages `stage`..end from cached inputs.
+  double error_rate_from(const data::Dataset& d, int stage,
+                         const std::vector<quant::BitMap>& inputs) const;
+
+  /// Total crossbars / cells across all stages (physical accounting).
+  int total_crossbars() const;
+  long long total_cells() const;
+
+ private:
+  /// Pre-threshold block evaluation of one stage at every output position.
+  /// `bits_out` receives the post-vote (post-pool) activations for hidden
+  /// stages; `scores` the classifier sums for the final stage.
+  void eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
+                       quant::BitMap& bits_out,
+                       std::vector<float>& scores) const;
+  void eval_stage_float(const MappedLayer& m, std::span<const float> in,
+                        quant::BitMap& bits_out,
+                        std::vector<float>& scores) const;
+
+  /// Threshold decision + OR-pool over the accumulated block sums of one
+  /// position row; shared by both eval paths.
+  void decide_position(const MappedLayer& m, const double* block_sums,
+                       const int* n_active, std::uint8_t* out_bits) const;
+
+  /// Per-read analog noise on a block's column current (the crossbar's
+  /// read_noise_sigma applies at every sense-amp / readout event).
+  double readout(double current) const;
+
+  const quant::QNetwork* qnet_;
+  HardwareConfig cfg_;
+  mutable Rng rng_;
+  std::vector<MappedLayer> layers_;
+
+  // Scratch reused across predictions (single-threaded engine).
+  mutable std::vector<double> block_sums_;
+  mutable std::vector<int> n_active_;
+  mutable quant::BitMap stage_bits_;
+  mutable quant::BitMap pooled_bits_;
+  mutable std::vector<float> scores_;
+};
+
+}  // namespace sei::core

@@ -1,0 +1,54 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/io.hpp"
+
+namespace sei::data {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xda7a5e75;
+}
+
+Dataset Dataset::head(int n) const {
+  SEI_CHECK(n >= 1 && n <= size());
+  Dataset out;
+  std::vector<int> shape = images.shape();
+  shape[0] = n;
+  out.images = nn::Tensor(shape);
+  const std::size_t per_image = images.numel() / static_cast<std::size_t>(size());
+  std::memcpy(out.images.data(), images.data(),
+              static_cast<std::size_t>(n) * per_image * sizeof(float));
+  out.labels.assign(labels.begin(), labels.begin() + n);
+  return out;
+}
+
+void save_dataset(const Dataset& d, const std::string& path) {
+  BinaryWriter w(path);
+  w.write_u32(kMagic);
+  const auto& shape = d.images.shape();
+  w.write_u64(shape.size());
+  for (int dim : shape) w.write_i32(dim);
+  w.write_f32_vec({d.images.flat().begin(), d.images.flat().end()});
+  w.write_u8_vec(d.labels);
+  w.commit();
+}
+
+Dataset load_dataset(const std::string& path) {
+  BinaryReader r(path);
+  SEI_CHECK_MSG(r.read_u32() == kMagic, "not a dataset file: " << path);
+  const std::uint64_t ndim = r.read_u64();
+  std::vector<int> shape(ndim);
+  for (auto& dim : shape) dim = r.read_i32();
+  Dataset d;
+  std::vector<float> pixels = r.read_f32_vec();
+  d.images = nn::Tensor(shape);
+  SEI_CHECK(pixels.size() == d.images.numel());
+  std::copy(pixels.begin(), pixels.end(), d.images.data());
+  d.labels = r.read_u8_vec();
+  SEI_CHECK(static_cast<int>(d.labels.size()) == d.size());
+  return d;
+}
+
+}  // namespace sei::data

@@ -1,0 +1,35 @@
+// Labeled image dataset (28×28×1 grayscale in [0,1], NHWC) with binary cache.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace sei::data {
+
+struct Dataset {
+  nn::Tensor images;                 // [N, 28, 28, 1]
+  std::vector<std::uint8_t> labels;  // N class ids in [0, 10)
+
+  int size() const { return images.empty() ? 0 : images.dim(0); }
+
+  std::span<const std::uint8_t> label_span() const { return labels; }
+
+  /// First `n` samples as a new dataset (for fast searches on subsets).
+  Dataset head(int n) const;
+};
+
+/// The train/test pair every experiment runs on.
+struct DataBundle {
+  Dataset train;
+  Dataset test;
+  std::string source;  // "idx:<dir>" or "synthetic:<seed>"
+};
+
+void save_dataset(const Dataset& d, const std::string& path);
+Dataset load_dataset(const std::string& path);
+
+}  // namespace sei::data

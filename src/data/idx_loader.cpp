@@ -1,0 +1,73 @@
+#include "data/idx_loader.hpp"
+
+#include <fstream>
+
+#include "common/io.hpp"
+
+namespace sei::data {
+
+namespace {
+
+std::uint32_t read_be32(std::ifstream& in, const std::string& path) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  SEI_CHECK_MSG(in.gcount() == 4, "truncated IDX header in " << path);
+  return (std::uint32_t(b[0]) << 24) | (std::uint32_t(b[1]) << 16) |
+         (std::uint32_t(b[2]) << 8) | std::uint32_t(b[3]);
+}
+
+}  // namespace
+
+Dataset load_idx_pair(const std::string& images_path,
+                      const std::string& labels_path) {
+  std::ifstream img(images_path, std::ios::binary);
+  SEI_CHECK_MSG(img.good(), "cannot open " << images_path);
+  SEI_CHECK_MSG(read_be32(img, images_path) == 0x00000803,
+                "bad magic in " << images_path);
+  const std::uint32_t n = read_be32(img, images_path);
+  const std::uint32_t rows = read_be32(img, images_path);
+  const std::uint32_t cols = read_be32(img, images_path);
+  SEI_CHECK_MSG(rows == 28 && cols == 28, "expected 28x28 images");
+
+  std::ifstream lab(labels_path, std::ios::binary);
+  SEI_CHECK_MSG(lab.good(), "cannot open " << labels_path);
+  SEI_CHECK_MSG(read_be32(lab, labels_path) == 0x00000801,
+                "bad magic in " << labels_path);
+  const std::uint32_t nl = read_be32(lab, labels_path);
+  SEI_CHECK_MSG(n == nl, "image/label count mismatch");
+
+  Dataset d;
+  d.images = nn::Tensor({static_cast<int>(n), 28, 28, 1});
+  std::vector<unsigned char> buf(static_cast<std::size_t>(n) * 784);
+  img.read(reinterpret_cast<char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size()));
+  SEI_CHECK_MSG(img.gcount() == static_cast<std::streamsize>(buf.size()),
+                "truncated pixel data in " << images_path);
+  float* dst = d.images.data();
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    dst[i] = static_cast<float>(buf[i]) / 255.0f;
+
+  d.labels.resize(n);
+  lab.read(reinterpret_cast<char*>(d.labels.data()), n);
+  SEI_CHECK_MSG(lab.gcount() == static_cast<std::streamsize>(n),
+                "truncated label data in " << labels_path);
+  for (std::uint8_t l : d.labels) SEI_CHECK_MSG(l < 10, "label out of range");
+  return d;
+}
+
+std::optional<DataBundle> load_mnist_dir(const std::string& dir) {
+  const std::string ti = dir + "/train-images-idx3-ubyte";
+  const std::string tl = dir + "/train-labels-idx1-ubyte";
+  const std::string vi = dir + "/t10k-images-idx3-ubyte";
+  const std::string vl = dir + "/t10k-labels-idx1-ubyte";
+  if (!file_exists(ti) || !file_exists(tl) || !file_exists(vi) ||
+      !file_exists(vl))
+    return std::nullopt;
+  DataBundle b;
+  b.train = load_idx_pair(ti, tl);
+  b.test = load_idx_pair(vi, vl);
+  b.source = "idx:" + dir;
+  return b;
+}
+
+}  // namespace sei::data

@@ -1,0 +1,23 @@
+// Loader for the original MNIST IDX file format (big-endian headers).
+//
+// Used automatically when the environment variable MNIST_DIR points at a
+// directory containing train-images-idx3-ubyte / train-labels-idx1-ubyte /
+// t10k-images-idx3-ubyte / t10k-labels-idx1-ubyte (optionally .gz-less).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace sei::data {
+
+/// Reads one images + labels IDX pair.
+Dataset load_idx_pair(const std::string& images_path,
+                      const std::string& labels_path);
+
+/// Loads the standard 4-file MNIST layout from `dir`, or nullopt if the
+/// files are not all present.
+std::optional<DataBundle> load_mnist_dir(const std::string& dir);
+
+}  // namespace sei::data

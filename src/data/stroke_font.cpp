@@ -1,0 +1,99 @@
+#include "data/stroke_font.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace sei::data {
+
+Polyline ellipse(Point center, float rx, float ry, int segments,
+                 float start_deg, float sweep_deg) {
+  Polyline p;
+  p.reserve(static_cast<std::size_t>(segments) + 1);
+  const float start = start_deg * std::numbers::pi_v<float> / 180.0f;
+  const float sweep = sweep_deg * std::numbers::pi_v<float> / 180.0f;
+  for (int i = 0; i <= segments; ++i) {
+    const float t = start + sweep * static_cast<float>(i) / segments;
+    p.push_back({center.x + rx * std::cos(t), center.y + ry * std::sin(t)});
+  }
+  return p;
+}
+
+namespace {
+
+std::vector<Glyph> build_glyphs() {
+  std::vector<Glyph> g(10);
+
+  // 0 — oval.
+  g[0].strokes = {ellipse({0.50f, 0.50f}, 0.30f, 0.42f, 20)};
+
+  // 1 — flag + vertical bar.
+  g[1].strokes = {{{0.32f, 0.28f}, {0.52f, 0.08f}, {0.52f, 0.92f}}};
+
+  // 2 — top arc, diagonal, base.
+  g[2].strokes = {{{0.22f, 0.30f},
+                   {0.28f, 0.14f},
+                   {0.50f, 0.08f},
+                   {0.72f, 0.16f},
+                   {0.76f, 0.34f},
+                   {0.60f, 0.55f},
+                   {0.38f, 0.72f},
+                   {0.22f, 0.90f},
+                   {0.80f, 0.90f}}};
+
+  // 3 — double bump.
+  g[3].strokes = {{{0.24f, 0.14f},
+                   {0.48f, 0.06f},
+                   {0.72f, 0.16f},
+                   {0.72f, 0.34f},
+                   {0.50f, 0.46f},
+                   {0.74f, 0.58f},
+                   {0.76f, 0.78f},
+                   {0.52f, 0.94f},
+                   {0.24f, 0.86f}}};
+
+  // 4 — diagonal, crossbar, vertical.
+  g[4].strokes = {{{0.62f, 0.08f}, {0.22f, 0.60f}, {0.84f, 0.60f}},
+                  {{0.62f, 0.08f}, {0.62f, 0.92f}}};
+
+  // 5 — cap, stem, belly.
+  g[5].strokes = {{{0.76f, 0.08f},
+                   {0.28f, 0.08f},
+                   {0.26f, 0.44f},
+                   {0.52f, 0.40f},
+                   {0.76f, 0.52f},
+                   {0.78f, 0.74f},
+                   {0.56f, 0.92f},
+                   {0.24f, 0.86f}}};
+
+  // 6 — sweep plus lower loop.
+  g[6].strokes = {{{0.68f, 0.08f},
+                   {0.44f, 0.18f},
+                   {0.30f, 0.42f},
+                   {0.26f, 0.66f}},
+                  ellipse({0.50f, 0.70f}, 0.24f, 0.22f, 14)};
+
+  // 7 — cap and diagonal.
+  g[7].strokes = {{{0.20f, 0.10f}, {0.80f, 0.10f}, {0.42f, 0.92f}}};
+
+  // 8 — stacked loops.
+  g[8].strokes = {ellipse({0.50f, 0.29f}, 0.21f, 0.20f, 14),
+                  ellipse({0.50f, 0.71f}, 0.25f, 0.23f, 14)};
+
+  // 9 — upper loop and tail.
+  g[9].strokes = {ellipse({0.48f, 0.32f}, 0.23f, 0.23f, 14),
+                  {{0.71f, 0.35f}, {0.68f, 0.65f}, {0.58f, 0.92f}}};
+
+  return g;
+}
+
+}  // namespace
+
+const Glyph& digit_glyph(int digit) {
+  static const std::vector<Glyph> glyphs = build_glyphs();
+  SEI_CHECK_MSG(digit >= 0 && digit < 10, "digit out of range: " << digit);
+  return glyphs[static_cast<std::size_t>(digit)];
+}
+
+}  // namespace sei::data

@@ -1,0 +1,33 @@
+// Stroke skeletons of the digits 0–9.
+//
+// Each glyph is a list of polylines with control points in a normalized
+// [0,1]² box (x right, y down). The synthetic renderer jitters the control
+// points, applies a random affine transform, and rasterizes with a round
+// brush — producing MNIST-like handwritten digits without network access
+// (see DESIGN.md §3 for the substitution rationale).
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace sei::data {
+
+struct Point {
+  float x = 0.0f;
+  float y = 0.0f;
+};
+
+using Polyline = std::vector<Point>;
+
+struct Glyph {
+  std::vector<Polyline> strokes;
+};
+
+/// The canonical glyph for `digit` (0–9).
+const Glyph& digit_glyph(int digit);
+
+/// Samples a closed ellipse as a polyline with `segments` points.
+Polyline ellipse(Point center, float rx, float ry, int segments,
+                 float start_deg = 0.0f, float sweep_deg = 360.0f);
+
+}  // namespace sei::data

@@ -1,0 +1,150 @@
+#include "data/synthetic_digits.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "data/stroke_font.hpp"
+
+namespace sei::data {
+
+namespace {
+
+struct Affine {
+  // [x'] = [a b][x] + [tx]
+  // [y']   [c d][y]   [ty]
+  float a = 1, b = 0, c = 0, d = 1, tx = 0, ty = 0;
+
+  Point apply(Point p) const {
+    return {a * p.x + b * p.y + tx, c * p.x + d * p.y + ty};
+  }
+};
+
+/// Distance from point q to segment p0–p1.
+float seg_distance(Point q, Point p0, Point p1) {
+  const float vx = p1.x - p0.x, vy = p1.y - p0.y;
+  const float wx = q.x - p0.x, wy = q.y - p0.y;
+  const float vv = vx * vx + vy * vy;
+  float t = vv > 0.0f ? (wx * vx + wy * vy) / vv : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float dx = wx - t * vx, dy = wy - t * vy;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+void render_digit(int digit, const SynthConfig& cfg, Rng& rng, float* out) {
+  const Glyph& glyph = digit_glyph(digit);
+  const int size = cfg.image_size;
+  const auto fsize = static_cast<float>(size);
+
+  // Random affine that maps the unit glyph box into the image, centered.
+  const float angle = static_cast<float>(rng.uniform(-cfg.rotation_deg,
+                                                     cfg.rotation_deg)) *
+                      std::numbers::pi_v<float> / 180.0f;
+  const auto sx = static_cast<float>(rng.uniform(cfg.scale_low, cfg.scale_high));
+  const auto sy = static_cast<float>(rng.uniform(cfg.scale_low, cfg.scale_high));
+  const auto sh = static_cast<float>(rng.uniform(-cfg.shear, cfg.shear));
+  const auto dx = static_cast<float>(
+      rng.uniform(-cfg.translate_px, cfg.translate_px));
+  const auto dy = static_cast<float>(
+      rng.uniform(-cfg.translate_px, cfg.translate_px));
+
+  // Glyph box occupies the central ~20px like MNIST digits do.
+  const float body = 0.72f * fsize;
+  const float cosr = std::cos(angle), sinr = std::sin(angle);
+  // Compose: scale+shear then rotate: M = R(angle) · [[sx, sh],[0, sy]].
+  Affine t;
+  t.a = body * (cosr * sx);
+  t.b = body * (cosr * sh - sinr * sy);
+  t.c = body * (sinr * sx);
+  t.d = body * (sinr * sh + cosr * sy);
+  // Center of glyph (0.5, 0.5) maps to image center + jitter.
+  const float cx = fsize / 2.0f + dx, cy = fsize / 2.0f + dy;
+  t.tx = cx - (t.a * 0.5f + t.b * 0.5f);
+  t.ty = cy - (t.c * 0.5f + t.d * 0.5f);
+
+  // Jitter control points and transform to pixel space.
+  std::vector<Polyline> strokes;
+  strokes.reserve(glyph.strokes.size());
+  for (const auto& s : glyph.strokes) {
+    Polyline ps;
+    ps.reserve(s.size());
+    for (Point p : s) {
+      p.x += static_cast<float>(rng.gaussian(0.0, cfg.jitter));
+      p.y += static_cast<float>(rng.gaussian(0.0, cfg.jitter));
+      ps.push_back(t.apply(p));
+    }
+    strokes.push_back(std::move(ps));
+  }
+
+  const auto brush = static_cast<float>(
+      rng.uniform(cfg.brush_low_px, cfg.brush_high_px));
+  const auto intensity = static_cast<float>(
+      rng.uniform(cfg.intensity_low, cfg.intensity_high));
+  const float aa = 0.9f;  // anti-aliasing falloff width in pixels
+
+  // Bounding box of the strokes to skip empty pixels quickly.
+  float bx0 = fsize, by0 = fsize, bx1 = 0.0f, by1 = 0.0f;
+  for (const auto& s : strokes)
+    for (const Point& p : s) {
+      bx0 = std::min(bx0, p.x);
+      by0 = std::min(by0, p.y);
+      bx1 = std::max(bx1, p.x);
+      by1 = std::max(by1, p.y);
+    }
+  const float margin = brush + aa;
+  const int x0 = std::max(0, static_cast<int>(bx0 - margin));
+  const int y0 = std::max(0, static_cast<int>(by0 - margin));
+  const int x1 = std::min(size - 1, static_cast<int>(bx1 + margin) + 1);
+  const int y1 = std::min(size - 1, static_cast<int>(by1 + margin) + 1);
+
+  std::fill(out, out + static_cast<std::size_t>(size) * size, 0.0f);
+  for (int py = y0; py <= y1; ++py) {
+    for (int px = x0; px <= x1; ++px) {
+      const Point q{static_cast<float>(px) + 0.5f,
+                    static_cast<float>(py) + 0.5f};
+      float dmin = 1e9f;
+      for (const auto& s : strokes)
+        for (std::size_t i = 0; i + 1 < s.size(); ++i)
+          dmin = std::min(dmin, seg_distance(q, s[i], s[i + 1]));
+      const float v = std::clamp((brush + aa - dmin) / aa, 0.0f, 1.0f);
+      if (v > 0.0f) out[py * size + px] = intensity * v;
+    }
+  }
+
+  if (cfg.pixel_noise > 0.0f) {
+    for (int i = 0; i < size * size; ++i) {
+      const float noisy =
+          out[i] + static_cast<float>(rng.gaussian(0.0, cfg.pixel_noise));
+      out[i] = std::clamp(noisy, 0.0f, 1.0f);
+    }
+  }
+}
+
+Dataset generate_synthetic(int n, std::uint64_t seed, const SynthConfig& cfg) {
+  SEI_CHECK(n >= 1);
+  Dataset d;
+  d.images = nn::Tensor({n, cfg.image_size, cfg.image_size, 1});
+  d.labels.resize(static_cast<std::size_t>(n));
+  Rng rng(seed);
+  const std::size_t per_image =
+      static_cast<std::size_t>(cfg.image_size) * cfg.image_size;
+  for (int i = 0; i < n; ++i) {
+    const int digit = static_cast<int>(rng.below(10));
+    d.labels[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(digit);
+    render_digit(digit, cfg, rng,
+                 d.images.data() + static_cast<std::size_t>(i) * per_image);
+  }
+  return d;
+}
+
+DataBundle synthetic_bundle(int train_n, int test_n, std::uint64_t seed) {
+  DataBundle b;
+  b.train = generate_synthetic(train_n, seed);
+  b.test = generate_synthetic(test_n, seed ^ 0xfeedface12345678ULL);
+  b.source = "synthetic:" + std::to_string(seed);
+  return b;
+}
+
+}  // namespace sei::data

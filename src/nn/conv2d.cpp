@@ -1,0 +1,128 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "nn/gemm.hpp"
+
+namespace sei::nn {
+
+Conv2D::Conv2D(int kernel, int in_channels, int out_channels, Rng& rng)
+    : kernel_(kernel),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      weight_({kernel * kernel * in_channels, out_channels}),
+      bias_({out_channels}),
+      weight_grad_({kernel * kernel * in_channels, out_channels}),
+      bias_grad_({out_channels}) {
+  SEI_CHECK(kernel >= 1 && in_channels >= 1 && out_channels >= 1);
+  const double fan_in = static_cast<double>(kernel * kernel * in_channels);
+  const double std_dev = std::sqrt(2.0 / fan_in);
+  for (float& w : weight_.flat())
+    w = static_cast<float>(rng.gaussian(0.0, std_dev));
+}
+
+Tensor Conv2D::im2col(const Tensor& input, int kernel) {
+  SEI_CHECK_MSG(input.ndim() == 4, "conv input must be NHWC");
+  const int n = input.dim(0), h = input.dim(1), w = input.dim(2),
+            c = input.dim(3);
+  const int oh = h - kernel + 1, ow = w - kernel + 1;
+  SEI_CHECK_MSG(oh >= 1 && ow >= 1, "input smaller than kernel");
+  const int patch = kernel * kernel * c;
+  Tensor cols({n * oh * ow, patch});
+  float* dst = cols.data();
+  const float* src = input.data();
+  for (int img = 0; img < n; ++img) {
+    const float* base = src + static_cast<std::size_t>(img) * h * w * c;
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        for (int di = 0; di < kernel; ++di) {
+          const float* rowp = base + (static_cast<std::size_t>(y + di) * w + x) * c;
+          std::memcpy(dst, rowp, static_cast<std::size_t>(kernel) * c * sizeof(float));
+          dst += kernel * c;
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool train) {
+  SEI_CHECK_MSG(input.dim(3) == in_channels_,
+                name() << ": expected " << in_channels_ << " channels, got "
+                       << input.dim(3));
+  const int n = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const int oh = h - kernel_ + 1, ow = w - kernel_ + 1;
+  Tensor cols = im2col(input, kernel_);
+  Tensor out({n, oh, ow, out_channels_});
+  const int m = n * oh * ow;
+  gemm(cols.data(), weight_.data(), out.data(), m, matrix_rows(),
+       out_channels_);
+  // Bias broadcast over positions.
+  float* o = out.data();
+  const float* b = bias_.data();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < out_channels_; ++j) o[j] += b[j];
+    o += out_channels_;
+  }
+  if (train) {
+    cached_cols_ = std::move(cols);
+    cached_in_ = input.shape();
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  SEI_CHECK_MSG(!cached_cols_.empty(), name() << ": backward before forward");
+  const int n = cached_in_[0], h = cached_in_[1], w = cached_in_[2];
+  const int oh = h - kernel_ + 1, ow = w - kernel_ + 1;
+  const int m = n * oh * ow;
+  SEI_CHECK(grad_output.numel() ==
+            static_cast<std::size_t>(m) * out_channels_);
+
+  // dW += colsᵀ · dOut ; db += column sums of dOut.
+  gemm_at_b_accumulate(cached_cols_.data(), grad_output.data(),
+                       weight_grad_.data(), m, matrix_rows(), out_channels_);
+  const float* go = grad_output.data();
+  float* bg = bias_grad_.data();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < out_channels_; ++j) bg[j] += go[j];
+    go += out_channels_;
+  }
+
+  // dCols = dOut · Wᵀ, then scatter-add back to input positions (col2im).
+  Tensor grad_cols({m, matrix_rows()});
+  gemm_a_bt(grad_output.data(), weight_.data(), grad_cols.data(), m,
+            out_channels_, matrix_rows());
+
+  Tensor grad_in(cached_in_);
+  float* gi = grad_in.data();
+  const float* gc = grad_cols.data();
+  const int c = in_channels_;
+  for (int img = 0; img < n; ++img) {
+    float* base = gi + static_cast<std::size_t>(img) * h * w * c;
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        for (int di = 0; di < kernel_; ++di) {
+          float* rowp = base + (static_cast<std::size_t>(y + di) * w + x) * c;
+          for (int t = 0; t < kernel_ * c; ++t) rowp[t] += gc[t];
+          gc += kernel_ * c;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2D::params(std::vector<ParamRef>& out) {
+  out.push_back({&weight_, &weight_grad_, name() + ".weight"});
+  out.push_back({&bias_, &bias_grad_, name() + ".bias"});
+}
+
+std::string Conv2D::name() const {
+  return "conv" + std::to_string(kernel_) + "x" + std::to_string(kernel_) +
+         "x" + std::to_string(in_channels_) + "-" +
+         std::to_string(out_channels_);
+}
+
+}  // namespace sei::nn

@@ -1,0 +1,50 @@
+// Valid (no padding), stride-1 2-D convolution via im2col + GEMM, NHWC.
+//
+// The im2col matrix row ordering is (di, dj, c) — identical to the crossbar
+// row ordering in Equ. (1) of the paper — so `weight_matrix()` is byte-for-
+// byte the matrix that gets programmed into RRAM crossbars.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace sei::nn {
+
+class Conv2D final : public Layer, public MatrixLayer {
+ public:
+  /// kernel: S×S spatial, in_channels inputs, out_channels kernels.
+  /// Weights use He-normal initialization (ReLU networks).
+  Conv2D(int kernel, int in_channels, int out_channels, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void params(std::vector<ParamRef>& out) override;
+  std::string name() const override;
+
+  int matrix_rows() const override { return kernel_ * kernel_ * in_channels_; }
+  int matrix_cols() const override { return out_channels_; }
+  Tensor& weight_matrix() override { return weight_; }
+  const Tensor& weight_matrix() const override { return weight_; }
+  Tensor& bias() override { return bias_; }
+  const Tensor& bias() const override { return bias_; }
+
+  int kernel() const { return kernel_; }
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+
+  /// Extracts the im2col buffer for one batch: [N·OH·OW × S·S·C].
+  static Tensor im2col(const Tensor& input, int kernel);
+
+ private:
+  int kernel_;
+  int in_channels_;
+  int out_channels_;
+  Tensor weight_;  // [S·S·C × out_channels]
+  Tensor bias_;    // [out_channels]
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_cols_;           // im2col of last training forward
+  std::vector<int> cached_in_;   // input shape of last training forward
+};
+
+}  // namespace sei::nn

@@ -1,0 +1,73 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+
+#include "nn/gemm.hpp"
+
+namespace sei::nn {
+
+Dense::Dense(int fan_in, int fan_out, Rng& rng)
+    : fan_in_(fan_in),
+      fan_out_(fan_out),
+      weight_({fan_in, fan_out}),
+      bias_({fan_out}),
+      weight_grad_({fan_in, fan_out}),
+      bias_grad_({fan_out}) {
+  SEI_CHECK(fan_in >= 1 && fan_out >= 1);
+  const double std_dev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (float& w : weight_.flat())
+    w = static_cast<float>(rng.gaussian(0.0, std_dev));
+}
+
+Tensor Dense::forward(const Tensor& input, bool train) {
+  const int n = input.dim(0);
+  SEI_CHECK_MSG(input.numel() == static_cast<std::size_t>(n) * fan_in_,
+                name() << ": input size mismatch " << input.shape_str());
+  Tensor flat = input;
+  flat.reshape({n, fan_in_});
+  Tensor out({n, fan_out_});
+  gemm(flat.data(), weight_.data(), out.data(), n, fan_in_, fan_out_);
+  float* o = out.data();
+  const float* b = bias_.data();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < fan_out_; ++j) o[j] += b[j];
+    o += fan_out_;
+  }
+  if (train) {
+    cached_in_ = input.shape();
+    cached_input_ = std::move(flat);
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  SEI_CHECK_MSG(!cached_input_.empty(), name() << ": backward before forward");
+  const int n = cached_input_.dim(0);
+  SEI_CHECK(grad_output.numel() == static_cast<std::size_t>(n) * fan_out_);
+
+  gemm_at_b_accumulate(cached_input_.data(), grad_output.data(),
+                       weight_grad_.data(), n, fan_in_, fan_out_);
+  const float* go = grad_output.data();
+  float* bg = bias_grad_.data();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < fan_out_; ++j) bg[j] += go[j];
+    go += fan_out_;
+  }
+
+  Tensor grad_in({n, fan_in_});
+  gemm_a_bt(grad_output.data(), weight_.data(), grad_in.data(), n, fan_out_,
+            fan_in_);
+  grad_in.reshape(cached_in_);
+  return grad_in;
+}
+
+void Dense::params(std::vector<ParamRef>& out) {
+  out.push_back({&weight_, &weight_grad_, name() + ".weight"});
+  out.push_back({&bias_, &bias_grad_, name() + ".bias"});
+}
+
+std::string Dense::name() const {
+  return "fc" + std::to_string(fan_in_) + "-" + std::to_string(fan_out_);
+}
+
+}  // namespace sei::nn

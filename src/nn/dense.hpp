@@ -1,0 +1,36 @@
+// Fully-connected layer: out = x·W + b, with x flattened to [N × fan_in].
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace sei::nn {
+
+class Dense final : public Layer, public MatrixLayer {
+ public:
+  Dense(int fan_in, int fan_out, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void params(std::vector<ParamRef>& out) override;
+  std::string name() const override;
+
+  int matrix_rows() const override { return fan_in_; }
+  int matrix_cols() const override { return fan_out_; }
+  Tensor& weight_matrix() override { return weight_; }
+  const Tensor& weight_matrix() const override { return weight_; }
+  Tensor& bias() override { return bias_; }
+  const Tensor& bias() const override { return bias_; }
+
+ private:
+  int fan_in_;
+  int fan_out_;
+  Tensor weight_;  // [fan_in × fan_out]
+  Tensor bias_;    // [fan_out]
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_input_;         // flattened [N × fan_in]
+  std::vector<int> cached_in_;  // original input shape
+};
+
+}  // namespace sei::nn

@@ -1,0 +1,55 @@
+#include "nn/gemm.hpp"
+
+#include <cstring>
+
+namespace sei::nn {
+
+void gemm_accumulate(const float* a, const float* b, float* c, int m, int k,
+                     int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;  // im2col borders and ReLU outputs are sparse
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm(const float* a, const float* b, float* c, int m, int k, int n) {
+  std::memset(c, 0, static_cast<std::size_t>(m) * n * sizeof(float));
+  gemm_accumulate(a, b, c, m, k, n);
+}
+
+void gemm_at_b_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n) {
+  // c[p][j] += sum_i a[i][p] * b[i][j]
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    const float* brow = b + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(const float* a, const float* b, float* c, int m, int n, int k) {
+  // c[i][p] = sum_j a[i][j] * b[p][j]
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * n;
+    float* crow = c + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      float acc = 0.0f;
+      for (int j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      crow[p] = acc;
+    }
+  }
+}
+
+}  // namespace sei::nn

@@ -1,0 +1,27 @@
+// Small row-major GEMM kernels sized for this library's workloads
+// (K up to a few hundred, N up to a few hundred). The i-k-j loop order keeps
+// the innermost loop contiguous over C's and B's rows so the compiler
+// auto-vectorizes it.
+#pragma once
+
+#include <cstddef>
+
+namespace sei::nn {
+
+/// C[M×N] += A[M×K] · B[K×N]   (row-major, accumulate).
+void gemm_accumulate(const float* a, const float* b, float* c, int m, int k,
+                     int n);
+
+/// C[M×N] = A[M×K] · B[K×N]   (row-major, overwrite).
+void gemm(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// C[K×N] += Aᵀ[M×K] · B[M×N] — i.e. accumulate A-transposed times B, used
+/// for weight gradients (A = im2col buffer, B = output gradient).
+void gemm_at_b_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n);
+
+/// C[M×K] = A[M×N] · Bᵀ[K×N] — used for input gradients
+/// (A = output gradient, B = weights).
+void gemm_a_bt(const float* a, const float* b, float* c, int m, int n, int k);
+
+}  // namespace sei::nn

@@ -1,0 +1,66 @@
+// Layer interface for the training-time CNN.
+//
+// Layers own their parameters and parameter gradients; the optimizer walks
+// them through params(). Compute layers (Conv2D, Dense) additionally expose
+// their weights in *matrix form* (rows = crossbar rows, cols = kernels),
+// which is the representation the quantization and RRAM-mapping stages
+// consume — see MatrixLayer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace sei::nn {
+
+/// A trainable parameter and its gradient accumulator.
+struct ParamRef {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  std::string name;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a batch. `train` enables caching of
+  /// whatever backward() needs.
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input). Only valid after forward(..., train=true).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Registers trainable parameters (default: none).
+  virtual void params(std::vector<ParamRef>& out) { (void)out; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Interface of layers whose computation is a matrix–vector product — the
+/// layers that map onto RRAM crossbars. The weight matrix is [rows × cols]
+/// with rows = flattened input patch length (S·S·C for conv, fan-in for FC)
+/// and cols = number of kernels / output units, exactly the crossbar geometry
+/// of Table 2 in the paper (25×12, 300×64, …).
+class MatrixLayer {
+ public:
+  virtual ~MatrixLayer() = default;
+
+  virtual int matrix_rows() const = 0;
+  virtual int matrix_cols() const = 0;
+
+  /// Row-major [rows × cols] weight matrix (mutable for re-scaling).
+  virtual Tensor& weight_matrix() = 0;
+  virtual const Tensor& weight_matrix() const = 0;
+
+  /// Per-output bias vector of length cols.
+  virtual Tensor& bias() = 0;
+  virtual const Tensor& bias() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace sei::nn

@@ -1,0 +1,59 @@
+#include "nn/maxpool.hpp"
+
+namespace sei::nn {
+
+Tensor MaxPool2x2::forward(const Tensor& input, bool train) {
+  SEI_CHECK_MSG(input.ndim() == 4, "maxpool input must be NHWC");
+  const int n = input.dim(0), h = input.dim(1), w = input.dim(2),
+            c = input.dim(3);
+  const int oh = out_size(h), ow = out_size(w);
+  SEI_CHECK_MSG(oh >= 1 && ow >= 1, "maxpool input too small");
+  Tensor out({n, oh, ow, c});
+  if (train) {
+    argmax_.assign(out.numel(), 0);
+    cached_in_ = input.shape();
+  }
+  const float* src = input.data();
+  float* dst = out.data();
+  std::size_t oidx = 0;
+  for (int img = 0; img < n; ++img) {
+    const std::size_t ibase = static_cast<std::size_t>(img) * h * w * c;
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        for (int ch = 0; ch < c; ++ch) {
+          std::size_t best_idx =
+              ibase + (static_cast<std::size_t>(2 * y) * w + 2 * x) * c + ch;
+          float best = src[best_idx];
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+              const std::size_t idx =
+                  ibase +
+                  (static_cast<std::size_t>(2 * y + dy) * w + 2 * x + dx) * c +
+                  ch;
+              if (src[idx] > best) {
+                best = src[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          dst[oidx] = best;
+          if (train) argmax_[oidx] = static_cast<std::uint32_t>(best_idx);
+          ++oidx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2x2::backward(const Tensor& grad_output) {
+  SEI_CHECK_MSG(!argmax_.empty(), "maxpool: backward before forward");
+  SEI_CHECK(grad_output.numel() == argmax_.size());
+  Tensor grad_in(cached_in_);
+  float* gi = grad_in.data();
+  const float* go = grad_output.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) gi[argmax_[i]] += go[i];
+  return grad_in;
+}
+
+}  // namespace sei::nn

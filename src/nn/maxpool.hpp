@@ -1,0 +1,23 @@
+// 2×2, stride-2 max pooling (NHWC). After 1-bit quantization this layer
+// degenerates to a logical OR of bits — see quant::BinaryNetwork.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace sei::nn {
+
+class MaxPool2x2 final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "maxpool2x2"; }
+
+  /// Output spatial size for a given input size (floor division).
+  static int out_size(int in_size) { return in_size / 2; }
+
+ private:
+  std::vector<std::uint32_t> argmax_;  // flat input index per output element
+  std::vector<int> cached_in_;
+};
+
+}  // namespace sei::nn

@@ -1,0 +1,53 @@
+#include "nn/model_io.hpp"
+
+#include "common/io.hpp"
+
+namespace sei::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x5e1cadef;
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_model(Network& net, const std::string& path) {
+  auto params = net.params();
+  BinaryWriter w(path);
+  w.write_u32(kMagic);
+  w.write_u32(kVersion);
+  w.write_u64(params.size());
+  for (const auto& p : params) {
+    w.write_string(p.name);
+    const auto& shape = p.value->shape();
+    w.write_u64(shape.size());
+    for (int d : shape) w.write_i32(d);
+    w.write_f32_vec({p.value->flat().begin(), p.value->flat().end()});
+  }
+  w.commit();
+}
+
+void load_model(Network& net, const std::string& path) {
+  auto params = net.params();
+  BinaryReader r(path);
+  SEI_CHECK_MSG(r.read_u32() == kMagic, "not a model file: " << path);
+  SEI_CHECK_MSG(r.read_u32() == kVersion, "unsupported model version");
+  const std::uint64_t count = r.read_u64();
+  SEI_CHECK_MSG(count == params.size(),
+                "model has " << count << " tensors, network expects "
+                             << params.size());
+  for (auto& p : params) {
+    const std::string name = r.read_string();
+    SEI_CHECK_MSG(name == p.name, "tensor order mismatch: file has '"
+                                      << name << "', network expects '"
+                                      << p.name << "'");
+    const std::uint64_t ndim = r.read_u64();
+    std::vector<int> shape(ndim);
+    for (auto& d : shape) d = r.read_i32();
+    SEI_CHECK_MSG(shape == p.value->shape(),
+                  "shape mismatch for tensor '" << name << "'");
+    const std::vector<float> data = r.read_f32_vec();
+    SEI_CHECK(data.size() == p.value->numel());
+    std::copy(data.begin(), data.end(), p.value->data());
+  }
+}
+
+}  // namespace sei::nn

@@ -1,0 +1,21 @@
+// Model parameter (de)serialization.
+//
+// The file stores only parameter tensors (with shape headers); the network
+// topology is reconstructed by the caller (workloads::make_networkN) and
+// verified against the stored shapes on load.
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace sei::nn {
+
+/// Writes all parameters of `net` to `path` (atomic replace).
+void save_model(Network& net, const std::string& path);
+
+/// Loads parameters into an already-constructed `net`; throws CheckError on
+/// topology mismatch or corrupt file.
+void load_model(Network& net, const std::string& path);
+
+}  // namespace sei::nn

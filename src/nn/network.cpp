@@ -1,0 +1,77 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sei::nn {
+
+Tensor Network::forward(const Tensor& input, bool train) {
+  return forward_range(input, 0, layers_.size(), train);
+}
+
+Tensor Network::forward_range(const Tensor& input, std::size_t first,
+                              std::size_t last, bool train) {
+  SEI_CHECK(first <= last && last <= layers_.size());
+  Tensor x = input;
+  for (std::size_t i = first; i < last; ++i)
+    x = layers_[i]->forward(x, train);
+  return x;
+}
+
+Tensor Network::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<ParamRef> Network::params() {
+  std::vector<ParamRef> out;
+  for (auto& l : layers_) l->params(out);
+  return out;
+}
+
+std::vector<MatrixLayer*> Network::matrix_layers() {
+  std::vector<MatrixLayer*> out;
+  for (auto& l : layers_)
+    if (auto* m = dynamic_cast<MatrixLayer*>(l.get())) out.push_back(m);
+  return out;
+}
+
+std::vector<std::size_t> Network::matrix_layer_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    if (dynamic_cast<const MatrixLayer*>(layers_[i].get())) out.push_back(i);
+  return out;
+}
+
+Tensor Network::slice_batch(const Tensor& images, int begin, int end) {
+  SEI_CHECK(images.ndim() >= 1);
+  SEI_CHECK(begin >= 0 && begin < end && end <= images.dim(0));
+  std::vector<int> shape = images.shape();
+  shape[0] = end - begin;
+  std::size_t per_image = images.numel() / static_cast<std::size_t>(images.dim(0));
+  Tensor out(shape);
+  std::memcpy(out.data(), images.data() + static_cast<std::size_t>(begin) * per_image,
+              static_cast<std::size_t>(end - begin) * per_image * sizeof(float));
+  return out;
+}
+
+double Network::error_rate(const Tensor& images,
+                           std::span<const std::uint8_t> labels, int batch) {
+  const int n = images.dim(0);
+  SEI_CHECK(labels.size() == static_cast<std::size_t>(n));
+  int correct = 0;
+  for (int begin = 0; begin < n; begin += batch) {
+    const int end = std::min(n, begin + batch);
+    Tensor logits = forward(slice_batch(images, begin, end), false);
+    logits.reshape({end - begin,
+                    static_cast<int>(logits.numel()) / (end - begin)});
+    for (int i = 0; i < end - begin; ++i)
+      if (argmax_row(logits, i) == labels[static_cast<std::size_t>(begin + i)])
+        ++correct;
+  }
+  return 100.0 * (1.0 - static_cast<double>(correct) / n);
+}
+
+}  // namespace sei::nn

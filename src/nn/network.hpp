@@ -1,0 +1,62 @@
+// Sequential network container.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/softmax.hpp"
+
+namespace sei::nn {
+
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  /// Appends a layer; returns a typed reference for further configuration.
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& input, bool train = false);
+
+  /// Runs layers [first, last) only — used by the quantizer to re-evaluate
+  /// suffixes of the network from cached intermediate activations.
+  Tensor forward_range(const Tensor& input, std::size_t first,
+                       std::size_t last, bool train = false);
+
+  Tensor backward(const Tensor& grad_output);
+
+  std::vector<ParamRef> params();
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// All layers implementing MatrixLayer, in network order — the layers that
+  /// map to RRAM crossbars.
+  std::vector<MatrixLayer*> matrix_layers();
+
+  /// Index (into the layer sequence) of each MatrixLayer.
+  std::vector<std::size_t> matrix_layer_indices() const;
+
+  /// Classification error rate in percent over a labeled set, evaluated in
+  /// mini-batches of `batch` images.
+  double error_rate(const Tensor& images, std::span<const std::uint8_t> labels,
+                    int batch = 64);
+
+  /// Extracts images[begin:end) into a new batch tensor (NHWC).
+  static Tensor slice_batch(const Tensor& images, int begin, int end);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace sei::nn

@@ -1,0 +1,33 @@
+#include "nn/relu.hpp"
+
+namespace sei::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  if (train) {
+    mask_ = Tensor(input.shape());
+    float* m = mask_.data();
+    float* o = out.data();
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      const bool pos = o[i] > 0.0f;
+      m[i] = pos ? 1.0f : 0.0f;
+      if (!pos) o[i] = 0.0f;
+    }
+  } else {
+    for (float& v : out.flat())
+      if (v < 0.0f) v = 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  SEI_CHECK_MSG(!mask_.empty(), "relu: backward before forward");
+  check_same_shape(grad_output, mask_, "relu backward");
+  Tensor grad_in = grad_output;
+  const float* m = mask_.data();
+  float* g = grad_in.data();
+  for (std::size_t i = 0; i < grad_in.numel(); ++i) g[i] *= m[i];
+  return grad_in;
+}
+
+}  // namespace sei::nn

@@ -1,0 +1,20 @@
+// Rectified linear unit. The paper's quantization folds this monotone
+// non-linearity into the sense-amp threshold; in the float network it is an
+// ordinary elementwise layer.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace sei::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+}  // namespace sei::nn

@@ -1,0 +1,60 @@
+#include "nn/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sei::nn {
+
+LossResult SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                        std::span<const std::uint8_t> labels) {
+  SEI_CHECK(logits.ndim() == 2);
+  const int n = logits.dim(0), k = logits.dim(1);
+  SEI_CHECK(labels.size() == static_cast<std::size_t>(n));
+  probs_ = logits;
+  LossResult res;
+  float* p = probs_.data();
+  for (int i = 0; i < n; ++i, p += k) {
+    float mx = p[0];
+    int arg = 0;
+    for (int j = 1; j < k; ++j)
+      if (p[j] > mx) {
+        mx = p[j];
+        arg = j;
+      }
+    double z = 0.0;
+    for (int j = 0; j < k; ++j) {
+      p[j] = std::exp(p[j] - mx);
+      z += p[j];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (int j = 0; j < k; ++j) p[j] *= inv;
+    const int label = labels[static_cast<std::size_t>(i)];
+    SEI_CHECK_MSG(label >= 0 && label < k, "label out of range");
+    res.loss += -std::log(std::max(1e-12, static_cast<double>(p[label])));
+    if (arg == label) ++res.correct;
+  }
+  res.loss /= std::max(1, n);
+  return res;
+}
+
+Tensor SoftmaxCrossEntropy::backward(
+    std::span<const std::uint8_t> labels) const {
+  SEI_CHECK_MSG(!probs_.empty(), "softmax: backward before forward");
+  const int n = probs_.dim(0), k = probs_.dim(1);
+  Tensor grad = probs_;
+  float* g = grad.data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int i = 0; i < n; ++i, g += k) {
+    g[labels[static_cast<std::size_t>(i)]] -= 1.0f;
+    for (int j = 0; j < k; ++j) g[j] *= inv_n;
+  }
+  return grad;
+}
+
+int argmax_row(const Tensor& logits, int row) {
+  const int k = logits.dim(1);
+  const float* p = logits.data() + static_cast<std::size_t>(row) * k;
+  return static_cast<int>(std::max_element(p, p + k) - p);
+}
+
+}  // namespace sei::nn

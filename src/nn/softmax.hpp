@@ -1,0 +1,35 @@
+// Softmax + cross-entropy loss head (kept outside the Layer stack because it
+// needs labels). The fused backward (p − onehot)/N is numerically stable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.hpp"
+
+namespace sei::nn {
+
+struct LossResult {
+  double loss = 0.0;      // mean cross-entropy over the batch
+  int correct = 0;        // argmax hits
+};
+
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: [N × classes]; labels: N class indices.
+  /// Fills `probs_` and returns loss/accuracy for the batch.
+  LossResult forward(const Tensor& logits, std::span<const std::uint8_t> labels);
+
+  /// Gradient w.r.t. logits of the *mean* loss.
+  Tensor backward(std::span<const std::uint8_t> labels) const;
+
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+};
+
+/// Row-wise argmax of a [N × classes] tensor.
+int argmax_row(const Tensor& logits, int row);
+
+}  // namespace sei::nn

@@ -1,0 +1,112 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace sei::nn {
+
+namespace {
+std::size_t shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    SEI_CHECK_MSG(d > 0, "tensor dimensions must be positive");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor Tensor::from_vector(std::vector<float> values) {
+  Tensor t;
+  t.shape_ = {static_cast<int>(values.size())};
+  t.data_ = std::move(values);
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  SEI_CHECK_MSG(i >= 0 && i < ndim(), "dim " << i << " out of range for "
+                                             << shape_str());
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(int a) {
+  SEI_ASSERT(ndim() == 1);
+  SEI_ASSERT(a >= 0 && a < shape_[0]);
+  return data_[static_cast<std::size_t>(a)];
+}
+
+float& Tensor::at(int a, int b) {
+  SEI_ASSERT(ndim() == 2);
+  SEI_ASSERT(a >= 0 && a < shape_[0] && b >= 0 && b < shape_[1]);
+  return data_[static_cast<std::size_t>(a) * shape_[1] + b];
+}
+
+float& Tensor::at(int a, int b, int c) {
+  SEI_ASSERT(ndim() == 3);
+  SEI_ASSERT(a >= 0 && a < shape_[0] && b >= 0 && b < shape_[1] && c >= 0 &&
+             c < shape_[2]);
+  return data_[(static_cast<std::size_t>(a) * shape_[1] + b) * shape_[2] + c];
+}
+
+float& Tensor::at(int a, int b, int c, int d) {
+  SEI_ASSERT(ndim() == 4);
+  SEI_ASSERT(a >= 0 && a < shape_[0] && b >= 0 && b < shape_[1] && c >= 0 &&
+             c < shape_[2] && d >= 0 && d < shape_[3]);
+  return data_[((static_cast<std::size_t>(a) * shape_[1] + b) * shape_[2] + c) *
+                   shape_[3] +
+               d];
+}
+
+Tensor& Tensor::reshape(std::vector<int> shape) {
+  SEI_CHECK_MSG(shape_numel(shape) == data_.size(),
+                "reshape " << shape_str() << " to incompatible shape");
+  shape_ = std::move(shape);
+  return *this;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::axpy(float a, const Tensor& x) {
+  check_same_shape(*this, x, "axpy");
+  const float* xs = x.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * xs[i];
+}
+
+void Tensor::scale(float a) {
+  for (float& v : data_) v *= a;
+}
+
+float Tensor::max_abs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::max() const {
+  SEI_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << 'x';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  SEI_CHECK_MSG(a.shape() == b.shape(), what << ": shape mismatch "
+                                             << a.shape_str() << " vs "
+                                             << b.shape_str());
+}
+
+}  // namespace sei::nn

@@ -1,0 +1,79 @@
+// Dense row-major float tensor.
+//
+// Feature maps use NHWC layout: index = ((n*H + y)*W + x)*C + c. NHWC makes
+// an im2col patch read the channels of one pixel contiguously, and it makes
+// the im2col row ordering match the paper's crossbar row ordering
+// (i, j, k) in Equ. (1): row = (di*S + dj)*C + c.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sei::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+  /// 1-D tensor wrapping a copy of `values`.
+  static Tensor from_vector(std::vector<float> values);
+
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const;
+  const std::vector<int>& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  float& operator[](std::size_t i) { SEI_ASSERT(i < data_.size()); return data_[i]; }
+  float operator[](std::size_t i) const { SEI_ASSERT(i < data_.size()); return data_[i]; }
+
+  // Multi-index access (bounds-checked in debug builds).
+  float& at(int a);
+  float& at(int a, int b);
+  float& at(int a, int b, int c);
+  float& at(int a, int b, int c, int d);
+  float at(int a) const { return const_cast<Tensor*>(this)->at(a); }
+  float at(int a, int b) const { return const_cast<Tensor*>(this)->at(a, b); }
+  float at(int a, int b, int c) const { return const_cast<Tensor*>(this)->at(a, b, c); }
+  float at(int a, int b, int c, int d) const {
+    return const_cast<Tensor*>(this)->at(a, b, c, d);
+  }
+
+  /// Reinterprets the shape; total element count must match.
+  Tensor& reshape(std::vector<int> shape);
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// Elementwise a*x + this.
+  void axpy(float a, const Tensor& x);
+  void scale(float a);
+
+  float max_abs() const;
+  float max() const;
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Checks two shapes for equality with a readable error.
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what);
+
+}  // namespace sei::nn

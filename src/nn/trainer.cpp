@@ -1,0 +1,101 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/timer.hpp"
+
+namespace sei::nn {
+
+EpochStats Trainer::fit(
+    Network& net, const Tensor& images, std::span<const std::uint8_t> labels,
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  const int n = images.dim(0);
+  SEI_CHECK(labels.size() == static_cast<std::size_t>(n));
+  SEI_CHECK(config_.batch_size >= 1 && config_.epochs >= 1);
+
+  Rng rng(config_.seed);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  auto params = net.params();
+  std::vector<Tensor> velocity;
+  velocity.reserve(params.size());
+  for (const auto& p : params) velocity.emplace_back(p.value->shape());
+
+  SoftmaxCrossEntropy head;
+  double lr = config_.learning_rate;
+  EpochStats stats;
+
+  const std::size_t per_image = images.numel() / static_cast<std::size_t>(n);
+  std::vector<int> img_shape = images.shape();
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Timer timer;
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    int correct = 0, batches = 0;
+
+    for (int begin = 0; begin < n; begin += config_.batch_size) {
+      const int end = std::min(n, begin + config_.batch_size);
+      const int bsz = end - begin;
+
+      // Gather shuffled batch.
+      std::vector<int> bshape = img_shape;
+      bshape[0] = bsz;
+      Tensor batch(bshape);
+      std::vector<std::uint8_t> blabels(static_cast<std::size_t>(bsz));
+      for (int i = 0; i < bsz; ++i) {
+        const int src = order[static_cast<std::size_t>(begin + i)];
+        std::copy_n(images.data() + static_cast<std::size_t>(src) * per_image,
+                    per_image,
+                    batch.data() + static_cast<std::size_t>(i) * per_image);
+        blabels[static_cast<std::size_t>(i)] = labels[static_cast<std::size_t>(src)];
+      }
+
+      for (auto& p : params) p.grad->zero();
+
+      Tensor logits = net.forward(batch, /*train=*/true);
+      logits.reshape({bsz, static_cast<int>(logits.numel()) / bsz});
+      const LossResult r = head.forward(logits, blabels);
+      loss_sum += r.loss;
+      correct += r.correct;
+      ++batches;
+      net.backward(head.backward(blabels));
+
+      // Momentum SGD with decoupled weight decay on the weights only.
+      for (std::size_t pi = 0; pi < params.size(); ++pi) {
+        Tensor& v = velocity[pi];
+        Tensor& w = *params[pi].value;
+        const Tensor& g = *params[pi].grad;
+        const bool is_bias = params[pi].name.ends_with(".bias");
+        const float decay =
+            is_bias ? 0.0f : static_cast<float>(config_.weight_decay);
+        float* vp = v.data();
+        float* wp = w.data();
+        const float* gp = g.data();
+        const auto mom = static_cast<float>(config_.momentum);
+        const auto step = static_cast<float>(lr);
+        for (std::size_t i = 0; i < w.numel(); ++i) {
+          vp[i] = mom * vp[i] - step * (gp[i] + decay * wp[i]);
+          wp[i] += vp[i];
+        }
+      }
+    }
+
+    stats.epoch = epoch + 1;
+    stats.train_loss = loss_sum / std::max(1, batches);
+    stats.train_error_pct = 100.0 * (1.0 - static_cast<double>(correct) / n);
+    stats.seconds = timer.seconds();
+    if (config_.verbose)
+      std::printf("  epoch %d/%d  loss %.4f  train-err %.2f%%  (%.1fs)\n",
+                  stats.epoch, config_.epochs, stats.train_loss,
+                  stats.train_error_pct, stats.seconds);
+    if (on_epoch) on_epoch(stats);
+    lr *= config_.lr_decay;
+  }
+  return stats;
+}
+
+}  // namespace sei::nn

@@ -1,0 +1,46 @@
+// SGD-with-momentum trainer for the float CNNs of Table 2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/rng.hpp"
+#include "nn/network.hpp"
+
+namespace sei::nn {
+
+struct TrainConfig {
+  int epochs = 6;
+  int batch_size = 32;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  double lr_decay = 0.7;     // multiplied into lr after each epoch
+  std::uint64_t seed = 42;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double train_error_pct = 0.0;
+  double seconds = 0.0;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config) : config_(config) {}
+
+  /// Runs SGD over (images, labels); invokes `on_epoch` (if set) after each
+  /// epoch. Returns the final epoch stats.
+  EpochStats fit(Network& net, const Tensor& images,
+                 std::span<const std::uint8_t> labels,
+                 const std::function<void(const EpochStats&)>& on_epoch = {});
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace sei::nn

@@ -1,0 +1,98 @@
+#include "quant/distribution.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/relu.hpp"
+
+namespace sei::quant {
+
+namespace {
+
+/// Indices of ReLU layers directly following a Conv2D.
+std::vector<std::size_t> conv_relu_indices(nn::Network& net) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    if (dynamic_cast<nn::ReLU*>(&net.layer(i)) &&
+        dynamic_cast<nn::Conv2D*>(&net.layer(i - 1)))
+      out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+DistributionReport analyze_conv_distribution(nn::Network& net,
+                                             const nn::Tensor& images,
+                                             int batch) {
+  const auto relu_idx = conv_relu_indices(net);
+  SEI_CHECK_MSG(!relu_idx.empty(), "network has no conv+relu stages");
+  const int n = images.dim(0);
+
+  DistributionReport report;
+  report.bin_edges = {0.0, 1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0};
+
+  // Pass 1: per-layer maxima.
+  std::vector<float> maxima(relu_idx.size(), 0.0f);
+  for (int begin = 0; begin < n; begin += batch) {
+    const int end = std::min(n, begin + batch);
+    nn::Tensor x = nn::Network::slice_batch(images, begin, end);
+    std::size_t li = 0;
+    std::size_t prev = 0;
+    for (std::size_t target : relu_idx) {
+      x = net.forward_range(x, prev, target + 1, false);
+      maxima[li] = std::max(maxima[li], x.max());
+      prev = target + 1;
+      ++li;
+    }
+  }
+
+  // Pass 2: histograms of normalized activations.
+  std::vector<EdgeHistogram> hists;
+  hists.reserve(relu_idx.size());
+  for (std::size_t i = 0; i < relu_idx.size(); ++i)
+    hists.emplace_back(report.bin_edges);
+  EdgeHistogram all_hist(report.bin_edges);
+
+  for (int begin = 0; begin < n; begin += batch) {
+    const int end = std::min(n, begin + batch);
+    nn::Tensor x = nn::Network::slice_batch(images, begin, end);
+    std::size_t li = 0;
+    std::size_t prev = 0;
+    for (std::size_t target : relu_idx) {
+      x = net.forward_range(x, prev, target + 1, false);
+      const double inv =
+          maxima[li] > 0.0f ? 1.0 / static_cast<double>(maxima[li]) : 0.0;
+      for (float v : x.flat()) {
+        const double norm = static_cast<double>(v) * inv;
+        hists[li].add(norm);
+        all_hist.add(norm);
+      }
+      prev = target + 1;
+      ++li;
+    }
+  }
+
+  auto to_layer = [&](const EdgeHistogram& h, std::string name,
+                      double max_value) {
+    LayerDistribution d;
+    d.layer_name = std::move(name);
+    d.max_value = max_value;
+    d.samples = h.total();
+    for (std::size_t b = 0; b < h.bins(); ++b)
+      d.fractions.push_back(h.fraction(b));
+    return d;
+  };
+
+  double global_max = 0.0;
+  for (std::size_t i = 0; i < relu_idx.size(); ++i) {
+    report.layers.push_back(to_layer(
+        hists[i], "conv layer " + std::to_string(i + 1), maxima[i]));
+    global_max = std::max(global_max, static_cast<double>(maxima[i]));
+  }
+  report.all = to_layer(all_hist, "all layers", global_max);
+  return report;
+}
+
+}  // namespace sei::quant

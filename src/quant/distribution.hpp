@@ -1,0 +1,34 @@
+// Intermediate-data distribution analysis (reproduces Table 1).
+//
+// Runs the float network over a dataset, captures the post-ReLU output of
+// every Conv stage, normalizes by the layer's maximum, and histograms into
+// the paper's bins [0, 1/16), [1/16, 1/8), [1/8, 1/4), [1/4, 1].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace sei::quant {
+
+struct LayerDistribution {
+  std::string layer_name;
+  double max_value = 0.0;            // normalization constant
+  std::size_t samples = 0;           // activations histogrammed
+  std::vector<double> fractions;     // one per bin, sums to ~1
+};
+
+struct DistributionReport {
+  std::vector<double> bin_edges;     // normalized-domain edges
+  std::vector<LayerDistribution> layers;
+  LayerDistribution all;             // pooled over all conv layers
+};
+
+/// Analyzes every ReLU-after-Conv output in `net` over `images`.
+/// Two passes: max, then histogram. `batch` bounds peak memory.
+DistributionReport analyze_conv_distribution(nn::Network& net,
+                                             const nn::Tensor& images,
+                                             int batch = 128);
+
+}  // namespace sei::quant

@@ -1,0 +1,64 @@
+// Algorithm 1 of the paper: layer-by-layer greedy 1-bit quantization.
+//
+// For each hidden stage L (front layers already binarized with their chosen
+// thresholds):
+//   1. compute stage L's pre-threshold outputs over the training images;
+//   2. re-scale W_L (and b_L) by the maximum output so outputs lie in [0,1];
+//   3. brute-force search the threshold over [thres_min, thres_max] that
+//      maximizes training accuracy, evaluating the not-yet-quantized deeper
+//      layers in float;
+//   4. fix the threshold and move to the next layer.
+//
+// The search caches stage L's outputs so each candidate threshold only pays
+// for binarize + pool + the float tail, and the float tail runs batched.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "quant/qnet.hpp"
+
+namespace sei::quant {
+
+struct SearchConfig {
+  double thres_min = 0.0;
+  // The paper searches [0, 0.1]; our synthetic activations are slightly less
+  // zero-dominated than MNIST's, so the default grid extends further.
+  double thres_max = 0.4;
+  double step = 0.005;
+  int max_search_images = 5000;  // subset of the training set used to search
+  int tail_batch = 256;          // float-tail evaluation batch size
+
+  // Drive-level calibration (extension beyond the paper; see DESIGN.md):
+  // the 1-bit input drive voltage of each layer is set to the mean
+  // supra-threshold activation instead of the layer maximum, which keeps
+  // the weight-vs-bias ratio of the consuming layer at its trained value.
+  // Folded into the next layer's weights, so it is free in hardware.
+  bool calibrate_drive = true;
+
+  bool verbose = false;
+};
+
+/// Record of one layer's search (threshold → training accuracy curve).
+struct LayerSearchTrace {
+  int stage = 0;
+  float scale = 1.0f;              // max output the weights were divided by
+  float best_threshold = 0.0f;
+  float drive_level = 1.0f;        // calibrated 1-bit drive amplitude
+  double best_accuracy_pct = 0.0;  // training accuracy at the best threshold
+  std::vector<std::pair<float, double>> curve;
+};
+
+struct QuantizationResult {
+  QNetwork qnet;  // rescaled weights + searched thresholds
+  std::vector<LayerSearchTrace> traces;
+};
+
+/// Runs Algorithm 1. Mutates `float_net`'s hidden weights in place by the
+/// re-scaling step (a monotone transformation: its float classification is
+/// unchanged), so the same network object can still serve as the "before
+/// quantization" baseline.
+QuantizationResult quantize_network(nn::Network& float_net,
+                                    const Topology& topo,
+                                    const data::Dataset& train,
+                                    const SearchConfig& cfg = {});
+
+}  // namespace sei::quant

@@ -1,0 +1,61 @@
+#include "quant/weight_quant.hpp"
+
+#include <cmath>
+
+namespace sei::quant {
+
+QuantizedMatrix quantize_weights(const nn::Tensor& w, int bits) {
+  SEI_CHECK_MSG(bits >= 2 && bits <= 16, "weight bits out of range");
+  SEI_CHECK(w.ndim() == 2);
+  QuantizedMatrix q;
+  q.rows = w.dim(0);
+  q.cols = w.dim(1);
+  q.bits = bits;
+  const int qmax = (1 << (bits - 1)) - 1;
+  const float wmax = w.max_abs();
+  q.scale = wmax > 0.0f ? wmax / static_cast<float>(qmax) : 1.0f;
+  q.values.resize(w.numel());
+  const float inv = 1.0f / q.scale;
+  const float* src = w.data();
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    const long v = std::lround(src[i] * inv);
+    q.values[i] = static_cast<std::int16_t>(
+        std::max<long>(-qmax, std::min<long>(qmax, v)));
+  }
+  return q;
+}
+
+nn::Tensor dequantize(const QuantizedMatrix& q) {
+  nn::Tensor w({q.rows, q.cols});
+  float* dst = w.data();
+  for (std::size_t i = 0; i < q.values.size(); ++i)
+    dst[i] = static_cast<float>(q.values[i]) * q.scale;
+  return w;
+}
+
+NibblePair split_magnitude(int magnitude, int device_bits) {
+  SEI_CHECK(magnitude >= 0);
+  SEI_CHECK(device_bits >= 1 && device_bits <= 8);
+  NibblePair p;
+  p.hi = magnitude >> device_bits;
+  p.lo = magnitude & ((1 << device_bits) - 1);
+  SEI_CHECK_MSG(p.hi < (1 << device_bits),
+                "magnitude " << magnitude << " needs more than two "
+                             << device_bits << "-bit cells");
+  return p;
+}
+
+int sei_cells_per_weight(int weight_bits, int device_bits) {
+  SEI_CHECK(weight_bits >= 2 && device_bits >= 1);
+  const int magnitude_bits = weight_bits - 1;  // sign via the extra port
+  const int slices = (magnitude_bits + device_bits - 1) / device_bits;
+  return 2 * slices;  // positive and negative polarity cells
+}
+
+int baseline_crossbars_per_matrix(int weight_bits, int device_bits) {
+  const int magnitude_bits = weight_bits - 1;
+  const int slices = (magnitude_bits + device_bits - 1) / device_bits;
+  return 2 * slices;  // pos/neg crossbar per bit-slice, merged by ADCs
+}
+
+}  // namespace sei::quant

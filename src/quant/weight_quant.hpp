@@ -1,0 +1,52 @@
+// Fixed-point weight quantization and the high/low-nibble decomposition used
+// by the RRAM mapping (8-bit weights on 4-bit devices, Section 4 of the
+// paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace sei::quant {
+
+/// Symmetric signed fixed-point matrix: w_float ≈ value · scale,
+/// |value| ≤ 2^(bits-1) − 1.
+struct QuantizedMatrix {
+  int rows = 0;
+  int cols = 0;
+  int bits = 8;
+  float scale = 1.0f;
+  std::vector<std::int16_t> values;  // row-major rows×cols
+
+  std::int16_t at(int r, int c) const {
+    return values[static_cast<std::size_t>(r) * cols + c];
+  }
+};
+
+/// Round-to-nearest symmetric quantization of a [rows × cols] matrix.
+QuantizedMatrix quantize_weights(const nn::Tensor& w, int bits = 8);
+
+/// Reconstructs the float matrix (for error analysis and tests).
+nn::Tensor dequantize(const QuantizedMatrix& q);
+
+/// Splits a non-negative magnitude into high/low fields of `device_bits`
+/// each: magnitude = hi · 2^device_bits + lo. For 8-bit weights on 4-bit
+/// devices: hi ∈ [0,7], lo ∈ [0,15], port coefficients {2^4, 1}.
+struct NibblePair {
+  int hi = 0;
+  int lo = 0;
+};
+NibblePair split_magnitude(int magnitude, int device_bits);
+
+/// Number of cells a signed `weight_bits` weight occupies on
+/// `device_bits` devices when mapped SEI-style into one crossbar column
+/// (sign handled by the extra port, so: ceil((weight_bits-1)/device_bits)
+/// cells per polarity × 2 polarities).
+int sei_cells_per_weight(int weight_bits, int device_bits);
+
+/// Crossbar count for the ADC-merging baseline: one crossbar per
+/// (bit-slice × polarity) combination.
+int baseline_crossbars_per_matrix(int weight_bits, int device_bits);
+
+}  // namespace sei::quant

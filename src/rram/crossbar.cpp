@@ -1,0 +1,93 @@
+#include "rram/crossbar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sei::rram {
+
+Crossbar::Crossbar(int rows, int cols, const DeviceConfig& device, Rng& rng)
+    : rows_(rows),
+      cols_(cols),
+      device_(device),
+      rng_(rng.split()),
+      values_(static_cast<std::size_t>(rows) * cols, 0.0),
+      levels_(static_cast<std::size_t>(rows) * cols, 0),
+      stuck_(static_cast<std::size_t>(rows) * cols, -1) {
+  SEI_CHECK_MSG(rows >= 1 && cols >= 1, "crossbar must be non-empty");
+  for (auto& s : stuck_) {
+    int frozen = 0;
+    if (device_.roll_stuck(rng_, frozen)) {
+      s = static_cast<std::int16_t>(frozen);
+    }
+  }
+  for (std::size_t i = 0; i < stuck_.size(); ++i) {
+    if (stuck_[i] >= 0) {
+      levels_[i] = stuck_[i];
+      values_[i] = static_cast<double>(stuck_[i]) *
+                   ir_factor(static_cast<int>(i) / cols_,
+                             static_cast<int>(i) % cols_);
+    }
+  }
+}
+
+double Crossbar::ir_factor(int r, int c) const {
+  const double alpha = device_.config().ir_drop_alpha;
+  if (alpha <= 0.0) return 1.0;
+  constexpr double kReferenceLength = 512.0;  // cells of wire at full loss
+  const double dist = 0.5 * (r + c) / kReferenceLength;
+  return std::max(0.0, 1.0 - alpha * dist);
+}
+
+void Crossbar::program(int r, int c, int level) {
+  const std::size_t i = idx(r, c);
+  if (stuck_[i] >= 0) return;  // write-verify cannot move a stuck cell
+  levels_[i] = static_cast<std::int16_t>(level);
+  int attempts = 0;
+  values_[i] = device_.program(level, rng_, &attempts) * ir_factor(r, c);
+  program_attempts_ += attempts;
+}
+
+double Crossbar::cell(int r, int c) const { return values_[idx(r, c)]; }
+
+int Crossbar::cell_level(int r, int c) const { return levels_[idx(r, c)]; }
+
+void Crossbar::mvm(std::span<const double> in, std::span<double> out,
+                   Rng& rng) const {
+  SEI_CHECK(in.size() == static_cast<std::size_t>(rows_));
+  SEI_CHECK(out.size() == static_cast<std::size_t>(cols_));
+  for (auto& o : out) o = 0.0;
+  const double* v = values_.data();
+  for (int r = 0; r < rows_; ++r, v += cols_) {
+    const double x = in[static_cast<std::size_t>(r)];
+    if (x == 0.0) continue;
+    for (int c = 0; c < cols_; ++c) out[static_cast<std::size_t>(c)] += x * v[c];
+  }
+  for (auto& o : out) o = device_.read(o, rng);
+}
+
+void Crossbar::mvm_selected(std::span<const std::uint8_t> select,
+                            std::span<const double> port_coeff,
+                            std::span<double> out, Rng& rng) const {
+  SEI_CHECK(select.size() == static_cast<std::size_t>(rows_));
+  SEI_CHECK(port_coeff.size() == static_cast<std::size_t>(rows_));
+  SEI_CHECK(out.size() == static_cast<std::size_t>(cols_));
+  for (auto& o : out) o = 0.0;
+  const double* v = values_.data();
+  for (int r = 0; r < rows_; ++r, v += cols_) {
+    if (!select[static_cast<std::size_t>(r)]) continue;
+    const double k = port_coeff[static_cast<std::size_t>(r)];
+    for (int c = 0; c < cols_; ++c) out[static_cast<std::size_t>(c)] += k * v[c];
+  }
+  for (auto& o : out) o = device_.read(o, rng);
+}
+
+double Crossbar::misprogrammed_fraction() const {
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    if (std::fabs(values_[i] - static_cast<double>(levels_[i])) > 0.5) ++bad;
+  return static_cast<double>(bad) / static_cast<double>(values_.size());
+}
+
+}  // namespace sei::rram

@@ -1,0 +1,83 @@
+// RRAM crossbar: a rows×cols array of devices evaluated in the analog
+// domain. Values are kept in "level units" (the differential conductance of
+// a cell divided by one level step) so that an ideal crossbar computes the
+// exact integer matrix–vector product.
+//
+// Two evaluation modes mirror Fig. 2/3 of the paper:
+//  * mvm()          — voltages on the input lines (traditional DAC driving);
+//  * mvm_selected() — 1-bit activations open the row transmission gates and
+//                     the freed input line carries a per-row port
+//                     coefficient (the SEI structure: ±1, ±2^4, or the
+//                     dynamic-threshold slope k).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rram/device.hpp"
+
+namespace sei::rram {
+
+struct CrossbarLimits {
+  int max_rows = 512;  // state-of-the-art array size [15]
+  int max_cols = 512;
+};
+
+class Crossbar {
+ public:
+  /// Creates an array of off cells; devices with stuck faults are rolled
+  /// per-cell at construction time.
+  Crossbar(int rows, int cols, const DeviceConfig& device, Rng& rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  const DeviceModel& device() const { return device_; }
+
+  /// Write-verify programming of one cell to an integer level.
+  /// Stuck cells silently keep their frozen value (as real arrays do —
+  /// write-verify gives up after max attempts).
+  void program(int r, int c, int level);
+
+  /// Effective analog value of a cell in level units (post-variation).
+  double cell(int r, int c) const;
+
+  /// Ideal target level the cell was last programmed to.
+  int cell_level(int r, int c) const;
+
+  /// Analog MVM: out[c] = Σ_r in[r] · cell(r, c), plus read noise.
+  void mvm(std::span<const double> in, std::span<double> out, Rng& rng) const;
+
+  /// SEI evaluation: rows with select[r] == 1 contribute
+  /// port_coeff[r] · cell(r, c).
+  void mvm_selected(std::span<const std::uint8_t> select,
+                    std::span<const double> port_coeff,
+                    std::span<double> out, Rng& rng) const;
+
+  /// Fraction of cells whose effective value deviates from their target
+  /// level by more than half a level (programming-quality metric;
+  /// IR-drop attenuation counts as deviation).
+  double misprogrammed_fraction() const;
+
+  /// IR-drop attenuation factor applied to a cell's contribution.
+  double ir_factor(int r, int c) const;
+
+  /// Total programming pulses issued (write-verify accounting).
+  long long total_program_attempts() const { return program_attempts_; }
+
+ private:
+  std::size_t idx(int r, int c) const {
+    SEI_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return static_cast<std::size_t>(r) * cols_ + c;
+  }
+
+  int rows_;
+  int cols_;
+  DeviceModel device_;
+  mutable Rng rng_;                 // programming + read noise stream
+  std::vector<double> values_;      // effective analog values (level units)
+  std::vector<std::int16_t> levels_;  // last programmed target levels
+  std::vector<std::int16_t> stuck_;   // -1 = healthy, else frozen level
+  long long program_attempts_ = 0;
+};
+
+}  // namespace sei::rram

@@ -1,0 +1,55 @@
+#include "rram/device.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sei::rram {
+
+DeviceModel::DeviceModel(const DeviceConfig& cfg) : cfg_(cfg) {
+  SEI_CHECK_MSG(cfg.bits >= 1 && cfg.bits <= 8, "device bits out of range");
+  SEI_CHECK_MSG(cfg.g_max_s > cfg.g_min_s && cfg.g_min_s > 0,
+                "conductance window must be positive");
+  SEI_CHECK(cfg.program_sigma >= 0 && cfg.read_noise_sigma >= 0);
+  SEI_CHECK(cfg.stuck_fraction >= 0 && cfg.stuck_fraction <= 1);
+}
+
+double DeviceModel::conductance(int level) const {
+  SEI_CHECK_MSG(level >= 0 && level <= cfg_.max_level(),
+                "level " << level << " out of range");
+  return cfg_.g_min_s + (cfg_.g_max_s - cfg_.g_min_s) *
+                            static_cast<double>(level) / cfg_.max_level();
+}
+
+double DeviceModel::program(int level, Rng& rng, int* attempts_out) const {
+  SEI_CHECK_MSG(level >= 0 && level <= cfg_.max_level(),
+                "level " << level << " out of range");
+  if (attempts_out) *attempts_out = level == 0 ? 0 : 1;
+  if (level == 0) return 0.0;
+  const double target = static_cast<double>(level);
+  double best = target * rng.lognormal_multiplier(cfg_.program_sigma);
+  int attempts = 1;
+  while (std::fabs(best - target) > cfg_.program_tolerance &&
+         attempts < cfg_.max_program_attempts) {
+    const double v = target * rng.lognormal_multiplier(cfg_.program_sigma);
+    if (std::fabs(v - target) < std::fabs(best - target)) best = v;
+    ++attempts;
+  }
+  if (attempts_out) *attempts_out = attempts;
+  return best;
+}
+
+bool DeviceModel::roll_stuck(Rng& rng, int& stuck_level) const {
+  if (cfg_.stuck_fraction <= 0.0 || !rng.bernoulli(cfg_.stuck_fraction))
+    return false;
+  // Stuck-at-off is the dominant RRAM failure mode; stuck-on happens too.
+  stuck_level = rng.bernoulli(0.8) ? 0 : cfg_.max_level();
+  return true;
+}
+
+double DeviceModel::read(double current, Rng& rng) const {
+  if (cfg_.read_noise_sigma <= 0.0) return current;
+  return current * (1.0 + cfg_.read_noise_sigma * rng.gaussian());
+}
+
+}  // namespace sei::rram

@@ -1,0 +1,79 @@
+// Behavioural RRAM device model.
+//
+// Substitutes for the paper's Verilog-A 4-bit device [21] + SPICE crossbar:
+// what the accuracy experiments need is the *functional* analog behaviour —
+// discrete programmable conductance levels, programming inaccuracy, read
+// noise, and stuck cells — not transistor-level waveforms (DESIGN.md §3).
+//
+// A device stores an integer level v ∈ [0, 2^bits − 1]. Its conductance is
+//   g(v) = g_min + v/(2^bits − 1) · (g_max − g_min).
+// Computation uses the *differential* value (g − g_min), expressed in level
+// units, because the common g_min pedestal of all active rows is cancelled
+// by the reference column of the sense amplifier.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace sei::rram {
+
+struct DeviceConfig {
+  int bits = 4;                    // 4–6 bits is the state of the art [13]
+  double g_min_s = 1.0e-6;         // off conductance, siemens
+  double g_max_s = 1.0e-4;         // on conductance, siemens
+  double program_sigma = 0.0;      // lognormal sigma of one programming pulse
+  double read_noise_sigma = 0.0;   // relative gaussian noise per read
+  double stuck_fraction = 0.0;     // fraction of cells stuck at a random level
+
+  // Write-verify tuning loop (Alibart et al. [13]: "high precision tuning
+  // of state ... by adaptable variation-tolerant algorithm"): re-program
+  // until the read-back value is within program_tolerance levels of the
+  // target, up to max_program_attempts pulses. The default of 1 attempt
+  // models plain open-loop programming (a single lognormal sample).
+  int max_program_attempts = 1;
+  double program_tolerance = 0.35;  // accept window, in level units
+
+  // First-order IR-drop: the wire resistance that limits real arrays to
+  // ~512×512 [15]. A cell's contribution is attenuated by
+  //   1 − ir_drop_alpha · (r + c) / (2 · 512)
+  // i.e. ir_drop_alpha is the fractional signal loss at 512 cells of wire
+  // (the far corner of a maximum-size array), so larger arrays suffer
+  // proportionally more. This static approximation ignores the
+  // input-pattern dependence of the true drop but captures the systematic
+  // far-corner signal loss.
+  double ir_drop_alpha = 0.0;
+
+  int levels() const { return 1 << bits; }
+  int max_level() const { return levels() - 1; }
+};
+
+class DeviceModel {
+ public:
+  explicit DeviceModel(const DeviceConfig& cfg);
+
+  const DeviceConfig& config() const { return cfg_; }
+
+  /// Ideal conductance of a level, in siemens.
+  double conductance(int level) const;
+
+  /// Differential analog value actually stored after programming to
+  /// `level`: each pulse samples level × lognormal(σ_program); with
+  /// max_program_attempts > 1 the write-verify loop keeps pulsing until
+  /// the value lands within program_tolerance of the target (or gives up
+  /// and keeps the closest attempt). Level 0 programs exactly.
+  /// `attempts_out` (optional) receives the pulse count.
+  double program(int level, Rng& rng, int* attempts_out = nullptr) const;
+
+  /// Whether a freshly considered cell is stuck (fault injection); if so,
+  /// `stuck_level` receives the level it is frozen at.
+  bool roll_stuck(Rng& rng, int& stuck_level) const;
+
+  /// Applies per-read noise to an analog column current.
+  double read(double current, Rng& rng) const;
+
+ private:
+  DeviceConfig cfg_;
+};
+
+}  // namespace sei::rram

@@ -1,0 +1,37 @@
+#include "rram/periphery.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sei::rram {
+
+namespace {
+double pow2_scale(double anchor, int bits, int anchor_bits) {
+  SEI_CHECK_MSG(bits >= 1 && bits <= 16, "converter bits out of range");
+  return anchor * std::exp2(static_cast<double>(bits - anchor_bits));
+}
+}  // namespace
+
+double PeripheryCatalog::adc_energy_pj(int bits) const {
+  return pow2_scale(adc8.energy_pj, bits, 8);
+}
+
+double PeripheryCatalog::adc_area_um2(int bits) const {
+  return pow2_scale(adc8.area_um2, bits, 8);
+}
+
+double PeripheryCatalog::dac_energy_pj(int bits) const {
+  return pow2_scale(dac8.energy_pj, bits, 8);
+}
+
+double PeripheryCatalog::dac_area_um2(int bits) const {
+  return pow2_scale(dac8.area_um2, bits, 8);
+}
+
+const PeripheryCatalog& default_periphery() {
+  static const PeripheryCatalog catalog{};
+  return catalog;
+}
+
+}  // namespace sei::rram

@@ -1,0 +1,78 @@
+// Peripheral-circuit component catalog: per-instance area and per-operation
+// energy for everything around the crossbars.
+//
+// The authors took these numbers from [17] (limited-precision analog blocks),
+// [18] (high-speed DAC), [19] (interface co-optimization) and [20] (memory /
+// digital energy), none of which publish a complete machine-readable
+// spreadsheet. The values below are the same order of magnitude as those
+// sources and are *calibrated* so that the baseline design reproduces the
+// paper's headline shares (ADC+DAC > 98% of area and power, Network 1 total
+// ≈ 74 µJ/picture) — see DESIGN.md §3/§7. Every experiment varies only
+// *structures*, never these constants, so all relative results are
+// insensitive to the exact calibration.
+#pragma once
+
+namespace sei::rram {
+
+/// One catalog entry: silicon area per instance and energy per operation.
+struct Component {
+  const char* name = "";
+  double area_um2 = 0.0;
+  double energy_pj = 0.0;
+};
+
+struct PeripheryCatalog {
+  // 8-bit successive-approximation/pipeline ADC running at crossbar read
+  // rate. Dominant cost of the baseline design (Fig. 1).
+  Component adc8{"adc-8b", 3500.0, 1400.0};
+
+  // 8-bit current-steering DAC + input line driver.
+  Component dac8{"dac-8b", 1000.0, 350.0};
+
+  // Latched sense amplifier: the 1-bit "ADC" of the SEI structure. The area
+  // includes the programmable threshold-reference generation (which also
+  // realizes the neuron non-linearity and the dynamic-threshold compare).
+  Component sense_amp{"sense-amp", 900.0, 2.0};
+
+  // 1-bit input driver: transmission gate pair + line charge (SEI inputs).
+  Component driver_1bit{"driver-1b", 1.5, 4.0};
+
+  // Row/column decoder, write-verify and control logic, per crossbar
+  // instance; energy charged per crossbar activation.
+  Component decoder{"decoder+ctrl", 6000.0, 20.0};
+
+  // 8-bit digital adder/subtractor/shifter slice used by the ADC-based
+  // merging path; energy per add.
+  Component digital_add8{"digital-add-8b", 50.0, 0.4};
+
+  // Inter-layer register buffer, per bit (area) / per access (energy).
+  Component buffer_bit{"buffer-bit", 0.2, 0.05};
+
+  // RRAM cell: 4F² at F = 45 nm; energy per cell-activation during an
+  // analog MVM (charging + static current through the cell).
+  Component rram_cell{"rram-cell", 0.0081, 0.12};
+
+  // Winner-take-all readout of the final 10-way classifier column currents
+  // (used once per picture in SEI mode instead of a full ADC bank).
+  Component wta_readout{"wta-readout", 400.0, 10.0};
+
+  // One write-verify programming attempt on one cell (SET/RESET pulse +
+  // verify read). Multilevel tuning needs several attempts per cell [13];
+  // see write_verify_attempts. One-time cost per chip, not per picture.
+  Component cell_write{"cell-write-verify", 0.0, 150.0};
+  double write_verify_attempts = 4.0;
+
+  /// ADC energy/area scale steeply with resolution; anchor at 8 bits and
+  /// halve per bit removed (conservative for SAR-class converters).
+  double adc_energy_pj(int bits) const;
+  double adc_area_um2(int bits) const;
+
+  /// DACs scale similarly.
+  double dac_energy_pj(int bits) const;
+  double dac_area_um2(int bits) const;
+};
+
+/// The calibrated default catalog shared by all experiments.
+const PeripheryCatalog& default_periphery();
+
+}  // namespace sei::rram

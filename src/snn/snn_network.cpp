@@ -1,0 +1,137 @@
+#include "snn/snn_network.hpp"
+
+#include <algorithm>
+
+namespace sei::snn {
+
+namespace {
+
+/// Per-timestep 2×2 OR-pool of a spike map.
+void or_pool_spikes(const quant::BitMap& in, int h, int w, int c,
+                    quant::BitMap& out) {
+  const int ph = h / 2, pw = w / 2;
+  out.assign(static_cast<std::size_t>(ph) * pw * c, 0);
+  for (int y = 0; y < ph; ++y)
+    for (int x = 0; x < pw; ++x) {
+      std::uint8_t* opx =
+          out.data() + (static_cast<std::size_t>(y) * pw + x) * c;
+      for (int dy = 0; dy < 2; ++dy) {
+        const std::uint8_t* ipx =
+            in.data() +
+            (static_cast<std::size_t>(2 * y + dy) * w + 2 * x) * c;
+        for (int ch = 0; ch < c; ++ch)
+          opx[ch] |= static_cast<std::uint8_t>(ipx[ch] | ipx[c + ch]);
+      }
+    }
+}
+
+}  // namespace
+
+SnnNetwork::SnnNetwork(const quant::QNetwork& qnet, const SnnConfig& cfg)
+    : qnet_(&qnet), cfg_(cfg), rng_(cfg.seed) {
+  SEI_CHECK_MSG(cfg.timesteps >= 1, "need at least one timestep");
+  SEI_CHECK_MSG(cfg.firing_threshold > 0, "firing threshold must be positive");
+  SEI_CHECK(!qnet.layers.empty());
+}
+
+int SnnNetwork::predict(std::span<const float> image,
+                        SpikeStats* stats) const {
+  const auto& layers = qnet_->layers;
+  const int stages = static_cast<int>(layers.size());
+  const float thresh = cfg_.firing_threshold;
+
+  // Membranes of the hidden stages (pre-pool positions × channels) and the
+  // classifier's integrating accumulator.
+  std::vector<std::vector<float>> membrane(static_cast<std::size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    const auto& g = layers[static_cast<std::size_t>(s)].geom;
+    membrane[static_cast<std::size_t>(s)].assign(
+        static_cast<std::size_t>(g.out_h) * g.out_w * g.cols, 0.0f);
+  }
+
+  // Phase accumulators for deterministic input coding.
+  std::vector<float> phase(image.size(), 0.0f);
+
+  SpikeStats local;
+  quant::BitMap in_spikes(image.size());
+  quant::BitMap spikes, pooled;
+  std::vector<float> sums;
+
+  for (int t = 0; t < cfg_.timesteps; ++t) {
+    // Input spike generation (1-bit data: the SEI selection signals).
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      const float p = std::clamp(image[i], 0.0f, 1.0f);
+      bool spike = false;
+      if (cfg_.coding == InputCoding::kBernoulli) {
+        spike = rng_.bernoulli(p);
+      } else {
+        phase[i] += p;
+        if (phase[i] >= 1.0f) {
+          phase[i] -= 1.0f;
+          spike = true;
+        }
+      }
+      in_spikes[i] = spike ? 1 : 0;
+      local.input_spikes += spike;
+    }
+
+    const quant::BitMap* input = &in_spikes;
+    for (int s = 0; s < stages; ++s) {
+      const quant::QLayer& l = layers[static_cast<std::size_t>(s)];
+      quant::eval_stage_binary_input(l, *input, sums);
+      auto& mem = membrane[static_cast<std::size_t>(s)];
+      SEI_CHECK(mem.size() == sums.size());
+
+      if (!l.binarize) {
+        // Classifier: pure integration; decision at the end of the window.
+        for (std::size_t i = 0; i < mem.size(); ++i) mem[i] += sums[i];
+        break;
+      }
+
+      // Integrate-and-fire with reset-by-subtraction.
+      spikes.assign(mem.size(), 0);
+      for (std::size_t i = 0; i < mem.size(); ++i) {
+        mem[i] += sums[i];
+        if (mem[i] > thresh) {
+          mem[i] -= thresh;
+          spikes[i] = 1;
+          ++local.hidden_spikes;
+        } else if (mem[i] < -thresh) {
+          mem[i] = -thresh;  // bounded inhibition (no negative spikes)
+        }
+      }
+
+      // Output spikes (pooled if the stage pools) feed the next stage via
+      // the stable `pooled` buffer.
+      const auto& g = l.geom;
+      if (g.pool_after)
+        or_pool_spikes(spikes, g.out_h, g.out_w, g.cols, pooled);
+      else
+        pooled = spikes;
+      input = &pooled;
+    }
+  }
+
+  local.timesteps = cfg_.timesteps;
+  if (stats) *stats = local;
+
+  const auto& out = membrane.back();
+  return static_cast<int>(
+      std::max_element(out.begin(), out.end()) - out.begin());
+}
+
+double SnnNetwork::error_rate(const data::Dataset& d, int max_images) const {
+  const int n = max_images < 0 ? d.size() : std::min(max_images, d.size());
+  SEI_CHECK(n > 0);
+  const std::size_t per_image =
+      d.images.numel() / static_cast<std::size_t>(d.size());
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::span<const float> img{
+        d.images.data() + static_cast<std::size_t>(i) * per_image, per_image};
+    if (predict(img) == d.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return 100.0 * (1.0 - static_cast<double>(correct) / n);
+}
+
+}  // namespace sei::snn

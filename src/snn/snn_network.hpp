@@ -1,0 +1,74 @@
+// Rate-coded spiking neural network on the SEI structure — the extension
+// the paper's conclusion proposes ("use the proposed structure to support
+// other applications using 1-bit data like RRAM-based Spiking Neural
+// Networks [22]").
+//
+// Standard ANN→SNN conversion over the Algorithm-1 re-scaled float network
+// (whose stage outputs are normalized to ≤ 1, exactly the property rate
+// coding needs):
+//  * input pixels become Bernoulli spike trains with rate = pixel value
+//    (or deterministic phase coding), i.e. 1-bit inputs per timestep —
+//    directly drivable through the SEI selection gates, no DACs at all
+//    (this removes even the input-layer DACs the CNN design keeps);
+//  * each hidden neuron is integrate-and-fire: its membrane accumulates
+//    the crossbar column current every timestep and emits a spike
+//    (reset-by-subtraction) when it crosses the firing threshold;
+//  * max-pooling degenerates to a per-timestep OR of spikes, the same
+//    circuit as the CNN path;
+//  * the classifier integrates its currents over the window and the class
+//    with the largest accumulated current wins.
+//
+// As the time window T grows, spike rates approach the float activations
+// and accuracy approaches the float network's — traded against latency and
+// (linearly) spike-driven energy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "quant/qnet.hpp"
+
+namespace sei::snn {
+
+enum class InputCoding {
+  kBernoulli,  // stochastic rate coding (fresh randomness per timestep)
+  kPhased,     // deterministic: spike when accumulated value crosses 1
+};
+
+struct SnnConfig {
+  int timesteps = 32;
+  float firing_threshold = 1.0f;  // membrane threshold of hidden IF neurons
+  InputCoding coding = InputCoding::kPhased;
+  std::uint64_t seed = 7;
+};
+
+/// Per-image spiking statistics (for the energy discussion).
+struct SpikeStats {
+  long long input_spikes = 0;
+  long long hidden_spikes = 0;
+  long long timesteps = 0;
+};
+
+class SnnNetwork {
+ public:
+  /// Builds from the Algorithm-1 quantized network: uses its re-scaled
+  /// float weights; the per-stage 1-bit thresholds are replaced by the IF
+  /// dynamics. The QNetwork must outlive the SnnNetwork.
+  SnnNetwork(const quant::QNetwork& qnet, const SnnConfig& cfg);
+
+  /// Classifies one image over cfg.timesteps; optionally returns stats.
+  int predict(std::span<const float> image, SpikeStats* stats = nullptr) const;
+
+  double error_rate(const data::Dataset& d, int max_images = -1) const;
+
+  const SnnConfig& config() const { return cfg_; }
+
+ private:
+  const quant::QNetwork* qnet_;
+  SnnConfig cfg_;
+  mutable Rng rng_;
+};
+
+}  // namespace sei::snn

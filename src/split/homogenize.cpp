@@ -1,0 +1,212 @@
+#include "split/homogenize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace sei::split {
+
+namespace {
+
+/// Column sums of one block.
+std::vector<double> block_sum(const nn::Tensor& w,
+                              const std::vector<int>& rows) {
+  const int cols = w.dim(1);
+  std::vector<double> sum(static_cast<std::size_t>(cols), 0.0);
+  for (int r : rows) {
+    const float* row = w.data() + static_cast<std::size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) sum[static_cast<std::size_t>(c)] += row[c];
+  }
+  return sum;
+}
+
+double mean_vec_distance(const std::vector<double>& sum_a, std::size_t na,
+                         const std::vector<double>& sum_b, std::size_t nb) {
+  double d2 = 0.0;
+  for (std::size_t c = 0; c < sum_a.size(); ++c) {
+    const double diff = sum_a[c] / static_cast<double>(na) -
+                        sum_b[c] / static_cast<double>(nb);
+    d2 += diff * diff;
+  }
+  return std::sqrt(d2);
+}
+
+}  // namespace
+
+double partition_distance(const nn::Tensor& weight, const Partition& p) {
+  SEI_CHECK(weight.ndim() == 2);
+  const int k = p.block_count();
+  std::vector<std::vector<double>> sums;
+  sums.reserve(static_cast<std::size_t>(k));
+  for (const auto& b : p.blocks) sums.push_back(block_sum(weight, b));
+  double dist = 0.0;
+  for (int i = 0; i < k; ++i)
+    for (int j = i + 1; j < k; ++j)
+      dist += mean_vec_distance(sums[static_cast<std::size_t>(i)],
+                                p.blocks[static_cast<std::size_t>(i)].size(),
+                                sums[static_cast<std::size_t>(j)],
+                                p.blocks[static_cast<std::size_t>(j)].size());
+  return dist;
+}
+
+HomogenizeResult homogenize_rows(const nn::Tensor& weight, int k_blocks,
+                                 const HomogenizeConfig& cfg) {
+  SEI_CHECK(weight.ndim() == 2);
+  const int n = weight.dim(0);
+  const int cols = weight.dim(1);
+  SEI_CHECK(k_blocks >= 1 && k_blocks <= n);
+
+  HomogenizeResult res;
+  res.order = natural_order(n);
+  if (k_blocks == 1) return res;  // nothing to balance
+
+  Partition p = partition_from_order(res.order, k_blocks);
+
+  // State: per-block column sums and the pairwise distance matrix.
+  std::vector<std::vector<double>> sums;
+  for (const auto& b : p.blocks) sums.push_back(block_sum(weight, b));
+  const auto bsize = [&](int b) {
+    return p.blocks[static_cast<std::size_t>(b)].size();
+  };
+  std::vector<std::vector<double>> pair_dist(
+      static_cast<std::size_t>(k_blocks),
+      std::vector<double>(static_cast<std::size_t>(k_blocks), 0.0));
+  double total = 0.0;
+  for (int i = 0; i < k_blocks; ++i)
+    for (int j = i + 1; j < k_blocks; ++j) {
+      const double d =
+          mean_vec_distance(sums[static_cast<std::size_t>(i)], bsize(i),
+                            sums[static_cast<std::size_t>(j)], bsize(j));
+      pair_dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = d;
+      pair_dist[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = d;
+      total += d;
+    }
+  res.initial_distance = total;
+
+  Rng rng(cfg.seed);
+  std::vector<double> new_sum_a(static_cast<std::size_t>(cols));
+  std::vector<double> new_sum_b(static_cast<std::size_t>(cols));
+
+  for (int it = 0; it < cfg.iterations; ++it) {
+    // Pick two distinct blocks and one row position in each.
+    const int bi = static_cast<int>(rng.below(static_cast<std::uint64_t>(k_blocks)));
+    int bj = static_cast<int>(rng.below(static_cast<std::uint64_t>(k_blocks - 1)));
+    if (bj >= bi) ++bj;
+    auto& rows_i = p.blocks[static_cast<std::size_t>(bi)];
+    auto& rows_j = p.blocks[static_cast<std::size_t>(bj)];
+    const std::size_t pi = rng.below(rows_i.size());
+    const std::size_t pj = rng.below(rows_j.size());
+    const int ri = rows_i[pi], rj = rows_j[pj];
+
+    // Candidate sums after swapping rows ri <-> rj.
+    const float* wri = weight.data() + static_cast<std::size_t>(ri) * cols;
+    const float* wrj = weight.data() + static_cast<std::size_t>(rj) * cols;
+    const auto& sa = sums[static_cast<std::size_t>(bi)];
+    const auto& sb = sums[static_cast<std::size_t>(bj)];
+    for (int c = 0; c < cols; ++c) {
+      const double delta = static_cast<double>(wrj[c]) - wri[c];
+      new_sum_a[static_cast<std::size_t>(c)] = sa[static_cast<std::size_t>(c)] + delta;
+      new_sum_b[static_cast<std::size_t>(c)] = sb[static_cast<std::size_t>(c)] - delta;
+    }
+
+    // Distance delta: only pairs touching bi or bj change.
+    double delta_dist = 0.0;
+    std::vector<double> new_di(static_cast<std::size_t>(k_blocks), 0.0);
+    std::vector<double> new_dj(static_cast<std::size_t>(k_blocks), 0.0);
+    for (int b = 0; b < k_blocks; ++b) {
+      if (b != bi && b != bj) {
+        const auto& sb_other = sums[static_cast<std::size_t>(b)];
+        new_di[static_cast<std::size_t>(b)] =
+            mean_vec_distance(new_sum_a, bsize(bi), sb_other, bsize(b));
+        new_dj[static_cast<std::size_t>(b)] =
+            mean_vec_distance(new_sum_b, bsize(bj), sb_other, bsize(b));
+        delta_dist +=
+            new_di[static_cast<std::size_t>(b)] -
+            pair_dist[static_cast<std::size_t>(bi)][static_cast<std::size_t>(b)];
+        delta_dist +=
+            new_dj[static_cast<std::size_t>(b)] -
+            pair_dist[static_cast<std::size_t>(bj)][static_cast<std::size_t>(b)];
+      }
+    }
+    const double d_ij = mean_vec_distance(new_sum_a, bsize(bi), new_sum_b, bsize(bj));
+    delta_dist +=
+        d_ij -
+        pair_dist[static_cast<std::size_t>(bi)][static_cast<std::size_t>(bj)];
+
+    if (delta_dist < -1e-15) {
+      // Commit the swap.
+      std::swap(rows_i[pi], rows_j[pj]);
+      sums[static_cast<std::size_t>(bi)] = new_sum_a;
+      sums[static_cast<std::size_t>(bj)] = new_sum_b;
+      for (int b = 0; b < k_blocks; ++b) {
+        if (b == bi || b == bj) continue;
+        pair_dist[static_cast<std::size_t>(bi)][static_cast<std::size_t>(b)] =
+            new_di[static_cast<std::size_t>(b)];
+        pair_dist[static_cast<std::size_t>(b)][static_cast<std::size_t>(bi)] =
+            new_di[static_cast<std::size_t>(b)];
+        pair_dist[static_cast<std::size_t>(bj)][static_cast<std::size_t>(b)] =
+            new_dj[static_cast<std::size_t>(b)];
+        pair_dist[static_cast<std::size_t>(b)][static_cast<std::size_t>(bj)] =
+            new_dj[static_cast<std::size_t>(b)];
+      }
+      pair_dist[static_cast<std::size_t>(bi)][static_cast<std::size_t>(bj)] = d_ij;
+      pair_dist[static_cast<std::size_t>(bj)][static_cast<std::size_t>(bi)] = d_ij;
+      total += delta_dist;
+      ++res.accepted_swaps;
+    }
+  }
+
+  res.final_distance = total;
+  res.order.clear();
+  for (const auto& b : p.blocks) res.order.insert(res.order.end(), b.begin(), b.end());
+  return res;
+}
+
+std::vector<int> brute_force_best_order(const nn::Tensor& weight,
+                                        int k_blocks) {
+  const int n = weight.dim(0);
+  SEI_CHECK_MSG(n <= 12, "brute force is exponential; use homogenize_rows");
+  SEI_CHECK(k_blocks >= 1 && k_blocks <= n);
+
+  // Enumerate multiset permutations of block labels (balanced sizes).
+  std::vector<int> labels;
+  const int base = n / k_blocks, extra = n % k_blocks;
+  for (int b = 0; b < k_blocks; ++b)
+    for (int i = 0; i < base + (b < extra ? 1 : 0); ++i) labels.push_back(b);
+  std::sort(labels.begin(), labels.end());
+
+  double best = 1e300;
+  std::vector<int> best_order = natural_order(n);
+  do {
+    Partition p;
+    p.blocks.assign(static_cast<std::size_t>(k_blocks), {});
+    for (int r = 0; r < n; ++r)
+      p.blocks[static_cast<std::size_t>(labels[static_cast<std::size_t>(r)])]
+          .push_back(r);
+    const double d = partition_distance(weight, p);
+    if (d < best) {
+      best = d;
+      best_order.clear();
+      for (const auto& b : p.blocks)
+        best_order.insert(best_order.end(), b.begin(), b.end());
+    }
+  } while (std::next_permutation(labels.begin(), labels.end()));
+  return best_order;
+}
+
+std::vector<std::vector<int>> random_orders(int n_rows, int count,
+                                            std::uint64_t seed) {
+  SEI_CHECK(n_rows >= 1 && count >= 1);
+  Rng rng(seed);
+  std::vector<std::vector<int>> orders;
+  orders.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    std::vector<int> o = natural_order(n_rows);
+    rng.shuffle(o);
+    orders.push_back(std::move(o));
+  }
+  return orders;
+}
+
+}  // namespace sei::split

@@ -1,0 +1,56 @@
+// Matrix homogenization (Section 4.3, Equ. 10).
+//
+// Goal: distribute the logical rows of a weight matrix over K blocks so the
+// blocks' column-mean vectors are as close as possible — each sub-crossbar
+// then contributes a comparable share of every output column sum, making
+// the per-block threshold Thres/K meaningful. The paper optimizes by
+// iteratively exchanging random row pairs between blocks ("genetic"
+// stochastic search); the problem is a multiple-knapsack-style NP-complete
+// assignment, so the exact method is only feasible for tiny matrices (we
+// keep one for tests).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/tensor.hpp"
+#include "split/partition.hpp"
+
+namespace sei::split {
+
+/// Equ. (10): Σ_{i<j} ‖a_i − a_j‖₂ over the blocks' column-mean vectors.
+double partition_distance(const nn::Tensor& weight, const Partition& p);
+
+struct HomogenizeConfig {
+  int iterations = 30000;      // random exchange attempts
+  std::uint64_t seed = 1234;
+};
+
+struct HomogenizeResult {
+  std::vector<int> order;      // row order whose contiguous chunks are blocks
+  double initial_distance = 0.0;
+  double final_distance = 0.0;
+  int accepted_swaps = 0;
+
+  double reduction_pct() const {
+    return initial_distance > 0.0
+               ? 100.0 * (1.0 - final_distance / initial_distance)
+               : 0.0;
+  }
+};
+
+/// Stochastic row-exchange search starting from the natural order.
+/// Incremental distance maintenance makes each attempt O(K · cols).
+HomogenizeResult homogenize_rows(const nn::Tensor& weight, int k_blocks,
+                                 const HomogenizeConfig& cfg = {});
+
+/// Exact minimizer by exhaustive enumeration of block assignments.
+/// Only feasible for tiny inputs (≲ 12 rows); used to validate the
+/// stochastic search in tests.
+std::vector<int> brute_force_best_order(const nn::Tensor& weight,
+                                        int k_blocks);
+
+/// `count` random row orders for the Table 4 random-splitting experiment.
+std::vector<std::vector<int>> random_orders(int n_rows, int count,
+                                            std::uint64_t seed);
+
+}  // namespace sei::split

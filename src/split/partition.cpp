@@ -1,0 +1,67 @@
+#include "split/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sei::split {
+
+int Partition::total_rows() const {
+  int n = 0;
+  for (const auto& b : blocks) n += static_cast<int>(b.size());
+  return n;
+}
+
+void Partition::check_valid(int n_rows) const {
+  SEI_CHECK_MSG(total_rows() == n_rows, "partition covers " << total_rows()
+                                                            << " of " << n_rows
+                                                            << " rows");
+  std::vector<char> seen(static_cast<std::size_t>(n_rows), 0);
+  for (const auto& b : blocks) {
+    SEI_CHECK_MSG(!b.empty(), "partition has an empty block");
+    for (int r : b) {
+      SEI_CHECK_MSG(r >= 0 && r < n_rows, "row index out of range");
+      SEI_CHECK_MSG(!seen[static_cast<std::size_t>(r)],
+                    "row " << r << " appears in two blocks");
+      seen[static_cast<std::size_t>(r)] = 1;
+    }
+  }
+}
+
+int logical_capacity(int max_physical_rows, int cells_per_weight) {
+  SEI_CHECK(max_physical_rows >= 1 && cells_per_weight >= 1);
+  const int cap = max_physical_rows / cells_per_weight;
+  SEI_CHECK_MSG(cap >= 1, "crossbar cannot hold even one logical row");
+  return cap;
+}
+
+int blocks_needed(int n_rows, int max_physical_rows, int cells_per_weight) {
+  SEI_CHECK(n_rows >= 1);
+  const int cap = logical_capacity(max_physical_rows, cells_per_weight);
+  return (n_rows + cap - 1) / cap;
+}
+
+Partition partition_from_order(const std::vector<int>& order, int k) {
+  const int n = static_cast<int>(order.size());
+  SEI_CHECK(k >= 1 && k <= n);
+  Partition p;
+  p.blocks.resize(static_cast<std::size_t>(k));
+  // Nearly equal chunk sizes: the first (n % k) blocks get one extra row.
+  const int base = n / k, extra = n % k;
+  int pos = 0;
+  for (int b = 0; b < k; ++b) {
+    const int size = base + (b < extra ? 1 : 0);
+    auto& blk = p.blocks[static_cast<std::size_t>(b)];
+    blk.assign(order.begin() + pos, order.begin() + pos + size);
+    pos += size;
+  }
+  p.check_valid(n);
+  return p;
+}
+
+std::vector<int> natural_order(int n) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+}  // namespace sei::split

@@ -1,0 +1,43 @@
+// Row partitioning for matrices too large for one crossbar (Section 4.3).
+//
+// Splitting happens at *logical* row granularity: one logical row is one
+// input signal whose weight occupies `cells_per_weight` physical crossbar
+// rows under the SEI mapping, so a crossbar with `max_physical_rows` rows
+// holds ⌊max_physical_rows / cells_per_weight⌋ logical rows. (Example from
+// the paper: a 300×64 signed-8-bit matrix on 4-bit devices expands ×4 to
+// 1200 physical rows and splits into three 400×64 crossbars at the 512
+// limit.)
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sei::split {
+
+/// A partition assigns every logical row index to exactly one block.
+struct Partition {
+  std::vector<std::vector<int>> blocks;  // logical row indices per block
+
+  int block_count() const { return static_cast<int>(blocks.size()); }
+  int total_rows() const;
+
+  /// Validates that blocks form a permutation of 0..n-1.
+  void check_valid(int n_rows) const;
+};
+
+/// Number of blocks needed for `n_rows` logical rows given the physical
+/// crossbar limit.
+int blocks_needed(int n_rows, int max_physical_rows, int cells_per_weight);
+
+/// Maximum logical rows per crossbar.
+int logical_capacity(int max_physical_rows, int cells_per_weight);
+
+/// Splits `order` (a permutation of 0..n-1) into `k` nearly equal
+/// contiguous chunks — block sizes differ by at most one.
+Partition partition_from_order(const std::vector<int>& order, int k);
+
+/// Identity order 0..n-1.
+std::vector<int> natural_order(int n);
+
+}  // namespace sei::split

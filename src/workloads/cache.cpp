@@ -1,0 +1,164 @@
+#include "workloads/cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/io.hpp"
+#include "common/timer.hpp"
+#include "data/idx_loader.hpp"
+#include "data/synthetic_digits.hpp"
+#include "nn/model_io.hpp"
+
+#ifndef SEI_DEFAULT_CACHE_DIR
+#define SEI_DEFAULT_CACHE_DIR "models"
+#endif
+
+namespace sei::workloads {
+
+namespace {
+constexpr std::uint32_t kQnetMagic = 0x5e1c0de5;
+constexpr int kTrainImages = 12000;
+constexpr int kTestImages = 2000;
+constexpr std::uint64_t kDataSeed = 20160605;
+}  // namespace
+
+std::string cache_dir() {
+  const char* env = std::getenv("SEI_CACHE_DIR");
+  std::string dir = env && *env ? env : SEI_DEFAULT_CACHE_DIR;
+  ensure_directory(dir);
+  return dir;
+}
+
+data::DataBundle load_default_data(bool verbose) {
+  if (const char* mnist = std::getenv("MNIST_DIR"); mnist && *mnist) {
+    if (auto bundle = data::load_mnist_dir(mnist)) {
+      if (verbose)
+        std::printf("data: real MNIST from %s (%d train / %d test)\n", mnist,
+                    bundle->train.size(), bundle->test.size());
+      return std::move(*bundle);
+    }
+    std::printf("warning: MNIST_DIR=%s lacks the IDX files; "
+                "falling back to synthetic digits\n", mnist);
+  }
+  const std::string dir = cache_dir();
+  const std::string train_path = dir + "/synthetic_train.ds";
+  const std::string test_path = dir + "/synthetic_test.ds";
+  data::DataBundle b;
+  b.source = "synthetic:" + std::to_string(kDataSeed);
+  if (file_exists(train_path) && file_exists(test_path)) {
+    b.train = data::load_dataset(train_path);
+    b.test = data::load_dataset(test_path);
+    return b;
+  }
+  if (verbose) std::printf("data: generating synthetic digits…\n");
+  b = data::synthetic_bundle(kTrainImages, kTestImages, kDataSeed);
+  data::save_dataset(b.train, train_path);
+  data::save_dataset(b.test, test_path);
+  return b;
+}
+
+data::DataBundle load_small_data(int train_n, int test_n,
+                                 std::uint64_t seed) {
+  return data::synthetic_bundle(train_n, test_n, seed);
+}
+
+nn::Network load_or_train(const Workload& wl, const data::DataBundle& data,
+                          bool verbose) {
+  nn::Network net = build_float_network(wl.topo, wl.train.seed);
+  const std::string path = cache_dir() + "/" + wl.topo.name + ".model";
+  if (file_exists(path)) {
+    nn::load_model(net, path);
+    return net;
+  }
+  if (verbose)
+    std::printf("training %s (%d epochs, %d images)…\n",
+                wl.topo.name.c_str(), wl.train.epochs, data.train.size());
+  Timer t;
+  nn::TrainConfig tc = wl.train;
+  tc.verbose = verbose;
+  nn::Trainer(tc).fit(net, data.train.images, data.train.label_span());
+  if (verbose)
+    std::printf("trained %s in %.0fs\n", wl.topo.name.c_str(), t.seconds());
+  nn::save_model(net, path);
+  return net;
+}
+
+void save_qnetwork(const quant::QNetwork& q, const std::string& path) {
+  BinaryWriter w(path);
+  w.write_u32(kQnetMagic);
+  w.write_string(q.name);
+  w.write_u64(q.layers.size());
+  for (const auto& l : q.layers) {
+    w.write_i32(l.geom.rows);
+    w.write_i32(l.geom.cols);
+    w.write_f32(l.threshold);
+    w.write_u32(l.binarize ? 1 : 0);
+    w.write_f32_vec({l.weight.flat().begin(), l.weight.flat().end()});
+    w.write_f32_vec({l.bias.flat().begin(), l.bias.flat().end()});
+  }
+  w.commit();
+}
+
+quant::QNetwork load_qnetwork(const std::string& path,
+                              const quant::Topology& topo) {
+  BinaryReader r(path);
+  SEI_CHECK_MSG(r.read_u32() == kQnetMagic, "not a qnet file: " << path);
+  quant::QNetwork q;
+  q.name = r.read_string();
+  SEI_CHECK_MSG(q.name == topo.name, "qnet/topology name mismatch");
+  const std::uint64_t n = r.read_u64();
+  const auto geoms = quant::resolve_geometry(topo);
+  SEI_CHECK_MSG(n == geoms.size(), "qnet stage count mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    quant::QLayer l;
+    l.geom = geoms[i];
+    const int rows = r.read_i32();
+    const int cols = r.read_i32();
+    SEI_CHECK_MSG(rows == l.geom.rows && cols == l.geom.cols,
+                  "qnet stage " << i << " shape mismatch");
+    l.threshold = r.read_f32();
+    l.binarize = r.read_u32() != 0;
+    std::vector<float> wv = r.read_f32_vec();
+    std::vector<float> bv = r.read_f32_vec();
+    l.weight = nn::Tensor({rows, cols});
+    SEI_CHECK(wv.size() == l.weight.numel());
+    std::copy(wv.begin(), wv.end(), l.weight.data());
+    l.bias = nn::Tensor::from_vector(std::move(bv));
+    SEI_CHECK(static_cast<int>(l.bias.numel()) == cols);
+    q.layers.push_back(std::move(l));
+  }
+  return q;
+}
+
+quant::QuantizationResult load_or_quantize(const Workload& wl,
+                                           nn::Network& float_net,
+                                           const data::DataBundle& data,
+                                           const quant::SearchConfig& cfg,
+                                           bool verbose) {
+  const std::string path = cache_dir() + "/" + wl.topo.name + ".qnet";
+  quant::QuantizationResult result;
+  if (file_exists(path)) {
+    result.qnet = load_qnetwork(path, wl.topo);
+    // Keep the float network's matrix layers in sync with the cached
+    // (re-scaled) weights so float-tail evaluations remain meaningful.
+    auto mats = float_net.matrix_layers();
+    SEI_CHECK(mats.size() == result.qnet.layers.size());
+    for (std::size_t i = 0; i < mats.size(); ++i) {
+      mats[i]->weight_matrix() = result.qnet.layers[i].weight;
+      mats[i]->bias() = result.qnet.layers[i].bias;
+    }
+    return result;
+  }
+  if (verbose)
+    std::printf("quantizing %s (Algorithm 1, %d search images)…\n",
+                wl.topo.name.c_str(),
+                std::min(cfg.max_search_images, data.train.size()));
+  Timer t;
+  result = quant::quantize_network(float_net, wl.topo, data.train, cfg);
+  if (verbose)
+    std::printf("quantized %s in %.0fs\n", wl.topo.name.c_str(), t.seconds());
+  save_qnetwork(result.qnet, path);
+  return result;
+}
+
+}  // namespace sei::workloads

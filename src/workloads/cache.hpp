@@ -1,0 +1,46 @@
+// Train-or-load caching for datasets, float models and quantized networks.
+//
+// The cache directory defaults to <repo>/models (compile-time constant) and
+// can be overridden with the SEI_CACHE_DIR environment variable. All files
+// are written atomically; deleting the directory forces full retraining.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "quant/threshold_search.hpp"
+#include "workloads/networks.hpp"
+
+namespace sei::workloads {
+
+/// Resolved cache directory (created on first use).
+std::string cache_dir();
+
+/// The experiment dataset: real MNIST if MNIST_DIR is set, otherwise the
+/// synthetic substitute (10k train / 2k test), cached on disk.
+data::DataBundle load_default_data(bool verbose = false);
+
+/// Smaller bundles for tests.
+data::DataBundle load_small_data(int train_n, int test_n,
+                                 std::uint64_t seed = 99);
+
+/// Trains (or loads) the float network for a workload.
+nn::Network load_or_train(const Workload& wl, const data::DataBundle& data,
+                          bool verbose = false);
+
+/// Runs (or loads) Algorithm 1 for a workload. `float_net` must be the
+/// network returned by load_or_train for the same workload; on a cache hit
+/// its weights are replaced by the cached re-scaled ones so that float and
+/// quantized representations stay in sync.
+quant::QuantizationResult load_or_quantize(const Workload& wl,
+                                           nn::Network& float_net,
+                                           const data::DataBundle& data,
+                                           const quant::SearchConfig& cfg,
+                                           bool verbose = false);
+
+/// Serialization used by the cache (exposed for tests).
+void save_qnetwork(const quant::QNetwork& q, const std::string& path);
+quant::QNetwork load_qnetwork(const std::string& path,
+                              const quant::Topology& topo);
+
+}  // namespace sei::workloads

@@ -1,0 +1,103 @@
+#include "workloads/networks.hpp"
+
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+
+namespace sei::workloads {
+
+namespace {
+
+quant::StageSpec conv(int kernel, int out_channels, bool pool) {
+  quant::StageSpec s;
+  s.kind = quant::StageSpec::Kind::Conv;
+  s.kernel = kernel;
+  s.out_channels = out_channels;
+  s.pool_after = pool;
+  return s;
+}
+
+quant::StageSpec fc(int out) {
+  quant::StageSpec s;
+  s.kind = quant::StageSpec::Kind::Fc;
+  s.out_channels = out;
+  return s;
+}
+
+}  // namespace
+
+Workload network1() {
+  Workload w;
+  w.topo.name = "network1";
+  w.topo.stages = {conv(5, 12, true), conv(5, 64, true), fc(10)};
+  w.train.epochs = 8;
+  w.train.batch_size = 32;
+  w.train.learning_rate = 0.05;
+  w.train.seed = 1001;
+  return w;
+}
+
+Workload network2() {
+  Workload w;
+  w.topo.name = "network2";
+  w.topo.stages = {conv(3, 4, true), conv(3, 8, true), fc(10)};
+  w.train.epochs = 10;
+  w.train.batch_size = 32;
+  w.train.learning_rate = 0.05;
+  w.train.seed = 1002;
+  return w;
+}
+
+Workload network3() {
+  Workload w;
+  w.topo.name = "network3";
+  w.topo.stages = {conv(3, 6, true), conv(3, 12, true), fc(10)};
+  w.train.epochs = 10;
+  w.train.batch_size = 32;
+  w.train.learning_rate = 0.05;
+  w.train.seed = 1003;
+  return w;
+}
+
+Workload mlp() {
+  Workload w;
+  w.topo.name = "mlp";
+  w.topo.stages = {fc(300), fc(100), fc(10)};
+  w.train.epochs = 8;
+  w.train.batch_size = 32;
+  w.train.learning_rate = 0.05;
+  w.train.seed = 1004;
+  return w;
+}
+
+Workload workload_by_name(const std::string& name) {
+  if (name == "network1") return network1();
+  if (name == "network2") return network2();
+  if (name == "network3") return network3();
+  if (name == "mlp") return mlp();
+  SEI_CHECK_MSG(false, "unknown workload: " << name);
+  return {};
+}
+
+nn::Network build_float_network(const quant::Topology& topo,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Network net;
+  const auto geoms = quant::resolve_geometry(topo);
+  for (std::size_t i = 0; i < geoms.size(); ++i) {
+    const auto& g = geoms[i];
+    const bool final_stage = i + 1 == geoms.size();
+    if (g.kind == quant::StageSpec::Kind::Conv) {
+      net.add<nn::Conv2D>(g.kernel, g.in_ch, g.cols, rng);
+      if (!final_stage) net.add<nn::ReLU>();
+      if (g.pool_after) net.add<nn::MaxPool2x2>();
+    } else {
+      net.add<nn::Dense>(g.rows, g.cols, rng);
+      if (!final_stage) net.add<nn::ReLU>();
+    }
+  }
+  return net;
+}
+
+}  // namespace sei::workloads

@@ -1,0 +1,40 @@
+// The three 4-layer CNNs of Table 2 and the float-network builder.
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+#include "quant/qnet.hpp"
+
+namespace sei::workloads {
+
+struct Workload {
+  quant::Topology topo;
+  nn::TrainConfig train;
+};
+
+/// Network 1: conv 5×5×12 → pool → conv 5×5×64 → pool → fc 1024×10
+/// (weight matrices 25×12, 300×64, 1024×10).
+Workload network1();
+
+/// Network 2: conv 3×3×4 → pool → conv 3×3×8 → pool → fc 200×10.
+Workload network2();
+
+/// Network 3: conv 3×3×6 → pool → conv 3×3×12 → pool → fc 300×10.
+Workload network3();
+
+/// Extension workload: a binary-activation MLP (784→300→100→10), the
+/// network family of Kim et al. [10] the related-work section discusses.
+/// Exercises hidden fully-connected stages (conv-free SEI mapping).
+Workload mlp();
+
+/// Lookup by name ("network1" | "network2" | "network3" | "mlp").
+Workload workload_by_name(const std::string& name);
+
+/// Materializes the float training network for a topology:
+/// Conv2D+ReLU(+MaxPool) per conv stage, Dense for the classifier.
+nn::Network build_float_network(const quant::Topology& topo,
+                                std::uint64_t seed);
+
+}  // namespace sei::workloads

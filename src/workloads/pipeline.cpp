@@ -1,0 +1,56 @@
+#include "workloads/pipeline.hpp"
+
+#include "common/io.hpp"
+
+namespace sei::workloads {
+
+namespace {
+constexpr std::uint32_t kMetricsMagic = 0x5e1e77ac;
+
+/// The float test error is cached next to the model so bench re-runs skip
+/// the full-precision evaluation of the big networks.
+double cached_float_error(const Workload& wl, nn::Network& net,
+                          const data::DataBundle& data) {
+  const std::string path = cache_dir() + "/" + wl.topo.name + ".metrics";
+  if (file_exists(path)) {
+    BinaryReader r(path);
+    if (r.read_u32() == kMetricsMagic) return r.read_f64();
+  }
+  const double err = net.error_rate(data.test.images, data.test.label_span());
+  BinaryWriter w(path);
+  w.write_u32(kMetricsMagic);
+  w.write_f64(err);
+  w.commit();
+  return err;
+}
+}  // namespace
+
+Artifacts prepare_workload(const std::string& name,
+                           const data::DataBundle& data,
+                           const PipelineOptions& opts) {
+  Artifacts art;
+  art.wl = workload_by_name(name);
+  art.float_net = load_or_train(art.wl, data, opts.verbose);
+  // Must run before load_or_quantize: quantization re-scales the weights.
+  art.float_test_error_pct = cached_float_error(art.wl, art.float_net, data);
+  quant::QuantizationResult q = load_or_quantize(
+      art.wl, art.float_net, data, opts.search, opts.verbose);
+  art.qnet = std::move(q.qnet);
+  return art;
+}
+
+core::SeiNetwork make_sei_network(const Artifacts& art,
+                                  const core::HardwareConfig& cfg,
+                                  const data::DataBundle& data,
+                                  bool optimize_dyn_threshold,
+                                  core::DynThreshResult* dyn_out) {
+  core::SeiNetwork net(art.qnet, cfg);
+  if (optimize_dyn_threshold && cfg.split_dynamic_threshold) {
+    core::DynThreshResult r =
+        core::optimize_dynamic_threshold(net, data.train);
+    if (dyn_out) *dyn_out = r;
+  }
+  return net;
+}
+
+}  // namespace sei::workloads

@@ -1,0 +1,48 @@
+// End-to-end pipeline shared by benches, examples and integration tests:
+// dataset → float training → Algorithm 1 quantization → hardware mapping.
+#pragma once
+
+#include "core/dyn_opt.hpp"
+#include "core/sei_network.hpp"
+#include "workloads/cache.hpp"
+
+namespace sei::workloads {
+
+struct PipelineOptions {
+  quant::SearchConfig search;  // Algorithm 1 settings
+  bool verbose = false;
+};
+
+/// Everything the experiments need for one workload.
+struct Artifacts {
+  Workload wl;
+  nn::Network float_net;      // trained, re-scaled (Algorithm 1)
+  quant::QNetwork qnet;       // quantized network with thresholds
+
+  // Test error of the float network, measured BEFORE Algorithm 1: the
+  // re-scaling step divides each hidden layer's weights and bias by its max
+  // output, which changes the relative weight/bias scale of deeper layers,
+  // so the mutated float network is no longer the accuracy baseline.
+  double float_test_error_pct = 0.0;
+
+  double quant_error(const data::Dataset& d) const {
+    return qnet.error_rate(d);
+  }
+};
+
+/// Trains (or loads) and quantizes (or loads) the named workload.
+Artifacts prepare_workload(const std::string& name,
+                           const data::DataBundle& data,
+                           const PipelineOptions& opts = {});
+
+/// Builds an SEI hardware simulation of the artifacts' quantized network
+/// and (optionally) runs the dynamic-threshold optimization on the
+/// training set. Returns the network; `dyn_out` (if non-null) receives the
+/// optimization record.
+core::SeiNetwork make_sei_network(const Artifacts& art,
+                                  const core::HardwareConfig& cfg,
+                                  const data::DataBundle& data,
+                                  bool optimize_dyn_threshold,
+                                  core::DynThreshResult* dyn_out = nullptr);
+
+}  // namespace sei::workloads

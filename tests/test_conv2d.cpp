@@ -1,0 +1,143 @@
+// Conv2D forward vs a direct (non-im2col) reference, and backward vs
+// numerical gradients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/conv2d.hpp"
+
+namespace sei::nn {
+namespace {
+
+/// Direct convolution per Equ. (1) of the paper (valid, stride 1, NHWC).
+Tensor direct_conv(const Tensor& in, const Tensor& wmat, const Tensor& bias,
+                   int kernel, int out_ch) {
+  const int n = in.dim(0), h = in.dim(1), w = in.dim(2), c = in.dim(3);
+  const int oh = h - kernel + 1, ow = w - kernel + 1;
+  Tensor out({n, oh, ow, out_ch});
+  for (int img = 0; img < n; ++img)
+    for (int y = 0; y < oh; ++y)
+      for (int x = 0; x < ow; ++x)
+        for (int z = 0; z < out_ch; ++z) {
+          double acc = bias.at(z);
+          for (int di = 0; di < kernel; ++di)
+            for (int dj = 0; dj < kernel; ++dj)
+              for (int ch = 0; ch < c; ++ch) {
+                const int row = (di * kernel + dj) * c + ch;
+                acc += static_cast<double>(in.at(img, y + di, x + dj, ch)) *
+                       wmat.at(row, z);
+              }
+          out.at(img, y, x, z) = static_cast<float>(acc);
+        }
+  return out;
+}
+
+Tensor random_tensor(std::vector<int> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (float& v : t.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(Conv2D, MatrixGeometryMatchesTable2) {
+  Rng rng(1);
+  Conv2D c1(5, 1, 12, rng);
+  EXPECT_EQ(c1.matrix_rows(), 25);  // weight matrix 1 of Network 1
+  EXPECT_EQ(c1.matrix_cols(), 12);
+  Conv2D c2(5, 12, 64, rng);
+  EXPECT_EQ(c2.matrix_rows(), 300);  // weight matrix 2 of Network 1
+  EXPECT_EQ(c2.matrix_cols(), 64);
+}
+
+TEST(Conv2D, ForwardMatchesDirectConvolution) {
+  Rng rng(2);
+  Conv2D conv(3, 2, 4, rng);
+  Tensor in = random_tensor({2, 6, 5, 2}, rng);
+  Tensor got = conv.forward(in, false);
+  Tensor expect =
+      direct_conv(in, conv.weight_matrix(), conv.bias(), 3, 4);
+  ASSERT_EQ(got.shape(), expect.shape());
+  for (std::size_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got[i], expect[i], 1e-4f);
+}
+
+TEST(Conv2D, Im2colOrderingIsDiDjChannel) {
+  // A 2×2 kernel over a 2-channel 2×2 input: the single output position's
+  // patch must read (di=0,dj=0,c=0..1), (di=0,dj=1,c=0..1), (di=1,...).
+  Tensor in({1, 2, 2, 2});
+  float v = 0.0f;
+  for (int y = 0; y < 2; ++y)
+    for (int x = 0; x < 2; ++x)
+      for (int c = 0; c < 2; ++c) in.at(0, y, x, c) = v++;
+  Tensor cols = Conv2D::im2col(in, 2);
+  ASSERT_EQ(cols.shape(), (std::vector<int>{1, 8}));
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(cols[static_cast<std::size_t>(i)], static_cast<float>(i));
+}
+
+TEST(Conv2D, BackwardMatchesNumericalGradient) {
+  Rng rng(3);
+  Conv2D conv(3, 1, 2, rng);
+  Tensor in = random_tensor({1, 5, 5, 1}, rng);
+
+  // Loss = sum of outputs; dL/dout = ones.
+  auto loss = [&](Conv2D& c, const Tensor& x) {
+    Tensor out = c.forward(x, false);
+    double s = 0.0;
+    for (float o : out.flat()) s += o;
+    return s;
+  };
+
+  Tensor out = conv.forward(in, true);
+  Tensor ones(out.shape());
+  ones.fill(1.0f);
+  Tensor grad_in = conv.backward(ones);
+
+  // Input gradient.
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < in.numel(); i += 7) {
+    Tensor plus = in, minus = in;
+    plus[i] += static_cast<float>(eps);
+    minus[i] -= static_cast<float>(eps);
+    const double num = (loss(conv, plus) - loss(conv, minus)) / (2 * eps);
+    EXPECT_NEAR(grad_in[i], num, 1e-2) << "input grad at " << i;
+  }
+
+  // Weight gradient.
+  std::vector<ParamRef> params;
+  conv.params(params);
+  ASSERT_EQ(params.size(), 2u);
+  Tensor& w = *params[0].value;
+  Tensor& wg = *params[0].grad;
+  for (std::size_t i = 0; i < w.numel(); i += 5) {
+    const float orig = w[i];
+    w[i] = orig + static_cast<float>(eps);
+    const double lp = loss(conv, in);
+    w[i] = orig - static_cast<float>(eps);
+    const double lm = loss(conv, in);
+    w[i] = orig;
+    EXPECT_NEAR(wg[i], (lp - lm) / (2 * eps), 1e-2) << "weight grad at " << i;
+  }
+
+  // Bias gradient: dL/db_c = number of output positions.
+  Tensor& bg = *params[1].grad;
+  const float positions = static_cast<float>(out.dim(1) * out.dim(2));
+  for (std::size_t i = 0; i < bg.numel(); ++i)
+    EXPECT_NEAR(bg[i], positions, 1e-3f);
+}
+
+TEST(Conv2D, RejectsWrongChannelCount) {
+  Rng rng(4);
+  Conv2D conv(3, 2, 4, rng);
+  Tensor in({1, 6, 6, 3});
+  EXPECT_THROW(conv.forward(in, false), CheckError);
+}
+
+TEST(Conv2D, RejectsInputSmallerThanKernel) {
+  Rng rng(4);
+  Conv2D conv(5, 1, 2, rng);
+  Tensor in({1, 4, 4, 1});
+  EXPECT_THROW(conv.forward(in, false), CheckError);
+}
+
+}  // namespace
+}  // namespace sei::nn

@@ -1,0 +1,150 @@
+// Crossbar array: programming, ideal/selected MVM, fault accounting.
+#include <gtest/gtest.h>
+
+#include "rram/crossbar.hpp"
+
+namespace sei::rram {
+namespace {
+
+Crossbar make_ideal(int rows, int cols, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return Crossbar(rows, cols, DeviceConfig{}, rng);
+}
+
+TEST(Crossbar, StartsAllOff) {
+  Crossbar xb = make_ideal(4, 3);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(xb.cell(r, c), 0.0);
+      EXPECT_EQ(xb.cell_level(r, c), 0);
+    }
+}
+
+TEST(Crossbar, IdealMvmIsExactIntegerProduct) {
+  Crossbar xb = make_ideal(3, 2);
+  // Matrix [[1,2],[3,4],[5,6]] in levels.
+  xb.program(0, 0, 1);
+  xb.program(0, 1, 2);
+  xb.program(1, 0, 3);
+  xb.program(1, 1, 4);
+  xb.program(2, 0, 5);
+  xb.program(2, 1, 6);
+  Rng rng(2);
+  std::vector<double> in{1.0, 0.5, 2.0};
+  std::vector<double> out(2);
+  xb.mvm(in, out, rng);
+  EXPECT_DOUBLE_EQ(out[0], 1.0 + 1.5 + 10.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0 + 2.0 + 12.0);
+}
+
+TEST(Crossbar, SelectedMvmAppliesPortCoefficients) {
+  // SEI semantics: selected rows contribute port_coeff · cell. Two cells
+  // per weight with coefficients {16, 1} reconstruct an 8-bit magnitude.
+  Crossbar xb = make_ideal(4, 1);
+  xb.program(0, 0, 7);   // hi nibble of +127
+  xb.program(1, 0, 15);  // lo nibble
+  xb.program(2, 0, 3);   // hi nibble of second weight (unselected)
+  xb.program(3, 0, 9);
+  Rng rng(3);
+  std::vector<std::uint8_t> select{1, 1, 0, 0};
+  std::vector<double> coeff{16.0, 1.0, 16.0, 1.0};
+  std::vector<double> out(1);
+  xb.mvm_selected(select, coeff, out, rng);
+  EXPECT_DOUBLE_EQ(out[0], 127.0);
+  select = {1, 1, 1, 1};
+  xb.mvm_selected(select, coeff, out, rng);
+  EXPECT_DOUBLE_EQ(out[0], 127.0 + 57.0);
+}
+
+TEST(Crossbar, NegativePortCoefficientSubtracts) {
+  Crossbar xb = make_ideal(2, 1);
+  xb.program(0, 0, 5);
+  xb.program(1, 0, 3);
+  Rng rng(4);
+  std::vector<std::uint8_t> select{1, 1};
+  std::vector<double> coeff{1.0, -1.0};
+  std::vector<double> out(1);
+  xb.mvm_selected(select, coeff, out, rng);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+}
+
+TEST(Crossbar, ProgramVariationMovesCells) {
+  DeviceConfig cfg;
+  cfg.program_sigma = 0.2;
+  Rng rng(5);
+  Crossbar xb(16, 16, cfg, rng);
+  int moved = 0;
+  for (int r = 0; r < 16; ++r)
+    for (int c = 0; c < 16; ++c) {
+      xb.program(r, c, 8);
+      if (std::abs(xb.cell(r, c) - 8.0) > 1e-9) ++moved;
+    }
+  EXPECT_GT(moved, 200);  // essentially every cell deviates a little
+  EXPECT_GT(xb.misprogrammed_fraction(), 0.05);
+}
+
+TEST(Crossbar, IdealDeviceNeverMisprograms) {
+  Crossbar xb = make_ideal(8, 8);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) xb.program(r, c, (r + c) % 16);
+  EXPECT_DOUBLE_EQ(xb.misprogrammed_fraction(), 0.0);
+}
+
+TEST(Crossbar, StuckCellsIgnoreProgramming) {
+  DeviceConfig cfg;
+  cfg.stuck_fraction = 0.5;
+  Rng rng(6);
+  Crossbar xb(20, 20, cfg, rng);
+  int stuck_kept = 0;
+  for (int r = 0; r < 20; ++r)
+    for (int c = 0; c < 20; ++c) {
+      const double before = xb.cell(r, c);
+      xb.program(r, c, 7);
+      if (xb.cell(r, c) == before && before != 7.0) ++stuck_kept;
+    }
+  EXPECT_GT(stuck_kept, 50);  // ~half the array is frozen
+}
+
+TEST(Crossbar, ReadNoisePerturbsOutputs) {
+  DeviceConfig cfg;
+  cfg.read_noise_sigma = 0.05;
+  Rng rng(7);
+  Crossbar xb(2, 1, cfg, rng);
+  xb.program(0, 0, 10);
+  std::vector<double> in{1.0, 0.0};
+  std::vector<double> out(1);
+  Rng read_rng(8);
+  xb.mvm(in, out, read_rng);
+  EXPECT_NE(out[0], 10.0);
+  EXPECT_NEAR(out[0], 10.0, 3.0);
+}
+
+TEST(Crossbar, IrDropAttenuatesWithDistance) {
+  DeviceConfig cfg;
+  cfg.ir_drop_alpha = 0.2;  // 20% loss at 512 cells of wire
+  Rng rng(10);
+  Crossbar xb(512, 512, cfg, rng);
+  EXPECT_DOUBLE_EQ(xb.ir_factor(0, 0), 1.0);         // at the driver/SA
+  EXPECT_NEAR(xb.ir_factor(511, 511), 0.8, 0.001);   // far corner
+  EXPECT_GT(xb.ir_factor(100, 0), xb.ir_factor(400, 0));
+  xb.program(0, 0, 10);
+  xb.program(500, 500, 10);
+  EXPECT_DOUBLE_EQ(xb.cell(0, 0), 10.0);
+  EXPECT_LT(xb.cell(500, 500), 8.1);
+  EXPECT_GT(xb.cell(500, 500), 7.9);
+}
+
+TEST(Crossbar, NoIrDropByDefault) {
+  Crossbar xb = make_ideal(512, 512);
+  EXPECT_DOUBLE_EQ(xb.ir_factor(511, 511), 1.0);
+}
+
+TEST(Crossbar, ShapeChecks) {
+  Crossbar xb = make_ideal(2, 2);
+  Rng rng(9);
+  std::vector<double> in(3), out(2);
+  EXPECT_THROW(xb.mvm(in, out, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace sei::rram

@@ -1,0 +1,171 @@
+// Synthetic digit generator and IDX loader.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "data/idx_loader.hpp"
+#include "data/stroke_font.hpp"
+#include "data/synthetic_digits.hpp"
+
+namespace sei::data {
+namespace {
+
+TEST(StrokeFont, AllDigitsDefined) {
+  for (int d = 0; d < 10; ++d) {
+    const Glyph& g = digit_glyph(d);
+    EXPECT_FALSE(g.strokes.empty()) << "digit " << d;
+    for (const auto& s : g.strokes) EXPECT_GE(s.size(), 2u);
+  }
+  EXPECT_THROW(digit_glyph(10), CheckError);
+  EXPECT_THROW(digit_glyph(-1), CheckError);
+}
+
+TEST(StrokeFont, GlyphsInUnitBox) {
+  for (int d = 0; d < 10; ++d)
+    for (const auto& s : digit_glyph(d).strokes)
+      for (const Point& p : s) {
+        EXPECT_GE(p.x, -0.05f);
+        EXPECT_LE(p.x, 1.05f);
+        EXPECT_GE(p.y, -0.05f);
+        EXPECT_LE(p.y, 1.05f);
+      }
+}
+
+TEST(StrokeFont, EllipseClosesOnItself) {
+  Polyline e = ellipse({0.5f, 0.5f}, 0.2f, 0.3f, 16);
+  EXPECT_EQ(e.size(), 17u);
+  EXPECT_NEAR(e.front().x, e.back().x, 1e-5f);
+  EXPECT_NEAR(e.front().y, e.back().y, 1e-5f);
+}
+
+TEST(Synthetic, DeterministicFromSeed) {
+  Dataset a = generate_synthetic(20, 123);
+  Dataset b = generate_synthetic(20, 123);
+  EXPECT_EQ(a.labels, b.labels);
+  for (std::size_t i = 0; i < a.images.numel(); ++i)
+    EXPECT_FLOAT_EQ(a.images[i], b.images[i]);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  Dataset a = generate_synthetic(10, 1);
+  Dataset b = generate_synthetic(10, 2);
+  double diff = 0;
+  for (std::size_t i = 0; i < a.images.numel(); ++i)
+    diff += std::fabs(a.images[i] - b.images[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Synthetic, PixelsInRangeAndInked) {
+  Dataset d = generate_synthetic(50, 9);
+  for (float v : d.images.flat()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  const std::size_t per_image = 28 * 28;
+  for (int i = 0; i < d.size(); ++i) {
+    int bright = 0;
+    for (std::size_t p = 0; p < per_image; ++p)
+      if (d.images[static_cast<std::size_t>(i) * per_image + p] > 0.5f)
+        ++bright;
+    EXPECT_GT(bright, 15) << "image " << i;
+  }
+}
+
+TEST(Synthetic, LabelsRoughlyBalanced) {
+  Dataset d = generate_synthetic(2000, 77);
+  std::array<int, 10> counts{};
+  for (auto l : d.labels) ++counts[l];
+  for (int c : counts) EXPECT_GT(c, 120);  // expect ~200 each
+}
+
+TEST(Synthetic, MostPixelsNearZero) {
+  // The paper's Table 1 long-tail property starts with a dark background.
+  Dataset d = generate_synthetic(20, 5);
+  int near_zero = 0, total = 0;
+  for (float v : d.images.flat()) {
+    if (v < 1.0f / 16) ++near_zero;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(near_zero) / total, 0.75);
+}
+
+TEST(DatasetIo, RoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sei_test_ds.bin").string();
+  Dataset d = generate_synthetic(8, 3);
+  save_dataset(d, path);
+  Dataset e = load_dataset(path);
+  EXPECT_EQ(e.labels, d.labels);
+  for (std::size_t i = 0; i < d.images.numel(); ++i)
+    EXPECT_FLOAT_EQ(e.images[i], d.images[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(Dataset, HeadTakesPrefix) {
+  Dataset d = generate_synthetic(10, 4);
+  Dataset h = d.head(3);
+  EXPECT_EQ(h.size(), 3);
+  EXPECT_EQ(h.labels[2], d.labels[2]);
+  EXPECT_FLOAT_EQ(h.images[100], d.images[100]);
+}
+
+void write_be32(std::ofstream& out, std::uint32_t v) {
+  unsigned char b[4] = {static_cast<unsigned char>(v >> 24),
+                        static_cast<unsigned char>(v >> 16),
+                        static_cast<unsigned char>(v >> 8),
+                        static_cast<unsigned char>(v)};
+  out.write(reinterpret_cast<char*>(b), 4);
+}
+
+TEST(IdxLoader, ReadsHandwrittenFormat) {
+  const auto dir = std::filesystem::temp_directory_path() / "sei_idx_test";
+  std::filesystem::create_directories(dir);
+  const std::string img_path = (dir / "imgs").string();
+  const std::string lab_path = (dir / "labs").string();
+  {
+    std::ofstream img(img_path, std::ios::binary);
+    write_be32(img, 0x00000803);
+    write_be32(img, 2);  // 2 images
+    write_be32(img, 28);
+    write_be32(img, 28);
+    std::vector<unsigned char> pixels(2 * 784, 0);
+    pixels[0] = 255;
+    pixels[784] = 128;
+    img.write(reinterpret_cast<char*>(pixels.data()),
+              static_cast<std::streamsize>(pixels.size()));
+    std::ofstream lab(lab_path, std::ios::binary);
+    write_be32(lab, 0x00000801);
+    write_be32(lab, 2);
+    unsigned char labels[2] = {7, 3};
+    lab.write(reinterpret_cast<char*>(labels), 2);
+  }
+  Dataset d = load_idx_pair(img_path, lab_path);
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_FLOAT_EQ(d.images[0], 1.0f);
+  EXPECT_NEAR(d.images[784], 128.0f / 255.0f, 1e-6f);
+  EXPECT_EQ(d.labels[0], 7);
+  EXPECT_EQ(d.labels[1], 3);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IdxLoader, BadMagicThrows) {
+  const auto dir = std::filesystem::temp_directory_path() / "sei_idx_bad";
+  std::filesystem::create_directories(dir);
+  const std::string img_path = (dir / "imgs").string();
+  {
+    std::ofstream img(img_path, std::ios::binary);
+    write_be32(img, 0x12345678);
+  }
+  EXPECT_THROW(load_idx_pair(img_path, img_path), CheckError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IdxLoader, MissingDirReturnsNullopt) {
+  EXPECT_FALSE(load_mnist_dir("/nonexistent/dir").has_value());
+}
+
+}  // namespace
+}  // namespace sei::data

@@ -1,0 +1,142 @@
+// RRAM device model: levels, programming variation, stuck faults, read noise.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "rram/device.hpp"
+
+namespace sei::rram {
+namespace {
+
+TEST(Device, ConfigValidation) {
+  DeviceConfig bad;
+  bad.bits = 0;
+  EXPECT_THROW(DeviceModel{bad}, CheckError);
+  bad = DeviceConfig{};
+  bad.g_max_s = bad.g_min_s;
+  EXPECT_THROW(DeviceModel{bad}, CheckError);
+  bad = DeviceConfig{};
+  bad.stuck_fraction = 1.5;
+  EXPECT_THROW(DeviceModel{bad}, CheckError);
+}
+
+TEST(Device, FourBitHasSixteenLevels) {
+  DeviceConfig cfg;
+  EXPECT_EQ(cfg.levels(), 16);
+  EXPECT_EQ(cfg.max_level(), 15);
+}
+
+TEST(Device, ConductanceMonotoneInLevel) {
+  DeviceModel dev{DeviceConfig{}};
+  double prev = -1;
+  for (int l = 0; l <= 15; ++l) {
+    const double g = dev.conductance(l);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+  EXPECT_DOUBLE_EQ(dev.conductance(0), DeviceConfig{}.g_min_s);
+  EXPECT_DOUBLE_EQ(dev.conductance(15), DeviceConfig{}.g_max_s);
+  EXPECT_THROW(dev.conductance(16), CheckError);
+  EXPECT_THROW(dev.conductance(-1), CheckError);
+}
+
+TEST(Device, IdealProgrammingIsExact) {
+  DeviceModel dev{DeviceConfig{}};
+  Rng rng(1);
+  for (int l = 0; l <= 15; ++l)
+    EXPECT_DOUBLE_EQ(dev.program(l, rng), static_cast<double>(l));
+}
+
+TEST(Device, ProgramVariationIsUnbiasedMultiplicative) {
+  DeviceConfig cfg;
+  cfg.program_sigma = 0.1;
+  DeviceModel dev{cfg};
+  Rng rng(2);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(dev.program(10, rng));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev() / s.mean(), 0.1, 0.02);
+}
+
+TEST(Device, LevelZeroAlwaysProgramsExactly) {
+  DeviceConfig cfg;
+  cfg.program_sigma = 0.5;
+  DeviceModel dev{cfg};
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(dev.program(0, rng), 0.0);
+}
+
+TEST(Device, StuckFractionRoughlyObeyed) {
+  DeviceConfig cfg;
+  cfg.stuck_fraction = 0.1;
+  DeviceModel dev{cfg};
+  Rng rng(4);
+  int stuck = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    int level = -1;
+    if (dev.roll_stuck(rng, level)) {
+      ++stuck;
+      EXPECT_TRUE(level == 0 || level == cfg.max_level());
+    }
+  }
+  EXPECT_NEAR(stuck, n / 10, n / 50);
+}
+
+TEST(Device, NoStuckWhenFractionZero) {
+  DeviceModel dev{DeviceConfig{}};
+  Rng rng(5);
+  int level = -1;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(dev.roll_stuck(rng, level));
+}
+
+TEST(Device, WriteVerifyTightensProgramming) {
+  DeviceConfig open_loop;
+  open_loop.program_sigma = 0.2;
+  DeviceConfig tuned = open_loop;
+  tuned.max_program_attempts = 10;
+  DeviceModel a{open_loop}, b{tuned};
+  Rng ra(7), rb(7);
+  RunningStats dev_a, dev_b;
+  RunningStats attempts;
+  for (int i = 0; i < 5000; ++i) {
+    dev_a.add(std::abs(a.program(10, ra) - 10.0));
+    int n = 0;
+    dev_b.add(std::abs(b.program(10, rb, &n) - 10.0));
+    attempts.add(n);
+  }
+  // The tuning loop cuts the deviation dramatically and most cells land
+  // inside the tolerance window.
+  EXPECT_LT(dev_b.mean(), dev_a.mean() / 3);
+  EXPECT_LT(dev_b.mean(), open_loop.program_tolerance);
+  EXPECT_GT(attempts.mean(), 1.5);  // σ=0.2 needs several pulses on average
+  EXPECT_LE(attempts.max(), 10.0);
+}
+
+TEST(Device, WriteVerifySinglePulseWhenIdeal) {
+  DeviceConfig cfg;
+  cfg.max_program_attempts = 10;
+  DeviceModel dev{cfg};
+  Rng rng(1);
+  int attempts = -1;
+  EXPECT_DOUBLE_EQ(dev.program(5, rng, &attempts), 5.0);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_DOUBLE_EQ(dev.program(0, rng, &attempts), 0.0);
+  EXPECT_EQ(attempts, 0);
+}
+
+TEST(Device, ReadNoiseScalesWithSignal) {
+  DeviceConfig cfg;
+  cfg.read_noise_sigma = 0.05;
+  DeviceModel dev{cfg};
+  Rng rng(6);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(dev.read(100.0, rng));
+  EXPECT_NEAR(s.mean(), 100.0, 0.5);
+  EXPECT_NEAR(s.stddev(), 5.0, 0.5);
+  // Noiseless read passes through.
+  DeviceModel clean{DeviceConfig{}};
+  EXPECT_DOUBLE_EQ(clean.read(42.0, rng), 42.0);
+}
+
+}  // namespace
+}  // namespace sei::rram

@@ -1,0 +1,69 @@
+// Activation distribution analysis (Table 1 reproduction machinery).
+#include <gtest/gtest.h>
+
+#include "data/synthetic_digits.hpp"
+#include "nn/trainer.hpp"
+#include "quant/distribution.hpp"
+#include "workloads/networks.hpp"
+
+namespace sei::quant {
+namespace {
+
+TEST(Distribution, BinsMatchPaperEdges) {
+  auto wl = workloads::network2();
+  nn::Network net = workloads::build_float_network(wl.topo, 1);
+  data::Dataset d = data::generate_synthetic(50, 5);
+  DistributionReport rep = analyze_conv_distribution(net, d.images);
+  ASSERT_EQ(rep.bin_edges.size(), 5u);
+  EXPECT_DOUBLE_EQ(rep.bin_edges[1], 1.0 / 16);
+  EXPECT_DOUBLE_EQ(rep.bin_edges[2], 1.0 / 8);
+  EXPECT_DOUBLE_EQ(rep.bin_edges[3], 1.0 / 4);
+  ASSERT_EQ(rep.layers.size(), 2u);  // two conv stages
+  for (const auto& l : rep.layers) {
+    ASSERT_EQ(l.fractions.size(), 4u);
+    double sum = 0.0;
+    for (double f : l.fractions) sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GT(l.samples, 0u);
+  }
+}
+
+TEST(Distribution, AllLayersPoolsEverything) {
+  auto wl = workloads::network2();
+  nn::Network net = workloads::build_float_network(wl.topo, 2);
+  data::Dataset d = data::generate_synthetic(20, 6);
+  DistributionReport rep = analyze_conv_distribution(net, d.images);
+  std::size_t per_layer = 0;
+  for (const auto& l : rep.layers) per_layer += l.samples;
+  EXPECT_EQ(rep.all.samples, per_layer);
+}
+
+TEST(Distribution, TrainedNetworkHasLongTail) {
+  // The reproduction of the paper's key observation: after training, the
+  // majority of ReLU conv outputs sit in the lowest normalized bin.
+  auto wl = workloads::network2();
+  nn::Network net = workloads::build_float_network(wl.topo, 3);
+  data::Dataset train = data::generate_synthetic(1500, 11);
+  nn::TrainConfig tc;
+  tc.epochs = 2;
+  nn::Trainer(tc).fit(net, train.images, train.label_span());
+  data::Dataset test = data::generate_synthetic(200, 12);
+  DistributionReport rep = analyze_conv_distribution(net, test.images);
+  EXPECT_GT(rep.all.fractions[0], 0.60);
+  // And the top bin is a small minority.
+  EXPECT_LT(rep.all.fractions[3], 0.25);
+}
+
+TEST(Distribution, BatchSizeDoesNotChangeResult) {
+  auto wl = workloads::network2();
+  nn::Network net = workloads::build_float_network(wl.topo, 4);
+  data::Dataset d = data::generate_synthetic(30, 8);
+  DistributionReport a = analyze_conv_distribution(net, d.images, 7);
+  DistributionReport b = analyze_conv_distribution(net, d.images, 128);
+  for (std::size_t l = 0; l < a.layers.size(); ++l)
+    for (std::size_t f = 0; f < 4; ++f)
+      EXPECT_NEAR(a.layers[l].fractions[f], b.layers[l].fractions[f], 1e-12);
+}
+
+}  // namespace
+}  // namespace sei::quant

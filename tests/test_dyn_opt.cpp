@@ -1,0 +1,113 @@
+// Dynamic-threshold optimization for split stages.
+#include <gtest/gtest.h>
+
+#include "core/dyn_opt.hpp"
+#include "data/synthetic_digits.hpp"
+#include "nn/trainer.hpp"
+#include "quant/threshold_search.hpp"
+#include "workloads/networks.hpp"
+
+namespace sei::core {
+namespace {
+
+struct Fixture {
+  workloads::Workload wl = workloads::network2();
+  data::DataBundle data;
+  quant::QNetwork qnet;
+
+  Fixture() {
+    data.train = data::generate_synthetic(900, 71);
+    data.test = data::generate_synthetic(300, 72);
+    nn::Network net = workloads::build_float_network(wl.topo, 41);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    nn::Trainer(tc).fit(net, data.train.images, data.train.label_span());
+    quant::SearchConfig sc;
+    sc.max_search_images = 400;
+    sc.step = 0.02;
+    qnet = quant::quantize_network(net, wl.topo, data.train, sc).qnet;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(DynOpt, SkipsUnsplitStages) {
+  Fixture& f = fixture();
+  HardwareConfig cfg;  // network2 fits unsplit everywhere
+  SeiNetwork hw(f.qnet, cfg);
+  DynThreshResult res = optimize_dynamic_threshold(hw, f.data.train);
+  EXPECT_TRUE(res.choices.empty());
+}
+
+TEST(DynOpt, NeverWorsensTrainingError) {
+  Fixture& f = fixture();
+  HardwareConfig cfg;
+  cfg.limits.max_rows = 48;  // force stage-1 splitting into 3 blocks
+  SeiNetwork hw(f.qnet, cfg);
+  DynThreshConfig dcfg;
+  dcfg.max_images = 400;
+  DynThreshResult res = optimize_dynamic_threshold(hw, f.data.train, dcfg);
+  ASSERT_EQ(res.choices.size(), 1u);
+  const DynThreshChoice& c = res.choices[0];
+  EXPECT_EQ(c.stage, 1);
+  EXPECT_EQ(c.block_count, 3);
+  EXPECT_LE(c.train_error_after_pct, c.train_error_before_pct + 1e-9);
+  // The chosen knobs are applied to the network.
+  EXPECT_EQ(hw.layer(1).vote_threshold, c.vote);
+  EXPECT_FLOAT_EQ(hw.layer(1).dyn_beta, static_cast<float>(c.beta));
+}
+
+TEST(DynOpt, VoteInGridAndBetaFromGrid) {
+  Fixture& f = fixture();
+  HardwareConfig cfg;
+  cfg.limits.max_rows = 48;
+  SeiNetwork hw(f.qnet, cfg);
+  DynThreshConfig dcfg;
+  dcfg.max_images = 300;
+  dcfg.beta_grid = {0.0, 0.5};
+  DynThreshResult res = optimize_dynamic_threshold(hw, f.data.train, dcfg);
+  ASSERT_EQ(res.choices.size(), 1u);
+  EXPECT_GE(res.choices[0].vote, 1);
+  EXPECT_LE(res.choices[0].vote, 3);
+  EXPECT_TRUE(res.choices[0].beta == 0.0 || res.choices[0].beta == 0.5);
+}
+
+TEST(DynOpt, FixedVoteWhenDisabled) {
+  Fixture& f = fixture();
+  HardwareConfig cfg;
+  cfg.limits.max_rows = 48;
+  SeiNetwork hw(f.qnet, cfg);
+  hw.layer(1).vote_threshold = 2;
+  DynThreshConfig dcfg;
+  dcfg.max_images = 200;
+  dcfg.optimize_vote = false;
+  DynThreshResult res = optimize_dynamic_threshold(hw, f.data.train, dcfg);
+  ASSERT_EQ(res.choices.size(), 1u);
+  EXPECT_EQ(res.choices[0].vote, 2);
+}
+
+TEST(DynOpt, BetaShiftsPerBlockThresholds) {
+  // Functional check of the compensation: with a large positive beta, a
+  // block with more active inputs needs a larger partial sum to fire.
+  Fixture& f = fixture();
+  HardwareConfig cfg;
+  cfg.limits.max_rows = 48;
+  SeiNetwork hw(f.qnet, cfg);
+  hw.layer(1).vote_threshold = 1;
+  hw.layer(1).dyn_beta = 0.0f;
+  auto bits0 = hw.cache_stage_inputs(f.data.test, 2, 50);
+  hw.layer(1).dyn_beta = 50.0f;  // extreme compensation
+  auto bits1 = hw.cache_stage_inputs(f.data.test, 2, 50);
+  long long ones0 = 0, ones1 = 0;
+  for (const auto& bm : bits0)
+    for (auto b : bm) ones0 += b;
+  for (const auto& bm : bits1)
+    for (auto b : bm) ones1 += b;
+  EXPECT_NE(ones0, ones1);  // the dynamic part changes decisions
+}
+
+}  // namespace
+}  // namespace sei::core

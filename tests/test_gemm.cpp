@@ -1,0 +1,116 @@
+// GEMM kernels vs a naive reference, including the transposed variants used
+// by backprop. Parameterized over a grid of sizes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/gemm.hpp"
+
+namespace sei::nn {
+namespace {
+
+std::vector<float> random_matrix(int rows, int cols, Rng& rng,
+                                 double sparsity = 0.0) {
+  std::vector<float> m(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : m)
+    v = rng.bernoulli(sparsity) ? 0.0f
+                                : static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+void naive(const std::vector<float>& a, const std::vector<float>& b,
+           std::vector<float>& c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p)
+        acc += static_cast<double>(a[static_cast<std::size_t>(i) * k + p]) *
+               b[static_cast<std::size_t>(p) * n + j];
+      c[static_cast<std::size_t>(i) * n + j] = static_cast<float>(acc);
+    }
+}
+
+class GemmSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, double>> {};
+
+TEST_P(GemmSizes, MatchesNaive) {
+  const auto [m, k, n, sparsity] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000003 + k * 1009 + n));
+  const auto a = random_matrix(m, k, rng, sparsity);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<float> expect(static_cast<std::size_t>(m) * n);
+  naive(a, b, expect, m, k, n);
+  std::vector<float> got(static_cast<std::size_t>(m) * n, -1.0f);
+  gemm(a.data(), b.data(), got.data(), m, k, n);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got[i], expect[i], 1e-4f) << "at " << i;
+}
+
+TEST_P(GemmSizes, AccumulateAddsToExisting) {
+  const auto [m, k, n, sparsity] = GetParam();
+  Rng rng(77);
+  const auto a = random_matrix(m, k, rng, sparsity);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<float> expect(static_cast<std::size_t>(m) * n);
+  naive(a, b, expect, m, k, n);
+  std::vector<float> got(static_cast<std::size_t>(m) * n, 1.0f);
+  gemm_accumulate(a.data(), b.data(), got.data(), m, k, n);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got[i], expect[i] + 1.0f, 1e-4f);
+}
+
+TEST_P(GemmSizes, AtBMatchesNaiveTranspose) {
+  const auto [m, k, n, sparsity] = GetParam();
+  Rng rng(5);
+  const auto a = random_matrix(m, k, rng, sparsity);  // A is m×k
+  const auto b = random_matrix(m, n, rng);            // B is m×n
+  // expect = Aᵀ · B  (k×n)
+  std::vector<float> expect(static_cast<std::size_t>(k) * n, 0.0f);
+  for (int i = 0; i < m; ++i)
+    for (int p = 0; p < k; ++p)
+      for (int j = 0; j < n; ++j)
+        expect[static_cast<std::size_t>(p) * n + j] +=
+            a[static_cast<std::size_t>(i) * k + p] *
+            b[static_cast<std::size_t>(i) * n + j];
+  std::vector<float> got(static_cast<std::size_t>(k) * n, 0.0f);
+  gemm_at_b_accumulate(a.data(), b.data(), got.data(), m, k, n);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got[i], expect[i], 1e-3f);
+}
+
+TEST_P(GemmSizes, ABtMatchesNaiveTranspose) {
+  const auto [m, k, n, sparsity] = GetParam();
+  (void)sparsity;
+  Rng rng(6);
+  const auto a = random_matrix(m, n, rng);  // A is m×n
+  const auto b = random_matrix(k, n, rng);  // B is k×n
+  // expect = A · Bᵀ (m×k)
+  std::vector<float> expect(static_cast<std::size_t>(m) * k, 0.0f);
+  for (int i = 0; i < m; ++i)
+    for (int p = 0; p < k; ++p) {
+      double acc = 0;
+      for (int j = 0; j < n; ++j)
+        acc += static_cast<double>(a[static_cast<std::size_t>(i) * n + j]) *
+               b[static_cast<std::size_t>(p) * n + j];
+      expect[static_cast<std::size_t>(i) * k + p] = static_cast<float>(acc);
+    }
+  std::vector<float> got(static_cast<std::size_t>(m) * k, 0.0f);
+  gemm_a_bt(a.data(), b.data(), got.data(), m, n, k);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got[i], expect[i], 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1, 0.0),
+                      std::make_tuple(3, 5, 2, 0.0),
+                      std::make_tuple(8, 8, 8, 0.0),
+                      std::make_tuple(17, 31, 13, 0.0),
+                      std::make_tuple(64, 300, 64, 0.5),   // conv2-like, sparse
+                      std::make_tuple(10, 1024, 10, 0.85)  // fc-like, sparse
+                      ));
+
+}  // namespace
+}  // namespace sei::nn

@@ -1,0 +1,142 @@
+// ReLU, MaxPool2x2 and Dense: forward semantics and backward gradients.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/dense.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+
+namespace sei::nn {
+namespace {
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor in = Tensor::from_vector({-1.0f, 0.0f, 2.5f});
+  Tensor out = relu.forward(in, false);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.5f);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  ReLU relu;
+  Tensor in = Tensor::from_vector({-1.0f, 3.0f});
+  relu.forward(in, true);
+  Tensor g = relu.backward(Tensor::from_vector({5.0f, 7.0f}));
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], 7.0f);
+}
+
+TEST(ReLU, BackwardBeforeForwardThrows) {
+  ReLU relu;
+  EXPECT_THROW(relu.backward(Tensor({2})), CheckError);
+}
+
+TEST(MaxPool, ForwardTakesWindowMax) {
+  MaxPool2x2 pool;
+  Tensor in({1, 2, 2, 1});
+  in.at(0, 0, 0, 0) = 1;
+  in.at(0, 0, 1, 0) = 4;
+  in.at(0, 1, 0, 0) = 2;
+  in.at(0, 1, 1, 0) = 3;
+  Tensor out = pool.forward(in, false);
+  ASSERT_EQ(out.shape(), (std::vector<int>{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+}
+
+TEST(MaxPool, FloorsOddInput) {
+  MaxPool2x2 pool;
+  Tensor in({1, 5, 5, 2});
+  Tensor out = pool.forward(in, false);
+  EXPECT_EQ(out.dim(1), 2);
+  EXPECT_EQ(out.dim(2), 2);
+}
+
+TEST(MaxPool, ChannelsPoolIndependently) {
+  MaxPool2x2 pool;
+  Tensor in({1, 2, 2, 2});
+  // channel 0 max at (0,0); channel 1 max at (1,1)
+  in.at(0, 0, 0, 0) = 9;
+  in.at(0, 1, 1, 1) = 8;
+  Tensor out = pool.forward(in, false);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 9.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), 8.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  MaxPool2x2 pool;
+  Tensor in({1, 2, 2, 1});
+  in.at(0, 0, 1, 0) = 10;  // argmax
+  pool.forward(in, true);
+  Tensor g({1, 1, 1, 1});
+  g[0] = 3.0f;
+  Tensor gi = pool.backward(g);
+  EXPECT_FLOAT_EQ(gi.at(0, 0, 1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(gi.at(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gi.at(0, 1, 0, 0), 0.0f);
+}
+
+TEST(Dense, ForwardIsAffine) {
+  Rng rng(1);
+  Dense d(3, 2, rng);
+  d.weight_matrix().fill(0.0f);
+  d.weight_matrix().at(0, 0) = 1.0f;
+  d.weight_matrix().at(2, 1) = 2.0f;
+  d.bias().at(0) = 0.5f;
+  Tensor in = Tensor::from_vector({1.0f, 1.0f, 3.0f});
+  in.reshape({1, 3});
+  Tensor out = d.forward(in, false);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 6.0f);
+}
+
+TEST(Dense, FlattensHigherRankInput) {
+  Rng rng(2);
+  Dense d(8, 2, rng);
+  Tensor in({2, 2, 2, 2});  // batch 2, 8 features
+  EXPECT_NO_THROW(d.forward(in, false));
+}
+
+TEST(Dense, BackwardMatchesNumericalGradient) {
+  Rng rng(3);
+  Dense d(4, 3, rng);
+  Tensor in({2, 4});
+  for (float& v : in.flat()) v = static_cast<float>(rng.uniform(-1, 1));
+
+  auto loss = [&](const Tensor& x) {
+    Tensor out = d.forward(x, false);
+    double s = 0;
+    for (float o : out.flat()) s += o * o;
+    return s;
+  };
+
+  Tensor out = d.forward(in, true);
+  Tensor g = out;
+  g.scale(2.0f);  // d/dout of sum(out²)
+  Tensor gi = d.backward(g);
+
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < in.numel(); ++i) {
+    Tensor p = in, m = in;
+    p[i] += static_cast<float>(eps);
+    m[i] -= static_cast<float>(eps);
+    EXPECT_NEAR(gi[i], (loss(p) - loss(m)) / (2 * eps), 5e-2);
+  }
+
+  std::vector<ParamRef> params;
+  d.params(params);
+  Tensor& w = *params[0].value;
+  Tensor& wg = *params[0].grad;
+  for (std::size_t i = 0; i < w.numel(); i += 3) {
+    const float orig = w[i];
+    w[i] = orig + static_cast<float>(eps);
+    const double lp = loss(in);
+    w[i] = orig - static_cast<float>(eps);
+    const double lm = loss(in);
+    w[i] = orig;
+    EXPECT_NEAR(wg[i], (lp - lm) / (2 * eps), 5e-2);
+  }
+}
+
+}  // namespace
+}  // namespace sei::nn

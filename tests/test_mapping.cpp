@@ -1,0 +1,229 @@
+// SEI weight mapping: cells-per-weight, port coefficients, effective-value
+// extraction in both sign modes, and the dynamic-threshold column.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mapping.hpp"
+
+namespace sei::core {
+namespace {
+
+quant::QLayer make_fc_layer(int rows, int cols, float threshold = 0.5f,
+                            bool binarize = true) {
+  quant::QLayer l;
+  l.geom.kind = quant::StageSpec::Kind::Fc;
+  l.geom.in_h = 1;
+  l.geom.in_w = rows;
+  l.geom.in_ch = 1;
+  l.geom.out_h = 1;
+  l.geom.out_w = 1;
+  l.geom.pooled_h = 1;
+  l.geom.pooled_w = 1;
+  l.geom.rows = rows;
+  l.geom.cols = cols;
+  l.weight = nn::Tensor({rows, cols});
+  l.bias = nn::Tensor({cols});
+  l.threshold = threshold;
+  l.binarize = binarize;
+  return l;
+}
+
+TEST(Mapping, CellsPerWeightByMode) {
+  HardwareConfig cfg;  // 8-bit weights, 4-bit devices
+  cfg.sign_mode = SignMode::kBipolarPort;
+  EXPECT_EQ(cfg.cells_per_weight(), 4);  // paper: "4 cells per weight"
+  cfg.sign_mode = SignMode::kUnipolarDynThresh;
+  EXPECT_EQ(cfg.cells_per_weight(), 2);
+  cfg.device.bits = 2;
+  EXPECT_EQ(cfg.cells_per_weight(), 4);  // ceil(8/2)
+}
+
+TEST(Mapping, PortCoefficientsBipolar) {
+  HardwareConfig cfg;
+  const auto c = port_coefficients(cfg);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c[0], 16.0);   // 2^4 for the high nibble (paper's 2^4·v)
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_DOUBLE_EQ(c[2], -16.0);  // negative polarity lines
+  EXPECT_DOUBLE_EQ(c[3], -1.0);
+}
+
+TEST(Mapping, PortCoefficientsUnipolar) {
+  HardwareConfig cfg;
+  cfg.sign_mode = SignMode::kUnipolarDynThresh;
+  const auto c = port_coefficients(cfg);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c[0], 16.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+}
+
+TEST(Mapping, IdealBipolarEffectiveEqualsQuantizedInteger) {
+  quant::QLayer l = make_fc_layer(6, 3);
+  Rng wr(5);
+  for (float& v : l.weight.flat()) v = static_cast<float>(wr.uniform(-1, 1));
+  HardwareConfig cfg;  // ideal device
+  Rng rng(1);
+  MappedLayer m = map_layer(l, cfg, split::natural_order(6), rng);
+  const quant::QuantizedMatrix q = quant::quantize_weights(l.weight, 8);
+  for (int r = 0; r < 6; ++r)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_NEAR(m.effective(r, c), static_cast<double>(q.at(r, c)), 1e-9)
+          << r << "," << c;
+  EXPECT_EQ(m.block_count, 1);
+  EXPECT_EQ(m.physical_rows_per_weight, 4);
+}
+
+TEST(Mapping, IdealUnipolarEffectiveEqualsQuantizedInteger) {
+  // The w* = w + w0 mapping with the dynamic-threshold column must cancel
+  // exactly for an ideal device.
+  quant::QLayer l = make_fc_layer(5, 2);
+  Rng wr(6);
+  for (float& v : l.weight.flat()) v = static_cast<float>(wr.uniform(-1, 1));
+  HardwareConfig cfg;
+  cfg.sign_mode = SignMode::kUnipolarDynThresh;
+  Rng rng(2);
+  MappedLayer m = map_layer(l, cfg, split::natural_order(5), rng);
+  const quant::QuantizedMatrix q = quant::quantize_weights(l.weight, 8);
+  for (int r = 0; r < 5; ++r)
+    for (int c = 0; c < 2; ++c)
+      EXPECT_NEAR(m.effective(r, c), static_cast<double>(q.at(r, c)), 1e-9);
+}
+
+TEST(Mapping, ColumnThresholdFoldsBias) {
+  quant::QLayer l = make_fc_layer(4, 2, /*threshold=*/0.8f);
+  l.weight.at(0, 0) = 1.0f;  // sets the quantization scale
+  l.bias.at(0) = 0.3f;
+  l.bias.at(1) = -0.1f;
+  HardwareConfig cfg;
+  Rng rng(3);
+  MappedLayer m = map_layer(l, cfg, split::natural_order(4), rng);
+  const float s = m.weight_scale;
+  EXPECT_NEAR(m.col_threshold[0], (0.8f - 0.3f) / s, 1e-4f);
+  EXPECT_NEAR(m.col_threshold[1], (0.8f + 0.1f) / s, 1e-4f);
+}
+
+TEST(Mapping, FinalLayerKeepsBias) {
+  quant::QLayer l = make_fc_layer(4, 3, 0.0f, /*binarize=*/false);
+  l.bias.at(1) = 0.7f;
+  HardwareConfig cfg;
+  Rng rng(4);
+  MappedLayer m = map_layer(l, cfg, split::natural_order(4), rng);
+  EXPECT_TRUE(m.col_threshold.empty());
+  ASSERT_EQ(m.col_bias.size(), 3u);
+  EXPECT_FLOAT_EQ(m.col_bias[1], 0.7f);
+}
+
+TEST(Mapping, SplitsAtCrossbarLimit) {
+  // 300 logical rows × 4 cells = 1200 physical rows → 3 blocks at 512
+  // (the paper's "three 400×64 crossbars").
+  quant::QLayer l = make_fc_layer(300, 8);
+  HardwareConfig cfg;
+  Rng rng(5);
+  MappedLayer m = map_layer(l, cfg, split::natural_order(300), rng);
+  EXPECT_EQ(m.block_count, 3);
+  EXPECT_EQ(m.crossbars, 3);
+  EXPECT_EQ(m.partition.blocks[0].size(), 100u);
+  EXPECT_EQ(m.vote_threshold, 2);  // majority default
+  for (int r = 0; r < 300; ++r) {
+    const int b = m.row_to_block[static_cast<std::size_t>(r)];
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 3);
+  }
+}
+
+TEST(Mapping, BuildBlockCrossbarsGeometry) {
+  quant::QLayer l = make_fc_layer(10, 4);
+  const quant::QuantizedMatrix q = quant::quantize_weights(l.weight, 8);
+  HardwareConfig cfg;
+  auto part = split::partition_from_order(split::natural_order(10), 2);
+  Rng rng(6);
+  auto xbars = build_block_crossbars(q, cfg, part, rng);
+  ASSERT_EQ(xbars.size(), 2u);
+  EXPECT_EQ(xbars[0].rows(), 20);  // 5 logical rows × 4 cells
+  EXPECT_EQ(xbars[0].cols(), 4);
+  cfg.sign_mode = SignMode::kUnipolarDynThresh;
+  auto xbars_u = build_block_crossbars(q, cfg, part, rng);
+  EXPECT_EQ(xbars_u[0].rows(), 10);  // 5 logical rows × 2 cells
+  EXPECT_EQ(xbars_u[0].cols(), 5);   // + dynamic-threshold column
+}
+
+TEST(Mapping, OppositePolarityCellsStayOff) {
+  quant::QLayer l = make_fc_layer(2, 1);
+  l.weight.at(0, 0) = 1.0f;   // positive → +127
+  l.weight.at(1, 0) = -0.5f;  // negative
+  const quant::QuantizedMatrix q = quant::quantize_weights(l.weight, 8);
+  HardwareConfig cfg;
+  auto part = split::partition_from_order(split::natural_order(2), 1);
+  Rng rng(7);
+  auto xbars = build_block_crossbars(q, cfg, part, rng);
+  const auto& xb = xbars[0];
+  // Row 0 (w=+127): negative lines (2,3) off.
+  EXPECT_EQ(xb.cell_level(0, 0), 7);
+  EXPECT_EQ(xb.cell_level(1, 0), 15);
+  EXPECT_EQ(xb.cell_level(2, 0), 0);
+  EXPECT_EQ(xb.cell_level(3, 0), 0);
+  // Row 1 (w≈−64): positive lines (4,5) off, negative lines loaded.
+  EXPECT_EQ(xb.cell_level(4, 0), 0);
+  EXPECT_EQ(xb.cell_level(5, 0), 0);
+  EXPECT_EQ(xb.cell_level(6, 0) * 16 + xb.cell_level(7, 0), -q.at(1, 0));
+}
+
+TEST(Mapping, VariationPerturbsEffectiveValues) {
+  quant::QLayer l = make_fc_layer(20, 4);
+  Rng wr(8);
+  for (float& v : l.weight.flat()) v = static_cast<float>(wr.uniform(-1, 1));
+  HardwareConfig cfg;
+  cfg.device.program_sigma = 0.1;
+  Rng rng(9);
+  MappedLayer m = map_layer(l, cfg, split::natural_order(20), rng);
+  const quant::QuantizedMatrix q = quant::quantize_weights(l.weight, 8);
+  double total_dev = 0.0;
+  for (int r = 0; r < 20; ++r)
+    for (int c = 0; c < 4; ++c)
+      total_dev += std::fabs(m.effective(r, c) - q.at(r, c));
+  EXPECT_GT(total_dev, 1.0);
+  EXPECT_GT(m.misprogrammed_fraction, 0.0);
+}
+
+TEST(Mapping, WideMatricesSplitColumns) {
+  // Columns partition freely (disjoint outputs, no merging): a 600-output
+  // layer needs two column groups at the 512 limit, and the effective
+  // values are still exact for ideal devices.
+  quant::QLayer l = make_fc_layer(4, 600);
+  Rng wr(12);
+  for (float& v : l.weight.flat()) v = static_cast<float>(wr.uniform(-1, 1));
+  HardwareConfig cfg;  // max_cols = 512
+  EXPECT_EQ(column_blocks(600, cfg), 2);
+  Rng rng(10);
+  MappedLayer m = map_layer(l, cfg, split::natural_order(4), rng);
+  EXPECT_EQ(m.crossbars, 2);
+  const quant::QuantizedMatrix q = quant::quantize_weights(l.weight, 8);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 600; ++c)
+      EXPECT_NEAR(m.effective(r, c), static_cast<double>(q.at(r, c)), 1e-9);
+}
+
+TEST(Mapping, UnipolarColumnBlocksReserveThresholdColumn) {
+  HardwareConfig cfg;
+  cfg.sign_mode = SignMode::kUnipolarDynThresh;
+  // 512 usable columns become 511 (one reserved for the threshold column).
+  EXPECT_EQ(column_blocks(511, cfg), 1);
+  EXPECT_EQ(column_blocks(512, cfg), 2);
+}
+
+TEST(Mapping, DefaultOrderHomogenizesOnlyWhenSplit) {
+  HardwareConfig cfg;
+  quant::QLayer small = make_fc_layer(10, 2);
+  EXPECT_EQ(default_row_order(small, cfg), split::natural_order(10));
+  quant::QLayer big = make_fc_layer(300, 2);
+  Rng wr(11);
+  for (float& v : big.weight.flat()) v = static_cast<float>(wr.uniform(-1, 1));
+  const auto order = default_row_order(big, cfg);
+  EXPECT_NE(order, split::natural_order(300));
+  auto p = split::partition_from_order(order, 3);
+  EXPECT_NO_THROW(p.check_valid(300));
+}
+
+}  // namespace
+}  // namespace sei::core

@@ -1,0 +1,121 @@
+// Network composition, training convergence on a small task, and model I/O.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/synthetic_digits.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/model_io.hpp"
+#include "nn/relu.hpp"
+#include "nn/trainer.hpp"
+
+namespace sei::nn {
+namespace {
+
+Network tiny_net(std::uint64_t seed) {
+  Rng rng(seed);
+  Network net;
+  net.add<Conv2D>(3, 1, 4, rng);
+  net.add<ReLU>();
+  net.add<MaxPool2x2>();
+  net.add<Dense>(13 * 13 * 4, 10, rng);
+  return net;
+}
+
+TEST(Network, ForwardShapes) {
+  Network net = tiny_net(1);
+  Tensor in({2, 28, 28, 1});
+  Tensor out = net.forward(in);
+  EXPECT_EQ(out.shape(), (std::vector<int>{2, 10}));
+}
+
+TEST(Network, ForwardRangeComposes) {
+  Network net = tiny_net(2);
+  Tensor in({1, 28, 28, 1});
+  for (std::size_t i = 0; i < in.numel(); ++i)
+    in[i] = static_cast<float>(i % 7) / 7.0f;
+  Tensor full = net.forward(in);
+  Tensor half = net.forward_range(in, 0, 2, false);
+  Tensor rest = net.forward_range(half, 2, net.size(), false);
+  ASSERT_EQ(full.numel(), rest.numel());
+  for (std::size_t i = 0; i < full.numel(); ++i)
+    EXPECT_FLOAT_EQ(full[i], rest[i]);
+}
+
+TEST(Network, MatrixLayersInOrder) {
+  Network net = tiny_net(3);
+  auto mats = net.matrix_layers();
+  ASSERT_EQ(mats.size(), 2u);
+  EXPECT_EQ(mats[0]->matrix_rows(), 9);
+  EXPECT_EQ(mats[1]->matrix_rows(), 13 * 13 * 4);
+  auto idx = net.matrix_layer_indices();
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(Network, SliceBatchCopiesRows) {
+  Tensor images({4, 2, 2, 1});
+  for (std::size_t i = 0; i < images.numel(); ++i)
+    images[i] = static_cast<float>(i);
+  Tensor slice = Network::slice_batch(images, 1, 3);
+  EXPECT_EQ(slice.dim(0), 2);
+  EXPECT_FLOAT_EQ(slice[0], 4.0f);
+  EXPECT_FLOAT_EQ(slice[7], 11.0f);
+}
+
+TEST(Trainer, LearnsTinyTask) {
+  data::Dataset train = data::generate_synthetic(800, 42);
+  data::Dataset test = data::generate_synthetic(200, 43);
+  Network net = tiny_net(4);
+  TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 32;
+  EpochStats last = Trainer(tc).fit(net, train.images, train.label_span());
+  EXPECT_LT(last.train_error_pct, 20.0);
+  EXPECT_LT(net.error_rate(test.images, test.label_span()), 40.0);
+}
+
+TEST(Trainer, LossDecreasesAcrossEpochs) {
+  data::Dataset train = data::generate_synthetic(400, 7);
+  Network net = tiny_net(5);
+  TrainConfig tc;
+  tc.epochs = 3;
+  std::vector<double> losses;
+  Trainer(tc).fit(net, train.images, train.label_span(),
+                  [&](const EpochStats& s) { losses.push_back(s.train_loss); });
+  ASSERT_EQ(losses.size(), 3u);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(ModelIo, RoundTripPreservesWeights) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sei_test_model.bin").string();
+  Network a = tiny_net(6);
+  save_model(a, path);
+  Network b = tiny_net(7);  // different init
+  load_model(b, path);
+  auto pa = a.params(), pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].value->numel(), pb[i].value->numel());
+    for (std::size_t j = 0; j < pa[i].value->numel(); ++j)
+      EXPECT_FLOAT_EQ((*pa[i].value)[j], (*pb[i].value)[j]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIo, TopologyMismatchThrows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sei_test_model2.bin").string();
+  Network a = tiny_net(8);
+  save_model(a, path);
+  Rng rng(9);
+  Network different;
+  different.add<Dense>(784, 10, rng);
+  EXPECT_THROW(load_model(different, path), CheckError);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sei::nn

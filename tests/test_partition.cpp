@@ -1,0 +1,76 @@
+// Row partitioning for crossbar splitting.
+#include <gtest/gtest.h>
+
+#include "split/partition.hpp"
+
+namespace sei::split {
+namespace {
+
+TEST(Partition, LogicalCapacity) {
+  // 8-bit weights on 4-bit devices: 4 cells/weight → 512-row crossbar
+  // holds 128 logical rows.
+  EXPECT_EQ(logical_capacity(512, 4), 128);
+  EXPECT_EQ(logical_capacity(256, 4), 64);
+  EXPECT_EQ(logical_capacity(512, 1), 512);
+  EXPECT_THROW(logical_capacity(3, 4), CheckError);
+}
+
+TEST(Partition, BlocksNeededMatchesPaperExamples) {
+  // Paper: 300×64 signed-8-bit → 1200 physical rows → three 400×64
+  // crossbars at the 512 limit.
+  EXPECT_EQ(blocks_needed(300, 512, 4), 3);
+  // FC 1024×10 → 4096 physical rows → 8 crossbars.
+  EXPECT_EQ(blocks_needed(1024, 512, 4), 8);
+  // At the 256 limit: 300 logical rows → 5 blocks.
+  EXPECT_EQ(blocks_needed(300, 256, 4), 5);
+  // Small matrices need one.
+  EXPECT_EQ(blocks_needed(25, 512, 4), 1);
+}
+
+TEST(Partition, FromOrderBalancedChunks) {
+  const auto order = natural_order(10);
+  Partition p = partition_from_order(order, 3);
+  ASSERT_EQ(p.block_count(), 3);
+  EXPECT_EQ(p.blocks[0].size(), 4u);  // 10 = 4+3+3
+  EXPECT_EQ(p.blocks[1].size(), 3u);
+  EXPECT_EQ(p.blocks[2].size(), 3u);
+  EXPECT_EQ(p.blocks[0][0], 0);
+  EXPECT_EQ(p.blocks[2][2], 9);
+  EXPECT_EQ(p.total_rows(), 10);
+}
+
+TEST(Partition, PreservesOrderWithinBlocks) {
+  std::vector<int> order{5, 3, 1, 0, 2, 4};
+  Partition p = partition_from_order(order, 2);
+  EXPECT_EQ(p.blocks[0], (std::vector<int>{5, 3, 1}));
+  EXPECT_EQ(p.blocks[1], (std::vector<int>{0, 2, 4}));
+}
+
+TEST(Partition, ValidationCatchesDuplicates) {
+  Partition p;
+  p.blocks = {{0, 1}, {1, 2}};
+  EXPECT_THROW(p.check_valid(3), CheckError);
+  p.blocks = {{0, 1}, {2}};
+  EXPECT_NO_THROW(p.check_valid(3));
+  EXPECT_THROW(p.check_valid(4), CheckError);  // missing row 3
+}
+
+TEST(Partition, ValidationCatchesEmptyBlock) {
+  Partition p;
+  p.blocks = {{0, 1, 2}, {}};
+  EXPECT_THROW(p.check_valid(3), CheckError);
+}
+
+TEST(Partition, SingleBlockDegenerate) {
+  Partition p = partition_from_order(natural_order(4), 1);
+  EXPECT_EQ(p.block_count(), 1);
+  EXPECT_EQ(p.blocks[0].size(), 4u);
+}
+
+TEST(Partition, NaturalOrderIsIdentity) {
+  const auto o = natural_order(5);
+  EXPECT_EQ(o, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace sei::split

@@ -1,0 +1,118 @@
+// Integration: the full train → quantize → map pipeline on a scratch cache
+// directory, exercising the caching layer end to end.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "workloads/pipeline.hpp"
+#include "common/io.hpp"
+
+namespace sei::workloads {
+namespace {
+
+/// Redirects the cache to a scratch directory for the test's lifetime.
+class ScratchCache : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "sei_test_cache").string();
+    std::filesystem::remove_all(dir_);
+    setenv("SEI_CACHE_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    unsetenv("SEI_CACHE_DIR");
+    std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(ScratchCache, TrainQuantizeMapRoundTrip) {
+  // Small data keeps this test fast; network2 is the smallest workload.
+  data::DataBundle data = load_small_data(700, 200, 5);
+  PipelineOptions opts;
+  opts.search.max_search_images = 300;
+  opts.search.step = 0.02;
+
+  // Use a reduced-epoch variant to stay quick.
+  Workload wl = network2();
+  wl.train.epochs = 3;
+  nn::Network net = load_or_train(wl, data, false);
+  const double float_err =
+      net.error_rate(data.test.images, data.test.label_span());
+  EXPECT_LT(float_err, 60.0);
+  EXPECT_TRUE(sei::file_exists(dir_ + "/network2.model"));
+
+  auto qres = load_or_quantize(wl, net, data, opts.search, false);
+  EXPECT_TRUE(sei::file_exists(dir_ + "/network2.qnet"));
+  const double qerr1 = qres.qnet.error_rate(data.test);
+
+  // Second call hits the cache and reproduces the same QNetwork.
+  nn::Network net2 = load_or_train(wl, data, false);
+  auto qres2 = load_or_quantize(wl, net2, data, opts.search, false);
+  EXPECT_TRUE(qres2.traces.empty());  // cache hit: no search ran
+  EXPECT_NEAR(qres2.qnet.error_rate(data.test), qerr1, 1e-9);
+  for (std::size_t l = 0; l < qres.qnet.layers.size(); ++l) {
+    EXPECT_FLOAT_EQ(qres2.qnet.layers[l].threshold,
+                    qres.qnet.layers[l].threshold);
+  }
+
+  // Hardware mapping end to end.
+  core::HardwareConfig cfg;
+  core::SeiNetwork hw(qres2.qnet, cfg);
+  const double hw_err = hw.error_rate(data.test);
+  EXPECT_LT(hw_err, 70.0);
+}
+
+TEST_F(ScratchCache, QnetSerializationRoundTrip) {
+  data::DataBundle data = load_small_data(300, 50, 6);
+  Workload wl = network2();
+  wl.train.epochs = 1;
+  nn::Network net = load_or_train(wl, data, false);
+  quant::SearchConfig sc;
+  sc.max_search_images = 100;
+  sc.step = 0.1;
+  auto qres = quant::quantize_network(net, wl.topo, data.train, sc);
+  const std::string path = dir_ + "/roundtrip.qnet";
+  save_qnetwork(qres.qnet, path);
+  quant::QNetwork loaded = load_qnetwork(path, wl.topo);
+  ASSERT_EQ(loaded.layers.size(), qres.qnet.layers.size());
+  for (std::size_t l = 0; l < loaded.layers.size(); ++l) {
+    EXPECT_FLOAT_EQ(loaded.layers[l].threshold,
+                    qres.qnet.layers[l].threshold);
+    for (std::size_t i = 0; i < loaded.layers[l].weight.numel(); ++i)
+      EXPECT_FLOAT_EQ(loaded.layers[l].weight[i],
+                      qres.qnet.layers[l].weight[i]);
+  }
+  // Loading against the wrong topology fails loudly.
+  EXPECT_THROW(load_qnetwork(path, network3().topo), CheckError);
+}
+
+TEST_F(ScratchCache, SmallDataBundleShape) {
+  data::DataBundle b = load_small_data(50, 20, 7);
+  EXPECT_EQ(b.train.size(), 50);
+  EXPECT_EQ(b.test.size(), 20);
+  EXPECT_EQ(b.train.images.dim(1), 28);
+}
+
+TEST(Workloads, LookupByName) {
+  EXPECT_EQ(workload_by_name("network1").topo.name, "network1");
+  EXPECT_EQ(workload_by_name("network3").topo.stages.size(), 3u);
+  EXPECT_THROW(workload_by_name("network9"), CheckError);
+}
+
+TEST(Workloads, FloatNetworkMatchesTopology) {
+  auto wl = network1();
+  nn::Network net = build_float_network(wl.topo, 1);
+  auto mats = net.matrix_layers();
+  ASSERT_EQ(mats.size(), 3u);
+  EXPECT_EQ(mats[0]->matrix_rows(), 25);
+  EXPECT_EQ(mats[1]->matrix_rows(), 300);
+  EXPECT_EQ(mats[2]->matrix_rows(), 1024);
+  // Forward pass works on a 28×28 input.
+  nn::Tensor img({1, 28, 28, 1});
+  nn::Tensor out = net.forward(img);
+  EXPECT_EQ(out.numel(), 10u);
+}
+
+}  // namespace
+}  // namespace sei::workloads

@@ -1,0 +1,236 @@
+// SEI hardware network: equivalence with the software QNetwork in the
+// ideal unsplit case, splitting semantics, and device-effect behaviour.
+#include <gtest/gtest.h>
+
+#include "core/sei_network.hpp"
+#include "data/synthetic_digits.hpp"
+#include "nn/trainer.hpp"
+#include "quant/threshold_search.hpp"
+#include "workloads/networks.hpp"
+
+namespace sei::core {
+namespace {
+
+/// Small trained + quantized network2 shared across tests.
+struct Fixture {
+  workloads::Workload wl = workloads::network2();
+  data::Dataset train = data::generate_synthetic(1000, 61);
+  data::Dataset test = data::generate_synthetic(300, 62);
+  quant::QNetwork qnet;
+
+  Fixture() {
+    nn::Network net = workloads::build_float_network(wl.topo, 51);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    nn::Trainer(tc).fit(net, train.images, train.label_span());
+    quant::SearchConfig sc;
+    sc.max_search_images = 400;
+    sc.step = 0.02;
+    qnet = quant::quantize_network(net, wl.topo, train, sc).qnet;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(SeiNetwork, IdealUnsplitMatchesSoftwareQNetwork) {
+  Fixture& f = fixture();
+  HardwareConfig cfg;
+  cfg.weight_bits = 14;  // negligible quantization error
+  cfg.device.bits = 7;   // one slice per polarity
+  cfg.input_bits = 14;
+  cfg.limits.max_rows = 4096;  // keep every stage unsplit for this test
+  SeiNetwork hw(f.qnet, cfg);
+  for (int s = 0; s < hw.stage_count(); ++s)
+    ASSERT_EQ(hw.layer(s).block_count, 1);  // network2 fits unsplit
+
+  const std::size_t per_image = 28 * 28;
+  int agree = 0;
+  const int n = 150;
+  for (int i = 0; i < n; ++i) {
+    std::span<const float> img{
+        f.test.images.data() + static_cast<std::size_t>(i) * per_image,
+        per_image};
+    if (hw.predict(img) == f.qnet.predict(img)) ++agree;
+  }
+  // 14-bit weights + 14-bit inputs: only razor-edge threshold cases differ.
+  EXPECT_GE(agree, n - 2);
+}
+
+TEST(SeiNetwork, EightBitWeightsStayClose) {
+  Fixture& f = fixture();
+  HardwareConfig cfg;  // paper defaults: 8-bit weights, 4-bit devices
+  SeiNetwork hw(f.qnet, cfg);
+  const double sw_err = f.qnet.error_rate(f.test);
+  const double hw_err = hw.error_rate(f.test);
+  EXPECT_NEAR(hw_err, sw_err, 3.0);
+}
+
+TEST(SeiNetwork, UnipolarModeMatchesBipolar) {
+  Fixture& f = fixture();
+  HardwareConfig bi;
+  HardwareConfig uni;
+  uni.sign_mode = SignMode::kUnipolarDynThresh;
+  SeiNetwork a(f.qnet, bi);
+  SeiNetwork b(f.qnet, uni);
+  // Ideal devices: identical decisions (both reduce to the same integers).
+  const std::size_t per_image = 28 * 28;
+  for (int i = 0; i < 80; ++i) {
+    std::span<const float> img{
+        f.test.images.data() + static_cast<std::size_t>(i) * per_image,
+        per_image};
+    EXPECT_EQ(a.predict(img), b.predict(img)) << "image " << i;
+  }
+}
+
+TEST(SeiNetwork, CacheAndTailEvaluationMatchesFullPredict) {
+  Fixture& f = fixture();
+  HardwareConfig cfg;
+  SeiNetwork hw(f.qnet, cfg);
+  const double full = hw.error_rate(f.test, 120);
+  auto inputs = hw.cache_stage_inputs(f.test, 1, 120);
+  const double tail = hw.error_rate_from(f.test, 1, inputs);
+  EXPECT_NEAR(full, tail, 1e-9);
+}
+
+TEST(SeiNetwork, RemapChangesPartitionNotSemantics) {
+  Fixture& f = fixture();
+  HardwareConfig cfg;
+  SeiNetwork hw(f.qnet, cfg);
+  const double before = hw.error_rate(f.test, 100);
+  // network2 stage 1 has one block; remapping with a shuffled order is a
+  // pure relabeling and must not change any decision.
+  auto order = split::natural_order(f.qnet.layers[1].geom.rows);
+  Rng rng(5);
+  rng.shuffle(order);
+  hw.remap_layer(1, order);
+  EXPECT_NEAR(hw.error_rate(f.test, 100), before, 1e-9);
+}
+
+TEST(SeiNetwork, SplitVoteSemantics) {
+  // Force splitting of network2's stage 1 (36 logical rows) with a tiny
+  // crossbar limit, then check vote-threshold monotonicity: raising the
+  // vote can only turn 1-bits into 0-bits (more conservative outputs).
+  Fixture& f = fixture();
+  HardwareConfig cfg;
+  cfg.limits.max_rows = 48;  // 12 logical rows per crossbar → 3 blocks
+  SeiNetwork hw(f.qnet, cfg);
+  EXPECT_EQ(hw.layer(1).block_count, 3);
+
+  const std::size_t per_image = 28 * 28;
+  std::span<const float> img{f.test.images.data(), per_image};
+  auto count_ones = [&](int vote) {
+    hw.layer(1).vote_threshold = vote;
+    auto bits = hw.cache_stage_inputs(f.test, 2, 1);  // output of stage 1
+    int ones = 0;
+    for (auto b : bits[0]) ones += b;
+    return ones;
+  };
+  const int or_ones = count_ones(1);
+  const int maj_ones = count_ones(2);
+  const int and_ones = count_ones(3);
+  EXPECT_GE(or_ones, maj_ones);
+  EXPECT_GE(maj_ones, and_ones);
+}
+
+TEST(SeiNetwork, DeviceVariationDegradesGracefully) {
+  Fixture& f = fixture();
+  HardwareConfig clean;
+  HardwareConfig noisy;
+  noisy.device.program_sigma = 0.08;
+  SeiNetwork a(f.qnet, clean);
+  SeiNetwork b(f.qnet, noisy);
+  const double clean_err = a.error_rate(f.test);
+  const double noisy_err = b.error_rate(f.test);
+  EXPECT_LT(noisy_err, clean_err + 25.0);  // degraded but not destroyed
+}
+
+TEST(SeiNetwork, AccountingCountsCrossbarsAndCells) {
+  Fixture& f = fixture();
+  HardwareConfig cfg;
+  SeiNetwork hw(f.qnet, cfg);
+  // network2: 9×4, 36×8, 200×10 logical. The FC stage expands to
+  // 200 × 4 = 800 physical rows → 2 blocks at the 512 limit, so 4 arrays.
+  EXPECT_EQ(hw.total_crossbars(), 4);
+  EXPECT_EQ(hw.total_cells(),
+            4LL * (9 * 4 + 36 * 8 + 200 * 10));  // 4 cells per weight
+}
+
+TEST(SeiNetwork, ReadNoiseReachesTheDecisionPath) {
+  // Regression test: read_noise_sigma must perturb the sense-amp compare,
+  // not just the (unused-in-inference) Crossbar::mvm path.
+  Fixture& f = fixture();
+  HardwareConfig cfg;
+  cfg.device.read_noise_sigma = 0.25;  // aggressive, to force flips
+  SeiNetwork hw(f.qnet, cfg);
+  const std::size_t per_image = 28 * 28;
+  int changed = 0;
+  for (int i = 0; i < 40; ++i) {
+    std::span<const float> img{
+        f.test.images.data() + static_cast<std::size_t>(i) * per_image,
+        per_image};
+    quant::BitMap a, b;
+    // Two reads of the same image must occasionally differ somewhere in
+    // the binary activations.
+    a = hw.cache_stage_inputs(f.test, 1, i + 1).back();
+    b = hw.cache_stage_inputs(f.test, 1, i + 1).back();
+    if (a != b) ++changed;
+  }
+  EXPECT_GT(changed, 0);
+}
+
+TEST(SeiNetwork, SaOffsetIsStaticPerInstance) {
+  // Sense-amp offset mismatch is sampled once at build: predictions stay
+  // deterministic, but differ from the offset-free network for some images.
+  Fixture& f = fixture();
+  HardwareConfig cfg;
+  cfg.sa_offset_sigma = 30.0;  // large, in integer-weight LSBs
+  SeiNetwork clean(f.qnet, HardwareConfig{});
+  SeiNetwork skewed(f.qnet, cfg);
+  const std::size_t per_image = 28 * 28;
+  int diff = 0;
+  for (int i = 0; i < 60; ++i) {
+    std::span<const float> img{
+        f.test.images.data() + static_cast<std::size_t>(i) * per_image,
+        per_image};
+    const int p = skewed.predict(img);
+    EXPECT_EQ(skewed.predict(img), p);  // deterministic
+    if (p != clean.predict(img)) ++diff;
+  }
+  EXPECT_GT(diff, 0);
+  // Moderate offsets barely move accuracy (1-bit decisions are robust).
+  HardwareConfig mild;
+  mild.sa_offset_sigma = 2.0;
+  SeiNetwork m(f.qnet, mild);
+  EXPECT_NEAR(m.error_rate(f.test, 200), clean.error_rate(f.test, 200), 4.0);
+}
+
+TEST(SeiNetwork, IrDropShiftsDecisionsOnLargeArrays) {
+  Fixture& f = fixture();
+  HardwareConfig clean;
+  HardwareConfig droopy;
+  droopy.device.ir_drop_alpha = 0.6;
+  SeiNetwork a(f.qnet, clean);
+  SeiNetwork b(f.qnet, droopy);
+  // The systematic attenuation shifts analog sums below their thresholds;
+  // accuracy must not improve and typically degrades.
+  const double clean_err = a.error_rate(f.test, 200);
+  const double droop_err = b.error_rate(f.test, 200);
+  EXPECT_GE(droop_err, clean_err - 0.51);
+}
+
+TEST(SeiNetwork, PredictIsDeterministicWithoutReadNoise) {
+  Fixture& f = fixture();
+  HardwareConfig cfg;
+  cfg.device.program_sigma = 0.05;  // variation fixed at programming time
+  SeiNetwork hw(f.qnet, cfg);
+  const std::size_t per_image = 28 * 28;
+  std::span<const float> img{f.test.images.data(), per_image};
+  const int p = hw.predict(img);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(hw.predict(img), p);
+}
+
+}  // namespace
+}  // namespace sei::core

@@ -1,0 +1,102 @@
+// Rate-coded SNN conversion (the paper's future-work extension).
+#include <gtest/gtest.h>
+
+#include "data/synthetic_digits.hpp"
+#include "nn/trainer.hpp"
+#include "quant/threshold_search.hpp"
+#include "snn/snn_network.hpp"
+#include "workloads/networks.hpp"
+
+namespace sei::snn {
+namespace {
+
+struct Fixture {
+  workloads::Workload wl = workloads::network3();
+  data::Dataset train = data::generate_synthetic(2500, 91);
+  data::Dataset test = data::generate_synthetic(300, 92);
+  quant::QNetwork qnet;
+  double float_err = 0.0;
+
+  Fixture() {
+    nn::Network net = workloads::build_float_network(wl.topo, 61);
+    nn::TrainConfig tc;
+    tc.epochs = 4;
+    nn::Trainer(tc).fit(net, train.images, train.label_span());
+    float_err = net.error_rate(test.images, test.label_span());
+    quant::SearchConfig sc;
+    sc.max_search_images = 800;
+    sc.step = 0.02;
+    qnet = quant::quantize_network(net, wl.topo, train, sc).qnet;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(Snn, ConfigValidation) {
+  Fixture& f = fixture();
+  SnnConfig cfg;
+  cfg.timesteps = 0;
+  EXPECT_THROW(SnnNetwork(f.qnet, cfg), CheckError);
+  cfg = SnnConfig{};
+  cfg.firing_threshold = 0.0f;
+  EXPECT_THROW(SnnNetwork(f.qnet, cfg), CheckError);
+}
+
+TEST(Snn, PhasedCodingIsDeterministic) {
+  Fixture& f = fixture();
+  SnnConfig cfg;
+  cfg.coding = InputCoding::kPhased;
+  cfg.timesteps = 16;
+  SnnNetwork snn(f.qnet, cfg);
+  const std::size_t per_image = 28 * 28;
+  std::span<const float> img{f.test.images.data(), per_image};
+  const int p = snn.predict(img);
+  EXPECT_EQ(snn.predict(img), p);
+  EXPECT_GE(p, 0);
+  EXPECT_LT(p, 10);
+}
+
+TEST(Snn, AccuracyImprovesWithTimesteps) {
+  Fixture& f = fixture();
+  SnnConfig short_cfg;
+  short_cfg.timesteps = 2;
+  SnnConfig long_cfg;
+  long_cfg.timesteps = 48;
+  const double err_short =
+      SnnNetwork(f.qnet, short_cfg).error_rate(f.test, 150);
+  const double err_long = SnnNetwork(f.qnet, long_cfg).error_rate(f.test, 150);
+  EXPECT_LT(err_long, err_short + 1.0);
+  // With a generous window the rate code approaches the float network.
+  EXPECT_LT(err_long, f.float_err + 12.0);
+  EXPECT_LT(err_long, 25.0);
+}
+
+TEST(Snn, SpikeStatsAreCounted) {
+  Fixture& f = fixture();
+  SnnConfig cfg;
+  cfg.timesteps = 8;
+  SnnNetwork snn(f.qnet, cfg);
+  const std::size_t per_image = 28 * 28;
+  SpikeStats stats;
+  snn.predict({f.test.images.data(), per_image}, &stats);
+  EXPECT_EQ(stats.timesteps, 8);
+  EXPECT_GT(stats.input_spikes, 0);
+  EXPECT_GT(stats.hidden_spikes, 0);
+  // Spikes are 1-bit events bounded by neurons × timesteps.
+  EXPECT_LT(stats.input_spikes, 8LL * 784);
+}
+
+TEST(Snn, BernoulliCodingWorksToo) {
+  Fixture& f = fixture();
+  SnnConfig cfg;
+  cfg.coding = InputCoding::kBernoulli;
+  cfg.timesteps = 48;
+  const double err = SnnNetwork(f.qnet, cfg).error_rate(f.test, 120);
+  EXPECT_LT(err, 35.0);  // stochastic coding is noisier but functional
+}
+
+}  // namespace
+}  // namespace sei::snn

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/softmax.hpp"
+
+namespace sei::nn {
+namespace {
+
+TEST(Softmax, ProbabilitiesSumToOne) {
+  SoftmaxCrossEntropy head;
+  Tensor logits({2, 3});
+  logits.at(0, 0) = 1.0f;
+  logits.at(0, 1) = 2.0f;
+  logits.at(1, 2) = -5.0f;
+  std::vector<std::uint8_t> labels{1, 0};
+  head.forward(logits, labels);
+  const Tensor& p = head.probabilities();
+  for (int i = 0; i < 2; ++i) {
+    double s = 0;
+    for (int j = 0; j < 3; ++j) s += p.at(i, j);
+    EXPECT_NEAR(s, 1.0, 1e-6);
+  }
+}
+
+TEST(Softmax, LossOfPerfectPredictionIsSmall) {
+  SoftmaxCrossEntropy head;
+  Tensor logits({1, 2});
+  logits.at(0, 0) = 20.0f;
+  std::vector<std::uint8_t> labels{0};
+  const LossResult r = head.forward(logits, labels);
+  EXPECT_LT(r.loss, 1e-6);
+  EXPECT_EQ(r.correct, 1);
+}
+
+TEST(Softmax, NumericallyStableForHugeLogits) {
+  SoftmaxCrossEntropy head;
+  Tensor logits({1, 2});
+  logits.at(0, 0) = 10000.0f;
+  logits.at(0, 1) = -10000.0f;
+  std::vector<std::uint8_t> labels{1};
+  const LossResult r = head.forward(logits, labels);
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_GT(r.loss, 20.0);  // confidently wrong (clamped at -log 1e-12)
+}
+
+TEST(Softmax, GradientIsProbMinusOnehotOverN) {
+  SoftmaxCrossEntropy head;
+  Tensor logits({2, 2});  // symmetric logits → p = 0.5 each
+  std::vector<std::uint8_t> labels{0, 1};
+  head.forward(logits, labels);
+  Tensor g = head.backward(labels);
+  EXPECT_NEAR(g.at(0, 0), (0.5 - 1.0) / 2, 1e-6);
+  EXPECT_NEAR(g.at(0, 1), 0.5 / 2, 1e-6);
+  EXPECT_NEAR(g.at(1, 1), (0.5 - 1.0) / 2, 1e-6);
+}
+
+TEST(Softmax, ArgmaxRow) {
+  Tensor logits({2, 3});
+  logits.at(0, 2) = 5.0f;
+  logits.at(1, 0) = 1.0f;
+  EXPECT_EQ(argmax_row(logits, 0), 2);
+  EXPECT_EQ(argmax_row(logits, 1), 0);
+}
+
+TEST(Softmax, LabelOutOfRangeThrows) {
+  SoftmaxCrossEntropy head;
+  Tensor logits({1, 2});
+  std::vector<std::uint8_t> labels{3};
+  EXPECT_THROW(head.forward(logits, labels), CheckError);
+}
+
+}  // namespace
+}  // namespace sei::nn

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "nn/tensor.hpp"
+
+namespace sei::nn {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(2), 4);
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.shape_str(), "[2x3x4]");
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, RejectsNonPositiveDims) {
+  EXPECT_THROW(Tensor({2, 0}), CheckError);
+  EXPECT_THROW(Tensor({-1}), CheckError);
+}
+
+TEST(Tensor, MultiIndexRowMajor) {
+  Tensor t({2, 3});
+  t.at(0, 0) = 1.0f;
+  t.at(0, 2) = 2.0f;
+  t.at(1, 0) = 3.0f;
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(t[2], 2.0f);
+  EXPECT_EQ(t[3], 3.0f);
+
+  Tensor u({2, 2, 2, 2});
+  u.at(1, 1, 1, 1) = 5.0f;
+  EXPECT_EQ(u[15], 5.0f);
+  u.at(1, 0, 1, 0) = 7.0f;
+  EXPECT_EQ(u[10], 7.0f);
+}
+
+TEST(Tensor, ReshapeKeepsData) {
+  Tensor t = Tensor::from_vector({1, 2, 3, 4, 5, 6});
+  t.reshape({2, 3});
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_THROW(t.reshape({4, 2}), CheckError);
+}
+
+TEST(Tensor, AxpyAndScale) {
+  Tensor a = Tensor::from_vector({1, 2, 3});
+  Tensor b = Tensor::from_vector({10, 20, 30});
+  a.axpy(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+  EXPECT_FLOAT_EQ(a[2], 18.0f);
+  a.scale(2.0f);
+  EXPECT_FLOAT_EQ(a[1], 24.0f);
+}
+
+TEST(Tensor, AxpyShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a.axpy(1.0f, b), CheckError);
+}
+
+TEST(Tensor, MaxAndMaxAbs) {
+  Tensor t = Tensor::from_vector({-5, 2, 3});
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_FLOAT_EQ(t.max_abs(), 5.0f);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({4});
+  t.fill(2.5f);
+  for (float v : t.flat()) EXPECT_EQ(v, 2.5f);
+  t.zero();
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace sei::nn

@@ -1,0 +1,101 @@
+// Fixed-point weight quantization and nibble decomposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "quant/weight_quant.hpp"
+
+namespace sei::quant {
+namespace {
+
+TEST(WeightQuant, RoundTripErrorBounded) {
+  Rng rng(1);
+  nn::Tensor w({20, 10});
+  for (float& v : w.flat()) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  QuantizedMatrix q = quantize_weights(w, 8);
+  nn::Tensor back = dequantize(q);
+  const float half_step = q.scale / 2 + 1e-7f;
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    EXPECT_LE(std::fabs(w[i] - back[i]), half_step) << "at " << i;
+}
+
+TEST(WeightQuant, MaxMagnitudeMapsToQmax) {
+  nn::Tensor w({1, 3});
+  w.at(0, 0) = -2.0f;
+  w.at(0, 1) = 1.0f;
+  w.at(0, 2) = 0.0f;
+  QuantizedMatrix q = quantize_weights(w, 8);
+  EXPECT_EQ(q.at(0, 0), -127);
+  EXPECT_EQ(q.at(0, 1), 64);  // round(1.0/2.0 · 127)
+  EXPECT_EQ(q.at(0, 2), 0);
+}
+
+TEST(WeightQuant, AllZeroMatrixIsSafe) {
+  nn::Tensor w({2, 2});
+  QuantizedMatrix q = quantize_weights(w, 8);
+  for (auto v : q.values) EXPECT_EQ(v, 0);
+  EXPECT_GT(q.scale, 0.0f);
+}
+
+class BitWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitWidths, ValuesStayInRange) {
+  const int bits = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bits));
+  nn::Tensor w({8, 8});
+  for (float& v : w.flat()) v = static_cast<float>(rng.uniform(-3, 3));
+  QuantizedMatrix q = quantize_weights(w, bits);
+  const int qmax = (1 << (bits - 1)) - 1;
+  for (auto v : q.values) {
+    EXPECT_LE(v, qmax);
+    EXPECT_GE(v, -qmax);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitWidths, ::testing::Values(2, 4, 6, 8, 12));
+
+TEST(Nibble, SplitsMagnitude) {
+  const NibblePair p = split_magnitude(127, 4);
+  EXPECT_EQ(p.hi, 7);
+  EXPECT_EQ(p.lo, 15);
+  EXPECT_EQ(p.hi * 16 + p.lo, 127);
+  const NibblePair z = split_magnitude(0, 4);
+  EXPECT_EQ(z.hi, 0);
+  EXPECT_EQ(z.lo, 0);
+}
+
+TEST(Nibble, ReconstructsForAllMagnitudes) {
+  for (int m = 0; m <= 255; ++m) {
+    const NibblePair p = split_magnitude(m, 4);
+    EXPECT_EQ(p.hi * 16 + p.lo, m);
+    EXPECT_LT(p.hi, 16);
+    EXPECT_LT(p.lo, 16);
+  }
+}
+
+TEST(Nibble, OverflowThrows) {
+  EXPECT_THROW(split_magnitude(256, 4), CheckError);
+}
+
+TEST(CellCounts, PaperConfiguration) {
+  // 8-bit weights on 4-bit devices: SEI uses 4 cells per weight
+  // ("we can use 4 cells to implement a weight in the same crossbar"),
+  // the baseline needs 4 crossbars ("demands total 4 crossbars").
+  EXPECT_EQ(sei_cells_per_weight(8, 4), 4);
+  EXPECT_EQ(baseline_crossbars_per_matrix(8, 4), 4);
+}
+
+TEST(CellCounts, HighPrecisionDevices) {
+  // 8-bit devices hold a whole 7-bit magnitude in one cell.
+  EXPECT_EQ(sei_cells_per_weight(8, 8), 2);
+  EXPECT_EQ(baseline_crossbars_per_matrix(8, 8), 2);
+}
+
+TEST(CellCounts, LowPrecisionDevices) {
+  // 2-bit devices need 4 slices per polarity.
+  EXPECT_EQ(sei_cells_per_weight(8, 2), 8);
+}
+
+}  // namespace
+}  // namespace sei::quant
