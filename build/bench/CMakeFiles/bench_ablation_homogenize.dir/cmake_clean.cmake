@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_homogenize.dir/bench_ablation_homogenize.cpp.o"
+  "CMakeFiles/bench_ablation_homogenize.dir/bench_ablation_homogenize.cpp.o.d"
+  "bench_ablation_homogenize"
+  "bench_ablation_homogenize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_homogenize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

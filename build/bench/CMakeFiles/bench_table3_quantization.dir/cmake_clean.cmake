@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_quantization.dir/bench_table3_quantization.cpp.o"
+  "CMakeFiles/bench_table3_quantization.dir/bench_table3_quantization.cpp.o.d"
+  "bench_table3_quantization"
+  "bench_table3_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_splitting.dir/bench_table4_splitting.cpp.o"
+  "CMakeFiles/bench_table4_splitting.dir/bench_table4_splitting.cpp.o.d"
+  "bench_table4_splitting"
+  "bench_table4_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

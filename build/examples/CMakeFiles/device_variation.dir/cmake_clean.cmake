@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_variation.dir/device_variation.cpp.o"
+  "CMakeFiles/device_variation.dir/device_variation.cpp.o.d"
+  "device_variation"
+  "device_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snn_demo.dir/snn_demo.cpp.o"
+  "CMakeFiles/snn_demo.dir/snn_demo.cpp.o.d"
+  "snn_demo"
+  "snn_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snn_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

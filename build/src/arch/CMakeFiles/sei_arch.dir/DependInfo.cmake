@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cost_model.cpp" "src/arch/CMakeFiles/sei_arch.dir/cost_model.cpp.o" "gcc" "src/arch/CMakeFiles/sei_arch.dir/cost_model.cpp.o.d"
+  "/root/repo/src/arch/latency_model.cpp" "src/arch/CMakeFiles/sei_arch.dir/latency_model.cpp.o" "gcc" "src/arch/CMakeFiles/sei_arch.dir/latency_model.cpp.o.d"
+  "/root/repo/src/arch/plan.cpp" "src/arch/CMakeFiles/sei_arch.dir/plan.cpp.o" "gcc" "src/arch/CMakeFiles/sei_arch.dir/plan.cpp.o.d"
+  "/root/repo/src/arch/report.cpp" "src/arch/CMakeFiles/sei_arch.dir/report.cpp.o" "gcc" "src/arch/CMakeFiles/sei_arch.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sei_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/sei_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/rram/CMakeFiles/sei_rram.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sei_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/split/CMakeFiles/sei_split.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sei_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sei_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sei_arch.dir/cost_model.cpp.o"
+  "CMakeFiles/sei_arch.dir/cost_model.cpp.o.d"
+  "CMakeFiles/sei_arch.dir/latency_model.cpp.o"
+  "CMakeFiles/sei_arch.dir/latency_model.cpp.o.d"
+  "CMakeFiles/sei_arch.dir/plan.cpp.o"
+  "CMakeFiles/sei_arch.dir/plan.cpp.o.d"
+  "CMakeFiles/sei_arch.dir/report.cpp.o"
+  "CMakeFiles/sei_arch.dir/report.cpp.o.d"
+  "libsei_arch.a"
+  "libsei_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sei_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

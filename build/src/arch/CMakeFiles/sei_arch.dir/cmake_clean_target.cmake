@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsei_arch.a"
+)

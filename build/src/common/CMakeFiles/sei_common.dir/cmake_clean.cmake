@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sei_common.dir/cli.cpp.o"
+  "CMakeFiles/sei_common.dir/cli.cpp.o.d"
+  "CMakeFiles/sei_common.dir/io.cpp.o"
+  "CMakeFiles/sei_common.dir/io.cpp.o.d"
+  "CMakeFiles/sei_common.dir/table.cpp.o"
+  "CMakeFiles/sei_common.dir/table.cpp.o.d"
+  "libsei_common.a"
+  "libsei_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sei_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

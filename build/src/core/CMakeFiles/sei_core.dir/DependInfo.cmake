@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adc_network.cpp" "src/core/CMakeFiles/sei_core.dir/adc_network.cpp.o" "gcc" "src/core/CMakeFiles/sei_core.dir/adc_network.cpp.o.d"
+  "/root/repo/src/core/dyn_opt.cpp" "src/core/CMakeFiles/sei_core.dir/dyn_opt.cpp.o" "gcc" "src/core/CMakeFiles/sei_core.dir/dyn_opt.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/sei_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/sei_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/sei_network.cpp" "src/core/CMakeFiles/sei_core.dir/sei_network.cpp.o" "gcc" "src/core/CMakeFiles/sei_core.dir/sei_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sei_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sei_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sei_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/sei_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/rram/CMakeFiles/sei_rram.dir/DependInfo.cmake"
+  "/root/repo/build/src/split/CMakeFiles/sei_split.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sei_core.dir/adc_network.cpp.o"
+  "CMakeFiles/sei_core.dir/adc_network.cpp.o.d"
+  "CMakeFiles/sei_core.dir/dyn_opt.cpp.o"
+  "CMakeFiles/sei_core.dir/dyn_opt.cpp.o.d"
+  "CMakeFiles/sei_core.dir/mapping.cpp.o"
+  "CMakeFiles/sei_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/sei_core.dir/sei_network.cpp.o"
+  "CMakeFiles/sei_core.dir/sei_network.cpp.o.d"
+  "libsei_core.a"
+  "libsei_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sei_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/sei_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/sei_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/idx_loader.cpp" "src/data/CMakeFiles/sei_data.dir/idx_loader.cpp.o" "gcc" "src/data/CMakeFiles/sei_data.dir/idx_loader.cpp.o.d"
+  "/root/repo/src/data/stroke_font.cpp" "src/data/CMakeFiles/sei_data.dir/stroke_font.cpp.o" "gcc" "src/data/CMakeFiles/sei_data.dir/stroke_font.cpp.o.d"
+  "/root/repo/src/data/synthetic_digits.cpp" "src/data/CMakeFiles/sei_data.dir/synthetic_digits.cpp.o" "gcc" "src/data/CMakeFiles/sei_data.dir/synthetic_digits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sei_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sei_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sei_data.dir/dataset.cpp.o"
+  "CMakeFiles/sei_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/sei_data.dir/idx_loader.cpp.o"
+  "CMakeFiles/sei_data.dir/idx_loader.cpp.o.d"
+  "CMakeFiles/sei_data.dir/stroke_font.cpp.o"
+  "CMakeFiles/sei_data.dir/stroke_font.cpp.o.d"
+  "CMakeFiles/sei_data.dir/synthetic_digits.cpp.o"
+  "CMakeFiles/sei_data.dir/synthetic_digits.cpp.o.d"
+  "libsei_data.a"
+  "libsei_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sei_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/sei_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/sei_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/sei_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/sei_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/sei_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/sei_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/maxpool.cpp" "src/nn/CMakeFiles/sei_nn.dir/maxpool.cpp.o" "gcc" "src/nn/CMakeFiles/sei_nn.dir/maxpool.cpp.o.d"
+  "/root/repo/src/nn/model_io.cpp" "src/nn/CMakeFiles/sei_nn.dir/model_io.cpp.o" "gcc" "src/nn/CMakeFiles/sei_nn.dir/model_io.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/sei_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/sei_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/relu.cpp" "src/nn/CMakeFiles/sei_nn.dir/relu.cpp.o" "gcc" "src/nn/CMakeFiles/sei_nn.dir/relu.cpp.o.d"
+  "/root/repo/src/nn/softmax.cpp" "src/nn/CMakeFiles/sei_nn.dir/softmax.cpp.o" "gcc" "src/nn/CMakeFiles/sei_nn.dir/softmax.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/sei_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/sei_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/sei_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/sei_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sei_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sei_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/sei_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/sei_nn.dir/dense.cpp.o"
+  "CMakeFiles/sei_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/sei_nn.dir/gemm.cpp.o"
+  "CMakeFiles/sei_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/sei_nn.dir/maxpool.cpp.o"
+  "CMakeFiles/sei_nn.dir/maxpool.cpp.o.d"
+  "CMakeFiles/sei_nn.dir/model_io.cpp.o"
+  "CMakeFiles/sei_nn.dir/model_io.cpp.o.d"
+  "CMakeFiles/sei_nn.dir/network.cpp.o"
+  "CMakeFiles/sei_nn.dir/network.cpp.o.d"
+  "CMakeFiles/sei_nn.dir/relu.cpp.o"
+  "CMakeFiles/sei_nn.dir/relu.cpp.o.d"
+  "CMakeFiles/sei_nn.dir/softmax.cpp.o"
+  "CMakeFiles/sei_nn.dir/softmax.cpp.o.d"
+  "CMakeFiles/sei_nn.dir/tensor.cpp.o"
+  "CMakeFiles/sei_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/sei_nn.dir/trainer.cpp.o"
+  "CMakeFiles/sei_nn.dir/trainer.cpp.o.d"
+  "libsei_nn.a"
+  "libsei_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sei_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

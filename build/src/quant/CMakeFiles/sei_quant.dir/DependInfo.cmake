@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/distribution.cpp" "src/quant/CMakeFiles/sei_quant.dir/distribution.cpp.o" "gcc" "src/quant/CMakeFiles/sei_quant.dir/distribution.cpp.o.d"
+  "/root/repo/src/quant/qnet.cpp" "src/quant/CMakeFiles/sei_quant.dir/qnet.cpp.o" "gcc" "src/quant/CMakeFiles/sei_quant.dir/qnet.cpp.o.d"
+  "/root/repo/src/quant/threshold_search.cpp" "src/quant/CMakeFiles/sei_quant.dir/threshold_search.cpp.o" "gcc" "src/quant/CMakeFiles/sei_quant.dir/threshold_search.cpp.o.d"
+  "/root/repo/src/quant/weight_quant.cpp" "src/quant/CMakeFiles/sei_quant.dir/weight_quant.cpp.o" "gcc" "src/quant/CMakeFiles/sei_quant.dir/weight_quant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sei_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sei_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sei_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

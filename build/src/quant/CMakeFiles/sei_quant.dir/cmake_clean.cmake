@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sei_quant.dir/distribution.cpp.o"
+  "CMakeFiles/sei_quant.dir/distribution.cpp.o.d"
+  "CMakeFiles/sei_quant.dir/qnet.cpp.o"
+  "CMakeFiles/sei_quant.dir/qnet.cpp.o.d"
+  "CMakeFiles/sei_quant.dir/threshold_search.cpp.o"
+  "CMakeFiles/sei_quant.dir/threshold_search.cpp.o.d"
+  "CMakeFiles/sei_quant.dir/weight_quant.cpp.o"
+  "CMakeFiles/sei_quant.dir/weight_quant.cpp.o.d"
+  "libsei_quant.a"
+  "libsei_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sei_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rram/crossbar.cpp" "src/rram/CMakeFiles/sei_rram.dir/crossbar.cpp.o" "gcc" "src/rram/CMakeFiles/sei_rram.dir/crossbar.cpp.o.d"
+  "/root/repo/src/rram/device.cpp" "src/rram/CMakeFiles/sei_rram.dir/device.cpp.o" "gcc" "src/rram/CMakeFiles/sei_rram.dir/device.cpp.o.d"
+  "/root/repo/src/rram/periphery.cpp" "src/rram/CMakeFiles/sei_rram.dir/periphery.cpp.o" "gcc" "src/rram/CMakeFiles/sei_rram.dir/periphery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sei_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

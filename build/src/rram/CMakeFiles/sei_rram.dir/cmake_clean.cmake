@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sei_rram.dir/crossbar.cpp.o"
+  "CMakeFiles/sei_rram.dir/crossbar.cpp.o.d"
+  "CMakeFiles/sei_rram.dir/device.cpp.o"
+  "CMakeFiles/sei_rram.dir/device.cpp.o.d"
+  "CMakeFiles/sei_rram.dir/periphery.cpp.o"
+  "CMakeFiles/sei_rram.dir/periphery.cpp.o.d"
+  "libsei_rram.a"
+  "libsei_rram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sei_rram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

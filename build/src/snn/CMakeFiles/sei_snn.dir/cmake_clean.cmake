@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sei_snn.dir/snn_network.cpp.o"
+  "CMakeFiles/sei_snn.dir/snn_network.cpp.o.d"
+  "libsei_snn.a"
+  "libsei_snn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sei_snn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

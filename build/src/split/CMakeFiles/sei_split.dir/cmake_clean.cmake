@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sei_split.dir/homogenize.cpp.o"
+  "CMakeFiles/sei_split.dir/homogenize.cpp.o.d"
+  "CMakeFiles/sei_split.dir/partition.cpp.o"
+  "CMakeFiles/sei_split.dir/partition.cpp.o.d"
+  "libsei_split.a"
+  "libsei_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sei_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sei_workloads.dir/cache.cpp.o"
+  "CMakeFiles/sei_workloads.dir/cache.cpp.o.d"
+  "CMakeFiles/sei_workloads.dir/networks.cpp.o"
+  "CMakeFiles/sei_workloads.dir/networks.cpp.o.d"
+  "CMakeFiles/sei_workloads.dir/pipeline.cpp.o"
+  "CMakeFiles/sei_workloads.dir/pipeline.cpp.o.d"
+  "libsei_workloads.a"
+  "libsei_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sei_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adc_network.dir/test_adc_network.cpp.o"
+  "CMakeFiles/test_adc_network.dir/test_adc_network.cpp.o.d"
+  "test_adc_network"
+  "test_adc_network.pdb"
+  "test_adc_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adc_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dyn_opt.dir/test_dyn_opt.cpp.o"
+  "CMakeFiles/test_dyn_opt.dir/test_dyn_opt.cpp.o.d"
+  "test_dyn_opt"
+  "test_dyn_opt.pdb"
+  "test_dyn_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dyn_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homogenize.dir/test_homogenize.cpp.o"
+  "CMakeFiles/test_homogenize.dir/test_homogenize.cpp.o.d"
+  "test_homogenize"
+  "test_homogenize.pdb"
+  "test_homogenize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homogenize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

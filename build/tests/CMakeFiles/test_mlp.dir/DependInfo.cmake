@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mlp.cpp" "tests/CMakeFiles/test_mlp.dir/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/test_mlp.dir/test_mlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/sei_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sei_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sei_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/snn/CMakeFiles/sei_snn.dir/DependInfo.cmake"
+  "/root/repo/build/src/split/CMakeFiles/sei_split.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/sei_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/rram/CMakeFiles/sei_rram.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sei_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sei_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sei_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_train.dir/test_network_train.cpp.o"
+  "CMakeFiles/test_network_train.dir/test_network_train.cpp.o.d"
+  "test_network_train"
+  "test_network_train.pdb"
+  "test_network_train[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

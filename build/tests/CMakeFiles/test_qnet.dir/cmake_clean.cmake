@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qnet.dir/test_qnet.cpp.o"
+  "CMakeFiles/test_qnet.dir/test_qnet.cpp.o.d"
+  "test_qnet"
+  "test_qnet.pdb"
+  "test_qnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

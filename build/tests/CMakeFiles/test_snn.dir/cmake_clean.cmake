@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snn.dir/test_snn.cpp.o"
+  "CMakeFiles/test_snn.dir/test_snn.cpp.o.d"
+  "test_snn"
+  "test_snn.pdb"
+  "test_snn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

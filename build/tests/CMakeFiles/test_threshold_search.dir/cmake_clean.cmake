@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threshold_search.dir/test_threshold_search.cpp.o"
+  "CMakeFiles/test_threshold_search.dir/test_threshold_search.cpp.o.d"
+  "test_threshold_search"
+  "test_threshold_search.pdb"
+  "test_threshold_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threshold_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
