@@ -1,0 +1,98 @@
+// Reliability campaign: accuracy degradation under stuck cells, programming
+// variation, read noise and conductance drift — with and without the
+// repair pipeline (spare-row remapping + write-verify escalation +
+// threshold recalibration). Prints degradation curves and writes the full
+// campaign as JSON (schema: docs/reliability.md).
+//
+// The two headline rows the acceptance criteria care about:
+//   * at ≥2% stuck cells the unrepaired network collapses;
+//   * repair + recalibration lands within 2 points of the healthy baseline.
+//
+// Flags: --network network2, --images 500, --trials 3, --calib-images 500,
+//        --seed 20160605, --out reliability_campaign.json.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "reliability/campaign.hpp"
+#include "workloads/pipeline.hpp"
+
+using namespace sei;
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const std::string net_name =
+      cli.get("network", "network2", "workload to map");
+  const int images = cli.get_int("images", 500, "eval images per arm");
+  const int trials = cli.get_int("trials", 3, "Monte-Carlo trials per point");
+  const int calib_images =
+      cli.get_int("calib-images", 500, "recalibration batch size");
+  const int seed = cli.get_int("seed", 20160605, "campaign master seed");
+  const std::string out =
+      cli.get("out", "reliability_campaign.json", "JSON report path");
+  if (!cli.validate("SEI reliability campaign (fault injection + repair)"))
+    return 0;
+
+  data::DataBundle data = workloads::load_default_data(true);
+  workloads::Artifacts art = workloads::prepare_workload(net_name, data, {});
+
+  reliability::CampaignConfig cfg;
+  cfg.trials = trials;
+  cfg.eval_images = images;
+  cfg.calib_cfg.max_images = calib_images;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  // Four fault axes: stuck cells, open-loop programming noise, read noise,
+  // and retention loss at increasing array age.
+  cfg.points = {
+      {0.005, 0.0, 0.0, 0.0, "stuck 0.5%"},
+      {0.01, 0.0, 0.0, 0.0, "stuck 1%"},
+      {0.02, 0.0, 0.0, 0.0, "stuck 2%"},
+      {0.04, 0.0, 0.0, 0.0, "stuck 4%"},
+      {0.0, 0.1, 0.0, 0.0, "prog sigma 0.10"},
+      {0.0, 0.2, 0.0, 0.0, "prog sigma 0.20"},
+      {0.0, 0.0, 0.05, 0.0, "read noise 5%"},
+      {0.0, 0.0, 0.0, 1.0e6, "drift ~12 days"},
+      {0.0, 0.0, 0.0, 1.0e8, "drift ~3 years"},
+      {0.02, 0.1, 0.02, 0.0, "combined"},
+  };
+
+  const reliability::CampaignResult res =
+      run_campaign(art.qnet, data.test, data.train, cfg);
+
+  std::printf("SEI reliability campaign — %s, %d trials × %d images, "
+              "healthy error %.2f%%\n\n",
+              net_name.c_str(), trials, images, res.healthy_error_pct);
+
+  TextTable t("Degradation and recovery (error %, mean [min..max])");
+  t.header({"Fault point", "Faulty", "Repaired", "Faults", "Remapped",
+            "Unrepairable"});
+  for (const reliability::PointResult& p : res.points) {
+    char faulty[64], repaired[64];
+    std::snprintf(faulty, sizeof faulty, "%.2f [%.2f..%.2f]", p.faulty.mean,
+                  p.faulty.min, p.faulty.max);
+    std::snprintf(repaired, sizeof repaired, "%.2f [%.2f..%.2f]",
+                  p.repaired.mean, p.repaired.min, p.repaired.max);
+    t.row({p.point.label, faulty, repaired,
+           std::to_string(p.repair.faults_found),
+           std::to_string(p.repair.rows_remapped),
+           std::to_string(p.repair.rows_unrepairable)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  write_campaign_json(res, cfg, out);
+  std::printf("campaign JSON written to %s\n", out.c_str());
+
+  // The acceptance summary the driver greps for.
+  for (const reliability::PointResult& p : res.points) {
+    if (p.point.label != "stuck 2%") continue;
+    const bool collapse = p.faulty.mean > res.healthy_error_pct + 2.0;
+    const bool recovered = p.repaired.mean <= res.healthy_error_pct + 2.0;
+    std::printf("stuck-2%%: collapse-without-repair=%s "
+                "recovered-within-2pts=%s\n",
+                collapse ? "yes" : "NO", recovered ? "yes" : "NO");
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -83,4 +83,21 @@ ProgrammingCost programming_cost(const NetworkCost& cost,
   return pc;
 }
 
+ReliabilityCost reliability_cost(const NetworkCost& cost,
+                                 long long repair_cell_writes,
+                                 int calibration_images,
+                                 const rram::PeripheryCatalog& catalog) {
+  SEI_CHECK(repair_cell_writes >= 0 && calibration_images >= 0);
+  ReliabilityCost rc;
+  for (const StageCost& sc : cost.stages) rc.spare_cells += sc.hw.spare_cells;
+  rc.spare_area_um2 =
+      static_cast<double>(rc.spare_cells) * catalog.rram_cell.area_um2;
+  rc.repair_energy_uj =
+      static_cast<double>(repair_cell_writes) * catalog.cell_write.energy_pj *
+      1e-6;
+  rc.recalibration_energy_uj =
+      calibration_images * cost.energy_pj.total() * 1e-6;
+  return rc;
+}
+
 }  // namespace sei::arch

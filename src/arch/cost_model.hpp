@@ -86,4 +86,24 @@ ProgrammingCost programming_cost(
     const NetworkCost& cost,
     const rram::PeripheryCatalog& catalog = rram::default_periphery());
 
+/// Hardware price of the reliability subsystem: reserved spare-row array
+/// area (provisioned up front by HardwareConfig::spare_row_fraction), the
+/// write energy of repair pulses (retry escalation + spare-row remap), and
+/// the calibration-batch inference energy of the post-repair threshold
+/// recalibration. Like ProgrammingCost these are one-time/maintenance
+/// costs, reported separately from per-picture inference energy.
+struct ReliabilityCost {
+  long long spare_cells = 0;
+  double spare_area_um2 = 0.0;
+  double repair_energy_uj = 0.0;         // repair write pulses
+  double recalibration_energy_uj = 0.0;  // calibration-batch inference
+};
+/// `repair_cell_writes` counts individual write pulses spent on repair
+/// (reliability::RepairReport::cell_writes); `calibration_images` is the
+/// recalibration batch size.
+ReliabilityCost reliability_cost(
+    const NetworkCost& cost, long long repair_cell_writes,
+    int calibration_images,
+    const rram::PeripheryCatalog& catalog = rram::default_periphery());
+
 }  // namespace sei::arch

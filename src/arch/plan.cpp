@@ -89,7 +89,8 @@ StageHardware plan_stage(const quant::StageGeometry& geom,
     } else {
       const int cpw = cfg.cells_per_weight();
       const int k_sei =
-          split::blocks_needed(geom.rows, cfg.limits.max_rows, cpw);
+          split::blocks_needed(geom.rows, cfg.limits.max_rows, cpw,
+                               cfg.spare_row_fraction);
       const int cb_sei = core::column_blocks(geom.cols, cfg);
       hw.row_blocks = k_sei;
       hw.planes = 1;
@@ -97,7 +98,17 @@ StageHardware plan_stage(const quant::StageGeometry& geom,
       const bool unipolar =
           cfg.sign_mode == core::SignMode::kUnipolarDynThresh;
       const long long extra_cols = unipolar ? cb_sei : 0;
-      hw.cells = r * cpw * (c + extra_cols);
+      // Spare rows mirror the mapper's per-block reservation (the first
+      // rows % k blocks hold one extra logical row).
+      long long spare_rows = 0;
+      for (int b = 0; b < k_sei; ++b) {
+        const int lrows =
+            geom.rows / k_sei + (b < geom.rows % k_sei ? 1 : 0);
+        spare_rows +=
+            split::spare_rows_for(lrows * cpw, cfg.spare_row_fraction);
+      }
+      hw.spare_cells = spare_rows * (c + extra_cols);
+      hw.cells = r * cpw * (c + extra_cols) + hw.spare_cells;
       hw.cell_activations = a * r * cpw * (c + extra_cols);
       if (final_stage) {
         hw.wta_instances = 1;

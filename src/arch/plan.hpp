@@ -47,7 +47,8 @@ struct StageHardware {
   int driver_instances = 0;
   int adder_instances = 0;
   int wta_instances = 0;
-  long long cells = 0;          // programmed RRAM cells
+  long long cells = 0;          // programmed RRAM cells (includes spares)
+  long long spare_cells = 0;    // reserved spare-row cells inside `cells`
   long long buffer_bits = 0;    // output-side inter-layer buffer capacity
 
   // Per-picture operation counts.

@@ -37,13 +37,21 @@ std::string Cli::get(const std::string& name, const std::string& default_value,
 int Cli::get_int(const std::string& name, int default_value,
                  const std::string& help) {
   const std::string v = get(name, std::to_string(default_value), help);
-  return std::atoi(v.c_str());
+  char* end = nullptr;
+  const long r = std::strtol(v.c_str(), &end, 10);
+  SEI_CHECK_MSG(end != v.c_str() && *end == '\0',
+                "flag --" << name << " expects an integer, got '" << v << "'");
+  return static_cast<int>(r);
 }
 
 double Cli::get_double(const std::string& name, double default_value,
                        const std::string& help) {
   const std::string v = get(name, std::to_string(default_value), help);
-  return std::atof(v.c_str());
+  char* end = nullptr;
+  const double r = std::strtod(v.c_str(), &end);
+  SEI_CHECK_MSG(end != v.c_str() && *end == '\0',
+                "flag --" << name << " expects a number, got '" << v << "'");
+  return r;
 }
 
 bool Cli::get_bool(const std::string& name, bool default_value,

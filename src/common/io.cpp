@@ -1,6 +1,8 @@
 #include "common/io.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 namespace sei {
@@ -66,12 +68,31 @@ void BinaryWriter::commit() {
 BinaryReader::BinaryReader(const std::string& path) : path_(path) {
   in_.open(path, std::ios::binary);
   SEI_CHECK_MSG(in_.good(), "cannot open for reading: " << path);
+  std::error_code ec;
+  const auto sz = std::filesystem::file_size(path, ec);
+  SEI_CHECK_MSG(!ec, "cannot stat " << path << ": " << ec.message());
+  size_ = static_cast<std::uint64_t>(sz);
 }
 
 void BinaryReader::raw(void* p, std::size_t n) {
+  SEI_CHECK_MSG(n <= remaining(),
+                "truncated file " << path_ << ": need " << n << " bytes, "
+                                  << remaining() << " left");
   in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
   SEI_CHECK_MSG(in_.gcount() == static_cast<std::streamsize>(n),
                 "truncated read from " << path_);
+  pos_ += n;
+}
+
+std::uint64_t BinaryReader::read_length(std::size_t elem_size) {
+  const std::uint64_t n = read_u64();
+  SEI_CHECK_MSG(n <= remaining() / elem_size,
+                "corrupt length prefix in " << path_ << ": " << n
+                                            << " elements of " << elem_size
+                                            << " bytes exceed the "
+                                            << remaining()
+                                            << " bytes left in the file");
+  return n;
 }
 
 std::uint32_t BinaryReader::read_u32() {
@@ -101,38 +122,180 @@ double BinaryReader::read_f64() {
 }
 
 std::string BinaryReader::read_string() {
-  const std::uint64_t n = read_u64();
+  const std::uint64_t n = read_length(1);
   std::string s(n, '\0');
   raw(s.data(), n);
   return s;
 }
 
 std::vector<float> BinaryReader::read_f32_vec() {
-  const std::uint64_t n = read_u64();
+  const std::uint64_t n = read_length(sizeof(float));
   std::vector<float> v(n);
   raw(v.data(), n * sizeof(float));
   return v;
 }
 
 std::vector<double> BinaryReader::read_f64_vec() {
-  const std::uint64_t n = read_u64();
+  const std::uint64_t n = read_length(sizeof(double));
   std::vector<double> v(n);
   raw(v.data(), n * sizeof(double));
   return v;
 }
 
 std::vector<std::int32_t> BinaryReader::read_i32_vec() {
-  const std::uint64_t n = read_u64();
+  const std::uint64_t n = read_length(sizeof(std::int32_t));
   std::vector<std::int32_t> v(n);
   raw(v.data(), n * sizeof(std::int32_t));
   return v;
 }
 
 std::vector<std::uint8_t> BinaryReader::read_u8_vec() {
-  const std::uint64_t n = read_u64();
+  const std::uint64_t n = read_length(1);
   std::vector<std::uint8_t> v(n);
   raw(v.data(), n);
   return v;
+}
+
+JsonWriter::JsonWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  out_.open(tmp_path_, std::ios::trunc);
+  SEI_CHECK_MSG(out_.good(), "cannot open for writing: " << tmp_path_);
+}
+
+JsonWriter::~JsonWriter() {
+  if (!committed_) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void JsonWriter::raw(const std::string& s) {
+  out_ << s;
+  SEI_CHECK_MSG(out_.good(), "write failed: " << tmp_path_);
+}
+
+void JsonWriter::pre_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the key already placed the comma
+  }
+  if (!stack_.empty()) {
+    SEI_CHECK_MSG(stack_.back().type == '[',
+                  "JSON object member needs a key() first");
+    if (stack_.back().items++ > 0) raw(",");
+  }
+}
+
+void JsonWriter::begin_object() {
+  pre_value();
+  stack_.push_back({'{', 0});
+  raw("{");
+}
+
+void JsonWriter::end_object() {
+  SEI_CHECK_MSG(!stack_.empty() && stack_.back().type == '{' && !key_pending_,
+                "unbalanced end_object()");
+  stack_.pop_back();
+  raw("}");
+}
+
+void JsonWriter::begin_array() {
+  pre_value();
+  stack_.push_back({'[', 0});
+  raw("[");
+}
+
+void JsonWriter::end_array() {
+  SEI_CHECK_MSG(!stack_.empty() && stack_.back().type == '[',
+                "unbalanced end_array()");
+  stack_.pop_back();
+  raw("]");
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonWriter::key(const std::string& k) {
+  SEI_CHECK_MSG(!stack_.empty() && stack_.back().type == '{' && !key_pending_,
+                "key() is only valid inside an object");
+  if (stack_.back().items++ > 0) raw(",");
+  raw("\"");
+  raw(json_escape(k));
+  raw("\":");
+  key_pending_ = true;
+}
+
+void JsonWriter::value(double v) {
+  pre_value();
+  if (!std::isfinite(v)) {
+    raw("null");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Shortest round-trip: prefer fewer digits when they reparse exactly.
+  for (int prec = 1; prec < 17; ++prec) {
+    char trial[32];
+    std::snprintf(trial, sizeof trial, "%.*g", prec, v);
+    if (std::strtod(trial, nullptr) == v) {
+      std::snprintf(buf, sizeof buf, "%s", trial);
+      break;
+    }
+  }
+  raw(buf);
+}
+
+void JsonWriter::value(long long v) {
+  pre_value();
+  raw(std::to_string(v));
+}
+
+void JsonWriter::value(bool v) {
+  pre_value();
+  raw(v ? "true" : "false");
+}
+
+void JsonWriter::value(const std::string& v) {
+  pre_value();
+  raw("\"");
+  raw(json_escape(v));
+  raw("\"");
+}
+
+void JsonWriter::commit() {
+  SEI_CHECK(!committed_);
+  SEI_CHECK_MSG(stack_.empty() && !key_pending_,
+                "commit() with unclosed JSON containers");
+  raw("\n");
+  out_.flush();
+  SEI_CHECK_MSG(out_.good(), "flush failed: " << tmp_path_);
+  out_.close();
+  std::filesystem::rename(tmp_path_, path_);
+  committed_ = true;
 }
 
 bool file_exists(const std::string& path) {

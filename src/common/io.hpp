@@ -59,10 +59,73 @@ class BinaryReader {
   std::vector<std::int32_t> read_i32_vec();
   std::vector<std::uint8_t> read_u8_vec();
 
+  /// Bytes left between the read cursor and the end of the file. Length
+  /// prefixes are validated against this before any allocation, so a
+  /// corrupt prefix raises CheckError instead of a multi-GB alloc.
+  std::uint64_t remaining() const { return size_ - pos_; }
+
  private:
   void raw(void* p, std::size_t n);
+  /// Reads a u64 length prefix for items of `elem_size` bytes and checks
+  /// it fits in the rest of the file.
+  std::uint64_t read_length(std::size_t elem_size);
   std::ifstream in_;
   std::string path_;
+  std::uint64_t size_ = 0;  // file size in bytes
+  std::uint64_t pos_ = 0;   // read cursor
+};
+
+/// Minimal streaming JSON emitter for machine-readable reports (campaign
+/// results, bench output). Tracks nesting and comma placement; begin/end
+/// calls must balance (checked at commit). Writes atomically like
+/// BinaryWriter (tmp + rename). Non-finite numbers serialize as null.
+class JsonWriter {
+ public:
+  /// Opens `path + ".tmp"`; commit() renames it onto `path`.
+  explicit JsonWriter(std::string path);
+  ~JsonWriter();
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key of the next member (only inside an object).
+  void key(const std::string& k);
+
+  void value(double v);
+  void value(long long v);
+  void value(int v) { value(static_cast<long long>(v)); }
+  void value(bool v);
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+
+  /// key + value in one call.
+  template <typename T>
+  void kv(const std::string& k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// Requires all containers closed; flushes and renames into place.
+  void commit();
+
+ private:
+  void pre_value();  // comma/indent bookkeeping before any value/begin
+  void raw(const std::string& s);
+
+  struct Frame {
+    char type;       // '{' or '['
+    int items = 0;
+  };
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+  bool committed_ = false;
 };
 
 /// True if a regular file exists at `path`.

@@ -83,15 +83,18 @@ std::vector<rram::Crossbar> build_block_crossbars(
   xbars.reserve(partition.blocks.size() * static_cast<std::size_t>(cgroups));
   for (const auto& rows : partition.blocks) {
     const int phys_rows = static_cast<int>(rows.size()) * cpw;
-    SEI_CHECK_MSG(phys_rows <= cfg.limits.max_rows,
-                  "block of " << rows.size() << " logical rows exceeds the "
-                              << cfg.limits.max_rows << "-row crossbar limit");
+    const int spares =
+        split::spare_rows_for(phys_rows, cfg.spare_row_fraction);
+    SEI_CHECK_MSG(phys_rows + spares <= cfg.limits.max_rows,
+                  "block of " << rows.size() << " logical rows (+" << spares
+                              << " spares) exceeds the " << cfg.limits.max_rows
+                              << "-row crossbar limit");
     for (int g = 0; g < cgroups; ++g) {
       const int c0 = g * group_cols;
       const int c1 = std::min(q.cols, c0 + group_cols);
       const int local_cols = c1 - c0;
       rram::Crossbar xb(phys_rows, local_cols + (unipolar ? 1 : 0),
-                        cfg.device, rng);
+                        cfg.device, rng, spares);
 
       for (std::size_t i = 0; i < rows.size(); ++i) {
         const int r = rows[i];
@@ -131,8 +134,9 @@ std::vector<rram::Crossbar> build_block_crossbars(
 
 std::vector<int> default_row_order(const quant::QLayer& layer,
                                    const HardwareConfig& cfg) {
-  const int k = split::blocks_needed(layer.geom.rows, cfg.limits.max_rows,
-                                     cfg.cells_per_weight());
+  const int k =
+      split::blocks_needed(layer.geom.rows, cfg.limits.max_rows,
+                           cfg.cells_per_weight(), cfg.spare_row_fraction);
   if (k <= 1 || !cfg.homogenize) return split::natural_order(layer.geom.rows);
   split::HomogenizeConfig hcfg;
   hcfg.iterations = cfg.homogenize_iterations;
@@ -141,7 +145,8 @@ std::vector<int> default_row_order(const quant::QLayer& layer,
 }
 
 MappedLayer map_layer(const quant::QLayer& layer, const HardwareConfig& cfg,
-                      const std::vector<int>& row_order, Rng& rng) {
+                      const std::vector<int>& row_order, Rng& rng,
+                      const CrossbarHook& hook) {
   const quant::StageGeometry& g = layer.geom;
   SEI_CHECK(static_cast<int>(row_order.size()) == g.rows);
 
@@ -154,8 +159,9 @@ MappedLayer map_layer(const quant::QLayer& layer, const HardwareConfig& cfg,
       quant::quantize_weights(layer.weight, cfg.weight_bits);
   m.weight_scale = q.scale;
 
-  const int k = split::blocks_needed(g.rows, cfg.limits.max_rows,
-                                     cfg.cells_per_weight());
+  const int k =
+      split::blocks_needed(g.rows, cfg.limits.max_rows,
+                           cfg.cells_per_weight(), cfg.spare_row_fraction);
   m.partition = split::partition_from_order(row_order, k);
   m.block_count = k;
   m.vote_threshold = (k + 1) / 2;  // majority vote by default
@@ -165,6 +171,12 @@ MappedLayer map_layer(const quant::QLayer& layer, const HardwareConfig& cfg,
       m.row_to_block[static_cast<std::size_t>(r)] = b;
 
   auto xbars = build_block_crossbars(q, cfg, m.partition, rng);
+  // Post-programming maintenance: age the arrays (conductance drift), then
+  // let the reliability hook diagnose/repair before cells are snapshotted.
+  for (auto& xb : xbars) {
+    if (cfg.device.drift_t_s > 0) xb.age(cfg.device.drift_t_s);
+    if (hook) hook(xb, rng);
+  }
   const auto coeffs = port_coefficients(cfg);
   const int cpw = cfg.cells_per_weight();
   const bool unipolar = cfg.sign_mode == SignMode::kUnipolarDynThresh;
@@ -202,7 +214,9 @@ MappedLayer map_layer(const quant::QLayer& layer, const HardwareConfig& cfg,
               static_cast<float>(v);
         }
       }
-      m.cells_used += static_cast<long long>(xb.rows()) * xb.cols();
+      m.cells_used += static_cast<long long>(xb.physical_rows()) * xb.cols();
+      m.spare_cells +=
+          static_cast<long long>(xb.spare_rows_total()) * xb.cols();
       mis += xb.misprogrammed_fraction();
     }
   }

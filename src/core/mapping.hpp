@@ -21,6 +21,7 @@
 // digital vote combines the K bits.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/structure.hpp"
@@ -64,7 +65,8 @@ struct MappedLayer {
 
   // Physical accounting (for reports/tests).
   int physical_rows_per_weight = 1;
-  long long cells_used = 0;
+  long long cells_used = 0;        // includes reserved spare-row cells
+  long long spare_cells = 0;       // spare-row cells inside cells_used
   int crossbars = 0;
   double misprogrammed_fraction = 0.0;
 
@@ -73,12 +75,21 @@ struct MappedLayer {
   }
 };
 
+/// Maintenance pass applied to every freshly programmed (and aged) crossbar
+/// before its cells are reduced to effective values — the reliability
+/// subsystem's diagnose/repair loop plugs in here without core depending on
+/// it. The Rng is the mapping stream, so hook randomness is reproducible
+/// from HardwareConfig::seed.
+using CrossbarHook = std::function<void(rram::Crossbar&, Rng&)>;
+
 /// Maps one quantized stage given a logical row order (the order's
 /// contiguous chunks become the crossbar blocks). Builds real
-/// rram::Crossbar instances, programs them cell by cell, and extracts the
+/// rram::Crossbar instances, programs them cell by cell, ages them by
+/// cfg.device.drift_t_s, applies `hook` (if any), and extracts the
 /// effective analog values.
 MappedLayer map_layer(const quant::QLayer& layer, const HardwareConfig& cfg,
-                      const std::vector<int>& row_order, Rng& rng);
+                      const std::vector<int>& row_order, Rng& rng,
+                      const CrossbarHook& hook = {});
 
 /// Builds the physical crossbars for one block without reducing them —
 /// exposed for unit tests and the micro benches.

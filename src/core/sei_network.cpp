@@ -36,26 +36,32 @@ float dac_quantize(float x, int bits) {
 
 }  // namespace
 
-SeiNetwork::SeiNetwork(const quant::QNetwork& qnet, const HardwareConfig& cfg)
-    : qnet_(&qnet), cfg_(cfg), rng_(cfg.seed) {
+SeiNetwork::SeiNetwork(const quant::QNetwork& qnet, const HardwareConfig& cfg,
+                       CrossbarHook hook)
+    : qnet_(&qnet),
+      cfg_(cfg),
+      map_rng_(cfg.seed),
+      read_rng_(cfg.seed ^ 0x9e3779b97f4a7c15ULL),
+      hook_(std::move(hook)) {
   SEI_CHECK(!qnet.layers.empty());
   layers_.reserve(qnet.layers.size());
   for (const quant::QLayer& l : qnet.layers) {
     const std::vector<int> order = default_row_order(l, cfg_);
-    layers_.push_back(map_layer(l, cfg_, order, rng_));
+    layers_.push_back(map_layer(l, cfg_, order, map_rng_, hook_));
   }
 }
 
 void SeiNetwork::remap_layer(int stage, const std::vector<int>& order) {
   SEI_CHECK(stage >= 0 && stage < stage_count());
-  layers_[static_cast<std::size_t>(stage)] = map_layer(
-      qnet_->layers[static_cast<std::size_t>(stage)], cfg_, order, rng_);
+  layers_[static_cast<std::size_t>(stage)] =
+      map_layer(qnet_->layers[static_cast<std::size_t>(stage)], cfg_, order,
+                map_rng_, hook_);
 }
 
 double SeiNetwork::readout(double current) const {
   const double sigma = cfg_.device.read_noise_sigma;
   if (sigma <= 0.0) return current;
-  return current * (1.0 + sigma * rng_.gaussian());
+  return current * (1.0 + sigma * read_rng_.gaussian());
 }
 
 void SeiNetwork::decide_position(const MappedLayer& m,

@@ -19,8 +19,12 @@ class SeiNetwork {
  public:
   /// Maps every stage of `qnet` with default row orders (homogenized where
   /// the stage splits, per cfg). Keeps a reference to `qnet` for remapping —
-  /// the QNetwork must outlive the SeiNetwork.
-  SeiNetwork(const quant::QNetwork& qnet, const HardwareConfig& cfg);
+  /// the QNetwork must outlive the SeiNetwork. `hook` (optional) is the
+  /// post-programming maintenance pass applied to every crossbar — the
+  /// reliability subsystem's diagnose/repair loop — and is reused whenever
+  /// a stage is remapped.
+  SeiNetwork(const quant::QNetwork& qnet, const HardwareConfig& cfg,
+             CrossbarHook hook = {});
 
   int stage_count() const { return static_cast<int>(layers_.size()); }
   MappedLayer& layer(int stage) { return layers_.at(static_cast<std::size_t>(stage)); }
@@ -75,7 +79,14 @@ class SeiNetwork {
 
   const quant::QNetwork* qnet_;
   HardwareConfig cfg_;
-  mutable Rng rng_;
+  // Separate deterministic streams: mapping/programming draws never
+  // interleave with per-read noise draws, so the programmed state of a
+  // (re)mapped stage is reproducible from cfg.seed regardless of how many
+  // noisy reads happened before — and sweeping read_noise_sigma cannot
+  // perturb the programmed weights across campaign trials.
+  Rng map_rng_;
+  mutable Rng read_rng_;
+  CrossbarHook hook_;
   std::vector<MappedLayer> layers_;
 
   // Scratch reused across predictions (single-threaded engine).

@@ -45,6 +45,12 @@ struct HardwareConfig {
   bool split_dynamic_threshold = true; // posterior input compensation
   std::uint64_t seed = 20160605;       // mapping / programming randomness
 
+  // Reliability provisioning (docs/reliability.md): fraction of each
+  // crossbar's data rows reserved as spare physical rows for fault repair.
+  // Spares live inside the same array — the per-crossbar row-budget check
+  // accounts for them — and stay off until a repair remaps a row onto one.
+  double spare_row_fraction = 0.0;
+
   /// Physical cells one signed weight occupies under this config's SEI
   /// mapping (bipolar: 2 polarities × bit-slices; unipolar: bit-slices).
   int cells_per_weight() const;

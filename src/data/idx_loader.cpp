@@ -1,5 +1,6 @@
 #include "data/idx_loader.hpp"
 
+#include <filesystem>
 #include <fstream>
 
 #include "common/io.hpp"
@@ -16,6 +17,20 @@ std::uint32_t read_be32(std::ifstream& in, const std::string& path) {
          (std::uint32_t(b[2]) << 8) | std::uint32_t(b[3]);
 }
 
+/// The header's item count must match the file size exactly — a corrupt
+/// count would otherwise turn into either a huge allocation or a silent
+/// short read.
+void check_payload(const std::string& path, std::uint64_t header_bytes,
+                   std::uint64_t payload_bytes) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  SEI_CHECK_MSG(!ec, "cannot stat " << path << ": " << ec.message());
+  SEI_CHECK_MSG(static_cast<std::uint64_t>(size) ==
+                    header_bytes + payload_bytes,
+                path << " is " << size << " bytes; its header promises "
+                     << header_bytes + payload_bytes);
+}
+
 }  // namespace
 
 Dataset load_idx_pair(const std::string& images_path,
@@ -28,13 +43,17 @@ Dataset load_idx_pair(const std::string& images_path,
   const std::uint32_t rows = read_be32(img, images_path);
   const std::uint32_t cols = read_be32(img, images_path);
   SEI_CHECK_MSG(rows == 28 && cols == 28, "expected 28x28 images");
+  SEI_CHECK_MSG(n >= 1, "empty image set in " << images_path);
+  check_payload(images_path, 16, static_cast<std::uint64_t>(n) * 784);
 
   std::ifstream lab(labels_path, std::ios::binary);
   SEI_CHECK_MSG(lab.good(), "cannot open " << labels_path);
   SEI_CHECK_MSG(read_be32(lab, labels_path) == 0x00000801,
                 "bad magic in " << labels_path);
   const std::uint32_t nl = read_be32(lab, labels_path);
-  SEI_CHECK_MSG(n == nl, "image/label count mismatch");
+  SEI_CHECK_MSG(n == nl, "image/label count mismatch: " << n << " images vs "
+                                                        << nl << " labels");
+  check_payload(labels_path, 8, nl);
 
   Dataset d;
   d.images = nn::Tensor({static_cast<int>(n), 28, 28, 1});

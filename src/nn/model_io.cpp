@@ -40,14 +40,27 @@ void load_model(Network& net, const std::string& path) {
                                       << name << "', network expects '"
                                       << p.name << "'");
     const std::uint64_t ndim = r.read_u64();
+    SEI_CHECK_MSG(ndim <= 8, "corrupt model file: tensor '"
+                                 << name << "' claims " << ndim
+                                 << " dimensions");
     std::vector<int> shape(ndim);
-    for (auto& d : shape) d = r.read_i32();
+    for (auto& d : shape) {
+      d = r.read_i32();
+      SEI_CHECK_MSG(d > 0, "corrupt model file: non-positive dimension in '"
+                               << name << "'");
+    }
     SEI_CHECK_MSG(shape == p.value->shape(),
                   "shape mismatch for tensor '" << name << "'");
     const std::vector<float> data = r.read_f32_vec();
-    SEI_CHECK(data.size() == p.value->numel());
+    SEI_CHECK_MSG(data.size() == p.value->numel(),
+                  "corrupt model file: tensor '"
+                      << name << "' holds " << data.size() << " values, shape "
+                      << "needs " << p.value->numel());
     std::copy(data.begin(), data.end(), p.value->data());
   }
+  SEI_CHECK_MSG(r.remaining() == 0,
+                "corrupt model file: " << r.remaining()
+                                       << " trailing bytes in " << path);
 }
 
 }  // namespace sei::nn

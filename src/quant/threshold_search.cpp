@@ -34,6 +34,16 @@ void rescale_matrix_layer(nn::MatrixLayer& layer, float inv_scale) {
 
 }  // namespace
 
+std::vector<float> threshold_grid(double lo, double hi, double step) {
+  SEI_CHECK_MSG(step > 0.0, "threshold grid step must be positive");
+  SEI_CHECK_MSG(hi >= lo, "threshold grid range is empty");
+  std::vector<float> grid;
+  grid.reserve(static_cast<std::size_t>((hi - lo) / step) + 2);
+  for (double t = lo; t <= hi + 1e-12; t += step)
+    grid.push_back(static_cast<float>(t));
+  return grid;
+}
+
 QuantizationResult quantize_network(nn::Network& float_net,
                                     const Topology& topo,
                                     const data::Dataset& train,
@@ -115,9 +125,8 @@ QuantizationResult quantize_network(nn::Network& float_net,
                    : 1.0f;
     };
 
-    for (double td = cfg.thres_min; td <= cfg.thres_max + 1e-12;
-         td += cfg.step) {
-      const auto t = static_cast<float>(td);
+    for (const float t :
+         threshold_grid(cfg.thres_min, cfg.thres_max, cfg.step)) {
       ql.threshold = t;
       const float drive = drive_level(t);
       int correct = 0;

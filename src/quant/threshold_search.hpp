@@ -52,6 +52,11 @@ struct QuantizationResult {
   std::vector<LayerSearchTrace> traces;
 };
 
+/// Inclusive brute-force candidate grid [lo, hi] in steps of `step` — the
+/// search lattice of Algorithm 1, also reused by the reliability
+/// subsystem's post-repair threshold recalibration.
+std::vector<float> threshold_grid(double lo, double hi, double step);
+
 /// Runs Algorithm 1. Mutates `float_net`'s hidden weights in place by the
 /// re-scaling step (a monotone transformation: its float classification is
 /// unchanged), so the same network object can still serve as the "before

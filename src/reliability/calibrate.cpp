@@ -1,0 +1,62 @@
+#include "reliability/calibrate.hpp"
+
+#include <cmath>
+
+#include "quant/threshold_search.hpp"
+
+namespace sei::reliability {
+
+CalibrationReport recalibrate_thresholds(core::SeiNetwork& net,
+                                         const data::Dataset& calib,
+                                         const CalibrationConfig& cfg) {
+  SEI_CHECK_MSG(cfg.gamma_min > 0.0, "threshold trim must stay positive");
+  const auto grid =
+      quant::threshold_grid(cfg.gamma_min, cfg.gamma_max, cfg.gamma_step);
+
+  CalibrationReport rep;
+  rep.error_before_pct = net.error_rate(calib, cfg.max_images);
+
+  double current = rep.error_before_pct;
+  for (int s = 0; s < net.stage_count(); ++s) {
+    core::MappedLayer& m = net.layer(s);
+    if (!m.binarize || m.col_threshold.empty()) continue;
+
+    const std::vector<float> nominal = m.col_threshold;
+    StageTrim trim;
+    trim.stage = s;
+    trim.error_before_pct = current;
+    float best_gamma = 1.0f;
+    double best_err = current;
+
+    for (const float gamma : grid) {
+      if (gamma == 1.0f) continue;  // the incumbent is already measured
+      for (std::size_t c = 0; c < nominal.size(); ++c)
+        m.col_threshold[c] = nominal[c] * gamma;
+      const double err = net.error_rate(calib, cfg.max_images);
+      // Strict improvement, or an equal error closer to no-trim.
+      if (err < best_err ||
+          (err == best_err &&
+           std::fabs(gamma - 1.0f) < std::fabs(best_gamma - 1.0f))) {
+        best_err = err;
+        best_gamma = gamma;
+      }
+    }
+
+    // Keep the incumbent unless the best trim clears the adoption margin:
+    // small-batch wins below the margin are noise, not signal.
+    if (best_gamma != 1.0f && best_err >= current - cfg.min_gain_pct) {
+      best_gamma = 1.0f;
+      best_err = current;
+    }
+    for (std::size_t c = 0; c < nominal.size(); ++c)
+      m.col_threshold[c] = nominal[c] * best_gamma;
+    current = best_err;
+    trim.gamma = best_gamma;
+    trim.error_after_pct = best_err;
+    rep.stages.push_back(trim);
+  }
+  rep.error_after_pct = current;
+  return rep;
+}
+
+}  // namespace sei::reliability

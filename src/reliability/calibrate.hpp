@@ -1,0 +1,51 @@
+// Post-repair threshold recalibration.
+//
+// Faults and drift that survive repair shift every column's analog sum away
+// from what Algorithm 1's threshold search saw. The sense-amp references
+// are trim-able at test time, so a calibration batch can re-center them:
+// for each hidden stage, front to back, brute-force a single multiplicative
+// trim γ on the stage's per-column thresholds (the same grid machinery as
+// quant::threshold_grid) and keep the γ with the lowest calibration error —
+// ties break toward γ = 1 (no trim). One scalar per stage keeps the trim
+// implementable as a shared reference-ladder adjustment rather than
+// per-column storage.
+#pragma once
+
+#include "core/sei_network.hpp"
+#include "data/dataset.hpp"
+
+namespace sei::reliability {
+
+struct CalibrationConfig {
+  double gamma_min = 0.6;   // trim search range (× nominal threshold)
+  double gamma_max = 1.4;
+  double gamma_step = 0.05;
+  // Calibration batch size (-1 = whole set). Empirically 100 images is too
+  // few: a trim can "gain" several points on the batch while doubling the
+  // test error of an already-healthy chip.
+  int max_images = 500;
+  // A trim is adopted only when it beats the untrimmed calibration error by
+  // more than this margin; sub-margin wins are batch noise, not signal.
+  double min_gain_pct = 0.5;
+};
+
+struct StageTrim {
+  int stage = 0;
+  float gamma = 1.0f;             // chosen trim
+  double error_before_pct = 0.0;  // calibration error entering this stage
+  double error_after_pct = 0.0;   // after fixing this stage's trim
+};
+
+struct CalibrationReport {
+  std::vector<StageTrim> stages;
+  double error_before_pct = 0.0;  // calibration error before any trim
+  double error_after_pct = 0.0;   // after all stages are trimmed
+};
+
+/// Greedily trims the hidden-stage thresholds of `net` in place against the
+/// calibration set. Returns the per-stage trims and error trajectory.
+CalibrationReport recalibrate_thresholds(core::SeiNetwork& net,
+                                         const data::Dataset& calib,
+                                         const CalibrationConfig& cfg = {});
+
+}  // namespace sei::reliability

@@ -1,0 +1,174 @@
+#include "reliability/campaign.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/io.hpp"
+
+namespace sei::reliability {
+
+Stat summarize(const std::vector<double>& xs) {
+  Stat s;
+  if (xs.empty()) {
+    s.mean = s.min = s.max = std::numeric_limits<double>::quiet_NaN();
+    return s;
+  }
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  return s;
+}
+
+std::uint64_t trial_seed(const CampaignConfig& cfg, int point_idx,
+                         int trial) {
+  // splitmix64 of a unique (seed, point, trial) encoding: well-separated
+  // streams without any coupling between neighbouring points/trials.
+  std::uint64_t state = cfg.seed +
+                        static_cast<std::uint64_t>(point_idx) * 1000003ULL +
+                        static_cast<std::uint64_t>(trial);
+  return splitmix64(state);
+}
+
+core::HardwareConfig trial_hardware(const CampaignConfig& cfg,
+                                    const FaultPoint& p,
+                                    std::uint64_t seed, bool repaired) {
+  core::HardwareConfig hw = cfg.base;
+  hw.seed = seed;
+  hw.device.stuck_fraction = p.stuck_fraction;
+  hw.device.program_sigma = p.program_sigma;
+  hw.device.read_noise_sigma = p.read_noise_sigma;
+  if (p.drift_t_s > 0.0) {
+    hw.device.drift_nu = cfg.drift_nu;
+    hw.device.drift_nu_sigma = cfg.drift_nu_sigma;
+    hw.device.drift_t_s = p.drift_t_s;
+  }
+  hw.spare_row_fraction = repaired ? cfg.spare_row_fraction : 0.0;
+  return hw;
+}
+
+CampaignResult run_campaign(const quant::QNetwork& qnet,
+                            const data::Dataset& eval,
+                            const data::Dataset& calib,
+                            const CampaignConfig& cfg) {
+  SEI_CHECK_MSG(cfg.trials >= 1, "campaign needs at least one trial");
+  SEI_CHECK_MSG(!cfg.points.empty(), "campaign needs at least one point");
+
+  CampaignResult result;
+  {
+    core::SeiNetwork healthy(qnet, cfg.base);
+    result.healthy_error_pct = healthy.error_rate(eval, cfg.eval_images);
+  }
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int pi = 0; pi < static_cast<int>(cfg.points.size()); ++pi) {
+    PointResult pr;
+    pr.point = cfg.points[static_cast<std::size_t>(pi)];
+    std::vector<double> faulty_errs, repaired_errs;
+
+    for (int t = 0; t < cfg.trials; ++t) {
+      TrialResult tr;
+      tr.seed = trial_seed(cfg, pi, t);
+
+      {
+        const auto hw = trial_hardware(cfg, pr.point, tr.seed, false);
+        core::SeiNetwork net(qnet, hw);
+        tr.faulty_error_pct = net.error_rate(eval, cfg.eval_images);
+      }
+      faulty_errs.push_back(tr.faulty_error_pct);
+
+      if (cfg.repair) {
+        const auto hw = trial_hardware(cfg, pr.point, tr.seed, true);
+        core::SeiNetwork net(qnet, hw,
+                             make_repair_hook(cfg.repair_cfg, &tr.repair));
+        tr.pre_recalib_error_pct = net.error_rate(eval, cfg.eval_images);
+        recalibrate_thresholds(net, calib, cfg.calib_cfg);
+        tr.repaired_error_pct = net.error_rate(eval, cfg.eval_images);
+        repaired_errs.push_back(tr.repaired_error_pct);
+        pr.repair += tr.repair;
+      } else {
+        tr.pre_recalib_error_pct = nan;
+        tr.repaired_error_pct = nan;
+      }
+      pr.trials.push_back(tr);
+    }
+    pr.faulty = summarize(faulty_errs);
+    pr.repaired = summarize(repaired_errs);
+    result.points.push_back(std::move(pr));
+  }
+  return result;
+}
+
+namespace {
+
+void write_stat(JsonWriter& j, const std::string& key, const Stat& s) {
+  j.key(key);
+  j.begin_object();
+  j.kv("mean", s.mean);
+  j.kv("min", s.min);
+  j.kv("max", s.max);
+  j.end_object();
+}
+
+void write_repair(JsonWriter& j, const std::string& key,
+                  const RepairReport& r) {
+  j.key(key);
+  j.begin_object();
+  j.kv("crossbars", static_cast<long long>(r.crossbars));
+  j.kv("faults_found", static_cast<long long>(r.faults_found));
+  j.kv("cells_retried", static_cast<long long>(r.cells_retried));
+  j.kv("cells_recovered", static_cast<long long>(r.cells_recovered));
+  j.kv("rows_remapped", static_cast<long long>(r.rows_remapped));
+  j.kv("rows_unrepairable", static_cast<long long>(r.rows_unrepairable));
+  j.kv("cell_writes", r.cell_writes);
+  j.end_object();
+}
+
+}  // namespace
+
+void write_campaign_json(const CampaignResult& result,
+                         const CampaignConfig& cfg, const std::string& path) {
+  JsonWriter j(path);
+  j.begin_object();
+  j.kv("schema", "sei-reliability-campaign-v1");
+  j.kv("seed", static_cast<long long>(cfg.seed));
+  j.kv("trials", static_cast<long long>(cfg.trials));
+  j.kv("eval_images", static_cast<long long>(cfg.eval_images));
+  j.kv("repair_enabled", cfg.repair);
+  j.kv("spare_row_fraction", cfg.spare_row_fraction);
+  j.kv("drift_nu", cfg.drift_nu);
+  j.kv("drift_nu_sigma", cfg.drift_nu_sigma);
+  j.kv("healthy_error_pct", result.healthy_error_pct);
+
+  j.key("points");
+  j.begin_array();
+  for (const PointResult& pr : result.points) {
+    j.begin_object();
+    j.kv("label", pr.point.label);
+    j.kv("stuck_fraction", pr.point.stuck_fraction);
+    j.kv("program_sigma", pr.point.program_sigma);
+    j.kv("read_noise_sigma", pr.point.read_noise_sigma);
+    j.kv("drift_t_s", pr.point.drift_t_s);
+    write_stat(j, "faulty_error_pct", pr.faulty);
+    write_stat(j, "repaired_error_pct", pr.repaired);
+    write_repair(j, "repair", pr.repair);
+    j.key("trials");
+    j.begin_array();
+    for (const TrialResult& tr : pr.trials) {
+      j.begin_object();
+      j.kv("seed", static_cast<long long>(tr.seed));
+      j.kv("faulty_error_pct", tr.faulty_error_pct);
+      j.kv("pre_recalib_error_pct", tr.pre_recalib_error_pct);
+      j.kv("repaired_error_pct", tr.repaired_error_pct);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  j.commit();
+}
+
+}  // namespace sei::reliability

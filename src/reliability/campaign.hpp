@@ -1,0 +1,108 @@
+// Monte-Carlo fault-injection campaigns over the SEI pipeline.
+//
+// A campaign sweeps fault-axis points (stuck fraction, programming sigma,
+// read noise, array age) and, at each point, runs N independently seeded
+// trials of two arms:
+//
+//   faulty   — the network mapped with the faults and nothing else;
+//   repaired — spare rows provisioned, the diagnose/repair hook applied at
+//              mapping time, and the thresholds recalibrated on a held-out
+//              calibration batch.
+//
+// Results are accuracy-degradation curves (mean/min/max over trials) plus
+// aggregate repair statistics, reproducible from a single seed, and can be
+// serialized to JSON (schema in docs/reliability.md) for plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sei_network.hpp"
+#include "reliability/calibrate.hpp"
+#include "reliability/repair.hpp"
+
+namespace sei::reliability {
+
+/// One point on the fault axis. Fields overwrite the campaign's base
+/// DeviceConfig; `drift_t_s` > 0 additionally enables the drift model with
+/// the campaign's drift exponents.
+struct FaultPoint {
+  double stuck_fraction = 0.0;
+  double program_sigma = 0.0;
+  double read_noise_sigma = 0.0;
+  double drift_t_s = 0.0;  // array age at evaluation time, seconds
+  std::string label;       // axis label for reports
+};
+
+struct CampaignConfig {
+  core::HardwareConfig base;  // healthy hardware the points perturb
+  std::vector<FaultPoint> points;
+  int trials = 3;
+  int eval_images = 200;   // evaluation batch per arm (-1 = whole set)
+  std::uint64_t seed = 20160605;
+
+  bool repair = true;                    // run the repaired arm
+  double spare_row_fraction = 0.25;      // provisioning of the repaired arm
+  RepairConfig repair_cfg{};
+  CalibrationConfig calib_cfg{};
+
+  // Drift exponents used when a point sets drift_t_s > 0.
+  double drift_nu = 0.02;
+  double drift_nu_sigma = 0.01;
+};
+
+struct TrialResult {
+  std::uint64_t seed = 0;
+  double faulty_error_pct = 0.0;
+  // Repaired arm (NaN when cfg.repair is off):
+  double repaired_error_pct = 0.0;       // after repair + recalibration
+  double pre_recalib_error_pct = 0.0;    // after repair, before recalibration
+  RepairReport repair;
+};
+
+/// Mean/min/max over the trials of one point.
+struct Stat {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+Stat summarize(const std::vector<double>& xs);
+
+struct PointResult {
+  FaultPoint point;
+  std::vector<TrialResult> trials;
+  Stat faulty;
+  Stat repaired;        // NaNs when the repaired arm is off
+  RepairReport repair;  // summed over trials
+};
+
+struct CampaignResult {
+  double healthy_error_pct = 0.0;  // base config, no faults
+  std::vector<PointResult> points;
+};
+
+/// Runs the campaign. `eval` scores both arms; `calib` is the held-out
+/// batch the repaired arm recalibrates on (pass the training set or a
+/// slice of it — never `eval`).
+CampaignResult run_campaign(const quant::QNetwork& qnet,
+                            const data::Dataset& eval,
+                            const data::Dataset& calib,
+                            const CampaignConfig& cfg);
+
+/// Serializes a campaign to the JSON schema of docs/reliability.md.
+void write_campaign_json(const CampaignResult& result,
+                         const CampaignConfig& cfg, const std::string& path);
+
+/// The HardwareConfig one trial of one point runs under (exposed for
+/// tests): base + the point's fault fields + the trial seed, with spares
+/// provisioned only for the repaired arm.
+core::HardwareConfig trial_hardware(const CampaignConfig& cfg,
+                                    const FaultPoint& p,
+                                    std::uint64_t trial_seed, bool repaired);
+
+/// Deterministic per-trial seed derived from (campaign seed, point index,
+/// trial index).
+std::uint64_t trial_seed(const CampaignConfig& cfg, int point_idx, int trial);
+
+}  // namespace sei::reliability

@@ -1,0 +1,52 @@
+#include "reliability/diagnose.hpp"
+
+#include <cmath>
+
+namespace sei::reliability {
+
+double expected_cell_value(const rram::Crossbar& xb, int r, int c) {
+  return static_cast<double>(xb.cell_level(r, c)) *
+         xb.ir_factor(xb.physical_row(r), c);
+}
+
+CrossbarDiagnosis diagnose_crossbar(const rram::Crossbar& xb,
+                                    const DiagnoseConfig& cfg, Rng& rng) {
+  SEI_CHECK_MSG(cfg.reads >= 1, "diagnosis needs at least one read");
+  SEI_CHECK_MSG(cfg.tolerance > 0.0, "diagnosis tolerance must be positive");
+
+  const int rows = xb.rows(), cols = xb.cols();
+  CrossbarDiagnosis d;
+  d.row_faults.assign(static_cast<std::size_t>(rows), 0);
+  d.col_faults.assign(static_cast<std::size_t>(cols), 0);
+
+  std::vector<std::uint8_t> select(static_cast<std::size_t>(rows), 0);
+  std::vector<double> port(static_cast<std::size_t>(rows), 1.0);
+  std::vector<double> out(static_cast<std::size_t>(cols));
+  std::vector<double> acc(static_cast<std::size_t>(cols));
+
+  for (int r = 0; r < rows; ++r) {
+    select[static_cast<std::size_t>(r)] = 1;
+    acc.assign(acc.size(), 0.0);
+    for (int k = 0; k < cfg.reads; ++k) {
+      xb.mvm_selected(select, port, out, rng);
+      for (int c = 0; c < cols; ++c)
+        acc[static_cast<std::size_t>(c)] += out[static_cast<std::size_t>(c)];
+    }
+    select[static_cast<std::size_t>(r)] = 0;
+    for (int c = 0; c < cols; ++c) {
+      const double measured =
+          acc[static_cast<std::size_t>(c)] / cfg.reads;
+      const double expected = expected_cell_value(xb, r, c);
+      if (std::fabs(measured - expected) > cfg.tolerance) {
+        d.faults.push_back({r, c, expected, measured});
+        ++d.row_faults[static_cast<std::size_t>(r)];
+        ++d.col_faults[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  d.fault_fraction = static_cast<double>(d.faults.size()) /
+                     (static_cast<double>(rows) * cols);
+  return d;
+}
+
+}  // namespace sei::reliability

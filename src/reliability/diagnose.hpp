@@ -1,0 +1,51 @@
+// Fault detection by test-pattern readback (docs/reliability.md).
+//
+// The programming controller knows the level it intended for every cell
+// (Crossbar::cell_level records the intent even when write-verify gave up).
+// Selecting one logical row at a time with a unit port coefficient puts that
+// row's cell values directly on the column lines; averaging a few reads
+// suppresses read noise, and any cell whose measured value deviates from
+// intent × IR-attenuation by more than `tolerance` level units is flagged —
+// a stuck cell, a write-verify give-up, or excessive conductance drift all
+// look the same to the readback (and are all repaired the same way).
+#pragma once
+
+#include <vector>
+
+#include "rram/crossbar.hpp"
+
+namespace sei::reliability {
+
+struct DiagnoseConfig {
+  int reads = 3;            // row readbacks averaged per measurement
+  double tolerance = 0.75;  // level-unit deviation that flags a cell
+};
+
+/// One cell whose readback disagrees with its programming intent.
+struct CellFault {
+  int row = 0;  // logical row
+  int col = 0;
+  double expected = 0.0;  // intent × IR attenuation
+  double measured = 0.0;  // read-back average
+};
+
+struct CrossbarDiagnosis {
+  std::vector<CellFault> faults;
+  std::vector<int> row_faults;  // faulty cells per logical row
+  std::vector<int> col_faults;  // faulty cells per column
+  double fault_fraction = 0.0;  // |faults| / (rows × cols)
+  bool clean() const { return faults.empty(); }
+};
+
+/// Reads back every data row of `xb` and localizes the cells that deviate
+/// from their intended levels. `rng` drives the read noise of the readback
+/// measurements only — the crossbar state is untouched.
+CrossbarDiagnosis diagnose_crossbar(const rram::Crossbar& xb,
+                                    const DiagnoseConfig& cfg, Rng& rng);
+
+/// Ideal (noise-free) readback value of a healthy cell: the intended level
+/// attenuated by the IR drop of the physical position the logical row
+/// currently maps to. Exposed for the repair engine's verify step.
+double expected_cell_value(const rram::Crossbar& xb, int r, int c);
+
+}  // namespace sei::reliability

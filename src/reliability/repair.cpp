@@ -1,0 +1,107 @@
+#include "reliability/repair.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sei::reliability {
+
+RepairReport& RepairReport::operator+=(const RepairReport& o) {
+  crossbars += o.crossbars;
+  faults_found += o.faults_found;
+  cells_retried += o.cells_retried;
+  cells_recovered += o.cells_recovered;
+  rows_remapped += o.rows_remapped;
+  rows_unrepairable += o.rows_unrepairable;
+  cell_writes += o.cell_writes;
+  return *this;
+}
+
+namespace {
+
+/// Controller-side verify: the cell's effective value is within tolerance
+/// of its intent (the write-verify loop's own acceptance criterion, minus
+/// read noise — the verify read is averaged in hardware).
+bool cell_ok(const rram::Crossbar& xb, int r, int c, double tolerance) {
+  return std::fabs(xb.cell(r, c) - expected_cell_value(xb, r, c)) <=
+         tolerance;
+}
+
+bool row_ok(const rram::Crossbar& xb, int r, double tolerance) {
+  for (int c = 0; c < xb.cols(); ++c)
+    if (!cell_ok(xb, r, c, tolerance)) return false;
+  return true;
+}
+
+}  // namespace
+
+RepairReport repair_crossbar(rram::Crossbar& xb, const RepairConfig& cfg,
+                             Rng& rng) {
+  SEI_CHECK_MSG(cfg.retry_rounds >= 1 && cfg.base_attempts >= 1 &&
+                    cfg.max_remap_tries >= 1,
+                "repair budgets must be positive");
+  RepairReport rep;
+  rep.crossbars = 1;
+  const long long writes_before = xb.total_program_attempts();
+  const double tol = cfg.diagnose.tolerance;
+
+  const CrossbarDiagnosis d = diagnose_crossbar(xb, cfg.diagnose, rng);
+  rep.faults_found = static_cast<int>(d.faults.size());
+  if (d.clean()) return rep;
+
+  // Phase 1: retry escalation on each flagged cell.
+  std::vector<int> bad_per_row(static_cast<std::size_t>(xb.rows()), 0);
+  for (const CellFault& f : d.faults) {
+    ++rep.cells_retried;
+    bool fixed = false;
+    for (int round = 0; round < cfg.retry_rounds && !fixed; ++round) {
+      xb.reprogram(f.row, f.col, cfg.base_attempts << round);
+      fixed = cell_ok(xb, f.row, f.col, tol);
+    }
+    if (fixed)
+      ++rep.cells_recovered;
+    else
+      ++bad_per_row[static_cast<std::size_t>(f.row)];
+  }
+
+  // Phase 2: remap the rows escalation could not fix, worst first (spares
+  // are scarce; a row with many stuck cells hurts every output column it
+  // touches).
+  std::vector<int> bad_rows;
+  for (int r = 0; r < xb.rows(); ++r)
+    if (bad_per_row[static_cast<std::size_t>(r)] > 0) bad_rows.push_back(r);
+  std::sort(bad_rows.begin(), bad_rows.end(), [&](int a, int b) {
+    const int fa = bad_per_row[static_cast<std::size_t>(a)];
+    const int fb = bad_per_row[static_cast<std::size_t>(b)];
+    return fa != fb ? fa > fb : a < b;
+  });
+
+  for (const int r : bad_rows) {
+    bool healthy = false;
+    for (int attempt = 0; attempt < cfg.max_remap_tries && !healthy;
+         ++attempt) {
+      if (!xb.remap_row(r)) break;  // spares exhausted
+      ++rep.rows_remapped;
+      // The spare may itself hold faulty devices: escalate on any cell
+      // that still reads wrong before burning another spare.
+      for (int c = 0; c < xb.cols(); ++c)
+        for (int round = 0;
+             round < cfg.retry_rounds && !cell_ok(xb, r, c, tol); ++round)
+          xb.reprogram(r, c, cfg.base_attempts << round);
+      healthy = row_ok(xb, r, tol);
+    }
+    if (!healthy) ++rep.rows_unrepairable;
+  }
+
+  rep.cell_writes = xb.total_program_attempts() - writes_before;
+  return rep;
+}
+
+core::CrossbarHook make_repair_hook(const RepairConfig& cfg,
+                                    RepairReport* report) {
+  return [cfg, report](rram::Crossbar& xb, Rng& rng) {
+    const RepairReport r = repair_crossbar(xb, cfg, rng);
+    if (report) *report += r;
+  };
+}
+
+}  // namespace sei::reliability

@@ -1,0 +1,58 @@
+// Self-repair engine: write-verify retry escalation + spare-row remapping.
+//
+// Repair runs on a freshly programmed (and aged) crossbar, between
+// programming and the mapper's cell snapshot — the CrossbarHook injection
+// point of core::map_layer. Two phases:
+//
+//  1. Retry escalation. Every faulty cell is re-programmed to its recorded
+//     intent with an exponentially growing write-verify pulse budget
+//     (base_attempts, 2×, 4×, ...). This recovers cells that merely lost
+//     the programming lottery (variation, drift) but cannot move stuck
+//     devices.
+//  2. Spare-row remapping. Rows still holding faulty cells are steered onto
+//     the crossbar's reserved spare rows (worst rows first — spares are the
+//     scarce resource). A spare can itself be faulty: the row verify
+//     re-checks after remapping and burns another spare if needed, up to
+//     max_remap_tries per row.
+//
+// Rows that stay faulty after both phases are reported as unrepairable;
+// threshold recalibration (calibrate.hpp) then absorbs what it can.
+#pragma once
+
+#include "core/mapping.hpp"
+#include "reliability/diagnose.hpp"
+
+namespace sei::reliability {
+
+struct RepairConfig {
+  DiagnoseConfig diagnose{};
+  int retry_rounds = 3;     // escalation rounds before giving up on a cell
+  int base_attempts = 4;    // write-verify cap of round 0 (doubles per round)
+  int max_remap_tries = 3;  // spare rows one logical row may burn
+};
+
+/// Aggregated outcome of repairing one or more crossbars.
+struct RepairReport {
+  int crossbars = 0;
+  int faults_found = 0;       // cells flagged by the initial diagnosis
+  int cells_retried = 0;      // faulty cells that entered retry escalation
+  int cells_recovered = 0;    // fixed by escalation alone
+  int rows_remapped = 0;      // rows steered onto a spare (counting retries)
+  int rows_unrepairable = 0;  // rows still faulty after spares ran out
+  long long cell_writes = 0;  // programming pulses spent on repair
+
+  RepairReport& operator+=(const RepairReport& o);
+};
+
+/// Runs the diagnose → retry → remap loop on one crossbar. `rng` drives the
+/// readback noise of the diagnosis/verify measurements.
+RepairReport repair_crossbar(rram::Crossbar& xb, const RepairConfig& cfg,
+                             Rng& rng);
+
+/// Wraps repair_crossbar as a core::CrossbarHook for SeiNetwork /
+/// map_layer. When `report` is non-null, every repaired crossbar's outcome
+/// is accumulated into it (the pointer must outlive the hook).
+core::CrossbarHook make_repair_hook(const RepairConfig& cfg,
+                                    RepairReport* report = nullptr);
+
+}  // namespace sei::reliability

@@ -7,29 +7,40 @@
 
 namespace sei::rram {
 
-Crossbar::Crossbar(int rows, int cols, const DeviceConfig& device, Rng& rng)
+Crossbar::Crossbar(int rows, int cols, const DeviceConfig& device, Rng& rng,
+                   int spare_rows)
     : rows_(rows),
       cols_(cols),
+      spare_rows_(spare_rows),
       device_(device),
-      rng_(rng.split()),
-      values_(static_cast<std::size_t>(rows) * cols, 0.0),
-      levels_(static_cast<std::size_t>(rows) * cols, 0),
-      stuck_(static_cast<std::size_t>(rows) * cols, -1) {
+      fault_rng_(rng.split()),
+      program_rng_(rng.split()),
+      row_map_(static_cast<std::size_t>(rows)),
+      values_(static_cast<std::size_t>(rows + spare_rows) * cols, 0.0),
+      levels_(static_cast<std::size_t>(rows + spare_rows) * cols, 0),
+      stuck_(static_cast<std::size_t>(rows + spare_rows) * cols, -1) {
   SEI_CHECK_MSG(rows >= 1 && cols >= 1, "crossbar must be non-empty");
-  for (auto& s : stuck_) {
-    int frozen = 0;
-    if (device_.roll_stuck(rng_, frozen)) {
-      s = static_cast<std::int16_t>(frozen);
-    }
-  }
+  SEI_CHECK_MSG(spare_rows >= 0, "spare row count cannot be negative");
+  for (int r = 0; r < rows_; ++r) row_map_[static_cast<std::size_t>(r)] = r;
   for (std::size_t i = 0; i < stuck_.size(); ++i) {
-    if (stuck_[i] >= 0) {
-      levels_[i] = stuck_[i];
-      values_[i] = static_cast<double>(stuck_[i]) *
+    int frozen = 0;
+    if (device_.roll_stuck(fault_rng_, frozen)) {
+      stuck_[i] = static_cast<std::int16_t>(frozen);
+      values_[i] = static_cast<double>(frozen) *
                    ir_factor(static_cast<int>(i) / cols_,
                              static_cast<int>(i) % cols_);
     }
   }
+  if (device_.config().drift_enabled()) {
+    drift_nu_.resize(values_.size());
+    for (auto& nu : drift_nu_)
+      nu = static_cast<float>(device_.roll_drift_exponent(fault_rng_));
+  }
+}
+
+int Crossbar::physical_row(int r) const {
+  SEI_CHECK(r >= 0 && r < rows_);
+  return row_map_[static_cast<std::size_t>(r)];
 }
 
 double Crossbar::ir_factor(int r, int c) const {
@@ -40,13 +51,25 @@ double Crossbar::ir_factor(int r, int c) const {
   return std::max(0.0, 1.0 - alpha * dist);
 }
 
-void Crossbar::program(int r, int c, int level) {
-  const std::size_t i = idx(r, c);
+void Crossbar::program_physical(int pr, int c, int level, int max_attempts) {
+  const std::size_t i = static_cast<std::size_t>(pr) * cols_ + c;
+  levels_[i] = static_cast<std::int16_t>(level);  // record the intent
   if (stuck_[i] >= 0) return;  // write-verify cannot move a stuck cell
-  levels_[i] = static_cast<std::int16_t>(level);
   int attempts = 0;
-  values_[i] = device_.program(level, rng_, &attempts) * ir_factor(r, c);
+  values_[i] =
+      device_.program(level, program_rng_, &attempts, max_attempts) *
+      ir_factor(pr, c);
   program_attempts_ += attempts;
+}
+
+void Crossbar::program(int r, int c, int level, int max_attempts) {
+  SEI_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  program_physical(row_map_[static_cast<std::size_t>(r)], c, level,
+                   max_attempts);
+}
+
+void Crossbar::reprogram(int r, int c, int max_attempts) {
+  program(r, c, cell_level(r, c), max_attempts);
 }
 
 double Crossbar::cell(int r, int c) const { return values_[idx(r, c)]; }
@@ -58,10 +81,13 @@ void Crossbar::mvm(std::span<const double> in, std::span<double> out,
   SEI_CHECK(in.size() == static_cast<std::size_t>(rows_));
   SEI_CHECK(out.size() == static_cast<std::size_t>(cols_));
   for (auto& o : out) o = 0.0;
-  const double* v = values_.data();
-  for (int r = 0; r < rows_; ++r, v += cols_) {
+  for (int r = 0; r < rows_; ++r) {
     const double x = in[static_cast<std::size_t>(r)];
     if (x == 0.0) continue;
+    const double* v =
+        values_.data() +
+        static_cast<std::size_t>(row_map_[static_cast<std::size_t>(r)]) *
+            cols_;
     for (int c = 0; c < cols_; ++c) out[static_cast<std::size_t>(c)] += x * v[c];
   }
   for (auto& o : out) o = device_.read(o, rng);
@@ -74,10 +100,13 @@ void Crossbar::mvm_selected(std::span<const std::uint8_t> select,
   SEI_CHECK(port_coeff.size() == static_cast<std::size_t>(rows_));
   SEI_CHECK(out.size() == static_cast<std::size_t>(cols_));
   for (auto& o : out) o = 0.0;
-  const double* v = values_.data();
-  for (int r = 0; r < rows_; ++r, v += cols_) {
+  for (int r = 0; r < rows_; ++r) {
     if (!select[static_cast<std::size_t>(r)]) continue;
     const double k = port_coeff[static_cast<std::size_t>(r)];
+    const double* v =
+        values_.data() +
+        static_cast<std::size_t>(row_map_[static_cast<std::size_t>(r)]) *
+            cols_;
     for (int c = 0; c < cols_; ++c) out[static_cast<std::size_t>(c)] += k * v[c];
   }
   for (auto& o : out) o = device_.read(o, rng);
@@ -85,9 +114,51 @@ void Crossbar::mvm_selected(std::span<const std::uint8_t> select,
 
 double Crossbar::misprogrammed_fraction() const {
   std::size_t bad = 0;
-  for (std::size_t i = 0; i < values_.size(); ++i)
-    if (std::fabs(values_[i] - static_cast<double>(levels_[i])) > 0.5) ++bad;
-  return static_cast<double>(bad) / static_cast<double>(values_.size());
+  const std::size_t n = static_cast<std::size_t>(rows_) * cols_;
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) {
+      const std::size_t i = idx(r, c);
+      if (std::fabs(values_[i] - static_cast<double>(levels_[i])) > 0.5)
+        ++bad;
+    }
+  return static_cast<double>(bad) / static_cast<double>(n);
+}
+
+void Crossbar::age(double dt_s) {
+  SEI_CHECK_MSG(dt_s >= 0, "cannot age backwards");
+  if (dt_s == 0.0) return;
+  const double from = age_s_;
+  age_s_ += dt_s;
+  if (!device_.config().drift_enabled()) return;
+  // Incremental decay telescopes to the full power law for cells programmed
+  // at age 0; cells re-programmed later decay on the array-age clock (an old
+  // array drifts slowly), which keeps aging memoryless per call.
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (stuck_[i] >= 0 || values_[i] == 0.0) continue;
+    values_[i] *= device_.drift_multiplier(drift_nu_[i], from, age_s_);
+  }
+}
+
+bool Crossbar::remap_row(int r) {
+  SEI_CHECK(r >= 0 && r < rows_);
+  if (spare_used_ >= spare_rows_) return false;
+  const std::size_t old_base =
+      static_cast<std::size_t>(row_map_[static_cast<std::size_t>(r)]) * cols_;
+  const int new_pr = rows_ + spare_used_++;
+  row_map_[static_cast<std::size_t>(r)] = new_pr;
+  for (int c = 0; c < cols_; ++c)
+    program_physical(new_pr, c, levels_[old_base + c], 0);
+  return true;
+}
+
+void Crossbar::force_stuck(int r, int c, int level) {
+  SEI_CHECK_MSG(level >= 0 && level <= device_.config().max_level(),
+                "stuck level out of range");
+  const std::size_t i = idx(r, c);
+  stuck_[i] = static_cast<std::int16_t>(level);
+  values_[i] =
+      static_cast<double>(level) *
+      ir_factor(row_map_[static_cast<std::size_t>(r)], c);
 }
 
 }  // namespace sei::rram

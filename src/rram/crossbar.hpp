@@ -9,6 +9,13 @@
 //                     the freed input line carries a per-row port
 //                     coefficient (the SEI structure: ±1, ±2^4, or the
 //                     dynamic-threshold slope k).
+//
+// Reliability support (docs/reliability.md): the array may reserve spare
+// physical rows at the bottom. Logical rows address physical rows through a
+// remap table, so a row whose cells are stuck can be steered onto a spare
+// (Crossbar::remap_row) by the repair engine. age() applies the power-law
+// conductance-drift model in place, and force_stuck() injects deterministic
+// faults for campaigns and tests.
 #pragma once
 
 #include <span>
@@ -26,22 +33,38 @@ struct CrossbarLimits {
 class Crossbar {
  public:
   /// Creates an array of off cells; devices with stuck faults are rolled
-  /// per-cell at construction time.
-  Crossbar(int rows, int cols, const DeviceConfig& device, Rng& rng);
+  /// per-cell at construction time. `spare_rows` extra physical rows are
+  /// reserved below the `rows` data rows for fault repair; they are not
+  /// addressable until remap_row() steers a logical row onto one.
+  Crossbar(int rows, int cols, const DeviceConfig& device, Rng& rng,
+           int spare_rows = 0);
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
+  int physical_rows() const { return rows_ + spare_rows_; }
+  int spare_rows_total() const { return spare_rows_; }
+  int spare_rows_used() const { return spare_used_; }
+  /// Physical row a logical row currently maps to.
+  int physical_row(int r) const;
   const DeviceModel& device() const { return device_; }
 
-  /// Write-verify programming of one cell to an integer level.
-  /// Stuck cells silently keep their frozen value (as real arrays do —
-  /// write-verify gives up after max attempts).
-  void program(int r, int c, int level);
+  /// Write-verify programming of one cell to an integer level. The intended
+  /// level is always recorded (the programming controller knows what it
+  /// asked for), but stuck cells silently keep their frozen value — as real
+  /// arrays do when write-verify gives up after max attempts.
+  /// `max_attempts` > 0 overrides the device's write-verify cap (repair
+  /// retry escalation).
+  void program(int r, int c, int level, int max_attempts = 0);
+
+  /// Re-issues programming of a cell to its recorded intended level with an
+  /// escalated write-verify cap. No-op on the stored intent.
+  void reprogram(int r, int c, int max_attempts);
 
   /// Effective analog value of a cell in level units (post-variation).
   double cell(int r, int c) const;
 
-  /// Ideal target level the cell was last programmed to.
+  /// Ideal target level the cell was last programmed to (the intent, even
+  /// if the cell is stuck elsewhere).
   int cell_level(int r, int c) const;
 
   /// Analog MVM: out[c] = Σ_r in[r] · cell(r, c), plus read noise.
@@ -53,13 +76,31 @@ class Crossbar {
                     std::span<const double> port_coeff,
                     std::span<double> out, Rng& rng) const;
 
-  /// Fraction of cells whose effective value deviates from their target
-  /// level by more than half a level (programming-quality metric;
-  /// IR-drop attenuation counts as deviation).
+  /// Fraction of data cells whose effective value deviates from their
+  /// intended level by more than half a level (programming-quality metric;
+  /// stuck-off-target cells and IR-drop attenuation count as deviation).
   double misprogrammed_fraction() const;
 
-  /// IR-drop attenuation factor applied to a cell's contribution.
+  /// IR-drop attenuation factor applied to a *physical* cell's contribution.
   double ir_factor(int r, int c) const;
+
+  /// Advances the array age by `dt_s` seconds: every healthy programmed
+  /// cell decays by its per-cell power-law drift factor. Stuck cells stay
+  /// frozen. Cells programmed afterwards start fresh at the new age.
+  void age(double dt_s);
+
+  /// Current array age in seconds (sum of age() calls).
+  double age_seconds() const { return age_s_; }
+
+  /// Steers logical row `r` onto the next unused spare physical row and
+  /// re-programs the row's intended levels there. Returns false (and leaves
+  /// the mapping unchanged) when no spares remain. May be called again for
+  /// the same row if the spare itself turns out faulty.
+  bool remap_row(int r);
+
+  /// Fault injection for campaigns/tests: freezes the cell at `level`
+  /// regardless of past or future programming.
+  void force_stuck(int r, int c, int level);
 
   /// Total programming pulses issued (write-verify accounting).
   long long total_program_attempts() const { return program_attempts_; }
@@ -67,16 +108,28 @@ class Crossbar {
  private:
   std::size_t idx(int r, int c) const {
     SEI_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return static_cast<std::size_t>(r) * cols_ + c;
+    return static_cast<std::size_t>(row_map_[static_cast<std::size_t>(r)]) *
+               cols_ +
+           c;
   }
+  void program_physical(int pr, int c, int level, int max_attempts);
 
-  int rows_;
+  int rows_;        // data rows (the logical address space)
   int cols_;
+  int spare_rows_;  // reserved repair rows below the data rows
+  int spare_used_ = 0;
   DeviceModel device_;
-  mutable Rng rng_;                 // programming + read noise stream
-  std::vector<double> values_;      // effective analog values (level units)
-  std::vector<std::int16_t> levels_;  // last programmed target levels
+  // Separate deterministic streams so fault injection (stuck rolls, drift
+  // exponents) and programming pulses never perturb each other across
+  // sweep points — read noise always comes from the caller's stream.
+  Rng fault_rng_;
+  Rng program_rng_;
+  std::vector<int> row_map_;          // logical row → physical row
+  std::vector<double> values_;        // effective analog values (level units)
+  std::vector<std::int16_t> levels_;  // intended (last-programmed) levels
   std::vector<std::int16_t> stuck_;   // -1 = healthy, else frozen level
+  std::vector<float> drift_nu_;       // per-cell drift exponent (if enabled)
+  double age_s_ = 0.0;
   long long program_attempts_ = 0;
 };
 

@@ -12,6 +12,10 @@ DeviceModel::DeviceModel(const DeviceConfig& cfg) : cfg_(cfg) {
                 "conductance window must be positive");
   SEI_CHECK(cfg.program_sigma >= 0 && cfg.read_noise_sigma >= 0);
   SEI_CHECK(cfg.stuck_fraction >= 0 && cfg.stuck_fraction <= 1);
+  SEI_CHECK_MSG(cfg.drift_nu >= 0 && cfg.drift_nu_sigma >= 0,
+                "drift exponent parameters must be non-negative");
+  SEI_CHECK_MSG(cfg.drift_t0_s > 0, "drift reference time must be positive");
+  SEI_CHECK_MSG(cfg.drift_t_s >= 0, "array age cannot be negative");
 }
 
 double DeviceModel::conductance(int level) const {
@@ -21,16 +25,19 @@ double DeviceModel::conductance(int level) const {
                             static_cast<double>(level) / cfg_.max_level();
 }
 
-double DeviceModel::program(int level, Rng& rng, int* attempts_out) const {
+double DeviceModel::program(int level, Rng& rng, int* attempts_out,
+                            int max_attempts) const {
   SEI_CHECK_MSG(level >= 0 && level <= cfg_.max_level(),
                 "level " << level << " out of range");
+  const int attempt_cap =
+      max_attempts > 0 ? max_attempts : cfg_.max_program_attempts;
   if (attempts_out) *attempts_out = level == 0 ? 0 : 1;
   if (level == 0) return 0.0;
   const double target = static_cast<double>(level);
   double best = target * rng.lognormal_multiplier(cfg_.program_sigma);
   int attempts = 1;
   while (std::fabs(best - target) > cfg_.program_tolerance &&
-         attempts < cfg_.max_program_attempts) {
+         attempts < attempt_cap) {
     const double v = target * rng.lognormal_multiplier(cfg_.program_sigma);
     if (std::fabs(v - target) < std::fabs(best - target)) best = v;
     ++attempts;
@@ -45,6 +52,18 @@ bool DeviceModel::roll_stuck(Rng& rng, int& stuck_level) const {
   // Stuck-at-off is the dominant RRAM failure mode; stuck-on happens too.
   stuck_level = rng.bernoulli(0.8) ? 0 : cfg_.max_level();
   return true;
+}
+
+double DeviceModel::roll_drift_exponent(Rng& rng) const {
+  if (!cfg_.drift_enabled()) return 0.0;
+  return std::max(0.0, rng.gaussian(cfg_.drift_nu, cfg_.drift_nu_sigma));
+}
+
+double DeviceModel::drift_multiplier(double nu, double from_s,
+                                     double to_s) const {
+  SEI_CHECK_MSG(to_s >= from_s && from_s >= 0, "drift time must advance");
+  if (nu <= 0.0 || to_s == from_s) return 1.0;
+  return std::pow((to_s + cfg_.drift_t0_s) / (from_s + cfg_.drift_t0_s), -nu);
 }
 
 double DeviceModel::read(double current, Rng& rng) const {

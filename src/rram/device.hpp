@@ -44,6 +44,20 @@ struct DeviceConfig {
   // far-corner signal loss.
   double ir_drop_alpha = 0.0;
 
+  // Time-dependent conductance drift (retention loss). A cell programmed at
+  // time 0 retains, after t seconds, the fraction
+  //   m(t) = ((t + t0) / t0)^(−ν_cell),   ν_cell = max(0, N(ν, σ_ν))
+  // of its differential value — the standard power-law retention model for
+  // filamentary RRAM, with a per-cell exponent spread. drift_t_s is the
+  // array age the mapping applies after programming (Crossbar::age allows
+  // further in-place aging); cells re-programmed by a repair start fresh.
+  double drift_nu = 0.0;        // mean drift exponent (0 = no drift)
+  double drift_nu_sigma = 0.0;  // per-cell exponent spread
+  double drift_t0_s = 1.0;      // reference time of the power law
+  double drift_t_s = 0.0;       // array age applied at mapping time
+
+  bool drift_enabled() const { return drift_nu > 0.0 || drift_nu_sigma > 0.0; }
+
   int levels() const { return 1 << bits; }
   int max_level() const { return levels() - 1; }
 };
@@ -62,12 +76,22 @@ class DeviceModel {
   /// max_program_attempts > 1 the write-verify loop keeps pulsing until
   /// the value lands within program_tolerance of the target (or gives up
   /// and keeps the closest attempt). Level 0 programs exactly.
-  /// `attempts_out` (optional) receives the pulse count.
-  double program(int level, Rng& rng, int* attempts_out = nullptr) const;
+  /// `attempts_out` (optional) receives the pulse count; `max_attempts`
+  /// overrides config().max_program_attempts when > 0 (repair-engine
+  /// retry escalation).
+  double program(int level, Rng& rng, int* attempts_out = nullptr,
+                 int max_attempts = 0) const;
 
   /// Whether a freshly considered cell is stuck (fault injection); if so,
   /// `stuck_level` receives the level it is frozen at.
   bool roll_stuck(Rng& rng, int& stuck_level) const;
+
+  /// Per-cell drift exponent ν_cell = max(0, N(drift_nu, drift_nu_sigma)).
+  double roll_drift_exponent(Rng& rng) const;
+
+  /// Retention factor for aging a cell from `from_s` to `to_s` seconds
+  /// after its last programming: ((to + t0) / (from + t0))^(−nu).
+  double drift_multiplier(double nu, double from_s, double to_s) const;
 
   /// Applies per-read noise to an analog column current.
   double read(double current, Rng& rng) const;

@@ -1,6 +1,7 @@
 #include "split/partition.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace sei::split {
@@ -27,16 +28,34 @@ void Partition::check_valid(int n_rows) const {
   }
 }
 
-int logical_capacity(int max_physical_rows, int cells_per_weight) {
+int spare_rows_for(int data_physical_rows, double spare_row_fraction) {
+  SEI_CHECK(data_physical_rows >= 0);
+  SEI_CHECK_MSG(spare_row_fraction >= 0 && spare_row_fraction < 1,
+                "spare row fraction must be in [0, 1)");
+  if (spare_row_fraction <= 0.0) return 0;
+  return static_cast<int>(
+      std::ceil(spare_row_fraction * static_cast<double>(data_physical_rows)));
+}
+
+int logical_capacity(int max_physical_rows, int cells_per_weight,
+                     double spare_row_fraction) {
   SEI_CHECK(max_physical_rows >= 1 && cells_per_weight >= 1);
-  const int cap = max_physical_rows / cells_per_weight;
+  int cap = max_physical_rows / cells_per_weight;
+  // Largest logical count whose data rows plus reserved spares still fit.
+  while (cap > 1 && cap * cells_per_weight +
+                            spare_rows_for(cap * cells_per_weight,
+                                           spare_row_fraction) >
+                        max_physical_rows)
+    --cap;
   SEI_CHECK_MSG(cap >= 1, "crossbar cannot hold even one logical row");
   return cap;
 }
 
-int blocks_needed(int n_rows, int max_physical_rows, int cells_per_weight) {
+int blocks_needed(int n_rows, int max_physical_rows, int cells_per_weight,
+                  double spare_row_fraction) {
   SEI_CHECK(n_rows >= 1);
-  const int cap = logical_capacity(max_physical_rows, cells_per_weight);
+  const int cap =
+      logical_capacity(max_physical_rows, cells_per_weight, spare_row_fraction);
   return (n_rows + cap - 1) / cap;
 }
 

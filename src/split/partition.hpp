@@ -27,11 +27,20 @@ struct Partition {
 };
 
 /// Number of blocks needed for `n_rows` logical rows given the physical
-/// crossbar limit.
-int blocks_needed(int n_rows, int max_physical_rows, int cells_per_weight);
+/// crossbar limit. `spare_row_fraction` > 0 reserves that fraction of each
+/// block's data rows as spare physical rows (fault repair, see
+/// docs/reliability.md), shrinking the per-crossbar data capacity so data
+/// plus spares still fit in the physical limit.
+int blocks_needed(int n_rows, int max_physical_rows, int cells_per_weight,
+                  double spare_row_fraction = 0.0);
 
-/// Maximum logical rows per crossbar.
-int logical_capacity(int max_physical_rows, int cells_per_weight);
+/// Maximum logical rows per crossbar (after spare reservation).
+int logical_capacity(int max_physical_rows, int cells_per_weight,
+                     double spare_row_fraction = 0.0);
+
+/// Spare physical rows reserved next to `data_physical_rows` data rows at
+/// the given fraction (ceiling; 0 when the fraction is 0).
+int spare_rows_for(int data_physical_rows, double spare_row_fraction);
 
 /// Splits `order` (a permutation of 0..n-1) into `k` nearly equal
 /// contiguous chunks — block sizes differ by at most one.

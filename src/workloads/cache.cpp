@@ -67,8 +67,16 @@ nn::Network load_or_train(const Workload& wl, const data::DataBundle& data,
   nn::Network net = build_float_network(wl.topo, wl.train.seed);
   const std::string path = cache_dir() + "/" + wl.topo.name + ".model";
   if (file_exists(path)) {
-    nn::load_model(net, path);
-    return net;
+    // A cache that fails validation (truncated, stale format, wrong
+    // network) is a miss, not a fatal error: retrain and overwrite it.
+    try {
+      nn::load_model(net, path);
+      return net;
+    } catch (const std::exception& e) {
+      std::printf("warning: ignoring unreadable model cache %s (%s); "
+                  "retraining\n", path.c_str(), e.what());
+      net = build_float_network(wl.topo, wl.train.seed);
+    }
   }
   if (verbose)
     std::printf("training %s (%d epochs, %d images)…\n",
@@ -138,16 +146,22 @@ quant::QuantizationResult load_or_quantize(const Workload& wl,
   const std::string path = cache_dir() + "/" + wl.topo.name + ".qnet";
   quant::QuantizationResult result;
   if (file_exists(path)) {
-    result.qnet = load_qnetwork(path, wl.topo);
-    // Keep the float network's matrix layers in sync with the cached
-    // (re-scaled) weights so float-tail evaluations remain meaningful.
-    auto mats = float_net.matrix_layers();
-    SEI_CHECK(mats.size() == result.qnet.layers.size());
-    for (std::size_t i = 0; i < mats.size(); ++i) {
-      mats[i]->weight_matrix() = result.qnet.layers[i].weight;
-      mats[i]->bias() = result.qnet.layers[i].bias;
+    try {
+      result.qnet = load_qnetwork(path, wl.topo);
+      // Keep the float network's matrix layers in sync with the cached
+      // (re-scaled) weights so float-tail evaluations remain meaningful.
+      auto mats = float_net.matrix_layers();
+      SEI_CHECK(mats.size() == result.qnet.layers.size());
+      for (std::size_t i = 0; i < mats.size(); ++i) {
+        mats[i]->weight_matrix() = result.qnet.layers[i].weight;
+        mats[i]->bias() = result.qnet.layers[i].bias;
+      }
+      return result;
+    } catch (const std::exception& e) {
+      std::printf("warning: ignoring unreadable qnet cache %s (%s); "
+                  "re-quantizing\n", path.c_str(), e.what());
+      result = {};
     }
-    return result;
   }
   if (verbose)
     std::printf("quantizing %s (Algorithm 1, %d search images)…\n",

@@ -13,8 +13,12 @@ double cached_float_error(const Workload& wl, nn::Network& net,
                           const data::DataBundle& data) {
   const std::string path = cache_dir() + "/" + wl.topo.name + ".metrics";
   if (file_exists(path)) {
-    BinaryReader r(path);
-    if (r.read_u32() == kMetricsMagic) return r.read_f64();
+    // Stale or truncated metrics caches are recomputed, never fatal.
+    try {
+      BinaryReader r(path);
+      if (r.read_u32() == kMetricsMagic) return r.read_f64();
+    } catch (const std::exception&) {
+    }
   }
   const double err = net.error_rate(data.test.images, data.test.label_span());
   BinaryWriter w(path);

@@ -146,5 +146,87 @@ TEST(Crossbar, ShapeChecks) {
   EXPECT_THROW(xb.mvm(in, out, rng), CheckError);
 }
 
+TEST(Crossbar, ForcedStuckCellSurvivesEscalatedProgramming) {
+  Crossbar xb = make_ideal(4, 4);
+  xb.force_stuck(1, 2, 5);
+  EXPECT_DOUBLE_EQ(xb.cell(1, 2), 5.0);
+  xb.program(1, 2, 12);
+  xb.program(1, 2, 12, /*max_attempts=*/64);  // escalation cannot move it
+  EXPECT_DOUBLE_EQ(xb.cell(1, 2), 5.0);
+  EXPECT_EQ(xb.cell_level(1, 2), 12);  // the intent is still recorded
+  // A stuck-off-target cell counts as misprogrammed.
+  EXPECT_GT(xb.misprogrammed_fraction(), 0.0);
+}
+
+TEST(Crossbar, RemapRowNeedsSpares) {
+  Crossbar no_spares = make_ideal(4, 4);
+  EXPECT_EQ(no_spares.spare_rows_total(), 0);
+  EXPECT_FALSE(no_spares.remap_row(2));
+  EXPECT_EQ(no_spares.physical_row(2), 2);
+
+  Rng rng(21);
+  Crossbar xb(4, 4, DeviceConfig{}, rng, 2);
+  EXPECT_EQ(xb.physical_rows(), 6);
+  xb.program(2, 0, 9);
+  EXPECT_TRUE(xb.remap_row(2));
+  EXPECT_EQ(xb.physical_row(2), 4);  // first spare
+  EXPECT_EQ(xb.spare_rows_used(), 1);
+  EXPECT_DOUBLE_EQ(xb.cell(2, 0), 9.0);  // intent follows the row
+  EXPECT_TRUE(xb.remap_row(2));          // second spare
+  EXPECT_FALSE(xb.remap_row(2));         // exhausted
+}
+
+TEST(Crossbar, IrDropClampsToZeroInOversizedArrays) {
+  DeviceConfig cfg;
+  cfg.ir_drop_alpha = 2.5;  // pathological wire loss
+  Rng rng(22);
+  Crossbar xb(512, 512, cfg, rng);
+  EXPECT_DOUBLE_EQ(xb.ir_factor(0, 0), 1.0);
+  // 1 − 2.5 · 0.5·(511+511)/512 < 0 → clamped, never a sign flip.
+  EXPECT_DOUBLE_EQ(xb.ir_factor(511, 511), 0.0);
+  xb.program(511, 511, 15);
+  EXPECT_DOUBLE_EQ(xb.cell(511, 511), 0.0);
+}
+
+TEST(Crossbar, AgeIsMemorylessPerCall) {
+  DeviceConfig cfg;
+  cfg.drift_nu = 0.05;
+  cfg.drift_nu_sigma = 0.02;
+  Rng ra(23), rb(23);
+  Crossbar one_step(8, 8, cfg, ra), two_steps(8, 8, cfg, rb);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) {
+      one_step.program(r, c, 10);
+      two_steps.program(r, c, 10);
+    }
+  one_step.age(1000.0);
+  two_steps.age(400.0);
+  two_steps.age(600.0);
+  EXPECT_DOUBLE_EQ(one_step.age_seconds(), two_steps.age_seconds());
+  double total = 0.0;
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) {
+      // Incremental decay telescopes: aging in two steps equals one step.
+      EXPECT_NEAR(one_step.cell(r, c), two_steps.cell(r, c), 1e-12);
+      // Drift only loses signal (a cell whose exponent clamped to 0 keeps
+      // its value exactly).
+      EXPECT_LE(one_step.cell(r, c), 10.0);
+      total += one_step.cell(r, c);
+    }
+  EXPECT_LT(total, 0.9 * 640.0);  // the array as a whole clearly decayed
+}
+
+TEST(Crossbar, CellsReprogrammedAfterAgingStartFresh) {
+  DeviceConfig cfg;
+  cfg.drift_nu = 0.1;
+  Rng rng(24);
+  Crossbar xb(2, 2, cfg, rng);
+  xb.program(0, 0, 10);
+  xb.age(1.0e6);
+  EXPECT_LT(xb.cell(0, 0), 10.0);
+  xb.reprogram(0, 0, 1);
+  EXPECT_DOUBLE_EQ(xb.cell(0, 0), 10.0);  // fresh at the current age
+}
+
 }  // namespace
 }  // namespace sei::rram

@@ -112,6 +112,64 @@ TEST(Device, WriteVerifyTightensProgramming) {
   EXPECT_LE(attempts.max(), 10.0);
 }
 
+TEST(Device, WriteVerifyGivesUpAtMaxAttempts) {
+  DeviceConfig cfg;
+  cfg.program_sigma = 0.3;
+  cfg.program_tolerance = 1e-9;  // unreachable window
+  cfg.max_program_attempts = 4;
+  DeviceModel dev{cfg};
+  Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    int attempts = 0;
+    const double v = dev.program(10, rng, &attempts);
+    EXPECT_EQ(attempts, 4);  // burns the whole budget, then gives up
+    EXPECT_GT(std::abs(v - 10.0), cfg.program_tolerance);
+    EXPECT_GT(v, 0.0);  // ...but keeps a plausible attempt
+  }
+}
+
+TEST(Device, ProgramMaxAttemptsParameterOverridesConfig) {
+  DeviceConfig cfg;
+  cfg.program_sigma = 0.3;
+  cfg.program_tolerance = 1e-9;
+  cfg.max_program_attempts = 2;
+  DeviceModel dev{cfg};
+  Rng rng(32);
+  int attempts = 0;
+  dev.program(10, rng, &attempts);
+  EXPECT_EQ(attempts, 2);  // config cap
+  dev.program(10, rng, &attempts, /*max_attempts=*/9);
+  EXPECT_EQ(attempts, 9);  // escalation overrides the config cap
+}
+
+TEST(Device, DriftMultiplierTelescopesAndDecays) {
+  DeviceConfig cfg;
+  cfg.drift_nu = 0.1;
+  cfg.drift_t0_s = 1.0;
+  DeviceModel dev{cfg};
+  EXPECT_DOUBLE_EQ(dev.drift_multiplier(0.1, 0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dev.drift_multiplier(0.0, 0.0, 100.0), 1.0);
+  const double m_100 = dev.drift_multiplier(0.1, 0.0, 100.0);
+  const double m_1e6 = dev.drift_multiplier(0.1, 0.0, 1e6);
+  EXPECT_LT(m_100, 1.0);
+  EXPECT_LT(m_1e6, m_100);  // monotone loss over time
+  // Aging 0→a then a→b equals aging 0→b directly.
+  EXPECT_NEAR(dev.drift_multiplier(0.1, 0.0, 40.0) *
+                  dev.drift_multiplier(0.1, 40.0, 100.0),
+              m_100, 1e-12);
+  EXPECT_THROW(dev.drift_multiplier(0.1, 50.0, 10.0), CheckError);
+}
+
+TEST(Device, DriftExponentNeverNegative) {
+  DeviceConfig cfg;
+  cfg.drift_nu = 0.01;
+  cfg.drift_nu_sigma = 0.05;  // spread much wider than the mean
+  DeviceModel dev{cfg};
+  Rng rng(33);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_GE(dev.roll_drift_exponent(rng), 0.0);
+}
+
 TEST(Device, WriteVerifySinglePulseWhenIdeal) {
   DeviceConfig cfg;
   cfg.max_program_attempts = 10;

@@ -1,0 +1,305 @@
+// Reliability subsystem: fault detection, retry/remap repair, threshold
+// recalibration, and end-to-end degradation→recovery campaigns.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <iterator>
+
+#include "data/synthetic_digits.hpp"
+#include "nn/trainer.hpp"
+#include "quant/threshold_search.hpp"
+#include "reliability/campaign.hpp"
+#include "workloads/networks.hpp"
+
+namespace sei::reliability {
+namespace {
+
+rram::DeviceConfig ideal_device() {
+  rram::DeviceConfig d;  // defaults are ideal: no sigma/noise/stuck
+  return d;
+}
+
+/// Crossbar programmed with a deterministic level pattern.
+rram::Crossbar patterned_crossbar(const rram::DeviceConfig& dev, int rows,
+                                  int cols, int spares, std::uint64_t seed) {
+  Rng rng(seed);
+  rram::Crossbar xb(rows, cols, dev, rng, spares);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      xb.program(r, c, (r * 7 + c * 3) % dev.levels());
+  return xb;
+}
+
+TEST(Diagnose, LocalizesForcedStuckCells) {
+  rram::Crossbar xb = patterned_crossbar(ideal_device(), 12, 8, 0, 1);
+  // Freeze three cells away from their intended levels. Intent of (2,3) is
+  // (2·7+3·3)%16 = 7, of (5,0) is 3, of (9,7) is 12.
+  xb.force_stuck(2, 3, 0);
+  xb.force_stuck(5, 0, 15);
+  xb.force_stuck(9, 7, 1);
+
+  Rng rng(2);
+  const CrossbarDiagnosis d = diagnose_crossbar(xb, DiagnoseConfig{}, rng);
+  ASSERT_EQ(d.faults.size(), 3u);
+  EXPECT_EQ(d.faults[0].row, 2);
+  EXPECT_EQ(d.faults[0].col, 3);
+  EXPECT_EQ(d.faults[1].row, 5);
+  EXPECT_EQ(d.faults[1].col, 0);
+  EXPECT_EQ(d.faults[2].row, 9);
+  EXPECT_EQ(d.faults[2].col, 7);
+  EXPECT_EQ(d.row_faults[2], 1);
+  EXPECT_EQ(d.col_faults[0], 1);
+  EXPECT_NEAR(d.fault_fraction, 3.0 / (12 * 8), 1e-12);
+}
+
+TEST(Diagnose, ReadNoiseAveragedBelowTolerance) {
+  rram::DeviceConfig dev = ideal_device();
+  dev.read_noise_sigma = 0.01;  // 1% per read; averaging suppresses it
+  rram::Crossbar xb = patterned_crossbar(dev, 16, 10, 0, 3);
+  Rng rng(4);
+  DiagnoseConfig cfg;
+  cfg.reads = 5;
+  EXPECT_TRUE(diagnose_crossbar(xb, cfg, rng).clean());
+}
+
+TEST(Repair, SpareRowRemapPreservesIdealMvm) {
+  rram::Crossbar xb = patterned_crossbar(ideal_device(), 10, 6, 3, 5);
+  std::vector<std::uint8_t> select(10, 1);
+  std::vector<double> port(10, 1.0);
+  std::vector<double> before(6), after(6);
+  Rng read_rng(6);
+  xb.mvm_selected(select, port, before, read_rng);
+
+  ASSERT_TRUE(xb.remap_row(4));
+  ASSERT_TRUE(xb.remap_row(7));
+  EXPECT_EQ(xb.spare_rows_used(), 2);
+  EXPECT_GE(xb.physical_row(4), 10);  // steered onto a spare
+
+  xb.mvm_selected(select, port, after, read_rng);
+  for (int c = 0; c < 6; ++c) EXPECT_DOUBLE_EQ(after[c], before[c]);
+}
+
+TEST(Repair, RemapEvictsStuckCellFromLogicalRow) {
+  rram::Crossbar xb = patterned_crossbar(ideal_device(), 8, 5, 2, 7);
+  xb.force_stuck(3, 2, 0);  // intent of (3,2) is (3·7+2·3)%16 = 11
+  ASSERT_NE(xb.cell(3, 2), 11.0);
+  ASSERT_TRUE(xb.remap_row(3));
+  // The spare is healthy under the ideal device, so the reprogrammed row
+  // now reads its full intent.
+  EXPECT_DOUBLE_EQ(xb.cell(3, 2), 11.0);
+  EXPECT_EQ(xb.cell_level(3, 2), 11);
+}
+
+TEST(Repair, RetryEscalationRecoversMisprogrammedCells) {
+  rram::DeviceConfig dev = ideal_device();
+  dev.program_sigma = 0.25;        // sloppy single-pulse programming
+  dev.max_program_attempts = 1;    // plain open loop at mapping time
+  dev.program_tolerance = 0.35;
+  rram::Crossbar xb = patterned_crossbar(dev, 24, 12, 0, 11);
+  const double before = xb.misprogrammed_fraction();
+  ASSERT_GT(before, 0.05);  // open-loop 25% sigma misses often
+
+  Rng rng(12);
+  RepairConfig cfg;
+  const RepairReport rep = repair_crossbar(xb, cfg, rng);
+  EXPECT_GT(rep.faults_found, 0);
+  EXPECT_EQ(rep.cells_retried, rep.faults_found);
+  // Nothing is stuck, so escalation recovers nearly everything; the odd
+  // high-level cell can exhaust even the escalated budget (the tolerance
+  // window is relative to one level, the noise is relative to the value).
+  EXPECT_GE(rep.cells_recovered, rep.cells_retried * 9 / 10);
+  EXPECT_EQ(rep.rows_remapped, 0);  // no spares were provisioned
+  EXPECT_LE(rep.rows_unrepairable, 5);
+  EXPECT_GT(rep.cell_writes, 0);
+  EXPECT_LT(xb.misprogrammed_fraction(), before / 3);
+}
+
+TEST(Repair, ReportsUnrepairableRowsWhenSparesRunOut) {
+  rram::Crossbar xb = patterned_crossbar(ideal_device(), 10, 4, 1, 13);
+  // Three rows with stuck cells but only one spare: two rows must stay bad.
+  xb.force_stuck(1, 0, 0);
+  xb.force_stuck(4, 1, 0);
+  xb.force_stuck(8, 2, 0);
+  // Intents of those cells are nonzero, so all three are real faults.
+  ASSERT_NE(xb.cell_level(1, 0), 0);
+  ASSERT_NE(xb.cell_level(4, 1), 0);
+  ASSERT_NE(xb.cell_level(8, 2), 0);
+
+  Rng rng(14);
+  const RepairReport rep = repair_crossbar(xb, RepairConfig{}, rng);
+  EXPECT_EQ(rep.rows_remapped, 1);
+  EXPECT_EQ(rep.rows_unrepairable, 2);
+  EXPECT_FALSE(xb.remap_row(0));  // spares exhausted
+}
+
+TEST(Repair, HookAccumulatesAcrossCrossbars) {
+  RepairReport total;
+  core::CrossbarHook hook = make_repair_hook(RepairConfig{}, &total);
+  Rng rng(15);
+  rram::Crossbar a = patterned_crossbar(ideal_device(), 6, 4, 1, 16);
+  rram::Crossbar b = patterned_crossbar(ideal_device(), 6, 4, 1, 17);
+  a.force_stuck(2, 1, 0);
+  hook(a, rng);
+  hook(b, rng);
+  EXPECT_EQ(total.crossbars, 2);
+  EXPECT_GE(total.faults_found, 1);
+}
+
+/// Small trained + quantized network2 shared across the end-to-end tests.
+struct Fixture {
+  workloads::Workload wl = workloads::network2();
+  data::Dataset train = data::generate_synthetic(1000, 61);
+  data::Dataset test = data::generate_synthetic(300, 62);
+  quant::QNetwork qnet;
+
+  Fixture() {
+    nn::Network net = workloads::build_float_network(wl.topo, 51);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    nn::Trainer(tc).fit(net, train.images, train.label_span());
+    quant::SearchConfig sc;
+    sc.max_search_images = 400;
+    sc.step = 0.02;
+    qnet = quant::quantize_network(net, wl.topo, train, sc).qnet;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(RngStreams, ReadNoiseDoesNotPerturbProgrammedState) {
+  Fixture& f = fixture();
+  core::HardwareConfig quiet;
+  core::HardwareConfig noisy = quiet;
+  noisy.device.read_noise_sigma = 0.05;
+  core::SeiNetwork a(f.qnet, quiet);
+  core::SeiNetwork b(f.qnet, noisy);
+  // Same seed, different read noise: the programmed (mapped) state must be
+  // bit-identical — only the per-read draws differ.
+  ASSERT_EQ(a.stage_count(), b.stage_count());
+  for (int s = 0; s < a.stage_count(); ++s)
+    EXPECT_EQ(a.layer(s).eff, b.layer(s).eff) << "stage " << s;
+}
+
+TEST(RngStreams, ReadsDoNotChangeRemapResults) {
+  Fixture& f = fixture();
+  core::HardwareConfig cfg;
+  cfg.device.read_noise_sigma = 0.02;
+  const auto flat_order = [](const core::SeiNetwork& net) {
+    std::vector<int> order;
+    for (const auto& blk : net.layer(1).partition.blocks)
+      order.insert(order.end(), blk.begin(), blk.end());
+    return order;
+  };
+  core::SeiNetwork early(f.qnet, cfg);
+  early.remap_layer(1, flat_order(early));
+
+  core::SeiNetwork late(f.qnet, cfg);
+  late.error_rate(f.test, 20);  // consume read draws first
+  late.remap_layer(1, flat_order(late));
+  EXPECT_EQ(early.layer(1).eff, late.layer(1).eff);
+}
+
+TEST(Calibrate, CompensatesThresholdMiscalibration) {
+  Fixture& f = fixture();
+  core::HardwareConfig cfg;
+  core::SeiNetwork net(f.qnet, cfg);
+  // Knock every hidden-stage threshold 30% high — recalibration must claw
+  // the error back to (or below) the healthy level.
+  const double healthy = net.error_rate(f.test, 150);
+  for (int s = 0; s < net.stage_count(); ++s)
+    for (float& t : net.layer(s).col_threshold) t *= 1.3f;
+  const double broken = net.error_rate(f.test, 150);
+
+  CalibrationConfig ccfg;
+  ccfg.max_images = 150;
+  const CalibrationReport rep = recalibrate_thresholds(net, f.test, ccfg);
+  EXPECT_EQ(rep.error_before_pct, broken);
+  EXPECT_LE(rep.error_after_pct, rep.error_before_pct);
+  EXPECT_NEAR(net.error_rate(f.test, 150), healthy, 2.0);
+}
+
+TEST(Campaign, RepairRecoversTwoPercentStuck) {
+  Fixture& f = fixture();
+  CampaignConfig cfg;
+  cfg.points = {{0.02, 0.0, 0.0, 0.0, "stuck2pct"}};
+  cfg.trials = 2;
+  cfg.eval_images = 200;
+  cfg.calib_cfg.max_images = 100;
+
+  const CampaignResult res = run_campaign(f.qnet, f.test, f.train, cfg);
+  ASSERT_EQ(res.points.size(), 1u);
+  const PointResult& p = res.points[0];
+  // 2% stuck cells without repair wreck the classification; with spares,
+  // repair and recalibration the network lands within 2 points of healthy.
+  EXPECT_GT(p.faulty.mean, res.healthy_error_pct + 2.0);
+  EXPECT_LE(p.repaired.mean, res.healthy_error_pct + 2.0);
+  EXPECT_GT(p.repair.faults_found, 0);
+  EXPECT_GT(p.repair.rows_remapped, 0);
+}
+
+TEST(Campaign, DeterministicFromSeedAndWritesJson) {
+  Fixture& f = fixture();
+  CampaignConfig cfg;
+  cfg.points = {{0.01, 0.1, 0.0, 0.0, "mixed"}};
+  cfg.trials = 2;
+  cfg.eval_images = 80;
+  cfg.calib_cfg.max_images = 50;
+
+  const CampaignResult a = run_campaign(f.qnet, f.test, f.train, cfg);
+  const CampaignResult b = run_campaign(f.qnet, f.test, f.train, cfg);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.healthy_error_pct, b.healthy_error_pct);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].faulty.mean, b.points[i].faulty.mean);
+    EXPECT_EQ(a.points[i].repaired.mean, b.points[i].repaired.mean);
+    for (std::size_t t = 0; t < a.points[i].trials.size(); ++t) {
+      EXPECT_EQ(a.points[i].trials[t].seed, b.points[i].trials[t].seed);
+      EXPECT_EQ(a.points[i].trials[t].faulty_error_pct,
+                b.points[i].trials[t].faulty_error_pct);
+      EXPECT_EQ(a.points[i].trials[t].repaired_error_pct,
+                b.points[i].trials[t].repaired_error_pct);
+    }
+  }
+
+  const std::string path =
+      (::testing::TempDir().empty() ? "." : ::testing::TempDir()) +
+      "/campaign.json";
+  write_campaign_json(a, cfg, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"schema\":\"sei-reliability-campaign-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"healthy_error_pct\""), std::string::npos);
+  EXPECT_NE(json.find("\"repaired_error_pct\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows_remapped\""), std::string::npos);
+}
+
+TEST(Campaign, DriftAgesArraysAndRepairRestores) {
+  Fixture& f = fixture();
+  CampaignConfig cfg;
+  FaultPoint aged;
+  aged.drift_t_s = 1.0e7;  // ~4 months of retention loss
+  aged.label = "aged";
+  cfg.points = {aged};
+  cfg.trials = 1;
+  cfg.eval_images = 120;
+  cfg.calib_cfg.max_images = 60;
+  cfg.drift_nu = 0.06;  // aggressive drift so the faulty arm degrades
+  cfg.drift_nu_sigma = 0.03;
+
+  const CampaignResult res = run_campaign(f.qnet, f.test, f.train, cfg);
+  const PointResult& p = res.points[0];
+  EXPECT_GT(p.faulty.mean, res.healthy_error_pct);
+  // Repair reprograms drifted cells fresh; recalibration absorbs the rest.
+  EXPECT_LT(p.repaired.mean, p.faulty.mean);
+  EXPECT_GT(p.repair.faults_found, 0);
+}
+
+}  // namespace
+}  // namespace sei::reliability
