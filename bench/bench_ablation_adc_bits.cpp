@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "core/adc_network.hpp"
 #include "rram/periphery.hpp"
@@ -33,6 +34,7 @@ std::vector<int> parse_ints(const std::string& csv) {
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const std::string net_name = cli.get("network", "network2");
   const int images = cli.get_int("images", 1000);
   const auto bits_list = parse_ints(cli.get("bits", "1,2,3,4,5,6,8,10"));

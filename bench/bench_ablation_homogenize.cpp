@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "split/homogenize.hpp"
 #include "workloads/pipeline.hpp"
@@ -29,6 +30,7 @@ std::vector<int> parse_ints(const std::string& csv) {
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const std::string net_name = cli.get("network", "network1");
   const std::string iters_csv =
       cli.get("iters-list", "0,300,1000,5000,30000", "iteration budgets");

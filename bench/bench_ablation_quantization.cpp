@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "workloads/cache.hpp"
 
@@ -18,6 +19,7 @@ using namespace sei;
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const std::string net_name = cli.get("network", "network2");
   const int search_images = cli.get_int("search-images", 2000);
   const int curve_points = cli.get_int("curve-points", 20);

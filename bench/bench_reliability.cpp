@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "reliability/campaign.hpp"
 #include "workloads/pipeline.hpp"
@@ -21,6 +22,7 @@ using namespace sei;
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const std::string net_name =
       cli.get("network", "network2", "workload to map");
   const int images = cli.get_int("images", 500, "eval images per arm");

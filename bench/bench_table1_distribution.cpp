@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "quant/distribution.hpp"
 #include "workloads/pipeline.hpp"
@@ -20,6 +21,7 @@ using namespace sei;
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const int max_images = cli.get_int("images", -1);
   if (!cli.validate("Table 1: normalized intermediate-data distribution"))
     return 0;

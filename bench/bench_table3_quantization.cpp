@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "workloads/pipeline.hpp"
 
@@ -18,6 +19,7 @@ using namespace sei;
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const int search_images = cli.get_int("search-images", 5000);
   const std::string csv_path =
       cli.get("csv", "", "write the table as CSV to this path");

@@ -25,6 +25,7 @@
 #include <sstream>
 
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "core/dyn_opt.hpp"
 #include "split/homogenize.hpp"
@@ -54,6 +55,7 @@ int first_split_stage(const core::SeiNetwork& net) {
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const int n_orders = cli.get_int("orders", 100, "random row orders");
   const int order_images =
       cli.get_int("order-images", 500, "test images per random order");

@@ -16,6 +16,7 @@
 
 #include "arch/cost_model.hpp"
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "core/dyn_opt.hpp"
 #include "workloads/pipeline.hpp"
@@ -42,6 +43,7 @@ struct Config {
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const bool skip_accuracy =
       cli.get_bool("skip-accuracy", false, "cost model only");
   const std::string csv_path =

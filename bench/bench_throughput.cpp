@@ -1,0 +1,145 @@
+// Batch-evaluation throughput of the parallel execution engine: images/sec
+// of SeiNetwork::error_rate at 1 thread vs N threads for every workload,
+// with the determinism contract checked on the way (the error percentage
+// must be bit-identical at both thread counts — docs/parallelism.md).
+//
+// Flags: --networks (csv), --images, --repeats, --threads, --read-noise,
+// --json. Writes BENCH_throughput.json (schema sei-throughput-v1).
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/io.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/sei_network.hpp"
+#include "exec/thread_pool.hpp"
+#include "workloads/pipeline.hpp"
+
+using namespace sei;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// Best-of-`repeats` wall time of one error_rate batch, in seconds.
+double measure_seconds(const core::SeiNetwork& net, const data::Dataset& d,
+                       int images, int repeats, double* error_pct) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    const double err = net.error_rate(d, images);
+    const double s = timer.seconds();
+    if (r == 0 || s < best) best = s;
+    *error_pct = err;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
+  const std::string networks_csv =
+      cli.get("networks", "network1,network2,network3");
+  const int images = cli.get_int("images", 2000, "test images per batch");
+  const int repeats = cli.get_int("repeats", 3, "timed runs, best taken");
+  const double read_noise =
+      cli.get_double("read-noise", 0.02, "read noise sigma (exercises RNG)");
+  const std::string json_path = cli.get("json", "BENCH_throughput.json");
+  if (!cli.validate("batch-evaluation throughput: 1 thread vs N threads"))
+    return 0;
+  SEI_CHECK_MSG(images > 0 && repeats > 0, "images/repeats must be positive");
+
+  const int wide = exec::default_threads();
+  std::printf("Throughput: SeiNetwork::error_rate, %d images, best of %d, "
+              "1 vs %d threads\n\n", images, repeats, wide);
+
+  data::DataBundle data = workloads::load_default_data(true);
+
+  struct Row {
+    std::string network;
+    double err_pct = 0.0;
+    double ips_1t = 0.0;
+    double ips_nt = 0.0;
+    double speedup = 0.0;
+  };
+  std::vector<Row> rows;
+  bool deterministic = true;
+
+  for (const std::string& name : split_csv(networks_csv)) {
+    workloads::Artifacts art = workloads::prepare_workload(name, data, {});
+    core::HardwareConfig cfg;
+    cfg.device.read_noise_sigma = read_noise;
+    core::SeiNetwork net(art.qnet, cfg);
+    const int n = std::min(images, data.test.size());
+
+    Row row;
+    row.network = name;
+    double err_wide = 0.0;
+    exec::set_default_threads(1);
+    const double t1 = measure_seconds(net, data.test, n, repeats, &row.err_pct);
+    exec::set_default_threads(wide);
+    const double tn = measure_seconds(net, data.test, n, repeats, &err_wide);
+
+    row.ips_1t = n / t1;
+    row.ips_nt = n / tn;
+    row.speedup = t1 / tn;
+    if (err_wide != row.err_pct) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: %s error %.6f%% (1 thread) vs "
+                   "%.6f%% (%d threads)\n",
+                   name.c_str(), row.err_pct, err_wide, wide);
+    }
+    rows.push_back(row);
+  }
+
+  TextTable table("images/sec, 1 thread vs " + std::to_string(wide) +
+                  " threads");
+  table.header({"Network", "Error %", "1 thread", "N threads", "Speedup"});
+  for (const Row& r : rows)
+    table.row({r.network, TextTable::num(r.err_pct, 2),
+               TextTable::num(r.ips_1t, 1), TextTable::num(r.ips_nt, 1),
+               TextTable::num(r.speedup, 2) + "x"});
+  std::printf("%s\n", table.str().c_str());
+
+  JsonWriter j(json_path);
+  j.begin_object();
+  j.kv("schema", "sei-throughput-v1");
+  j.kv("images", static_cast<long long>(images));
+  j.kv("repeats", static_cast<long long>(repeats));
+  j.kv("threads_wide", static_cast<long long>(wide));
+  j.kv("read_noise_sigma", read_noise);
+  j.kv("deterministic", deterministic);
+  j.key("workloads");
+  j.begin_array();
+  for (const Row& r : rows) {
+    j.begin_object();
+    j.kv("network", r.network);
+    j.kv("error_pct", r.err_pct);
+    j.kv("images_per_sec_1t", r.ips_1t);
+    j.kv("images_per_sec_nt", r.ips_nt);
+    j.kv("speedup", r.speedup);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  j.commit();
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return deterministic ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

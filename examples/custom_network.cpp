@@ -13,6 +13,7 @@
 
 #include "arch/cost_model.hpp"
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "core/dyn_opt.hpp"
 #include "data/synthetic_digits.hpp"
@@ -61,6 +62,7 @@ quant::Topology parse_spec(const std::string& spec) {
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const std::string spec =
       cli.get("spec", "c5x8p,c3x16p,f10", "topology spec (see header)");
   const int epochs = cli.get_int("epochs", 5);

@@ -12,6 +12,7 @@
 
 #include "arch/cost_model.hpp"
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "workloads/pipeline.hpp"
 
@@ -29,6 +30,7 @@ std::vector<int> parse_ints(const std::string& csv) {
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const std::string net_name = cli.get("network", "network1");
   const int images = cli.get_int("images", 1000, "test images per point");
   const auto sizes = parse_ints(cli.get("sizes", "128,256,512"));

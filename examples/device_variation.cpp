@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "workloads/pipeline.hpp"
@@ -16,6 +17,7 @@ using namespace sei;
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const std::string net_name = cli.get("network", "network2");
   const int replicas = cli.get_int("replicas", 5, "independent chips");
   const int images = cli.get_int("images", 800, "test images per chip");

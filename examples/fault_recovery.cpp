@@ -13,6 +13,7 @@
 
 #include "arch/cost_model.hpp"
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "reliability/calibrate.hpp"
 #include "reliability/repair.hpp"
 #include "workloads/pipeline.hpp"
@@ -21,6 +22,7 @@ using namespace sei;
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const std::string net_name = cli.get("network", "network2");
   const int images = cli.get_int("images", 500, "test images per step");
   const double stuck = cli.get_double("stuck", 0.02, "stuck-cell fraction");

@@ -11,6 +11,7 @@
 #include "arch/latency_model.hpp"
 #include "arch/report.hpp"
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "core/dyn_opt.hpp"
 #include "workloads/pipeline.hpp"
@@ -19,6 +20,7 @@ using namespace sei;
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const std::string net_name = cli.get("network", "network1");
   const int max_size = cli.get_int("max-crossbar", 512);
   const bool unipolar =

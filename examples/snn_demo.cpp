@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "common/cli.hpp"
+#include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "snn/snn_network.hpp"
 #include "workloads/pipeline.hpp"
@@ -30,6 +31,7 @@ std::vector<int> parse_ints(const std::string& csv) {
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
   const std::string net_name = cli.get("network", "network3");
   const int images = cli.get_int("images", 500);
   const auto steps = parse_ints(cli.get("timesteps", "2,4,8,16,32,64"));

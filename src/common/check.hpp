@@ -44,8 +44,13 @@ namespace detail {
     }                                                                \
   } while (0)
 
-#ifdef NDEBUG
-#define SEI_ASSERT(cond) ((void)0)
-#else
+// SEI_ASSERT guards hot paths (e.g. Crossbar::idx, one call per MVM cell
+// access), so it must cost nothing in optimized builds. It is active in
+// plain debug builds (!NDEBUG) and whenever SEI_ENABLE_ASSERTS is defined —
+// the sanitizer configurations force the latter from CMake so that ASan/
+// UBSan/TSan runs keep full invariant checking even at RelWithDebInfo.
+#if defined(SEI_ENABLE_ASSERTS) || !defined(NDEBUG)
 #define SEI_ASSERT(cond) SEI_CHECK(cond)
+#else
+#define SEI_ASSERT(cond) ((void)0)
 #endif

@@ -60,6 +60,13 @@ bool Cli::get_bool(const std::string& name, bool default_value,
   return v == "true" || v == "1" || v == "yes";
 }
 
+int Cli::get_threads(const std::string& help) {
+  const int threads = get_int("threads", 0, help);
+  SEI_CHECK_MSG(threads >= 0,
+                "flag --threads must be >= 0 (0 = auto), got " << threads);
+  return threads;
+}
+
 bool Cli::validate(const std::string& program_description) const {
   if (args_.count("help")) {
     std::cout << program_ << " — " << program_description << "\nFlags:\n";

@@ -25,6 +25,13 @@ class Cli {
   bool get_bool(const std::string& name, bool default_value,
                 const std::string& help = {});
 
+  /// Declares the standard --threads flag. 0 (the default) means "size the
+  /// worker pool to the hardware concurrency"; positive values pin the
+  /// count. Non-numeric and negative values are rejected. Callers pass the
+  /// result to exec::set_default_threads.
+  int get_threads(const std::string& help =
+                      "worker threads for parallel evaluation (0 = auto)");
+
   bool has(const std::string& name) const { return args_.count(name) > 0; }
 
   /// Throws if the command line contained flags never declared via get*().

@@ -130,6 +130,25 @@ class Rng {
   /// Independent child stream (for per-component reproducibility).
   Rng split() { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
 
+  /// Seed of counter-based stream `stream` of master seed `seed`. Two
+  /// chained splitmix64 passes: for a fixed seed the map stream → seed is a
+  /// bijection, so distinct streams never collide and neighbouring stream
+  /// ids are fully decorrelated.
+  static std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t s = seed;
+    const std::uint64_t h = splitmix64(s);
+    s = h ^ (stream + 0x9e3779b97f4a7c15ULL);
+    return splitmix64(s);
+  }
+
+  /// Counter-based stream splitting: the returned generator depends only on
+  /// (seed, stream), never on how many draws any other stream consumed —
+  /// the basis of order-independent, parallel-safe evaluation (see
+  /// docs/parallelism.md).
+  static Rng fork(std::uint64_t seed, std::uint64_t stream) {
+    return Rng(stream_seed(seed, stream));
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

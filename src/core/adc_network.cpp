@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/thread_pool.hpp"
 #include "quant/weight_quant.hpp"
 #include "rram/crossbar.hpp"
 
@@ -119,19 +120,34 @@ AdcNetwork::AdcNetwork(const quant::QNetwork& qnet, const AdcConfig& cfg,
   }
 
   // Calibrate the ADC full scales: run the calibration images with the
-  // quantizer bypassed, tracking the per-stage maximum plane current.
+  // quantizer bypassed, tracking the per-stage maximum plane current. Max
+  // commutes exactly, so the parallel merge is order-independent and the
+  // chosen full scales are bit-identical at any thread count.
   ideal_ = true;
   const int n = std::min(calibration.size(), cfg.calibration_images);
   const std::size_t per_image =
       calibration.images.numel() / static_cast<std::size_t>(calibration.size());
-  for (int i = 0; i < n; ++i)
-    (void)predict({calibration.images.data() +
-                       static_cast<std::size_t>(i) * per_image,
-                   per_image});
+  const std::size_t n_stages = stages_.size();
+  const std::vector<double> observed = exec::parallel_reduce<std::vector<double>>(
+      n, exec::kEvalGrain, std::vector<double>(n_stages, 0.0),
+      [&](int lo, int hi) {
+        EvalContext ctx;
+        ctx.observed_max.assign(n_stages, 0.0);
+        for (int i = lo; i < hi; ++i)
+          (void)predict({calibration.images.data() +
+                             static_cast<std::size_t>(i) * per_image,
+                         per_image},
+                        ctx);
+        return ctx.observed_max;
+      },
+      [](std::vector<double> a, const std::vector<double>& b) {
+        for (std::size_t s = 0; s < a.size(); ++s) a[s] = std::max(a[s], b[s]);
+        return a;
+      });
   ideal_ = false;
-  for (Stage& st : stages_) {
-    SEI_CHECK_MSG(st.observed_max > 0.0, "ADC calibration saw no current");
-    st.full_scale = st.observed_max;
+  for (std::size_t s = 0; s < n_stages; ++s) {
+    SEI_CHECK_MSG(observed[s] > 0.0, "ADC calibration saw no current");
+    stages_[s].full_scale = observed[s];
   }
 }
 
@@ -142,18 +158,20 @@ double AdcNetwork::adc_quantize(double current, double full_scale) const {
   return std::round(clamped / lsb) * lsb;
 }
 
-void AdcNetwork::run_stage(const Stage& st, const quant::BitMap* bits_in,
+void AdcNetwork::run_stage(const Stage& st, int stage_index,
+                           const quant::BitMap* bits_in,
                            std::span<const float> float_in,
                            quant::BitMap& bits_out,
-                           std::vector<float>& scores) const {
+                           std::vector<float>& scores,
+                           EvalContext& ctx) const {
   const quant::StageGeometry& g = st.geom;
   const int cols = g.cols, k = st.block_count;
   const std::size_t lanes =
       static_cast<std::size_t>(planes_) * k * cols;  // plane-block sums
-  plane_sums_.assign(lanes, 0.0);
+  ctx.plane_sums.assign(lanes, 0.0);
 
   const std::size_t positions = static_cast<std::size_t>(g.out_h) * g.out_w;
-  if (st.binarize) stage_bits_.assign(positions * cols, 0);
+  if (st.binarize) ctx.stage_bits.assign(positions * cols, 0);
   else scores.assign(static_cast<std::size_t>(cols), 0.0f);
 
   const bool is_conv = g.kind == quant::StageSpec::Kind::Conv;
@@ -162,7 +180,7 @@ void AdcNetwork::run_stage(const Stage& st, const quant::BitMap* bits_in,
 
   for (int y = 0; y < g.out_h; ++y) {
     for (int x = 0; x < g.out_w; ++x) {
-      std::fill(plane_sums_.begin(), plane_sums_.end(), 0.0);
+      std::fill(ctx.plane_sums.begin(), ctx.plane_sums.end(), 0.0);
       for (int di = 0; di < window_rows; ++di) {
         const std::size_t in_off =
             is_conv
@@ -186,7 +204,7 @@ void AdcNetwork::run_stage(const Stage& st, const quant::BitMap* bits_in,
                 st.plane_eff[static_cast<std::size_t>(p)].data() +
                 static_cast<std::size_t>(r) * cols;
             double* sums =
-                plane_sums_.data() +
+                ctx.plane_sums.data() +
                 (static_cast<std::size_t>(p) * k + b) * cols;
             for (int c = 0; c < cols; ++c) sums[c] += drive * eff[c];
           }
@@ -194,31 +212,33 @@ void AdcNetwork::run_stage(const Stage& st, const quant::BitMap* bits_in,
       }
 
       // ADC quantization of every plane-block current + digital merge.
-      merged_.assign(static_cast<std::size_t>(cols), 0.0);
+      ctx.merged.assign(static_cast<std::size_t>(cols), 0.0);
       for (int p = 0; p < planes_; ++p) {
         const double coeff = st.plane_coeff[static_cast<std::size_t>(p)];
         for (int b = 0; b < k; ++b) {
           const double* sums =
-              plane_sums_.data() +
+              ctx.plane_sums.data() +
               (static_cast<std::size_t>(p) * k + b) * cols;
           for (int c = 0; c < cols; ++c) {
             double v = sums[c];
             if (ideal_) {
-              st.observed_max = std::max(st.observed_max, v);
+              double& peak =
+                  ctx.observed_max[static_cast<std::size_t>(stage_index)];
+              peak = std::max(peak, v);
             } else {
               v = adc_quantize(v, st.full_scale);
             }
-            merged_[static_cast<std::size_t>(c)] += coeff * v;
+            ctx.merged[static_cast<std::size_t>(c)] += coeff * v;
           }
         }
       }
 
       if (st.binarize) {
         std::uint8_t* out =
-            stage_bits_.data() +
+            ctx.stage_bits.data() +
             (static_cast<std::size_t>(y) * g.out_w + x) * cols;
         for (int c = 0; c < cols; ++c)
-          out[c] = merged_[static_cast<std::size_t>(c)] >
+          out[c] = ctx.merged[static_cast<std::size_t>(c)] >
                            static_cast<double>(
                                st.col_threshold[static_cast<std::size_t>(c)])
                        ? 1
@@ -226,7 +246,7 @@ void AdcNetwork::run_stage(const Stage& st, const quant::BitMap* bits_in,
       } else {
         for (int c = 0; c < cols; ++c)
           scores[static_cast<std::size_t>(c)] +=
-              static_cast<float>(merged_[static_cast<std::size_t>(c)] *
+              static_cast<float>(ctx.merged[static_cast<std::size_t>(c)] *
                                  st.weight_scale) +
               st.col_bias[static_cast<std::size_t>(c)];
       }
@@ -235,24 +255,33 @@ void AdcNetwork::run_stage(const Stage& st, const quant::BitMap* bits_in,
 
   if (st.binarize) {
     if (g.pool_after)
-      or_pool(stage_bits_, g.out_h, g.out_w, cols, bits_out);
+      or_pool(ctx.stage_bits, g.out_h, g.out_w, cols, bits_out);
     else
-      bits_out = stage_bits_;
+      bits_out = ctx.stage_bits;
   }
 }
 
 int AdcNetwork::predict(std::span<const float> image) const {
-  quant::BitMap bits;
+  EvalContext ctx;
+  return predict(image, ctx);
+}
+
+int AdcNetwork::predict(std::span<const float> image, EvalContext& ctx) const {
+  if (ideal_ && ctx.observed_max.size() < stages_.size())
+    ctx.observed_max.resize(stages_.size(), 0.0);
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const Stage& st = stages_[i];
     if (i == 0)
-      run_stage(st, nullptr, image, pooled_bits_, scores_);
+      run_stage(st, static_cast<int>(i), nullptr, image, ctx.pooled_bits,
+                ctx.scores, ctx);
     else
-      run_stage(st, &bits, {}, pooled_bits_, scores_);
+      run_stage(st, static_cast<int>(i), &ctx.bits, {}, ctx.pooled_bits,
+                ctx.scores, ctx);
     if (!st.binarize)
       return static_cast<int>(
-          std::max_element(scores_.begin(), scores_.end()) - scores_.begin());
-    bits = pooled_bits_;
+          std::max_element(ctx.scores.begin(), ctx.scores.end()) -
+          ctx.scores.begin());
+    std::swap(ctx.bits, ctx.pooled_bits);
   }
   SEI_CHECK_MSG(false, "network has no classifier stage");
   return -1;
@@ -263,12 +292,18 @@ double AdcNetwork::error_rate(const data::Dataset& d, int max_images) const {
   SEI_CHECK(n > 0);
   const std::size_t per_image =
       d.images.numel() / static_cast<std::size_t>(d.size());
-  int correct = 0;
-  for (int i = 0; i < n; ++i) {
-    const std::span<const float> img{
-        d.images.data() + static_cast<std::size_t>(i) * per_image, per_image};
-    if (predict(img) == d.labels[static_cast<std::size_t>(i)]) ++correct;
-  }
+  const long long correct = exec::parallel_reduce<long long>(
+      n, exec::kEvalGrain, 0LL, [&](int lo, int hi) {
+        EvalContext ctx;
+        long long c = 0;
+        for (int i = lo; i < hi; ++i) {
+          const std::span<const float> img{
+              d.images.data() + static_cast<std::size_t>(i) * per_image,
+              per_image};
+          if (predict(img, ctx) == d.labels[static_cast<std::size_t>(i)]) ++c;
+        }
+        return c;
+      });
   return 100.0 * (1.0 - static_cast<double>(correct) / n);
 }
 

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "core/eval_context.hpp"
 #include "core/structure.hpp"
 #include "data/dataset.hpp"
 #include "quant/qnet.hpp"
@@ -45,7 +46,17 @@ class AdcNetwork {
   int stage_count() const { return static_cast<int>(stages_.size()); }
   int planes() const { return planes_; }
 
+  /// Classifies one image (convenience wrapper: fresh context).
   int predict(std::span<const float> image) const;
+
+  /// Classifies one image using the caller's scratch context. The ADC
+  /// pipeline draws no per-read randomness, so the result depends only on
+  /// (network state, image) — trivially thread-safe with one context per
+  /// worker.
+  int predict(std::span<const float> image, EvalContext& ctx) const;
+
+  /// Classification error in percent; images evaluated in parallel on the
+  /// default exec pool, bit-identical at any thread count.
   double error_rate(const data::Dataset& d, int max_images = -1) const;
 
   /// Full-scale current (level units) chosen for a stage's planes.
@@ -65,8 +76,7 @@ class AdcNetwork {
     std::vector<float> col_threshold;  // hidden stages
     std::vector<float> col_bias;       // classifier
     bool binarize = true;
-    double full_scale = 1.0;           // ADC range (shared by the planes)
-    mutable double observed_max = 0.0;  // calibration-mode tracking
+    double full_scale = 1.0;  // ADC range (shared by the planes)
   };
 
   /// ADC transfer function: clamps to [0, full_scale] and rounds to the
@@ -75,21 +85,18 @@ class AdcNetwork {
 
   /// Evaluates one stage. Exactly one of bits_in / float_in is used
   /// (float for the DAC-driven input stage). Produces post-threshold,
-  /// post-OR-pool bits for hidden stages or classifier scores.
-  void run_stage(const Stage& st, const quant::BitMap* bits_in,
-                 std::span<const float> float_in, quant::BitMap& bits_out,
-                 std::vector<float>& scores) const;
+  /// post-OR-pool bits for hidden stages or classifier scores. Scratch
+  /// lives in `ctx`; in calibration mode the per-stage maximum current is
+  /// tracked in `ctx.observed_max[stage_index]`.
+  void run_stage(const Stage& st, int stage_index,
+                 const quant::BitMap* bits_in, std::span<const float> float_in,
+                 quant::BitMap& bits_out, std::vector<float>& scores,
+                 EvalContext& ctx) const;
 
   AdcConfig cfg_;
   int planes_ = 0;
   bool ideal_ = false;  // calibration mode: no ADC quantization, track max
   std::vector<Stage> stages_;
-  // Scratch buffers (single-threaded simulator).
-  mutable std::vector<double> plane_sums_;
-  mutable quant::BitMap stage_bits_;
-  mutable quant::BitMap pooled_bits_;
-  mutable std::vector<float> scores_;
-  mutable std::vector<double> merged_;
 };
 
 }  // namespace sei::core

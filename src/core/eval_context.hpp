@@ -1,0 +1,39 @@
+// Per-image evaluation state for the functional simulators.
+//
+// A context bundles the read-noise RNG stream with every scratch buffer one
+// image evaluation needs, so that batch loops can hand each worker its own
+// context and share nothing mutable. Combined with the counter-based
+// per-(image, stage) RNG streams (docs/parallelism.md), this makes every
+// prediction a pure function of (network state, image, image_index) —
+// independent of thread count and of the order images are evaluated in.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "quant/qnet.hpp"
+
+namespace sei::core {
+
+struct EvalContext {
+  /// Read-noise stream of the stage currently being evaluated; the engines
+  /// re-derive it per (image_index, stage) via Rng::fork.
+  Rng rng{0};
+
+  // SEI scratch.
+  std::vector<double> block_sums;  // per-(block, col) partial sums
+  std::vector<int> n_active;       // active inputs per block
+
+  // ADC scratch.
+  std::vector<double> plane_sums;    // per-(plane, block, col) partial sums
+  std::vector<double> merged;        // digital shifter/adder merge
+  std::vector<double> observed_max;  // calibration: per-stage max current
+
+  // Shared inter/intra-stage activation buffers.
+  quant::BitMap stage_bits;   // pre-pool bits of the current stage
+  quant::BitMap pooled_bits;  // post-pool output of the current stage
+  quant::BitMap bits;         // activations entering the current stage
+  std::vector<float> scores;  // classifier scores
+};
+
+}  // namespace sei::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/thread_pool.hpp"
+
 namespace sei::core {
 
 namespace {
@@ -41,7 +43,7 @@ SeiNetwork::SeiNetwork(const quant::QNetwork& qnet, const HardwareConfig& cfg,
     : qnet_(&qnet),
       cfg_(cfg),
       map_rng_(cfg.seed),
-      read_rng_(cfg.seed ^ 0x9e3779b97f4a7c15ULL),
+      read_seed_(cfg.seed ^ 0x9e3779b97f4a7c15ULL),
       hook_(std::move(hook)) {
   SEI_CHECK(!qnet.layers.empty());
   layers_.reserve(qnet.layers.size());
@@ -58,23 +60,31 @@ void SeiNetwork::remap_layer(int stage, const std::vector<int>& order) {
                 map_rng_, hook_);
 }
 
-double SeiNetwork::readout(double current) const {
+Rng SeiNetwork::stage_stream(long long image_index, int stage) const {
+  // Two-level fork: an image stream off read_seed_, then a per-stage
+  // substream — both counter-based, so no draw count anywhere matters.
+  return Rng::fork(
+      Rng::stream_seed(read_seed_, static_cast<std::uint64_t>(image_index)),
+      static_cast<std::uint64_t>(stage));
+}
+
+double SeiNetwork::readout(double current, Rng& rng) const {
   const double sigma = cfg_.device.read_noise_sigma;
   if (sigma <= 0.0) return current;
-  return current * (1.0 + sigma * read_rng_.gaussian());
+  return current * (1.0 + sigma * rng.gaussian());
 }
 
 void SeiNetwork::decide_position(const MappedLayer& m,
                                  const double* block_sums,
                                  const int* n_active,
-                                 std::uint8_t* out_bits) const {
+                                 std::uint8_t* out_bits, Rng& rng) const {
   const int cols = m.geom.cols;
   const int k = m.block_count;
   const bool noisy = cfg_.device.read_noise_sigma > 0.0;
   const float* offsets = m.sa_offset.empty() ? nullptr : m.sa_offset.data();
   if (k == 1) {
     for (int c = 0; c < cols; ++c) {
-      const double sum = noisy ? readout(block_sums[c]) : block_sums[c];
+      const double sum = noisy ? readout(block_sums[c], rng) : block_sums[c];
       const double ref =
           static_cast<double>(m.col_threshold[static_cast<std::size_t>(c)]) +
           (offsets ? offsets[c] : 0.0);
@@ -97,7 +107,7 @@ void SeiNetwork::decide_position(const MappedLayer& m,
           beta_scale * (static_cast<double>(n_active[b]) - mean_active) +
           (offsets ? offsets[static_cast<std::size_t>(b) * cols + c] : 0.0);
       const double raw = block_sums[static_cast<std::size_t>(b) * cols + c];
-      const double sum = noisy ? readout(raw) : raw;
+      const double sum = noisy ? readout(raw, rng) : raw;
       if (sum > t_b) ++votes;
     }
     out_bits[c] = votes >= m.vote_threshold ? 1 : 0;
@@ -106,15 +116,16 @@ void SeiNetwork::decide_position(const MappedLayer& m,
 
 void SeiNetwork::eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
                                  quant::BitMap& bits_out,
-                                 std::vector<float>& scores) const {
+                                 std::vector<float>& scores,
+                                 EvalContext& ctx) const {
   const quant::StageGeometry& g = m.geom;
   SEI_CHECK(in.size() == static_cast<std::size_t>(g.in_h) * g.in_w * g.in_ch);
   const int cols = g.cols, k = m.block_count;
-  block_sums_.assign(static_cast<std::size_t>(k) * cols, 0.0);
-  n_active_.assign(static_cast<std::size_t>(k), 0);
+  ctx.block_sums.assign(static_cast<std::size_t>(k) * cols, 0.0);
+  ctx.n_active.assign(static_cast<std::size_t>(k), 0);
 
   const std::size_t positions = static_cast<std::size_t>(g.out_h) * g.out_w;
-  if (m.binarize) stage_bits_.assign(positions * cols, 0);
+  if (m.binarize) ctx.stage_bits.assign(positions * cols, 0);
   else scores.assign(static_cast<std::size_t>(cols), 0.0f);
 
   const bool is_conv = g.kind == quant::StageSpec::Kind::Conv;
@@ -122,8 +133,8 @@ void SeiNetwork::eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
 
   for (int y = 0; y < g.out_h; ++y) {
     for (int x = 0; x < g.out_w; ++x) {
-      std::fill(block_sums_.begin(), block_sums_.end(), 0.0);
-      std::fill(n_active_.begin(), n_active_.end(), 0);
+      std::fill(ctx.block_sums.begin(), ctx.block_sums.end(), 0.0);
+      std::fill(ctx.n_active.begin(), ctx.n_active.end(), 0);
       const int window_rows = is_conv ? g.kernel : 1;
       for (int di = 0; di < window_rows; ++di) {
         const std::uint8_t* in_px =
@@ -135,25 +146,28 @@ void SeiNetwork::eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
           if (!in_px[t]) continue;
           const int r = r0 + t;
           const int b = m.row_to_block[static_cast<std::size_t>(r)];
-          ++n_active_[static_cast<std::size_t>(b)];
+          ++ctx.n_active[static_cast<std::size_t>(b)];
           const float* wrow =
               m.eff.data() + static_cast<std::size_t>(r) * cols;
-          double* sums = block_sums_.data() +
+          double* sums = ctx.block_sums.data() +
                          static_cast<std::size_t>(b) * cols;
           for (int c = 0; c < cols; ++c) sums[c] += wrow[c];
         }
       }
       if (m.binarize) {
         decide_position(
-            m, block_sums_.data(), n_active_.data(),
-            stage_bits_.data() +
-                (static_cast<std::size_t>(y) * g.out_w + x) * cols);
+            m, ctx.block_sums.data(), ctx.n_active.data(),
+            ctx.stage_bits.data() +
+                (static_cast<std::size_t>(y) * g.out_w + x) * cols,
+            ctx.rng);
       } else {
         // Classifier: block currents merge exactly (WTA readout).
         for (int c = 0; c < cols; ++c) {
           double s = 0.0;
           for (int b = 0; b < k; ++b)
-            s += readout(block_sums_[static_cast<std::size_t>(b) * cols + c]);
+            s += readout(
+                ctx.block_sums[static_cast<std::size_t>(b) * cols + c],
+                ctx.rng);
           scores[static_cast<std::size_t>(c)] +=
               static_cast<float>(s * m.weight_scale) +
               m.col_bias[static_cast<std::size_t>(c)];
@@ -164,24 +178,25 @@ void SeiNetwork::eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
 
   if (m.binarize) {
     if (g.pool_after)
-      or_pool(stage_bits_, g.out_h, g.out_w, cols, bits_out);
+      or_pool(ctx.stage_bits, g.out_h, g.out_w, cols, bits_out);
     else
-      bits_out = stage_bits_;
+      bits_out = ctx.stage_bits;
   }
 }
 
 void SeiNetwork::eval_stage_float(const MappedLayer& m,
                                   std::span<const float> in,
                                   quant::BitMap& bits_out,
-                                  std::vector<float>& scores) const {
+                                  std::vector<float>& scores,
+                                  EvalContext& ctx) const {
   const quant::StageGeometry& g = m.geom;
   SEI_CHECK(in.size() == static_cast<std::size_t>(g.in_h) * g.in_w * g.in_ch);
   const int cols = g.cols, k = m.block_count;
-  block_sums_.assign(static_cast<std::size_t>(k) * cols, 0.0);
-  n_active_.assign(static_cast<std::size_t>(k), 0);
+  ctx.block_sums.assign(static_cast<std::size_t>(k) * cols, 0.0);
+  ctx.n_active.assign(static_cast<std::size_t>(k), 0);
 
   const std::size_t positions = static_cast<std::size_t>(g.out_h) * g.out_w;
-  if (m.binarize) stage_bits_.assign(positions * cols, 0);
+  if (m.binarize) ctx.stage_bits.assign(positions * cols, 0);
   else scores.assign(static_cast<std::size_t>(cols), 0.0f);
 
   const bool is_conv = g.kind == quant::StageSpec::Kind::Conv;
@@ -189,8 +204,8 @@ void SeiNetwork::eval_stage_float(const MappedLayer& m,
 
   for (int y = 0; y < g.out_h; ++y) {
     for (int x = 0; x < g.out_w; ++x) {
-      std::fill(block_sums_.begin(), block_sums_.end(), 0.0);
-      std::fill(n_active_.begin(), n_active_.end(), 0);
+      std::fill(ctx.block_sums.begin(), ctx.block_sums.end(), 0.0);
+      std::fill(ctx.n_active.begin(), ctx.n_active.end(), 0);
       const int window_rows = is_conv ? g.kernel : 1;
       for (int di = 0; di < window_rows; ++di) {
         const float* in_px =
@@ -203,10 +218,10 @@ void SeiNetwork::eval_stage_float(const MappedLayer& m,
           if (xq == 0.0f) continue;
           const int r = r0 + t;
           const int b = m.row_to_block[static_cast<std::size_t>(r)];
-          ++n_active_[static_cast<std::size_t>(b)];
+          ++ctx.n_active[static_cast<std::size_t>(b)];
           const float* wrow =
               m.eff.data() + static_cast<std::size_t>(r) * cols;
-          double* sums = block_sums_.data() +
+          double* sums = ctx.block_sums.data() +
                          static_cast<std::size_t>(b) * cols;
           for (int c = 0; c < cols; ++c)
             sums[c] += static_cast<double>(xq) * wrow[c];
@@ -214,14 +229,17 @@ void SeiNetwork::eval_stage_float(const MappedLayer& m,
       }
       if (m.binarize) {
         decide_position(
-            m, block_sums_.data(), n_active_.data(),
-            stage_bits_.data() +
-                (static_cast<std::size_t>(y) * g.out_w + x) * cols);
+            m, ctx.block_sums.data(), ctx.n_active.data(),
+            ctx.stage_bits.data() +
+                (static_cast<std::size_t>(y) * g.out_w + x) * cols,
+            ctx.rng);
       } else {
         for (int c = 0; c < cols; ++c) {
           double s = 0.0;
           for (int b = 0; b < k; ++b)
-            s += readout(block_sums_[static_cast<std::size_t>(b) * cols + c]);
+            s += readout(
+                ctx.block_sums[static_cast<std::size_t>(b) * cols + c],
+                ctx.rng);
           scores[static_cast<std::size_t>(c)] +=
               static_cast<float>(s * m.weight_scale) +
               m.col_bias[static_cast<std::size_t>(c)];
@@ -232,24 +250,31 @@ void SeiNetwork::eval_stage_float(const MappedLayer& m,
 
   if (m.binarize) {
     if (g.pool_after)
-      or_pool(stage_bits_, g.out_h, g.out_w, cols, bits_out);
+      or_pool(ctx.stage_bits, g.out_h, g.out_w, cols, bits_out);
     else
-      bits_out = stage_bits_;
+      bits_out = ctx.stage_bits;
   }
 }
 
 int SeiNetwork::predict(std::span<const float> image) const {
-  quant::BitMap bits;
+  EvalContext ctx;
+  return predict(image, ctx, 0);
+}
+
+int SeiNetwork::predict(std::span<const float> image, EvalContext& ctx,
+                        long long image_index) const {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     const MappedLayer& m = layers_[i];
+    ctx.rng = stage_stream(image_index, static_cast<int>(i));
     if (i == 0)
-      eval_stage_float(m, image, pooled_bits_, scores_);
+      eval_stage_float(m, image, ctx.pooled_bits, ctx.scores, ctx);
     else
-      eval_stage_bits(m, bits, pooled_bits_, scores_);
+      eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
     if (!m.binarize)
       return static_cast<int>(
-          std::max_element(scores_.begin(), scores_.end()) - scores_.begin());
-    bits = pooled_bits_;
+          std::max_element(ctx.scores.begin(), ctx.scores.end()) -
+          ctx.scores.begin());
+    std::swap(ctx.bits, ctx.pooled_bits);
   }
   SEI_CHECK_MSG(false, "network has no classifier stage");
   return -1;
@@ -260,12 +285,19 @@ double SeiNetwork::error_rate(const data::Dataset& d, int max_images) const {
   SEI_CHECK(n > 0);
   const std::size_t per_image =
       d.images.numel() / static_cast<std::size_t>(d.size());
-  int correct = 0;
-  for (int i = 0; i < n; ++i) {
-    const std::span<const float> img{
-        d.images.data() + static_cast<std::size_t>(i) * per_image, per_image};
-    if (predict(img) == d.labels[static_cast<std::size_t>(i)]) ++correct;
-  }
+  const long long correct = exec::parallel_reduce<long long>(
+      n, exec::kEvalGrain, 0LL, [&](int lo, int hi) {
+        EvalContext ctx;
+        long long c = 0;
+        for (int i = lo; i < hi; ++i) {
+          const std::span<const float> img{
+              d.images.data() + static_cast<std::size_t>(i) * per_image,
+              per_image};
+          if (predict(img, ctx, i) == d.labels[static_cast<std::size_t>(i)])
+            ++c;
+        }
+        return c;
+      });
   return 100.0 * (1.0 - static_cast<double>(correct) / n);
 }
 
@@ -276,21 +308,25 @@ std::vector<quant::BitMap> SeiNetwork::cache_stage_inputs(
   const std::size_t per_image =
       d.images.numel() / static_cast<std::size_t>(d.size());
   std::vector<quant::BitMap> out(static_cast<std::size_t>(n));
-  quant::BitMap bits;
-  for (int i = 0; i < n; ++i) {
-    const std::span<const float> img{
-        d.images.data() + static_cast<std::size_t>(i) * per_image, per_image};
-    for (int s = 0; s < stage; ++s) {
-      const MappedLayer& m = layers_[static_cast<std::size_t>(s)];
-      SEI_CHECK_MSG(m.binarize, "cannot cache past the classifier");
-      if (s == 0)
-        eval_stage_float(m, img, pooled_bits_, scores_);
-      else
-        eval_stage_bits(m, bits, pooled_bits_, scores_);
-      bits = pooled_bits_;
+  exec::parallel_for_chunks(n, exec::kEvalGrain, [&](int lo, int hi) {
+    EvalContext ctx;
+    for (int i = lo; i < hi; ++i) {
+      const std::span<const float> img{
+          d.images.data() + static_cast<std::size_t>(i) * per_image,
+          per_image};
+      for (int s = 0; s < stage; ++s) {
+        const MappedLayer& m = layers_[static_cast<std::size_t>(s)];
+        SEI_CHECK_MSG(m.binarize, "cannot cache past the classifier");
+        ctx.rng = stage_stream(i, s);
+        if (s == 0)
+          eval_stage_float(m, img, ctx.pooled_bits, ctx.scores, ctx);
+        else
+          eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
+        std::swap(ctx.bits, ctx.pooled_bits);
+      }
+      out[static_cast<std::size_t>(i)] = ctx.bits;
     }
-    out[static_cast<std::size_t>(i)] = bits;
-  }
+  });
   return out;
 }
 
@@ -300,24 +336,31 @@ double SeiNetwork::error_rate_from(
   SEI_CHECK(stage >= 1 && stage < stage_count());
   const int n = static_cast<int>(inputs.size());
   SEI_CHECK(n > 0 && n <= d.size());
-  int correct = 0;
-  quant::BitMap bits;
-  for (int i = 0; i < n; ++i) {
-    bits = inputs[static_cast<std::size_t>(i)];
-    int pred = -1;
-    for (int s = stage; s < stage_count(); ++s) {
-      const MappedLayer& m = layers_[static_cast<std::size_t>(s)];
-      eval_stage_bits(m, bits, pooled_bits_, scores_);
-      if (!m.binarize) {
-        pred = static_cast<int>(
-            std::max_element(scores_.begin(), scores_.end()) -
-            scores_.begin());
-        break;
-      }
-      bits = pooled_bits_;
-    }
-    if (pred == d.labels[static_cast<std::size_t>(i)]) ++correct;
-  }
+  const long long correct = exec::parallel_reduce<long long>(
+      n, exec::kEvalGrain, 0LL, [&](int lo, int hi) {
+        EvalContext ctx;
+        long long c = 0;
+        for (int i = lo; i < hi; ++i) {
+          ctx.bits = inputs[static_cast<std::size_t>(i)];
+          int pred = -1;
+          for (int s = stage; s < stage_count(); ++s) {
+            const MappedLayer& m = layers_[static_cast<std::size_t>(s)];
+            // Same per-(image, stage) stream a full predict would use, so
+            // tail evaluation replays the identical noise draws.
+            ctx.rng = stage_stream(i, s);
+            eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
+            if (!m.binarize) {
+              pred = static_cast<int>(
+                  std::max_element(ctx.scores.begin(), ctx.scores.end()) -
+                  ctx.scores.begin());
+              break;
+            }
+            std::swap(ctx.bits, ctx.pooled_bits);
+          }
+          if (pred == d.labels[static_cast<std::size_t>(i)]) ++c;
+        }
+        return c;
+      });
   return 100.0 * (1.0 - static_cast<double>(correct) / n);
 }
 

@@ -10,6 +10,7 @@
 
 #include <span>
 
+#include "core/eval_context.hpp"
 #include "core/mapping.hpp"
 #include "data/dataset.hpp"
 
@@ -37,10 +38,19 @@ class SeiNetwork {
   /// fresh programming randomness) — the Table 4 random-order experiment.
   void remap_layer(int stage, const std::vector<int>& order);
 
-  /// Classifies one image.
+  /// Classifies one image (convenience wrapper: fresh context, stream 0).
   int predict(std::span<const float> image) const;
 
-  /// Classification error in percent. `max_images` < 0 means all.
+  /// Classifies one image using the caller's context. `image_index` keys
+  /// the counter-based read-noise streams: the result is a pure function of
+  /// (network, image, image_index) — two calls with the same index see the
+  /// same noise draws no matter what ran in between or on which thread.
+  int predict(std::span<const float> image, EvalContext& ctx,
+              long long image_index = 0) const;
+
+  /// Classification error in percent. `max_images` < 0 means all. Images
+  /// are evaluated in parallel on the default exec pool; per-image RNG
+  /// streams keep the result bit-identical at any thread count.
   double error_rate(const data::Dataset& d, int max_images = -1) const;
 
   /// Binary activations entering `stage` (i.e. output of stage-1) for every
@@ -60,41 +70,44 @@ class SeiNetwork {
  private:
   /// Pre-threshold block evaluation of one stage at every output position.
   /// `bits_out` receives the post-vote (post-pool) activations for hidden
-  /// stages; `scores` the classifier sums for the final stage.
+  /// stages; `scores` the classifier sums for the final stage. Scratch and
+  /// read noise come from `ctx`.
   void eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
-                       quant::BitMap& bits_out,
-                       std::vector<float>& scores) const;
+                       quant::BitMap& bits_out, std::vector<float>& scores,
+                       EvalContext& ctx) const;
   void eval_stage_float(const MappedLayer& m, std::span<const float> in,
-                        quant::BitMap& bits_out,
-                        std::vector<float>& scores) const;
+                        quant::BitMap& bits_out, std::vector<float>& scores,
+                        EvalContext& ctx) const;
 
   /// Threshold decision + OR-pool over the accumulated block sums of one
   /// position row; shared by both eval paths.
   void decide_position(const MappedLayer& m, const double* block_sums,
-                       const int* n_active, std::uint8_t* out_bits) const;
+                       const int* n_active, std::uint8_t* out_bits,
+                       Rng& rng) const;
 
   /// Per-read analog noise on a block's column current (the crossbar's
   /// read_noise_sigma applies at every sense-amp / readout event).
-  double readout(double current) const;
+  double readout(double current, Rng& rng) const;
+
+  /// Read-noise stream for one stage of one image: counter-based, derived
+  /// only from (cfg.seed, image_index, stage). Evaluating stages `s..end`
+  /// from cached inputs therefore replays exactly the draws a full predict
+  /// would make — error_rate_from matches error_rate even under noise.
+  Rng stage_stream(long long image_index, int stage) const;
 
   const quant::QNetwork* qnet_;
   HardwareConfig cfg_;
-  // Separate deterministic streams: mapping/programming draws never
-  // interleave with per-read noise draws, so the programmed state of a
-  // (re)mapped stage is reproducible from cfg.seed regardless of how many
-  // noisy reads happened before — and sweeping read_noise_sigma cannot
-  // perturb the programmed weights across campaign trials.
+  // The mapping/programming stream is separate from the read-noise streams:
+  // the programmed state of a (re)mapped stage is reproducible from
+  // cfg.seed regardless of how many noisy reads happened before — and
+  // sweeping read_noise_sigma cannot perturb the programmed weights across
+  // campaign trials. Read noise is not a member at all: per-(image, stage)
+  // streams are forked on demand (see stage_stream), so evaluation order
+  // and thread count cannot leak into any result.
   Rng map_rng_;
-  mutable Rng read_rng_;
+  std::uint64_t read_seed_;
   CrossbarHook hook_;
   std::vector<MappedLayer> layers_;
-
-  // Scratch reused across predictions (single-threaded engine).
-  mutable std::vector<double> block_sums_;
-  mutable std::vector<int> n_active_;
-  mutable quant::BitMap stage_bits_;
-  mutable quant::BitMap pooled_bits_;
-  mutable std::vector<float> scores_;
 };
 
 }  // namespace sei::core

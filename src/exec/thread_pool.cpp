@@ -1,0 +1,160 @@
+#include "exec/thread_pool.hpp"
+
+namespace sei::exec {
+
+namespace {
+thread_local bool tl_in_task = false;
+}  // namespace
+
+bool ThreadPool::in_task() { return tl_in_task; }
+
+int ThreadPool::resolve_threads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(resolve_threads(threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i + 1 < threads_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::drain(const std::function<void(int)>& fn,
+                       std::uint64_t gen) {
+  for (;;) {
+    int chunk;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (gen_ != gen || next_chunk_ >= chunks_) return;
+      chunk = next_chunk_++;
+      ++claimed_;
+    }
+    const bool was_in_task = tl_in_task;
+    tl_in_task = true;
+    std::exception_ptr err;
+    try {
+      fn(chunk);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    tl_in_task = was_in_task;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (gen_ == gen) {
+        if (err) {
+          if (!error_) error_ = err;
+          next_chunk_ = chunks_;  // abandon unclaimed chunks
+        }
+        ++completed_;
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    std::uint64_t gen = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] {
+        return stop_ || (job_ != nullptr && next_chunk_ < chunks_);
+      });
+      if (stop_) return;
+      job = job_;
+      gen = gen_;
+    }
+    drain(*job, gen);
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run_chunks(int chunks, const std::function<void(int)>& fn) {
+  if (chunks <= 0) return;
+  bool inline_run = threads_ == 1 || chunks == 1 || tl_in_task;
+  if (!inline_run) {
+    // A second top-level submitter while a job is in flight falls back to
+    // inline execution — same results, no queue contention.
+    std::lock_guard<std::mutex> lk(mu_);
+    if (job_ != nullptr) inline_run = true;
+  }
+  if (inline_run) {
+    for (int c = 0; c < chunks; ++c) fn(c);
+    return;
+  }
+
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    gen = ++gen_;
+    job_ = &fn;
+    chunks_ = chunks;
+    next_chunk_ = 0;
+    claimed_ = 0;
+    completed_ = 0;
+    error_ = nullptr;
+  }
+  work_cv_.notify_all();
+  drain(fn, gen);  // the submitting thread participates
+
+  std::exception_ptr err;
+  {
+    // An errored job abandons its unclaimed chunks, so completion means
+    // "nothing left to claim and every claimed chunk finished" — not
+    // completed_ == chunks_.
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] {
+      return next_chunk_ >= chunks_ && completed_ == claimed_;
+    });
+    job_ = nullptr;
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+namespace {
+std::mutex g_default_mu;
+std::unique_ptr<ThreadPool> g_default_pool;
+int g_default_threads = 0;  // 0 = hardware concurrency
+}  // namespace
+
+ThreadPool& default_pool() {
+  std::lock_guard<std::mutex> lk(g_default_mu);
+  if (!g_default_pool)
+    g_default_pool = std::make_unique<ThreadPool>(g_default_threads);
+  return *g_default_pool;
+}
+
+void set_default_threads(int threads) {
+  SEI_CHECK_MSG(threads >= 0,
+                "thread count cannot be negative, got " << threads);
+  std::lock_guard<std::mutex> lk(g_default_mu);
+  SEI_CHECK_MSG(!ThreadPool::in_task(),
+                "cannot reconfigure the default pool from inside a task");
+  if (g_default_pool &&
+      g_default_pool->thread_count() == ThreadPool::resolve_threads(threads)) {
+    g_default_threads = threads;
+    return;
+  }
+  g_default_pool.reset();  // joins any workers
+  g_default_threads = threads;
+}
+
+int default_threads() {
+  std::lock_guard<std::mutex> lk(g_default_mu);
+  if (g_default_pool) return g_default_pool->thread_count();
+  return ThreadPool::resolve_threads(g_default_threads);
+}
+
+}  // namespace sei::exec

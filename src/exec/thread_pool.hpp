@@ -1,0 +1,156 @@
+// Deterministic batch execution: a fixed-size thread pool plus chunked
+// parallel_for / parallel_reduce helpers.
+//
+// The contract (docs/parallelism.md) is that every parallel loop in the
+// library produces bit-identical results at any thread count:
+//
+//  * work is split into contiguous index chunks whose boundaries depend
+//    only on (n, grain) — never on the thread count — so any per-chunk
+//    state (scratch buffers, partial reductions) is the same whether one
+//    thread or sixteen drain the chunk queue;
+//  * chunks are claimed dynamically for load balancing, but results land in
+//    per-index / per-chunk slots and reductions combine the chunk partials
+//    in ascending chunk order on the calling thread;
+//  * stochastic loop bodies derive their randomness from counter-based
+//    streams (Rng::fork) keyed by the loop index, never from shared
+//    mutable generators.
+//
+// Nested parallelism is safe: a parallel_* call issued from inside a pool
+// task runs inline on the calling thread (same results, no deadlock), so
+// e.g. a parallel campaign trial may call the parallel error_rate freely.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sei::exec {
+
+/// Fixed pool of worker threads draining a queue of chunk indices. The
+/// submitting thread participates in the work, so a 1-thread pool spawns no
+/// workers and runs everything inline.
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  /// Invokes fn(chunk) for every chunk in [0, chunks), distributing chunks
+  /// over the pool plus the calling thread; blocks until all complete and
+  /// rethrows the first exception a chunk raised. Calls issued from inside
+  /// a pool task (or when the pool has one thread) run inline.
+  void run_chunks(int chunks, const std::function<void(int)>& fn);
+
+  /// True while the calling thread is executing a pool task.
+  static bool in_task();
+
+  /// `threads` resolved the way the constructor resolves it.
+  static int resolve_threads(int threads);
+
+ private:
+  void worker_loop();
+  /// Claims and runs chunks of job `gen` until its queue drains (or a newer
+  /// job replaced it — the generation tag keeps a lagging thread from
+  /// executing a later job's chunks with an earlier job's function).
+  void drain(const std::function<void(int)>& fn, std::uint64_t gen);
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a job arrived / shutdown
+  std::condition_variable done_cv_;  // submitter: all chunks completed
+  const std::function<void(int)>* job_ = nullptr;  // guarded by mu_
+  std::uint64_t gen_ = 0;  // bumped per job publication
+  int chunks_ = 0;
+  int next_chunk_ = 0;
+  int claimed_ = 0;    // chunks handed to a thread (stops growing on error)
+  int completed_ = 0;  // claimed chunks that finished (even by throwing)
+  std::exception_ptr error_;  // first failure of the current job
+  bool stop_ = false;
+};
+
+/// Process-wide default pool used by the library's batch loops. Lazily
+/// created on first use with the thread count from set_default_threads()
+/// (initially 0 = all hardware threads).
+ThreadPool& default_pool();
+
+/// Sets the default pool's thread count (0 = hardware concurrency) and
+/// tears down any existing default pool so the next use rebuilds it. Must
+/// not race with parallel work in flight — call it between batches (benches
+/// and tests call it at startup / between measurements).
+void set_default_threads(int threads);
+
+/// Thread count the default pool has (or would be created with).
+int default_threads();
+
+/// Images-per-chunk default for the evaluation loops: coarse enough to
+/// amortize scratch-buffer construction, fine enough to load-balance.
+inline constexpr int kEvalGrain = 8;
+
+/// Runs fn(lo, hi) over the ceil(n/grain) contiguous ranges of [0, n).
+/// Chunk boundaries depend only on (n, grain), so per-chunk state is
+/// identical at every thread count.
+template <typename Fn>
+void parallel_for_chunks(int n, int grain, Fn&& fn,
+                         ThreadPool* pool = nullptr) {
+  if (n <= 0) return;
+  SEI_CHECK(grain >= 1);
+  const int chunks = (n + grain - 1) / grain;
+  ThreadPool& p = pool ? *pool : default_pool();
+  auto chunk_fn = [&](int c) {
+    const int lo = c * grain;
+    const int hi = lo + grain < n ? lo + grain : n;
+    fn(lo, hi);
+  };
+  if (chunks == 1) {
+    chunk_fn(0);
+    return;
+  }
+  p.run_chunks(chunks, chunk_fn);
+}
+
+/// Runs fn(i) for every i in [0, n).
+template <typename Fn>
+void parallel_for(int n, Fn&& fn, ThreadPool* pool = nullptr,
+                  int grain = kEvalGrain) {
+  parallel_for_chunks(
+      n, grain,
+      [&](int lo, int hi) {
+        for (int i = lo; i < hi; ++i) fn(i);
+      },
+      pool);
+}
+
+/// Reduction: chunk_fn(lo, hi) -> T per chunk, then
+/// init = combine(init, partial) in ascending chunk order on the calling
+/// thread. Exact determinism at any thread count even for non-associative
+/// combines (floating point), because the bracketing is fixed by grain.
+template <typename T, typename ChunkFn, typename Combine = std::plus<T>>
+T parallel_reduce(int n, int grain, T init, ChunkFn&& chunk_fn,
+                  Combine combine = {}, ThreadPool* pool = nullptr) {
+  if (n <= 0) return init;
+  SEI_CHECK(grain >= 1);
+  const int chunks = (n + grain - 1) / grain;
+  std::vector<T> partials(static_cast<std::size_t>(chunks));
+  parallel_for_chunks(
+      n, grain,
+      [&](int lo, int hi) {
+        partials[static_cast<std::size_t>(lo / grain)] = chunk_fn(lo, hi);
+      },
+      pool);
+  for (const T& part : partials) init = combine(init, part);
+  return init;
+}
+
+}  // namespace sei::exec

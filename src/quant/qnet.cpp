@@ -134,10 +134,15 @@ void eval_stage_binary_input(const QLayer& l, const BitMap& input,
 }
 
 BitMap binarize_and_pool(const QLayer& l, std::span<const float> sums) {
+  return binarize_and_pool(l, sums, l.threshold);
+}
+
+BitMap binarize_and_pool(const QLayer& l, std::span<const float> sums,
+                         float threshold) {
   const StageGeometry& g = l.geom;
   const std::size_t positions = static_cast<std::size_t>(g.out_h) * g.out_w;
   SEI_CHECK(sums.size() == positions * static_cast<std::size_t>(g.cols));
-  const float t = l.threshold;
+  const float t = threshold;
 
   if (!g.pool_after) {
     BitMap bits(sums.size());

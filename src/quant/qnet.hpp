@@ -101,6 +101,11 @@ void eval_stage_binary_input(const QLayer& l, const BitMap& input,
 /// Binarize pre-threshold sums at l.threshold, then 2×2 OR-pool if requested.
 BitMap binarize_and_pool(const QLayer& l, std::span<const float> sums);
 
+/// Same, at an explicit threshold — lets sweeps evaluate candidate
+/// thresholds concurrently without mutating the layer.
+BitMap binarize_and_pool(const QLayer& l, std::span<const float> sums,
+                         float threshold);
+
 /// Builds a QNetwork by copying weights/biases out of a trained float
 /// network whose MatrixLayer order matches `topo`'s stage order.
 /// Thresholds are zero-initialized (fill via threshold search).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "exec/thread_pool.hpp"
 #include "nn/maxpool.hpp"
 #include "nn/relu.hpp"
 #include "nn/softmax.hpp"
@@ -71,20 +72,27 @@ QuantizationResult quantize_network(nn::Network& float_net,
   for (int L = 0; L + 1 < stages; ++L) {
     QLayer& ql = qnet.layers[static_cast<std::size_t>(L)];
 
-    // Step 1: stage outputs with the front layers binarized.
-    float max_out = 0.0f;
-    for (int i = 0; i < n; ++i) {
-      auto& s = sums[static_cast<std::size_t>(i)];
-      if (L == 0) {
-        const std::span<const float> img{
-            train.images.data() + static_cast<std::size_t>(i) * per_image,
-            per_image};
-        eval_stage_float_input(ql, img, s);
-      } else {
-        eval_stage_binary_input(ql, bits[static_cast<std::size_t>(i)], s);
-      }
-      for (float v : s) max_out = std::max(max_out, v);
-    }
+    // Step 1: stage outputs with the front layers binarized. Per-image
+    // slots, max combined in fixed chunk order → thread-count independent.
+    const float max_out = exec::parallel_reduce<float>(
+        n, exec::kEvalGrain, 0.0f,
+        [&](int lo, int hi) {
+          float m = 0.0f;
+          for (int i = lo; i < hi; ++i) {
+            auto& s = sums[static_cast<std::size_t>(i)];
+            if (L == 0) {
+              const std::span<const float> img{
+                  train.images.data() + static_cast<std::size_t>(i) * per_image,
+                  per_image};
+              eval_stage_float_input(ql, img, s);
+            } else {
+              eval_stage_binary_input(ql, bits[static_cast<std::size_t>(i)], s);
+            }
+            for (float v : s) m = std::max(m, v);
+          }
+          return m;
+        },
+        [](float a, float b) { return std::max(a, b); });
 
     // Step 2: weight re-scaling so the stage output lies in [0, 1].
     const float scale = std::max(max_out, 1e-6f);
@@ -92,8 +100,9 @@ QuantizationResult quantize_network(nn::Network& float_net,
     ql.weight.scale(inv);
     ql.bias.scale(inv);
     rescale_matrix_layer(*mats[static_cast<std::size_t>(L)], inv);
-    for (auto& s : sums)
-      for (float& v : s) v *= inv;
+    exec::parallel_for(n, [&](int i) {
+      for (float& v : sums[static_cast<std::size_t>(i)]) v *= inv;
+    });
 
     // Step 3: brute-force threshold search, float tail.
     const std::size_t tb = tail_begin_index(
@@ -125,35 +134,47 @@ QuantizationResult quantize_network(nn::Network& float_net,
                    : 1.0f;
     };
 
-    for (const float t :
-         threshold_grid(cfg.thres_min, cfg.thres_max, cfg.step)) {
-      ql.threshold = t;
-      const float drive = drive_level(t);
-      int correct = 0;
-      for (int begin = 0; begin < n; begin += cfg.tail_batch) {
-        const int end = std::min(n, begin + cfg.tail_batch);
-        nn::Tensor batch({end - begin, ph, pw, ch});
-        float* dst = batch.data();
-        for (int i = begin; i < end; ++i, dst += bits_len) {
-          const BitMap bm =
-              binarize_and_pool(ql, sums[static_cast<std::size_t>(i)]);
-          for (std::size_t k = 0; k < bits_len; ++k)
-            dst[k] = bm[k] ? drive : 0.0f;
-        }
-        nn::Tensor logits =
-            float_net.forward_range(batch, tb, float_net.size());
-        logits.reshape(
-            {end - begin, static_cast<int>(logits.numel()) / (end - begin)});
-        for (int i = begin; i < end; ++i)
-          if (nn::argmax_row(logits, i - begin) ==
-              train.labels[static_cast<std::size_t>(i)])
-            ++correct;
-      }
-      const double acc = 100.0 * correct / n;
-      trace.curve.emplace_back(t, acc);
+    // Candidate thresholds are independent: sweep the grid in parallel
+    // (each worker binarizes at its own explicit threshold — ql is never
+    // mutated), then scan the per-candidate counts sequentially so the
+    // first-max tie-break matches the serial sweep exactly.
+    const std::vector<float> grid =
+        threshold_grid(cfg.thres_min, cfg.thres_max, cfg.step);
+    std::vector<int> grid_correct(grid.size(), 0);
+    exec::parallel_for(
+        static_cast<int>(grid.size()),
+        [&](int gi) {
+          const float t = grid[static_cast<std::size_t>(gi)];
+          const float drive = drive_level(t);
+          int correct = 0;
+          for (int begin = 0; begin < n; begin += cfg.tail_batch) {
+            const int end = std::min(n, begin + cfg.tail_batch);
+            nn::Tensor batch({end - begin, ph, pw, ch});
+            float* dst = batch.data();
+            for (int i = begin; i < end; ++i, dst += bits_len) {
+              const BitMap bm =
+                  binarize_and_pool(ql, sums[static_cast<std::size_t>(i)], t);
+              for (std::size_t k = 0; k < bits_len; ++k)
+                dst[k] = bm[k] ? drive : 0.0f;
+            }
+            nn::Tensor logits =
+                float_net.forward_range(batch, tb, float_net.size());
+            logits.reshape({end - begin,
+                            static_cast<int>(logits.numel()) / (end - begin)});
+            for (int i = begin; i < end; ++i)
+              if (nn::argmax_row(logits, i - begin) ==
+                  train.labels[static_cast<std::size_t>(i)])
+                ++correct;
+          }
+          grid_correct[static_cast<std::size_t>(gi)] = correct;
+        },
+        nullptr, /*grain=*/1);
+    for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+      const int correct = grid_correct[gi];
+      trace.curve.emplace_back(grid[gi], 100.0 * correct / n);
       if (correct > best_correct) {
         best_correct = correct;
-        best_t = t;
+        best_t = grid[gi];
       }
     }
 
@@ -178,9 +199,10 @@ QuantizationResult quantize_network(nn::Network& float_net,
     result.traces.push_back(std::move(trace));
 
     // Step 4: binary inputs for the next stage from the cached outputs.
-    for (int i = 0; i < n; ++i)
+    exec::parallel_for(n, [&](int i) {
       bits[static_cast<std::size_t>(i)] =
           binarize_and_pool(ql, sums[static_cast<std::size_t>(i)]);
+    });
   }
 
   return result;

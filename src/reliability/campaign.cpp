@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/io.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace sei::reliability {
 
@@ -61,35 +62,57 @@ CampaignResult run_campaign(const quant::QNetwork& qnet,
     result.healthy_error_pct = healthy.error_rate(eval, cfg.eval_images);
   }
 
+  // Monte-Carlo sweep: every (point, trial) pair is independent — its seed
+  // comes from trial_seed alone — so the flattened grid runs in parallel
+  // into per-trial slots. Aggregation below walks the slots in (point,
+  // trial) order, reproducing the serial statistics bit for bit. The
+  // error_rate calls inside each trial detect they are nested and run
+  // inline on the owning worker.
   const double nan = std::numeric_limits<double>::quiet_NaN();
-  for (int pi = 0; pi < static_cast<int>(cfg.points.size()); ++pi) {
+  const int n_points = static_cast<int>(cfg.points.size());
+  std::vector<TrialResult> slots(
+      static_cast<std::size_t>(n_points) * cfg.trials);
+  exec::parallel_for(
+      n_points * cfg.trials,
+      [&](int idx) {
+        const int pi = idx / cfg.trials;
+        const int t = idx % cfg.trials;
+        const FaultPoint& point = cfg.points[static_cast<std::size_t>(pi)];
+        TrialResult tr;
+        tr.seed = trial_seed(cfg, pi, t);
+
+        {
+          const auto hw = trial_hardware(cfg, point, tr.seed, false);
+          core::SeiNetwork net(qnet, hw);
+          tr.faulty_error_pct = net.error_rate(eval, cfg.eval_images);
+        }
+
+        if (cfg.repair) {
+          const auto hw = trial_hardware(cfg, point, tr.seed, true);
+          core::SeiNetwork net(qnet, hw,
+                               make_repair_hook(cfg.repair_cfg, &tr.repair));
+          tr.pre_recalib_error_pct = net.error_rate(eval, cfg.eval_images);
+          recalibrate_thresholds(net, calib, cfg.calib_cfg);
+          tr.repaired_error_pct = net.error_rate(eval, cfg.eval_images);
+        } else {
+          tr.pre_recalib_error_pct = nan;
+          tr.repaired_error_pct = nan;
+        }
+        slots[static_cast<std::size_t>(idx)] = tr;
+      },
+      nullptr, /*grain=*/1);
+
+  for (int pi = 0; pi < n_points; ++pi) {
     PointResult pr;
     pr.point = cfg.points[static_cast<std::size_t>(pi)];
     std::vector<double> faulty_errs, repaired_errs;
-
     for (int t = 0; t < cfg.trials; ++t) {
-      TrialResult tr;
-      tr.seed = trial_seed(cfg, pi, t);
-
-      {
-        const auto hw = trial_hardware(cfg, pr.point, tr.seed, false);
-        core::SeiNetwork net(qnet, hw);
-        tr.faulty_error_pct = net.error_rate(eval, cfg.eval_images);
-      }
+      const TrialResult& tr =
+          slots[static_cast<std::size_t>(pi) * cfg.trials + t];
       faulty_errs.push_back(tr.faulty_error_pct);
-
       if (cfg.repair) {
-        const auto hw = trial_hardware(cfg, pr.point, tr.seed, true);
-        core::SeiNetwork net(qnet, hw,
-                             make_repair_hook(cfg.repair_cfg, &tr.repair));
-        tr.pre_recalib_error_pct = net.error_rate(eval, cfg.eval_images);
-        recalibrate_thresholds(net, calib, cfg.calib_cfg);
-        tr.repaired_error_pct = net.error_rate(eval, cfg.eval_images);
         repaired_errs.push_back(tr.repaired_error_pct);
         pr.repair += tr.repair;
-      } else {
-        tr.pre_recalib_error_pct = nan;
-        tr.repaired_error_pct = nan;
       }
       pr.trials.push_back(tr);
     }

@@ -1,0 +1,190 @@
+// Determinism contract of the parallel evaluation engine
+// (docs/parallelism.md): every batch result is bit-identical at any thread
+// count and independent of the order images are evaluated in, including
+// under stochastic device effects (read noise, programming variation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/adc_network.hpp"
+#include "core/sei_network.hpp"
+#include "data/synthetic_digits.hpp"
+#include "exec/thread_pool.hpp"
+#include "nn/trainer.hpp"
+#include "quant/threshold_search.hpp"
+#include "reliability/campaign.hpp"
+#include "workloads/networks.hpp"
+
+namespace sei {
+namespace {
+
+/// Small trained + quantized network2 shared across tests.
+struct Fixture {
+  workloads::Workload wl = workloads::network2();
+  data::Dataset train = data::generate_synthetic(800, 71);
+  data::Dataset test = data::generate_synthetic(240, 72);
+  quant::QNetwork qnet;
+
+  Fixture() {
+    nn::Network net = workloads::build_float_network(wl.topo, 51);
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    nn::Trainer(tc).fit(net, train.images, train.label_span());
+    quant::SearchConfig sc;
+    sc.max_search_images = 300;
+    sc.step = 0.05;
+    qnet = quant::quantize_network(net, wl.topo, train, sc).qnet;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+/// Restores the default pool to auto sizing when a test scope ends.
+struct ThreadGuard {
+  ~ThreadGuard() { exec::set_default_threads(0); }
+};
+
+TEST(Determinism, SeiErrorRateIdenticalAcrossThreadCounts) {
+  Fixture& f = fixture();
+  ThreadGuard guard;
+  core::HardwareConfig cfg;
+  cfg.device.read_noise_sigma = 0.05;  // stochastic readout in the loop
+  cfg.device.program_sigma = 0.03;
+  core::SeiNetwork hw(f.qnet, cfg);
+
+  exec::set_default_threads(1);
+  const double serial = hw.error_rate(f.test);
+  for (const int threads : {2, 8}) {
+    exec::set_default_threads(threads);
+    EXPECT_EQ(hw.error_rate(f.test), serial) << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, PredictionsIndependentOfEvaluationOrder) {
+  Fixture& f = fixture();
+  core::HardwareConfig cfg;
+  cfg.device.read_noise_sigma = 0.05;
+  core::SeiNetwork hw(f.qnet, cfg);
+  const std::size_t per_image = 28 * 28;
+  const int n = 60;
+
+  auto image = [&](int i) {
+    return std::span<const float>{
+        f.test.images.data() + static_cast<std::size_t>(i) * per_image,
+        per_image};
+  };
+  std::vector<int> forward(static_cast<std::size_t>(n));
+  std::vector<int> reverse(static_cast<std::size_t>(n));
+  core::EvalContext ctx;
+  for (int i = 0; i < n; ++i)
+    forward[static_cast<std::size_t>(i)] = hw.predict(image(i), ctx, i);
+  for (int i = n - 1; i >= 0; --i)
+    reverse[static_cast<std::size_t>(i)] = hw.predict(image(i), ctx, i);
+  EXPECT_EQ(forward, reverse);
+}
+
+TEST(Determinism, CachedTailReplaysFullEvaluationUnderNoise) {
+  // The per-(image, stage) streams guarantee that re-evaluating only the
+  // tail stages from cached activations draws exactly the noise a full
+  // predict would — so split experiments remain comparable under noise.
+  Fixture& f = fixture();
+  core::HardwareConfig cfg;
+  cfg.device.read_noise_sigma = 0.05;
+  core::SeiNetwork hw(f.qnet, cfg);
+  const int n = 120;
+  const double full = hw.error_rate(f.test, n);
+  for (int stage = 1; stage < hw.stage_count(); ++stage) {
+    const auto cached = hw.cache_stage_inputs(f.test, stage, n);
+    EXPECT_EQ(hw.error_rate_from(f.test, stage, cached), full)
+        << "stage=" << stage;
+  }
+}
+
+TEST(Determinism, AdcCalibrationAndErrorRateIdenticalAcrossThreadCounts) {
+  Fixture& f = fixture();
+  ThreadGuard guard;
+  core::AdcConfig cfg;
+  cfg.calibration_images = 100;
+
+  exec::set_default_threads(1);
+  const core::AdcNetwork serial(f.qnet, cfg, f.train);
+  const double serial_err = serial.error_rate(f.test, 150);
+
+  exec::set_default_threads(8);
+  const core::AdcNetwork wide(f.qnet, cfg, f.train);
+  for (int s = 0; s < serial.stage_count(); ++s)
+    EXPECT_EQ(wide.full_scale(s), serial.full_scale(s)) << "stage=" << s;
+  EXPECT_EQ(wide.error_rate(f.test, 150), serial_err);
+  exec::set_default_threads(1);
+  EXPECT_EQ(wide.error_rate(f.test, 150), serial_err);
+}
+
+TEST(Determinism, CampaignIdenticalAcrossThreadCounts) {
+  Fixture& f = fixture();
+  ThreadGuard guard;
+  reliability::CampaignConfig cfg;
+  cfg.points = {{0.01, 0.05, 0.02, 0.0, "mixed"},
+                {0.02, 0.0, 0.0, 0.0, "stuck2pct"}};
+  cfg.trials = 2;
+  cfg.eval_images = 60;
+  cfg.calib_cfg.max_images = 40;
+
+  exec::set_default_threads(1);
+  const auto serial = run_campaign(f.qnet, f.test, f.train, cfg);
+  for (const int threads : {2, 8}) {
+    exec::set_default_threads(threads);
+    const auto wide = run_campaign(f.qnet, f.test, f.train, cfg);
+    ASSERT_EQ(wide.points.size(), serial.points.size());
+    EXPECT_EQ(wide.healthy_error_pct, serial.healthy_error_pct);
+    for (std::size_t p = 0; p < serial.points.size(); ++p) {
+      EXPECT_EQ(wide.points[p].faulty.mean, serial.points[p].faulty.mean);
+      EXPECT_EQ(wide.points[p].repaired.mean, serial.points[p].repaired.mean);
+      ASSERT_EQ(wide.points[p].trials.size(), serial.points[p].trials.size());
+      for (std::size_t t = 0; t < serial.points[p].trials.size(); ++t) {
+        const auto& a = serial.points[p].trials[t];
+        const auto& b = wide.points[p].trials[t];
+        EXPECT_EQ(b.seed, a.seed);
+        EXPECT_EQ(b.faulty_error_pct, a.faulty_error_pct);
+        EXPECT_EQ(b.pre_recalib_error_pct, a.pre_recalib_error_pct);
+        EXPECT_EQ(b.repaired_error_pct, a.repaired_error_pct);
+      }
+    }
+  }
+}
+
+TEST(Determinism, ThresholdSearchIdenticalAcrossThreadCounts) {
+  Fixture& f = fixture();
+  ThreadGuard guard;
+  quant::SearchConfig sc;
+  sc.max_search_images = 200;
+  sc.step = 0.05;
+
+  auto search_with = [&](int threads) {
+    exec::set_default_threads(threads);
+    nn::Network net = workloads::build_float_network(f.wl.topo, 51);
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    nn::Trainer(tc).fit(net, f.train.images, f.train.label_span());
+    return quant::quantize_network(net, f.wl.topo, f.train, sc);
+  };
+  const auto serial = search_with(1);
+  const auto wide = search_with(4);
+  ASSERT_EQ(wide.qnet.layers.size(), serial.qnet.layers.size());
+  for (std::size_t l = 0; l < serial.qnet.layers.size(); ++l)
+    EXPECT_EQ(wide.qnet.layers[l].threshold, serial.qnet.layers[l].threshold)
+        << "stage=" << l;
+  ASSERT_EQ(wide.traces.size(), serial.traces.size());
+  for (std::size_t l = 0; l < serial.traces.size(); ++l) {
+    EXPECT_EQ(wide.traces[l].best_threshold, serial.traces[l].best_threshold);
+    EXPECT_EQ(wide.traces[l].drive_level, serial.traces[l].drive_level);
+    EXPECT_EQ(wide.traces[l].curve, serial.traces[l].curve);
+  }
+}
+
+}  // namespace
+}  // namespace sei

@@ -1,0 +1,148 @@
+// Deterministic thread pool: coverage, ordering, nesting, error paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace sei::exec {
+namespace {
+
+TEST(ThreadPool, ResolvesThreadCounts) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3);
+  EXPECT_EQ(ThreadPool::resolve_threads(-5),
+            ThreadPool::resolve_threads(0));
+  ThreadPool one(1);
+  EXPECT_EQ(one.thread_count(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.thread_count(), 4);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const int n : {1, 7, 8, 100, 1000}) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    parallel_for(n, [&](int i) { ++hits[static_cast<std::size_t>(i)]; },
+                 &pool, /*grain=*/3);
+    for (int i = 0; i < n; ++i)
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, ChunkBoundariesDependOnlyOnGrain) {
+  // Record (lo, hi) per chunk; every pool size must see the same ranges.
+  auto ranges_with = [](int threads, int n, int grain) {
+    ThreadPool pool(threads);
+    std::vector<std::pair<int, int>> ranges(
+        static_cast<std::size_t>((n + grain - 1) / grain));
+    parallel_for_chunks(
+        n, grain,
+        [&](int lo, int hi) {
+          ranges[static_cast<std::size_t>(lo / grain)] = {lo, hi};
+        },
+        &pool);
+    return ranges;
+  };
+  const auto serial = ranges_with(1, 103, 8);
+  EXPECT_EQ(ranges_with(2, 103, 8), serial);
+  EXPECT_EQ(ranges_with(8, 103, 8), serial);
+}
+
+TEST(ThreadPool, ReduceCombinesInChunkOrder) {
+  // Floating-point sum of wildly varying magnitudes: associativity does not
+  // hold, so bit-identical results across pool sizes prove the partials are
+  // combined in a fixed order.
+  const int n = 500;
+  auto term = [](int i) { return std::exp2(static_cast<double>(i % 60)); };
+  auto sum_with = [&](int threads) {
+    ThreadPool pool(threads);
+    return parallel_reduce<double>(
+        n, 7, 0.0,
+        [&](int lo, int hi) {
+          double s = 0.0;
+          for (int i = lo; i < hi; ++i) s += term(i);
+          return s;
+        },
+        std::plus<double>{}, &pool);
+  };
+  const double serial = sum_with(1);
+  EXPECT_EQ(sum_with(2), serial);
+  EXPECT_EQ(sum_with(3), serial);
+  EXPECT_EQ(sum_with(8), serial);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<int> nested_in_task{0};
+  EXPECT_FALSE(ThreadPool::in_task());
+  parallel_for(
+      8,
+      [&](int i) {
+        EXPECT_TRUE(ThreadPool::in_task());
+        // The inner loop must run inline on this worker — and still cover
+        // its whole range.
+        parallel_for(
+            8,
+            [&](int j) {
+              if (ThreadPool::in_task()) ++nested_in_task;
+              ++hits[static_cast<std::size_t>(i * 8 + j)];
+            },
+            &pool);
+      },
+      &pool, /*grain=*/1);
+  EXPECT_FALSE(ThreadPool::in_task());
+  EXPECT_EQ(nested_in_task.load(), 64);
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptionsAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [&](int i) {
+            if (i == 41) throw std::runtime_error("chunk failed");
+          },
+          &pool),
+      std::runtime_error);
+  // The pool survives a failed job.
+  std::atomic<int> count{0};
+  parallel_for(100, [&](int) { ++count; }, &pool);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, HandlesEmptyAndSingleChunkRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  parallel_for_chunks(0, 8, [&](int, int) { ++calls; }, &pool);
+  EXPECT_EQ(calls, 0);
+  parallel_for_chunks(5, 8, [&](int lo, int hi) {
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 5);
+    ++calls;
+  }, &pool);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(parallel_reduce<int>(0, 4, 42, [](int, int) { return 0; },
+                                 std::plus<int>{}, &pool),
+            42);
+}
+
+TEST(ThreadPool, DefaultPoolFollowsSetDefaultThreads) {
+  set_default_threads(2);
+  EXPECT_EQ(default_threads(), 2);
+  EXPECT_EQ(default_pool().thread_count(), 2);
+  std::atomic<int> count{0};
+  parallel_for(50, [&](int) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+  set_default_threads(0);  // back to auto for the other tests
+  EXPECT_EQ(default_threads(), ThreadPool::resolve_threads(0));
+}
+
+}  // namespace
+}  // namespace sei::exec

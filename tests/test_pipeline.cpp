@@ -12,10 +12,14 @@ namespace sei::workloads {
 namespace {
 
 /// Redirects the cache to a scratch directory for the test's lifetime.
+/// The directory is unique per test so ctest can run the cases of this
+/// fixture in parallel processes without them deleting each other's cache.
 class ScratchCache : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "sei_test_cache").string();
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("sei_test_cache_") + info->name())).string();
     std::filesystem::remove_all(dir_);
     setenv("SEI_CACHE_DIR", dir_.c_str(), 1);
   }

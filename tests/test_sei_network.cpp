@@ -160,25 +160,26 @@ TEST(SeiNetwork, AccountingCountsCrossbarsAndCells) {
 
 TEST(SeiNetwork, ReadNoiseReachesTheDecisionPath) {
   // Regression test: read_noise_sigma must perturb the sense-amp compare,
-  // not just the (unused-in-inference) Crossbar::mvm path.
+  // not just the (unused-in-inference) Crossbar::mvm path. Read-noise
+  // streams are counter-based per (image, stage), so the check is against
+  // a noise-free twin: same seed → identical programmed state, and any
+  // activation difference can only come from the readout noise.
   Fixture& f = fixture();
-  HardwareConfig cfg;
-  cfg.device.read_noise_sigma = 0.25;  // aggressive, to force flips
-  SeiNetwork hw(f.qnet, cfg);
-  const std::size_t per_image = 28 * 28;
+  HardwareConfig clean_cfg;
+  HardwareConfig noisy_cfg;
+  noisy_cfg.device.read_noise_sigma = 0.25;  // aggressive, to force flips
+  SeiNetwork clean(f.qnet, clean_cfg);
+  SeiNetwork noisy(f.qnet, noisy_cfg);
+  const auto a = clean.cache_stage_inputs(f.test, 1, 40);
+  const auto b = noisy.cache_stage_inputs(f.test, 1, 40);
   int changed = 0;
-  for (int i = 0; i < 40; ++i) {
-    std::span<const float> img{
-        f.test.images.data() + static_cast<std::size_t>(i) * per_image,
-        per_image};
-    quant::BitMap a, b;
-    // Two reads of the same image must occasionally differ somewhere in
-    // the binary activations.
-    a = hw.cache_stage_inputs(f.test, 1, i + 1).back();
-    b = hw.cache_stage_inputs(f.test, 1, i + 1).back();
-    if (a != b) ++changed;
-  }
+  for (int i = 0; i < 40; ++i)
+    if (a[static_cast<std::size_t>(i)] != b[static_cast<std::size_t>(i)])
+      ++changed;
   EXPECT_GT(changed, 0);
+  // And the noisy activations themselves are reproducible: identical calls
+  // see identical per-image streams regardless of what ran in between.
+  EXPECT_EQ(noisy.cache_stage_inputs(f.test, 1, 40), b);
 }
 
 TEST(SeiNetwork, SaOffsetIsStaticPerInstance) {
