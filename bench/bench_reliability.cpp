@@ -13,8 +13,9 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
-#include "exec/thread_pool.hpp"
+#include "common/signals.hpp"
 #include "common/table.hpp"
+#include "exec/thread_pool.hpp"
 #include "reliability/campaign.hpp"
 #include "workloads/pipeline.hpp"
 
@@ -34,6 +35,7 @@ int main(int argc, char** argv) try {
       cli.get("out", "reliability_campaign.json", "JSON report path");
   if (!cli.validate("SEI reliability campaign (fault injection + repair)"))
     return 0;
+  install_shutdown_handler();  // SIGINT/SIGTERM: finish trial, partial JSON
 
   data::DataBundle data = workloads::load_default_data(true);
   workloads::Artifacts art = workloads::prepare_workload(net_name, data, {});

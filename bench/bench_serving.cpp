@@ -1,0 +1,239 @@
+// Serving-runtime benchmark: latency percentiles, availability and
+// recovery behaviour of serve::ServingRuntime under an optional scripted
+// mid-service fault.
+//
+// Requests are submitted open-loop with a bounded in-flight window (the
+// admission queue's capacity), cycling the test set. When --fault-at is
+// set, a stuck-cell fault fires at that served-request count; the canary
+// sentinel detects the accuracy drop, the circuit breaker trips and the
+// recovery ladder runs — all measured here.
+//
+// Flags: --network, --requests, --workers, --queue, --deadline-ms,
+// --probe-every, --checkpoint-every, --checkpoint, --fault-at,
+// --fault-stuck, --json. SIGINT/SIGTERM drain gracefully and still write
+// the JSON (schema sei-serving-v1).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/io.hpp"
+#include "common/signals.hpp"
+#include "core/adc_network.hpp"
+#include "exec/thread_pool.hpp"
+#include "reliability/repair.hpp"
+#include "serve/runtime.hpp"
+#include "workloads/pipeline.hpp"
+
+using namespace sei;
+
+namespace {
+
+double percentile(std::vector<double> v, double pct) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = pct / 100.0 * (static_cast<double>(v.size()) - 1.0);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
+  const std::string net_name = cli.get("network", "network2");
+  const int requests = cli.get_int("requests", 2000, "requests to submit");
+  const int workers = cli.get_int("workers", 1, "serving worker threads");
+  const int queue_cap = cli.get_int("queue", 64, "admission queue bound");
+  const int deadline_ms =
+      cli.get_int("deadline-ms", 0, "per-request deadline (0 = none)");
+  const int probe_every =
+      cli.get_int("probe-every", 16, "served requests per sentinel probe");
+  const int ckpt_every = cli.get_int(
+      "checkpoint-every", 0, "served requests per checkpoint (0 = off)");
+  const std::string ckpt_path =
+      cli.get("checkpoint", "", "checkpoint file (empty = no durability)");
+  const int fault_at = cli.get_int(
+      "fault-at", 0, "inject a stuck-cell fault at this served count (0 = off)");
+  const double fault_stuck =
+      cli.get_double("fault-stuck", 0.05, "stuck fraction of the fault");
+  const std::string json_path = cli.get("json", "BENCH_serving.json");
+  if (!cli.validate("serving runtime: latency, availability, recovery"))
+    return 0;
+  SEI_CHECK_MSG(requests > 0, "requests must be positive");
+
+  install_shutdown_handler();
+
+  data::DataBundle data = workloads::load_default_data(true);
+  workloads::Artifacts art = workloads::prepare_workload(net_name, data, {});
+
+  core::HardwareConfig hw;
+  hw.spare_row_fraction = 0.1;  // tier-1 repair needs spares to remap onto
+  reliability::RepairReport repair_report;
+  core::SeiNetwork net(
+      art.qnet, hw,
+      reliability::make_repair_hook(reliability::RepairConfig{},
+                                    &repair_report));
+  core::AdcConfig adc_cfg;
+  const core::AdcNetwork fallback(art.qnet, adc_cfg, data.train);
+
+  serve::RuntimeConfig rc;
+  rc.workers = workers;
+  rc.queue_capacity = queue_cap;
+  rc.default_deadline = std::chrono::milliseconds(deadline_ms);
+  rc.checkpoint_every = ckpt_every;
+  rc.checkpoint_path = ckpt_path;
+  rc.sentinel.probe_every = probe_every;
+  rc.calibration.max_images = 200;
+  serve::ServingRuntime runtime(net, art.qnet, data.test, data.train, rc,
+                                &fallback);
+  if (fault_at > 0) {
+    serve::FaultSchedule sched;
+    sched.events.push_back(
+        {static_cast<std::uint64_t>(fault_at), -1, fault_stuck, 1.0});
+    runtime.set_fault_schedule(sched);
+  }
+  runtime.start();
+  std::printf("serving %d requests (%d workers, queue %d, deadline %d ms, "
+              "sentinel baseline %.2f%%)\n",
+              requests, workers, queue_cap, deadline_ms,
+              runtime.sentinel_baseline_pct());
+
+  const std::size_t per_image =
+      data.test.images.numel() / static_cast<std::size_t>(data.test.size());
+  auto image = [&](int i) {
+    const int k = i % data.test.size();
+    return std::span<const float>{
+        data.test.images.data() + static_cast<std::size_t>(k) * per_image,
+        per_image};
+  };
+
+  std::uint64_t answered = 0, available = 0;
+  std::deque<std::future<serve::Response>> inflight;
+  auto settle_front = [&] {
+    serve::Response r = inflight.front().get();
+    inflight.pop_front();
+    ++answered;
+    if (r.status != serve::ResponseStatus::kRejected) ++available;
+  };
+  int submitted = 0;
+  for (; submitted < requests && !shutdown_requested(); ++submitted) {
+    inflight.push_back(runtime.submit(image(submitted)));
+    while (static_cast<int>(inflight.size()) >= queue_cap) settle_front();
+  }
+  while (!inflight.empty()) settle_front();
+  runtime.stop();  // drain + final checkpoint
+
+  const serve::RuntimeStats st = runtime.stats();
+  const std::vector<double> lat = runtime.latencies_ms();
+  const double p50 = percentile(lat, 50.0);
+  const double p99 = percentile(lat, 99.0);
+  const double availability =
+      answered == 0 ? 0.0
+                    : 100.0 * static_cast<double>(available) /
+                          static_cast<double>(answered);
+  const auto events = runtime.breaker_events();
+  const auto recoveries = runtime.recoveries();
+
+  std::printf("\nanswered %llu  ok %llu  degraded %llu  rejected %llu  "
+              "(deadline misses %llu, shed %llu)\n",
+              static_cast<unsigned long long>(answered),
+              static_cast<unsigned long long>(st.ok),
+              static_cast<unsigned long long>(st.degraded),
+              static_cast<unsigned long long>(st.rejected),
+              static_cast<unsigned long long>(st.deadline_misses),
+              static_cast<unsigned long long>(st.shed));
+  std::printf("latency p50 %.3f ms  p99 %.3f ms  availability %.2f%%\n", p50,
+              p99, availability);
+  std::printf("sentinel baseline %.2f%%  window %.2f%%  probes %llu  "
+              "breaker trips %d  checkpoints %llu\n",
+              st.sentinel_baseline_pct, st.sentinel_window_pct,
+              static_cast<unsigned long long>(st.probes), st.breaker_trips,
+              static_cast<unsigned long long>(st.checkpoints));
+  for (const serve::RecoveryRecord& r : recoveries)
+    std::printf("recovery: tripped @%llu, %s @%llu (tier %d, %.1f ms, "
+                "probe acc %.2f%% -> %.2f%%)\n",
+                static_cast<unsigned long long>(r.tripped_at_served),
+                r.closed ? "closed" : "parked degraded",
+                static_cast<unsigned long long>(r.resolved_at_served),
+                r.tier_reached, r.duration_ms, r.acc_before_pct,
+                r.acc_after_pct);
+
+  JsonWriter j(json_path);
+  j.begin_object();
+  j.kv("schema", "sei-serving-v1");
+  j.kv("network", net_name);
+  j.kv("requests", static_cast<long long>(requests));
+  j.kv("submitted", static_cast<long long>(submitted));
+  j.kv("workers", static_cast<long long>(workers));
+  j.kv("queue_capacity", static_cast<long long>(queue_cap));
+  j.kv("deadline_ms", static_cast<long long>(deadline_ms));
+  j.kv("probe_every", static_cast<long long>(probe_every));
+  j.kv("fault_at", static_cast<long long>(fault_at));
+  j.kv("fault_stuck", fault_stuck);
+  j.kv("interrupted", shutdown_requested());
+  j.kv("p50_latency_ms", p50);
+  j.kv("p99_latency_ms", p99);
+  j.kv("availability_pct", availability);
+  j.key("counts");
+  j.begin_object();
+  j.kv("answered", static_cast<long long>(answered));
+  j.kv("ok", static_cast<long long>(st.ok));
+  j.kv("degraded", static_cast<long long>(st.degraded));
+  j.kv("rejected", static_cast<long long>(st.rejected));
+  j.kv("queue_rejections", static_cast<long long>(st.queue_rejections));
+  j.kv("deadline_misses", static_cast<long long>(st.deadline_misses));
+  j.kv("shed", static_cast<long long>(st.shed));
+  j.kv("checkpoints", static_cast<long long>(st.checkpoints));
+  j.end_object();
+  j.key("sentinel");
+  j.begin_object();
+  j.kv("baseline_pct", st.sentinel_baseline_pct);
+  j.kv("window_pct", st.sentinel_window_pct);
+  j.kv("probes", static_cast<long long>(st.probes));
+  j.end_object();
+  j.key("breaker");
+  j.begin_object();
+  j.kv("trips", st.breaker_trips);
+  j.key("events");
+  j.begin_array();
+  for (const serve::BreakerEvent& e : events) {
+    j.begin_object();
+    j.kv("at_served", static_cast<long long>(e.at_served));
+    j.kv("from", serve::to_string(e.from));
+    j.kv("to", serve::to_string(e.to));
+    j.kv("tier", e.tier);
+    j.kv("note", e.note);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  j.key("recoveries");
+  j.begin_array();
+  for (const serve::RecoveryRecord& r : recoveries) {
+    j.begin_object();
+    j.kv("tripped_at_served", static_cast<long long>(r.tripped_at_served));
+    j.kv("resolved_at_served", static_cast<long long>(r.resolved_at_served));
+    j.kv("tier_reached", r.tier_reached);
+    j.kv("closed", r.closed);
+    j.kv("acc_before_pct", r.acc_before_pct);
+    j.kv("acc_after_pct", r.acc_after_pct);
+    j.kv("duration_ms", r.duration_ms);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  j.commit();
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

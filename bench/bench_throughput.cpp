@@ -12,6 +12,7 @@
 
 #include "common/cli.hpp"
 #include "common/io.hpp"
+#include "common/signals.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "core/sei_network.hpp"
@@ -60,6 +61,7 @@ int main(int argc, char** argv) try {
   if (!cli.validate("batch-evaluation throughput: 1 thread vs N threads"))
     return 0;
   SEI_CHECK_MSG(images > 0 && repeats > 0, "images/repeats must be positive");
+  install_shutdown_handler();  // SIGINT/SIGTERM: finish the row, write JSON
 
   const int wide = exec::default_threads();
   std::printf("Throughput: SeiNetwork::error_rate, %d images, best of %d, "
@@ -78,6 +80,7 @@ int main(int argc, char** argv) try {
   bool deterministic = true;
 
   for (const std::string& name : split_csv(networks_csv)) {
+    if (shutdown_requested()) break;
     workloads::Artifacts art = workloads::prepare_workload(name, data, {});
     core::HardwareConfig cfg;
     cfg.device.read_noise_sigma = read_noise;
@@ -122,6 +125,7 @@ int main(int argc, char** argv) try {
   j.kv("threads_wide", static_cast<long long>(wide));
   j.kv("read_noise_sigma", read_noise);
   j.kv("deterministic", deterministic);
+  j.kv("interrupted", shutdown_requested());
   j.key("workloads");
   j.begin_array();
   for (const Row& r : rows) {

@@ -1,0 +1,166 @@
+// Long-running serving walkthrough: a SEI chip serves a request stream,
+// a mid-service fault silently damages the arrays, the canary sentinel
+// notices the accuracy drop, the circuit breaker trips and the runtime
+// repairs itself without a restart — with durable checkpoints the whole
+// time, so a kill -9 resumes from the last saved state.
+//
+// Used by CI as a soak test: --min-availability fails the run (exit 1)
+// when too many requests were rejected, and --strict additionally requires
+// the breaker to have tripped and closed again with accuracy restored.
+// SIGINT/SIGTERM drain gracefully, checkpoint and exit 0.
+//
+// Flags: --network network2, --requests 3000, --fault-at (default
+// requests/3), --fault-stuck 0.05, --probe-every 8, --checkpoint-every 500,
+// --checkpoint serve_demo.ckpt, --deadline-ms 0, --min-availability 0,
+// --strict.
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/signals.hpp"
+#include "core/adc_network.hpp"
+#include "exec/thread_pool.hpp"
+#include "reliability/repair.hpp"
+#include "serve/runtime.hpp"
+#include "workloads/pipeline.hpp"
+
+using namespace sei;
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  exec::set_default_threads(cli.get_threads());
+  const std::string net_name = cli.get("network", "network2");
+  const int requests = cli.get_int("requests", 3000, "requests to serve");
+  const int fault_at = cli.get_int("fault-at", requests / 3,
+                                   "served count of the fault (0 = none)");
+  const double fault_stuck =
+      cli.get_double("fault-stuck", 0.05, "stuck-cell fraction");
+  const int probe_every =
+      cli.get_int("probe-every", 8, "served requests per sentinel probe");
+  const int ckpt_every =
+      cli.get_int("checkpoint-every", 500, "served requests per checkpoint");
+  const std::string ckpt_path =
+      cli.get("checkpoint", "serve_demo.ckpt", "durable checkpoint file");
+  const int deadline_ms =
+      cli.get_int("deadline-ms", 0, "per-request deadline (0 = none)");
+  const double min_availability = cli.get_double(
+      "min-availability", 0.0, "fail when availability drops below this %");
+  const bool strict =
+      cli.get_bool("strict", false, "require trip + closed recovery");
+  if (!cli.validate("fault-tolerant serving runtime walkthrough / soak test"))
+    return 0;
+  SEI_CHECK_MSG(requests > 0, "requests must be positive");
+
+  install_shutdown_handler();
+
+  data::DataBundle data = workloads::load_default_data(true);
+  workloads::Artifacts art = workloads::prepare_workload(net_name, data, {});
+
+  core::HardwareConfig hw;
+  hw.spare_row_fraction = 0.1;
+  core::SeiNetwork net(
+      art.qnet, hw,
+      reliability::make_repair_hook(reliability::RepairConfig{}, nullptr));
+  const core::AdcNetwork fallback(art.qnet, core::AdcConfig{}, data.train);
+
+  serve::RuntimeConfig rc;
+  rc.queue_capacity = 64;
+  rc.default_deadline = std::chrono::milliseconds(deadline_ms);
+  rc.checkpoint_every = ckpt_every;
+  rc.checkpoint_path = ckpt_path;
+  rc.sentinel.probe_every = probe_every;
+  rc.calibration.max_images = 200;
+  serve::ServingRuntime runtime(net, art.qnet, data.test, data.train, rc,
+                                &fallback);
+  if (fault_at > 0) {
+    serve::FaultSchedule sched;
+    sched.events.push_back(
+        {static_cast<std::uint64_t>(fault_at), -1, fault_stuck, 1.0});
+    runtime.set_fault_schedule(sched);
+  }
+  runtime.start();
+  std::printf("[serve] %s from %s (baseline %.2f%%), %d requests, fault at "
+              "%d (%.1f%% stuck)\n",
+              runtime.resumed_from_checkpoint() ? "resumed" : "cold start",
+              ckpt_path.c_str(), runtime.sentinel_baseline_pct(), requests,
+              fault_at, 100.0 * fault_stuck);
+
+  const std::size_t per_image =
+      data.test.images.numel() / static_cast<std::size_t>(data.test.size());
+  std::uint64_t answered = 0, available = 0;
+  std::deque<std::future<serve::Response>> inflight;
+  auto settle_front = [&] {
+    const serve::Response r = inflight.front().get();
+    inflight.pop_front();
+    ++answered;
+    if (r.status != serve::ResponseStatus::kRejected) ++available;
+  };
+  for (int i = 0; i < requests && !shutdown_requested(); ++i) {
+    const int k = i % data.test.size();
+    inflight.push_back(runtime.submit(
+        {data.test.images.data() + static_cast<std::size_t>(k) * per_image,
+         per_image}));
+    while (static_cast<int>(inflight.size()) >= rc.queue_capacity)
+      settle_front();
+  }
+  while (!inflight.empty()) settle_front();
+  runtime.stop();
+  if (shutdown_requested())
+    std::printf("[serve] interrupted; drained and checkpointed\n");
+
+  const serve::RuntimeStats st = runtime.stats();
+  const double availability =
+      answered == 0 ? 100.0
+                    : 100.0 * static_cast<double>(available) /
+                          static_cast<double>(answered);
+  std::printf("[serve] answered %llu: ok %llu, degraded %llu, rejected %llu "
+              "-> availability %.2f%%\n",
+              static_cast<unsigned long long>(answered),
+              static_cast<unsigned long long>(st.ok),
+              static_cast<unsigned long long>(st.degraded),
+              static_cast<unsigned long long>(st.rejected), availability);
+  std::printf("[serve] probes %llu, checkpoints %llu, breaker trips %d\n",
+              static_cast<unsigned long long>(st.probes),
+              static_cast<unsigned long long>(st.checkpoints),
+              st.breaker_trips);
+  for (const serve::BreakerEvent& e : runtime.breaker_events())
+    std::printf("[breaker] @%-6llu %s -> %s (tier %d): %s\n",
+                static_cast<unsigned long long>(e.at_served),
+                serve::to_string(e.from), serve::to_string(e.to), e.tier,
+                e.note.c_str());
+
+  bool recovered_ok = false;
+  for (const serve::RecoveryRecord& r : runtime.recoveries()) {
+    std::printf("[recover] tripped @%llu (%.2f%%), %s @%llu at tier %d "
+                "(%.2f%%, %.1f ms)\n",
+                static_cast<unsigned long long>(r.tripped_at_served),
+                r.acc_before_pct, r.closed ? "closed" : "degraded",
+                static_cast<unsigned long long>(r.resolved_at_served),
+                r.tier_reached, r.acc_after_pct, r.duration_ms);
+    if (r.closed &&
+        r.acc_after_pct >= runtime.sentinel_baseline_pct() - 2.0 &&
+        (fault_at == 0 ||
+         r.tripped_at_served <= static_cast<std::uint64_t>(fault_at) + 200))
+      recovered_ok = true;
+  }
+
+  if (min_availability > 0.0 && availability < min_availability &&
+      !shutdown_requested()) {
+    std::fprintf(stderr, "FAIL: availability %.2f%% < %.2f%%\n", availability,
+                 min_availability);
+    return 1;
+  }
+  if (strict && fault_at > 0 && !shutdown_requested() && !recovered_ok) {
+    std::fprintf(stderr,
+                 "FAIL: breaker never tripped+closed with accuracy within "
+                 "2 pts of baseline\n");
+    return 1;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -8,11 +8,35 @@
 
 namespace sei {
 
+namespace {
+
+/// Levenshtein distance, for "did you mean --threads?" suggestions.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t next =
+          std::min({row[j] + 1, row[j - 1] + 1,
+                    diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
 Cli::Cli(int argc, char** argv) {
   program_ = argc > 0 ? argv[0] : "program";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    SEI_CHECK_MSG(arg.rfind("--", 0) == 0, "unexpected positional arg: " << arg);
+    if (arg.rfind("--", 0) != 0)
+      throw CliError("unexpected positional argument '" + arg +
+                     "' (flags look like --name value; see --help)");
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
@@ -39,8 +63,8 @@ int Cli::get_int(const std::string& name, int default_value,
   const std::string v = get(name, std::to_string(default_value), help);
   char* end = nullptr;
   const long r = std::strtol(v.c_str(), &end, 10);
-  SEI_CHECK_MSG(end != v.c_str() && *end == '\0',
-                "flag --" << name << " expects an integer, got '" << v << "'");
+  if (end == v.c_str() || *end != '\0')
+    throw CliError("flag --" + name + " expects an integer, got '" + v + "'");
   return static_cast<int>(r);
 }
 
@@ -49,8 +73,8 @@ double Cli::get_double(const std::string& name, double default_value,
   const std::string v = get(name, std::to_string(default_value), help);
   char* end = nullptr;
   const double r = std::strtod(v.c_str(), &end);
-  SEI_CHECK_MSG(end != v.c_str() && *end == '\0',
-                "flag --" << name << " expects a number, got '" << v << "'");
+  if (end == v.c_str() || *end != '\0')
+    throw CliError("flag --" + name + " expects a number, got '" + v + "'");
   return r;
 }
 
@@ -62,8 +86,9 @@ bool Cli::get_bool(const std::string& name, bool default_value,
 
 int Cli::get_threads(const std::string& help) {
   const int threads = get_int("threads", 0, help);
-  SEI_CHECK_MSG(threads >= 0,
-                "flag --threads must be >= 0 (0 = auto), got " << threads);
+  if (threads < 0)
+    throw CliError("flag --threads must be >= 0 (0 = auto), got " +
+                   std::to_string(threads));
   return threads;
 }
 
@@ -75,10 +100,23 @@ bool Cli::validate(const std::string& program_description) const {
   }
   for (const auto& [name, value] : args_) {
     (void)value;
-    const bool known =
-        std::find(known_names_.begin(), known_names_.end(), name) !=
-        known_names_.end();
-    SEI_CHECK_MSG(known, "unknown flag --" << name << " (see --help)");
+    if (std::find(known_names_.begin(), known_names_.end(), name) !=
+        known_names_.end())
+      continue;
+    // A near-miss on a declared flag is almost always a typo — name it.
+    std::string suggestion;
+    std::size_t best = name.size() / 2 + 1;  // only plausible typos
+    for (const std::string& k : known_names_) {
+      const std::size_t d = edit_distance(name, k);
+      if (d < best) {
+        best = d;
+        suggestion = k;
+      }
+    }
+    std::string msg = "unknown flag --" + name;
+    if (!suggestion.empty()) msg += " (did you mean --" + suggestion + "?)";
+    msg += "; run with --help for the flag list";
+    throw CliError(msg);
   }
   return true;
 }

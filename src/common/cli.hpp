@@ -1,14 +1,26 @@
 // Minimal command-line flag parser for the bench/example binaries.
 //
 // Supported forms: --name value, --name=value, --flag (boolean true).
-// Unknown flags raise CheckError so typos are caught rather than ignored.
+// Unknown flags raise CliError so typos are caught rather than ignored —
+// a mistyped `--treads 8` must abort with "did you mean --threads?", not
+// silently run at the default thread count.
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace sei {
+
+/// Usage error on the command line (unknown flag, malformed value). Derives
+/// from CheckError so existing catch sites keep working, but carries a
+/// user-facing message with no file:line prefix.
+class CliError : public CheckError {
+ public:
+  explicit CliError(const std::string& what) : CheckError(what) {}
+};
 
 class Cli {
  public:
@@ -32,9 +44,14 @@ class Cli {
   int get_threads(const std::string& help =
                       "worker threads for parallel evaluation (0 = auto)");
 
-  bool has(const std::string& name) const { return args_.count(name) > 0; }
+  /// Presence test; also registers `name` as known for validate().
+  bool has(const std::string& name) const {
+    known_names_.push_back(name);
+    return args_.count(name) > 0;
+  }
 
-  /// Throws if the command line contained flags never declared via get*().
+  /// Throws CliError naming the first flag never declared via get*()/has(),
+  /// with a "did you mean" suggestion when a declared flag is close.
   /// Prints usage and returns false if --help was passed.
   bool validate(const std::string& program_description) const;
 

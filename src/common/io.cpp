@@ -1,11 +1,70 @@
 #include "common/io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 namespace sei {
+
+namespace {
+
+// Sentinel preceding the CRC word so a trailer-less (legacy/truncated) file
+// is distinguishable from one whose CRC merely mismatches.
+constexpr std::uint32_t kCrcTrailerMagic = 0x5e1cc32c;
+constexpr std::uint64_t kCrcTrailerBytes = 8;  // magic u32 + crc u32
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+/// fsync the object at `path` (a file or a directory). Directories need it
+/// so the rename's new directory entry is on disk, not just in cache.
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  SEI_CHECK_MSG(fd >= 0,
+                "cannot open for fsync: " << path << " (" << std::strerror(errno)
+                                          << ")");
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  SEI_CHECK_MSG(rc == 0,
+                "fsync failed: " << path << " (" << std::strerror(saved) << ")");
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+void atomic_replace_durable(const std::string& tmp_path,
+                            const std::string& path) {
+  fsync_path(tmp_path);
+  std::filesystem::rename(tmp_path, path);
+  const std::filesystem::path dir =
+      std::filesystem::path(path).parent_path();
+  fsync_path(dir.empty() ? "." : dir.string());
+}
 
 BinaryWriter::BinaryWriter(std::string path)
     : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
@@ -23,6 +82,7 @@ BinaryWriter::~BinaryWriter() {
 void BinaryWriter::raw(const void* p, std::size_t n) {
   out_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
   SEI_CHECK_MSG(out_.good(), "write failed: " << tmp_path_);
+  crc_ = crc32(p, n, crc_);
 }
 
 void BinaryWriter::write_u32(std::uint32_t v) { raw(&v, sizeof v); }
@@ -58,10 +118,16 @@ void BinaryWriter::write_u8_vec(const std::vector<std::uint8_t>& v) {
 
 void BinaryWriter::commit() {
   SEI_CHECK(!committed_);
+  // Trailer: magic + CRC of everything before it. Written via the stream
+  // directly (not raw()) so the CRC does not fold in its own encoding.
+  const std::uint32_t payload_crc = crc_;
+  out_.write(reinterpret_cast<const char*>(&kCrcTrailerMagic),
+             sizeof kCrcTrailerMagic);
+  out_.write(reinterpret_cast<const char*>(&payload_crc), sizeof payload_crc);
   out_.flush();
   SEI_CHECK_MSG(out_.good(), "flush failed: " << tmp_path_);
   out_.close();
-  std::filesystem::rename(tmp_path_, path_);
+  atomic_replace_durable(tmp_path_, path_);
   committed_ = true;
 }
 
@@ -72,6 +138,42 @@ BinaryReader::BinaryReader(const std::string& path) : path_(path) {
   const auto sz = std::filesystem::file_size(path, ec);
   SEI_CHECK_MSG(!ec, "cannot stat " << path << ": " << ec.message());
   size_ = static_cast<std::uint64_t>(sz);
+}
+
+void BinaryReader::verify_crc() {
+  SEI_CHECK_MSG(pos_ == 0, "verify_crc() must precede any read");
+  SEI_CHECK_MSG(size_ >= kCrcTrailerBytes,
+                "no integrity trailer in " << path_ << ": file is only "
+                                           << size_ << " bytes");
+  const std::uint64_t payload = size_ - kCrcTrailerBytes;
+  in_.seekg(static_cast<std::streamoff>(payload));
+  std::uint32_t magic = 0, stored = 0;
+  in_.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in_.read(reinterpret_cast<char*>(&stored), sizeof stored);
+  SEI_CHECK_MSG(in_.good(), "cannot read integrity trailer of " << path_);
+  SEI_CHECK_MSG(magic == kCrcTrailerMagic,
+                "missing integrity trailer in "
+                    << path_ << " (legacy format or truncated write)");
+  in_.seekg(0);
+  std::uint32_t crc = 0;
+  std::vector<char> buf(64 * 1024);
+  std::uint64_t left = payload;
+  while (left > 0) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(left, buf.size()));
+    in_.read(buf.data(), static_cast<std::streamsize>(n));
+    SEI_CHECK_MSG(in_.gcount() == static_cast<std::streamsize>(n),
+                  "short read verifying " << path_);
+    crc = crc32(buf.data(), n, crc);
+    left -= n;
+  }
+  SEI_CHECK_MSG(crc == stored,
+                "CRC mismatch in " << path_ << ": stored " << stored
+                                   << ", computed " << crc
+                                   << " (torn or corrupted write)");
+  in_.seekg(0);
+  SEI_CHECK_MSG(in_.good(), "cannot rewind " << path_);
+  size_ = payload;  // hide the trailer from remaining()/length checks
 }
 
 void BinaryReader::raw(void* p, std::size_t n) {
@@ -294,7 +396,7 @@ void JsonWriter::commit() {
   out_.flush();
   SEI_CHECK_MSG(out_.good(), "flush failed: " << tmp_path_);
   out_.close();
-  std::filesystem::rename(tmp_path_, path_);
+  atomic_replace_durable(tmp_path_, path_);
   committed_ = true;
 }
 

@@ -1,8 +1,12 @@
-// Binary (de)serialization helpers for model and dataset caches.
+// Binary (de)serialization helpers for model, dataset and checkpoint files.
 //
 // Format: little-endian PODs, length-prefixed vectors, magic/version headers
-// written by the callers. Files are written atomically (tmp + rename) so an
-// interrupted run never leaves a truncated cache behind.
+// written by the callers. Every file ends in a CRC32 trailer over the whole
+// payload, and commits are durable: the temp file is fsync'd before the
+// atomic rename and the directory entry is fsync'd after it, so a process
+// killed at any instant leaves either the old file or the new one — never a
+// torn mixture — and readers that call verify_crc() detect the remaining
+// failure mode (corruption of the bytes themselves).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,16 @@
 #include "common/check.hpp"
 
 namespace sei {
+
+/// Incremental CRC-32 (IEEE 802.3, the zlib polynomial). Feed chunks by
+/// passing the previous return value as `crc`; start from 0.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc = 0);
+
+/// Durable atomic replace: fsync `tmp_path`, rename it onto `path`, fsync
+/// the containing directory. After it returns, a crash cannot resurrect the
+/// old content or lose the new.
+void atomic_replace_durable(const std::string& tmp_path,
+                            const std::string& path);
 
 class BinaryWriter {
  public:
@@ -33,7 +47,8 @@ class BinaryWriter {
   void write_i32_vec(const std::vector<std::int32_t>& v);
   void write_u8_vec(const std::vector<std::uint8_t>& v);
 
-  /// Flushes and atomically renames the temp file into place.
+  /// Appends the CRC32 trailer, fsyncs, and atomically renames the temp
+  /// file into place (durable: survives kill -9 at any point).
   void commit();
 
  private:
@@ -41,12 +56,21 @@ class BinaryWriter {
   std::string path_;
   std::string tmp_path_;
   std::ofstream out_;
+  std::uint32_t crc_ = 0;  // running CRC of every payload byte written
   bool committed_ = false;
 };
 
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
+
+  /// Validates the CRC32 trailer BinaryWriter::commit appended and hides it
+  /// from the read cursor (remaining() excludes the trailer afterwards).
+  /// Must be called before any read. Throws CheckError when the trailer is
+  /// missing (legacy or truncated file) or the payload CRC mismatches (torn
+  /// or bit-flipped write) — callers treat that as a cache miss / corrupt
+  /// checkpoint, never as loadable data.
+  void verify_crc();
 
   std::uint32_t read_u32();
   std::uint64_t read_u64();

@@ -1,0 +1,92 @@
+// Structured error handling for the serving path.
+//
+// Library internals validate invariants with SEI_CHECK (throwing CheckError:
+// a bug or an unusable input is not a condition to recover from). The
+// long-running serving runtime, by contrast, must keep answering when a
+// request misses its deadline, a checkpoint is torn, or the accelerator is
+// degraded — those are expected outcomes, not bugs, so they travel as
+// values: `Result<T>` is either a T or an `Error{code, message}` and the
+// caller decides the next tier of the degradation ladder.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.hpp"
+
+namespace sei {
+
+enum class ErrorCode {
+  kCancelled,          // cooperative cancellation (shutdown, superseded work)
+  kDeadlineExceeded,   // the request's deadline passed before completion
+  kQueueFull,          // bounded admission queue rejected the request
+  kShedding,           // breaker exhausted its tiers; load is being shed
+  kUnavailable,        // runtime is stopped / not accepting work
+  kCorrupt,            // integrity check failed (CRC, magic, geometry)
+  kIo,                 // filesystem error reading/writing durable state
+  kInternal,           // wrapped unexpected exception
+};
+
+const char* to_string(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+/// Value-or-Error. Construct from a T or an Error; query ok() before
+/// value()/error() (both are checked).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T v) : data_(std::in_place_index<0>, std::move(v)) {}
+  Result(Error e) : data_(std::in_place_index<1>, std::move(e)) {}
+
+  bool ok() const { return data_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    SEI_CHECK_MSG(ok(), "Result::value() on error: " << error().message);
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    SEI_CHECK_MSG(ok(), "Result::value() on error: " << error().message);
+    return std::get<0>(data_);
+  }
+  T&& take() && {
+    SEI_CHECK_MSG(ok(), "Result::take() on error: " << error().message);
+    return std::get<0>(std::move(data_));
+  }
+
+  const Error& error() const {
+    SEI_CHECK(!ok());
+    return std::get<1>(data_);
+  }
+  ErrorCode code() const { return error().code; }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> stand-in for operations with no payload.
+struct Unit {};
+using Status = Result<Unit>;
+
+inline Status ok_status() { return Status(Unit{}); }
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kShedding: return "shedding";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kCorrupt: return "corrupt";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace sei

@@ -1,0 +1,37 @@
+#include "common/signals.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace sei {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void on_signal(int sig) {
+  g_shutdown.store(true, std::memory_order_relaxed);
+  // Second signal: give up on graceful draining — restore the default
+  // disposition so the next delivery terminates immediately.
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+void install_shutdown_handler() {
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+}
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void request_shutdown() { g_shutdown.store(true, std::memory_order_relaxed); }
+
+void reset_shutdown_flag() {
+  g_shutdown.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace sei

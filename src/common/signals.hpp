@@ -1,0 +1,27 @@
+// Cooperative SIGINT/SIGTERM shutdown for the long-running binaries.
+//
+// A signal must not abort a bench mid-write or strand a serving runtime's
+// in-flight requests: the handler only sets an async-signal-safe flag, and
+// the main loops poll shutdown_requested() at their natural boundaries
+// (between measurements, between served requests), then drain, write their
+// final checkpoint/JSON report, and exit 0. A second signal while draining
+// restores the default disposition, so a third kills the process the
+// traditional way if draining itself hangs.
+#pragma once
+
+namespace sei {
+
+/// Installs the SIGINT/SIGTERM handler. Idempotent; call once at startup.
+void install_shutdown_handler();
+
+/// True once SIGINT or SIGTERM arrived (or request_shutdown() was called).
+bool shutdown_requested();
+
+/// Programmatic equivalent of receiving a signal (tests, nested runtimes).
+void request_shutdown();
+
+/// Clears the flag — for tests that simulate several shutdown cycles in one
+/// process. Production binaries never need it.
+void reset_shutdown_flag();
+
+}  // namespace sei

@@ -267,9 +267,17 @@ int AdcNetwork::predict(std::span<const float> image) const {
 }
 
 int AdcNetwork::predict(std::span<const float> image, EvalContext& ctx) const {
+  SEI_CHECK_MSG(ctx.cancel == nullptr,
+                "predict() cannot take a cancel token — use try_predict()");
+  return try_predict(image, ctx).value();
+}
+
+Result<int> AdcNetwork::try_predict(std::span<const float> image,
+                                    EvalContext& ctx) const {
   if (ideal_ && ctx.observed_max.size() < stages_.size())
     ctx.observed_max.resize(stages_.size(), 0.0);
   for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (ctx.cancel && ctx.cancel->expired()) return ctx.cancel->to_error();
     const Stage& st = stages_[i];
     if (i == 0)
       run_stage(st, static_cast<int>(i), nullptr, image, ctx.pooled_bits,

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "common/result.hpp"
 #include "core/eval_context.hpp"
 #include "core/structure.hpp"
 #include "data/dataset.hpp"
@@ -54,6 +55,12 @@ class AdcNetwork {
   /// (network state, image) — trivially thread-safe with one context per
   /// worker.
   int predict(std::span<const float> image, EvalContext& ctx) const;
+
+  /// Structured-error variant for the serving path (the breaker's ADC
+  /// fallback tier): honors ctx.cancel between stages like
+  /// SeiNetwork::try_predict.
+  Result<int> try_predict(std::span<const float> image,
+                          EvalContext& ctx) const;
 
   /// Classification error in percent; images evaluated in parallel on the
   /// default exec pool, bit-identical at any thread count.

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "exec/cancel.hpp"
 #include "quant/qnet.hpp"
 
 namespace sei::core {
@@ -19,6 +20,13 @@ struct EvalContext {
   /// Read-noise stream of the stage currently being evaluated; the engines
   /// re-derive it per (image_index, stage) via Rng::fork.
   Rng rng{0};
+
+  /// Optional cooperative cancel/deadline token. try_predict checks it
+  /// between stages and returns Error instead of finishing; the throwing
+  /// predict() entry points require it to be unset. Does not influence the
+  /// computed result — a completed prediction is bit-identical with or
+  /// without a token attached.
+  const exec::CancelToken* cancel = nullptr;
 
   // SEI scratch.
   std::vector<double> block_sums;  // per-(block, col) partial sums

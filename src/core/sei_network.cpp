@@ -263,7 +263,19 @@ int SeiNetwork::predict(std::span<const float> image) const {
 
 int SeiNetwork::predict(std::span<const float> image, EvalContext& ctx,
                         long long image_index) const {
+  SEI_CHECK_MSG(ctx.cancel == nullptr,
+                "predict() cannot take a cancel token — use try_predict()");
+  return try_predict(image, ctx, image_index).value();
+}
+
+Result<int> SeiNetwork::try_predict(std::span<const float> image,
+                                    EvalContext& ctx,
+                                    long long image_index) const {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
+    // The stage boundary is the cancellation point: coarse enough to stay
+    // free when no token is armed, fine enough that a request misses its
+    // deadline by at most one stage of work.
+    if (ctx.cancel && ctx.cancel->expired()) return ctx.cancel->to_error();
     const MappedLayer& m = layers_[i];
     ctx.rng = stage_stream(image_index, static_cast<int>(i));
     if (i == 0)

@@ -10,6 +10,7 @@
 
 #include <span>
 
+#include "common/result.hpp"
 #include "core/eval_context.hpp"
 #include "core/mapping.hpp"
 #include "data/dataset.hpp"
@@ -47,6 +48,13 @@ class SeiNetwork {
   /// same noise draws no matter what ran in between or on which thread.
   int predict(std::span<const float> image, EvalContext& ctx,
               long long image_index = 0) const;
+
+  /// Structured-error variant for the serving path: when ctx.cancel is set,
+  /// the token is checked between stages and an expired one yields
+  /// Error{kCancelled/kDeadlineExceeded} instead of a label. A completed
+  /// prediction is bit-identical to predict() with the same index.
+  Result<int> try_predict(std::span<const float> image, EvalContext& ctx,
+                          long long image_index = 0) const;
 
   /// Classification error in percent. `max_images` < 0 means all. Images
   /// are evaluated in parallel on the default exec pool; per-image RNG

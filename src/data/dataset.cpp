@@ -37,6 +37,7 @@ void save_dataset(const Dataset& d, const std::string& path) {
 
 Dataset load_dataset(const std::string& path) {
   BinaryReader r(path);
+  r.verify_crc();
   SEI_CHECK_MSG(r.read_u32() == kMagic, "not a dataset file: " << path);
   const std::uint64_t ndim = r.read_u64();
   std::vector<int> shape(ndim);

@@ -1,0 +1,84 @@
+// Cooperative cancellation and deadlines for batch work.
+//
+// A CancelToken is a thread-safe flag plus an optional steady-clock
+// deadline. Producers (the serving runtime's request path, shutdown
+// handlers) arm it; consumers (ThreadPool chunk claiming, the per-stage
+// checks inside SeiNetwork::try_predict) poll expired() at natural
+// boundaries and stop claiming new work. Cancellation is cooperative and
+// cheap — one relaxed atomic load plus, only when a deadline is armed, one
+// clock read — and never interrupts a chunk mid-flight, so partial results
+// are simply discarded, keeping the determinism contract intact (a
+// completed computation is bit-identical whether or not a token was
+// attached).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/result.hpp"
+
+namespace sei::exec {
+
+/// Thrown by the parallel helpers when a token expires mid-batch and the
+/// remaining chunks were abandoned. Callers on the serving path convert it
+/// to Error{kCancelled/kDeadlineExceeded}; everyone else treats it as an
+/// ordinary failure.
+class Cancelled : public std::runtime_error {
+ public:
+  explicit Cancelled(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  using Clock = std::chrono::steady_clock;
+
+  /// Requests cancellation (sticky until reset()).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms an absolute deadline; expired() turns true once it passes.
+  void set_deadline(Clock::time_point tp) {
+    deadline_ns_.store(tp.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+  void set_deadline_after(Clock::duration d) {
+    set_deadline(Clock::now() + d);
+  }
+  void clear_deadline() { deadline_ns_.store(0, std::memory_order_relaxed); }
+
+  /// Re-arms the token for a new unit of work (serving workers reuse one
+  /// token per thread instead of allocating per request).
+  void reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    clear_deadline();
+  }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True once cancelled or past the armed deadline.
+  bool expired() const {
+    if (cancel_requested()) return true;
+    const auto ns = deadline_ns_.load(std::memory_order_relaxed);
+    return ns != 0 && Clock::now().time_since_epoch().count() >= ns;
+  }
+
+  /// Structured error describing why the token fired (explicit cancel wins
+  /// over deadline when both hold).
+  Error to_error() const {
+    if (cancel_requested())
+      return {ErrorCode::kCancelled, "work was cancelled"};
+    return {ErrorCode::kDeadlineExceeded, "deadline exceeded"};
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<Clock::rep> deadline_ns_{0};  // 0 = no deadline
+};
+
+}  // namespace sei::exec

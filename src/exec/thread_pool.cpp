@@ -36,6 +36,14 @@ void ThreadPool::drain(const std::function<void(int)>& fn,
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (gen_ != gen || next_chunk_ >= chunks_) return;
+      // Cooperative cancellation: an expired token abandons the unclaimed
+      // chunks (already-claimed ones finish; their results are discarded by
+      // the submitter, which throws Cancelled instead of returning).
+      if (token_ && token_->expired()) {
+        next_chunk_ = chunks_;
+        aborted_ = true;
+        return;
+      }
       chunk = next_chunk_++;
       ++claimed_;
     }
@@ -79,7 +87,8 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run_chunks(int chunks, const std::function<void(int)>& fn) {
+void ThreadPool::run_chunks(int chunks, const std::function<void(int)>& fn,
+                            const CancelToken* token) {
   if (chunks <= 0) return;
   bool inline_run = threads_ == 1 || chunks == 1 || tl_in_task;
   if (!inline_run) {
@@ -89,7 +98,10 @@ void ThreadPool::run_chunks(int chunks, const std::function<void(int)>& fn) {
     if (job_ != nullptr) inline_run = true;
   }
   if (inline_run) {
-    for (int c = 0; c < chunks; ++c) fn(c);
+    for (int c = 0; c < chunks; ++c) {
+      if (token && token->expired()) throw Cancelled("batch cancelled");
+      fn(c);
+    }
     return;
   }
 
@@ -98,16 +110,19 @@ void ThreadPool::run_chunks(int chunks, const std::function<void(int)>& fn) {
     std::lock_guard<std::mutex> lk(mu_);
     gen = ++gen_;
     job_ = &fn;
+    token_ = token;
     chunks_ = chunks;
     next_chunk_ = 0;
     claimed_ = 0;
     completed_ = 0;
+    aborted_ = false;
     error_ = nullptr;
   }
   work_cv_.notify_all();
   drain(fn, gen);  // the submitting thread participates
 
   std::exception_ptr err;
+  bool aborted = false;
   {
     // An errored job abandons its unclaimed chunks, so completion means
     // "nothing left to claim and every claimed chunk finished" — not
@@ -117,10 +132,14 @@ void ThreadPool::run_chunks(int chunks, const std::function<void(int)>& fn) {
       return next_chunk_ >= chunks_ && completed_ == claimed_;
     });
     job_ = nullptr;
+    token_ = nullptr;
     err = error_;
     error_ = nullptr;
+    aborted = aborted_;
+    aborted_ = false;
   }
   if (err) std::rethrow_exception(err);
+  if (aborted) throw Cancelled("batch cancelled");
 }
 
 namespace {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "exec/cancel.hpp"
 
 namespace sei::exec {
 
@@ -49,7 +50,13 @@ class ThreadPool {
   /// over the pool plus the calling thread; blocks until all complete and
   /// rethrows the first exception a chunk raised. Calls issued from inside
   /// a pool task (or when the pool has one thread) run inline.
-  void run_chunks(int chunks, const std::function<void(int)>& fn);
+  ///
+  /// `token` (optional) makes the batch cancellable: once it expires, no
+  /// further chunk is claimed (in-flight chunks finish), the unclaimed rest
+  /// is abandoned, and run_chunks throws Cancelled. A batch whose every
+  /// chunk completed before expiry returns normally.
+  void run_chunks(int chunks, const std::function<void(int)>& fn,
+                  const CancelToken* token = nullptr);
 
   /// True while the calling thread is executing a pool task.
   static bool in_task();
@@ -71,11 +78,13 @@ class ThreadPool {
   std::condition_variable work_cv_;  // workers: a job arrived / shutdown
   std::condition_variable done_cv_;  // submitter: all chunks completed
   const std::function<void(int)>* job_ = nullptr;  // guarded by mu_
+  const CancelToken* token_ = nullptr;  // current job's token (guarded by mu_)
   std::uint64_t gen_ = 0;  // bumped per job publication
   int chunks_ = 0;
   int next_chunk_ = 0;
   int claimed_ = 0;    // chunks handed to a thread (stops growing on error)
   int completed_ = 0;  // claimed chunks that finished (even by throwing)
+  bool aborted_ = false;      // token expired; unclaimed chunks abandoned
   std::exception_ptr error_;  // first failure of the current job
   bool stop_ = false;
 };
@@ -100,10 +109,11 @@ inline constexpr int kEvalGrain = 8;
 
 /// Runs fn(lo, hi) over the ceil(n/grain) contiguous ranges of [0, n).
 /// Chunk boundaries depend only on (n, grain), so per-chunk state is
-/// identical at every thread count.
+/// identical at every thread count. An expired `token` abandons the
+/// unclaimed chunks and throws Cancelled.
 template <typename Fn>
-void parallel_for_chunks(int n, int grain, Fn&& fn,
-                         ThreadPool* pool = nullptr) {
+void parallel_for_chunks(int n, int grain, Fn&& fn, ThreadPool* pool = nullptr,
+                         const CancelToken* token = nullptr) {
   if (n <= 0) return;
   SEI_CHECK(grain >= 1);
   const int chunks = (n + grain - 1) / grain;
@@ -114,22 +124,23 @@ void parallel_for_chunks(int n, int grain, Fn&& fn,
     fn(lo, hi);
   };
   if (chunks == 1) {
+    if (token && token->expired()) throw Cancelled("batch cancelled");
     chunk_fn(0);
     return;
   }
-  p.run_chunks(chunks, chunk_fn);
+  p.run_chunks(chunks, chunk_fn, token);
 }
 
 /// Runs fn(i) for every i in [0, n).
 template <typename Fn>
 void parallel_for(int n, Fn&& fn, ThreadPool* pool = nullptr,
-                  int grain = kEvalGrain) {
+                  int grain = kEvalGrain, const CancelToken* token = nullptr) {
   parallel_for_chunks(
       n, grain,
       [&](int lo, int hi) {
         for (int i = lo; i < hi; ++i) fn(i);
       },
-      pool);
+      pool, token);
 }
 
 /// Reduction: chunk_fn(lo, hi) -> T per chunk, then
@@ -138,7 +149,8 @@ void parallel_for(int n, Fn&& fn, ThreadPool* pool = nullptr,
 /// combines (floating point), because the bracketing is fixed by grain.
 template <typename T, typename ChunkFn, typename Combine = std::plus<T>>
 T parallel_reduce(int n, int grain, T init, ChunkFn&& chunk_fn,
-                  Combine combine = {}, ThreadPool* pool = nullptr) {
+                  Combine combine = {}, ThreadPool* pool = nullptr,
+                  const CancelToken* token = nullptr) {
   if (n <= 0) return init;
   SEI_CHECK(grain >= 1);
   const int chunks = (n + grain - 1) / grain;
@@ -148,7 +160,7 @@ T parallel_reduce(int n, int grain, T init, ChunkFn&& chunk_fn,
       [&](int lo, int hi) {
         partials[static_cast<std::size_t>(lo / grain)] = chunk_fn(lo, hi);
       },
-      pool);
+      pool, token);
   for (const T& part : partials) init = combine(init, part);
   return init;
 }

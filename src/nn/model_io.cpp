@@ -6,7 +6,9 @@ namespace sei::nn {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x5e1cadef;
-constexpr std::uint32_t kVersion = 1;
+// v2: file carries the common/io CRC32 trailer (torn writes are detected
+// and treated as cache misses instead of loaded).
+constexpr std::uint32_t kVersion = 2;
 }  // namespace
 
 void save_model(Network& net, const std::string& path) {
@@ -28,6 +30,7 @@ void save_model(Network& net, const std::string& path) {
 void load_model(Network& net, const std::string& path) {
   auto params = net.params();
   BinaryReader r(path);
+  r.verify_crc();
   SEI_CHECK_MSG(r.read_u32() == kMagic, "not a model file: " << path);
   SEI_CHECK_MSG(r.read_u32() == kVersion, "unsupported model version");
   const std::uint64_t count = r.read_u64();

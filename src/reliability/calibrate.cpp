@@ -59,4 +59,69 @@ CalibrationReport recalibrate_thresholds(core::SeiNetwork& net,
   return rep;
 }
 
+Result<CalibrationReport> try_recalibrate_thresholds(
+    core::SeiNetwork& net, const data::Dataset& calib,
+    const CalibrationConfig& cfg, const exec::CancelToken* cancel) {
+  if (cfg.gamma_min <= 0.0)
+    return Error{ErrorCode::kInternal, "threshold trim must stay positive"};
+  const auto grid =
+      quant::threshold_grid(cfg.gamma_min, cfg.gamma_max, cfg.gamma_step);
+
+  try {
+    CalibrationReport rep;
+    rep.error_before_pct = net.error_rate(calib, cfg.max_images);
+
+    double current = rep.error_before_pct;
+    for (int s = 0; s < net.stage_count(); ++s) {
+      core::MappedLayer& m = net.layer(s);
+      if (!m.binarize || m.col_threshold.empty()) continue;
+
+      const std::vector<float> nominal = m.col_threshold;
+      StageTrim trim;
+      trim.stage = s;
+      trim.error_before_pct = current;
+      float best_gamma = 1.0f;
+      double best_err = current;
+
+      for (const float gamma : grid) {
+        if (gamma == 1.0f) continue;
+        if (cancel && cancel->expired()) {
+          // Leave the network in a sane state: the stage being swept goes
+          // back to its nominal thresholds before we bail out.
+          m.col_threshold = nominal;
+          return cancel->to_error();
+        }
+        for (std::size_t c = 0; c < nominal.size(); ++c)
+          m.col_threshold[c] = nominal[c] * gamma;
+        const double err = net.error_rate(calib, cfg.max_images);
+        if (err < best_err ||
+            (err == best_err &&
+             std::fabs(gamma - 1.0f) < std::fabs(best_gamma - 1.0f))) {
+          best_err = err;
+          best_gamma = gamma;
+        }
+      }
+
+      if (best_gamma != 1.0f && best_err >= current - cfg.min_gain_pct) {
+        best_gamma = 1.0f;
+        best_err = current;
+      }
+      for (std::size_t c = 0; c < nominal.size(); ++c)
+        m.col_threshold[c] = nominal[c] * best_gamma;
+      current = best_err;
+      trim.gamma = best_gamma;
+      trim.error_after_pct = best_err;
+      rep.stages.push_back(trim);
+    }
+    rep.error_after_pct = current;
+    return rep;
+  } catch (const exec::Cancelled&) {
+    return cancel ? cancel->to_error()
+                  : Error{ErrorCode::kCancelled, "calibration cancelled"};
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kInternal,
+                 std::string("calibration failed: ") + e.what()};
+  }
+}
+
 }  // namespace sei::reliability

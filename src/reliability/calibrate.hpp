@@ -11,8 +11,10 @@
 // per-column storage.
 #pragma once
 
+#include "common/result.hpp"
 #include "core/sei_network.hpp"
 #include "data/dataset.hpp"
+#include "exec/cancel.hpp"
 
 namespace sei::reliability {
 
@@ -47,5 +49,14 @@ struct CalibrationReport {
 CalibrationReport recalibrate_thresholds(core::SeiNetwork& net,
                                          const data::Dataset& calib,
                                          const CalibrationConfig& cfg = {});
+
+/// Serving-path variant: checks `cancel` between trim evaluations (an
+/// expired token restores the nominal thresholds of the stage being swept
+/// and returns Error{kCancelled/kDeadlineExceeded}) and converts unexpected
+/// exceptions to Error{kInternal} instead of unwinding through the runtime.
+Result<CalibrationReport> try_recalibrate_thresholds(
+    core::SeiNetwork& net, const data::Dataset& calib,
+    const CalibrationConfig& cfg = {},
+    const exec::CancelToken* cancel = nullptr);
 
 }  // namespace sei::reliability

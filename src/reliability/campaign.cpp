@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <limits>
 
+#include <cmath>
+
 #include "common/io.hpp"
+#include "common/signals.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace sei::reliability {
@@ -80,6 +83,13 @@ CampaignResult run_campaign(const quant::QNetwork& qnet,
         const FaultPoint& point = cfg.points[static_cast<std::size_t>(pi)];
         TrialResult tr;
         tr.seed = trial_seed(cfg, pi, t);
+        if (shutdown_requested()) {
+          // Graceful SIGINT/SIGTERM: skip the remaining trials; the
+          // aggregation below drops them so the partial JSON stays valid.
+          tr.faulty_error_pct = nan;
+          slots[static_cast<std::size_t>(idx)] = tr;
+          return;
+        }
 
         {
           const auto hw = trial_hardware(cfg, point, tr.seed, false);
@@ -109,6 +119,7 @@ CampaignResult run_campaign(const quant::QNetwork& qnet,
     for (int t = 0; t < cfg.trials; ++t) {
       const TrialResult& tr =
           slots[static_cast<std::size_t>(pi) * cfg.trials + t];
+      if (std::isnan(tr.faulty_error_pct)) continue;  // skipped on shutdown
       faulty_errs.push_back(tr.faulty_error_pct);
       if (cfg.repair) {
         repaired_errs.push_back(tr.repaired_error_pct);
@@ -116,6 +127,7 @@ CampaignResult run_campaign(const quant::QNetwork& qnet,
       }
       pr.trials.push_back(tr);
     }
+    if (pr.trials.empty()) continue;  // entirely skipped on shutdown
     pr.faulty = summarize(faulty_errs);
     pr.repaired = summarize(repaired_errs);
     result.points.push_back(std::move(pr));
@@ -159,6 +171,7 @@ void write_campaign_json(const CampaignResult& result,
   j.kv("trials", static_cast<long long>(cfg.trials));
   j.kv("eval_images", static_cast<long long>(cfg.eval_images));
   j.kv("repair_enabled", cfg.repair);
+  j.kv("interrupted", shutdown_requested());
   j.kv("spare_row_fraction", cfg.spare_row_fraction);
   j.kv("drift_nu", cfg.drift_nu);
   j.kv("drift_nu_sigma", cfg.drift_nu_sigma);

@@ -1,0 +1,15 @@
+#include "serve/breaker.hpp"
+
+namespace sei::serve {
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kFallback: return "fallback";
+    case BreakerState::kShedding: return "shedding";
+  }
+  return "unknown";
+}
+
+}  // namespace sei::serve

@@ -1,0 +1,123 @@
+#include "serve/checkpoint.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/io.hpp"
+
+namespace sei::serve {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x314b504943494553ULL;  // "SEICPK1" + pad
+constexpr std::uint32_t kVersion = 1;
+
+std::vector<std::int32_t> to_i32(const std::vector<int>& v) {
+  return std::vector<std::int32_t>(v.begin(), v.end());
+}
+
+}  // namespace
+
+Status save_checkpoint(const core::SeiNetwork& net,
+                       const RuntimeSnapshot& snap, const std::string& path) {
+  try {
+    BinaryWriter w(path);
+    w.write_u64(kMagic);
+    w.write_u32(kVersion);
+    w.write_u64(snap.next_sequence);
+    w.write_u64(snap.requests_served);
+    w.write_u64(snap.checkpoint_epoch);
+    w.write_u64(snap.probe_cursor);
+    w.write_i32(net.stage_count());
+    for (int s = 0; s < net.stage_count(); ++s) {
+      const core::MappedLayer& m = net.layer(s);
+      w.write_i32(m.geom.rows);
+      w.write_i32(m.geom.cols);
+      w.write_u32(m.binarize ? 1 : 0);
+      w.write_f32(m.weight_scale);
+      w.write_f32(m.dyn_beta);
+      w.write_f32(m.mean_abs_eff);
+      w.write_i32(m.block_count);
+      w.write_i32(m.vote_threshold);
+      w.write_f32_vec(m.eff);
+      w.write_f32_vec(m.col_threshold);
+      w.write_f32_vec(m.sa_offset);
+      w.write_f32_vec(m.col_bias);
+      w.write_i32_vec(to_i32(m.row_to_block));
+    }
+    w.commit();
+    return ok_status();
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kIo,
+                 std::string("checkpoint save failed: ") + e.what()};
+  }
+}
+
+Result<RuntimeSnapshot> load_checkpoint(core::SeiNetwork& net,
+                                        const std::string& path) {
+  if (!file_exists(path))
+    return Error{ErrorCode::kIo, "no checkpoint at " + path};
+  try {
+    BinaryReader r(path);
+    r.verify_crc();  // torn/truncated/bit-flipped files stop here
+    if (r.read_u64() != kMagic)
+      return Error{ErrorCode::kCorrupt, "bad checkpoint magic: " + path};
+    if (r.read_u32() != kVersion)
+      return Error{ErrorCode::kCorrupt,
+                   "unsupported checkpoint version: " + path};
+    RuntimeSnapshot snap;
+    snap.next_sequence = r.read_u64();
+    snap.requests_served = r.read_u64();
+    snap.checkpoint_epoch = r.read_u64();
+    snap.probe_cursor = r.read_u64();
+    const int stages = r.read_i32();
+    if (stages != net.stage_count())
+      return Error{ErrorCode::kCorrupt,
+                   "checkpoint stage count mismatch: " + path};
+
+    // Decode into staging first: a geometry mismatch must not leave the
+    // live network half-overwritten.
+    std::vector<core::MappedLayer> staged;
+    staged.reserve(static_cast<std::size_t>(stages));
+    for (int s = 0; s < stages; ++s) {
+      const core::MappedLayer& live = net.layer(s);
+      core::MappedLayer m = live;
+      const int rows = r.read_i32();
+      const int cols = r.read_i32();
+      const bool binarize = r.read_u32() != 0;
+      if (rows != live.geom.rows || cols != live.geom.cols ||
+          binarize != live.binarize)
+        return Error{ErrorCode::kCorrupt,
+                     "checkpoint stage geometry mismatch: " + path};
+      m.weight_scale = r.read_f32();
+      m.dyn_beta = r.read_f32();
+      m.mean_abs_eff = r.read_f32();
+      m.block_count = r.read_i32();
+      m.vote_threshold = r.read_i32();
+      m.eff = r.read_f32_vec();
+      m.col_threshold = r.read_f32_vec();
+      m.sa_offset = r.read_f32_vec();
+      m.col_bias = r.read_f32_vec();
+      const std::vector<std::int32_t> rtb = r.read_i32_vec();
+      m.row_to_block.assign(rtb.begin(), rtb.end());
+      if (m.eff.size() != live.eff.size() ||
+          m.row_to_block.size() != live.row_to_block.size())
+        return Error{ErrorCode::kCorrupt,
+                     "checkpoint stage payload mismatch: " + path};
+      staged.push_back(std::move(m));
+    }
+    if (r.remaining() != 0)
+      return Error{ErrorCode::kCorrupt,
+                   "trailing bytes after checkpoint payload: " + path};
+    for (int s = 0; s < stages; ++s)
+      net.layer(s) = std::move(staged[static_cast<std::size_t>(s)]);
+    return snap;
+  } catch (const CheckError& e) {
+    return Error{ErrorCode::kCorrupt,
+                 std::string("checkpoint rejected: ") + e.what()};
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kIo,
+                 std::string("checkpoint load failed: ") + e.what()};
+  }
+}
+
+}  // namespace sei::serve

@@ -1,0 +1,48 @@
+// Crash-safe checkpointing of a served SeiNetwork.
+//
+// A checkpoint captures everything the serving runtime mutates after
+// construction: the full per-stage evaluation state (effective analog
+// weights, sense-amp thresholds and offsets, splitting/remap layout) plus
+// the runtime counters that key the per-request RNG streams. Because a
+// prediction is a pure function of (layer state, image, sequence) and the
+// read-noise streams derive only from HardwareConfig::seed, restoring a
+// checkpoint into a network built from the same (qnet, cfg) resumes the
+// exact request stream a never-killed process would have produced.
+//
+// Durability comes from common/io: BinaryWriter::commit fsyncs a temp file,
+// renames it into place and fsyncs the directory, so a kill -9 at any
+// instant leaves either the previous checkpoint or the new one; the CRC32
+// trailer turns the remaining corruption modes into load-time kCorrupt
+// errors instead of silently wrong weights.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+#include "core/sei_network.hpp"
+
+namespace sei::serve {
+
+/// Runtime counters that must survive a crash for bit-identical resume.
+struct RuntimeSnapshot {
+  std::uint64_t next_sequence = 0;    // RNG-stream index of the next request
+  std::uint64_t requests_served = 0;  // total requests popped off the queue
+  std::uint64_t checkpoint_epoch = 0; // incremented per successful save
+  std::uint64_t probe_cursor = 0;     // round-robin position in the probe set
+};
+
+/// Serializes the network's evaluation state and `snap` to `path`
+/// atomically and durably. Returns kIo on filesystem failure.
+Status save_checkpoint(const core::SeiNetwork& net,
+                       const RuntimeSnapshot& snap, const std::string& path);
+
+/// Restores a checkpoint written by save_checkpoint into `net`, which must
+/// have been constructed from the same quantized network and hardware
+/// config (stage geometry is validated). Returns the runtime counters, or
+/// kIo when no checkpoint exists / kCorrupt when the file fails its
+/// integrity checks — both mean "cold start", never a crash.
+Result<RuntimeSnapshot> load_checkpoint(core::SeiNetwork& net,
+                                        const std::string& path);
+
+}  // namespace sei::serve

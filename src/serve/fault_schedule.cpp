@@ -1,0 +1,38 @@
+#include "serve/fault_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace sei::serve {
+namespace {
+
+void damage_stage(core::MappedLayer& m, const FaultEvent& ev, Rng& rng) {
+  float max_mag = 0.0f;
+  for (const float v : m.eff) max_mag = std::max(max_mag, std::fabs(v));
+  for (float& v : m.eff) {
+    if (ev.drift_factor != 1.0)
+      v = static_cast<float>(v * ev.drift_factor);
+    if (ev.stuck_fraction > 0.0 && rng.uniform() < ev.stuck_fraction) {
+      // Stuck-open cells read as zero; stuck-short cells as full scale.
+      v = rng.uniform() < 0.5
+              ? 0.0f
+              : (rng.uniform() < 0.5 ? max_mag : -max_mag);
+    }
+  }
+}
+
+}  // namespace
+
+void apply_fault(core::SeiNetwork& net, const FaultEvent& ev,
+                 std::uint64_t seed, int event_index) {
+  for (int s = 0; s < net.stage_count(); ++s) {
+    if (ev.stage >= 0 && ev.stage != s) continue;
+    Rng rng = Rng::fork(seed, (static_cast<std::uint64_t>(event_index) << 16) |
+                                  static_cast<std::uint64_t>(s));
+    damage_stage(net.layer(s), ev, rng);
+  }
+}
+
+}  // namespace sei::serve

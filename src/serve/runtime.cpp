@@ -1,0 +1,483 @@
+#include "serve/runtime.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/io.hpp"
+#include "core/mapping.hpp"
+
+namespace sei::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Maintenance evaluations live in their own RNG index spaces, far away
+// from request sequence numbers, so probing and recovery measurements can
+// never perturb (or collide with) the request stream's noise draws.
+constexpr long long kProbeIndexBase = 1LL << 40;
+constexpr long long kMeasureIndexBase = 1LL << 41;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+const char* to_string(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kDegraded: return "degraded";
+    case ResponseStatus::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+ServingRuntime::ServingRuntime(core::SeiNetwork& net,
+                               const quant::QNetwork& qnet,
+                               const data::Dataset& probes,
+                               const data::Dataset& calib, RuntimeConfig cfg,
+                               const core::AdcNetwork* fallback)
+    : net_(net),
+      qnet_(qnet),
+      calib_(calib),
+      cfg_(std::move(cfg)),
+      fallback_(fallback),
+      sentinel_(probes, cfg_.sentinel),
+      breaker_(cfg_.breaker) {
+  SEI_CHECK_MSG(cfg_.workers > 0, "at least one worker required");
+  SEI_CHECK_MSG(cfg_.queue_capacity > 0, "queue capacity must be positive");
+  SEI_CHECK_MSG(cfg_.checkpoint_every == 0 || !cfg_.checkpoint_path.empty(),
+                "checkpoint_every requires checkpoint_path");
+}
+
+ServingRuntime::~ServingRuntime() { stop(); }
+
+void ServingRuntime::start() {
+  if (running_.load()) return;
+  if (!cfg_.checkpoint_path.empty() && file_exists(cfg_.checkpoint_path)) {
+    Result<RuntimeSnapshot> res =
+        load_checkpoint(net_, cfg_.checkpoint_path);
+    if (res.ok()) {
+      snap_ = res.value();
+      resumed_ = true;
+    } else {
+      // A bad checkpoint means cold start, never a crash: the on-disk file
+      // is either torn (pre-CRC legacy) or corrupted after the fact.
+      std::fprintf(stderr, "warning: %s; starting cold\n",
+                   res.error().message.c_str());
+    }
+  }
+  const double baseline = measure_probe_accuracy(maint_ctx_);
+  sentinel_.set_baseline_pct(baseline);
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.sentinel_baseline_pct = baseline;
+  }
+  {
+    std::lock_guard<std::mutex> ql(queue_mu_);
+    accepting_ = true;
+    stopping_ = false;
+  }
+  running_.store(true);
+  for (int w = 0; w < cfg_.workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void ServingRuntime::stop() {
+  {
+    std::lock_guard<std::mutex> ql(queue_mu_);
+    if (!accepting_ && workers_.empty()) return;
+    accepting_ = false;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+  if (!cfg_.checkpoint_path.empty()) {
+    std::uint64_t served;
+    {
+      std::lock_guard<std::mutex> ql(queue_mu_);
+      served = snap_.requests_served;
+    }
+    write_checkpoint(served);
+  }
+  running_.store(false);
+}
+
+std::future<Response> ServingRuntime::submit(std::span<const float> image) {
+  return submit(image, cfg_.default_deadline);
+}
+
+std::future<Response> ServingRuntime::submit(
+    std::span<const float> image, std::chrono::milliseconds deadline) {
+  auto req = std::make_unique<Request>();
+  req->image.assign(image.begin(), image.end());
+  req->enqueued = Clock::now();
+  req->deadline = deadline.count() > 0 ? req->enqueued + deadline
+                                       : Clock::time_point{};
+  std::future<Response> fut = req->promise.get_future();
+
+  ErrorCode reject = ErrorCode::kInternal;
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> ql(queue_mu_);
+    if (!accepting_) {
+      reject = ErrorCode::kUnavailable;
+    } else if (static_cast<int>(queue_.size()) >= cfg_.queue_capacity) {
+      reject = ErrorCode::kQueueFull;
+    } else {
+      queue_.push_back(std::move(req));
+      admitted = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    ++stats_.submitted;
+    if (!admitted && reject == ErrorCode::kQueueFull)
+      ++stats_.queue_rejections;
+  }
+  if (admitted) {
+    queue_cv_.notify_one();
+  } else {
+    Response r;
+    r.status = ResponseStatus::kRejected;
+    r.error = reject;
+    finish(*req, r);
+  }
+  return fut;
+}
+
+void ServingRuntime::set_fault_schedule(FaultSchedule schedule) {
+  std::lock_guard<std::mutex> ml(maint_mu_);
+  schedule_ = std::move(schedule);
+  std::sort(schedule_.events.begin(), schedule_.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.at_served < b.at_served;
+            });
+  next_fault_ = 0;
+}
+
+void ServingRuntime::worker_loop() {
+  core::EvalContext ctx;
+  exec::CancelToken token;
+  while (true) {
+    std::unique_ptr<Request> req;
+    std::uint64_t sequence = 0;
+    std::uint64_t served = 0;
+    {
+      std::unique_lock<std::mutex> ql(queue_mu_);
+      queue_cv_.wait(ql, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      sequence = snap_.next_sequence++;
+      served = ++snap_.requests_served;
+    }
+    serve_one(*req, sequence, ctx, token);
+    maintenance(served, ctx);
+  }
+}
+
+void ServingRuntime::serve_one(Request& req, std::uint64_t sequence,
+                               core::EvalContext& ctx,
+                               exec::CancelToken& token) {
+  Response r;
+  r.sequence = sequence;
+  const bool has_deadline = req.deadline.time_since_epoch().count() != 0;
+  if (has_deadline && Clock::now() >= req.deadline) {
+    r.error = ErrorCode::kDeadlineExceeded;  // expired while queued
+    finish(req, r);
+    return;
+  }
+  const BreakerState st = breaker_state_.load();
+  if (st == BreakerState::kShedding) {
+    r.error = ErrorCode::kShedding;
+    finish(req, r);
+    return;
+  }
+
+  token.reset();
+  if (has_deadline) token.set_deadline(req.deadline);
+  ctx.cancel = &token;
+  Result<int> res = Error{ErrorCode::kInternal, "not evaluated"};
+  {
+    std::shared_lock<std::shared_mutex> nl(net_mu_);
+    if (st == BreakerState::kFallback && fallback_ != nullptr)
+      res = fallback_->try_predict(req.image, ctx);
+    else
+      res = net_.try_predict(req.image, ctx,
+                             static_cast<long long>(sequence));
+  }
+  ctx.cancel = nullptr;
+
+  if (res.ok()) {
+    r.status = st == BreakerState::kFallback ? ResponseStatus::kDegraded
+                                             : ResponseStatus::kOk;
+    r.label = res.value();
+  } else {
+    r.error = res.code();
+  }
+  finish(req, r);
+}
+
+void ServingRuntime::finish(Request& req, Response r) {
+  r.latency_ms = ms_between(req.enqueued, Clock::now());
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    ++stats_.served;
+    latencies_ms_.push_back(r.latency_ms);
+    switch (r.status) {
+      case ResponseStatus::kOk: ++stats_.ok; break;
+      case ResponseStatus::kDegraded: ++stats_.degraded; break;
+      case ResponseStatus::kRejected:
+        ++stats_.rejected;
+        if (r.error == ErrorCode::kDeadlineExceeded) ++stats_.deadline_misses;
+        if (r.error == ErrorCode::kShedding) ++stats_.shed;
+        break;
+    }
+  }
+  req.promise.set_value(std::move(r));
+}
+
+void ServingRuntime::maintenance(std::uint64_t served,
+                                 core::EvalContext& ctx) {
+  std::unique_lock<std::mutex> ml(maint_mu_, std::try_to_lock);
+  if (!ml.owns_lock()) return;  // another worker is on maintenance duty
+
+  // 1. Fire scheduled faults that came due.
+  while (next_fault_ < schedule_.events.size() &&
+         schedule_.events[next_fault_].at_served <= served) {
+    std::unique_lock<std::shared_mutex> nl(net_mu_);
+    apply_fault(net_, schedule_.events[next_fault_], schedule_.seed,
+                static_cast<int>(next_fault_));
+    ++next_fault_;
+  }
+
+  // 2. Sentinel probe + breaker (only meaningful while serving SEI).
+  if (breaker_state_.load() == BreakerState::kClosed &&
+      served - last_probe_served_ >=
+          static_cast<std::uint64_t>(sentinel_.config().probe_every)) {
+    last_probe_served_ = served;
+    run_probe(served, ctx);
+  }
+
+  // 3. While parked in fallback/shedding, periodically re-attempt repair.
+  const BreakerState st = breaker_state_.load();
+  if ((st == BreakerState::kFallback || st == BreakerState::kShedding) &&
+      served - last_reattempt_served_ >=
+          static_cast<std::uint64_t>(cfg_.breaker.reattempt_interval)) {
+    last_reattempt_served_ = served;
+    const Clock::time_point t0 = Clock::now();
+    const bool repaired = attempt_repair(ctx);
+    const double acc = measure_probe_accuracy(ctx);
+    if (repaired && breaker_.recovered(acc, sentinel_.baseline_pct())) {
+      sentinel_.reset_window();
+      breaker_.close(served, 1, "periodic repair restored accuracy");
+      breaker_state_.store(BreakerState::kClosed);
+      std::lock_guard<std::mutex> sl(stats_mu_);
+      if (!recoveries_.empty() && !recoveries_.back().closed) {
+        recoveries_.back().closed = true;
+        recoveries_.back().resolved_at_served = served;
+        recoveries_.back().acc_after_pct = acc;
+        recoveries_.back().duration_ms += ms_between(t0, Clock::now());
+      }
+    }
+  }
+
+  // 4. Durable checkpoint.
+  if (cfg_.checkpoint_every > 0 &&
+      served - last_checkpoint_served_ >=
+          static_cast<std::uint64_t>(cfg_.checkpoint_every)) {
+    last_checkpoint_served_ = served;
+    write_checkpoint(served);
+  }
+}
+
+void ServingRuntime::run_probe(std::uint64_t served, core::EvalContext& ctx) {
+  std::uint64_t cursor;
+  {
+    std::lock_guard<std::mutex> ql(queue_mu_);
+    cursor = snap_.probe_cursor++;
+  }
+  const int probe =
+      static_cast<int>(cursor % static_cast<std::uint64_t>(sentinel_.probe_count()));
+  int predicted;
+  {
+    std::shared_lock<std::shared_mutex> nl(net_mu_);
+    predicted = net_
+                    .try_predict(sentinel_.image(probe), ctx,
+                                 kProbeIndexBase + static_cast<long long>(cursor))
+                    .value();  // no token attached: cannot fail
+  }
+  sentinel_.record(predicted == sentinel_.label(probe));
+  const double window = sentinel_.window_accuracy_pct();
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    ++stats_.probes;
+    stats_.sentinel_window_pct = window;
+  }
+  if (breaker_.should_trip(window, sentinel_.baseline_pct()))
+    run_recovery(served, window, ctx);
+}
+
+double ServingRuntime::measure_probe_accuracy(core::EvalContext& ctx) {
+  const std::uint64_t serial = measure_serial_++;
+  const int n = sentinel_.probe_count();
+  int correct = 0;
+  std::shared_lock<std::shared_mutex> nl(net_mu_);
+  for (int i = 0; i < n; ++i) {
+    const long long index =
+        kMeasureIndexBase +
+        static_cast<long long>(serial) * n + i;
+    if (net_.try_predict(sentinel_.image(i), ctx, index).value() ==
+        sentinel_.label(i))
+      ++correct;
+  }
+  return 100.0 * correct / static_cast<double>(n);
+}
+
+void ServingRuntime::run_recovery(std::uint64_t served, double window_acc,
+                                  core::EvalContext& ctx) {
+  const Clock::time_point t0 = Clock::now();
+  breaker_.trip(served, "sentinel window dropped to " +
+                            std::to_string(window_acc) + "%");
+  breaker_state_.store(BreakerState::kOpen);
+  RecoveryRecord rec;
+  rec.tripped_at_served = served;
+  rec.acc_before_pct = window_acc;
+
+  const double baseline = sentinel_.baseline_pct();
+  bool closed = false;
+  double acc = window_acc;
+
+  // Tier 0: re-measure with backoff — transient noise clears itself.
+  for (int attempt = 0; attempt < cfg_.breaker.max_retries && !closed;
+       ++attempt) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(cfg_.breaker.retry_backoff_ms << attempt));
+    acc = measure_probe_accuracy(ctx);
+    if (breaker_.recovered(acc, baseline)) {
+      rec.tier_reached = 0;
+      breaker_.close(served, 0, "re-measure recovered (transient)");
+      closed = true;
+    }
+  }
+
+  // Tier 1: remap through the repair hook + recalibrate thresholds.
+  if (!closed) {
+    rec.tier_reached = 1;
+    const bool repaired = attempt_repair(ctx);
+    acc = measure_probe_accuracy(ctx);
+    if (repaired && breaker_.recovered(acc, baseline)) {
+      breaker_.close(served, 1, "repair + recalibration restored accuracy");
+      closed = true;
+    }
+  }
+
+  // Tier 2/3: park on the fallback path or shed load; maintenance keeps
+  // re-attempting repair every reattempt_interval served requests.
+  if (!closed) {
+    if (fallback_ != nullptr) {
+      rec.tier_reached = 2;
+      breaker_.enter_fallback(served, "serving degraded via ADC path");
+      breaker_state_.store(BreakerState::kFallback);
+    } else {
+      rec.tier_reached = 3;
+      breaker_.enter_shedding(served, "no fallback path; shedding load");
+      breaker_state_.store(BreakerState::kShedding);
+    }
+    last_reattempt_served_ = served;
+  } else {
+    sentinel_.reset_window();
+    breaker_state_.store(BreakerState::kClosed);
+  }
+
+  rec.closed = closed;
+  rec.resolved_at_served = served;
+  rec.acc_after_pct = acc;
+  rec.duration_ms = ms_between(t0, Clock::now());
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    recoveries_.push_back(rec);
+    stats_.breaker_trips = breaker_.trips();
+  }
+}
+
+bool ServingRuntime::attempt_repair(core::EvalContext& ctx) {
+  (void)ctx;
+  std::unique_lock<std::shared_mutex> nl(net_mu_);
+  // Remapping reprograms every stage from the quantized weights (fresh
+  // crossbars, repair hook re-applied), clearing in-service damage the way
+  // a field re-flash would.
+  for (int s = 0; s < net_.stage_count(); ++s)
+    net_.remap_layer(
+        s, core::default_row_order(qnet_.layers[static_cast<std::size_t>(s)],
+                                   net_.config()));
+  const Result<reliability::CalibrationReport> cal =
+      reliability::try_recalibrate_thresholds(net_, calib_,
+                                              cfg_.calibration);
+  if (!cal.ok())
+    std::fprintf(stderr, "warning: recalibration failed: %s\n",
+                 cal.error().message.c_str());
+  return cal.ok();
+}
+
+void ServingRuntime::write_checkpoint(std::uint64_t served) {
+  (void)served;
+  if (cfg_.checkpoint_path.empty()) return;
+  RuntimeSnapshot s;
+  {
+    std::lock_guard<std::mutex> ql(queue_mu_);
+    s = snap_;
+    s.checkpoint_epoch += 1;
+  }
+  Status st = ok_status();
+  {
+    std::shared_lock<std::shared_mutex> nl(net_mu_);
+    st = save_checkpoint(net_, s, cfg_.checkpoint_path);
+  }
+  if (st.ok()) {
+    {
+      std::lock_guard<std::mutex> ql(queue_mu_);
+      snap_.checkpoint_epoch = s.checkpoint_epoch;
+    }
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    ++stats_.checkpoints;
+  } else {
+    std::fprintf(stderr, "warning: %s\n", st.error().message.c_str());
+  }
+}
+
+RuntimeStats ServingRuntime::stats() const {
+  std::lock_guard<std::mutex> sl(stats_mu_);
+  return stats_;
+}
+
+std::vector<double> ServingRuntime::latencies_ms() const {
+  std::lock_guard<std::mutex> sl(stats_mu_);
+  return latencies_ms_;
+}
+
+std::vector<BreakerEvent> ServingRuntime::breaker_events() const {
+  std::lock_guard<std::mutex> ml(maint_mu_);
+  return breaker_.events();
+}
+
+std::vector<RecoveryRecord> ServingRuntime::recoveries() const {
+  std::lock_guard<std::mutex> sl(stats_mu_);
+  return recoveries_;
+}
+
+RuntimeSnapshot ServingRuntime::snapshot() const {
+  std::lock_guard<std::mutex> ql(queue_mu_);
+  return snap_;
+}
+
+double ServingRuntime::sentinel_baseline_pct() const {
+  std::lock_guard<std::mutex> sl(stats_mu_);
+  return stats_.sentinel_baseline_pct;
+}
+
+}  // namespace sei::serve

@@ -1,0 +1,215 @@
+// Fault-tolerant serving runtime for the SEI functional simulator.
+//
+// Wraps a SeiNetwork behind a bounded request queue served by worker
+// threads. Each request carries an optional deadline enforced at two
+// points: before evaluation (queue wait already blew the budget) and
+// cooperatively inside the evaluation via exec::CancelToken, so a slow
+// prediction is abandoned between stages instead of blocking the worker.
+// Failures travel as sei::Result values — the runtime never throws for an
+// expected outcome and never aborts the process.
+//
+// Health is watched by a canary sentinel (sentinel.hpp): every
+// probe_every-th served request the worker also classifies a known-label
+// probe, and a circuit breaker (breaker.hpp) trips when the windowed probe
+// accuracy drops below the startup baseline. Recovery escalates through
+// tiers — re-measure with backoff, remap-repair + threshold recalibration,
+// ADC-path fallback (responses marked Degraded), explicit load shedding
+// (Rejected) — and the breaker re-attempts repair periodically while
+// degraded, so a transient or repairable fault heals without a restart.
+//
+// Durability: the runtime checkpoints network + counters every
+// checkpoint_every served requests via serve/checkpoint (atomic rename +
+// CRC), and start() resumes from the last durable checkpoint when one
+// exists. With workers == 1 (the default) the resumed process replays the
+// remaining request stream bit-identically.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/adc_network.hpp"
+#include "core/sei_network.hpp"
+#include "data/dataset.hpp"
+#include "exec/cancel.hpp"
+#include "quant/qnet.hpp"
+#include "reliability/calibrate.hpp"
+#include "serve/breaker.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/fault_schedule.hpp"
+#include "serve/sentinel.hpp"
+
+namespace sei::serve {
+
+enum class ResponseStatus {
+  kOk,        // answered on the SEI path
+  kDegraded,  // answered on the ADC fallback path (breaker tier 2)
+  kRejected,  // no label: see Response::error
+};
+
+const char* to_string(ResponseStatus s);
+
+struct Response {
+  ResponseStatus status = ResponseStatus::kRejected;
+  int label = -1;                          // kOk / kDegraded only
+  ErrorCode error = ErrorCode::kInternal;  // kRejected only
+  std::uint64_t sequence = 0;              // RNG-stream index used (if served)
+  double latency_ms = 0.0;                 // submit → response
+};
+
+struct RuntimeConfig {
+  int workers = 1;          // >1 keeps per-sequence purity, loses replay order
+  int queue_capacity = 64;  // admission bound; overflow rejects kQueueFull
+  std::chrono::milliseconds default_deadline{0};  // 0 = no deadline
+  int checkpoint_every = 0;     // served requests between saves; 0 = off
+  std::string checkpoint_path;  // required when checkpoint_every > 0
+  SentinelConfig sentinel{};
+  BreakerConfig breaker{};
+  reliability::CalibrationConfig calibration{};  // tier-1 recalibration
+};
+
+/// One breaker trip → recovery episode.
+struct RecoveryRecord {
+  std::uint64_t tripped_at_served = 0;
+  std::uint64_t resolved_at_served = 0;  // closed OR parked in fallback/shed
+  int tier_reached = 0;
+  bool closed = false;  // true when the SEI path was restored
+  double acc_before_pct = 0.0;
+  double acc_after_pct = 0.0;
+  double duration_ms = 0.0;
+};
+
+struct RuntimeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t served = 0;  // popped off the queue (any outcome)
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t rejected = 0;          // all rejection codes
+  std::uint64_t queue_rejections = 0;  // kQueueFull at admission
+  std::uint64_t deadline_misses = 0;   // kDeadlineExceeded (pre- or mid-eval)
+  std::uint64_t shed = 0;              // kShedding
+  std::uint64_t probes = 0;
+  std::uint64_t checkpoints = 0;
+  int breaker_trips = 0;
+  double sentinel_baseline_pct = 0.0;
+  double sentinel_window_pct = -1.0;
+};
+
+class ServingRuntime {
+ public:
+  /// `net` must outlive the runtime and stay externally untouched while it
+  /// runs (the runtime owns all mutation: faults, repair, recalibration,
+  /// checkpoint restore). `probes` feeds the sentinel; `calib` feeds tier-1
+  /// recalibration. `fallback` (optional) enables the tier-2 ADC path.
+  ServingRuntime(core::SeiNetwork& net, const quant::QNetwork& qnet,
+                 const data::Dataset& probes, const data::Dataset& calib,
+                 RuntimeConfig cfg, const core::AdcNetwork* fallback = nullptr);
+  ~ServingRuntime();
+  ServingRuntime(const ServingRuntime&) = delete;
+  ServingRuntime& operator=(const ServingRuntime&) = delete;
+
+  /// Resumes from the last durable checkpoint (if configured and present),
+  /// measures the sentinel baseline, and launches the workers.
+  void start();
+
+  /// Graceful shutdown: stop admitting, drain the queue, write a final
+  /// checkpoint, join the workers. Idempotent; also run by the destructor.
+  void stop();
+
+  /// True after start() until stop() begins.
+  bool running() const { return running_.load(); }
+
+  /// Enqueues one image. The future always completes — with a label or a
+  /// structured rejection — and queue overflow / shutdown reject
+  /// immediately rather than blocking the caller.
+  std::future<Response> submit(std::span<const float> image);
+  std::future<Response> submit(std::span<const float> image,
+                               std::chrono::milliseconds deadline);
+
+  /// Installs the scripted fault schedule (fired by served-request count).
+  void set_fault_schedule(FaultSchedule schedule);
+
+  RuntimeStats stats() const;
+  std::vector<double> latencies_ms() const;
+  std::vector<BreakerEvent> breaker_events() const;
+  std::vector<RecoveryRecord> recoveries() const;
+  RuntimeSnapshot snapshot() const;
+  BreakerState breaker_state() const { return breaker_state_.load(); }
+  double sentinel_baseline_pct() const;
+  /// True when start() found and restored a durable checkpoint.
+  bool resumed_from_checkpoint() const { return resumed_; }
+
+ private:
+  struct Request {
+    std::vector<float> image;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  // epoch 0 = none
+    std::promise<Response> promise;
+  };
+
+  void worker_loop();
+  void serve_one(Request& req, std::uint64_t sequence, core::EvalContext& ctx,
+                 exec::CancelToken& token);
+  void finish(Request& req, Response r);
+
+  /// Post-request maintenance: fire due faults, run the sentinel probe,
+  /// drive the breaker, checkpoint. Single-threaded via maint_mu_.
+  void maintenance(std::uint64_t served, core::EvalContext& ctx);
+  void run_probe(std::uint64_t served, core::EvalContext& ctx);
+  /// Full probe-set accuracy in percent (maintenance RNG index space).
+  double measure_probe_accuracy(core::EvalContext& ctx);
+  /// The tiered recovery ladder; runs with maint_mu_ held.
+  void run_recovery(std::uint64_t served, double window_acc,
+                    core::EvalContext& ctx);
+  /// Tier 1: remap every stage (repair hook re-runs) + recalibrate.
+  bool attempt_repair(core::EvalContext& ctx);
+  void write_checkpoint(std::uint64_t served);
+
+  core::SeiNetwork& net_;
+  const quant::QNetwork& qnet_;
+  const data::Dataset& calib_;
+  RuntimeConfig cfg_;
+  const core::AdcNetwork* fallback_;
+
+  mutable std::shared_mutex net_mu_;  // shared: predict; unique: mutate
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Request>> queue_;
+  RuntimeSnapshot snap_;  // counters, guarded by queue_mu_
+  bool accepting_ = false;
+  bool stopping_ = false;
+
+  mutable std::mutex maint_mu_;
+  Sentinel sentinel_;
+  CircuitBreaker breaker_;
+  std::atomic<BreakerState> breaker_state_{BreakerState::kClosed};
+  FaultSchedule schedule_;
+  std::size_t next_fault_ = 0;
+  std::uint64_t last_probe_served_ = 0;
+  std::uint64_t last_checkpoint_served_ = 0;
+  std::uint64_t last_reattempt_served_ = 0;
+  std::uint64_t measure_serial_ = 0;
+  core::EvalContext maint_ctx_;
+
+  mutable std::mutex stats_mu_;
+  RuntimeStats stats_;
+  std::vector<double> latencies_ms_;
+  std::vector<RecoveryRecord> recoveries_;
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  bool resumed_ = false;
+};
+
+}  // namespace sei::serve

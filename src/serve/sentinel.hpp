@@ -1,0 +1,68 @@
+// Canary sentinel: live accuracy estimation from interleaved probes.
+//
+// A serving process cannot see ground-truth labels for real traffic, so
+// degradation (drift, stuck cells, a bad remap) would be invisible until a
+// user complains. The sentinel holds a small set of known-label probe
+// images; the runtime interleaves one probe every `probe_every` served
+// requests and records whether the chip classified it correctly. A sliding
+// window over the outcomes estimates live accuracy; the circuit breaker
+// compares that estimate against the baseline measured at startup.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace sei::serve {
+
+struct SentinelConfig {
+  int probe_count = 64;   // probes drawn from the head of the labeled set
+  int probe_every = 16;   // one probe per this many served requests
+  int window = 48;        // sliding window of probe outcomes
+  int min_probes = 24;    // outcomes required before the estimate is trusted
+};
+
+class Sentinel {
+ public:
+  /// Copies the first cfg.probe_count images of `labeled` (clamped to its
+  /// size) as the probe set.
+  Sentinel(const data::Dataset& labeled, const SentinelConfig& cfg);
+
+  int probe_count() const { return static_cast<int>(labels_.size()); }
+  std::span<const float> image(int probe) const;
+  int label(int probe) const { return labels_.at(static_cast<std::size_t>(probe)); }
+
+  /// Records the outcome of one served probe.
+  void record(bool correct);
+
+  /// True once the window holds at least cfg.min_probes outcomes.
+  bool ready() const {
+    return static_cast<int>(outcomes_.size()) >= cfg_.min_probes;
+  }
+
+  /// Accuracy over the current window in percent (-1 before ready()).
+  double window_accuracy_pct() const;
+
+  /// Forgets recorded outcomes (after a recovery: stale failures from the
+  /// degraded period must not immediately re-trip the breaker).
+  void reset_window();
+
+  void set_baseline_pct(double pct) { baseline_pct_ = pct; }
+  double baseline_pct() const { return baseline_pct_; }
+
+  const SentinelConfig& config() const { return cfg_; }
+
+ private:
+  SentinelConfig cfg_;
+  std::size_t per_image_ = 0;
+  std::vector<float> images_;       // probe_count × per_image, row-major
+  std::vector<int> labels_;
+  std::deque<std::uint8_t> outcomes_;  // sliding window, 1 = correct
+  int window_correct_ = 0;
+  double baseline_pct_ = 0.0;
+};
+
+}  // namespace sei::serve

@@ -46,9 +46,16 @@ data::DataBundle load_default_data(bool verbose) {
   data::DataBundle b;
   b.source = "synthetic:" + std::to_string(kDataSeed);
   if (file_exists(train_path) && file_exists(test_path)) {
-    b.train = data::load_dataset(train_path);
-    b.test = data::load_dataset(test_path);
-    return b;
+    // A dataset cache that fails its CRC (torn write, stale format) is
+    // regenerated, never loaded.
+    try {
+      b.train = data::load_dataset(train_path);
+      b.test = data::load_dataset(test_path);
+      return b;
+    } catch (const std::exception& e) {
+      std::printf("warning: ignoring unreadable dataset cache (%s); "
+                  "regenerating\n", e.what());
+    }
   }
   if (verbose) std::printf("data: generating synthetic digits…\n");
   b = data::synthetic_bundle(kTrainImages, kTestImages, kDataSeed);
@@ -110,6 +117,7 @@ void save_qnetwork(const quant::QNetwork& q, const std::string& path) {
 quant::QNetwork load_qnetwork(const std::string& path,
                               const quant::Topology& topo) {
   BinaryReader r(path);
+  r.verify_crc();
   SEI_CHECK_MSG(r.read_u32() == kQnetMagic, "not a qnet file: " << path);
   quant::QNetwork q;
   q.name = r.read_string();

@@ -16,6 +16,7 @@ double cached_float_error(const Workload& wl, nn::Network& net,
     // Stale or truncated metrics caches are recomputed, never fatal.
     try {
       BinaryReader r(path);
+      r.verify_crc();
       if (r.read_u32() == kMetricsMagic) return r.read_f64();
     } catch (const std::exception&) {
     }

@@ -176,7 +176,31 @@ TEST(Cli, RejectsUnknownFlag) {
   const char* argv[] = {"prog", "--typo", "1"};
   Cli cli(3, const_cast<char**>(argv));
   cli.get_int("alpha", 1);
-  EXPECT_THROW(cli.validate("test"), CheckError);
+  EXPECT_THROW(cli.validate("test"), CliError);
+}
+
+TEST(Cli, SuggestsClosestKnownFlag) {
+  // The motivating typo: --treads must not silently run with defaults.
+  const char* argv[] = {"prog", "--treads", "8"};
+  Cli cli(3, const_cast<char**>(argv));
+  cli.get_threads();
+  try {
+    cli.validate("test");
+    FAIL() << "validate() accepted an unknown flag";
+  } catch (const CliError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--treads"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean --threads"), std::string::npos) << what;
+  }
+}
+
+TEST(Cli, RejectsMalformedValues) {
+  const char* argv[] = {"prog", "--alpha", "abc"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_THROW(cli.get_int("alpha", 1), CliError);
+  const char* argv2[] = {"prog", "--threads", "-2"};
+  Cli cli2(3, const_cast<char**>(argv2));
+  EXPECT_THROW(cli2.get_threads(), CliError);
 }
 
 TEST(BinaryIo, RoundTrip) {
@@ -193,6 +217,7 @@ TEST(BinaryIo, RoundTrip) {
     w.commit();
   }
   BinaryReader r(path);
+  r.verify_crc();  // trailer checks out and is hidden from the cursor
   EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
   EXPECT_DOUBLE_EQ(r.read_f64(), 3.25);
   EXPECT_EQ(r.read_string(), "hello");
@@ -222,8 +247,61 @@ TEST(BinaryIo, TruncatedReadThrows) {
     w.commit();
   }
   BinaryReader r(path);
+  r.verify_crc();  // shrinks the logical size to the 4-byte payload
   EXPECT_EQ(r.read_u32(), 1u);
   EXPECT_THROW(r.read_u64(), CheckError);
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, CrcDetectsBitFlip) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "sei_test_io_flip.bin";
+  {
+    BinaryWriter w(path);
+    w.write_f32_vec({1.0f, 2.0f, 3.0f});
+    w.commit();
+  }
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(9);  // inside the payload
+    char byte = 0x5a;
+    f.write(&byte, 1);
+  }
+  BinaryReader r(path);
+  EXPECT_THROW(r.verify_crc(), CheckError);
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, CrcRejectsLegacyFileWithoutTrailer) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "sei_test_io_legacy.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    const std::uint64_t payload = 42;  // pre-CRC format: raw payload only
+    f.write(reinterpret_cast<const char*>(&payload), sizeof payload);
+  }
+  BinaryReader r(path);
+  EXPECT_THROW(r.verify_crc(), CheckError);
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, CommitAtomicallyReplacesExistingFile) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "sei_test_io_replace.bin";
+  {
+    BinaryWriter w(path);
+    w.write_u32(1);
+    w.commit();
+  }
+  {
+    BinaryWriter w(path);
+    w.write_u32(2);
+    w.commit();
+  }
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  BinaryReader r(path);
+  r.verify_crc();
+  EXPECT_EQ(r.read_u32(), 2u);
   std::filesystem::remove(path);
 }
 

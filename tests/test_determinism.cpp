@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <future>
 #include <span>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "nn/trainer.hpp"
 #include "quant/threshold_search.hpp"
 #include "reliability/campaign.hpp"
+#include "serve/runtime.hpp"
 #include "workloads/networks.hpp"
 
 namespace sei {
@@ -184,6 +188,119 @@ TEST(Determinism, ThresholdSearchIdenticalAcrossThreadCounts) {
     EXPECT_EQ(wide.traces[l].drive_level, serial.traces[l].drive_level);
     EXPECT_EQ(wide.traces[l].curve, serial.traces[l].curve);
   }
+}
+
+/// Serving config with sentinel/breaker quiesced: these tests are about the
+/// request stream alone, so maintenance must never mutate the network.
+serve::RuntimeConfig quiet_serving(const std::string& checkpoint_path) {
+  serve::RuntimeConfig rc;
+  rc.sentinel.probe_every = 1 << 20;
+  rc.breaker.trip_drop_pct = 1000.0;
+  rc.queue_capacity = 256;
+  rc.checkpoint_path = checkpoint_path;
+  return rc;
+}
+
+TEST(Determinism, CheckpointResumeReplaysBitIdentically) {
+  // The crash-safety contract (docs/serving.md): a process killed after a
+  // durable checkpoint resumes the exact request stream a never-killed
+  // process would have produced — predictions are pure functions of
+  // (network state, image, sequence) and the sequence counter is part of
+  // the checkpoint.
+  Fixture& f = fixture();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sei_resume.ckpt").string();
+  std::filesystem::remove(path);
+  core::HardwareConfig cfg;
+  cfg.device.read_noise_sigma = 0.05;  // stochastic readout: RNG keying matters
+  const std::size_t per_image = 28 * 28;
+  auto image = [&](int i) {
+    const int k = i % f.test.size();
+    return std::span<const float>{
+        f.test.images.data() + static_cast<std::size_t>(k) * per_image,
+        per_image};
+  };
+  const int total = 150, cut = 100;  // "crash" after request `cut`
+
+  // Reference stream from an uninterrupted network.
+  core::SeiNetwork ref(f.qnet, cfg);
+  core::EvalContext rctx;
+  std::vector<int> want(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i)
+    want[static_cast<std::size_t>(i)] = ref.predict(image(i), rctx, i);
+
+  {  // First process: serve the head of the stream, checkpoint on stop.
+    core::SeiNetwork net(f.qnet, cfg);
+    serve::ServingRuntime rt(net, f.qnet, f.test, f.train,
+                             quiet_serving(path));
+    rt.start();
+    EXPECT_FALSE(rt.resumed_from_checkpoint());
+    std::vector<std::future<serve::Response>> futs;
+    for (int i = 0; i < cut; ++i) futs.push_back(rt.submit(image(i)));
+    for (int i = 0; i < cut; ++i) {
+      const serve::Response r = futs[static_cast<std::size_t>(i)].get();
+      ASSERT_EQ(r.status, serve::ResponseStatus::kOk) << "request " << i;
+      EXPECT_EQ(r.label, want[static_cast<std::size_t>(i)]) << "request " << i;
+    }
+    rt.stop();  // writes the final durable checkpoint (next_sequence == cut)
+  }
+  {  // kill -9 mid-write simulation: a torn temp file beside the durable one.
+    std::ofstream garbage(path + ".tmp", std::ios::binary);
+    garbage << "checkpoint write cut off by kill -9";
+  }
+  {  // Restarted process: resumes at `cut` and replays the tail identically.
+    core::SeiNetwork net(f.qnet, cfg);
+    serve::ServingRuntime rt(net, f.qnet, f.test, f.train,
+                             quiet_serving(path));
+    rt.start();
+    EXPECT_TRUE(rt.resumed_from_checkpoint());
+    std::vector<std::future<serve::Response>> futs;
+    for (int i = cut; i < total; ++i) futs.push_back(rt.submit(image(i)));
+    for (int i = cut; i < total; ++i) {
+      const serve::Response r = futs[static_cast<std::size_t>(i - cut)].get();
+      ASSERT_EQ(r.status, serve::ResponseStatus::kOk) << "request " << i;
+      EXPECT_EQ(r.sequence, static_cast<std::uint64_t>(i));
+      EXPECT_EQ(r.label, want[static_cast<std::size_t>(i)]) << "request " << i;
+    }
+    rt.stop();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Determinism, TruncatedCheckpointFallsBackToColdStart) {
+  // A torn checkpoint (no rename barrier reached) must mean "cold start",
+  // never a crash or a half-restored network.
+  Fixture& f = fixture();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sei_torn.ckpt").string();
+  core::HardwareConfig cfg;
+  cfg.device.read_noise_sigma = 0.05;
+  const std::size_t per_image = 28 * 28;
+  auto image = [&](int i) {
+    return std::span<const float>{
+        f.test.images.data() + static_cast<std::size_t>(i) * per_image,
+        per_image};
+  };
+  {
+    core::SeiNetwork net(f.qnet, cfg);
+    serve::RuntimeSnapshot snap;
+    snap.next_sequence = 40;
+    ASSERT_TRUE(serve::save_checkpoint(net, snap, path).ok());
+  }
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 3);
+
+  core::SeiNetwork net(f.qnet, cfg);
+  core::SeiNetwork twin(f.qnet, cfg);
+  serve::ServingRuntime rt(net, f.qnet, f.test, f.train, quiet_serving(path));
+  rt.start();
+  EXPECT_FALSE(rt.resumed_from_checkpoint());
+  const serve::Response r = rt.submit(image(0)).get();
+  rt.stop();
+  ASSERT_EQ(r.status, serve::ResponseStatus::kOk);
+  EXPECT_EQ(r.sequence, 0u);  // sequence counter started fresh
+  core::EvalContext ctx;
+  EXPECT_EQ(r.label, twin.predict(image(0), ctx, 0));
+  std::filesystem::remove(path);
 }
 
 }  // namespace
