@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "core/adc_network.hpp"
@@ -38,6 +39,7 @@ int main(int argc, char** argv) try {
   const std::string net_name = cli.get("network", "network2");
   const int images = cli.get_int("images", 1000);
   const auto bits_list = parse_ints(cli.get("bits", "1,2,3,4,5,6,8,10"));
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("ADC resolution vs accuracy for the merging structure"))
     return 0;
 
@@ -66,6 +68,7 @@ int main(int argc, char** argv) try {
       "the Fig. 1 overhead. The SEI structure's sense amp is a 1-bit\n"
       "decision at ~%.0fx less energy than the 8-bit ADC.\n",
       cat.adc_energy_pj(8) / cat.sense_amp.energy_pj);
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

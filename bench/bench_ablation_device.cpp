@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "workloads/pipeline.hpp"
@@ -22,6 +23,7 @@ int main(int argc, char** argv) try {
   const std::string net_name =
       cli.get("network", "network2", "workload to map");
   const int images = cli.get_int("images", 1000, "test images per point");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("SEI device/design-space ablations")) return 0;
 
   data::DataBundle data = workloads::load_default_data(true);
@@ -154,6 +156,7 @@ int main(int argc, char** argv) try {
       "unipolar mapping halves the cells at equal ideal accuracy but is\n"
       "more sensitive to variation (the w0 constant is stored, not wired);\n"
       "moderate variation and sparse stuck cells degrade gracefully.\n");
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

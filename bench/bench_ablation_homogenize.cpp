@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "split/homogenize.hpp"
@@ -35,6 +36,7 @@ int main(int argc, char** argv) try {
   const std::string iters_csv =
       cli.get("iters-list", "0,300,1000,5000,30000", "iteration budgets");
   const int images = cli.get_int("images", 1000, "test images per point");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("Homogenization ablation: distance vs accuracy")) return 0;
 
   data::DataBundle data = workloads::load_default_data(true);
@@ -81,6 +83,7 @@ int main(int argc, char** argv) try {
   std::printf(
       "Shape check (paper): distance drops 80-90%% with optimization and the\n"
       "error under the naive rule falls with it.\n");
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "workloads/cache.hpp"
@@ -23,6 +24,7 @@ int main(int argc, char** argv) try {
   const std::string net_name = cli.get("network", "network2");
   const int search_images = cli.get_int("search-images", 2000);
   const int curve_points = cli.get_int("curve-points", 20);
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("Algorithm 1 ablations")) return 0;
 
   data::DataBundle data = workloads::load_default_data(true);
@@ -82,6 +84,7 @@ int main(int argc, char** argv) try {
       "Reading the curves: accuracy rises steeply away from t=0 (noise\n"
       "bits suppressed), plateaus, then falls when real activations are\n"
       "lost — the unimodal shape that makes the brute-force scan cheap.\n");
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -10,6 +10,7 @@
 #include "arch/latency_model.hpp"
 #include "arch/report.hpp"
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "workloads/networks.hpp"
@@ -19,6 +20,7 @@ using namespace sei;
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
   exec::set_default_threads(cli.get_threads());
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("Energy efficiency (GOPs/J) platform comparison"))
     return 0;
 
@@ -70,6 +72,7 @@ int main(int argc, char** argv) try {
       "Shape check (paper): SEI > 2000 GOPs/J, about two orders of\n"
       "magnitude above the FPGA [2] and GPU points; state-of-the-art\n"
       "CMOS designs burn 10-20 W, the SEI design runs at milliwatts.\n");
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -10,6 +10,7 @@
 #include "arch/cost_model.hpp"
 #include "arch/report.hpp"
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "workloads/networks.hpp"
@@ -23,6 +24,7 @@ int main(int argc, char** argv) try {
   const int max_size = cli.get_int("max-crossbar", 512);
   const std::string csv_path =
       cli.get("csv", "", "CSV path prefix (writes <path>.power.csv/.area.csv)");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("Fig. 1: power/area breakdown of the DAC+ADC baseline"))
     return 0;
 
@@ -68,6 +70,7 @@ int main(int argc, char** argv) try {
               total_a.dac_pct + total_a.adc_pct);
   std::printf("Total energy: %.2f uJ/picture, total area: %.3f mm^2\n",
               cost.energy_uj_per_picture(), cost.area_mm2());
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "common/signals.hpp"
 #include "common/table.hpp"
 #include "exec/thread_pool.hpp"
@@ -33,6 +34,7 @@ int main(int argc, char** argv) try {
   const int seed = cli.get_int("seed", 20160605, "campaign master seed");
   const std::string out =
       cli.get("out", "reliability_campaign.json", "JSON report path");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("SEI reliability campaign (fault injection + repair)"))
     return 0;
   install_shutdown_handler();  // SIGINT/SIGTERM: finish trial, partial JSON
@@ -95,6 +97,7 @@ int main(int argc, char** argv) try {
                 "recovered-within-2pts=%s\n",
                 collapse ? "yes" : "NO", recovered ? "yes" : "NO");
   }
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "common/io.hpp"
 #include "common/signals.hpp"
 #include "core/adc_network.hpp"
@@ -65,6 +66,7 @@ int main(int argc, char** argv) try {
   const double fault_stuck =
       cli.get_double("fault-stuck", 0.05, "stuck fraction of the fault");
   const std::string json_path = cli.get("json", "BENCH_serving.json");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("serving runtime: latency, availability, recovery"))
     return 0;
   SEI_CHECK_MSG(requests > 0, "requests must be positive");
@@ -232,6 +234,7 @@ int main(int argc, char** argv) try {
   j.end_object();
   j.commit();
   std::printf("wrote %s\n", json_path.c_str());
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "quant/distribution.hpp"
@@ -23,6 +24,7 @@ int main(int argc, char** argv) try {
   Cli cli(argc, argv);
   exec::set_default_threads(cli.get_threads());
   const int max_images = cli.get_int("images", -1);
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("Table 1: normalized intermediate-data distribution"))
     return 0;
 
@@ -67,6 +69,7 @@ int main(int argc, char** argv) try {
       "Shape check: the lowest bin dominates every layer and the top bin\n"
       "is a small minority — the long-tail property Algorithm 1 relies "
       "on.\n");
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "workloads/pipeline.hpp"
@@ -23,6 +24,7 @@ int main(int argc, char** argv) try {
   const int search_images = cli.get_int("search-images", 5000);
   const std::string csv_path =
       cli.get("csv", "", "write the table as CSV to this path");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("Table 3: error rate of the quantization method")) return 0;
 
   data::DataBundle data = workloads::load_default_data(true);
@@ -55,6 +57,7 @@ int main(int argc, char** argv) try {
       "Shape check: after-quantization error stays within a few percent of\n"
       "the float baseline on every network (paper deltas: 0.70 / 0.54 / "
       "0.54).\n");
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

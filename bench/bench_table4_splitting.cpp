@@ -25,6 +25,7 @@
 #include <sstream>
 
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "core/dyn_opt.hpp"
@@ -61,6 +62,7 @@ int main(int argc, char** argv) try {
       cli.get_int("order-images", 500, "test images per random order");
   const std::string sizes_csv = cli.get("sizes", "512,256");
   const std::string net_name = cli.get("network", "network1");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("Table 4: error rate of the splitting methods")) return 0;
 
   data::DataBundle data = workloads::load_default_data(true);
@@ -149,6 +151,7 @@ int main(int argc, char** argv) try {
       "Shape check: a naive fixed rule (OR/AND) makes the error depend\n"
       "violently on the row order; homogenization plus the dynamic\n"
       "threshold restores accuracy to the quantization-only level.\n");
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

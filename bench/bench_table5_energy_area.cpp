@@ -16,6 +16,7 @@
 
 #include "arch/cost_model.hpp"
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "core/dyn_opt.hpp"
@@ -48,6 +49,7 @@ int main(int argc, char** argv) try {
       cli.get_bool("skip-accuracy", false, "cost model only");
   const std::string csv_path =
       cli.get("csv", "", "write the table as CSV to this path");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("Table 5: energy and area of the three structures"))
     return 0;
 
@@ -148,6 +150,7 @@ int main(int argc, char** argv) try {
       "the 1-bit+ADC halfway point only removes the DAC slice (~10-35%%);\n"
       "SEI exceeds 2000 GOPs/J while the baseline stays below 200.\n"
       "(*) = self-inconsistent cell in the paper, see EXPERIMENTS.md.\n");
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

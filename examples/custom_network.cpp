@@ -13,6 +13,7 @@
 
 #include "arch/cost_model.hpp"
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "core/dyn_opt.hpp"
@@ -69,6 +70,7 @@ int main(int argc, char** argv) try {
   const int train_n = cli.get_int("train", 4000);
   const int test_n = cli.get_int("test", 800);
   const int max_size = cli.get_int("max-crossbar", 512);
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("map a custom CNN onto the SEI structure")) return 0;
 
   const quant::Topology topo = parse_spec(spec);
@@ -118,6 +120,7 @@ int main(int argc, char** argv) try {
               base.area_mm2(), cost.area_mm2(),
               arch::saving_pct(base.area_um2.total(), cost.area_um2.total()),
               cost.gops_per_joule());
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -12,6 +12,7 @@
 
 #include "arch/cost_model.hpp"
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "workloads/pipeline.hpp"
@@ -35,6 +36,7 @@ int main(int argc, char** argv) try {
   const int images = cli.get_int("images", 1000, "test images per point");
   const auto sizes = parse_ints(cli.get("sizes", "128,256,512"));
   const auto bits = parse_ints(cli.get("bits", "2,4,6"));
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("SEI design-space exploration")) return 0;
 
   data::DataBundle data = workloads::load_default_data(true);
@@ -73,6 +75,7 @@ int main(int argc, char** argv) try {
       "(fewer bit slices) but are harder to fabricate [13]; smaller\n"
       "crossbars split more and push the vote/threshold compensation\n"
       "harder.\n");
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -21,6 +22,7 @@ int main(int argc, char** argv) try {
   const std::string net_name = cli.get("network", "network2");
   const int replicas = cli.get_int("replicas", 5, "independent chips");
   const int images = cli.get_int("images", 800, "test images per chip");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("device-variation robustness study")) return 0;
 
   data::DataBundle data = workloads::load_default_data(true);
@@ -83,6 +85,7 @@ int main(int argc, char** argv) try {
       "Interpretation: the 1-bit sense-amp decision absorbs small analog\n"
       "errors (only near-threshold sums can flip), so moderate variation\n"
       "degrades the SEI design gracefully.\n");
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

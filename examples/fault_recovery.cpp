@@ -13,6 +13,7 @@
 
 #include "arch/cost_model.hpp"
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "reliability/calibrate.hpp"
 #include "reliability/repair.hpp"
@@ -27,6 +28,7 @@ int main(int argc, char** argv) try {
   const int images = cli.get_int("images", 500, "test images per step");
   const double stuck = cli.get_double("stuck", 0.02, "stuck-cell fraction");
   const int seed = cli.get_int("seed", 7, "chip seed");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("fault injection → repair → recalibration walkthrough"))
     return 0;
 
@@ -98,6 +100,7 @@ int main(int argc, char** argv) try {
               "repair writes %.3f uJ, recalibration %.3f uJ\n",
               rc.spare_cells, rc.spare_area_um2, rc.repair_energy_uj,
               rc.recalibration_energy_uj);
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

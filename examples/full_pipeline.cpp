@@ -11,6 +11,7 @@
 #include "arch/latency_model.hpp"
 #include "arch/report.hpp"
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "core/dyn_opt.hpp"
@@ -26,6 +27,7 @@ int main(int argc, char** argv) try {
   const bool unipolar =
       cli.get_bool("unipolar", false, "use the unipolar dynamic-threshold "
                                       "weight mapping (Section 4.2)");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("full SEI pipeline on a Table 2 network")) return 0;
 
   data::DataBundle data = workloads::load_default_data(true);
@@ -93,6 +95,7 @@ int main(int argc, char** argv) try {
                TextTable::num(p.area_mm2, 3)});
   }
   std::printf("\n%s", trade.str().c_str());
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

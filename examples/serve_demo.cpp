@@ -14,18 +14,36 @@
 // --checkpoint serve_demo.ckpt, --deadline-ms 0, --min-availability 0,
 // --strict.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <deque>
 #include <future>
 #include <string>
+#include <vector>
 
+#include "arch/live_energy.hpp"
 #include "common/cli.hpp"
 #include "common/signals.hpp"
 #include "core/adc_network.hpp"
 #include "exec/thread_pool.hpp"
 #include "reliability/repair.hpp"
 #include "serve/runtime.hpp"
+#include "telemetry/flags.hpp"
+#include "telemetry/metrics.hpp"
 #include "workloads/pipeline.hpp"
+
+namespace {
+
+/// Exact quantile (linear interpolation) of a sorted sample.
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return sorted[lo] + (pos - static_cast<double>(lo)) * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
 
 using namespace sei;
 
@@ -50,6 +68,7 @@ int main(int argc, char** argv) try {
       "min-availability", 0.0, "fail when availability drops below this %");
   const bool strict =
       cli.get_bool("strict", false, "require trip + closed recovery");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("fault-tolerant serving runtime walkthrough / soak test"))
     return 0;
   SEI_CHECK_MSG(requests > 0, "requests must be positive");
@@ -147,19 +166,75 @@ int main(int argc, char** argv) try {
       recovered_ok = true;
   }
 
+  // ---- Telemetry summary: exact latency percentiles, metered joules per
+  // inference by path, and the paper's Fig. 1 interface-vs-array story.
+  // Everything printed here is also set as gauges so --metrics-out carries it.
+  auto& reg = telemetry::MetricsRegistry::global();
+  std::vector<double> lat = runtime.latencies_ms();
+  std::sort(lat.begin(), lat.end());
+  const double p50 = quantile(lat, 0.50), p99 = quantile(lat, 0.99);
+  reg.gauge("serve_latency_p50_ms").set(p50);
+  reg.gauge("serve_latency_p99_ms").set(p99);
+  std::printf("[serve] latency p50 %.3f ms, p99 %.3f ms (%zu samples)\n", p50,
+              p99, lat.size());
+
+  const serve::EnergySummary energy = runtime.energy();
+  auto report_path = [&](const char* path, const telemetry::EnergyAccum& a) {
+    if (a.images == 0) return;
+    const double iface_pct = 100.0 * a.pj.interface() / a.pj.total();
+    const double array_pct = 100.0 * a.pj.array() / a.pj.total();
+    reg.gauge("serve_energy_uj_per_inference{path=\"" + std::string(path) +
+              "\"}").set(a.joules_per_image() * 1e6);
+    reg.gauge("serve_interface_energy_pct{path=\"" + std::string(path) +
+              "\"}").set(iface_pct);
+    reg.gauge("serve_array_energy_pct{path=\"" + std::string(path) + "\"}")
+        .set(array_pct);
+    std::printf("[energy] %-5s %6llu images, %.3f uJ/inference "
+                "(interface %.1f%%, array %.1f%%)\n",
+                path, static_cast<unsigned long long>(a.images),
+                a.joules_per_image() * 1e6, iface_pct, array_pct);
+  };
+  report_path("sei", energy.sei);
+  report_path("adc", energy.adc);
+  report_path("probe", energy.probe);
+
+  // Fig. 1 direction check on the static per-picture price lists (always
+  // available, even when the breaker never reached the ADC fallback): the
+  // conventional DAC/ADC interface must dominate its budget while SEI's
+  // sense-amp interface is the cheaper slice.
+  const telemetry::EnergyBreakdown sei_pj =
+      arch::make_energy_meter(art.qnet, hw, core::StructureKind::kSei)
+          .network_pj();
+  const telemetry::EnergyBreakdown adc_pj =
+      arch::make_energy_meter(art.qnet, hw, core::StructureKind::kBinInputAdc)
+          .network_pj();
+  const double iface_ratio = adc_pj.interface() / sei_pj.interface();
+  const bool fig1_ok =
+      iface_ratio > 1.0 && adc_pj.interface() / adc_pj.total() >
+                               sei_pj.interface() / sei_pj.total();
+  reg.gauge("serve_interface_ratio_adc_vs_sei").set(iface_ratio);
+  reg.gauge("serve_fig1_direction_ok").set(fig1_ok ? 1.0 : 0.0);
+  std::printf("[energy] interface energy ADC/SEI = %.2fx; interface share "
+              "ADC %.1f%% vs SEI %.1f%% -> Fig. 1 direction %s\n",
+              iface_ratio, 100.0 * adc_pj.interface() / adc_pj.total(),
+              100.0 * sei_pj.interface() / sei_pj.total(),
+              fig1_ok ? "reproduced" : "NOT reproduced");
+
+  int exit_code = 0;
   if (min_availability > 0.0 && availability < min_availability &&
       !shutdown_requested()) {
     std::fprintf(stderr, "FAIL: availability %.2f%% < %.2f%%\n", availability,
                  min_availability);
-    return 1;
+    exit_code = 1;
   }
   if (strict && fault_at > 0 && !shutdown_requested() && !recovered_ok) {
     std::fprintf(stderr,
                  "FAIL: breaker never tripped+closed with accuracy within "
                  "2 pts of baseline\n");
-    return 1;
+    exit_code = 1;
   }
-  return 0;
+  telemetry::telemetry_flush(tel);
+  return exit_code;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

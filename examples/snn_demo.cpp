@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "common/cli.hpp"
+#include "telemetry/flags.hpp"
 #include "exec/thread_pool.hpp"
 #include "common/table.hpp"
 #include "snn/snn_network.hpp"
@@ -37,6 +38,7 @@ int main(int argc, char** argv) try {
   const auto steps = parse_ints(cli.get("timesteps", "2,4,8,16,32,64"));
   const bool bernoulli =
       cli.get_bool("bernoulli", false, "stochastic instead of phased coding");
+  const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("rate-coded SNN on the SEI structure")) return 0;
 
   data::DataBundle data = workloads::load_default_data(true);
@@ -80,6 +82,7 @@ int main(int argc, char** argv) try {
       "Reading the table: accuracy approaches the float CNN as the window\n"
       "grows, while energy scales with the spike count — the 1-bit-data\n"
       "regime the SEI structure was built for.\n");
+  telemetry::telemetry_flush(tel);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,68 @@
+#include "arch/live_energy.hpp"
+
+namespace sei::arch {
+
+namespace {
+
+std::uint64_t u64(long long v) {
+  return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+}
+
+telemetry::EnergyMeter meter_from_hardware(
+    const std::vector<StageHardware>& plan, const core::HardwareConfig& cfg,
+    const rram::PeripheryCatalog& catalog) {
+  std::vector<telemetry::StageEnergy> stages;
+  stages.reserve(plan.size());
+  for (const StageHardware& hw : plan)
+    stages.push_back(stage_energy(cost_stage(hw, cfg, catalog)));
+  return telemetry::EnergyMeter(std::move(stages));
+}
+
+}  // namespace
+
+telemetry::StageEnergy stage_energy(const StageCost& sc) {
+  telemetry::StageEnergy s;
+  const CostBreakdown& e = sc.energy_pj;
+  s.pj.dac = e.dac;
+  s.pj.adc = e.adc;
+  s.pj.sense_amp = e.sense_amp;
+  s.pj.driver = e.driver;
+  s.pj.rram = e.rram;
+  s.pj.decoder = e.decoder;
+  s.pj.digital = e.digital;
+  s.pj.buffer = e.buffer;
+  s.pj.wta = e.wta;
+
+  const StageHardware& hw = sc.hw;
+  s.events.crossbar_reads = u64(hw.crossbar_activations);
+  s.events.cell_activations = u64(hw.cell_activations);
+  s.events.sa_compares = u64(hw.sa_decisions);
+  s.events.adc_conversions = u64(hw.adc_conversions);
+  s.events.dac_conversions = u64(hw.dac_conversions);
+  s.events.driver_ops = u64(hw.driver_ops);
+  s.events.digital_adds = u64(hw.digital_adds);
+  s.events.buffer_bits = u64(hw.buffer_accesses_bits);
+  s.events.wta_reads = u64(hw.wta_reads);
+  return s;
+}
+
+telemetry::EnergyMeter make_energy_meter(const quant::Topology& topo,
+                                         const core::HardwareConfig& cfg,
+                                         core::StructureKind structure,
+                                         const rram::PeripheryCatalog& catalog) {
+  return meter_from_hardware(plan_network(topo, cfg, structure), cfg, catalog);
+}
+
+telemetry::EnergyMeter make_energy_meter(const quant::QNetwork& qnet,
+                                         const core::HardwareConfig& cfg,
+                                         core::StructureKind structure,
+                                         const rram::PeripheryCatalog& catalog) {
+  std::vector<StageHardware> plan;
+  plan.reserve(qnet.layers.size());
+  for (std::size_t i = 0; i < qnet.layers.size(); ++i)
+    plan.push_back(plan_stage(qnet.layers[i].geom, cfg, structure, i == 0,
+                              i + 1 == qnet.layers.size()));
+  return meter_from_hardware(plan, cfg, catalog);
+}
+
+}  // namespace sei::arch

@@ -1,0 +1,32 @@
+// Bridge from the static cost model to the live telemetry EnergyMeter.
+//
+// make_energy_meter prices every stage of a network once (plan_stage ×
+// periphery catalog — the same arithmetic as estimate_cost) and packages
+// the result as a telemetry::EnergyMeter, so evaluation code can charge a
+// stage in O(1) as it completes. An EnergyAccum filled by such a meter
+// reproduces estimate_cost's per-category totals exactly: images ×
+// NetworkCost.energy_pj, category by category.
+#pragma once
+
+#include "arch/cost_model.hpp"
+#include "telemetry/energy.hpp"
+
+namespace sei::arch {
+
+/// Converts one costed stage into its live-metering price entry.
+telemetry::StageEnergy stage_energy(const StageCost& sc);
+
+/// Per-stage price list for `topo` under `structure`.
+telemetry::EnergyMeter make_energy_meter(
+    const quant::Topology& topo, const core::HardwareConfig& cfg,
+    core::StructureKind structure,
+    const rram::PeripheryCatalog& catalog = rram::default_periphery());
+
+/// Same, taking the stage geometries straight from a quantized network —
+/// what SeiNetwork/AdcNetwork and the serving runtime are built from.
+telemetry::EnergyMeter make_energy_meter(
+    const quant::QNetwork& qnet, const core::HardwareConfig& cfg,
+    core::StructureKind structure,
+    const rram::PeripheryCatalog& catalog = rram::default_periphery());
+
+}  // namespace sei::arch

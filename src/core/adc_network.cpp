@@ -285,10 +285,13 @@ Result<int> AdcNetwork::try_predict(std::span<const float> image,
     else
       run_stage(st, static_cast<int>(i), &ctx.bits, {}, ctx.pooled_bits,
                 ctx.scores, ctx);
-    if (!st.binarize)
+    if (ctx.meter && ctx.energy) ctx.meter->charge_stage(i, *ctx.energy);
+    if (!st.binarize) {
+      if (ctx.energy) ++ctx.energy->images;
       return static_cast<int>(
           std::max_element(ctx.scores.begin(), ctx.scores.end()) -
           ctx.scores.begin());
+    }
     std::swap(ctx.bits, ctx.pooled_bits);
   }
   SEI_CHECK_MSG(false, "network has no classifier stage");
@@ -309,6 +312,16 @@ double AdcNetwork::error_rate(const data::Dataset& d, int max_images) const {
               d.images.data() + static_cast<std::size_t>(i) * per_image,
               per_image};
           if (predict(img, ctx) == d.labels[static_cast<std::size_t>(i)]) ++c;
+        }
+        // Bulk-charge the chunk (see SeiNetwork::error_rate): every image
+        // costs the same whole-network price.
+        if (meter_) {
+          telemetry::EnergyAccum acc;
+          const auto images = static_cast<std::uint64_t>(hi - lo);
+          meter_->charge_stages(0, meter_->stage_count(), images, acc);
+          acc.images = images;
+          telemetry::publish_energy(telemetry::MetricsRegistry::global(),
+                                    "adc_batch", acc);
         }
         return c;
       });

@@ -71,6 +71,12 @@ class AdcNetwork {
     return stages_.at(static_cast<std::size_t>(stage)).full_scale;
   }
 
+  /// Attaches a per-stage energy price list (arch::make_energy_meter with
+  /// kBinInputAdc or kDacAdc8); error_rate then publishes chunk totals
+  /// under path "adc_batch". The meter must outlive the network.
+  void set_meter(const telemetry::EnergyMeter* meter) { meter_ = meter; }
+  const telemetry::EnergyMeter* meter() const { return meter_; }
+
  private:
   struct Stage {
     quant::StageGeometry geom;
@@ -104,6 +110,7 @@ class AdcNetwork {
   int planes_ = 0;
   bool ideal_ = false;  // calibration mode: no ADC quantization, track max
   std::vector<Stage> stages_;
+  const telemetry::EnergyMeter* meter_ = nullptr;
 };
 
 }  // namespace sei::core

@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "exec/cancel.hpp"
 #include "quant/qnet.hpp"
+#include "telemetry/energy.hpp"
 
 namespace sei::core {
 
@@ -27,6 +28,12 @@ struct EvalContext {
   /// computed result — a completed prediction is bit-identical with or
   /// without a token attached.
   const exec::CancelToken* cancel = nullptr;
+
+  /// Optional live energy metering: when both are set, the engines charge
+  /// each completed stage's cost-model price (arch::make_energy_meter) into
+  /// `energy`. Passive observation only — never influences the prediction.
+  const telemetry::EnergyMeter* meter = nullptr;
+  telemetry::EnergyAccum* energy = nullptr;
 
   // SEI scratch.
   std::vector<double> block_sums;  // per-(block, col) partial sums

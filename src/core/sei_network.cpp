@@ -282,10 +282,13 @@ Result<int> SeiNetwork::try_predict(std::span<const float> image,
       eval_stage_float(m, image, ctx.pooled_bits, ctx.scores, ctx);
     else
       eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
-    if (!m.binarize)
+    if (ctx.meter && ctx.energy) ctx.meter->charge_stage(i, *ctx.energy);
+    if (!m.binarize) {
+      if (ctx.energy) ++ctx.energy->images;
       return static_cast<int>(
           std::max_element(ctx.scores.begin(), ctx.scores.end()) -
           ctx.scores.begin());
+    }
     std::swap(ctx.bits, ctx.pooled_bits);
   }
   SEI_CHECK_MSG(false, "network has no classifier stage");
@@ -307,6 +310,18 @@ double SeiNetwork::error_rate(const data::Dataset& d, int max_images) const {
               per_image};
           if (predict(img, ctx, i) == d.labels[static_cast<std::size_t>(i)])
             ++c;
+        }
+        // Batch chunks charge in bulk — every completed image costs the
+        // same whole-network price, so per-stage metering in the hot loop
+        // would only add stores (per-request attribution stays on the
+        // serving path, which meters through EvalContext).
+        if (meter_) {
+          telemetry::EnergyAccum acc;
+          const auto images = static_cast<std::uint64_t>(hi - lo);
+          meter_->charge_stages(0, meter_->stage_count(), images, acc);
+          acc.images = images;
+          telemetry::publish_energy(telemetry::MetricsRegistry::global(),
+                                    "sei_batch", acc);
         }
         return c;
       });
@@ -337,6 +352,15 @@ std::vector<quant::BitMap> SeiNetwork::cache_stage_inputs(
         std::swap(ctx.bits, ctx.pooled_bits);
       }
       out[static_cast<std::size_t>(i)] = ctx.bits;
+    }
+    // Partial evaluations (stages [0, stage) only): charged in bulk, no
+    // image count — these are not full inferences.
+    if (meter_) {
+      telemetry::EnergyAccum acc;
+      meter_->charge_stages(0, static_cast<std::size_t>(stage),
+                            static_cast<std::uint64_t>(hi - lo), acc);
+      telemetry::publish_energy(telemetry::MetricsRegistry::global(),
+                                "sei_batch", acc);
     }
   });
   return out;
@@ -370,6 +394,16 @@ double SeiNetwork::error_rate_from(
             std::swap(ctx.bits, ctx.pooled_bits);
           }
           if (pred == d.labels[static_cast<std::size_t>(i)]) ++c;
+        }
+        // Tail evaluations run stages [stage, end) per image: bulk-charge.
+        if (meter_) {
+          telemetry::EnergyAccum acc;
+          const auto images = static_cast<std::uint64_t>(hi - lo);
+          meter_->charge_stages(static_cast<std::size_t>(stage),
+                                meter_->stage_count(), images, acc);
+          acc.images = images;
+          telemetry::publish_energy(telemetry::MetricsRegistry::global(),
+                                    "sei_batch", acc);
         }
         return c;
       });

@@ -39,6 +39,15 @@ class SeiNetwork {
   /// fresh programming randomness) — the Table 4 random-order experiment.
   void remap_layer(int stage, const std::vector<int>& order);
 
+  /// Attaches a per-stage energy price list (arch::make_energy_meter). The
+  /// batch entry points below then charge every evaluated stage and publish
+  /// the chunk totals to the global metrics registry under path
+  /// "sei_batch"; single-image callers attach the meter to their own
+  /// EvalContext instead. The meter must outlive the network. nullptr
+  /// detaches.
+  void set_meter(const telemetry::EnergyMeter* meter) { meter_ = meter; }
+  const telemetry::EnergyMeter* meter() const { return meter_; }
+
   /// Classifies one image (convenience wrapper: fresh context, stream 0).
   int predict(std::span<const float> image) const;
 
@@ -116,6 +125,7 @@ class SeiNetwork {
   std::uint64_t read_seed_;
   CrossbarHook hook_;
   std::vector<MappedLayer> layers_;
+  const telemetry::EnergyMeter* meter_ = nullptr;
 };
 
 }  // namespace sei::core

@@ -1,23 +1,80 @@
 #include "exec/thread_pool.hpp"
 
+#include <algorithm>
+#include <chrono>
+
+#if defined(__linux__)
+#include <sched.h>
+
+#include <cstdio>
+#endif
+
 namespace sei::exec {
 
 namespace {
 thread_local bool tl_in_task = false;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if defined(__linux__)
+/// cgroup v2 CPU quota in whole CPUs (ceil), or 0 when unlimited/unknown.
+int cgroup_cpu_limit() {
+  std::FILE* f = std::fopen("/sys/fs/cgroup/cpu.max", "r");
+  if (!f) return 0;
+  long long quota = 0, period = 0;
+  char first[32] = {0};
+  int cpus = 0;
+  if (std::fscanf(f, "%31s %lld", first, &period) == 2 &&
+      std::sscanf(first, "%lld", &quota) == 1 && quota > 0 && period > 0)
+    cpus = static_cast<int>((quota + period - 1) / period);
+  std::fclose(f);
+  return cpus;
+}
+#endif
 }  // namespace
 
 bool ThreadPool::in_task() { return tl_in_task; }
 
+int ThreadPool::effective_concurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  int n = hw ? static_cast<int>(hw) : 1;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int affinity = CPU_COUNT(&mask);
+    if (affinity > 0) n = std::min(n, affinity);
+  }
+  const int quota = cgroup_cpu_limit();
+  if (quota > 0) n = std::min(n, quota);
+#endif
+  return n > 0 ? n : 1;
+}
+
 int ThreadPool::resolve_threads(int threads) {
   if (threads > 0) return threads;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw ? static_cast<int>(hw) : 1;
+  return effective_concurrency();
 }
 
 ThreadPool::ThreadPool(int threads) : threads_(resolve_threads(threads)) {
+  slot_busy_ns_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(
+          static_cast<std::size_t>(threads_));
+  slot_chunks_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(
+          static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
+    slot_busy_ns_[i].store(0, std::memory_order_relaxed);
+    slot_chunks_[i].store(0, std::memory_order_relaxed);
+  }
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int i = 0; i + 1 < threads_; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -29,8 +86,31 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::drain(const std::function<void(int)>& fn,
-                       std::uint64_t gen) {
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.workers.resize(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
+    s.workers[static_cast<std::size_t>(i)].busy_ns =
+        slot_busy_ns_[i].load(std::memory_order_relaxed);
+    s.workers[static_cast<std::size_t>(i)].chunks =
+        slot_chunks_[i].load(std::memory_order_relaxed);
+  }
+  s.jobs = jobs_.load(std::memory_order_relaxed);
+  s.inline_jobs = inline_jobs_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::reset_stats() {
+  for (int i = 0; i < threads_; ++i) {
+    slot_busy_ns_[i].store(0, std::memory_order_relaxed);
+    slot_chunks_[i].store(0, std::memory_order_relaxed);
+  }
+  jobs_.store(0, std::memory_order_relaxed);
+  inline_jobs_.store(0, std::memory_order_relaxed);
+}
+
+void ThreadPool::drain(const std::function<void(int)>& fn, std::uint64_t gen,
+                       int slot) {
   for (;;) {
     int chunk;
     {
@@ -49,11 +129,17 @@ void ThreadPool::drain(const std::function<void(int)>& fn,
     }
     const bool was_in_task = tl_in_task;
     tl_in_task = true;
+    std::uint64_t t0 = 0;
+    if constexpr (telemetry::kEnabled) t0 = now_ns();
     std::exception_ptr err;
     try {
       fn(chunk);
     } catch (...) {
       err = std::current_exception();
+    }
+    if constexpr (telemetry::kEnabled) {
+      slot_busy_ns_[slot].fetch_add(now_ns() - t0, std::memory_order_relaxed);
+      slot_chunks_[slot].fetch_add(1, std::memory_order_relaxed);
     }
     tl_in_task = was_in_task;
     {
@@ -69,7 +155,7 @@ void ThreadPool::drain(const std::function<void(int)>& fn,
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int slot) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     std::uint64_t gen = 0;
@@ -82,7 +168,7 @@ void ThreadPool::worker_loop() {
       job = job_;
       gen = gen_;
     }
-    drain(*job, gen);
+    drain(*job, gen, slot);
     done_cv_.notify_one();
   }
 }
@@ -90,7 +176,8 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_chunks(int chunks, const std::function<void(int)>& fn,
                             const CancelToken* token) {
   if (chunks <= 0) return;
-  bool inline_run = threads_ == 1 || chunks == 1 || tl_in_task;
+  const bool nested = tl_in_task;
+  bool inline_run = threads_ == 1 || chunks == 1 || nested;
   if (!inline_run) {
     // A second top-level submitter while a job is in flight falls back to
     // inline execution — same results, no queue contention.
@@ -98,9 +185,22 @@ void ThreadPool::run_chunks(int chunks, const std::function<void(int)>& fn,
     if (job_ != nullptr) inline_run = true;
   }
   if (inline_run) {
+    // Nested runs are already inside a timed chunk of the outer job, so
+    // only top-level inline batches are accounted (into slot 0).
+    std::uint64_t t0 = 0;
+    if constexpr (telemetry::kEnabled)
+      if (!nested) t0 = now_ns();
     for (int c = 0; c < chunks; ++c) {
       if (token && token->expired()) throw Cancelled("batch cancelled");
       fn(c);
+    }
+    if constexpr (telemetry::kEnabled) {
+      if (!nested) {
+        slot_busy_ns_[0].fetch_add(now_ns() - t0, std::memory_order_relaxed);
+        slot_chunks_[0].fetch_add(static_cast<std::uint64_t>(chunks),
+                                  std::memory_order_relaxed);
+        inline_jobs_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     return;
   }
@@ -118,8 +218,10 @@ void ThreadPool::run_chunks(int chunks, const std::function<void(int)>& fn,
     aborted_ = false;
     error_ = nullptr;
   }
+  if constexpr (telemetry::kEnabled)
+    jobs_.fetch_add(1, std::memory_order_relaxed);
   work_cv_.notify_all();
-  drain(fn, gen);  // the submitting thread participates
+  drain(fn, gen, 0);  // the submitting thread participates
 
   std::exception_ptr err;
   bool aborted = false;
@@ -145,7 +247,7 @@ void ThreadPool::run_chunks(int chunks, const std::function<void(int)>& fn,
 namespace {
 std::mutex g_default_mu;
 std::unique_ptr<ThreadPool> g_default_pool;
-int g_default_threads = 0;  // 0 = hardware concurrency
+int g_default_threads = 0;  // 0 = effective concurrency
 }  // namespace
 
 ThreadPool& default_pool() {

@@ -20,6 +20,7 @@
 // e.g. a parallel campaign trial may call the parallel error_rate freely.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -30,15 +31,43 @@
 
 #include "common/check.hpp"
 #include "exec/cancel.hpp"
+#include "telemetry/config.hpp"  // header-only compile gate, no link dep
 
 namespace sei::exec {
+
+/// Per-thread work accounting (slot 0 = the submitting thread, slots
+/// 1..N-1 = pool workers). busy_ns counts wall time inside chunk bodies.
+struct WorkerStats {
+  std::uint64_t busy_ns = 0;
+  std::uint64_t chunks = 0;
+};
+
+/// Cumulative pool counters since construction / reset_stats(). Only
+/// populated when telemetry is compiled in (SEI_TELEMETRY=ON); zeros
+/// otherwise.
+struct PoolStats {
+  std::vector<WorkerStats> workers;
+  std::uint64_t jobs = 0;         // batches distributed over the pool
+  std::uint64_t inline_jobs = 0;  // batches run entirely on the submitter
+
+  std::uint64_t busy_ns_total() const {
+    std::uint64_t t = 0;
+    for (const WorkerStats& w : workers) t += w.busy_ns;
+    return t;
+  }
+  std::uint64_t chunks_total() const {
+    std::uint64_t t = 0;
+    for (const WorkerStats& w : workers) t += w.chunks;
+    return t;
+  }
+};
 
 /// Fixed pool of worker threads draining a queue of chunk indices. The
 /// submitting thread participates in the work, so a 1-thread pool spawns no
 /// workers and runs everything inline.
 class ThreadPool {
  public:
-  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  /// `threads` <= 0 selects effective_concurrency().
   explicit ThreadPool(int threads = 0);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
@@ -61,18 +90,37 @@ class ThreadPool {
   /// True while the calling thread is executing a pool task.
   static bool in_task();
 
-  /// `threads` resolved the way the constructor resolves it.
+  /// `threads` resolved the way the constructor resolves it: positive
+  /// values pass through, <= 0 selects effective_concurrency().
   static int resolve_threads(int threads);
 
+  /// CPUs this process can actually use: hardware_concurrency clamped by
+  /// the scheduler affinity mask and (on Linux) the cgroup v2 cpu.max
+  /// quota. In a 1-core container this is 1 even when the host advertises
+  /// 8 hardware threads — oversubscribing a quota only adds contention
+  /// (see docs/observability.md for the bench_throughput case study).
+  static int effective_concurrency();
+
+  /// Per-thread busy/chunk counters since construction or reset_stats().
+  PoolStats stats() const;
+  void reset_stats();
+
  private:
-  void worker_loop();
+  void worker_loop(int slot);
   /// Claims and runs chunks of job `gen` until its queue drains (or a newer
   /// job replaced it — the generation tag keeps a lagging thread from
   /// executing a later job's chunks with an earlier job's function).
-  void drain(const std::function<void(int)>& fn, std::uint64_t gen);
+  /// `slot` indexes the per-thread stats counters.
+  void drain(const std::function<void(int)>& fn, std::uint64_t gen, int slot);
 
   int threads_;
   std::vector<std::thread> workers_;
+
+  // Per-slot accounting (atomics: read by stats() while workers run).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slot_busy_ns_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slot_chunks_;
+  std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::uint64_t> inline_jobs_{0};
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers: a job arrived / shutdown

@@ -8,6 +8,8 @@
 #include "common/io.hpp"
 #include "common/signals.hpp"
 #include "exec/thread_pool.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace sei::reliability {
 
@@ -75,15 +77,22 @@ CampaignResult run_campaign(const quant::QNetwork& qnet,
   const int n_points = static_cast<int>(cfg.points.size());
   std::vector<TrialResult> slots(
       static_cast<std::size_t>(n_points) * cfg.trials);
+  auto& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& trials_done =
+      reg.counter("reliability_trials_total{status=\"completed\"}");
+  telemetry::Counter& trials_skipped =
+      reg.counter("reliability_trials_total{status=\"skipped\"}");
   exec::parallel_for(
       n_points * cfg.trials,
       [&](int idx) {
+        telemetry::Span span("reliability.trial");
         const int pi = idx / cfg.trials;
         const int t = idx % cfg.trials;
         const FaultPoint& point = cfg.points[static_cast<std::size_t>(pi)];
         TrialResult tr;
         tr.seed = trial_seed(cfg, pi, t);
         if (shutdown_requested()) {
+          trials_skipped.add();
           // Graceful SIGINT/SIGTERM: skip the remaining trials; the
           // aggregation below drops them so the partial JSON stays valid.
           tr.faulty_error_pct = nan;
@@ -108,6 +117,7 @@ CampaignResult run_campaign(const quant::QNetwork& qnet,
           tr.pre_recalib_error_pct = nan;
           tr.repaired_error_pct = nan;
         }
+        trials_done.add();
         slots[static_cast<std::size_t>(idx)] = tr;
       },
       nullptr, /*grain=*/1);

@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <utility>
 
+#include "arch/live_energy.hpp"
 #include "common/io.hpp"
 #include "core/mapping.hpp"
+#include "telemetry/span.hpp"
 
 namespace sei::serve {
 namespace {
@@ -44,11 +46,30 @@ ServingRuntime::ServingRuntime(core::SeiNetwork& net,
       cfg_(std::move(cfg)),
       fallback_(fallback),
       sentinel_(probes, cfg_.sentinel),
-      breaker_(cfg_.breaker) {
+      breaker_(cfg_.breaker),
+      sei_meter_(arch::make_energy_meter(qnet, net.config(),
+                                         core::StructureKind::kSei)),
+      adc_meter_(arch::make_energy_meter(qnet, net.config(),
+                                         core::StructureKind::kBinInputAdc)) {
   SEI_CHECK_MSG(cfg_.workers > 0, "at least one worker required");
   SEI_CHECK_MSG(cfg_.queue_capacity > 0, "queue capacity must be positive");
   SEI_CHECK_MSG(cfg_.checkpoint_every == 0 || !cfg_.checkpoint_path.empty(),
                 "checkpoint_every requires checkpoint_path");
+  auto& reg = telemetry::MetricsRegistry::global();
+  latency_hist_ = &reg.histogram("serve_request_latency_ms",
+                                 telemetry::latency_ms_buckets());
+  req_ok_ = &reg.counter("serve_requests_total{status=\"ok\"}");
+  req_degraded_ = &reg.counter("serve_requests_total{status=\"degraded\"}");
+  req_rejected_ = &reg.counter("serve_requests_total{status=\"rejected\"}");
+  probes_ctr_ = &reg.counter("serve_probes_total");
+  checkpoints_ctr_ = &reg.counter("serve_checkpoints_total");
+  breaker_open_ = &reg.counter("serve_breaker_transitions_total{to=\"open\"}");
+  breaker_closed_ =
+      &reg.counter("serve_breaker_transitions_total{to=\"closed\"}");
+  breaker_fallback_ =
+      &reg.counter("serve_breaker_transitions_total{to=\"fallback\"}");
+  breaker_shedding_ =
+      &reg.counter("serve_breaker_transitions_total{to=\"shedding\"}");
 }
 
 ServingRuntime::~ServingRuntime() { stop(); }
@@ -73,6 +94,10 @@ void ServingRuntime::start() {
   {
     std::lock_guard<std::mutex> sl(stats_mu_);
     stats_.sentinel_baseline_pct = baseline;
+  }
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    energy_published_ = false;
   }
   {
     std::lock_guard<std::mutex> ql(queue_mu_);
@@ -102,6 +127,18 @@ void ServingRuntime::stop() {
       served = snap_.requests_served;
     }
     write_checkpoint(served);
+  }
+  // Push the per-path energy totals into the global registry so a
+  // telemetry_flush after shutdown sees them alongside the request counters.
+  {
+    auto& reg = telemetry::MetricsRegistry::global();
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    if (!energy_published_) {
+      telemetry::publish_energy(reg, "sei", energy_.sei);
+      telemetry::publish_energy(reg, "adc", energy_.adc);
+      telemetry::publish_energy(reg, "probe", energy_.probe);
+      energy_published_ = true;  // exactly once even if stop() reruns
+    }
   }
   running_.store(false);
 }
@@ -183,6 +220,7 @@ void ServingRuntime::worker_loop() {
 void ServingRuntime::serve_one(Request& req, std::uint64_t sequence,
                                core::EvalContext& ctx,
                                exec::CancelToken& token) {
+  telemetry::Span span("serve.request");
   Response r;
   r.sequence = sequence;
   const bool has_deadline = req.deadline.time_since_epoch().count() != 0;
@@ -201,16 +239,26 @@ void ServingRuntime::serve_one(Request& req, std::uint64_t sequence,
   token.reset();
   if (has_deadline) token.set_deadline(req.deadline);
   ctx.cancel = &token;
+  const bool via_fallback = st == BreakerState::kFallback && fallback_ != nullptr;
+  telemetry::EnergyAccum eacc;
+  ctx.meter = via_fallback ? &adc_meter_ : &sei_meter_;
+  ctx.energy = &eacc;
   Result<int> res = Error{ErrorCode::kInternal, "not evaluated"};
   {
     std::shared_lock<std::shared_mutex> nl(net_mu_);
-    if (st == BreakerState::kFallback && fallback_ != nullptr)
+    if (via_fallback)
       res = fallback_->try_predict(req.image, ctx);
     else
       res = net_.try_predict(req.image, ctx,
                              static_cast<long long>(sequence));
   }
   ctx.cancel = nullptr;
+  ctx.meter = nullptr;
+  ctx.energy = nullptr;
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    (via_fallback ? energy_.adc : energy_.sei).merge(eacc);
+  }
 
   if (res.ok()) {
     r.status = st == BreakerState::kFallback ? ResponseStatus::kDegraded
@@ -224,6 +272,12 @@ void ServingRuntime::serve_one(Request& req, std::uint64_t sequence,
 
 void ServingRuntime::finish(Request& req, Response r) {
   r.latency_ms = ms_between(req.enqueued, Clock::now());
+  latency_hist_->observe(r.latency_ms);
+  switch (r.status) {
+    case ResponseStatus::kOk: req_ok_->add(); break;
+    case ResponseStatus::kDegraded: req_degraded_->add(); break;
+    case ResponseStatus::kRejected: req_rejected_->add(); break;
+  }
   {
     std::lock_guard<std::mutex> sl(stats_mu_);
     ++stats_.served;
@@ -276,6 +330,7 @@ void ServingRuntime::maintenance(std::uint64_t served,
       sentinel_.reset_window();
       breaker_.close(served, 1, "periodic repair restored accuracy");
       breaker_state_.store(BreakerState::kClosed);
+      breaker_closed_->add();
       std::lock_guard<std::mutex> sl(stats_mu_);
       if (!recoveries_.empty() && !recoveries_.back().closed) {
         recoveries_.back().closed = true;
@@ -296,6 +351,8 @@ void ServingRuntime::maintenance(std::uint64_t served,
 }
 
 void ServingRuntime::run_probe(std::uint64_t served, core::EvalContext& ctx) {
+  telemetry::Span span("serve.probe");
+  probes_ctr_->add();
   std::uint64_t cursor;
   {
     std::lock_guard<std::mutex> ql(queue_mu_);
@@ -303,6 +360,9 @@ void ServingRuntime::run_probe(std::uint64_t served, core::EvalContext& ctx) {
   }
   const int probe =
       static_cast<int>(cursor % static_cast<std::uint64_t>(sentinel_.probe_count()));
+  telemetry::EnergyAccum eacc;
+  ctx.meter = &sei_meter_;
+  ctx.energy = &eacc;
   int predicted;
   {
     std::shared_lock<std::shared_mutex> nl(net_mu_);
@@ -310,6 +370,12 @@ void ServingRuntime::run_probe(std::uint64_t served, core::EvalContext& ctx) {
                     .try_predict(sentinel_.image(probe), ctx,
                                  kProbeIndexBase + static_cast<long long>(cursor))
                     .value();  // no token attached: cannot fail
+  }
+  ctx.meter = nullptr;
+  ctx.energy = nullptr;
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    energy_.probe.merge(eacc);
   }
   sentinel_.record(predicted == sentinel_.label(probe));
   const double window = sentinel_.window_accuracy_pct();
@@ -326,24 +392,37 @@ double ServingRuntime::measure_probe_accuracy(core::EvalContext& ctx) {
   const std::uint64_t serial = measure_serial_++;
   const int n = sentinel_.probe_count();
   int correct = 0;
-  std::shared_lock<std::shared_mutex> nl(net_mu_);
-  for (int i = 0; i < n; ++i) {
-    const long long index =
-        kMeasureIndexBase +
-        static_cast<long long>(serial) * n + i;
-    if (net_.try_predict(sentinel_.image(i), ctx, index).value() ==
-        sentinel_.label(i))
-      ++correct;
+  telemetry::EnergyAccum eacc;
+  ctx.meter = &sei_meter_;
+  ctx.energy = &eacc;
+  {
+    std::shared_lock<std::shared_mutex> nl(net_mu_);
+    for (int i = 0; i < n; ++i) {
+      const long long index =
+          kMeasureIndexBase +
+          static_cast<long long>(serial) * n + i;
+      if (net_.try_predict(sentinel_.image(i), ctx, index).value() ==
+          sentinel_.label(i))
+        ++correct;
+    }
+  }
+  ctx.meter = nullptr;
+  ctx.energy = nullptr;
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    energy_.probe.merge(eacc);
   }
   return 100.0 * correct / static_cast<double>(n);
 }
 
 void ServingRuntime::run_recovery(std::uint64_t served, double window_acc,
                                   core::EvalContext& ctx) {
+  telemetry::Span span("serve.recovery");
   const Clock::time_point t0 = Clock::now();
   breaker_.trip(served, "sentinel window dropped to " +
                             std::to_string(window_acc) + "%");
   breaker_state_.store(BreakerState::kOpen);
+  breaker_open_->add();
   RecoveryRecord rec;
   rec.tripped_at_served = served;
   rec.acc_before_pct = window_acc;
@@ -383,15 +462,18 @@ void ServingRuntime::run_recovery(std::uint64_t served, double window_acc,
       rec.tier_reached = 2;
       breaker_.enter_fallback(served, "serving degraded via ADC path");
       breaker_state_.store(BreakerState::kFallback);
+      breaker_fallback_->add();
     } else {
       rec.tier_reached = 3;
       breaker_.enter_shedding(served, "no fallback path; shedding load");
       breaker_state_.store(BreakerState::kShedding);
+      breaker_shedding_->add();
     }
     last_reattempt_served_ = served;
   } else {
     sentinel_.reset_window();
     breaker_state_.store(BreakerState::kClosed);
+    breaker_closed_->add();
   }
 
   rec.closed = closed;
@@ -407,6 +489,7 @@ void ServingRuntime::run_recovery(std::uint64_t served, double window_acc,
 
 bool ServingRuntime::attempt_repair(core::EvalContext& ctx) {
   (void)ctx;
+  telemetry::Span span("serve.repair");
   std::unique_lock<std::shared_mutex> nl(net_mu_);
   // Remapping reprograms every stage from the quantized weights (fresh
   // crossbars, repair hook re-applied), clearing in-service damage the way
@@ -427,6 +510,7 @@ bool ServingRuntime::attempt_repair(core::EvalContext& ctx) {
 void ServingRuntime::write_checkpoint(std::uint64_t served) {
   (void)served;
   if (cfg_.checkpoint_path.empty()) return;
+  telemetry::Span span("serve.checkpoint");
   RuntimeSnapshot s;
   {
     std::lock_guard<std::mutex> ql(queue_mu_);
@@ -443,6 +527,7 @@ void ServingRuntime::write_checkpoint(std::uint64_t served) {
       std::lock_guard<std::mutex> ql(queue_mu_);
       snap_.checkpoint_epoch = s.checkpoint_epoch;
     }
+    checkpoints_ctr_->add();
     std::lock_guard<std::mutex> sl(stats_mu_);
     ++stats_.checkpoints;
   } else {
@@ -453,6 +538,11 @@ void ServingRuntime::write_checkpoint(std::uint64_t served) {
 RuntimeStats ServingRuntime::stats() const {
   std::lock_guard<std::mutex> sl(stats_mu_);
   return stats_;
+}
+
+EnergySummary ServingRuntime::energy() const {
+  std::lock_guard<std::mutex> sl(stats_mu_);
+  return energy_;
 }
 
 std::vector<double> ServingRuntime::latencies_ms() const {

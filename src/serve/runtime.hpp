@@ -48,6 +48,8 @@
 #include "serve/checkpoint.hpp"
 #include "serve/fault_schedule.hpp"
 #include "serve/sentinel.hpp"
+#include "telemetry/energy.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sei::serve {
 
@@ -87,6 +89,15 @@ struct RecoveryRecord {
   double acc_before_pct = 0.0;
   double acc_after_pct = 0.0;
   double duration_ms = 0.0;
+};
+
+/// Cumulative metered energy since start(), split by evaluation path. Each
+/// accumulator reproduces the static cost model exactly: images × the
+/// per-picture arch::estimate_cost breakdown of that path's structure.
+struct EnergySummary {
+  telemetry::EnergyAccum sei;    // SEI-path requests (status kOk)
+  telemetry::EnergyAccum adc;    // ADC-fallback requests (status kDegraded)
+  telemetry::EnergyAccum probe;  // sentinel probes + recovery measurements
 };
 
 struct RuntimeStats {
@@ -140,6 +151,9 @@ class ServingRuntime {
   void set_fault_schedule(FaultSchedule schedule);
 
   RuntimeStats stats() const;
+  /// Metered joules by path; stop() also publishes these to the global
+  /// metrics registry under paths "sei" / "adc" / "probe".
+  EnergySummary energy() const;
   std::vector<double> latencies_ms() const;
   std::vector<BreakerEvent> breaker_events() const;
   std::vector<RecoveryRecord> recoveries() const;
@@ -206,6 +220,25 @@ class ServingRuntime {
   RuntimeStats stats_;
   std::vector<double> latencies_ms_;
   std::vector<RecoveryRecord> recoveries_;
+  EnergySummary energy_;           // guarded by stats_mu_
+  bool energy_published_ = false;  // guarded by stats_mu_
+
+  // Per-stage price lists (arch::make_energy_meter) for the two serving
+  // paths; immutable after construction.
+  telemetry::EnergyMeter sei_meter_;
+  telemetry::EnergyMeter adc_meter_;
+
+  // Cached global-registry metrics (stable addresses; registered once).
+  telemetry::Histogram* latency_hist_ = nullptr;
+  telemetry::Counter* req_ok_ = nullptr;
+  telemetry::Counter* req_degraded_ = nullptr;
+  telemetry::Counter* req_rejected_ = nullptr;
+  telemetry::Counter* probes_ctr_ = nullptr;
+  telemetry::Counter* checkpoints_ctr_ = nullptr;
+  telemetry::Counter* breaker_open_ = nullptr;
+  telemetry::Counter* breaker_closed_ = nullptr;
+  telemetry::Counter* breaker_fallback_ = nullptr;
+  telemetry::Counter* breaker_shedding_ = nullptr;
 
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};

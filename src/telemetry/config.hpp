@@ -1,0 +1,19 @@
+// Compile-time gate for the telemetry subsystem.
+//
+// SEI_TELEMETRY_ENABLED is defined globally by CMake (option SEI_TELEMETRY,
+// ON by default). When OFF, every hot-path recording primitive — Counter::add,
+// Histogram::observe, Span, EnergyMeter::charge_stage, the thread-pool's
+// per-chunk timing — compiles to nothing, while the registry/exporter API
+// stays link-compatible so callers need no #ifdefs. The cold paths (snapshot,
+// export) keep working and simply report zeros.
+#pragma once
+
+#ifndef SEI_TELEMETRY_ENABLED
+#define SEI_TELEMETRY_ENABLED 1
+#endif
+
+namespace sei::telemetry {
+
+inline constexpr bool kEnabled = SEI_TELEMETRY_ENABLED != 0;
+
+}  // namespace sei::telemetry

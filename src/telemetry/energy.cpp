@@ -1,0 +1,129 @@
+#include "telemetry/energy.hpp"
+
+#include <cmath>
+
+namespace sei::telemetry {
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& o) {
+  dac += o.dac;
+  adc += o.adc;
+  sense_amp += o.sense_amp;
+  driver += o.driver;
+  rram += o.rram;
+  decoder += o.decoder;
+  digital += o.digital;
+  buffer += o.buffer;
+  wta += o.wta;
+  return *this;
+}
+
+EnergyEvents& EnergyEvents::operator+=(const EnergyEvents& o) {
+  crossbar_reads += o.crossbar_reads;
+  cell_activations += o.cell_activations;
+  sa_compares += o.sa_compares;
+  adc_conversions += o.adc_conversions;
+  dac_conversions += o.dac_conversions;
+  driver_ops += o.driver_ops;
+  digital_adds += o.digital_adds;
+  buffer_bits += o.buffer_bits;
+  wta_reads += o.wta_reads;
+  return *this;
+}
+
+void EnergyAccum::merge(const EnergyAccum& o) {
+  pj += o.pj;
+  events += o.events;
+  images += o.images;
+  stages += o.stages;
+}
+
+void EnergyMeter::charge_stages(std::size_t first, std::size_t last,
+                                std::uint64_t images, EnergyAccum& acc) const {
+  if constexpr (!kEnabled) {
+    (void)first;
+    (void)last;
+    (void)images;
+    (void)acc;
+    return;
+  }
+  const double k = static_cast<double>(images);
+  for (std::size_t i = first; i < last; ++i) {
+    const StageEnergy& s = stages_[i];
+    acc.pj.dac += s.pj.dac * k;
+    acc.pj.adc += s.pj.adc * k;
+    acc.pj.sense_amp += s.pj.sense_amp * k;
+    acc.pj.driver += s.pj.driver * k;
+    acc.pj.rram += s.pj.rram * k;
+    acc.pj.decoder += s.pj.decoder * k;
+    acc.pj.digital += s.pj.digital * k;
+    acc.pj.buffer += s.pj.buffer * k;
+    acc.pj.wta += s.pj.wta * k;
+    acc.events.crossbar_reads += s.events.crossbar_reads * images;
+    acc.events.cell_activations += s.events.cell_activations * images;
+    acc.events.sa_compares += s.events.sa_compares * images;
+    acc.events.adc_conversions += s.events.adc_conversions * images;
+    acc.events.dac_conversions += s.events.dac_conversions * images;
+    acc.events.driver_ops += s.events.driver_ops * images;
+    acc.events.digital_adds += s.events.digital_adds * images;
+    acc.events.buffer_bits += s.events.buffer_bits * images;
+    acc.events.wta_reads += s.events.wta_reads * images;
+  }
+  acc.stages += (last - first) * images;
+}
+
+EnergyBreakdown EnergyMeter::network_pj() const {
+  EnergyBreakdown total;
+  for (const StageEnergy& s : stages_) total += s.pj;
+  return total;
+}
+
+namespace {
+
+/// pJ -> integer femtojoules, the fixed-point unit for energy counters.
+std::uint64_t to_fj(double pj) {
+  return pj > 0.0 ? static_cast<std::uint64_t>(std::llround(pj * 1e3)) : 0;
+}
+
+}  // namespace
+
+void publish_energy(MetricsRegistry& reg, const std::string& path,
+                    const EnergyAccum& acc) {
+  if constexpr (!kEnabled) {
+    (void)reg;
+    (void)path;
+    (void)acc;
+    return;
+  }
+  const std::string p = "{path=\"" + path + "\"";
+  const auto component = [&](const char* c, double pj) {
+    reg.counter("sei_energy_fj_total" + p + ",component=\"" + c + "\"}")
+        .add(to_fj(pj));
+  };
+  component("dac", acc.pj.dac);
+  component("adc", acc.pj.adc);
+  component("sense_amp", acc.pj.sense_amp);
+  component("driver", acc.pj.driver);
+  component("rram", acc.pj.rram);
+  component("decoder", acc.pj.decoder);
+  component("digital", acc.pj.digital);
+  component("buffer", acc.pj.buffer);
+  component("wta", acc.pj.wta);
+
+  reg.counter("sei_images_total" + p + "}").add(acc.images);
+  reg.counter("sei_stages_total" + p + "}").add(acc.stages);
+
+  const auto op = [&](const char* kind, std::uint64_t n) {
+    reg.counter("sei_ops_total" + p + ",op=\"" + kind + "\"}").add(n);
+  };
+  op("crossbar_read", acc.events.crossbar_reads);
+  op("cell_activation", acc.events.cell_activations);
+  op("sa_compare", acc.events.sa_compares);
+  op("adc_conversion", acc.events.adc_conversions);
+  op("dac_conversion", acc.events.dac_conversions);
+  op("driver_op", acc.events.driver_ops);
+  op("digital_add", acc.events.digital_adds);
+  op("buffer_bit", acc.events.buffer_bits);
+  op("wta_read", acc.events.wta_reads);
+}
+
+}  // namespace sei::telemetry

@@ -1,0 +1,135 @@
+// Live energy accounting for network evaluation.
+//
+// An EnergyMeter holds the per-stage energy price list — the exact
+// per-picture `arch::cost_model` figures, converted once up front by
+// `arch::make_energy_meter` (arch/live_energy.hpp) — and evaluation charges
+// each stage as it completes: `charge_stage` adds that stage's full
+// breakdown plus its event counts (crossbar reads, SA compares, ADC/DAC
+// conversions, OR-pool/WTA reads, ...) into a caller-owned EnergyAccum.
+// Because a stage is charged with the same numbers the static table was
+// built from, an accumulated run reproduces `arch::estimate_cost` totals
+// exactly; the meter's value is attribution — which stages, which requests,
+// which paths (SEI vs ADC-fallback vs probe) the joules went to.
+//
+// telemetry depends only on common, so the breakdown is mirrored here
+// rather than including arch; arch owns the conversion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/config.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace sei::telemetry {
+
+/// Per-component energy in pJ — mirror of arch::CostBreakdown categories.
+struct EnergyBreakdown {
+  double dac = 0.0;
+  double adc = 0.0;
+  double sense_amp = 0.0;
+  double driver = 0.0;
+  double rram = 0.0;
+  double decoder = 0.0;
+  double digital = 0.0;
+  double buffer = 0.0;
+  double wta = 0.0;
+
+  double total() const {
+    return dac + adc + sense_amp + driver + rram + decoder + digital +
+           buffer + wta;
+  }
+  double converters() const { return dac + adc; }
+  /// The paper's Fig. 1 "interface" slice: everything between the digital
+  /// world and the array — converters, sense amps, drivers, WTA readout.
+  double interface() const { return dac + adc + sense_amp + driver + wta; }
+  double array() const { return rram; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o);
+};
+
+/// Per-picture operation counts charged alongside the energy.
+struct EnergyEvents {
+  std::uint64_t crossbar_reads = 0;    // crossbar activations (decoder events)
+  std::uint64_t cell_activations = 0;  // individual RRAM cell reads
+  std::uint64_t sa_compares = 0;
+  std::uint64_t adc_conversions = 0;
+  std::uint64_t dac_conversions = 0;
+  std::uint64_t driver_ops = 0;
+  std::uint64_t digital_adds = 0;
+  std::uint64_t buffer_bits = 0;
+  std::uint64_t wta_reads = 0;
+
+  EnergyEvents& operator+=(const EnergyEvents& o);
+};
+
+/// One stage's per-picture price: energy plus the op counts it stands for.
+struct StageEnergy {
+  EnergyBreakdown pj;
+  EnergyEvents events;
+};
+
+/// Caller-owned accumulator (one per request, per chunk, per batch — merge
+/// partials in deterministic order like any other reduction).
+struct EnergyAccum {
+  EnergyBreakdown pj;
+  EnergyEvents events;
+  std::uint64_t images = 0;
+  std::uint64_t stages = 0;
+
+  void merge(const EnergyAccum& o);
+  void reset() { *this = EnergyAccum{}; }
+
+  double joules() const { return pj.total() * 1e-12; }
+  double joules_per_image() const {
+    return images > 0 ? joules() / static_cast<double>(images) : 0.0;
+  }
+};
+
+/// Immutable per-stage price list for one (network, structure) pair.
+class EnergyMeter {
+ public:
+  EnergyMeter() = default;
+  explicit EnergyMeter(std::vector<StageEnergy> stages)
+      : stages_(std::move(stages)) {}
+
+  std::size_t stage_count() const { return stages_.size(); }
+  const StageEnergy& stage(std::size_t i) const { return stages_[i]; }
+
+  void charge_stage(std::size_t i, EnergyAccum& acc) const {
+    if constexpr (!kEnabled) {
+      (void)i;
+      (void)acc;
+      return;
+    }
+    const StageEnergy& s = stages_[i];
+    acc.pj += s.pj;
+    acc.events += s.events;
+    ++acc.stages;
+  }
+
+  /// Bulk equivalent of charge_stage for uniform batches: charges stages
+  /// [first, last) for `images` pictures in one scaled add per stage. Batch
+  /// evaluation charges a whole chunk this way instead of 19 stores per
+  /// stage per image — the difference between ~10% and unmeasurable
+  /// overhead on the hot path. The caller still owns acc.images.
+  void charge_stages(std::size_t first, std::size_t last,
+                     std::uint64_t images, EnergyAccum& acc) const;
+
+  /// Whole-network per-picture price (sum over stages).
+  EnergyBreakdown network_pj() const;
+
+ private:
+  std::vector<StageEnergy> stages_;
+};
+
+/// Publishes an accumulator into `reg` under
+/// `sei_energy_fj_total{path="<path>",component="<c>"}` (femtojoule
+/// fixed-point so concurrent publishes stay order-independent), plus
+/// `sei_images_total{path=...}` and per-op-kind
+/// `sei_ops_total{path=...,op=...}` counters.
+void publish_energy(MetricsRegistry& reg, const std::string& path,
+                    const EnergyAccum& acc);
+
+}  // namespace sei::telemetry

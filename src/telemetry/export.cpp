@@ -1,0 +1,173 @@
+#include "telemetry/export.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "common/io.hpp"
+
+namespace sei::telemetry {
+
+namespace {
+
+/// Splits "family{labels}" into the family name and the inner label list
+/// (without braces, "" when the metric carries no labels).
+struct NameParts {
+  std::string family;
+  std::string labels;
+};
+
+NameParts split_name(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  std::string labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.pop_back();
+  return {name.substr(0, brace), std::move(labels)};
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+/// `family{labels,extra}` with correct comma/brace handling.
+std::string series(const NameParts& p, const std::string& suffix,
+                   const std::string& extra_label = "") {
+  std::string out = p.family + suffix;
+  if (p.labels.empty() && extra_label.empty()) return out;
+  out += '{';
+  out += p.labels;
+  if (!p.labels.empty() && !extra_label.empty()) out += ',';
+  out += extra_label;
+  out += '}';
+  return out;
+}
+
+void type_line(std::ostringstream& os, std::string& last_family,
+               const std::string& family, const char* type) {
+  if (family == last_family) return;
+  os << "# TYPE " << family << ' ' << type << '\n';
+  last_family = family;
+}
+
+}  // namespace
+
+void write_metrics_json(const std::string& path, const MetricsSnapshot& snap) {
+  JsonWriter w(path);
+  w.begin_object();
+  w.kv("schema", "sei-metrics-v1");
+
+  w.key("counters");
+  w.begin_array();
+  for (const CounterSample& c : snap.counters) {
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("value", static_cast<long long>(c.value));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("gauges");
+  w.begin_array();
+  for (const GaugeSample& g : snap.gauges) {
+    w.begin_object();
+    w.kv("name", g.name);
+    w.kv("value", g.value);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("histograms");
+  w.begin_array();
+  for (const HistogramSample& h : snap.histograms) {
+    w.begin_object();
+    w.kv("name", h.name);
+    w.kv("count", static_cast<long long>(h.count));
+    w.kv("sum", h.sum);
+    w.kv("min", h.min);
+    w.kv("max", h.max);
+    w.kv("p50", h.quantile(0.50));
+    w.kv("p99", h.quantile(0.99));
+    w.key("bounds");
+    w.begin_array();
+    for (double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("buckets");
+    w.begin_array();
+    for (std::uint64_t n : h.buckets) w.value(static_cast<long long>(n));
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  w.commit();
+}
+
+std::string prometheus_text(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  std::string last_family;
+
+  for (const CounterSample& c : snap.counters) {
+    const NameParts p = split_name(c.name);
+    type_line(os, last_family, p.family, "counter");
+    os << series(p, "") << ' ' << c.value << '\n';
+  }
+  for (const GaugeSample& g : snap.gauges) {
+    const NameParts p = split_name(g.name);
+    type_line(os, last_family, p.family, "gauge");
+    os << series(p, "") << ' ' << fmt(g.value) << '\n';
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    const NameParts p = split_name(h.name);
+    type_line(os, last_family, p.family, "histogram");
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cum += h.buckets[b];
+      const std::string le =
+          b < h.bounds.size() ? fmt(h.bounds[b]) : std::string("+Inf");
+      os << series(p, "_bucket", "le=\"" + le + "\"") << ' ' << cum << '\n';
+    }
+    os << series(p, "_sum") << ' ' << fmt(h.sum) << '\n';
+    os << series(p, "_count") << ' ' << h.count << '\n';
+  }
+  return os.str();
+}
+
+void write_prometheus(const std::string& path, const MetricsSnapshot& snap) {
+  const std::string text = prometheus_text(snap);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    SEI_CHECK_MSG(out.good(), "cannot open " << tmp);
+    out << text;
+    out.flush();
+    SEI_CHECK_MSG(out.good(), "write failed: " << tmp);
+  }
+  atomic_replace_durable(tmp, path);
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  JsonWriter w(path);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("ph", "X");
+    w.kv("pid", 1);
+    w.kv("tid", static_cast<long long>(e.tid));
+    w.kv("ts", static_cast<double>(e.start_ns) * 1e-3);   // µs
+    w.kv("dur", static_cast<double>(e.dur_ns) * 1e-3);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.commit();
+}
+
+}  // namespace sei::telemetry

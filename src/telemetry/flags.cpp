@@ -1,0 +1,32 @@
+#include "telemetry/flags.hpp"
+
+#include "telemetry/export.hpp"
+#include "telemetry/span.hpp"
+
+namespace sei::telemetry {
+
+TelemetryOptions telemetry_flags(Cli& cli) {
+  TelemetryOptions opts;
+  opts.metrics_out = cli.get(
+      "metrics-out", "",
+      "write a metrics snapshot here (.prom = Prometheus text, else JSON)");
+  opts.trace_out =
+      cli.get("trace-out", "",
+              "write a Chrome trace-event JSON here (enables span tracing)");
+  if (!opts.trace_out.empty()) Tracer::set_enabled(true);
+  return opts;
+}
+
+void telemetry_flush(const TelemetryOptions& opts) {
+  if (!opts.metrics_out.empty()) {
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    const std::string& p = opts.metrics_out;
+    if (p.size() >= 5 && p.compare(p.size() - 5, 5, ".prom") == 0)
+      write_prometheus(p, snap);
+    else
+      write_metrics_json(p, snap);
+  }
+  if (!opts.trace_out.empty()) write_chrome_trace(opts.trace_out, Tracer::drain());
+}
+
+}  // namespace sei::telemetry

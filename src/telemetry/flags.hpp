@@ -1,0 +1,35 @@
+// Standard --metrics-out / --trace-out wiring for every CLI binary.
+//
+// Usage in a bench/example main():
+//   sei::Cli cli(argc, argv);
+//   ...                                     // binary-specific flags
+//   auto tel = sei::telemetry::telemetry_flags(cli);   // before validate()
+//   if (!cli.validate(...)) return 0;
+//   ...                                     // run the workload
+//   sei::telemetry::telemetry_flush(tel);   // write requested exports
+//
+// telemetry_flags arms the Tracer when --trace-out is given, so spans are
+// only recorded when somebody asked for the trace file.
+#pragma once
+
+#include <string>
+
+#include "common/cli.hpp"
+
+namespace sei::telemetry {
+
+struct TelemetryOptions {
+  std::string metrics_out;  // "" = no metrics export
+  std::string trace_out;    // "" = tracing stays disabled
+};
+
+/// Declares --metrics-out and --trace-out on `cli` and enables the tracer
+/// if a trace path was requested. Call before cli.validate().
+TelemetryOptions telemetry_flags(Cli& cli);
+
+/// Writes the global registry snapshot to `metrics_out` (Prometheus text
+/// when the path ends in ".prom", JSON otherwise) and the drained trace to
+/// `trace_out` as Chrome trace-event JSON. Paths left empty are skipped.
+void telemetry_flush(const TelemetryOptions& opts);
+
+}  // namespace sei::telemetry

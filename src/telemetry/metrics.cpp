@@ -1,0 +1,191 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace sei::telemetry {
+
+namespace {
+
+constexpr std::uint64_t kPosInfBits =
+    std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity());
+constexpr std::uint64_t kNegInfBits =
+    std::bit_cast<std::uint64_t>(-std::numeric_limits<double>::infinity());
+
+/// CAS-loop update of an extremum stored as a double bit pattern. The
+/// result depends only on the set of observed values, never on the order
+/// threads raced in.
+template <typename Better>
+void update_extremum(std::atomic<std::uint64_t>& slot, double v, Better b) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (b(v, std::bit_cast<double>(cur))) {
+    if (slot.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                   std::memory_order_relaxed))
+      return;
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds, double sum_unit)
+    : bounds_(std::move(bounds)),
+      min_bits_(kPosInfBits),
+      max_bits_(kNegInfBits),
+      sum_unit_(sum_unit) {
+  SEI_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  SEI_CHECK_MSG(sum_unit_ > 0.0, "histogram sum_unit must be positive");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    SEI_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                  "histogram bounds must be strictly ascending");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  if constexpr (!kEnabled) {
+    (void)v;
+    return;
+  }
+  // First bound >= v; values above every bound go to the overflow bucket.
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_units_.fetch_add(std::llround(v / sum_unit_),
+                       std::memory_order_relaxed);
+  update_extremum(min_bits_, v, std::less<double>{});
+  update_extremum(max_bits_, v, std::greater<double>{});
+}
+
+double Histogram::min() const {
+  const double v =
+      std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::max() const {
+  const double v =
+      std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  return std::isinf(v) ? 0.0 : v;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_units_.store(0, std::memory_order_relaxed);
+  min_bits_.store(kPosInfBits, std::memory_order_relaxed);
+  max_bits_.store(kNegInfBits, std::memory_order_relaxed);
+}
+
+double HistogramSample::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      // Interpolate inside [lo, hi); the overflow bucket has no upper edge,
+      // so report the observed max there (and clamp every estimate to it).
+      const double lo = b == 0 ? std::min(min, bounds[0]) : bounds[b - 1];
+      const double hi = b < bounds.size() ? bounds[b] : max;
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min,
+                        max);
+    }
+    seen += in_bucket;
+  }
+  return max;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      double sum_unit) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds), sum_unit);
+  } else {
+    SEI_CHECK_MSG(slot->bounds() == bounds,
+                  "histogram '" << name << "' re-registered with different "
+                                   "bucket bounds");
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    s.counters.push_back({name, c->value()});
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.push_back({name, g->value()});
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.buckets.resize(hs.bounds.size() + 1);
+    for (std::size_t i = 0; i < hs.buckets.size(); ++i)
+      hs.buckets[i] = h->bucket(i);
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    s.histograms.push_back(std::move(hs));
+  }
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        int count) {
+  SEI_CHECK(start > 0.0 && factor > 1.0 && count >= 1);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+const std::vector<double>& latency_ms_buckets() {
+  static const std::vector<double> b = exponential_buckets(0.01, 2.0, 21);
+  return b;
+}
+
+}  // namespace sei::telemetry

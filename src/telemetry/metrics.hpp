@@ -1,0 +1,167 @@
+// Process-wide metrics: counters, gauges and fixed-bucket histograms.
+//
+// Determinism contract (docs/observability.md): every accumulating metric is
+// stored in integers — counters and bucket counts as u64, histogram sums in
+// fixed-point units of `sum_unit` — so cross-thread accumulation is a chain
+// of exact commutative adds. A batch whose per-item observations are
+// deterministic (docs/parallelism.md) therefore produces bit-identical
+// snapshots at 1, 2 or N threads, no matter which thread recorded which
+// item. Snapshots list metrics in name order, so two equal registries
+// serialize identically byte for byte.
+//
+// Metric names follow the Prometheus convention and may carry a label set
+// inline: `serve_requests_total{status="ok"}`. The exporters split the
+// family name at the first '{'.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "telemetry/config.hpp"
+
+namespace sei::telemetry {
+
+/// Monotonic event count. add() is lock-free and compiles out when telemetry
+/// is disabled.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if constexpr (kEnabled) v_.fetch_add(n, std::memory_order_relaxed);
+    else (void)n;
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar (configuration values, utilization percentages,
+/// summary statistics computed at export time).
+class Gauge {
+ public:
+  void set(double v) {
+    if constexpr (kEnabled) v_.store(v, std::memory_order_relaxed);
+    else (void)v;
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram with inclusive upper bounds (Prometheus `le`
+/// semantics: a value equal to a bound lands in that bound's bucket; values
+/// above the last bound land in the implicit +Inf overflow bucket). The sum
+/// is kept in integer multiples of `sum_unit` so it accumulates exactly in
+/// any thread interleaving.
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending and non-empty.
+  Histogram(std::vector<double> bounds, double sum_unit);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  double sum_unit() const { return sum_unit_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double sum() const {
+    return static_cast<double>(sum_units_.load(std::memory_order_relaxed)) *
+           sum_unit_;
+  }
+  double min() const;
+  double max() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_units_{0};
+  std::atomic<std::uint64_t> min_bits_;  // double bit patterns, CAS-updated
+  std::atomic<std::uint64_t> max_bits_;
+  double sum_unit_;
+};
+
+// ----------------------------------------------------------------------------
+// Snapshots: plain copyable values, ordered by metric name.
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+  bool operator==(const CounterSample&) const = default;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+  bool operator==(const GaugeSample&) const = default;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;           // upper bounds, +Inf implicit last
+  std::vector<std::uint64_t> buckets;   // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;
+  bool operator==(const HistogramSample&) const = default;
+
+  /// Quantile estimate by linear interpolation inside the hit bucket
+  /// (clamped to [first bound lower edge, max]). q in [0, 1].
+  double quantile(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+// ----------------------------------------------------------------------------
+
+/// Named metric store. Registration takes a mutex; the returned references
+/// are stable for the registry's lifetime (hot paths register once and keep
+/// the reference). reset() zeroes values but never invalidates references.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Re-requesting an existing histogram validates that `bounds` match.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       double sum_unit = 1e-6);
+
+  MetricsSnapshot snapshot() const;
+  void reset();
+
+  /// The process-wide registry every integration point records into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// `count` ascending bounds starting at `start`, each `factor` times the
+/// previous — the standard latency bucket ladder.
+std::vector<double> exponential_buckets(double start, double factor,
+                                        int count);
+
+/// Default request-latency bounds in milliseconds (10 µs … ~20 s).
+const std::vector<double>& latency_ms_buckets();
+
+}  // namespace sei::telemetry

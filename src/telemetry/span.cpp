@@ -1,0 +1,118 @@
+#include "telemetry/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace sei::telemetry {
+
+namespace {
+
+/// Per-thread event buffer. Lives in a global list so drain() can reach the
+/// buffers of threads that are still running; when a thread exits, its
+/// events are spilled into the orphan list instead of being lost.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct TracerState {
+  std::mutex mu;  // guards buffers, orphans, next_tid. Lock order: mu -> buf.mu
+  std::vector<ThreadBuffer*> buffers;
+  std::vector<TraceEvent> orphans;
+  std::uint32_t next_tid = 0;
+};
+
+TracerState& state() {
+  static TracerState* s = new TracerState();  // leaked: outlives all threads
+  return *s;
+}
+
+std::chrono::steady_clock::time_point origin() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+struct ThreadBufferHandle {
+  ThreadBuffer* buf;
+
+  ThreadBufferHandle() : buf(new ThreadBuffer()) {
+    TracerState& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    buf->tid = s.next_tid++;
+    s.buffers.push_back(buf);
+  }
+
+  ~ThreadBufferHandle() {
+    TracerState& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    {
+      std::lock_guard<std::mutex> blk(buf->mu);
+      s.orphans.insert(s.orphans.end(), buf->events.begin(),
+                       buf->events.end());
+    }
+    s.buffers.erase(std::find(s.buffers.begin(), s.buffers.end(), buf));
+    delete buf;
+  }
+};
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBufferHandle handle;
+  return *handle.buf;
+}
+
+}  // namespace
+
+std::atomic<bool>& Tracer::enabled_flag() {
+  static std::atomic<bool> on{false};
+  return on;
+}
+
+void Tracer::set_enabled(bool on) {
+  if constexpr (!kEnabled) {
+    (void)on;
+    return;
+  }
+  if (on) (void)origin();  // pin the time origin before the first span
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::int64_t Tracer::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - origin())
+      .count();
+}
+
+void Tracer::record(const char* name, std::int64_t start_ns,
+                    std::int64_t dur_ns) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  buf.events.push_back({name, buf.tid, start_ns, dur_ns});
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  TracerState& s = state();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    out = std::move(s.orphans);
+    s.orphans.clear();
+    for (ThreadBuffer* buf : s.buffers) {
+      std::lock_guard<std::mutex> blk(buf->mu);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+      buf->events.clear();
+    }
+  }
+  // Parent spans close after their children, so buffers hold them in
+  // completion order; re-sort so a parent precedes the spans it encloses.
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.dur_ns > b.dur_ns;
+            });
+  return out;
+}
+
+}  // namespace sei::telemetry

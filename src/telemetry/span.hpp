@@ -1,0 +1,80 @@
+// RAII tracing spans with thread-local buffers.
+//
+// A Span records (name, thread, start, duration) into its thread's private
+// buffer — one uncontended lock per span, no global synchronization on the
+// hot path — and Tracer::drain() collects every buffer into a single list
+// ordered by (thread, start time), ready for the Chrome trace-event
+// exporter (export.hpp). Tracing is off by default even when telemetry is
+// compiled in; --trace-out (telemetry/flags.hpp) or Tracer::set_enabled(true)
+// arms it, and a disarmed Span costs one relaxed atomic load.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// only the pointer is stored.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/config.hpp"
+
+namespace sei::telemetry {
+
+struct TraceEvent {
+  const char* name = "";
+  std::uint32_t tid = 0;      // stable per-thread index, assigned on first use
+  std::int64_t start_ns = 0;  // relative to Tracer origin (process start)
+  std::int64_t dur_ns = 0;
+  bool operator==(const TraceEvent&) const = default;
+};
+
+class Tracer {
+ public:
+  static void set_enabled(bool on);
+  static bool enabled() {
+    if constexpr (!kEnabled) return false;
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the tracer origin (steady clock).
+  static std::int64_t now_ns();
+
+  /// Appends one completed span to the calling thread's buffer.
+  static void record(const char* name, std::int64_t start_ns,
+                     std::int64_t dur_ns);
+
+  /// Moves every recorded event (live thread buffers + buffers of exited
+  /// threads) out of the tracer, sorted by (tid, start_ns, -dur_ns) so a
+  /// parent span precedes the children it encloses.
+  static std::vector<TraceEvent> drain();
+
+ private:
+  static std::atomic<bool>& enabled_flag();
+};
+
+/// Scope timer: records a TraceEvent when destroyed (or finished early).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Tracer::enabled()) {
+      name_ = name;
+      start_ = Tracer::now_ns();
+    }
+  }
+  ~Span() { finish(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void finish() {
+    if (name_ != nullptr) {
+      Tracer::record(name_, start_, Tracer::now_ns() - start_);
+      name_ = nullptr;
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t start_ = 0;
+};
+
+}  // namespace sei::telemetry
