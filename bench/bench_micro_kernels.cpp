@@ -2,9 +2,11 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "core/bitpack.hpp"
 #include "data/synthetic_digits.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/gemm.hpp"
+#include "quant/bitpack.hpp"
 #include "quant/qnet.hpp"
 #include "rram/crossbar.hpp"
 #include "workloads/networks.hpp"
@@ -104,6 +106,162 @@ void BM_BinaryStageEval(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BinaryStageEval);
+
+// --- core/bitpack kernels --------------------------------------------------
+
+void BM_PackBits(benchmark::State& state) {
+  Rng rng(9);
+  quant::BitMap in(4096);
+  for (auto& b : in) b = rng.bernoulli(0.15) ? 1 : 0;
+  quant::PackedBits out;
+  for (auto _ : state) {
+    quant::pack_bits(in, out);
+    benchmark::DoNotOptimize(out.words.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(in.size()));
+}
+BENCHMARK(BM_PackBits);
+
+void BM_UnpackBits(benchmark::State& state) {
+  Rng rng(10);
+  quant::BitMap src(4096);
+  for (auto& b : src) b = rng.bernoulli(0.15) ? 1 : 0;
+  const quant::PackedBits in = quant::pack_bits(src);
+  quant::BitMap out;
+  for (auto _ : state) {
+    quant::unpack_bits(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(src.size()));
+}
+BENCHMARK(BM_UnpackBits);
+
+// Network-1 conv2 block shape: 300 rows, 64 columns, 3 crossbar blocks.
+core::PackedStage make_bench_stage(int rows, int cols, int k,
+                                   std::vector<float>& eff,
+                                   std::vector<int>& row_to_block) {
+  Rng rng(11);
+  eff.resize(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : eff)
+    v = static_cast<float>(static_cast<int>(rng.below(15)) - 7);
+  row_to_block.resize(rows);
+  for (int r = 0; r < rows; ++r) row_to_block[r] = r * k / rows;
+  return core::build_packed_stage(eff, rows, cols, row_to_block, k, 8);
+}
+
+// AND+popcount bit-plane accumulation vs the byte-path scalar loop it
+// replaces (`sums[c] += eff[r*cols+c]` over active rows). Items = one
+// (rows × cols) position evaluation.
+void BM_AccumulateScalar(benchmark::State& state) {
+  const int rows = 300, cols = 64, k = 3;
+  std::vector<float> eff;
+  std::vector<int> row_to_block;
+  (void)make_bench_stage(rows, cols, k, eff, row_to_block);
+  Rng rng(12);
+  std::vector<std::uint8_t> active(rows);
+  for (auto& a : active) a = rng.bernoulli(0.15) ? 1 : 0;
+  std::vector<double> sums(static_cast<std::size_t>(k) * cols);
+  std::vector<int> n_active(k);
+  for (auto _ : state) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(n_active.begin(), n_active.end(), 0);
+    for (int r = 0; r < rows; ++r) {
+      if (!active[r]) continue;
+      const int b = row_to_block[r];
+      ++n_active[b];
+      double* dst = sums.data() + static_cast<std::size_t>(b) * cols;
+      const float* w = eff.data() + static_cast<std::size_t>(r) * cols;
+      for (int c = 0; c < cols; ++c) dst[c] += w[c];
+    }
+    benchmark::DoNotOptimize(sums.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccumulateScalar);
+
+void BM_AccumulatePacked(benchmark::State& state) {
+  const int rows = 300, cols = 64, k = 3;
+  std::vector<float> eff;
+  std::vector<int> row_to_block;
+  const core::PackedStage ps = make_bench_stage(rows, cols, k, eff,
+                                                row_to_block);
+  if (!ps.valid) {
+    state.SkipWithError("packed stage invalid");
+    return;
+  }
+  Rng rng(12);
+  std::vector<std::uint64_t> window(ps.words, 0);
+  for (int r = 0; r < rows; ++r)
+    if (rng.bernoulli(0.15)) window[r >> 6] |= std::uint64_t{1} << (r & 63);
+  std::vector<double> sums(static_cast<std::size_t>(k) * cols);
+  std::vector<int> n_active(k);
+  for (auto _ : state) {
+    core::accumulate_position(ps, cols, k, window.data(), sums.data(),
+                              n_active.data());
+    benchmark::DoNotOptimize(sums.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccumulatePacked);
+
+void BM_AccumulateRows(benchmark::State& state) {
+  const int rows = 300, cols = 64, k = 3;
+  std::vector<float> eff;
+  std::vector<int> row_to_block;
+  const core::PackedStage ps = make_bench_stage(rows, cols, k, eff,
+                                                row_to_block);
+  if (!ps.valid || !ps.rows_ok) {
+    state.SkipWithError("row-gather path unavailable");
+    return;
+  }
+  Rng rng(12);
+  std::vector<std::uint64_t> window(ps.words, 0);
+  for (int r = 0; r < rows; ++r)
+    if (rng.bernoulli(0.15)) window[r >> 6] |= std::uint64_t{1} << (r & 63);
+  std::vector<double> sums(static_cast<std::size_t>(k) * cols);
+  std::vector<int> n_active(k);
+  for (auto _ : state) {
+    core::accumulate_position_rows(ps, cols, k, window.data(), sums.data(),
+                                   n_active.data());
+    benchmark::DoNotOptimize(sums.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccumulateRows);
+
+// 2×2 OR-pool: byte map vs packed words. Network-1 conv1 output shape.
+void BM_OrPoolBytes(benchmark::State& state) {
+  const int h = 24, w = 24, c = 12;
+  Rng rng(13);
+  quant::BitMap in(static_cast<std::size_t>(h) * w * c);
+  for (auto& b : in) b = rng.bernoulli(0.3) ? 1 : 0;
+  quant::BitMap out;
+  for (auto _ : state) {
+    core::or_pool_bytes(in, h, w, c, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(in.size()));
+}
+BENCHMARK(BM_OrPoolBytes);
+
+void BM_OrPoolPacked(benchmark::State& state) {
+  const int h = 24, w = 24, c = 12;
+  Rng rng(13);
+  quant::BitMap bytes(static_cast<std::size_t>(h) * w * c);
+  for (auto& b : bytes) b = rng.bernoulli(0.3) ? 1 : 0;
+  const quant::PackedBits in = quant::pack_bits(bytes);
+  quant::PackedBits out;
+  for (auto _ : state) {
+    core::or_pool_packed(in, h, w, c, out);
+    benchmark::DoNotOptimize(out.words.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(bytes.size()));
+}
+BENCHMARK(BM_OrPoolPacked);
 
 void BM_SyntheticDigitRender(benchmark::State& state) {
   data::SynthConfig cfg;

@@ -3,39 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/bitpack.hpp"
 #include "exec/thread_pool.hpp"
 #include "quant/weight_quant.hpp"
 #include "rram/crossbar.hpp"
 
 namespace sei::core {
 
-namespace {
-
-/// 2×2 OR-pool (floor semantics), same as the SEI engine.
-void or_pool(const quant::BitMap& in, int h, int w, int c,
-             quant::BitMap& out) {
-  const int ph = h / 2, pw = w / 2;
-  out.assign(static_cast<std::size_t>(ph) * pw * c, 0);
-  for (int y = 0; y < ph; ++y)
-    for (int x = 0; x < pw; ++x) {
-      std::uint8_t* opx =
-          out.data() + (static_cast<std::size_t>(y) * pw + x) * c;
-      for (int dy = 0; dy < 2; ++dy) {
-        const std::uint8_t* ipx =
-            in.data() +
-            (static_cast<std::size_t>(2 * y + dy) * w + 2 * x) * c;
-        for (int ch = 0; ch < c; ++ch)
-          opx[ch] |= static_cast<std::uint8_t>(ipx[ch] | ipx[c + ch]);
-      }
-    }
-}
-
-float dac_quantize(float x, int bits) {
-  const float steps = static_cast<float>((1 << bits) - 1);
-  return std::round(std::clamp(x, 0.0f, 1.0f) * steps) / steps;
-}
-
-}  // namespace
+// or_pool_bytes / dac_quantize shared with the SEI engine (core/bitpack).
 
 AdcNetwork::AdcNetwork(const quant::QNetwork& qnet, const AdcConfig& cfg,
                        const data::Dataset& calibration)
@@ -255,7 +230,7 @@ void AdcNetwork::run_stage(const Stage& st, int stage_index,
 
   if (st.binarize) {
     if (g.pool_after)
-      or_pool(ctx.stage_bits, g.out_h, g.out_w, cols, bits_out);
+      or_pool_bytes(ctx.stage_bits, g.out_h, g.out_w, cols, bits_out);
     else
       bits_out = ctx.stage_bits;
   }

@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "exec/cancel.hpp"
+#include "quant/bitpack.hpp"
 #include "quant/qnet.hpp"
 #include "telemetry/energy.hpp"
 
@@ -49,6 +50,25 @@ struct EvalContext {
   quant::BitMap pooled_bits;  // post-pool output of the current stage
   quant::BitMap bits;         // activations entering the current stage
   std::vector<float> scores;  // classifier scores
+
+  // Bit-packed engine scratch (core/bitpack). `packed_live` says whether
+  // the live inter-stage activations sit in `packed_bits` (word form) or
+  // `bits` (byte form) — stages convert lazily at engine boundaries.
+  quant::PackedBits packed_bits;       // packed activations entering a stage
+  quant::PackedBits packed_stage;      // pre-pool packed bits
+  quant::PackedBits packed_pooled;     // post-pool packed output
+  bool packed_live = false;
+  std::vector<std::uint64_t> window;   // packed conv window gather
+  std::vector<float> dac_vals;         // stage-0 DAC output, cached per image
+  std::vector<double> dac_d;           // dac_vals widened once per image
+  std::vector<std::uint8_t> pos_bits;  // one position's column bits
+  std::vector<double> pos_sums;        // stage-0 scatter: sums per position
+  std::vector<int> pos_active;         // stage-0 scatter: n_active per position
+  std::vector<std::uint64_t> col_cmp;  // stage-0 bulk compare bits per column
+  std::vector<std::uint64_t> col_pool; // stage-0 pooled per-column bits
+  std::vector<std::uint64_t> lw8;      // batch-of-8 block-local windows
+  std::vector<std::int32_t> nact8;     // batch-of-8 active counts
+  std::vector<double> sums8;           // batch-of-8 block sums
 };
 
 }  // namespace sei::core

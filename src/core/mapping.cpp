@@ -244,6 +244,9 @@ MappedLayer map_layer(const quant::QLayer& layer, const HardwareConfig& cfg,
   double abs_sum = 0.0;
   for (float v : m.eff) abs_sum += std::fabs(v);
   m.mean_abs_eff = static_cast<float>(abs_sum / m.eff.size());
+
+  m.packed = build_packed_stage(m.eff, g.rows, g.cols, m.row_to_block,
+                                m.block_count, cfg.input_bits);
   return m;
 }
 

@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/bitpack.hpp"
 #include "core/structure.hpp"
 #include "quant/qnet.hpp"
 #include "quant/weight_quant.hpp"
@@ -62,6 +63,11 @@ struct MappedLayer {
   int vote_threshold = 1;    // digital vote: output = (Σ block bits ≥ vote)
   float dyn_beta = 0.0f;     // threshold slope vs. block active-input count
   float mean_abs_eff = 0.0f; // scale for dyn_beta (dimensionless β)
+
+  // Bit-packed AND+popcount decomposition of `eff` (docs/kernels.md);
+  // packed.valid is false when analog perturbations made any value
+  // non-integral, in which case evaluation uses the scalar path.
+  PackedStage packed;
 
   // Physical accounting (for reports/tests).
   int physical_rows_per_weight = 1;

@@ -2,41 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "core/bitpack.hpp"
 #include "exec/thread_pool.hpp"
 
+// Vectorized noise-free threshold/vote decisions for the packed engine.
+// Same doubles, same compares, same bits as decide_position — just eight
+// columns per instruction. The scalar decide_position stays the reference
+// (and the only path whenever read noise draws from the RNG).
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__) && \
+    defined(__AVX512VPOPCNTDQ__)
+#include <immintrin.h>
+#define SEI_CORE_AVX512 1
+#endif
+#if !defined(SEI_CORE_AVX512) && defined(__BMI2__)
+#include <immintrin.h>
+#endif
+
 namespace sei::core {
-
-namespace {
-
-/// 2×2 OR-pool of a [h×w×c] bitmap (floor semantics, like MaxPool2x2).
-void or_pool(const quant::BitMap& in, int h, int w, int c,
-             quant::BitMap& out) {
-  const int ph = h / 2, pw = w / 2;
-  out.assign(static_cast<std::size_t>(ph) * pw * c, 0);
-  for (int y = 0; y < ph; ++y) {
-    for (int x = 0; x < pw; ++x) {
-      std::uint8_t* opx =
-          out.data() + (static_cast<std::size_t>(y) * pw + x) * c;
-      for (int dy = 0; dy < 2; ++dy) {
-        const std::uint8_t* ipx =
-            in.data() +
-            (static_cast<std::size_t>(2 * y + dy) * w + 2 * x) * c;
-        for (int ch = 0; ch < c; ++ch)
-          opx[ch] |= static_cast<std::uint8_t>(ipx[ch] | ipx[c + ch]);
-      }
-    }
-  }
-}
-
-/// Input-layer DAC: quantizes a pixel to `bits` resolution.
-float dac_quantize(float x, int bits) {
-  const float steps = static_cast<float>((1 << bits) - 1);
-  const float clamped = std::clamp(x, 0.0f, 1.0f);
-  return std::round(clamped * steps) / steps;
-}
-
-}  // namespace
 
 SeiNetwork::SeiNetwork(const quant::QNetwork& qnet, const HardwareConfig& cfg,
                        CrossbarHook hook)
@@ -44,7 +28,8 @@ SeiNetwork::SeiNetwork(const quant::QNetwork& qnet, const HardwareConfig& cfg,
       cfg_(cfg),
       map_rng_(cfg.seed),
       read_seed_(cfg.seed ^ 0x9e3779b97f4a7c15ULL),
-      hook_(std::move(hook)) {
+      hook_(std::move(hook)),
+      packed_eval_(cfg.packed_eval) {
   SEI_CHECK(!qnet.layers.empty());
   layers_.reserve(qnet.layers.size());
   for (const quant::QLayer& l : qnet.layers) {
@@ -121,8 +106,10 @@ void SeiNetwork::eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
   const quant::StageGeometry& g = m.geom;
   SEI_CHECK(in.size() == static_cast<std::size_t>(g.in_h) * g.in_w * g.in_ch);
   const int cols = g.cols, k = m.block_count;
-  ctx.block_sums.assign(static_cast<std::size_t>(k) * cols, 0.0);
-  ctx.n_active.assign(static_cast<std::size_t>(k), 0);
+  // Sized once here, zeroed per position below (they start each position
+  // dirty with the previous position's sums).
+  ctx.block_sums.resize(static_cast<std::size_t>(k) * cols);
+  ctx.n_active.resize(static_cast<std::size_t>(k));
 
   const std::size_t positions = static_cast<std::size_t>(g.out_h) * g.out_w;
   if (m.binarize) ctx.stage_bits.assign(positions * cols, 0);
@@ -161,24 +148,14 @@ void SeiNetwork::eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
                 (static_cast<std::size_t>(y) * g.out_w + x) * cols,
             ctx.rng);
       } else {
-        // Classifier: block currents merge exactly (WTA readout).
-        for (int c = 0; c < cols; ++c) {
-          double s = 0.0;
-          for (int b = 0; b < k; ++b)
-            s += readout(
-                ctx.block_sums[static_cast<std::size_t>(b) * cols + c],
-                ctx.rng);
-          scores[static_cast<std::size_t>(c)] +=
-              static_cast<float>(s * m.weight_scale) +
-              m.col_bias[static_cast<std::size_t>(c)];
-        }
+        merge_classifier(m, scores, ctx);
       }
     }
   }
 
   if (m.binarize) {
     if (g.pool_after)
-      or_pool(ctx.stage_bits, g.out_h, g.out_w, cols, bits_out);
+      or_pool_bytes(ctx.stage_bits, g.out_h, g.out_w, cols, bits_out);
     else
       bits_out = ctx.stage_bits;
   }
@@ -192,8 +169,8 @@ void SeiNetwork::eval_stage_float(const MappedLayer& m,
   const quant::StageGeometry& g = m.geom;
   SEI_CHECK(in.size() == static_cast<std::size_t>(g.in_h) * g.in_w * g.in_ch);
   const int cols = g.cols, k = m.block_count;
-  ctx.block_sums.assign(static_cast<std::size_t>(k) * cols, 0.0);
-  ctx.n_active.assign(static_cast<std::size_t>(k), 0);
+  ctx.block_sums.resize(static_cast<std::size_t>(k) * cols);
+  ctx.n_active.resize(static_cast<std::size_t>(k));
 
   const std::size_t positions = static_cast<std::size_t>(g.out_h) * g.out_w;
   if (m.binarize) ctx.stage_bits.assign(positions * cols, 0);
@@ -234,26 +211,854 @@ void SeiNetwork::eval_stage_float(const MappedLayer& m,
                 (static_cast<std::size_t>(y) * g.out_w + x) * cols,
             ctx.rng);
       } else {
-        for (int c = 0; c < cols; ++c) {
-          double s = 0.0;
-          for (int b = 0; b < k; ++b)
-            s += readout(
-                ctx.block_sums[static_cast<std::size_t>(b) * cols + c],
-                ctx.rng);
-          scores[static_cast<std::size_t>(c)] +=
-              static_cast<float>(s * m.weight_scale) +
-              m.col_bias[static_cast<std::size_t>(c)];
-        }
+        merge_classifier(m, scores, ctx);
       }
     }
   }
 
   if (m.binarize) {
     if (g.pool_after)
-      or_pool(ctx.stage_bits, g.out_h, g.out_w, cols, bits_out);
+      or_pool_bytes(ctx.stage_bits, g.out_h, g.out_w, cols, bits_out);
     else
       bits_out = ctx.stage_bits;
   }
+}
+
+void SeiNetwork::merge_classifier(const MappedLayer& m,
+                                  std::vector<float>& scores,
+                                  EvalContext& ctx) const {
+  // Classifier: block currents merge exactly (WTA readout).
+  const int cols = m.geom.cols;
+  const int k = m.block_count;
+  for (int c = 0; c < cols; ++c) {
+    double s = 0.0;
+    for (int b = 0; b < k; ++b)
+      s += readout(ctx.block_sums[static_cast<std::size_t>(b) * cols + c],
+                   ctx.rng);
+    scores[static_cast<std::size_t>(c)] +=
+        static_cast<float>(s * m.weight_scale) +
+        m.col_bias[static_cast<std::size_t>(c)];
+  }
+}
+
+namespace {
+
+/// Transposes an 8×8 bit matrix (byte i, bit j) → (byte j, bit i).
+inline std::uint64_t transpose8x8(std::uint64_t x) {
+  std::uint64_t t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAull;
+  x ^= t ^ (t << 7);
+  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCull;
+  x ^= t ^ (t << 14);
+  t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ull;
+  x ^= t ^ (t << 28);
+  return x;
+}
+
+/// Keeps the even-index bits of `t` (low 2n bits), compacted to n bits:
+/// the horizontal half of a 2×2 OR-pool on a row of position bits.
+inline std::uint64_t compact_even_bits(std::uint64_t t, int n) {
+#if defined(__BMI2__)
+  return _pext_u64(t, 0x5555555555555555ull) &
+         ((std::uint64_t{1} << n) - 1u);
+#else
+  std::uint64_t w = 0;
+  for (int x = 0; x < n; ++x) w |= ((t >> (2 * x)) & 1u) << x;
+  return w;
+#endif
+}
+
+/// Packs byte p's low `cols` bits (cols ≤ 8) of a transposed word into
+/// contiguous cols-bit groups — eight positions' output bits as one word.
+inline std::uint64_t pack_pos_bytes(std::uint64_t t, int cols) {
+#if defined(__BMI2__)
+  const std::uint64_t m =
+      0x0101010101010101ull * ((std::uint64_t{1} << cols) - 1u);
+  return _pext_u64(t, m);
+#else
+  const std::uint64_t m = (std::uint64_t{1} << cols) - 1u;
+  std::uint64_t w = 0;
+  for (int p = 0; p < 8; ++p) w |= ((t >> (8 * p)) & m) << (p * cols);
+  return w;
+#endif
+}
+
+/// Packs one position's 0/1 column bytes onto the end of `writer`.
+void append_position_bits(BitWriter& writer, const std::uint8_t* bits,
+                          int cols) {
+  for (int off = 0; off < cols; off += 64) {
+    const int n = std::min(64, cols - off);
+    std::uint64_t word = 0;
+    for (int j = 0; j < n; ++j)
+      word |= static_cast<std::uint64_t>(bits[off + j]) << j;
+    writer.append(word, n);
+  }
+}
+
+#ifdef SEI_CORE_AVX512
+
+/// Stage-0 register-tiled direct convolution into [col][position] sums.
+/// K is a compile-time constant so the tap nest fully unrolls; dual
+/// accumulators break the FMA latency chain. Any accumulation order is
+/// bit-identical under the dac_exact bound (every partial sum is exact).
+template <int K>
+void conv0_tile(const double* img, int in_w, int out_h, int out_w,
+                const float* eff, int cols, double* pos_sums,
+                std::size_t positions) {
+  __m512d wv[K * K];
+  for (int c = 0; c < cols; ++c) {
+    // Broadcast the K² taps once per column — for K=3 they stay resident
+    // in registers across every position strip.
+    for (int t = 0; t < K * K; ++t)
+      wv[t] = _mm512_set1_pd(static_cast<double>(
+          eff[static_cast<std::size_t>(t) * cols + c]));
+    double* dst = pos_sums + static_cast<std::size_t>(c) * positions;
+    for (int y = 0; y < out_h; ++y) {
+      double* dr = dst + static_cast<std::size_t>(y) * out_w;
+      const double* srow = img + static_cast<std::size_t>(y) * in_w;
+      for (int x = 0; x < out_w; x += 8) {
+        const int n = std::min(8, out_w - x);
+        const __mmask8 mk = static_cast<__mmask8>((1u << n) - 1u);
+        __m512d acc0 = _mm512_setzero_pd();
+        __m512d acc1 = _mm512_setzero_pd();
+        for (int di = 0; di < K; ++di) {
+          const double* sr = srow + static_cast<std::size_t>(di) * in_w + x;
+          const __m512d* wr = wv + di * K;
+          int dj = 0;
+          for (; dj + 1 < K; dj += 2) {
+            acc0 = _mm512_fmadd_pd(wr[dj],
+                                   _mm512_maskz_loadu_pd(mk, sr + dj), acc0);
+            acc1 = _mm512_fmadd_pd(wr[dj + 1],
+                                   _mm512_maskz_loadu_pd(mk, sr + dj + 1),
+                                   acc1);
+          }
+          if (dj < K)
+            acc0 = _mm512_fmadd_pd(wr[dj],
+                                   _mm512_maskz_loadu_pd(mk, sr + dj), acc0);
+        }
+        _mm512_mask_storeu_pd(dr + x, mk, _mm512_add_pd(acc0, acc1));
+      }
+    }
+  }
+}
+
+/// decide_position + append_position_bits fused, for the noise-free packed
+/// path: the compare masks ARE the output bits. Threshold expressions
+/// mirror decide_position's operation order exactly, so every compare sees
+/// the same double on both sides.
+void decide_append_fast(const MappedLayer& m, const double* block_sums,
+                        const int* n_active, BitWriter& writer) {
+  const int cols = m.geom.cols, k = m.block_count;
+  const float* ct = m.col_threshold.data();
+  const float* offsets = m.sa_offset.empty() ? nullptr : m.sa_offset.data();
+  if (k == 1) {
+    for (int cg = 0; cg < cols; cg += 8) {
+      const int n = std::min(8, cols - cg);
+      const __mmask8 lm = static_cast<__mmask8>((1u << n) - 1u);
+      __m512d ref = _mm512_cvtps_pd(_mm256_maskz_loadu_ps(lm, ct + cg));
+      if (offsets)
+        ref = _mm512_add_pd(
+            ref, _mm512_cvtps_pd(_mm256_maskz_loadu_ps(lm, offsets + cg)));
+      const __m512d sums = _mm512_maskz_loadu_pd(lm, block_sums + cg);
+      writer.append(_mm512_mask_cmp_pd_mask(lm, sums, ref, _CMP_GT_OQ), n);
+    }
+    return;
+  }
+  int total_active = 0;
+  for (int b = 0; b < k; ++b) total_active += n_active[b];
+  const double mean_active = static_cast<double>(total_active) / k;
+  const double beta_scale = static_cast<double>(m.dyn_beta) * m.mean_abs_eff;
+  const __m512i vote_req = _mm512_set1_epi64(m.vote_threshold);
+  for (int cg = 0; cg < cols; cg += 8) {
+    const int n = std::min(8, cols - cg);
+    const __mmask8 lm = static_cast<__mmask8>((1u << n) - 1u);
+    const __m512d share = _mm512_div_pd(
+        _mm512_cvtps_pd(_mm256_maskz_loadu_ps(lm, ct + cg)),
+        _mm512_set1_pd(static_cast<double>(k)));
+    __m512i votes = _mm512_setzero_si512();
+    for (int b = 0; b < k; ++b) {
+      const double dyn =
+          beta_scale * (static_cast<double>(n_active[b]) - mean_active);
+      __m512d t = _mm512_add_pd(share, _mm512_set1_pd(dyn));
+      if (offsets)
+        t = _mm512_add_pd(t, _mm512_cvtps_pd(_mm256_maskz_loadu_ps(
+                                 lm, offsets + static_cast<std::size_t>(b) *
+                                                   cols + cg)));
+      const __m512d sums = _mm512_maskz_loadu_pd(
+          lm, block_sums + static_cast<std::size_t>(b) * cols + cg);
+      // movm turns the compare mask into -1 lanes; subtracting counts votes.
+      votes = _mm512_sub_epi64(
+          votes,
+          _mm512_movm_epi64(_mm512_mask_cmp_pd_mask(lm, sums, t, _CMP_GT_OQ)));
+    }
+    writer.append(_mm512_cmp_epi64_mask(votes, vote_req, _MM_CMPINT_NLT), n);
+  }
+}
+
+/// Batch-of-8 decide+append over the transposed sums accumulate_positions8
+/// produces: each compare handles one column across eight positions, and
+/// the per-column masks transpose back into position-major words. Scalar
+/// coefficients broadcast, so every lane runs decide_position's exact
+/// operation sequence. Requires cols ≤ 64 and noise-free readout.
+void decide_append_fast8(const MappedLayer& m, const double* sums8,
+                         const std::int32_t* n_active8, int np,
+                         BitWriter& writer) {
+  const int cols = m.geom.cols, k = m.block_count;
+  const float* ct = m.col_threshold.data();
+  const float* offsets = m.sa_offset.empty() ? nullptr : m.sa_offset.data();
+  const __mmask8 pm = static_cast<__mmask8>((1u << np) - 1u);
+  std::uint64_t posw[8] = {};
+  __m512d mean{};
+  double beta_scale = 0.0;
+  if (k > 1) {
+    __m512i total = _mm512_setzero_si512();
+    for (int b = 0; b < k; ++b)
+      total = _mm512_add_epi64(
+          total, _mm512_cvtepi32_epi64(_mm256_loadu_si256(
+                     reinterpret_cast<const __m256i*>(n_active8 + b * 8))));
+    mean = _mm512_div_pd(_mm512_cvtepi64_pd(total),
+                         _mm512_set1_pd(static_cast<double>(k)));
+    beta_scale = static_cast<double>(m.dyn_beta) * m.mean_abs_eff;
+  }
+  const __m512i vote_req = _mm512_set1_epi64(m.vote_threshold);
+  for (int base_c = 0; base_c < cols; base_c += 8) {
+    const int nc = std::min(8, cols - base_c);
+    std::uint64_t t = 0;
+    for (int lc = 0; lc < nc; ++lc) {
+      const int c = base_c + lc;
+      __mmask8 bits;
+      if (k == 1) {
+        const double ref =
+            static_cast<double>(ct[c]) +
+            (offsets ? static_cast<double>(offsets[c]) : 0.0);
+        bits = _mm512_mask_cmp_pd_mask(
+            pm, _mm512_loadu_pd(sums8 + static_cast<std::size_t>(c) * 8),
+            _mm512_set1_pd(ref), _CMP_GT_OQ);
+      } else {
+        const double share = static_cast<double>(ct[c]) / k;
+        __m512i votes = _mm512_setzero_si512();
+        for (int b = 0; b < k; ++b) {
+          const __m512d nav = _mm512_cvtepi32_pd(_mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(n_active8 + b * 8)));
+          __m512d tb = _mm512_add_pd(
+              _mm512_set1_pd(share),
+              _mm512_mul_pd(_mm512_set1_pd(beta_scale),
+                            _mm512_sub_pd(nav, mean)));
+          if (offsets)
+            tb = _mm512_add_pd(
+                tb, _mm512_set1_pd(static_cast<double>(
+                        offsets[static_cast<std::size_t>(b) * cols + c])));
+          const __m512d sums = _mm512_loadu_pd(
+              sums8 + (static_cast<std::size_t>(b) * cols + c) * 8);
+          votes = _mm512_sub_epi64(
+              votes, _mm512_movm_epi64(
+                         _mm512_mask_cmp_pd_mask(pm, sums, tb, _CMP_GT_OQ)));
+        }
+        bits = _mm512_mask_cmp_epi64_mask(pm, votes, vote_req,
+                                          _MM_CMPINT_NLT);
+      }
+      t |= static_cast<std::uint64_t>(bits) << (8 * lc);
+    }
+    t = transpose8x8(t);
+    for (int p = 0; p < np; ++p)
+      posw[p] |= ((t >> (8 * p)) & 0xFFu) << base_c;
+  }
+  for (int p = 0; p < np; ++p) {
+    writer.append(posw[p], cols);
+    posw[p] = 0;
+  }
+}
+
+#endif  // SEI_CORE_AVX512
+
+}  // namespace
+
+void SeiNetwork::eval_stage_packed(const MappedLayer& m,
+                                   const quant::PackedBits& in,
+                                   quant::PackedBits& bits_out,
+                                   std::vector<float>& scores,
+                                   EvalContext& ctx) const {
+  const quant::StageGeometry& g = m.geom;
+  const PackedStage& ps = m.packed;
+  SEI_CHECK(ps.valid);
+  SEI_CHECK(in.bits == static_cast<std::size_t>(g.in_h) * g.in_w * g.in_ch);
+  const int cols = g.cols, k = m.block_count;
+  ctx.block_sums.resize(static_cast<std::size_t>(k) * cols);
+  ctx.n_active.resize(static_cast<std::size_t>(k));
+
+  const std::size_t positions = static_cast<std::size_t>(g.out_h) * g.out_w;
+  BitWriter writer(ctx.packed_stage, m.binarize ? positions * cols : 0);
+  if (m.binarize) ctx.pos_bits.resize(static_cast<std::size_t>(cols));
+  else scores.assign(static_cast<std::size_t>(cols), 0.0f);
+
+  const bool is_conv = g.kind == quant::StageSpec::Kind::Conv;
+  const int span = is_conv ? g.kernel * g.in_ch : g.rows;
+  // FC input is already the full row window (rows == in.bits, zero tail).
+  const std::uint64_t* window = in.words.data();
+  if (is_conv) ctx.window.resize(static_cast<std::size_t>(ps.words));
+
+#ifdef SEI_CORE_AVX512
+  // Batch-of-8 position pipeline: compact eight conv windows, then run the
+  // per-column mask stream once against all eight. The masks (the dominant
+  // memory traffic of wide hidden stages) are loaded once per batch instead
+  // of once per position, and decide+append vectorize across positions.
+  // Bit-identical to the per-position path: the block sums are the same
+  // exact integers and the noise-free decide makes no RNG draws. Only the
+  // !rows_ok fallback — when the int16 row-gather table is available it
+  // beats streaming the plane masks even once per batch.
+  if (!ps.rows_ok && m.binarize && is_conv && cols <= 64 &&
+      cfg_.device.read_noise_sigma <= 0.0) {
+    const int lw_words = ps.block_loff[k];
+    ctx.lw8.resize(static_cast<std::size_t>(lw_words) * 8);
+    ctx.nact8.resize(static_cast<std::size_t>(k) * 8);
+    ctx.sums8.resize(static_cast<std::size_t>(k) * cols * 8);
+    std::uint64_t lw_tmp[PackedStage::kMaxBlockSpan];
+    for (std::size_t pos = 0; pos < positions; pos += 8) {
+      const int np = static_cast<int>(std::min<std::size_t>(8, positions - pos));
+      if (np < 8) {  // zeroed tail lanes produce harmless zero sums
+        std::fill(ctx.lw8.begin(), ctx.lw8.end(), 0);
+        std::fill(ctx.nact8.begin(), ctx.nact8.end(), 0);
+      }
+      for (int p = 0; p < np; ++p) {
+        const int y = static_cast<int>((pos + p) / g.out_w);
+        const int x = static_cast<int>((pos + p) % g.out_w);
+        if (ps.words == 1) {
+          // rows ≤ 64: the whole window fits one word — assemble it from
+          // per-kernel-row bit extracts without touching the scratch buffer.
+          std::uint64_t w0 = 0;
+          for (int di = 0; di < g.kernel; ++di)
+            w0 |= extract_bits64(
+                      in.words.data(),
+                      (static_cast<std::size_t>(y + di) * g.in_w + x) *
+                          g.in_ch,
+                      span)
+                  << (di * span);
+          ctx.window[0] = w0;
+        } else {
+          std::fill(ctx.window.begin(), ctx.window.end(), 0);
+          for (int di = 0; di < g.kernel; ++di)
+            copy_bits(
+                in.words.data(),
+                (static_cast<std::size_t>(y + di) * g.in_w + x) * g.in_ch,
+                ctx.window.data(), static_cast<std::size_t>(di) * span,
+                static_cast<std::size_t>(span));
+        }
+        for (int b = 0; b < k; ++b) {
+          const int bspan = ps.block_span[b];
+          ctx.nact8[static_cast<std::size_t>(b) * 8 + p] =
+              compact_block_window(ps, b, ctx.window.data(), lw_tmp);
+          std::uint64_t* dst =
+              ctx.lw8.data() + static_cast<std::size_t>(ps.block_loff[b]) * 8;
+          for (int w = 0; w < bspan; ++w)
+            dst[static_cast<std::size_t>(w) * 8 + p] = lw_tmp[w];
+        }
+      }
+      accumulate_positions8(ps, cols, k, ctx.lw8.data(), ctx.nact8.data(),
+                            ctx.sums8.data());
+      decide_append_fast8(m, ctx.sums8.data(), ctx.nact8.data(), np, writer);
+    }
+    writer.finish();
+    if (g.pool_after)
+      or_pool_packed(ctx.packed_stage, g.out_h, g.out_w, cols, bits_out);
+    else
+      bits_out = ctx.packed_stage;
+    return;
+  }
+
+  // Single-block noise-free stages decide with `sum > ref` alone, and the
+  // int16 row-gather accumulator already holds every sum exactly — so
+  // compare in int16 against pre-floored references and never widen to
+  // doubles: for an integer sum, sum > ref ⟺ sum > floor(ref). References
+  // outside int16 range clamp exactly too (|sum| ≤ Σ|w| ≤ 32767 means the
+  // compare is all-false / all-true either way).
+  if (ps.rows_ok && m.binarize && k == 1 && cols <= 32 &&
+      cfg_.device.read_noise_sigma <= 0.0) {
+    const float* ct = m.col_threshold.data();
+    const float* offsets = m.sa_offset.empty() ? nullptr : m.sa_offset.data();
+    alignas(64) std::int16_t iref[32];
+    for (int c = 0; c < 32; ++c) iref[c] = 32767;  // tail lanes never fire
+    for (int c = 0; c < cols; ++c) {
+      const double ref = static_cast<double>(ct[c]) +
+                         (offsets ? static_cast<double>(offsets[c]) : 0.0);
+      iref[c] = static_cast<std::int16_t>(
+          std::clamp(std::floor(ref), -32768.0, 32767.0));
+    }
+    const __m512i refv =
+        _mm512_load_si512(reinterpret_cast<const void*>(iref));
+    const std::uint64_t* bm = ps.block_masks.data();
+    const std::uint64_t colmask = (std::uint64_t{1} << cols) - 1u;
+    const std::int16_t* rw = ps.row_w.data();
+    for (int y = 0; y < g.out_h; ++y) {
+      for (int x = 0; x < g.out_w; ++x) {
+        const std::uint64_t* wptr = in.words.data();
+        if (is_conv) {
+          if (ps.words == 1) {
+            std::uint64_t w0 = 0;
+            for (int di = 0; di < g.kernel; ++di)
+              w0 |= extract_bits64(
+                        in.words.data(),
+                        (static_cast<std::size_t>(y + di) * g.in_w + x) *
+                            g.in_ch,
+                        span)
+                    << (di * span);
+            ctx.window[0] = w0;
+          } else {
+            std::fill(ctx.window.begin(), ctx.window.end(), 0);
+            for (int di = 0; di < g.kernel; ++di)
+              copy_bits(
+                  in.words.data(),
+                  (static_cast<std::size_t>(y + di) * g.in_w + x) * g.in_ch,
+                  ctx.window.data(), static_cast<std::size_t>(di) * span,
+                  static_cast<std::size_t>(span));
+          }
+          wptr = ctx.window.data();
+        }
+        __m512i acc0 = _mm512_setzero_si512();
+        __m512i acc1 = _mm512_setzero_si512();
+        bool flip = false;
+        for (int w = 0; w < ps.words; ++w) {
+          std::uint64_t bits = wptr[w] & bm[w];
+          for (; bits != 0; bits &= bits - 1) {
+            const int r = (w << 6) + std::countr_zero(bits);
+            const __m512i row = _mm512_loadu_si512(reinterpret_cast<
+                const void*>(rw + (static_cast<std::size_t>(r) << 5)));
+            if (flip) acc1 = _mm512_add_epi16(acc1, row);
+            else      acc0 = _mm512_add_epi16(acc0, row);
+            flip = !flip;
+          }
+        }
+        const __mmask32 gt =
+            _mm512_cmpgt_epi16_mask(_mm512_add_epi16(acc0, acc1), refv);
+        writer.append(static_cast<std::uint64_t>(gt) & colmask, cols);
+      }
+    }
+    writer.finish();
+    if (g.pool_after)
+      or_pool_packed(ctx.packed_stage, g.out_h, g.out_w, cols, bits_out);
+    else
+      bits_out = ctx.packed_stage;
+    return;
+  }
+#endif
+
+  for (int y = 0; y < g.out_h; ++y) {
+    for (int x = 0; x < g.out_w; ++x) {
+      if (is_conv) {
+        if (ps.words == 1) {
+          // rows ≤ 64: assemble the single-word window from per-kernel-row
+          // bit extracts without touching the scratch buffer.
+          std::uint64_t w0 = 0;
+          for (int di = 0; di < g.kernel; ++di)
+            w0 |= extract_bits64(
+                      in.words.data(),
+                      (static_cast<std::size_t>(y + di) * g.in_w + x) *
+                          g.in_ch,
+                      span)
+                  << (di * span);
+          ctx.window[0] = w0;
+        } else {
+          std::fill(ctx.window.begin(), ctx.window.end(), 0);
+          for (int di = 0; di < g.kernel; ++di)
+            copy_bits(
+                in.words.data(),
+                (static_cast<std::size_t>(y + di) * g.in_w + x) * g.in_ch,
+                ctx.window.data(), static_cast<std::size_t>(di) * span,
+                static_cast<std::size_t>(span));
+        }
+        window = ctx.window.data();
+      }
+      if (ps.rows_ok)
+        accumulate_position_rows(ps, cols, k, window, ctx.block_sums.data(),
+                                 ctx.n_active.data());
+      else
+        accumulate_position(ps, cols, k, window, ctx.block_sums.data(),
+                            ctx.n_active.data());
+      if (m.binarize) {
+#ifdef SEI_CORE_AVX512
+        if (cfg_.device.read_noise_sigma <= 0.0) {
+          decide_append_fast(m, ctx.block_sums.data(), ctx.n_active.data(),
+                             writer);
+          continue;
+        }
+#endif
+        decide_position(m, ctx.block_sums.data(), ctx.n_active.data(),
+                        ctx.pos_bits.data(), ctx.rng);
+        append_position_bits(writer, ctx.pos_bits.data(), cols);
+      } else {
+        merge_classifier(m, scores, ctx);
+      }
+    }
+  }
+
+  if (m.binarize) {
+    writer.finish();
+    if (g.pool_after)
+      or_pool_packed(ctx.packed_stage, g.out_h, g.out_w, cols, bits_out);
+    else
+      bits_out = ctx.packed_stage;
+  }
+}
+
+void SeiNetwork::eval_stage_dac(const MappedLayer& m,
+                                std::span<const float> in,
+                                quant::PackedBits& bits_out,
+                                std::vector<float>& scores,
+                                EvalContext& ctx) const {
+  const quant::StageGeometry& g = m.geom;
+  SEI_CHECK(in.size() == static_cast<std::size_t>(g.in_h) * g.in_w * g.in_ch);
+  const int cols = g.cols, k = m.block_count;
+  ctx.block_sums.resize(static_cast<std::size_t>(k) * cols);
+  ctx.n_active.resize(static_cast<std::size_t>(k));
+
+  // The scalar path re-runs the DAC for every overlapping window; quantize
+  // the image once instead. Accumulation below keeps the scalar loop's
+  // exact term order, so the sums are the same doubles.
+  dac_quantize_image(in, cfg_.input_bits, ctx.dac_vals);
+
+  const std::size_t positions = static_cast<std::size_t>(g.out_h) * g.out_w;
+  BitWriter writer(ctx.packed_stage, m.binarize ? positions * cols : 0);
+  if (m.binarize) ctx.pos_bits.resize(static_cast<std::size_t>(cols));
+  else scores.assign(static_cast<std::size_t>(cols), 0.0f);
+
+  const bool is_conv = g.kind == quant::StageSpec::Kind::Conv;
+  const int span = is_conv ? g.kernel * g.in_ch : g.rows;
+
+  if (is_conv && m.binarize && k == 1) {
+    // Transposed dense accumulation: pos_sums is laid out [col][position],
+    // so for each weight w[r][c] one contiguous FMA sweep adds
+    // w·shifted_image into all positions at once. Zero DAC outputs add an
+    // exact ±0.0 and the dac_exact bound keeps every partial sum exact, so
+    // this reordering produces the same doubles as the per-window loop
+    // (zero signs can differ, which no compare can observe).
+    ctx.pos_sums.resize(static_cast<std::size_t>(cols) * positions);
+    const int in_stride = g.in_w * g.in_ch;
+#ifdef SEI_CORE_AVX512
+    if (g.in_ch == 1 &&
+        (g.kernel == 3 || g.kernel == 5 || g.kernel == 7)) {
+      // Register-tiled direct convolution: the whole tap loop runs with
+      // eight output positions held in registers, so each partial sum is
+      // written exactly once instead of read-modify-written per tap. The
+      // tap order differs from the sweep below (dual accumulators, dj
+      // interleaving) — dac_exact makes any order bit-identical.
+      ctx.dac_d.resize(ctx.dac_vals.size());
+      for (std::size_t i = 0; i < ctx.dac_vals.size(); ++i)
+        ctx.dac_d[i] = static_cast<double>(ctx.dac_vals[i]);
+      switch (g.kernel) {
+        case 3:
+          conv0_tile<3>(ctx.dac_d.data(), g.in_w, g.out_h, g.out_w,
+                        m.eff.data(), cols, ctx.pos_sums.data(), positions);
+          break;
+        case 5:
+          conv0_tile<5>(ctx.dac_d.data(), g.in_w, g.out_h, g.out_w,
+                        m.eff.data(), cols, ctx.pos_sums.data(), positions);
+          break;
+        default:
+          conv0_tile<7>(ctx.dac_d.data(), g.in_w, g.out_h, g.out_w,
+                        m.eff.data(), cols, ctx.pos_sums.data(), positions);
+          break;
+      }
+    } else
+#endif
+    for (int di = 0; di < g.kernel; ++di) {
+      for (int dj = 0; dj < g.kernel; ++dj) {
+        for (int ch = 0; ch < g.in_ch; ++ch) {
+          const int r = (di * g.kernel + dj) * g.in_ch + ch;
+          const bool first = r == 0;  // overwrites last image's sums
+          const float* wrow = m.eff.data() + static_cast<std::size_t>(r) * cols;
+          const float* src = ctx.dac_vals.data() +
+                             (static_cast<std::size_t>(di) * g.in_w + dj) *
+                                 g.in_ch +
+                             ch;
+          for (int c = 0; c < cols; ++c) {
+            const double wv = wrow[c];
+            double* dst =
+                ctx.pos_sums.data() + static_cast<std::size_t>(c) * positions;
+            for (int y = 0; y < g.out_h; ++y) {
+              const float* sr = src + static_cast<std::size_t>(y) * in_stride;
+              double* dr = dst + static_cast<std::size_t>(y) * g.out_w;
+              // Unit-stride loops are split out so the compiler vectorizes
+              // them (the runtime in_ch stride otherwise blocks it); the
+              // input layer is single-channel, so this is the path taken.
+              if (g.in_ch == 1) {
+                if (first) {
+                  for (int x = 0; x < g.out_w; ++x)
+                    dr[x] = wv * static_cast<double>(sr[x]);
+                } else {
+                  for (int x = 0; x < g.out_w; ++x)
+                    dr[x] += wv * static_cast<double>(sr[x]);
+                }
+              } else if (first) {
+                for (int x = 0; x < g.out_w; ++x)
+                  dr[x] = wv * static_cast<double>(
+                                   sr[static_cast<std::size_t>(x) * g.in_ch]);
+              } else {
+                for (int x = 0; x < g.out_w; ++x)
+                  dr[x] += wv * static_cast<double>(
+                                    sr[static_cast<std::size_t>(x) * g.in_ch]);
+              }
+            }
+          }
+        }
+      }
+    }
+    if (cfg_.device.read_noise_sigma <= 0.0) {
+      // Bulk emit: per column, compare every position against the fixed
+      // reference at once; then interleave the per-column bit rows into
+      // position-major packed output.
+      const float* offsets = m.sa_offset.empty() ? nullptr : m.sa_offset.data();
+      const std::size_t pwords = (positions + 63) / 64;
+      ctx.col_cmp.assign(static_cast<std::size_t>(cols) * pwords, 0);
+      for (int c = 0; c < cols; ++c) {
+        const double ref =
+            static_cast<double>(m.col_threshold[static_cast<std::size_t>(c)]) +
+            (offsets ? offsets[c] : 0.0);
+        const double* a =
+            ctx.pos_sums.data() + static_cast<std::size_t>(c) * positions;
+        std::uint64_t* mw = ctx.col_cmp.data() + c * pwords;
+        std::size_t pos = 0;
+#ifdef SEI_CORE_AVX512
+        const __m512d refv = _mm512_set1_pd(ref);
+        for (; pos + 8 <= positions; pos += 8) {
+          const __mmask8 gt = _mm512_cmp_pd_mask(_mm512_loadu_pd(a + pos),
+                                                 refv, _CMP_GT_OQ);
+          mw[pos >> 6] |= static_cast<std::uint64_t>(gt) << (pos & 63);
+        }
+#endif
+        for (; pos < positions; ++pos)
+          mw[pos >> 6] |= static_cast<std::uint64_t>(a[pos] > ref)
+                          << (pos & 63);
+      }
+      // Fused OR-pool: pooling commutes with the transpose, and in
+      // column-major bit rows it is three word ops per output row — so
+      // pool here and interleave only a quarter of the positions,
+      // replacing the or_pool_packed pass entirely.
+      const bool fuse_pool = g.pool_after && g.out_w <= 64;
+      const std::uint64_t* colbits = ctx.col_cmp.data();
+      std::size_t nw = pwords, npos = positions;
+      if (fuse_pool) {
+        const int oh = g.out_h / 2, ow = g.out_w / 2;
+        npos = static_cast<std::size_t>(oh) * ow;
+        nw = (npos + 63) / 64;
+        ctx.col_pool.assign(static_cast<std::size_t>(cols) * nw, 0);
+        for (int c = 0; c < cols; ++c) {
+          const std::uint64_t* src =
+              ctx.col_cmp.data() + static_cast<std::size_t>(c) * pwords;
+          std::uint64_t* dst =
+              ctx.col_pool.data() + static_cast<std::size_t>(c) * nw;
+          std::size_t opos = 0;
+          for (int y = 0; y < oh; ++y, opos += ow) {
+            const std::uint64_t a = extract_bits64(
+                src, static_cast<std::size_t>(2 * y) * g.out_w, g.out_w);
+            const std::uint64_t b2 = extract_bits64(
+                src, static_cast<std::size_t>(2 * y + 1) * g.out_w, g.out_w);
+            const std::uint64_t t = a | b2;
+            const std::uint64_t w = compact_even_bits(t | (t >> 1), ow);
+            dst[opos >> 6] |= w << (opos & 63);
+            if (static_cast<int>(opos & 63) + ow > 64)
+              dst[(opos >> 6) + 1] |= w >> (64 - (opos & 63));
+          }
+        }
+        colbits = ctx.col_pool.data();
+      }
+      std::optional<BitWriter> pool_writer;
+      if (fuse_pool) pool_writer.emplace(bits_out, npos * cols);
+      BitWriter& wr = fuse_pool ? *pool_writer : writer;
+      // Interleave the column-major bit rows into position-major output,
+      // 8 positions × 8 columns at a time via bit-matrix transposes.
+      const int cg8 = cols / 8;
+      std::size_t pos = 0;
+      for (; pos + 8 <= npos; pos += 8) {
+        std::uint64_t tw[8] = {};  // transposed: byte p = cols of position p
+        for (int g8 = 0; g8 <= cg8; ++g8) {
+          const int base_c = g8 * 8;
+          const int nc = std::min(8, cols - base_c);
+          if (nc <= 0) break;
+          std::uint64_t t = 0;
+          for (int c = 0; c < nc; ++c)
+            t |= ((colbits[static_cast<std::size_t>(base_c + c) * nw +
+                           (pos >> 6)] >>
+                   (pos & 63)) &
+                  0xFFu)
+                 << (8 * c);
+          t = transpose8x8(t);
+          if (cols <= 8) {
+            // Narrow stages: all eight positions' bits land in one append.
+            wr.append(pack_pos_bytes(t, cols), 8 * cols);
+            break;
+          }
+          for (int p = 0; p < 8; ++p)
+            tw[p] |= ((t >> (8 * p)) & 0xFFu) << base_c;
+        }
+        if (cols > 8)
+          for (int p = 0; p < 8; ++p) wr.append(tw[p], cols);
+      }
+      for (; pos < npos; ++pos) {
+        std::uint64_t word = 0;
+        for (int c = 0; c < cols; ++c)
+          word |= ((colbits[static_cast<std::size_t>(c) * nw + (pos >> 6)] >>
+                    (pos & 63)) &
+                   1u)
+                  << c;
+        wr.append(word, cols);
+      }
+      if (fuse_pool) {
+        wr.finish();
+        return;
+      }
+    } else {
+      // Noisy readout draws per (position, column) in decide_position's
+      // order, so gather each position's sums and run the scalar decide.
+      for (std::size_t pos = 0; pos < positions; ++pos) {
+        for (int c = 0; c < cols; ++c)
+          ctx.block_sums[static_cast<std::size_t>(c)] =
+              ctx.pos_sums[static_cast<std::size_t>(c) * positions + pos];
+        decide_position(m, ctx.block_sums.data(), ctx.n_active.data(),
+                        ctx.pos_bits.data(), ctx.rng);
+        append_position_bits(writer, ctx.pos_bits.data(), cols);
+      }
+    }
+  } else if (is_conv && m.binarize) {
+    // Scatter instead of gather: most DAC outputs are exactly zero (blank
+    // MNIST margins), and each nonzero input pixel feeds a predictable set
+    // of output windows. Walk the image once, skip zeros, and accumulate
+    // each survivor into every position whose window contains it. The
+    // dac_exact bound makes every partial sum exact, so this reordering
+    // produces the same doubles the per-window loop would.
+    const std::size_t stride = static_cast<std::size_t>(k) * cols;
+    ctx.pos_sums.assign(positions * stride, 0.0);
+    ctx.pos_active.assign(positions * static_cast<std::size_t>(k), 0);
+    for (int py = 0; py < g.in_h; ++py) {
+      const int di_lo = std::max(0, py - (g.out_h - 1));
+      const int di_hi = std::min(g.kernel - 1, py);
+      if (di_lo > di_hi) continue;
+      for (int px = 0; px < g.in_w; ++px) {
+        const int dj_lo = std::max(0, px - (g.out_w - 1));
+        const int dj_hi = std::min(g.kernel - 1, px);
+        if (dj_lo > dj_hi) continue;
+        const float* pvals =
+            ctx.dac_vals.data() +
+            (static_cast<std::size_t>(py) * g.in_w + px) * g.in_ch;
+        for (int ch = 0; ch < g.in_ch; ++ch) {
+          const float xq = pvals[ch];
+          if (xq == 0.0f) continue;
+          const double xd = static_cast<double>(xq);
+          for (int di = di_lo; di <= di_hi; ++di) {
+            const std::size_t pos_row =
+                static_cast<std::size_t>(py - di) * g.out_w;
+            for (int dj = dj_lo; dj <= dj_hi; ++dj) {
+              const int r = (di * g.kernel + dj) * g.in_ch + ch;
+              const int b = m.row_to_block[static_cast<std::size_t>(r)];
+              const std::size_t pos = pos_row + (px - dj);
+              ++ctx.pos_active[pos * k + b];
+              const float* wrow =
+                  m.eff.data() + static_cast<std::size_t>(r) * cols;
+              double* sums = ctx.pos_sums.data() + pos * stride +
+                             static_cast<std::size_t>(b) * cols;
+              for (int c = 0; c < cols; ++c) sums[c] += xd * wrow[c];
+            }
+          }
+        }
+      }
+    }
+    // Decisions stay in position order, so the noisy path's RNG draws are
+    // the same ones the dense loop would make.
+    for (std::size_t pos = 0; pos < positions; ++pos) {
+      decide_position(m, ctx.pos_sums.data() + pos * stride,
+                      ctx.pos_active.data() + pos * k, ctx.pos_bits.data(),
+                      ctx.rng);
+      append_position_bits(writer, ctx.pos_bits.data(), cols);
+    }
+  } else {
+    for (int y = 0; y < g.out_h; ++y) {
+      for (int x = 0; x < g.out_w; ++x) {
+        std::fill(ctx.block_sums.begin(), ctx.block_sums.end(), 0.0);
+        std::fill(ctx.n_active.begin(), ctx.n_active.end(), 0);
+        const int window_rows = is_conv ? g.kernel : 1;
+        for (int di = 0; di < window_rows; ++di) {
+          const float* in_px =
+              is_conv ? ctx.dac_vals.data() +
+                            (static_cast<std::size_t>(y + di) * g.in_w + x) *
+                                g.in_ch
+                      : ctx.dac_vals.data();
+          const int r0 = di * span;
+          for (int t = 0; t < span; ++t) {
+            const float xq = in_px[t];
+            if (xq == 0.0f) continue;
+            const int r = r0 + t;
+            const int b = m.row_to_block[static_cast<std::size_t>(r)];
+            ++ctx.n_active[static_cast<std::size_t>(b)];
+            const float* wrow =
+                m.eff.data() + static_cast<std::size_t>(r) * cols;
+            double* sums = ctx.block_sums.data() +
+                           static_cast<std::size_t>(b) * cols;
+            for (int c = 0; c < cols; ++c)
+              sums[c] += static_cast<double>(xq) * wrow[c];
+          }
+        }
+        if (m.binarize) {
+          decide_position(m, ctx.block_sums.data(), ctx.n_active.data(),
+                          ctx.pos_bits.data(), ctx.rng);
+          append_position_bits(writer, ctx.pos_bits.data(), cols);
+        } else {
+          merge_classifier(m, scores, ctx);
+        }
+      }
+    }
+  }
+
+  if (m.binarize) {
+    writer.finish();
+    if (g.pool_after)
+      or_pool_packed(ctx.packed_stage, g.out_h, g.out_w, cols, bits_out);
+    else
+      bits_out = ctx.packed_stage;
+  }
+}
+
+void SeiNetwork::eval_stage(std::size_t i, std::span<const float> image,
+                            EvalContext& ctx) const {
+  const MappedLayer& m = layers_[i];
+  if (i == 0) {
+    // Stage 0 consumes DAC levels, not bits: the packed variant needs the
+    // dense-sum exactness bound on top of integral weights.
+    if (packed_eval_ && m.packed.valid && m.packed.dac_exact) {
+      eval_stage_dac(m, image, ctx.packed_pooled, ctx.scores, ctx);
+      if (m.binarize) {
+        std::swap(ctx.packed_bits, ctx.packed_pooled);
+        ctx.packed_live = true;
+      }
+    } else {
+      eval_stage_float(m, image, ctx.pooled_bits, ctx.scores, ctx);
+      if (m.binarize) {
+        std::swap(ctx.bits, ctx.pooled_bits);
+        ctx.packed_live = false;
+      }
+    }
+    return;
+  }
+  if (packed_eval_ && m.packed.valid) {
+    if (!ctx.packed_live) quant::pack_bits(ctx.bits, ctx.packed_bits);
+    eval_stage_packed(m, ctx.packed_bits, ctx.packed_pooled, ctx.scores, ctx);
+    if (m.binarize) {
+      std::swap(ctx.packed_bits, ctx.packed_pooled);
+      ctx.packed_live = true;
+    }
+  } else {
+    if (ctx.packed_live) quant::unpack_bits(ctx.packed_bits, ctx.bits);
+    eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
+    if (m.binarize) {
+      std::swap(ctx.bits, ctx.pooled_bits);
+      ctx.packed_live = false;
+    }
+  }
+}
+
+int SeiNetwork::packed_stage_count() const {
+  int n = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const PackedStage& ps = layers_[i].packed;
+    if (ps.valid && (i != 0 || ps.dac_exact)) ++n;
+  }
+  return n;
 }
 
 int SeiNetwork::predict(std::span<const float> image) const {
@@ -278,10 +1083,7 @@ Result<int> SeiNetwork::try_predict(std::span<const float> image,
     if (ctx.cancel && ctx.cancel->expired()) return ctx.cancel->to_error();
     const MappedLayer& m = layers_[i];
     ctx.rng = stage_stream(image_index, static_cast<int>(i));
-    if (i == 0)
-      eval_stage_float(m, image, ctx.pooled_bits, ctx.scores, ctx);
-    else
-      eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
+    eval_stage(i, image, ctx);
     if (ctx.meter && ctx.energy) ctx.meter->charge_stage(i, *ctx.energy);
     if (!m.binarize) {
       if (ctx.energy) ++ctx.energy->images;
@@ -289,7 +1091,6 @@ Result<int> SeiNetwork::try_predict(std::span<const float> image,
           std::max_element(ctx.scores.begin(), ctx.scores.end()) -
           ctx.scores.begin());
     }
-    std::swap(ctx.bits, ctx.pooled_bits);
   }
   SEI_CHECK_MSG(false, "network has no classifier stage");
   return -1;
@@ -345,12 +1146,11 @@ std::vector<quant::BitMap> SeiNetwork::cache_stage_inputs(
         const MappedLayer& m = layers_[static_cast<std::size_t>(s)];
         SEI_CHECK_MSG(m.binarize, "cannot cache past the classifier");
         ctx.rng = stage_stream(i, s);
-        if (s == 0)
-          eval_stage_float(m, img, ctx.pooled_bits, ctx.scores, ctx);
-        else
-          eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
-        std::swap(ctx.bits, ctx.pooled_bits);
+        eval_stage(static_cast<std::size_t>(s), img, ctx);
       }
+      // The cache contract is byte maps; unpack clean 0/1 bytes if the
+      // last stage ran packed.
+      if (ctx.packed_live) quant::unpack_bits(ctx.packed_bits, ctx.bits);
       out[static_cast<std::size_t>(i)] = ctx.bits;
     }
     // Partial evaluations (stages [0, stage) only): charged in bulk, no
@@ -378,20 +1178,20 @@ double SeiNetwork::error_rate_from(
         long long c = 0;
         for (int i = lo; i < hi; ++i) {
           ctx.bits = inputs[static_cast<std::size_t>(i)];
+          ctx.packed_live = false;
           int pred = -1;
           for (int s = stage; s < stage_count(); ++s) {
             const MappedLayer& m = layers_[static_cast<std::size_t>(s)];
             // Same per-(image, stage) stream a full predict would use, so
             // tail evaluation replays the identical noise draws.
             ctx.rng = stage_stream(i, s);
-            eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
+            eval_stage(static_cast<std::size_t>(s), {}, ctx);
             if (!m.binarize) {
               pred = static_cast<int>(
                   std::max_element(ctx.scores.begin(), ctx.scores.end()) -
                   ctx.scores.begin());
               break;
             }
-            std::swap(ctx.bits, ctx.pooled_bits);
           }
           if (pred == d.labels[static_cast<std::size_t>(i)]) ++c;
         }

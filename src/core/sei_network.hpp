@@ -48,6 +48,17 @@ class SeiNetwork {
   void set_meter(const telemetry::EnergyMeter* meter) { meter_ = meter; }
   const telemetry::EnergyMeter* meter() const { return meter_; }
 
+  /// Engine switch (initialized from cfg.packed_eval): when on, stages with
+  /// a valid integer decomposition run the bit-packed AND+popcount core;
+  /// when off, everything runs the scalar reference path. Both produce
+  /// bit-identical results (docs/kernels.md) — this only trades speed.
+  void set_packed_eval(bool on) { packed_eval_ = on; }
+  bool packed_eval() const { return packed_eval_; }
+
+  /// Number of stages whose packed decomposition is usable (stage 0 also
+  /// needs the dense-DAC exactness bound). Diagnostics/benchmarks only.
+  int packed_stage_count() const;
+
   /// Classifies one image (convenience wrapper: fresh context, stream 0).
   int predict(std::span<const float> image) const;
 
@@ -96,6 +107,27 @@ class SeiNetwork {
                         quant::BitMap& bits_out, std::vector<float>& scores,
                         EvalContext& ctx) const;
 
+  /// Bit-packed engines (core/bitpack): `eval_stage_packed` is the hidden/
+  /// classifier stage on packed words; `eval_stage_dac` the stage-0 variant
+  /// that caches the DAC output once per image and accumulates densely.
+  void eval_stage_packed(const MappedLayer& m, const quant::PackedBits& in,
+                         quant::PackedBits& bits_out,
+                         std::vector<float>& scores, EvalContext& ctx) const;
+  void eval_stage_dac(const MappedLayer& m, std::span<const float> in,
+                      quant::PackedBits& bits_out, std::vector<float>& scores,
+                      EvalContext& ctx) const;
+
+  /// Runs stage `i` on ctx's live activations (`image` feeds stage 0 only),
+  /// picking the engine per stage and leaving the stage output as the live
+  /// activations (ctx.packed_live tracks the representation). For the
+  /// classifier stage, ctx.scores holds the result instead.
+  void eval_stage(std::size_t i, std::span<const float> image,
+                  EvalContext& ctx) const;
+
+  /// Classifier readout: merges one position's block currents into scores.
+  void merge_classifier(const MappedLayer& m, std::vector<float>& scores,
+                        EvalContext& ctx) const;
+
   /// Threshold decision + OR-pool over the accumulated block sums of one
   /// position row; shared by both eval paths.
   void decide_position(const MappedLayer& m, const double* block_sums,
@@ -126,6 +158,7 @@ class SeiNetwork {
   CrossbarHook hook_;
   std::vector<MappedLayer> layers_;
   const telemetry::EnergyMeter* meter_ = nullptr;
+  bool packed_eval_ = true;
 };
 
 }  // namespace sei::core

@@ -45,6 +45,13 @@ struct HardwareConfig {
   bool split_dynamic_threshold = true; // posterior input compensation
   std::uint64_t seed = 20160605;       // mapping / programming randomness
 
+  // Evaluation engine selection (docs/kernels.md): when true, stages whose
+  // effective weights are exactly integral run on the bit-packed
+  // AND+popcount core; stages with analog perturbations (or when false)
+  // fall back to the scalar float reference path. Both paths are
+  // bit-identical, so this is purely a speed switch.
+  bool packed_eval = true;
+
   // Reliability provisioning (docs/reliability.md): fraction of each
   // crossbar's data rows reserved as spare physical rows for fault repair.
   // Spares live inside the same array — the per-crossbar row-budget check

@@ -1,0 +1,38 @@
+#include "quant/bitpack.hpp"
+
+#include <bit>
+
+namespace sei::quant {
+
+void pack_bits(const BitMap& in, PackedBits& out) {
+  out.reset(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    if (in[i])
+      out.words[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+PackedBits pack_bits(const BitMap& in) {
+  PackedBits p;
+  pack_bits(in, p);
+  return p;
+}
+
+void unpack_bits(const PackedBits& in, BitMap& out) {
+  out.assign(in.bits, 0);
+  for (std::size_t w = 0; w < in.words.size(); ++w) {
+    std::uint64_t word = in.words[w];
+    while (word) {
+      const int b = std::countr_zero(word);
+      out[w * 64 + static_cast<std::size_t>(b)] = 1;
+      word &= word - 1;
+    }
+  }
+}
+
+BitMap unpack_bits(const PackedBits& in) {
+  BitMap b;
+  unpack_bits(in, b);
+  return b;
+}
+
+}  // namespace sei::quant

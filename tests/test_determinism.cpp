@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "arch/live_energy.hpp"
 #include "core/adc_network.hpp"
 #include "core/sei_network.hpp"
 #include "data/synthetic_digits.hpp"
@@ -106,6 +107,115 @@ TEST(Determinism, CachedTailReplaysFullEvaluationUnderNoise) {
     const auto cached = hw.cache_stage_inputs(f.test, stage, n);
     EXPECT_EQ(hw.error_rate_from(f.test, stage, cached), full)
         << "stage=" << stage;
+  }
+}
+
+/// Packed-vs-float equivalence harness (docs/kernels.md): runs `n` images
+/// through both engines of the same mapped network and requires
+/// bit-identical predictions, identical batch error rates, and metered
+/// energy equal to 1e-6 pJ. `min_packed` guards against silently testing
+/// the fallback against itself.
+void expect_engines_match(const quant::QNetwork& qnet, core::SeiNetwork& hw,
+                          const data::Dataset& test, int n, int min_packed) {
+  EXPECT_GE(hw.packed_stage_count(), min_packed);
+  const telemetry::EnergyMeter meter =
+      arch::make_energy_meter(qnet, hw.config(), core::StructureKind::kSei);
+  const std::size_t per_image = 28 * 28;
+  auto image = [&](int i) {
+    return std::span<const float>{
+        test.images.data() + static_cast<std::size_t>(i) * per_image,
+        per_image};
+  };
+  std::vector<int> pred[2];
+  telemetry::EnergyAccum energy[2];
+  double err[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    hw.set_packed_eval(pass == 0);
+    core::EvalContext ctx;
+    ctx.meter = &meter;
+    ctx.energy = &energy[pass];
+    for (int i = 0; i < n; ++i)
+      pred[pass].push_back(hw.predict(image(i), ctx, i));
+    err[pass] = hw.error_rate(test, n);
+  }
+  EXPECT_EQ(pred[0], pred[1]);
+  EXPECT_EQ(err[0], err[1]);
+  EXPECT_NEAR(energy[0].pj.total(), energy[1].pj.total(), 1e-6);
+  EXPECT_NEAR(energy[0].pj.interface(), energy[1].pj.interface(), 1e-6);
+  hw.set_packed_eval(true);
+}
+
+TEST(Determinism, PackedEngineMatchesFloatAcrossNetworks) {
+  // All three paper networks, noise-free: every stage must take the packed
+  // path (integral weights + stage-0 DAC bound) and reproduce the scalar
+  // reference bit-for-bit.
+  data::Dataset train = data::generate_synthetic(500, 81);
+  data::Dataset test = data::generate_synthetic(120, 82);
+  for (const char* name : {"network1", "network2", "network3"}) {
+    const workloads::Workload wl = workloads::workload_by_name(name);
+    nn::Network net = workloads::build_float_network(wl.topo, 53);
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    nn::Trainer(tc).fit(net, train.images, train.label_span());
+    quant::SearchConfig sc;
+    sc.max_search_images = 150;
+    sc.step = 0.1;
+    quant::QNetwork qnet = quant::quantize_network(net, wl.topo, train, sc).qnet;
+    core::HardwareConfig cfg;
+    core::SeiNetwork hw(qnet, cfg);
+    SCOPED_TRACE(name);
+    expect_engines_match(qnet, hw, test, 120, hw.stage_count());
+  }
+}
+
+TEST(Determinism, PackedEngineMatchesFloatUnderNoiseAndSplitting) {
+  Fixture& f = fixture();
+  {  // Stochastic readout: the packed noisy paths share the scalar's draws.
+    core::HardwareConfig cfg;
+    cfg.device.read_noise_sigma = 0.05;
+    core::SeiNetwork hw(f.qnet, cfg);
+    SCOPED_TRACE("read noise");
+    expect_engines_match(f.qnet, hw, f.test, 120, hw.stage_count());
+  }
+  {  // Forced row splitting, homogenized round-robin block-local masks.
+    core::HardwareConfig cfg;
+    cfg.limits.max_rows = 64;
+    core::SeiNetwork hw(f.qnet, cfg);
+    SCOPED_TRACE("split homogenized");
+    expect_engines_match(f.qnet, hw, f.test, 120, hw.stage_count());
+  }
+  {  // Split with natural (contiguous) row order.
+    core::HardwareConfig cfg;
+    cfg.limits.max_rows = 64;
+    cfg.homogenize = false;
+    core::SeiNetwork hw(f.qnet, cfg);
+    SCOPED_TRACE("split natural");
+    expect_engines_match(f.qnet, hw, f.test, 120, hw.stage_count());
+  }
+  {  // Programming noise breaks integrality: packed must fall back cleanly.
+    core::HardwareConfig cfg;
+    cfg.device.program_sigma = 0.03;
+    core::SeiNetwork hw(f.qnet, cfg);
+    SCOPED_TRACE("non-integral fallback");
+    EXPECT_EQ(hw.packed_stage_count(), 0);
+    expect_engines_match(f.qnet, hw, f.test, 120, 0);
+  }
+}
+
+TEST(Determinism, PackedErrorRateIdenticalAcrossThreadCounts) {
+  Fixture& f = fixture();
+  ThreadGuard guard;
+  core::HardwareConfig cfg;
+  cfg.device.read_noise_sigma = 0.05;
+  core::SeiNetwork hw(f.qnet, cfg);
+
+  exec::set_default_threads(1);
+  hw.set_packed_eval(false);
+  const double serial_float = hw.error_rate(f.test);
+  hw.set_packed_eval(true);
+  for (const int threads : {1, 2, 8}) {
+    exec::set_default_threads(threads);
+    EXPECT_EQ(hw.error_rate(f.test), serial_float) << "threads=" << threads;
   }
 }
 
