@@ -1,33 +1,44 @@
-// Serving-runtime benchmark: latency percentiles, availability and
-// recovery behaviour of serve::ServingRuntime under an optional scripted
-// mid-service fault.
+// Fleet serving soak: open-loop Poisson arrivals from mixed tenants against
+// a sharded FleetRuntime, with scripted fault storms that stuck-fault whole
+// shards mid-run. Reports per-tenant p50/p99 latency, availability, the
+// Jain fairness index over weight-normalized service, failover/recovery
+// timelines and checkpoint activity (schema sei-serving-v2).
 //
-// Requests are submitted open-loop with a bounded in-flight window (the
-// admission queue's capacity), cycling the test set. When --fault-at is
-// set, a stuck-cell fault fires at that served-request count; the canary
-// sentinel detects the accuracy drop, the circuit breaker trips and the
-// recovery ladder runs — all measured here.
+// Arrival modes:
+//   --rate > 0   open-loop Poisson at that many requests/second (arrival
+//                times are independent of service times — queueing theory's
+//                honest overload model);
+//   --rate 0     closed-loop with a bounded in-flight window (--window),
+//                i.e. sustained saturation — the mode for fairness gates.
 //
-// Flags: --network, --requests, --workers, --queue, --deadline-ms,
-// --probe-every, --checkpoint-every, --checkpoint, --fault-at,
-// --fault-stuck, --json. SIGINT/SIGTERM drain gracefully and still write
-// the JSON (schema sei-serving-v1).
+// Gates (--min-availability, --min-fairness, --max-p99-ms) make the bench
+// CI-enforceable: the JSON is always written, the exit code says pass/fail.
+//
+// Flags: --network, --requests, --shards, --tenants "A:2,B:1", --queue,
+// --quota-j, --rate, --window, --arrival-seed, --max-batch, --linger-us,
+// --deadline-ms, --probe-every, --checkpoint-every, --checkpoint-dir,
+// --storm-at, --storm-shard, --storm-stuck, --json, gates above.
+// SIGINT/SIGTERM drain gracefully and still write the JSON.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <deque>
 #include <future>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
-#include "telemetry/flags.hpp"
 #include "common/io.hpp"
+#include "common/rng.hpp"
 #include "common/signals.hpp"
 #include "core/adc_network.hpp"
 #include "exec/thread_pool.hpp"
 #include "reliability/repair.hpp"
-#include "serve/runtime.hpp"
+#include "serve/fleet.hpp"
+#include "telemetry/flags.hpp"
 #include "workloads/pipeline.hpp"
 
 using namespace sei;
@@ -44,69 +55,129 @@ double percentile(std::vector<double> v, double pct) {
   return v[lo] + (v[hi] - v[lo]) * frac;
 }
 
+/// Per-tenant tallies harvested from the response stream itself (the
+/// client's view — availability is judged on what clients got back).
+struct TenantTally {
+  std::uint64_t answered = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t deadline_misses = 0;
+  std::vector<double> latencies_ms;
+
+  double availability_pct() const {
+    return answered == 0 ? 100.0
+                         : 100.0 * static_cast<double>(ok + degraded) /
+                               static_cast<double>(answered);
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
   exec::set_default_threads(cli.get_threads());
   const std::string net_name = cli.get("network", "network2");
-  const int requests = cli.get_int("requests", 2000, "requests to submit");
-  const int workers = cli.get_int("workers", 1, "serving worker threads");
-  const int queue_cap = cli.get_int("queue", 64, "admission queue bound");
+  const int requests = cli.get_int("requests", 20000, "requests to submit");
+  const int nshards = cli.get_int("shards", 3, "SEI replica count");
+  const std::string tenant_spec =
+      cli.get("tenants", "A:2,B:1", "tenant weights, name:weight[,...]");
+  const int queue_cap =
+      cli.get_int("queue", 64, "per-tenant admission queue bound");
+  const double quota_j =
+      cli.get_double("quota-j", 0.0, "per-tenant energy quota in J (0 = off)");
+  const double rate = cli.get_double(
+      "rate", 0.0, "Poisson arrival rate in req/s (0 = closed loop)");
+  const int window = cli.get_int(
+      "window", 0, "closed-loop in-flight window (0 = queue * tenants)");
+  const std::uint64_t arrival_seed = static_cast<std::uint64_t>(
+      cli.get_int("arrival-seed", 20260808, "arrival-process seed"));
+  const int max_batch =
+      cli.get_int("max-batch", 16, "micro-batch coalescing bound");
+  const int linger_us =
+      cli.get_int("linger-us", 0, "micro-batch linger in microseconds");
   const int deadline_ms =
       cli.get_int("deadline-ms", 0, "per-request deadline (0 = none)");
   const int probe_every =
       cli.get_int("probe-every", 16, "served requests per sentinel probe");
   const int ckpt_every = cli.get_int(
-      "checkpoint-every", 0, "served requests per checkpoint (0 = off)");
-  const std::string ckpt_path =
-      cli.get("checkpoint", "", "checkpoint file (empty = no durability)");
-  const int fault_at = cli.get_int(
-      "fault-at", 0, "inject a stuck-cell fault at this served count (0 = off)");
-  const double fault_stuck =
-      cli.get_double("fault-stuck", 0.05, "stuck fraction of the fault");
+      "checkpoint-every", 0, "dispatches per checkpoint set (0 = off)");
+  const std::string ckpt_dir =
+      cli.get("checkpoint-dir", "", "checkpoint directory (empty = none)");
+  const int storm_at = cli.get_int(
+      "storm-at", 0, "storm strike at this dispatch count (0 = off)");
+  const int storm_shard =
+      cli.get_int("storm-shard", 0, "shard the storm stuck-faults");
+  const double storm_stuck =
+      cli.get_double("storm-stuck", 0.25, "stuck fraction of the strike");
+  const int storm_duration = cli.get_int(
+      "storm-duration", 0,
+      "dispatches the storm persists (repair re-lands damage; 0 = one-shot)");
+  const double min_availability = cli.get_double(
+      "min-availability", 0.0, "gate: fail below this availability % (0=off)");
+  const double min_fairness = cli.get_double(
+      "min-fairness", 0.0, "gate: fail below this Jain index (0 = off)");
+  const double max_p99 = cli.get_double(
+      "max-p99-ms", 0.0, "gate: fail above this per-tenant p99 (0 = off)");
   const std::string json_path = cli.get("json", "BENCH_serving.json");
   const auto tel = telemetry::telemetry_flags(cli);
-  if (!cli.validate("serving runtime: latency, availability, recovery"))
+  if (!cli.validate("fleet serving soak: latency, fairness, storm survival"))
     return 0;
   SEI_CHECK_MSG(requests > 0, "requests must be positive");
+  SEI_CHECK_MSG(nshards > 0, "shards must be positive");
 
   install_shutdown_handler();
 
   data::DataBundle data = workloads::load_default_data(true);
   workloads::Artifacts art = workloads::prepare_workload(net_name, data, {});
 
-  core::HardwareConfig hw;
-  hw.spare_row_fraction = 0.1;  // tier-1 repair needs spares to remap onto
+  // Independently-mapped replicas: distinct seeds give each shard its own
+  // device variation and read-noise streams, like distinct physical chips.
   reliability::RepairReport repair_report;
-  core::SeiNetwork net(
-      art.qnet, hw,
-      reliability::make_repair_hook(reliability::RepairConfig{},
-                                    &repair_report));
+  std::vector<std::unique_ptr<core::SeiNetwork>> nets;
+  std::vector<core::SeiNetwork*> shard_ptrs;
+  for (int k = 0; k < nshards; ++k) {
+    core::HardwareConfig hw;
+    hw.seed += static_cast<std::uint64_t>(k) * 1000003ULL;
+    hw.spare_row_fraction = 0.1;  // tier-1 repair needs spares to remap onto
+    nets.push_back(std::make_unique<core::SeiNetwork>(
+        art.qnet, hw,
+        reliability::make_repair_hook(reliability::RepairConfig{},
+                                      &repair_report)));
+    shard_ptrs.push_back(nets.back().get());
+  }
   core::AdcConfig adc_cfg;
   const core::AdcNetwork fallback(art.qnet, adc_cfg, data.train);
 
-  serve::RuntimeConfig rc;
-  rc.workers = workers;
-  rc.queue_capacity = queue_cap;
-  rc.default_deadline = std::chrono::milliseconds(deadline_ms);
-  rc.checkpoint_every = ckpt_every;
-  rc.checkpoint_path = ckpt_path;
-  rc.sentinel.probe_every = probe_every;
-  rc.calibration.max_images = 200;
-  serve::ServingRuntime runtime(net, art.qnet, data.test, data.train, rc,
-                                &fallback);
-  if (fault_at > 0) {
-    serve::FaultSchedule sched;
-    sched.events.push_back(
-        {static_cast<std::uint64_t>(fault_at), -1, fault_stuck, 1.0});
-    runtime.set_fault_schedule(sched);
+  serve::FleetConfig fc;
+  fc.tenants = serve::parse_tenant_specs(tenant_spec);
+  for (serve::TenantConfig& t : fc.tenants) {
+    t.queue_capacity = queue_cap;
+    t.energy_quota_j = quota_j;
   }
-  runtime.start();
-  std::printf("serving %d requests (%d workers, queue %d, deadline %d ms, "
-              "sentinel baseline %.2f%%)\n",
-              requests, workers, queue_cap, deadline_ms,
-              runtime.sentinel_baseline_pct());
+  const int ntenants = static_cast<int>(fc.tenants.size());
+  fc.batcher.max_batch = max_batch;
+  fc.batcher.linger = std::chrono::microseconds(linger_us);
+  fc.default_deadline = std::chrono::milliseconds(deadline_ms);
+  fc.checkpoint_every = ckpt_every;
+  fc.checkpoint_dir = ckpt_dir;
+  fc.sentinel.probe_every = probe_every;
+  fc.calibration.max_images = 200;
+  serve::FleetRuntime fleet(shard_ptrs, art.qnet, data.test, data.train, fc,
+                            &fallback);
+  if (storm_at > 0) {
+    serve::StormSchedule storm;
+    storm.events.push_back({static_cast<std::uint64_t>(storm_at), storm_shard,
+                            {0, -1, storm_stuck, 1.0},
+                            static_cast<std::uint64_t>(storm_duration)});
+    fleet.set_storm(storm);
+  }
+  fleet.start();
+  std::printf(
+      "fleet soak: %d requests, %d shards, tenants %s, %s arrivals%s\n",
+      requests, nshards, tenant_spec.c_str(),
+      rate > 0.0 ? "poisson" : "closed-loop",
+      fleet.resumed_from_checkpoint() ? " (resumed from checkpoint)" : "");
 
   const std::size_t per_image =
       data.test.images.numel() / static_cast<std::size_t>(data.test.size());
@@ -117,125 +188,235 @@ int main(int argc, char** argv) try {
         per_image};
   };
 
-  std::uint64_t answered = 0, available = 0;
-  std::deque<std::future<serve::Response>> inflight;
-  auto settle_front = [&] {
-    serve::Response r = inflight.front().get();
-    inflight.pop_front();
-    ++answered;
-    if (r.status != serve::ResponseStatus::kRejected) ++available;
+  std::vector<TenantTally> tally(static_cast<std::size_t>(ntenants));
+  struct Inflight {
+    std::future<serve::FleetResponse> fut;
   };
+  std::deque<Inflight> inflight;
+  auto settle_front = [&] {
+    serve::FleetResponse r = inflight.front().fut.get();
+    inflight.pop_front();
+    TenantTally& tt = tally[static_cast<std::size_t>(r.tenant)];
+    ++tt.answered;
+    tt.latencies_ms.push_back(r.latency_ms);
+    switch (r.status) {
+      case serve::FleetResponseStatus::kOk: ++tt.ok; break;
+      case serve::FleetResponseStatus::kDegraded: ++tt.degraded; break;
+      case serve::FleetResponseStatus::kRejected:
+        ++tt.rejected;
+        if (r.error == ErrorCode::kDeadlineExceeded) ++tt.deadline_misses;
+        break;
+    }
+  };
+
+  using Clock = std::chrono::steady_clock;
+  Rng arrivals = Rng::fork(arrival_seed, 0);
+  const int inflight_cap =
+      window > 0 ? window : std::max(1, queue_cap * ntenants);
+  const Clock::time_point t_start = Clock::now();
+  Clock::time_point next_arrival = t_start;
   int submitted = 0;
   for (; submitted < requests && !shutdown_requested(); ++submitted) {
-    inflight.push_back(runtime.submit(image(submitted)));
-    while (static_cast<int>(inflight.size()) >= queue_cap) settle_front();
+    const int tenant = static_cast<int>(
+        arrivals.below(static_cast<std::uint64_t>(ntenants)));
+    if (rate > 0.0) {
+      // Exponential inter-arrival: the open-loop clock never waits for
+      // responses, so overload actually overloads.
+      const double gap_s = -std::log(1.0 - arrivals.uniform()) / rate;
+      next_arrival +=
+          std::chrono::nanoseconds(static_cast<long long>(gap_s * 1e9));
+      std::this_thread::sleep_until(next_arrival);
+      while (!inflight.empty() &&
+             inflight.front().fut.wait_for(std::chrono::seconds(0)) ==
+                 std::future_status::ready)
+        settle_front();
+    } else {
+      while (static_cast<int>(inflight.size()) >= inflight_cap)
+        settle_front();
+    }
+    inflight.push_back({fleet.submit(tenant, image(submitted))});
   }
   while (!inflight.empty()) settle_front();
-  runtime.stop();  // drain + final checkpoint
+  fleet.stop();  // drain + final checkpoint set + energy publish
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t_start).count();
 
-  const serve::RuntimeStats st = runtime.stats();
-  const std::vector<double> lat = runtime.latencies_ms();
-  const double p50 = percentile(lat, 50.0);
-  const double p99 = percentile(lat, 99.0);
+  const serve::FleetStats st = fleet.stats();
+  const auto failovers = fleet.failovers();
+
+  // Weight-normalized Jain fairness over delivered service.
+  std::vector<double> normalized;
+  for (int t = 0; t < ntenants; ++t) {
+    const TenantTally& tt = tally[static_cast<std::size_t>(t)];
+    normalized.push_back(
+        static_cast<double>(tt.ok + tt.degraded) /
+        fc.tenants[static_cast<std::size_t>(t)].weight);
+  }
+  const double fairness = serve::jain_fairness(normalized);
+
+  std::uint64_t answered = 0, available = 0;
+  double worst_p99 = 0.0;
+  for (int t = 0; t < ntenants; ++t) {
+    const TenantTally& tt = tally[static_cast<std::size_t>(t)];
+    answered += tt.answered;
+    available += tt.ok + tt.degraded;
+    worst_p99 = std::max(worst_p99, percentile(tt.latencies_ms, 99.0));
+  }
   const double availability =
-      answered == 0 ? 0.0
+      answered == 0 ? 100.0
                     : 100.0 * static_cast<double>(available) /
                           static_cast<double>(answered);
-  const auto events = runtime.breaker_events();
-  const auto recoveries = runtime.recoveries();
 
-  std::printf("\nanswered %llu  ok %llu  degraded %llu  rejected %llu  "
-              "(deadline misses %llu, shed %llu)\n",
-              static_cast<unsigned long long>(answered),
-              static_cast<unsigned long long>(st.ok),
-              static_cast<unsigned long long>(st.degraded),
-              static_cast<unsigned long long>(st.rejected),
-              static_cast<unsigned long long>(st.deadline_misses),
-              static_cast<unsigned long long>(st.shed));
-  std::printf("latency p50 %.3f ms  p99 %.3f ms  availability %.2f%%\n", p50,
-              p99, availability);
-  std::printf("sentinel baseline %.2f%%  window %.2f%%  probes %llu  "
-              "breaker trips %d  checkpoints %llu\n",
-              st.sentinel_baseline_pct, st.sentinel_window_pct,
-              static_cast<unsigned long long>(st.probes), st.breaker_trips,
+  std::printf("\n%.1f req/s over %.2f s  availability %.2f%%  jain %.4f  "
+              "failovers %llu  checkpoints %llu\n",
+              static_cast<double>(answered) / wall_s, wall_s, availability,
+              fairness, static_cast<unsigned long long>(st.failovers),
               static_cast<unsigned long long>(st.checkpoints));
-  for (const serve::RecoveryRecord& r : recoveries)
-    std::printf("recovery: tripped @%llu, %s @%llu (tier %d, %.1f ms, "
-                "probe acc %.2f%% -> %.2f%%)\n",
-                static_cast<unsigned long long>(r.tripped_at_served),
-                r.closed ? "closed" : "parked degraded",
-                static_cast<unsigned long long>(r.resolved_at_served),
-                r.tier_reached, r.duration_ms, r.acc_before_pct,
-                r.acc_after_pct);
+  for (int t = 0; t < ntenants; ++t) {
+    const TenantTally& tt = tally[static_cast<std::size_t>(t)];
+    std::printf("tenant %s (w=%.1f): answered %llu  ok %llu  degraded %llu  "
+                "rejected %llu  p50 %.3f ms  p99 %.3f ms  avail %.2f%%  "
+                "energy %.3g J\n",
+                fc.tenants[static_cast<std::size_t>(t)].name.c_str(),
+                fc.tenants[static_cast<std::size_t>(t)].weight,
+                static_cast<unsigned long long>(tt.answered),
+                static_cast<unsigned long long>(tt.ok),
+                static_cast<unsigned long long>(tt.degraded),
+                static_cast<unsigned long long>(tt.rejected),
+                percentile(tt.latencies_ms, 50.0),
+                percentile(tt.latencies_ms, 99.0), tt.availability_pct(),
+                st.tenants[static_cast<std::size_t>(t)].energy_j);
+  }
+  for (int k = 0; k < nshards; ++k) {
+    const serve::ShardStats& ss = st.shards[static_cast<std::size_t>(k)];
+    std::printf("shard %d: served %llu  state %s  trips %d  baseline %.2f%%\n",
+                k, static_cast<unsigned long long>(ss.served),
+                serve::to_string(ss.state), ss.trips, ss.baseline_pct);
+    for (const serve::RecoveryRecord& r : fleet.shard_recoveries(k))
+      std::printf("  recovery: tripped @%llu, %s @%llu (tier %d, %.1f ms)\n",
+                  static_cast<unsigned long long>(r.tripped_at_served),
+                  r.closed ? "closed" : "parked",
+                  static_cast<unsigned long long>(r.resolved_at_served),
+                  r.tier_reached, r.duration_ms);
+  }
 
   JsonWriter j(json_path);
   j.begin_object();
-  j.kv("schema", "sei-serving-v1");
+  j.kv("schema", "sei-serving-v2");
   j.kv("network", net_name);
   j.kv("requests", static_cast<long long>(requests));
   j.kv("submitted", static_cast<long long>(submitted));
-  j.kv("workers", static_cast<long long>(workers));
-  j.kv("queue_capacity", static_cast<long long>(queue_cap));
+  j.kv("shards", static_cast<long long>(nshards));
+  j.kv("tenant_spec", tenant_spec);
+  j.kv("rate_per_s", rate);
+  j.kv("max_batch", static_cast<long long>(max_batch));
   j.kv("deadline_ms", static_cast<long long>(deadline_ms));
-  j.kv("probe_every", static_cast<long long>(probe_every));
-  j.kv("fault_at", static_cast<long long>(fault_at));
-  j.kv("fault_stuck", fault_stuck);
+  j.kv("storm_at", static_cast<long long>(storm_at));
+  j.kv("storm_shard", static_cast<long long>(storm_shard));
+  j.kv("storm_stuck", storm_stuck);
+  j.kv("storm_duration", static_cast<long long>(storm_duration));
   j.kv("interrupted", shutdown_requested());
-  j.kv("p50_latency_ms", p50);
-  j.kv("p99_latency_ms", p99);
+  j.kv("resumed_from_checkpoint", fleet.resumed_from_checkpoint());
+  j.kv("wall_s", wall_s);
+  j.kv("throughput_per_s", static_cast<double>(answered) / wall_s);
   j.kv("availability_pct", availability);
+  j.kv("jain_fairness", fairness);
+  j.key("tenants");
+  j.begin_array();
+  for (int t = 0; t < ntenants; ++t) {
+    const TenantTally& tt = tally[static_cast<std::size_t>(t)];
+    const serve::TenantCounters& c = st.tenants[static_cast<std::size_t>(t)];
+    j.begin_object();
+    j.kv("name", fc.tenants[static_cast<std::size_t>(t)].name);
+    j.kv("weight", fc.tenants[static_cast<std::size_t>(t)].weight);
+    j.kv("answered", static_cast<long long>(tt.answered));
+    j.kv("ok", static_cast<long long>(tt.ok));
+    j.kv("degraded", static_cast<long long>(tt.degraded));
+    j.kv("rejected", static_cast<long long>(tt.rejected));
+    j.kv("deadline_misses", static_cast<long long>(tt.deadline_misses));
+    j.kv("queue_rejections", static_cast<long long>(c.queue_rejections));
+    j.kv("quota_rejections", static_cast<long long>(c.quota_rejections));
+    j.kv("dropped_expired", static_cast<long long>(c.dropped_expired));
+    j.kv("p50_latency_ms", percentile(tt.latencies_ms, 50.0));
+    j.kv("p99_latency_ms", percentile(tt.latencies_ms, 99.0));
+    j.kv("availability_pct", tt.availability_pct());
+    j.kv("energy_j", c.energy_j);
+    j.end_object();
+  }
+  j.end_array();
   j.key("counts");
   j.begin_object();
-  j.kv("answered", static_cast<long long>(answered));
-  j.kv("ok", static_cast<long long>(st.ok));
-  j.kv("degraded", static_cast<long long>(st.degraded));
-  j.kv("rejected", static_cast<long long>(st.rejected));
-  j.kv("queue_rejections", static_cast<long long>(st.queue_rejections));
-  j.kv("deadline_misses", static_cast<long long>(st.deadline_misses));
+  j.kv("total_dispatched", static_cast<long long>(st.total_dispatched));
+  j.kv("fallback_served", static_cast<long long>(st.fallback_served));
   j.kv("shed", static_cast<long long>(st.shed));
+  j.kv("failovers", static_cast<long long>(st.failovers));
   j.kv("checkpoints", static_cast<long long>(st.checkpoints));
+  j.kv("batches", static_cast<long long>(st.batcher.batches));
+  j.kv("coalesced", static_cast<long long>(st.batcher.coalesced));
+  j.kv("dropped_expired", static_cast<long long>(st.batcher.dropped_expired));
   j.end_object();
-  j.key("sentinel");
-  j.begin_object();
-  j.kv("baseline_pct", st.sentinel_baseline_pct);
-  j.kv("window_pct", st.sentinel_window_pct);
-  j.kv("probes", static_cast<long long>(st.probes));
-  j.end_object();
-  j.key("breaker");
-  j.begin_object();
-  j.kv("trips", st.breaker_trips);
-  j.key("events");
+  j.key("shards");
   j.begin_array();
-  for (const serve::BreakerEvent& e : events) {
+  for (int k = 0; k < nshards; ++k) {
+    const serve::ShardStats& ss = st.shards[static_cast<std::size_t>(k)];
     j.begin_object();
-    j.kv("at_served", static_cast<long long>(e.at_served));
-    j.kv("from", serve::to_string(e.from));
-    j.kv("to", serve::to_string(e.to));
-    j.kv("tier", e.tier);
-    j.kv("note", e.note);
+    j.kv("served", static_cast<long long>(ss.served));
+    j.kv("state", serve::to_string(ss.state));
+    j.kv("trips", ss.trips);
+    j.kv("baseline_pct", ss.baseline_pct);
+    j.key("breaker_events");
+    j.begin_array();
+    for (const serve::BreakerEvent& e : fleet.shard_breaker_events(k)) {
+      j.begin_object();
+      j.kv("at_served", static_cast<long long>(e.at_served));
+      j.kv("from", serve::to_string(e.from));
+      j.kv("to", serve::to_string(e.to));
+      j.kv("tier", e.tier);
+      j.kv("note", e.note);
+      j.end_object();
+    }
+    j.end_array();
+    j.key("recoveries");
+    j.begin_array();
+    for (const serve::RecoveryRecord& r : fleet.shard_recoveries(k)) {
+      j.begin_object();
+      j.kv("tripped_at_served", static_cast<long long>(r.tripped_at_served));
+      j.kv("resolved_at_served", static_cast<long long>(r.resolved_at_served));
+      j.kv("tier_reached", r.tier_reached);
+      j.kv("closed", r.closed);
+      j.kv("duration_ms", r.duration_ms);
+      j.end_object();
+    }
+    j.end_array();
     j.end_object();
   }
   j.end_array();
-  j.end_object();
-  j.key("recoveries");
-  j.begin_array();
-  for (const serve::RecoveryRecord& r : recoveries) {
-    j.begin_object();
-    j.kv("tripped_at_served", static_cast<long long>(r.tripped_at_served));
-    j.kv("resolved_at_served", static_cast<long long>(r.resolved_at_served));
-    j.kv("tier_reached", r.tier_reached);
-    j.kv("closed", r.closed);
-    j.kv("acc_before_pct", r.acc_before_pct);
-    j.kv("acc_after_pct", r.acc_after_pct);
-    j.kv("duration_ms", r.duration_ms);
-    j.end_object();
-  }
-  j.end_array();
+  j.kv("failover_count", static_cast<long long>(failovers.size()));
   j.end_object();
   j.commit();
   std::printf("wrote %s\n", json_path.c_str());
   telemetry::telemetry_flush(tel);
-  return 0;
+
+  // Gates last: the JSON above is the evidence either way.
+  bool gate_failed = false;
+  if (!shutdown_requested()) {
+    if (min_availability > 0.0 && availability < min_availability) {
+      std::fprintf(stderr, "GATE FAILED: availability %.2f%% < %.2f%%\n",
+                   availability, min_availability);
+      gate_failed = true;
+    }
+    if (min_fairness > 0.0 && fairness < min_fairness) {
+      std::fprintf(stderr, "GATE FAILED: jain fairness %.4f < %.4f\n",
+                   fairness, min_fairness);
+      gate_failed = true;
+    }
+    if (max_p99 > 0.0 && worst_p99 > max_p99) {
+      std::fprintf(stderr, "GATE FAILED: worst tenant p99 %.3f ms > %.3f ms\n",
+                   worst_p99, max_p99);
+      gate_failed = true;
+    }
+  }
+  return gate_failed ? 1 : 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

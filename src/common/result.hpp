@@ -21,6 +21,7 @@ enum class ErrorCode {
   kCancelled,          // cooperative cancellation (shutdown, superseded work)
   kDeadlineExceeded,   // the request's deadline passed before completion
   kQueueFull,          // bounded admission queue rejected the request
+  kQuotaExceeded,      // tenant exhausted its energy quota
   kShedding,           // breaker exhausted its tiers; load is being shed
   kUnavailable,        // runtime is stopped / not accepting work
   kCorrupt,            // integrity check failed (CRC, magic, geometry)
@@ -80,6 +81,7 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kQuotaExceeded: return "quota_exceeded";
     case ErrorCode::kShedding: return "shedding";
     case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kCorrupt: return "corrupt";

@@ -1,0 +1,120 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sei::serve {
+
+const char* to_string(FleetResponseStatus s) {
+  switch (s) {
+    case FleetResponseStatus::kOk: return "ok";
+    case FleetResponseStatus::kDegraded: return "degraded";
+    case FleetResponseStatus::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+std::vector<TenantConfig> parse_tenant_specs(const std::string& spec) {
+  std::vector<TenantConfig> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    if (!item.empty()) {
+      TenantConfig t;
+      const std::size_t colon = item.find(':');
+      if (colon == std::string::npos) {
+        t.name = item;
+      } else {
+        t.name = item.substr(0, colon);
+        t.weight = std::strtod(item.c_str() + colon + 1, nullptr);
+      }
+      SEI_CHECK_MSG(!t.name.empty(), "tenant spec has an empty name: " << spec);
+      SEI_CHECK_MSG(t.weight > 0.0,
+                    "tenant " << t.name << " needs a positive weight");
+      out.push_back(std::move(t));
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+AdmissionController::AdmissionController(std::vector<TenantConfig> tenants)
+    : tenants_(std::move(tenants)) {
+  SEI_CHECK_MSG(!tenants_.empty(), "at least one tenant required");
+  for (const TenantConfig& t : tenants_) {
+    SEI_CHECK_MSG(t.weight > 0.0, "tenant weight must be positive");
+    SEI_CHECK_MSG(t.queue_capacity > 0, "tenant queue capacity must be > 0");
+  }
+  queues_.resize(tenants_.size());
+  passes_.assign(tenants_.size(), 0.0);
+  counters_.resize(tenants_.size());
+}
+
+std::optional<ErrorCode> AdmissionController::try_admit(
+    std::unique_ptr<FleetRequest>& req) {
+  const int t = req->tenant;
+  SEI_CHECK_MSG(t >= 0 && t < tenant_count(), "unknown tenant " << t);
+  const std::size_t ti = static_cast<std::size_t>(t);
+  TenantCounters& c = counters_[ti];
+  ++c.submitted;
+  const TenantConfig& cfg = tenants_[ti];
+  if (cfg.energy_quota_j > 0.0 && c.energy_j >= cfg.energy_quota_j) {
+    ++c.quota_rejections;
+    return ErrorCode::kQuotaExceeded;
+  }
+  if (static_cast<int>(queues_[ti].size()) >= cfg.queue_capacity) {
+    ++c.queue_rejections;
+    return ErrorCode::kQueueFull;
+  }
+  // A tenant returning from idle resumes at the current virtual time, not
+  // at its stale pass — otherwise it would monopolize the scheduler for as
+  // long as it had been away.
+  if (queues_[ti].empty()) passes_[ti] = std::max(passes_[ti], global_pass_);
+  queues_[ti].push_back(std::move(req));
+  ++pending_;
+  ++c.admitted;
+  return std::nullopt;
+}
+
+std::unique_ptr<FleetRequest> AdmissionController::pop_next() {
+  int best = -1;
+  for (int t = 0; t < tenant_count(); ++t) {
+    const std::size_t ti = static_cast<std::size_t>(t);
+    if (queues_[ti].empty()) continue;
+    if (best < 0 || passes_[ti] < passes_[static_cast<std::size_t>(best)])
+      best = t;
+  }
+  if (best < 0) return nullptr;
+  const std::size_t bi = static_cast<std::size_t>(best);
+  std::unique_ptr<FleetRequest> req = std::move(queues_[bi].front());
+  queues_[bi].pop_front();
+  --pending_;
+  global_pass_ = passes_[bi];
+  passes_[bi] += 1.0 / tenants_[bi].weight;
+  return req;
+}
+
+void AdmissionController::charge_energy(int t, double joules) {
+  counters_.at(static_cast<std::size_t>(t)).energy_j += joules;
+}
+
+void AdmissionController::restore_scheduler(int t, double pass,
+                                            double energy_j) {
+  passes_.at(static_cast<std::size_t>(t)) = pass;
+  counters_.at(static_cast<std::size_t>(t)).energy_j = energy_j;
+}
+
+double jain_fairness(const std::vector<double>& allocations) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (allocations.empty() || sum_sq <= 0.0) return 1.0;
+  return sum * sum /
+         (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+}  // namespace sei::serve

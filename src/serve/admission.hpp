@@ -1,0 +1,148 @@
+// Weighted-fair admission control for multi-tenant serving.
+//
+// Each tenant gets its own bounded queue (one greedy tenant can fill only
+// its own backlog, never the fleet's), a weighted-fair service share, and an
+// optional energy quota billed from the live EnergyMeter accounting. The
+// scheduler is stride-based: every pop advances the popped tenant's virtual
+// pass by 1/weight, and the next request always comes from the backlogged
+// tenant with the smallest pass (ties broken by tenant index). Over any
+// saturated interval, tenant service rates therefore converge to the weight
+// ratios — the property the Jain-fairness gate in bench_serving measures.
+//
+// AdmissionController is deliberately lock-free *and* thread-unsafe: it is
+// the pure, deterministic policy core. serve::MicroBatcher owns the mutex
+// and condition variable and is the only concurrent entry point
+// (docs/serving.md §10). Keeping the policy single-threaded is what makes
+// pop order — and with it the fleet's replay contract — reproducible.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/result.hpp"
+#include "exec/cancel.hpp"
+
+namespace sei::serve {
+
+struct TenantConfig {
+  std::string name;
+  double weight = 1.0;          // weighted-fair service share (> 0)
+  int queue_capacity = 64;      // per-tenant admission bound
+  // Total metered energy this tenant may consume, in joules; once the
+  // tenant's bill crosses the quota, new requests are rejected with
+  // kQuotaExceeded. 0 = unmetered.
+  double energy_quota_j = 0.0;
+};
+
+/// Parses "name:weight" tenant specs ("A:3,B:1" → two tenants). A missing
+/// weight means 1. Capacity/quota keep their defaults.
+std::vector<TenantConfig> parse_tenant_specs(const std::string& spec);
+
+enum class FleetResponseStatus {
+  kOk,        // answered by a healthy SEI shard
+  kDegraded,  // answered on the shared ADC fallback path
+  kRejected,  // no label: see FleetResponse::error
+};
+
+const char* to_string(FleetResponseStatus s);
+
+struct FleetResponse {
+  FleetResponseStatus status = FleetResponseStatus::kRejected;
+  int label = -1;                          // kOk / kDegraded only
+  ErrorCode error = ErrorCode::kInternal;  // kRejected only
+  int tenant = -1;
+  int shard = -1;             // serving shard; -1 = fallback path / none
+  std::uint64_t ticket = 0;   // fleet-wide admission ticket (if admitted)
+  std::uint64_t sequence = 0; // shard-local RNG stream index (if served)
+  double latency_ms = 0.0;    // submit → response
+};
+
+/// One queued request. The CancelToken is armed with the deadline at submit
+/// time, so both the batch-assembly drop (MicroBatcher) and the mid-eval
+/// check inside try_predict observe the same clock edge.
+struct FleetRequest {
+  int tenant = -1;
+  std::vector<float> image;
+  std::chrono::steady_clock::time_point enqueued;
+  std::chrono::steady_clock::time_point deadline;  // epoch 0 = none
+  exec::CancelToken token;
+  std::promise<FleetResponse> promise;
+};
+
+/// Per-tenant admission/service accounting (all counts since start()).
+struct TenantCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t queue_rejections = 0;  // kQueueFull at admission
+  std::uint64_t quota_rejections = 0;  // kQuotaExceeded at admission
+  std::uint64_t dropped_expired = 0;   // deadline passed at batch assembly
+  std::uint64_t served = 0;            // popped and dispatched (any outcome)
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t rejected = 0;          // all rejection codes post-admission
+  double energy_j = 0.0;               // metered energy billed so far
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(std::vector<TenantConfig> tenants);
+
+  int tenant_count() const { return static_cast<int>(tenants_.size()); }
+  const TenantConfig& tenant(int t) const {
+    return tenants_.at(static_cast<std::size_t>(t));
+  }
+
+  /// Admits `req` into its tenant's queue (returns nullopt and takes
+  /// ownership), or rejects with kQueueFull / kQuotaExceeded (ownership
+  /// stays with the caller so it can complete the promise).
+  std::optional<ErrorCode> try_admit(std::unique_ptr<FleetRequest>& req);
+
+  /// Pops the weighted-fair next request (smallest virtual pass among
+  /// backlogged tenants, lowest index on ties); nullptr when idle.
+  std::unique_ptr<FleetRequest> pop_next();
+
+  std::size_t pending() const { return pending_; }
+  std::size_t pending(int t) const {
+    return queues_.at(static_cast<std::size_t>(t)).size();
+  }
+
+  /// Bills metered energy against the tenant's quota.
+  void charge_energy(int t, double joules);
+
+  TenantCounters& counters(int t) {
+    return counters_.at(static_cast<std::size_t>(t));
+  }
+  const TenantCounters& counters(int t) const {
+    return counters_.at(static_cast<std::size_t>(t));
+  }
+
+  // Scheduler state, checkpointed by the fleet so a resumed process pops a
+  // re-submitted backlog in the same weighted-fair order.
+  double pass(int t) const { return passes_.at(static_cast<std::size_t>(t)); }
+  double global_pass() const { return global_pass_; }
+  void restore_scheduler(int t, double pass, double energy_j);
+  void restore_global_pass(double pass) { global_pass_ = pass; }
+
+ private:
+  std::vector<TenantConfig> tenants_;
+  std::vector<std::deque<std::unique_ptr<FleetRequest>>> queues_;
+  std::vector<double> passes_;   // virtual start time per tenant
+  std::vector<TenantCounters> counters_;
+  double global_pass_ = 0.0;     // pass of the most recent pop
+  std::size_t pending_ = 0;
+};
+
+/// Jain's fairness index over per-tenant (weight-normalized) allocations:
+/// (Σx)² / (n·Σx²) ∈ [1/n, 1]; 1 = perfectly proportional service. Empty
+/// or all-zero input yields 1 (nothing was unfair).
+double jain_fairness(const std::vector<double>& allocations);
+
+}  // namespace sei::serve

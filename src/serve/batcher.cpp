@@ -1,0 +1,106 @@
+#include "serve/batcher.hpp"
+
+#include <utility>
+
+namespace sei::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void reject(FleetRequest& req, ErrorCode code) {
+  FleetResponse r;
+  r.status = FleetResponseStatus::kRejected;
+  r.error = code;
+  r.tenant = req.tenant;
+  r.latency_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - req.enqueued)
+          .count();
+  req.promise.set_value(std::move(r));
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(AdmissionController& admission, BatcherConfig cfg)
+    : admission_(admission), cfg_(cfg) {
+  SEI_CHECK_MSG(cfg_.max_batch > 0, "max_batch must be positive");
+}
+
+std::future<FleetResponse> MicroBatcher::submit(
+    std::unique_ptr<FleetRequest> req) {
+  std::future<FleetResponse> fut = req->promise.get_future();
+  std::optional<ErrorCode> rejected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_)
+      rejected = ErrorCode::kUnavailable;
+    else
+      rejected = admission_.try_admit(req);
+  }
+  if (rejected) {
+    reject(*req, *rejected);
+  } else {
+    cv_.notify_one();
+  }
+  return fut;
+}
+
+std::vector<std::unique_ptr<FleetRequest>> MicroBatcher::next_batch() {
+  std::vector<std::unique_ptr<FleetRequest>> batch;
+  batch.reserve(static_cast<std::size_t>(cfg_.max_batch));
+  std::unique_lock<std::mutex> lock(mu_);
+  // Loop: a pop round can come up empty-handed when every pending request
+  // had already expired — that is not the drained-shutdown signal.
+  while (batch.empty()) {
+    cv_.wait(lock, [this] { return admission_.pending() > 0 || closed_; });
+    if (admission_.pending() == 0) return batch;  // closed and drained
+
+    if (cfg_.linger.count() > 0 && !closed_ &&
+        admission_.pending() < static_cast<std::size_t>(cfg_.max_batch)) {
+      // Linger briefly for stragglers; a full batch or close() cuts it
+      // short.
+      cv_.wait_for(lock, cfg_.linger, [this] {
+        return admission_.pending() >=
+                   static_cast<std::size_t>(cfg_.max_batch) ||
+               closed_;
+      });
+    }
+
+    while (static_cast<int>(batch.size()) < cfg_.max_batch) {
+      std::unique_ptr<FleetRequest> req = admission_.pop_next();
+      if (!req) break;
+      if (req->token.expired()) {
+        // Dropped at assembly: the deadline (or a cancel) already fired, so
+        // evaluating it would only burn crossbar energy on a dead answer.
+        ++stats_.dropped_expired;
+        ++admission_.counters(req->tenant).dropped_expired;
+        reject(*req, req->token.to_error().code);
+        continue;
+      }
+      batch.push_back(std::move(req));
+    }
+  }
+  ++stats_.batches;
+  stats_.coalesced += batch.size();
+  return batch;
+}
+
+void MicroBatcher::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool MicroBatcher::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+BatcherStats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sei::serve

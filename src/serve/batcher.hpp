@@ -1,0 +1,87 @@
+// Dynamic micro-batching over the weighted-fair admission queues.
+//
+// MicroBatcher is the concurrency boundary of the fleet: submitters from
+// any thread push requests through submit(), and the single dispatcher
+// thread blocks in next_batch() until work arrives, then coalesces up to
+// max_batch requests (popped in the AdmissionController's weighted-fair
+// order) into one batch for a single parallel_for evaluation. A short
+// linger window lets closely-spaced arrivals ride the same batch instead of
+// paying one dispatch each.
+//
+// Deadline-expired requests are dropped here, at batch-assembly time —
+// their exec::CancelToken (armed at submit) is polled as each request is
+// popped, and an expired one completes immediately with kDeadlineExceeded
+// instead of wasting a crossbar evaluation on an answer nobody is waiting
+// for. Requests that expire *mid-evaluation* are still caught by the same
+// token inside try_predict.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/admission.hpp"
+
+namespace sei::serve {
+
+struct BatcherConfig {
+  int max_batch = 32;  // requests coalesced into one parallel_for dispatch
+  // After the first request is seen, wait up to this long for more arrivals
+  // before dispatching a partial batch. 0 = dispatch immediately.
+  std::chrono::microseconds linger{0};
+};
+
+/// Outcome counters for drops performed during batch assembly.
+struct BatcherStats {
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced = 0;        // requests dispatched through batches
+  std::uint64_t dropped_expired = 0;  // completed kDeadlineExceeded at pop
+};
+
+class MicroBatcher {
+ public:
+  MicroBatcher(AdmissionController& admission, BatcherConfig cfg);
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Thread-safe admission: completes the promise immediately on rejection
+  /// (queue full, quota exhausted, batcher closed) and wakes the dispatcher
+  /// on success. Returns the future either way.
+  std::future<FleetResponse> submit(std::unique_ptr<FleetRequest> req);
+
+  /// Blocks until requests are pending or close() was called, then pops up
+  /// to max_batch requests in weighted-fair order, dropping expired ones.
+  /// An empty vector means "closed and fully drained" — the dispatcher's
+  /// exit condition. Must only be called from one thread.
+  std::vector<std::unique_ptr<FleetRequest>> next_batch();
+
+  /// Stops admitting (kUnavailable) and unblocks next_batch; already-queued
+  /// requests still come out of next_batch so a graceful stop drains.
+  void close();
+
+  bool closed() const;
+  BatcherStats stats() const;
+
+  /// Runs `fn` under the admission lock — the only sanctioned way for the
+  /// dispatcher to touch AdmissionController state (energy billing,
+  /// counters, scheduler checkpoint/restore) while submitters are live.
+  template <typename Fn>
+  auto with_admission(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fn(admission_);
+  }
+
+ private:
+  AdmissionController& admission_;
+  BatcherConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  BatcherStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace sei::serve

@@ -86,6 +86,13 @@ class CircuitBreaker {
   int trips() const { return trips_; }
   const std::vector<BreakerEvent>& events() const { return events_; }
 
+  /// Reinstates checkpointed state without logging a transition — resume is
+  /// not a state change, and the event log restarts per process.
+  void restore(BreakerState state, int trips) {
+    state_ = state;
+    trips_ = trips;
+  }
+
  private:
   void transition(BreakerState to, std::uint64_t at_served, int tier,
                   const std::string& note) {

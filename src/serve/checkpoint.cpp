@@ -1,6 +1,8 @@
 #include "serve/checkpoint.hpp"
 
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "common/io.hpp"
@@ -50,6 +52,25 @@ Status save_checkpoint(const core::SeiNetwork& net,
     return Error{ErrorCode::kIo,
                  std::string("checkpoint save failed: ") + e.what()};
   }
+}
+
+Status save_checkpoint_with_retry(const core::SeiNetwork& net,
+                                  const RuntimeSnapshot& snap,
+                                  const std::string& path,
+                                  const CheckpointRetryPolicy& policy) {
+  const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  Status last = ok_status();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1 && policy.backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(policy.backoff_ms << (attempt - 2)));
+    }
+    last = policy.inject_failure ? policy.inject_failure(attempt)
+                                 : save_checkpoint(net, snap, path);
+    if (last.ok()) return last;
+    if (last.error().code != ErrorCode::kIo) return last;  // not transient
+  }
+  return last;
 }
 
 Result<RuntimeSnapshot> load_checkpoint(core::SeiNetwork& net,

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/result.hpp"
@@ -36,6 +37,26 @@ struct RuntimeSnapshot {
 /// atomically and durably. Returns kIo on filesystem failure.
 Status save_checkpoint(const core::SeiNetwork& net,
                        const RuntimeSnapshot& snap, const std::string& path);
+
+/// Retry policy for transient checkpoint IO failures (full disk cleared by
+/// a reaper, NFS blips, fd exhaustion). Checkpoints are the fleet's only
+/// durability mechanism, so one transient miss should not silently widen
+/// the replay gap to two checkpoint intervals.
+struct CheckpointRetryPolicy {
+  int max_attempts = 3;     // total tries, including the first
+  int backoff_ms = 2;       // sleep before retry n is backoff_ms << (n-1)
+  // Test hook: when set, consulted *instead of* touching the filesystem for
+  // each attempt (1-based); a non-ok status simulates that attempt failing.
+  std::function<Status(int attempt)> inject_failure;
+};
+
+/// save_checkpoint with bounded retry + exponential backoff. Only kIo is
+/// retried — kCorrupt and friends are deterministic and would fail again.
+/// Returns the last error when every attempt fails.
+Status save_checkpoint_with_retry(const core::SeiNetwork& net,
+                                  const RuntimeSnapshot& snap,
+                                  const std::string& path,
+                                  const CheckpointRetryPolicy& policy);
 
 /// Restores a checkpoint written by save_checkpoint into `net`, which must
 /// have been constructed from the same quantized network and hardware

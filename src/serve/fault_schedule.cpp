@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "core/bitpack.hpp"
+#include "core/mapping.hpp"
 
 namespace sei::serve {
 namespace {
@@ -31,7 +33,14 @@ void apply_fault(core::SeiNetwork& net, const FaultEvent& ev,
     if (ev.stage >= 0 && ev.stage != s) continue;
     Rng rng = Rng::fork(seed, (static_cast<std::uint64_t>(event_index) << 16) |
                                   static_cast<std::uint64_t>(s));
-    damage_stage(net.layer(s), ev, rng);
+    core::MappedLayer& m = net.layer(s);
+    damage_stage(m, ev, rng);
+    // The packed AND+popcount decomposition is derived from `eff` at map
+    // time; without a rebuild the packed engine would keep evaluating the
+    // pre-fault weights and the damage would be invisible to serving.
+    m.packed = core::build_packed_stage(m.eff, m.geom.rows, m.geom.cols,
+                                        m.row_to_block, m.block_count,
+                                        net.config().input_bits);
   }
 }
 

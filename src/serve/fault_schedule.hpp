@@ -36,4 +36,27 @@ struct FaultSchedule {
 void apply_fault(core::SeiNetwork& net, const FaultEvent& ev,
                  std::uint64_t seed, int event_index);
 
+/// One scripted fault-storm strike against a specific fleet shard, keyed on
+/// the fleet-wide dispatch counter (FaultEvent::at_served is ignored here —
+/// the storm clock is the fleet's, not the shard's, so a parked shard can
+/// still be hit again while it sheds).
+struct StormEvent {
+  std::uint64_t at_dispatched = 0;  // fires when total dispatches reach this
+  int shard = 0;                    // target shard index
+  FaultEvent fault;
+  // How long the hostile condition persists, in fleet dispatches. While a
+  // strike is active, any repair re-lands the identical damage right after
+  // remapping — a re-flash cannot outrun a storm that is still overhead —
+  // so the shard parks and traffic fails over to its replicas. Once the
+  // fleet dispatch counter passes at_dispatched + duration, the periodic
+  // repair re-attempt heals the shard for good. 0 = one-shot strike
+  // (repairable immediately).
+  std::uint64_t duration = 0;
+};
+
+struct StormSchedule {
+  std::vector<StormEvent> events;  // fired in at_dispatched order
+  std::uint64_t seed = 20260805;
+};
+
 }  // namespace sei::serve

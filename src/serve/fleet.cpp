@@ -1,0 +1,870 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "arch/live_energy.hpp"
+#include "common/io.hpp"
+#include "core/mapping.hpp"
+#include "exec/thread_pool.hpp"
+#include "telemetry/span.hpp"
+
+namespace sei::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Maintenance evaluations live in their own RNG index spaces, far away from
+// request sequence numbers (same layout as runtime.cpp) — probes and
+// recovery measurements can never collide with the request stream's draws.
+constexpr long long kProbeIndexBase = 1LL << 40;
+constexpr long long kMeasureIndexBase = 1LL << 41;
+
+// Segment-flush chunking: finer than kEvalGrain because a micro-batch tops
+// out at max_batch (~32) items and still wants to spread over the pool.
+// Chunk boundaries depend only on (n, grain) so any thread count produces
+// the same per-item results.
+constexpr int kBatchGrain = 4;
+
+constexpr std::uint64_t kFleetMagic = 0x315446454c464553ULL;  // "SEFLET1"+pad
+constexpr std::uint32_t kFleetVersion = 1;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+FleetRuntime::FleetRuntime(std::vector<core::SeiNetwork*> shards,
+                           const quant::QNetwork& qnet,
+                           const data::Dataset& probes,
+                           const data::Dataset& calib, FleetConfig cfg,
+                           const core::AdcNetwork* fallback)
+    : qnet_(qnet),
+      calib_(calib),
+      cfg_(std::move(cfg)),
+      fallback_(fallback),
+      sei_meter_(arch::make_energy_meter(qnet, shards.at(0)->config(),
+                                         core::StructureKind::kSei)),
+      adc_meter_(arch::make_energy_meter(qnet, shards.at(0)->config(),
+                                         core::StructureKind::kBinInputAdc)),
+      admission_(cfg_.tenants),
+      batcher_(admission_, cfg_.batcher) {
+  SEI_CHECK_MSG(!shards.empty(), "at least one shard required");
+  SEI_CHECK_MSG(cfg_.checkpoint_every == 0 || !cfg_.checkpoint_dir.empty(),
+                "checkpoint_every requires checkpoint_dir");
+  shards_.reserve(shards.size());
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    core::SeiNetwork* net = shards[k];
+    SEI_CHECK_MSG(net != nullptr, "shard " << k << " is null");
+    SEI_CHECK_MSG(net->stage_count() == shards[0]->stage_count(),
+                  "shard " << k << " stage geometry differs from shard 0");
+    Shard sh{net, Sentinel(probes, cfg_.sentinel), CircuitBreaker(cfg_.breaker),
+             RuntimeSnapshot{}, 0, 0, 0, -1, 0, {}, {}};
+    if (!cfg_.checkpoint_dir.empty())
+      sh.ckpt_path =
+          cfg_.checkpoint_dir + "/shard" + std::to_string(k) + ".ckpt";
+    shards_.push_back(std::move(sh));
+  }
+
+  const int nt = admission_.tenant_count();
+  tenant_latencies_.resize(static_cast<std::size_t>(nt));
+  tenant_energy_.resize(static_cast<std::size_t>(nt));
+  billed_local_j_.assign(static_cast<std::size_t>(nt), 0.0);
+  manifest_passes_.assign(static_cast<std::size_t>(nt), 0.0);
+
+  auto& reg = telemetry::MetricsRegistry::global();
+  tenant_metrics_.resize(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    const std::string& name = cfg_.tenants[static_cast<std::size_t>(t)].name;
+    TenantMetrics& tm = tenant_metrics_[static_cast<std::size_t>(t)];
+    tm.ok = &reg.counter("fleet_requests_total{tenant=\"" + name +
+                         "\",status=\"ok\"}");
+    tm.degraded = &reg.counter("fleet_requests_total{tenant=\"" + name +
+                               "\",status=\"degraded\"}");
+    tm.rejected = &reg.counter("fleet_requests_total{tenant=\"" + name +
+                               "\",status=\"rejected\"}");
+    tm.latency = &reg.histogram(
+        "fleet_request_latency_ms{tenant=\"" + name + "\"}",
+        telemetry::latency_ms_buckets());
+  }
+  shard_metrics_.resize(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const std::string label = "{shard=\"" + std::to_string(k) + "\",to=\"";
+    ShardMetrics& sm = shard_metrics_[k];
+    sm.open = &reg.counter("fleet_shard_transitions_total" + label + "open\"}");
+    sm.closed =
+        &reg.counter("fleet_shard_transitions_total" + label + "closed\"}");
+    sm.fallback =
+        &reg.counter("fleet_shard_transitions_total" + label + "fallback\"}");
+    sm.shedding =
+        &reg.counter("fleet_shard_transitions_total" + label + "shedding\"}");
+  }
+  failovers_ctr_ = &reg.counter("fleet_failovers_total");
+  batches_ctr_ = &reg.counter("fleet_batches_total");
+  probes_ctr_ = &reg.counter("fleet_probes_total");
+  checkpoints_ctr_ = &reg.counter("fleet_checkpoints_total");
+}
+
+FleetRuntime::~FleetRuntime() { stop(); }
+
+std::string FleetRuntime::manifest_path() const {
+  return cfg_.checkpoint_dir + "/fleet.manifest";
+}
+
+void FleetRuntime::set_storm(StormSchedule storm) {
+  SEI_CHECK_MSG(!started_, "set_storm must be called before start()");
+  storm_ = std::move(storm);
+  std::sort(storm_.events.begin(), storm_.events.end(),
+            [](const StormEvent& a, const StormEvent& b) {
+              return a.at_dispatched < b.at_dispatched;
+            });
+  for (const StormEvent& ev : storm_.events)
+    SEI_CHECK_MSG(ev.shard >= 0 && ev.shard < shard_count(),
+                  "storm event targets unknown shard " << ev.shard);
+  storm_cursor_ = 0;
+}
+
+void FleetRuntime::start() {
+  SEI_CHECK_MSG(!started_ && !stopped_,
+                "a FleetRuntime runs one start()/stop() cycle");
+  started_ = true;
+  if (!cfg_.checkpoint_dir.empty()) {
+    ensure_directory(cfg_.checkpoint_dir);
+    resumed_ = try_resume();
+  }
+  if (resumed_) {
+    // The manifest's dispatch counter tells us which storm strikes already
+    // landed (strictly earlier ones — an event at exactly this counter has
+    // not fired yet; it fires before the next dispatch).
+    while (storm_cursor_ < storm_.events.size() &&
+           storm_.events[storm_cursor_].at_dispatched < total_dispatched_)
+      ++storm_cursor_;
+  } else {
+    // Cold start: per-shard baselines (measure_serial 0 of each shard).
+    for (Shard& sh : shards_)
+      sh.sentinel.set_baseline_pct(measure_probe_accuracy(sh));
+  }
+  running_.store(true);
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+void FleetRuntime::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  batcher_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  running_.store(false);
+  std::lock_guard<std::mutex> fl(fleet_mu_);
+  if (!cfg_.checkpoint_dir.empty()) write_checkpoints();
+  publish_energy_once();
+}
+
+void FleetRuntime::publish_energy_once() {
+  if (energy_published_) return;
+  energy_published_ = true;
+  auto& reg = telemetry::MetricsRegistry::global();
+  for (int t = 0; t < tenant_count(); ++t)
+    telemetry::publish_energy(
+        reg, "tenant_" + cfg_.tenants[static_cast<std::size_t>(t)].name,
+        tenant_energy_[static_cast<std::size_t>(t)]);
+  telemetry::publish_energy(reg, "fleet_probe", energy_.probe);
+}
+
+std::future<FleetResponse> FleetRuntime::submit(int tenant,
+                                                std::span<const float> image) {
+  return submit(tenant, image, cfg_.default_deadline);
+}
+
+std::future<FleetResponse> FleetRuntime::submit(
+    int tenant, std::span<const float> image,
+    std::chrono::milliseconds deadline) {
+  auto req = std::make_unique<FleetRequest>();
+  req->tenant = tenant;
+  req->image.assign(image.begin(), image.end());
+  req->enqueued = Clock::now();
+  if (deadline.count() > 0) {
+    req->deadline = req->enqueued + deadline;
+    req->token.set_deadline(req->deadline);
+  }
+  return batcher_.submit(std::move(req));
+}
+
+void FleetRuntime::dispatcher_loop() {
+  while (true) {
+    std::vector<std::unique_ptr<FleetRequest>> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // closed and fully drained
+    batches_ctr_->add();
+    process_batch(std::move(batch));
+  }
+}
+
+void FleetRuntime::record_failover(int tenant, int home, int to) {
+  failovers_.push_back({total_dispatched_, tenant, home, to});
+  failovers_ctr_->add();
+}
+
+void FleetRuntime::process_batch(
+    std::vector<std::unique_ptr<FleetRequest>> batch) {
+  telemetry::Span span("fleet.batch");
+  std::lock_guard<std::mutex> fl(fleet_mu_);
+  const int nshards = shard_count();
+  std::vector<Pending> seg;
+  seg.reserve(batch.size());
+
+  for (std::unique_ptr<FleetRequest>& reqp : batch) {
+    // 1. Storm strikes that came due land before the next dispatch. The
+    // segment must flush first: pending evaluations were assigned against
+    // the pre-strike weights.
+    while (storm_cursor_ < storm_.events.size() &&
+           storm_.events[storm_cursor_].at_dispatched <= total_dispatched_) {
+      flush(seg);
+      const StormEvent& ev = storm_.events[storm_cursor_];
+      Shard& hit = shards_[static_cast<std::size_t>(ev.shard)];
+      apply_fault(*hit.net, ev.fault, storm_.seed,
+                  static_cast<int>(storm_cursor_));
+      if (ev.duration > 0) {
+        hit.active_storm = static_cast<std::int64_t>(storm_cursor_);
+        hit.storm_until = ev.at_dispatched + ev.duration;
+      }
+      ++storm_cursor_;
+    }
+
+    // 2. Route: home replica by ticket, ring failover to the next closed
+    // shard, then the shared ADC fallback, then shed.
+    const std::uint64_t ticket = next_ticket_++;
+    const int home = static_cast<int>(ticket % static_cast<std::uint64_t>(nshards));
+    int target = -1;
+    for (int k = 0; k < nshards; ++k) {
+      const int cand = (home + k) % nshards;
+      if (shards_[static_cast<std::size_t>(cand)].breaker.state() ==
+          BreakerState::kClosed) {
+        target = cand;
+        break;
+      }
+    }
+
+    Pending p;
+    p.req = std::move(reqp);
+    p.ticket = ticket;
+    const int tenant = p.req->tenant;
+
+    // Dispatch-time mirror of the stride scheduler (see fleet.hpp).
+    const std::size_t ti = static_cast<std::size_t>(tenant);
+    manifest_gpass_ = manifest_passes_[ti];
+    manifest_passes_[ti] += 1.0 / cfg_.tenants[ti].weight;
+
+    ++total_dispatched_;
+    if (target >= 0) {
+      if (target != home) record_failover(tenant, home, target);
+      Shard& sh = shards_[static_cast<std::size_t>(target)];
+      p.shard = target;
+      p.sequence = sh.snap.next_sequence++;
+      ++sh.snap.requests_served;
+      seg.push_back(std::move(p));
+    } else if (fallback_ != nullptr) {
+      record_failover(tenant, home, kFallbackPath);
+      p.shard = kFallbackPath;
+      ++fallback_served_;
+      seg.push_back(std::move(p));
+    } else {
+      record_failover(tenant, home, kShedPath);
+      ++shed_;
+      batcher_.with_admission([&](AdmissionController& adm) {
+        TenantCounters& c = adm.counters(tenant);
+        ++c.served;
+        ++c.rejected;
+      });
+      FleetResponse r;
+      r.status = FleetResponseStatus::kRejected;
+      r.error = ErrorCode::kShedding;
+      r.shard = kShedPath;
+      complete(p, std::move(r));
+    }
+
+    // 3. Sentinel probe on the serving shard at its own cadence.
+    if (target >= 0) {
+      Shard& sh = shards_[static_cast<std::size_t>(target)];
+      if (sh.breaker.state() == BreakerState::kClosed &&
+          sh.snap.requests_served - sh.last_probe_served >=
+              static_cast<std::uint64_t>(sh.sentinel.config().probe_every)) {
+        sh.last_probe_served = sh.snap.requests_served;
+        run_probe(target, seg);
+      }
+    }
+
+    // 4. Parked shards periodically re-attempt tier-1 repair, clocked on
+    // the fleet dispatch counter (their own served counter is frozen).
+    for (int k = 0; k < nshards; ++k) {
+      Shard& sh = shards_[static_cast<std::size_t>(k)];
+      const BreakerState st = sh.breaker.state();
+      if ((st == BreakerState::kFallback || st == BreakerState::kShedding) &&
+          total_dispatched_ - sh.last_reattempt_dispatched >=
+              static_cast<std::uint64_t>(cfg_.breaker.reattempt_interval)) {
+        sh.last_reattempt_dispatched = total_dispatched_;
+        flush(seg);  // repair mutates the shard's weights
+        try_reopen(k);
+      }
+    }
+
+    // 5. Durable checkpoint set. Flush first so every dispatched request's
+    // energy bill is inside the manifest — a resumed run re-dispatches
+    // nothing before this counter, so nothing may be half-billed.
+    if (cfg_.checkpoint_every > 0 &&
+        total_dispatched_ - last_checkpoint_dispatched_ >=
+            static_cast<std::uint64_t>(cfg_.checkpoint_every)) {
+      last_checkpoint_dispatched_ = total_dispatched_;
+      flush(seg);
+      write_checkpoints();
+    }
+  }
+  flush(seg);
+}
+
+void FleetRuntime::flush(std::vector<Pending>& seg) {
+  if (seg.empty()) return;
+  const int n = static_cast<int>(seg.size());
+
+  struct Outcome {
+    bool ok = false;
+    int label = -1;
+    ErrorCode err = ErrorCode::kInternal;
+  };
+  std::vector<Outcome> out(static_cast<std::size_t>(n));
+
+  // One deterministic parallel evaluation over the segment: per-chunk
+  // contexts, per-item counter-based RNG streams, no metering on the hot
+  // path (energy is bulk-charged below at the price-list rate).
+  exec::parallel_for_chunks(n, kBatchGrain, [&](int lo, int hi) {
+    core::EvalContext ctx;
+    for (int i = lo; i < hi; ++i) {
+      Pending& p = seg[static_cast<std::size_t>(i)];
+      ctx.cancel = &p.req->token;
+      Result<int> res =
+          p.shard >= 0
+              ? shards_[static_cast<std::size_t>(p.shard)].net->try_predict(
+                    p.req->image, ctx, static_cast<long long>(p.sequence))
+              : fallback_->try_predict(p.req->image, ctx);
+      ctx.cancel = nullptr;
+      Outcome& o = out[static_cast<std::size_t>(i)];
+      if (res.ok()) {
+        o.ok = true;
+        o.label = res.value();
+      } else {
+        o.err = res.code();
+      }
+    }
+  });
+
+  // Bulk energy: each completed evaluation costs the full per-picture
+  // price of its path. Abandoned mid-eval work (deadline/cancel) is not
+  // billed — the accounting is per delivered answer, and billing partial
+  // stage walks would make tenant bills timing-dependent.
+  const int nt = tenant_count();
+  std::vector<std::uint64_t> sei_n(static_cast<std::size_t>(nt), 0);
+  std::vector<std::uint64_t> adc_n(static_cast<std::size_t>(nt), 0);
+  for (int i = 0; i < n; ++i) {
+    const Pending& p = seg[static_cast<std::size_t>(i)];
+    if (!out[static_cast<std::size_t>(i)].ok) continue;
+    auto& counts = p.shard >= 0 ? sei_n : adc_n;
+    ++counts[static_cast<std::size_t>(p.req->tenant)];
+  }
+  for (int t = 0; t < nt; ++t) {
+    const std::size_t ti = static_cast<std::size_t>(t);
+    if (sei_n[ti] > 0) {
+      sei_meter_.charge_stages(0, sei_meter_.stage_count(), sei_n[ti],
+                               tenant_energy_[ti]);
+      tenant_energy_[ti].images += sei_n[ti];
+      sei_meter_.charge_stages(0, sei_meter_.stage_count(), sei_n[ti],
+                               energy_.sei);
+      energy_.sei.images += sei_n[ti];
+    }
+    if (adc_n[ti] > 0) {
+      adc_meter_.charge_stages(0, adc_meter_.stage_count(), adc_n[ti],
+                               tenant_energy_[ti]);
+      tenant_energy_[ti].images += adc_n[ti];
+      adc_meter_.charge_stages(0, adc_meter_.stage_count(), adc_n[ti],
+                               energy_.adc);
+      energy_.adc.images += adc_n[ti];
+    }
+  }
+
+  // Admission bookkeeping in one lock hold: quota billing deltas plus
+  // per-tenant outcome counters for the whole segment.
+  std::vector<std::uint64_t> ok_n(static_cast<std::size_t>(nt), 0);
+  std::vector<std::uint64_t> degraded_n(static_cast<std::size_t>(nt), 0);
+  std::vector<std::uint64_t> rejected_n(static_cast<std::size_t>(nt), 0);
+  for (int i = 0; i < n; ++i) {
+    const Pending& p = seg[static_cast<std::size_t>(i)];
+    const Outcome& o = out[static_cast<std::size_t>(i)];
+    const std::size_t ti = static_cast<std::size_t>(p.req->tenant);
+    if (!o.ok)
+      ++rejected_n[ti];
+    else if (p.shard >= 0)
+      ++ok_n[ti];
+    else
+      ++degraded_n[ti];
+  }
+  batcher_.with_admission([&](AdmissionController& adm) {
+    for (int t = 0; t < nt; ++t) {
+      const std::size_t ti = static_cast<std::size_t>(t);
+      TenantCounters& c = adm.counters(t);
+      c.served += ok_n[ti] + degraded_n[ti] + rejected_n[ti];
+      c.ok += ok_n[ti];
+      c.degraded += degraded_n[ti];
+      c.rejected += rejected_n[ti];
+      const double delta = tenant_energy_[ti].joules() - billed_local_j_[ti];
+      if (delta > 0.0) {
+        adm.charge_energy(t, delta);
+        billed_local_j_[ti] = tenant_energy_[ti].joules();
+      }
+    }
+  });
+
+  // Complete promises in segment (dispatch) order.
+  for (int i = 0; i < n; ++i) {
+    Pending& p = seg[static_cast<std::size_t>(i)];
+    const Outcome& o = out[static_cast<std::size_t>(i)];
+    FleetResponse r;
+    if (o.ok) {
+      r.status = p.shard >= 0 ? FleetResponseStatus::kOk
+                              : FleetResponseStatus::kDegraded;
+      r.label = o.label;
+    } else {
+      r.status = FleetResponseStatus::kRejected;
+      r.error = o.err;
+    }
+    r.shard = p.shard;
+    r.sequence = p.sequence;
+    complete(p, std::move(r));
+  }
+  seg.clear();
+}
+
+void FleetRuntime::complete(Pending& p, FleetResponse r) {
+  const int tenant = p.req->tenant;
+  r.tenant = tenant;
+  r.ticket = p.ticket;
+  r.latency_ms = ms_between(p.req->enqueued, Clock::now());
+  const std::size_t ti = static_cast<std::size_t>(tenant);
+  TenantMetrics& tm = tenant_metrics_[ti];
+  tm.latency->observe(r.latency_ms);
+  switch (r.status) {
+    case FleetResponseStatus::kOk: tm.ok->add(); break;
+    case FleetResponseStatus::kDegraded: tm.degraded->add(); break;
+    case FleetResponseStatus::kRejected: tm.rejected->add(); break;
+  }
+  tenant_latencies_[ti].push_back(r.latency_ms);
+  p.req->promise.set_value(std::move(r));
+}
+
+void FleetRuntime::run_probe(int k, std::vector<Pending>& seg) {
+  telemetry::Span span("fleet.probe");
+  probes_ctr_->add();
+  Shard& sh = shards_[static_cast<std::size_t>(k)];
+  const std::uint64_t cursor = sh.snap.probe_cursor++;
+  const int probe = static_cast<int>(
+      cursor % static_cast<std::uint64_t>(sh.sentinel.probe_count()));
+  telemetry::EnergyAccum eacc;
+  maint_ctx_.meter = &sei_meter_;
+  maint_ctx_.energy = &eacc;
+  const int predicted =
+      sh.net
+          ->try_predict(sh.sentinel.image(probe), maint_ctx_,
+                        kProbeIndexBase + static_cast<long long>(cursor))
+          .value();  // no token attached: cannot fail
+  maint_ctx_.meter = nullptr;
+  maint_ctx_.energy = nullptr;
+  energy_.probe.merge(eacc);
+  sh.sentinel.record(predicted == sh.sentinel.label(probe));
+  const double window = sh.sentinel.window_accuracy_pct();
+  if (sh.breaker.should_trip(window, sh.sentinel.baseline_pct())) {
+    flush(seg);  // the recovery ladder mutates this shard's weights
+    run_recovery(k, window);
+  }
+}
+
+double FleetRuntime::measure_probe_accuracy(Shard& sh) {
+  const std::uint64_t serial = sh.measure_serial++;
+  const int n = sh.sentinel.probe_count();
+  int correct = 0;
+  telemetry::EnergyAccum eacc;
+  maint_ctx_.meter = &sei_meter_;
+  maint_ctx_.energy = &eacc;
+  for (int i = 0; i < n; ++i) {
+    const long long index =
+        kMeasureIndexBase + static_cast<long long>(serial) * n + i;
+    if (sh.net->try_predict(sh.sentinel.image(i), maint_ctx_, index).value() ==
+        sh.sentinel.label(i))
+      ++correct;
+  }
+  maint_ctx_.meter = nullptr;
+  maint_ctx_.energy = nullptr;
+  energy_.probe.merge(eacc);
+  return 100.0 * correct / static_cast<double>(n);
+}
+
+void FleetRuntime::run_recovery(int k, double window_acc) {
+  telemetry::Span span("fleet.recovery");
+  Shard& sh = shards_[static_cast<std::size_t>(k)];
+  ShardMetrics& sm = shard_metrics_[static_cast<std::size_t>(k)];
+  const Clock::time_point t0 = Clock::now();
+  const std::uint64_t served = sh.snap.requests_served;
+  sh.breaker.trip(served, "sentinel window dropped to " +
+                              std::to_string(window_acc) + "%");
+  sm.open->add();
+  RecoveryRecord rec;
+  rec.tripped_at_served = served;
+  rec.acc_before_pct = window_acc;
+
+  const double baseline = sh.sentinel.baseline_pct();
+  bool closed = false;
+  double acc = window_acc;
+
+  // Tier 0: re-measure with backoff — transient noise clears itself.
+  for (int attempt = 0; attempt < cfg_.breaker.max_retries && !closed;
+       ++attempt) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(cfg_.breaker.retry_backoff_ms << attempt));
+    acc = measure_probe_accuracy(sh);
+    if (sh.breaker.recovered(acc, baseline)) {
+      rec.tier_reached = 0;
+      sh.breaker.close(served, 0, "re-measure recovered (transient)");
+      closed = true;
+    }
+  }
+
+  // Tier 1: remap through the repair hook + recalibrate thresholds.
+  if (!closed) {
+    rec.tier_reached = 1;
+    const bool repaired = attempt_repair(sh);
+    acc = measure_probe_accuracy(sh);
+    if (repaired && sh.breaker.recovered(acc, baseline)) {
+      sh.breaker.close(served, 1, "repair + recalibration restored accuracy");
+      closed = true;
+    }
+  }
+
+  // Tier 2/3: park the shard; traffic fails over to its replicas (and only
+  // past them to the shared ADC path / shedding). try_reopen() keeps
+  // re-attempting repair every reattempt_interval fleet dispatches.
+  if (!closed) {
+    if (fallback_ != nullptr) {
+      rec.tier_reached = 2;
+      sh.breaker.enter_fallback(served, "parked; traffic fails over");
+      sm.fallback->add();
+    } else {
+      rec.tier_reached = 3;
+      sh.breaker.enter_shedding(served, "parked; traffic fails over");
+      sm.shedding->add();
+    }
+    sh.last_reattempt_dispatched = total_dispatched_;
+  } else {
+    sh.sentinel.reset_window();
+    sm.closed->add();
+  }
+
+  rec.closed = closed;
+  rec.resolved_at_served = served;
+  rec.acc_after_pct = acc;
+  rec.duration_ms = ms_between(t0, Clock::now());
+  sh.recoveries.push_back(rec);
+}
+
+bool FleetRuntime::attempt_repair(Shard& sh) {
+  telemetry::Span span("fleet.repair");
+  // Remapping reprograms every stage from the quantized weights (fresh
+  // crossbars, repair hook re-applied), clearing in-service damage the way
+  // a field re-flash would.
+  for (int s = 0; s < sh.net->stage_count(); ++s)
+    sh.net->remap_layer(
+        s, core::default_row_order(qnet_.layers[static_cast<std::size_t>(s)],
+                                   sh.net->config()));
+  // A storm that is still overhead re-lands its damage on the fresh map —
+  // repair cannot outrun the environment; only the passage of (dispatch)
+  // time can. The identical RNG stream reproduces the identical damage, so
+  // a resumed run re-repairs to the same state.
+  if (sh.active_storm >= 0) {
+    if (total_dispatched_ < sh.storm_until) {
+      const StormEvent& ev =
+          storm_.events[static_cast<std::size_t>(sh.active_storm)];
+      apply_fault(*sh.net, ev.fault, storm_.seed,
+                  static_cast<int>(sh.active_storm));
+    } else {
+      sh.active_storm = -1;
+    }
+  }
+  const Result<reliability::CalibrationReport> cal =
+      reliability::try_recalibrate_thresholds(*sh.net, calib_,
+                                              cfg_.calibration);
+  if (!cal.ok())
+    std::fprintf(stderr, "warning: shard recalibration failed: %s\n",
+                 cal.error().message.c_str());
+  return cal.ok();
+}
+
+void FleetRuntime::try_reopen(int k) {
+  Shard& sh = shards_[static_cast<std::size_t>(k)];
+  const Clock::time_point t0 = Clock::now();
+  const bool repaired = attempt_repair(sh);
+  const double acc = measure_probe_accuracy(sh);
+  if (repaired && sh.breaker.recovered(acc, sh.sentinel.baseline_pct())) {
+    sh.sentinel.reset_window();
+    sh.breaker.close(sh.snap.requests_served, 1,
+                     "periodic repair restored accuracy");
+    shard_metrics_[static_cast<std::size_t>(k)].closed->add();
+    if (!sh.recoveries.empty() && !sh.recoveries.back().closed) {
+      RecoveryRecord& rec = sh.recoveries.back();
+      rec.closed = true;
+      rec.resolved_at_served = sh.snap.requests_served;
+      rec.acc_after_pct = acc;
+      rec.duration_ms += ms_between(t0, Clock::now());
+    }
+  }
+}
+
+void FleetRuntime::write_checkpoints() {
+  telemetry::Span span("fleet.checkpoint");
+  // Shard files first, manifest last: the manifest is the commit point of
+  // the set, so a crash mid-sequence leaves the previous manifest pointing
+  // at a consistent (older) fleet state.
+  for (Shard& sh : shards_) {
+    RuntimeSnapshot s = sh.snap;
+    s.checkpoint_epoch += 1;
+    const Status st =
+        save_checkpoint_with_retry(*sh.net, s, sh.ckpt_path,
+                                   cfg_.checkpoint_retry);
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: %s; fleet checkpoint set skipped\n",
+                   st.error().message.c_str());
+      return;
+    }
+    sh.snap.checkpoint_epoch = s.checkpoint_epoch;
+  }
+  const Status ms = save_manifest();
+  if (!ms.ok()) {
+    std::fprintf(stderr, "warning: %s\n", ms.error().message.c_str());
+    return;
+  }
+  checkpoints_ctr_->add();
+  ++checkpoints_;
+}
+
+Status FleetRuntime::save_manifest() {
+  // Tenant energy bills from the admission side (base + local billing).
+  const int nt = tenant_count();
+  std::vector<double> energy_j(static_cast<std::size_t>(nt), 0.0);
+  batcher_.with_admission([&](AdmissionController& adm) {
+    for (int t = 0; t < nt; ++t)
+      energy_j[static_cast<std::size_t>(t)] = adm.counters(t).energy_j;
+  });
+  try {
+    BinaryWriter w(manifest_path());
+    w.write_u64(kFleetMagic);
+    w.write_u32(kFleetVersion);
+    w.write_u64(next_ticket_);
+    w.write_u64(total_dispatched_);
+    w.write_u32(static_cast<std::uint32_t>(nt));
+    for (int t = 0; t < nt; ++t) {
+      const std::size_t ti = static_cast<std::size_t>(t);
+      w.write_string(cfg_.tenants[ti].name);
+      w.write_f64(manifest_passes_[ti]);
+      w.write_f64(energy_j[ti]);
+    }
+    w.write_f64(manifest_gpass_);
+    w.write_u32(static_cast<std::uint32_t>(shards_.size()));
+    for (const Shard& sh : shards_) {
+      w.write_u64(sh.snap.next_sequence);
+      w.write_u64(sh.snap.requests_served);
+      w.write_u64(sh.snap.probe_cursor);
+      w.write_u64(sh.snap.checkpoint_epoch);
+      w.write_u32(static_cast<std::uint32_t>(sh.breaker.state()));
+      w.write_i32(sh.breaker.trips());
+      w.write_f64(sh.sentinel.baseline_pct());
+      w.write_u64(sh.last_probe_served);
+      w.write_u64(sh.last_reattempt_dispatched);
+      w.write_u64(sh.measure_serial);
+      w.write_u64(static_cast<std::uint64_t>(sh.active_storm + 1));  // 0=none
+      w.write_u64(sh.storm_until);
+      w.write_u8_vec(sh.sentinel.window_outcomes());
+    }
+    w.commit();
+    return ok_status();
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kIo,
+                 std::string("fleet manifest save failed: ") + e.what()};
+  }
+}
+
+bool FleetRuntime::try_resume() {
+  const std::string path = manifest_path();
+  if (!file_exists(path)) return false;
+  const auto cold = [](const std::string& why) {
+    std::fprintf(stderr, "warning: %s; starting cold\n", why.c_str());
+    return false;
+  };
+  try {
+    BinaryReader r(path);
+    r.verify_crc();
+    if (r.read_u64() != kFleetMagic)
+      return cold("bad fleet manifest magic: " + path);
+    if (r.read_u32() != kFleetVersion)
+      return cold("unsupported fleet manifest version: " + path);
+    const std::uint64_t next_ticket = r.read_u64();
+    const std::uint64_t total_dispatched = r.read_u64();
+    const int nt = tenant_count();
+    if (r.read_u32() != static_cast<std::uint32_t>(nt))
+      return cold("fleet manifest tenant count mismatch: " + path);
+    std::vector<double> passes(static_cast<std::size_t>(nt));
+    std::vector<double> energy_j(static_cast<std::size_t>(nt));
+    for (int t = 0; t < nt; ++t) {
+      const std::size_t ti = static_cast<std::size_t>(t);
+      if (r.read_string() != cfg_.tenants[ti].name)
+        return cold("fleet manifest tenant name mismatch: " + path);
+      passes[ti] = r.read_f64();
+      energy_j[ti] = r.read_f64();
+    }
+    const double gpass = r.read_f64();
+    if (r.read_u32() != static_cast<std::uint32_t>(shards_.size()))
+      return cold("fleet manifest shard count mismatch: " + path);
+    struct ShardRecord {
+      RuntimeSnapshot snap;
+      std::uint32_t state = 0;
+      std::int32_t trips = 0;
+      double baseline_pct = 0.0;
+      std::uint64_t last_probe_served = 0;
+      std::uint64_t last_reattempt_dispatched = 0;
+      std::uint64_t measure_serial = 0;
+      std::int64_t active_storm = -1;
+      std::uint64_t storm_until = 0;
+      std::vector<std::uint8_t> window;
+    };
+    std::vector<ShardRecord> recs(shards_.size());
+    for (ShardRecord& rec : recs) {
+      rec.snap.next_sequence = r.read_u64();
+      rec.snap.requests_served = r.read_u64();
+      rec.snap.probe_cursor = r.read_u64();
+      rec.snap.checkpoint_epoch = r.read_u64();
+      rec.state = r.read_u32();
+      rec.trips = r.read_i32();
+      rec.baseline_pct = r.read_f64();
+      rec.last_probe_served = r.read_u64();
+      rec.last_reattempt_dispatched = r.read_u64();
+      rec.measure_serial = r.read_u64();
+      rec.active_storm = static_cast<std::int64_t>(r.read_u64()) - 1;
+      rec.storm_until = r.read_u64();
+      rec.window = r.read_u8_vec();
+      if (rec.state > static_cast<std::uint32_t>(BreakerState::kShedding))
+        return cold("fleet manifest breaker state out of range: " + path);
+      if (rec.active_storm >= 0 &&
+          static_cast<std::size_t>(rec.active_storm) >= storm_.events.size())
+        return cold("fleet manifest names a storm event not in the schedule: " +
+                    path);
+    }
+    if (r.remaining() != 0)
+      return cold("trailing bytes after fleet manifest payload: " + path);
+
+    // Network weights per shard. A failure here falls back to cold start;
+    // shards restored before the failure keep their checkpointed weights,
+    // which only matters for a corrupted set (never produced by a clean
+    // kill — save order makes the manifest the commit point).
+    for (Shard& sh : shards_) {
+      const Result<RuntimeSnapshot> res = load_checkpoint(*sh.net, sh.ckpt_path);
+      if (!res.ok()) return cold(res.error().message);
+    }
+
+    next_ticket_ = next_ticket;
+    total_dispatched_ = total_dispatched;
+    last_checkpoint_dispatched_ = total_dispatched;
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      Shard& sh = shards_[k];
+      const ShardRecord& rec = recs[k];
+      // Manifest counters are authoritative over the per-shard file's (the
+      // manifest commits the set; a shard file can be at most one epoch
+      // ahead after a crash mid-save).
+      sh.snap = rec.snap;
+      sh.breaker.restore(static_cast<BreakerState>(rec.state), rec.trips);
+      sh.sentinel.set_baseline_pct(rec.baseline_pct);
+      sh.sentinel.restore_window(rec.window);
+      sh.last_probe_served = rec.last_probe_served;
+      sh.last_reattempt_dispatched = rec.last_reattempt_dispatched;
+      sh.measure_serial = rec.measure_serial;
+      sh.active_storm = rec.active_storm;
+      sh.storm_until = rec.storm_until;
+    }
+    manifest_passes_ = passes;
+    manifest_gpass_ = gpass;
+    billed_local_j_.assign(static_cast<std::size_t>(nt), 0.0);
+    batcher_.with_admission([&](AdmissionController& adm) {
+      for (int t = 0; t < nt; ++t) {
+        const std::size_t ti = static_cast<std::size_t>(t);
+        adm.restore_scheduler(t, passes[ti], energy_j[ti]);
+      }
+      adm.restore_global_pass(gpass);
+    });
+    return true;
+  } catch (const std::exception& e) {
+    return cold(std::string("fleet manifest load failed: ") + e.what());
+  }
+}
+
+FleetStats FleetRuntime::stats() const {
+  FleetStats fs;
+  fs.batcher = batcher_.stats();
+  const int nt = tenant_count();
+  fs.tenants.resize(static_cast<std::size_t>(nt));
+  batcher_.with_admission([&](AdmissionController& adm) {
+    for (int t = 0; t < nt; ++t)
+      fs.tenants[static_cast<std::size_t>(t)] = adm.counters(t);
+  });
+  std::lock_guard<std::mutex> fl(fleet_mu_);
+  fs.total_dispatched = total_dispatched_;
+  fs.fallback_served = fallback_served_;
+  fs.shed = shed_;
+  fs.failovers = failovers_.size();
+  fs.checkpoints = checkpoints_;
+  fs.shards.reserve(shards_.size());
+  for (const Shard& sh : shards_) {
+    ShardStats ss;
+    ss.served = sh.snap.requests_served;
+    ss.state = sh.breaker.state();
+    ss.trips = sh.breaker.trips();
+    ss.baseline_pct = sh.sentinel.baseline_pct();
+    ss.window_pct = sh.sentinel.window_accuracy_pct();
+    fs.shards.push_back(ss);
+  }
+  return fs;
+}
+
+EnergySummary FleetRuntime::energy() const {
+  std::lock_guard<std::mutex> fl(fleet_mu_);
+  return energy_;
+}
+
+std::vector<double> FleetRuntime::tenant_latencies_ms(int t) const {
+  std::lock_guard<std::mutex> fl(fleet_mu_);
+  return tenant_latencies_.at(static_cast<std::size_t>(t));
+}
+
+std::vector<BreakerEvent> FleetRuntime::shard_breaker_events(int k) const {
+  std::lock_guard<std::mutex> fl(fleet_mu_);
+  return shards_.at(static_cast<std::size_t>(k)).breaker.events();
+}
+
+std::vector<RecoveryRecord> FleetRuntime::shard_recoveries(int k) const {
+  std::lock_guard<std::mutex> fl(fleet_mu_);
+  return shards_.at(static_cast<std::size_t>(k)).recoveries;
+}
+
+std::vector<FailoverEvent> FleetRuntime::failovers() const {
+  std::lock_guard<std::mutex> fl(fleet_mu_);
+  return failovers_;
+}
+
+BreakerState FleetRuntime::shard_state(int k) const {
+  std::lock_guard<std::mutex> fl(fleet_mu_);
+  return shards_.at(static_cast<std::size_t>(k)).breaker.state();
+}
+
+}  // namespace sei::serve

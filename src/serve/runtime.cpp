@@ -520,7 +520,8 @@ void ServingRuntime::write_checkpoint(std::uint64_t served) {
   Status st = ok_status();
   {
     std::shared_lock<std::shared_mutex> nl(net_mu_);
-    st = save_checkpoint(net_, s, cfg_.checkpoint_path);
+    st = save_checkpoint_with_retry(net_, s, cfg_.checkpoint_path,
+                                    cfg_.checkpoint_retry);
   }
   if (st.ok()) {
     {

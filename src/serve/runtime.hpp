@@ -75,6 +75,7 @@ struct RuntimeConfig {
   std::chrono::milliseconds default_deadline{0};  // 0 = no deadline
   int checkpoint_every = 0;     // served requests between saves; 0 = off
   std::string checkpoint_path;  // required when checkpoint_every > 0
+  CheckpointRetryPolicy checkpoint_retry{};  // transient-IO retry policy
   SentinelConfig sentinel{};
   BreakerConfig breaker{};
   reliability::CalibrationConfig calibration{};  // tier-1 recalibration

@@ -50,6 +50,17 @@ class Sentinel {
   /// degraded period must not immediately re-trip the breaker).
   void reset_window();
 
+  /// Window contents oldest-first (1 = correct) — checkpointed by the fleet
+  /// so a resumed process trips its breakers on the same probe as the
+  /// original run would have.
+  std::vector<std::uint8_t> window_outcomes() const {
+    return std::vector<std::uint8_t>(outcomes_.begin(), outcomes_.end());
+  }
+  void restore_window(const std::vector<std::uint8_t>& outcomes) {
+    reset_window();
+    for (const std::uint8_t o : outcomes) record(o != 0);
+  }
+
   void set_baseline_pct(double pct) { baseline_pct_ = pct; }
   double baseline_pct() const { return baseline_pct_; }
 
