@@ -3,6 +3,7 @@
 
 #include "common/rng.hpp"
 #include "core/bitpack.hpp"
+#include "core/sei_network.hpp"
 #include "data/synthetic_digits.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/gemm.hpp"
@@ -263,10 +264,66 @@ void BM_OrPoolPacked(benchmark::State& state) {
 }
 BENCHMARK(BM_OrPoolPacked);
 
+// --- plan dispatch ---------------------------------------------------------
+
+/// Tiny untrained FC stack with integral weights: per-stage evaluation is a
+/// few hundred nanoseconds, so the compiled-vs-interpreted delta below
+/// isolates pure dispatch cost (engine re-derivation, kernel-condition
+/// checks, convert guessing) — the work compile_plan hoists out of the
+/// request loop. Every stage takes the packed engines.
+quant::QNetwork make_bench_qnet() {
+  quant::QNetwork qnet;
+  qnet.name = "bench_plan";
+  quant::Topology topo;
+  topo.name = "bench_plan";
+  topo.input_size = 8;
+  topo.stages = {{quant::StageSpec::Kind::Fc, 0, 16, false},
+                 {quant::StageSpec::Kind::Fc, 0, 16, false},
+                 {quant::StageSpec::Kind::Fc, 0, 10, false}};
+  auto geoms = quant::resolve_geometry(topo);
+  Rng rng(11);
+  for (std::size_t s = 0; s < geoms.size(); ++s) {
+    quant::QLayer l;
+    l.geom = geoms[s];
+    l.weight = nn::Tensor({l.geom.rows, l.geom.cols});
+    l.bias = nn::Tensor({l.geom.cols});
+    for (float& v : l.weight.flat())
+      v = static_cast<float>(static_cast<int>(rng.below(9)) - 4);
+    l.threshold = 2.0f;
+    l.binarize = s + 1 < geoms.size();
+    qnet.layers.push_back(std::move(l));
+  }
+  return qnet;
+}
+
+void bench_predict(benchmark::State& state, bool plan_mode) {
+  static quant::QNetwork qnet = make_bench_qnet();
+  core::SeiNetwork hw(qnet, core::HardwareConfig{});
+  hw.set_plan_mode(plan_mode);
+  Rng rng(12);
+  std::vector<float> img(64);
+  for (float& v : img) v = static_cast<float>(rng.uniform(0, 1));
+  core::EvalContext ctx;
+  hw.prepare(ctx);
+  long long i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw.predict(img, ctx, i++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PredictInterpreted(benchmark::State& state) {
+  bench_predict(state, false);
+}
+BENCHMARK(BM_PredictInterpreted);
+
+void BM_PredictCompiled(benchmark::State& state) { bench_predict(state, true); }
+BENCHMARK(BM_PredictCompiled);
+
 void BM_SyntheticDigitRender(benchmark::State& state) {
   data::SynthConfig cfg;
   Rng rng(8);
-  std::vector<float> img(784);
+  std::vector<float> img(64);
   int digit = 0;
   for (auto _ : state) {
     data::render_digit(digit, cfg, rng, img.data());

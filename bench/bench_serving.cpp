@@ -38,6 +38,7 @@
 #include "exec/thread_pool.hpp"
 #include "reliability/repair.hpp"
 #include "serve/fleet.hpp"
+#include "telemetry/alloc.hpp"
 #include "telemetry/flags.hpp"
 #include "workloads/pipeline.hpp"
 
@@ -119,6 +120,10 @@ int main(int argc, char** argv) try {
       "min-fairness", 0.0, "gate: fail below this Jain index (0 = off)");
   const double max_p99 = cli.get_double(
       "max-p99-ms", 0.0, "gate: fail above this per-tenant p99 (0 = off)");
+  const int max_request_allocs = cli.get_int(
+      "max-request-allocs", -1,
+      "gate: fail when post-warmup hot-path heap allocations exceed this "
+      "(-1 = off; 0 enforces the zero-alloc contract, docs/plans.md)");
   const std::string json_path = cli.get("json", "BENCH_serving.json");
   const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("fleet serving soak: latency, fairness, storm survival"))
@@ -321,6 +326,14 @@ int main(int argc, char** argv) try {
   j.kv("throughput_per_s", static_cast<double>(answered) / wall_s);
   j.kv("availability_pct", availability);
   j.kv("jain_fairness", fairness);
+  // Zero-alloc contract evidence: post-warmup heap allocations on the
+  // evaluation hot path (docs/plans.md §4). alloc_counting distinguishes a
+  // true zero from "counters compiled out".
+  j.kv("alloc_counting", telemetry::alloc_counting_available());
+  j.kv("alloc_measured_requests",
+       static_cast<long long>(st.alloc_measured_requests));
+  j.kv("serve_request_allocs",
+       static_cast<long long>(st.serve_request_allocs));
   j.key("tenants");
   j.begin_array();
   for (int t = 0; t < ntenants; ++t) {
@@ -414,6 +427,30 @@ int main(int argc, char** argv) try {
       std::fprintf(stderr, "GATE FAILED: worst tenant p99 %.3f ms > %.3f ms\n",
                    worst_p99, max_p99);
       gate_failed = true;
+    }
+    if (max_request_allocs >= 0) {
+      if (!telemetry::alloc_counting_available()) {
+        std::fprintf(stderr,
+                     "GATE FAILED: --max-request-allocs needs the allocation "
+                     "counters (build with SEI_ALLOC_COUNTERS=ON, no "
+                     "sanitizers)\n");
+        gate_failed = true;
+      } else if (st.alloc_measured_requests == 0) {
+        std::fprintf(stderr,
+                     "GATE FAILED: no post-warmup requests were measured — "
+                     "raise --requests above the warmup threshold\n");
+        gate_failed = true;
+      } else if (st.serve_request_allocs >
+                 static_cast<std::uint64_t>(max_request_allocs)) {
+        std::fprintf(
+            stderr,
+            "GATE FAILED: %llu heap allocations on the post-warmup hot path "
+            "(over %llu measured requests) > %d\n",
+            static_cast<unsigned long long>(st.serve_request_allocs),
+            static_cast<unsigned long long>(st.alloc_measured_requests),
+            max_request_allocs);
+        gate_failed = true;
+      }
     }
   }
   return gate_failed ? 1 : 0;

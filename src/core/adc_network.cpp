@@ -94,6 +94,32 @@ AdcNetwork::AdcNetwork(const quant::QNetwork& qnet, const AdcConfig& cfg,
     stages_.push_back(std::move(st));
   }
 
+  // Scratch bounds of the built stages — the ADC pipeline's analogue of
+  // compile_plan's ScratchPlan, computed once so serving contexts (and the
+  // calibration loop below) bind with a single arena allocation.
+  for (const Stage& st : stages_) {
+    const quant::StageGeometry& g = st.geom;
+    const std::size_t cols = static_cast<std::size_t>(g.cols);
+    const std::size_t k =
+        static_cast<std::size_t>(std::max(1, st.block_count));
+    const std::size_t positions =
+        static_cast<std::size_t>(g.out_h) * static_cast<std::size_t>(g.out_w);
+    const std::size_t in_bits = static_cast<std::size_t>(g.in_h) *
+                                static_cast<std::size_t>(g.in_w) *
+                                static_cast<std::size_t>(g.in_ch);
+    const std::size_t pooled_bits = static_cast<std::size_t>(g.pooled_h) *
+                                    static_cast<std::size_t>(g.pooled_w) *
+                                    cols;
+    scratch_plan_.plane_sums = std::max(
+        scratch_plan_.plane_sums, static_cast<std::size_t>(planes_) * k * cols);
+    scratch_plan_.merged = std::max(scratch_plan_.merged, cols);
+    scratch_plan_.bitmap_bytes =
+        std::max({scratch_plan_.bitmap_bytes, positions * cols, pooled_bits,
+                  in_bits});
+    if (!st.binarize) scratch_plan_.scores = std::max(scratch_plan_.scores, cols);
+  }
+  scratch_plan_.finalize();
+
   // Calibrate the ADC full scales: run the calibration images with the
   // quantizer bypassed, tracking the per-stage maximum plane current. Max
   // commutes exactly, so the parallel merge is order-independent and the
@@ -249,6 +275,7 @@ int AdcNetwork::predict(std::span<const float> image, EvalContext& ctx) const {
 
 Result<int> AdcNetwork::try_predict(std::span<const float> image,
                                     EvalContext& ctx) const {
+  prepare(ctx);
   if (ideal_ && ctx.observed_max.size() < stages_.size())
     ctx.observed_max.resize(stages_.size(), 0.0);
   for (std::size_t i = 0; i < stages_.size(); ++i) {

@@ -20,6 +20,7 @@
 
 #include "common/result.hpp"
 #include "core/eval_context.hpp"
+#include "core/plan.hpp"
 #include "core/structure.hpp"
 #include "data/dataset.hpp"
 #include "quant/qnet.hpp"
@@ -61,6 +62,19 @@ class AdcNetwork {
   /// SeiNetwork::try_predict.
   Result<int> try_predict(std::span<const float> image,
                           EvalContext& ctx) const;
+
+  /// Exact scratch bounds of this network (core/plan.hpp). The stages are
+  /// immutable after construction, so the bounds are computed once; serving
+  /// contexts that may take the ADC fallback tier merge these into their
+  /// bind so the degraded path allocates nothing per request either.
+  const ScratchPlan& scratch_plan() const { return scratch_plan_; }
+
+  /// Ensures `ctx`'s bound capacity covers this network's scratch bounds
+  /// (no-op when it already does). try_predict calls it; exposed for
+  /// serving warmup.
+  void prepare(EvalContext& ctx) const {
+    if (!ctx.covers(scratch_plan_)) ctx.bind(scratch_plan_);
+  }
 
   /// Classification error in percent; images evaluated in parallel on the
   /// default exec pool, bit-identical at any thread count.
@@ -110,6 +124,7 @@ class AdcNetwork {
   int planes_ = 0;
   bool ideal_ = false;  // calibration mode: no ADC quantization, track max
   std::vector<Stage> stages_;
+  ScratchPlan scratch_plan_;
   const telemetry::EnergyMeter* meter_ = nullptr;
 };
 

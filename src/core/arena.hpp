@@ -1,0 +1,126 @@
+// Arena-backed scratch storage for EvalContext (docs/plans.md §4).
+//
+// Plan compilation (core/plan.cpp) knows the exact high-water size of every
+// scratch buffer an evaluation can touch, so a context binds once to a plan:
+// one arena allocation, typed spans carved out of it, and every subsequent
+// resize/assign inside the engines is a pointer bump within the carved
+// capacity — zero heap traffic per request on the serving path.
+//
+// A Scratch<T> is the vector-subset facade the engines use. Unbound (no
+// plan — calibration loops, ad-hoc tests) it degrades to an owned
+// std::vector. Bound, a resize beyond the carved capacity also falls back
+// to the owned vector: correctness never depends on the plan's bounds being
+// right — the telemetry allocation counters (and the CI zero-alloc gate)
+// are what enforce that the fallback never fires on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sei::core {
+
+/// One grow-only block of bytes; spans are carved front to back.
+class Arena {
+ public:
+  static constexpr std::size_t kAlign = 64;  // cache line / zmm load
+
+  static constexpr std::size_t aligned(std::size_t bytes) {
+    return (bytes + kAlign - 1) / kAlign * kAlign;
+  }
+
+  /// (Re)allocates the block when `bytes` exceeds the current capacity and
+  /// restarts carving from the front. Existing carved spans are invalidated
+  /// — callers re-bind every Scratch after a reset.
+  void reset(std::size_t bytes) {
+    if (bytes > cap_) {
+      block_.reset(new (std::align_val_t{kAlign}) std::byte[bytes]);
+      cap_ = bytes;
+    }
+    used_ = 0;
+  }
+
+  /// Next `bytes` of the block, 64-byte aligned. Returns nullptr when the
+  /// block is exhausted (the caller's Scratch then stays unbound).
+  void* carve(std::size_t bytes) {
+    const std::size_t take = aligned(bytes);
+    if (used_ + take > cap_) return nullptr;
+    void* p = block_.get() + used_;
+    used_ += take;
+    return p;
+  }
+
+  std::size_t capacity() const { return cap_; }
+  std::size_t used() const { return used_; }
+
+ private:
+  struct AlignedDelete {
+    void operator()(std::byte* p) const {
+      ::operator delete[](p, std::align_val_t{Arena::kAlign});
+    }
+  };
+  std::unique_ptr<std::byte[], AlignedDelete> block_;
+  std::size_t cap_ = 0;
+  std::size_t used_ = 0;
+};
+
+/// Vector-subset scratch span: resize/assign/data/iterators/indexing — the
+/// operations the evaluation engines use. Trivially-copyable T only.
+template <typename T>
+class Scratch {
+ public:
+  /// Points this scratch at `count` elements carved from `a`. Pass the
+  /// arena by reference after Arena::reset; a failed carve leaves the
+  /// scratch unbound (owned-vector fallback).
+  void bind(Arena& a, std::size_t count) {
+    bound_ = static_cast<T*>(a.carve(count * sizeof(T)));
+    bound_cap_ = bound_ ? count : 0;
+    data_ = bound_ ? bound_ : owned_.data();
+    size_ = 0;
+  }
+
+  void unbind() {
+    bound_ = nullptr;
+    bound_cap_ = 0;
+    data_ = owned_.data();
+    size_ = 0;
+  }
+
+  void resize(std::size_t n) {
+    if (bound_ && n <= bound_cap_) {
+      data_ = bound_;
+    } else {
+      if (owned_.size() < n) owned_.resize(n);
+      data_ = owned_.data();
+    }
+    size_ = n;
+  }
+
+  void assign(std::size_t n, T value) {
+    resize(n);
+    for (std::size_t i = 0; i < n; ++i) data_[i] = value;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  bool is_bound() const { return bound_ != nullptr; }
+
+ private:
+  T* bound_ = nullptr;         // arena span (nullptr: owned fallback only)
+  std::size_t bound_cap_ = 0;  // elements the span holds
+  T* data_ = nullptr;          // active storage for [0, size_)
+  std::size_t size_ = 0;
+  std::vector<T> owned_;       // fallback storage, grow-only
+};
+
+}  // namespace sei::core

@@ -98,9 +98,7 @@ void or_pool_packed(const quant::PackedBits& in, int h, int w, int c,
   writer.finish();
 }
 
-void dac_quantize_image(std::span<const float> in, int bits,
-                        std::vector<float>& out) {
-  out.resize(in.size());
+void dac_quantize_image(std::span<const float> in, int bits, float* out) {
   const float steps = static_cast<float>((1 << bits) - 1);
   std::size_t i = 0;
 #ifdef SEI_BITPACK_AVX512
@@ -119,7 +117,7 @@ void dac_quantize_image(std::span<const float> in, int bits,
     const __mmask16 up =
         _mm512_cmp_ps_mask(_mm512_sub_ps(v, t), half, _CMP_GE_OQ);
     const __m512 r = _mm512_mask_add_ps(t, up, t, one);
-    _mm512_storeu_ps(out.data() + i, _mm512_div_ps(r, stepv));
+    _mm512_storeu_ps(out + i, _mm512_div_ps(r, stepv));
   }
 #endif
   for (; i < in.size(); ++i) {
@@ -129,6 +127,12 @@ void dac_quantize_image(std::span<const float> in, int bits,
     // divide by steps. Multiplying by a reciprocal would round differently.
     out[i] = std::round(clamped * steps) / steps;
   }
+}
+
+void dac_quantize_image(std::span<const float> in, int bits,
+                        std::vector<float>& out) {
+  out.resize(in.size());
+  dac_quantize_image(in, bits, out.data());
 }
 
 PackedStage build_packed_stage(const std::vector<float>& eff, int rows,

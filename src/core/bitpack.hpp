@@ -131,6 +131,9 @@ inline float dac_quantize(float x, int bits) {
 /// the same float either way.
 void dac_quantize_image(std::span<const float> in, int bits,
                         std::vector<float>& out);
+/// Variant writing into caller-owned storage of at least in.size() floats
+/// (the plan executor's arena-carved scratch).
+void dac_quantize_image(std::span<const float> in, int bits, float* out);
 
 // ---------------------------------------------------------------------------
 // Per-stage packed weight planes.

@@ -6,11 +6,21 @@
 // per-(image, stage) RNG streams (docs/parallelism.md), this makes every
 // prediction a pure function of (network state, image, image_index) —
 // independent of thread count and of the order images are evaluated in.
+//
+// Scratch lives behind Scratch<T> spans carved from one arena: bind() sizes
+// the arena to a compiled plan's exact high-water marks (core/plan.hpp), so
+// a bound context performs no heap allocation per request — the serving
+// runtimes' zero-alloc contract (docs/plans.md §4). An unbound context
+// falls back to owned vectors and simply allocates on first use, which is
+// fine everywhere off the serving hot path.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/arena.hpp"
+#include "core/plan.hpp"
 #include "exec/cancel.hpp"
 #include "quant/bitpack.hpp"
 #include "quant/qnet.hpp"
@@ -37,38 +47,61 @@ struct EvalContext {
   telemetry::EnergyAccum* energy = nullptr;
 
   // SEI scratch.
-  std::vector<double> block_sums;  // per-(block, col) partial sums
-  std::vector<int> n_active;       // active inputs per block
+  Scratch<double> block_sums;  // per-(block, col) partial sums
+  Scratch<int> n_active;       // active inputs per block
 
   // ADC scratch.
-  std::vector<double> plane_sums;    // per-(plane, block, col) partial sums
-  std::vector<double> merged;        // digital shifter/adder merge
-  std::vector<double> observed_max;  // calibration: per-stage max current
+  Scratch<double> plane_sums;        // per-(plane, block, col) partial sums
+  Scratch<double> merged;            // digital shifter/adder merge
+  std::vector<double> observed_max;  // calibration only — cold path
 
-  // Shared inter/intra-stage activation buffers.
+  // Shared inter/intra-stage activation buffers. These stay std::vector /
+  // quant types (they swap between stages and copy out of the engines);
+  // bind() reserves them to the plan's bounds so steady-state resizes and
+  // copies never reallocate.
   quant::BitMap stage_bits;   // pre-pool bits of the current stage
   quant::BitMap pooled_bits;  // post-pool output of the current stage
   quant::BitMap bits;         // activations entering the current stage
   std::vector<float> scores;  // classifier scores
 
-  // Bit-packed engine scratch (core/bitpack). `packed_live` says whether
-  // the live inter-stage activations sit in `packed_bits` (word form) or
-  // `bits` (byte form) — stages convert lazily at engine boundaries.
-  quant::PackedBits packed_bits;       // packed activations entering a stage
-  quant::PackedBits packed_stage;      // pre-pool packed bits
-  quant::PackedBits packed_pooled;     // post-pool packed output
-  bool packed_live = false;
-  std::vector<std::uint64_t> window;   // packed conv window gather
-  std::vector<float> dac_vals;         // stage-0 DAC output, cached per image
-  std::vector<double> dac_d;           // dac_vals widened once per image
-  std::vector<std::uint8_t> pos_bits;  // one position's column bits
-  std::vector<double> pos_sums;        // stage-0 scatter: sums per position
-  std::vector<int> pos_active;         // stage-0 scatter: n_active per position
-  std::vector<std::uint64_t> col_cmp;  // stage-0 bulk compare bits per column
-  std::vector<std::uint64_t> col_pool; // stage-0 pooled per-column bits
-  std::vector<std::uint64_t> lw8;      // batch-of-8 block-local windows
-  std::vector<std::int32_t> nact8;     // batch-of-8 active counts
-  std::vector<double> sums8;           // batch-of-8 block sums
+  // Bit-packed engine scratch (core/bitpack). The live activation form
+  // (bytes vs packed words) is static per stage in a compiled plan — the
+  // plan inserts explicit convert ops, and the interpreter tracks the form
+  // in a local, so the context carries no `packed_live` flag.
+  quant::PackedBits packed_bits;    // packed activations entering a stage
+  quant::PackedBits packed_stage;   // pre-pool packed bits
+  quant::PackedBits packed_pooled;  // post-pool packed output
+  Scratch<std::uint64_t> window;    // packed conv window gather
+  Scratch<float> dac_vals;    // stage-0 DAC output, cached per image
+  Scratch<double> dac_d;      // dac_vals widened once per image
+  Scratch<std::uint8_t> pos_bits;  // one position's column bits
+  Scratch<double> pos_sums;   // stage-0 transpose/scatter: sums per position
+  Scratch<int> pos_active;    // stage-0 scatter: n_active per position
+  Scratch<std::uint64_t> col_cmp;   // stage-0 bulk compare bits per column
+  Scratch<std::uint64_t> col_pool;  // stage-0 pooled per-column bits
+  Scratch<std::uint64_t> lw8;       // batch-of-8 block-local windows
+  Scratch<std::int32_t> nact8;      // batch-of-8 active counts
+  Scratch<double> sums8;            // batch-of-8 block sums
+
+  /// Binds every scratch buffer to `plan`'s exact bounds: one arena
+  /// allocation, spans carved out, vectors reserved. Defined in
+  /// core/plan.cpp.
+  void bind(const ScratchPlan& plan);
+
+  /// True when the bounds this context was last bound with cover `plan` —
+  /// i.e. every buffer's capacity suffices, so evaluation will not allocate.
+  /// Binding is capacity-based, not identity-based: one context serves any
+  /// number of networks (fleet shards route adjacent requests to different
+  /// replicas) as long as their bounds fit, and a plan rebuild with
+  /// unchanged geometry triggers no re-bind at all.
+  bool covers(const ScratchPlan& plan) const {
+    return bound_has_value_ && bound_.covers(plan);
+  }
+
+ private:
+  Arena arena_;
+  ScratchPlan bound_;  // bounds of the last bind()
+  bool bound_has_value_ = false;
 };
 
 }  // namespace sei::core

@@ -1,0 +1,163 @@
+// Compiled execution plans (docs/plans.md).
+//
+// `SeiNetwork::predict` used to interpret the layer list per request: every
+// stage re-branched on engine selection (scalar float / bit-packed / DAC /
+// scalar-bits fallback), re-derived its kernel conditions from MappedLayer,
+// and grew EvalContext scratch on demand — costs paid millions of times on
+// the serving path. compile_plan lowers (mapped layers, HardwareConfig,
+// engine switch) once — at construction, remap, fault repair, or checkpoint
+// restore — into a CompiledPlan:
+//
+//  * a flat array of StageOps with the engine AND the packed/DAC sub-kernel
+//    resolved per layer geometry (bit-plane batch-of-8 vs int16 row-gather
+//    compare vs generic; dense-transpose vs scatter vs generic DAC),
+//  * explicit activation-form converts (bytes ↔ packed words) inserted at
+//    the stage boundaries that need them — the runtime `packed_live`
+//    guessing is gone,
+//  * per-stage energy prices baked in from the attached meter,
+//  * and an exact ScratchPlan: the high-water size of every EvalContext
+//    buffer plus the total arena footprint, so a context binds to the plan
+//    with ONE arena allocation and serves requests with zero heap traffic.
+//
+// The legacy per-stage dispatch survives as the *interpreter*
+// (`SeiNetwork::set_plan_mode(false)`): the reference the equivalence suite
+// in tests/test_determinism.cpp pins the plan executor against,
+// bit-for-bit, and the baseline of the plan-dispatch micro bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/structure.hpp"
+#include "telemetry/energy.hpp"
+
+namespace sei::core {
+
+/// Which evaluation engine a stage op runs.
+enum class StageEngine : std::uint8_t {
+  kScalarFloat,  // stage-0 scalar reference (DAC per window)
+  kScalarBits,   // hidden/classifier scalar reference on byte maps
+  kDacDense,     // stage-0 packed core: cached DAC + dense/scatter sums
+  kPackedBits,   // hidden/classifier AND+popcount core on packed words
+};
+
+/// Representation of the live activations at a stage boundary.
+enum class ActForm : std::uint8_t {
+  kImage,   // float span (network input)
+  kBytes,   // quant::BitMap, one byte per activation
+  kPacked,  // quant::PackedBits, 64 activations per word
+  kScores,  // classifier scores (terminal)
+};
+
+/// Hidden-stage packed sub-kernel, resolved at compile time from geometry,
+/// noise config, and the SIMD capabilities of this build (simd_caps.hpp).
+enum class PackedKernel : std::uint8_t {
+  kNone,      // op does not run the packed engine
+  kBatch8,    // batch-of-8 positions over per-column planes (AVX-512)
+  kRow16Cmp,  // int16 row-gather + in-register compare (AVX-512)
+  kGeneric,   // per-position bit-plane / row-gather accumulate
+};
+
+/// Stage-0 DAC sub-kernel.
+enum class DacKernel : std::uint8_t {
+  kNone,            // op is not the DAC engine
+  kDenseTranspose,  // [col][position] dense sums, fused compare/pool emit
+  kScatter,         // sparse input scatter into per-position sums
+  kGeneric,         // per-window accumulate (FC / classifier stage 0)
+};
+
+/// One lowered stage: everything the executor needs, resolved up front.
+struct StageOp {
+  int stage = 0;
+  StageEngine engine = StageEngine::kScalarFloat;
+  ActForm in_form = ActForm::kImage;
+  ActForm out_form = ActForm::kBytes;
+  bool pack_input = false;    // convert bytes → packed words before running
+  bool unpack_input = false;  // convert packed words → bytes before running
+  bool classifier = false;    // scores out; terminates the plan
+  bool pool_after = false;    // OR-pool fused into the stage's emit
+  PackedKernel packed_kernel = PackedKernel::kNone;
+  DacKernel dac_kernel = DacKernel::kNone;
+
+  // Geometry snapshot (diagnostics, benches, docs).
+  int rows = 0;
+  int cols = 0;
+  int blocks = 1;
+  long long positions = 0;
+
+  // Baked per-stage energy price (valid when `priced`): the executor
+  // charges these numbers directly instead of chasing the meter's stage
+  // table per request. CompiledPlan::priced_for records which meter the
+  // prices came from — a context metering against a different meter falls
+  // back to EnergyMeter::charge_stage.
+  telemetry::StageEnergy price;
+  bool priced = false;
+};
+
+/// Exact high-water element counts of every EvalContext scratch buffer for
+/// one compiled network, plus the arena footprint that covers the carved
+/// spans. Bounds cover BOTH engines of every stage, so flipping
+/// set_packed_eval or running the interpreter never overflows a bound
+/// context.
+struct ScratchPlan {
+  std::size_t block_sums = 0;
+  std::size_t n_active = 0;
+  std::size_t plane_sums = 0;  // ADC networks only
+  std::size_t merged = 0;      // ADC networks only
+  std::size_t window = 0;
+  std::size_t dac_vals = 0;
+  std::size_t dac_d = 0;
+  std::size_t pos_bits = 0;
+  std::size_t pos_sums = 0;
+  std::size_t pos_active = 0;
+  std::size_t col_cmp = 0;
+  std::size_t col_pool = 0;
+  std::size_t lw8 = 0;
+  std::size_t nact8 = 0;
+  std::size_t sums8 = 0;
+
+  std::size_t scores = 0;        // reserve on ctx.scores (floats)
+  std::size_t bitmap_bytes = 0;  // reserve on stage_bits/pooled_bits/bits
+  std::size_t packed_words = 0;  // reserve on packed_{bits,stage,pooled}
+
+  std::size_t arena_bytes = 0;  // total for the carved spans, 64B-aligned
+
+  /// Folds another plan's bounds in (max per buffer) — used by contexts
+  /// shared across engines (e.g. the serve path's SEI + ADC fallback).
+  void merge(const ScratchPlan& o);
+  /// Recomputes arena_bytes from the current counts.
+  void finalize();
+  /// True when every bound of `o` fits inside this plan's bounds — i.e. a
+  /// context bound with *this* serves *o*'s network without allocating.
+  bool covers(const ScratchPlan& o) const;
+};
+
+/// The lowered program: flat ops + scratch bounds + a rebuild epoch.
+struct CompiledPlan {
+  std::vector<StageOp> ops;
+  ScratchPlan scratch;
+  /// Bumped by SeiNetwork on every rebuild (remap, fault, restore, engine
+  /// switch) so bound contexts detect staleness and re-bind.
+  std::uint64_t epoch = 0;
+  /// Meter the baked prices were taken from (nullptr: unpriced plan).
+  const telemetry::EnergyMeter* priced_for = nullptr;
+
+  bool valid() const { return !ops.empty(); }
+};
+
+/// Kernel selection, shared verbatim by compile_plan and the interpreter —
+/// one source of truth for the dispatch conditions.
+StageEngine select_engine(const MappedLayer& m, int stage,
+                          const HardwareConfig& cfg, bool packed_eval);
+PackedKernel select_packed_kernel(const MappedLayer& m,
+                                  const HardwareConfig& cfg);
+DacKernel select_dac_kernel(const MappedLayer& m);
+
+/// Lowers the mapped network into a CompiledPlan. `meter` (optional) bakes
+/// per-stage prices; epoch is left at 0 — the owner stamps it.
+CompiledPlan compile_plan(const std::vector<MappedLayer>& layers,
+                          const HardwareConfig& cfg, bool packed_eval,
+                          const telemetry::EnergyMeter* meter = nullptr);
+
+}  // namespace sei::core

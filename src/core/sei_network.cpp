@@ -10,15 +10,10 @@
 // Vectorized noise-free threshold/vote decisions for the packed engine.
 // Same doubles, same compares, same bits as decide_position — just eight
 // columns per instruction. The scalar decide_position stays the reference
-// (and the only path whenever read noise draws from the RNG).
-#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__) && \
-    defined(__AVX512VPOPCNTDQ__)
-#include <immintrin.h>
-#define SEI_CORE_AVX512 1
-#endif
-#if !defined(SEI_CORE_AVX512) && defined(__BMI2__)
-#include <immintrin.h>
-#endif
+// (and the only path whenever read noise draws from the RNG). The AVX-512
+// gate (SEI_CORE_AVX512) lives in simd_caps.hpp, shared with the plan
+// compiler so kernel selection and kernel availability always agree.
+#include "core/simd_caps.hpp"
 
 namespace sei::core {
 
@@ -36,6 +31,7 @@ SeiNetwork::SeiNetwork(const quant::QNetwork& qnet, const HardwareConfig& cfg,
     const std::vector<int> order = default_row_order(l, cfg_);
     layers_.push_back(map_layer(l, cfg_, order, map_rng_, hook_));
   }
+  rebuild_plan();
 }
 
 void SeiNetwork::remap_layer(int stage, const std::vector<int>& order) {
@@ -43,6 +39,24 @@ void SeiNetwork::remap_layer(int stage, const std::vector<int>& order) {
   layers_[static_cast<std::size_t>(stage)] =
       map_layer(qnet_->layers[static_cast<std::size_t>(stage)], cfg_, order,
                 map_rng_, hook_);
+  rebuild_plan();
+}
+
+void SeiNetwork::rebuild_packed(int stage) {
+  SEI_CHECK(stage >= 0 && stage < stage_count());
+  MappedLayer& m = layers_[static_cast<std::size_t>(stage)];
+  m.packed = build_packed_stage(m.eff, m.geom.rows, m.geom.cols,
+                                m.row_to_block, m.block_count,
+                                cfg_.input_bits);
+}
+
+void SeiNetwork::rebuild_plan() {
+  plan_ = compile_plan(layers_, cfg_, packed_eval_, meter_);
+  plan_.epoch = ++plan_epoch_;
+}
+
+void SeiNetwork::prepare(EvalContext& ctx) const {
+  if (!ctx.covers(plan_.scratch)) ctx.bind(plan_.scratch);
 }
 
 Rng SeiNetwork::stage_stream(long long image_index, int stage) const {
@@ -473,6 +487,7 @@ void decide_append_fast8(const MappedLayer& m, const double* sums8,
 }  // namespace
 
 void SeiNetwork::eval_stage_packed(const MappedLayer& m,
+                                   [[maybe_unused]] PackedKernel kern,
                                    const quant::PackedBits& in,
                                    quant::PackedBits& bits_out,
                                    std::vector<float>& scores,
@@ -504,9 +519,10 @@ void SeiNetwork::eval_stage_packed(const MappedLayer& m,
   // Bit-identical to the per-position path: the block sums are the same
   // exact integers and the noise-free decide makes no RNG draws. Only the
   // !rows_ok fallback — when the int16 row-gather table is available it
-  // beats streaming the plane masks even once per batch.
-  if (!ps.rows_ok && m.binarize && is_conv && cols <= 64 &&
-      cfg_.device.read_noise_sigma <= 0.0) {
+  // beats streaming the plane masks even once per batch. The selection
+  // conditions live in select_packed_kernel (core/plan.cpp), resolved at
+  // plan-compile time.
+  if (kern == PackedKernel::kBatch8) {
     const int lw_words = ps.block_loff[k];
     ctx.lw8.resize(static_cast<std::size_t>(lw_words) * 8);
     ctx.nact8.resize(static_cast<std::size_t>(k) * 8);
@@ -570,8 +586,7 @@ void SeiNetwork::eval_stage_packed(const MappedLayer& m,
   // doubles: for an integer sum, sum > ref ⟺ sum > floor(ref). References
   // outside int16 range clamp exactly too (|sum| ≤ Σ|w| ≤ 32767 means the
   // compare is all-false / all-true either way).
-  if (ps.rows_ok && m.binarize && k == 1 && cols <= 32 &&
-      cfg_.device.read_noise_sigma <= 0.0) {
+  if (kern == PackedKernel::kRow16Cmp) {
     const float* ct = m.col_threshold.data();
     const float* offsets = m.sa_offset.empty() ? nullptr : m.sa_offset.data();
     alignas(64) std::int16_t iref[32];
@@ -698,7 +713,7 @@ void SeiNetwork::eval_stage_packed(const MappedLayer& m,
   }
 }
 
-void SeiNetwork::eval_stage_dac(const MappedLayer& m,
+void SeiNetwork::eval_stage_dac(const MappedLayer& m, DacKernel kern,
                                 std::span<const float> in,
                                 quant::PackedBits& bits_out,
                                 std::vector<float>& scores,
@@ -712,7 +727,8 @@ void SeiNetwork::eval_stage_dac(const MappedLayer& m,
   // The scalar path re-runs the DAC for every overlapping window; quantize
   // the image once instead. Accumulation below keeps the scalar loop's
   // exact term order, so the sums are the same doubles.
-  dac_quantize_image(in, cfg_.input_bits, ctx.dac_vals);
+  ctx.dac_vals.resize(in.size());
+  dac_quantize_image(in, cfg_.input_bits, ctx.dac_vals.data());
 
   const std::size_t positions = static_cast<std::size_t>(g.out_h) * g.out_w;
   BitWriter writer(ctx.packed_stage, m.binarize ? positions * cols : 0);
@@ -722,7 +738,7 @@ void SeiNetwork::eval_stage_dac(const MappedLayer& m,
   const bool is_conv = g.kind == quant::StageSpec::Kind::Conv;
   const int span = is_conv ? g.kernel * g.in_ch : g.rows;
 
-  if (is_conv && m.binarize && k == 1) {
+  if (kern == DacKernel::kDenseTranspose) {
     // Transposed dense accumulation: pos_sums is laid out [col][position],
     // so for each weight w[r][c] one contiguous FMA sweep adds
     // w·shifted_image into all positions at once. Zero DAC outputs add an
@@ -916,7 +932,7 @@ void SeiNetwork::eval_stage_dac(const MappedLayer& m,
         append_position_bits(writer, ctx.pos_bits.data(), cols);
       }
     }
-  } else if (is_conv && m.binarize) {
+  } else if (kern == DacKernel::kScatter) {
     // Scatter instead of gather: most DAC outputs are exactly zero (blank
     // MNIST margins), and each nonzero input pixel feeds a predictable set
     // of output windows. Walk the image once, skip zeros, and accumulate
@@ -1015,40 +1031,46 @@ void SeiNetwork::eval_stage_dac(const MappedLayer& m,
 }
 
 void SeiNetwork::eval_stage(std::size_t i, std::span<const float> image,
-                            EvalContext& ctx) const {
+                            EvalContext& ctx, bool& packed_live) const {
   const MappedLayer& m = layers_[i];
-  if (i == 0) {
-    // Stage 0 consumes DAC levels, not bits: the packed variant needs the
-    // dense-sum exactness bound on top of integral weights.
-    if (packed_eval_ && m.packed.valid && m.packed.dac_exact) {
-      eval_stage_dac(m, image, ctx.packed_pooled, ctx.scores, ctx);
+  // Same selection logic the plan compiler runs once — one source of truth
+  // for dispatch; here it is re-derived per call (that is the cost the plan
+  // executor removes).
+  const StageEngine engine =
+      select_engine(m, static_cast<int>(i), cfg_, packed_eval_);
+  switch (engine) {
+    case StageEngine::kDacDense:
+      eval_stage_dac(m, select_dac_kernel(m), image, ctx.packed_pooled,
+                     ctx.scores, ctx);
       if (m.binarize) {
         std::swap(ctx.packed_bits, ctx.packed_pooled);
-        ctx.packed_live = true;
+        packed_live = true;
       }
-    } else {
+      return;
+    case StageEngine::kScalarFloat:
       eval_stage_float(m, image, ctx.pooled_bits, ctx.scores, ctx);
       if (m.binarize) {
         std::swap(ctx.bits, ctx.pooled_bits);
-        ctx.packed_live = false;
+        packed_live = false;
       }
-    }
-    return;
-  }
-  if (packed_eval_ && m.packed.valid) {
-    if (!ctx.packed_live) quant::pack_bits(ctx.bits, ctx.packed_bits);
-    eval_stage_packed(m, ctx.packed_bits, ctx.packed_pooled, ctx.scores, ctx);
-    if (m.binarize) {
-      std::swap(ctx.packed_bits, ctx.packed_pooled);
-      ctx.packed_live = true;
-    }
-  } else {
-    if (ctx.packed_live) quant::unpack_bits(ctx.packed_bits, ctx.bits);
-    eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
-    if (m.binarize) {
-      std::swap(ctx.bits, ctx.pooled_bits);
-      ctx.packed_live = false;
-    }
+      return;
+    case StageEngine::kPackedBits:
+      if (!packed_live) quant::pack_bits(ctx.bits, ctx.packed_bits);
+      eval_stage_packed(m, select_packed_kernel(m, cfg_), ctx.packed_bits,
+                        ctx.packed_pooled, ctx.scores, ctx);
+      if (m.binarize) {
+        std::swap(ctx.packed_bits, ctx.packed_pooled);
+        packed_live = true;
+      }
+      return;
+    case StageEngine::kScalarBits:
+      if (packed_live) quant::unpack_bits(ctx.packed_bits, ctx.bits);
+      eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
+      if (m.binarize) {
+        std::swap(ctx.bits, ctx.pooled_bits);
+        packed_live = false;
+      }
+      return;
   }
 }
 
@@ -1076,6 +1098,11 @@ int SeiNetwork::predict(std::span<const float> image, EvalContext& ctx,
 Result<int> SeiNetwork::try_predict(std::span<const float> image,
                                     EvalContext& ctx,
                                     long long image_index) const {
+  prepare(ctx);
+  if (plan_mode_ && plan_.valid()) return run_plan(image, ctx, image_index);
+  // Interpreter: per-stage dispatch re-derived each call. Retained as the
+  // reference path the equivalence suite pins the plan against.
+  bool packed_live = false;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     // The stage boundary is the cancellation point: coarse enough to stay
     // free when no token is armed, fine enough that a request misses its
@@ -1083,7 +1110,7 @@ Result<int> SeiNetwork::try_predict(std::span<const float> image,
     if (ctx.cancel && ctx.cancel->expired()) return ctx.cancel->to_error();
     const MappedLayer& m = layers_[i];
     ctx.rng = stage_stream(image_index, static_cast<int>(i));
-    eval_stage(i, image, ctx);
+    eval_stage(i, image, ctx, packed_live);
     if (ctx.meter && ctx.energy) ctx.meter->charge_stage(i, *ctx.energy);
     if (!m.binarize) {
       if (ctx.energy) ++ctx.energy->images;
@@ -1093,6 +1120,65 @@ Result<int> SeiNetwork::try_predict(std::span<const float> image,
     }
   }
   SEI_CHECK_MSG(false, "network has no classifier stage");
+  return -1;
+}
+
+void SeiNetwork::charge(const StageOp& op, EvalContext& ctx) const {
+  if (!ctx.meter || !ctx.energy) return;
+  if constexpr (telemetry::kEnabled) {
+    if (op.priced && ctx.meter == plan_.priced_for) {
+      // Baked price: two struct adds instead of chasing the meter's stage
+      // table. Same numbers — the price was copied from this meter at
+      // compile time.
+      ctx.energy->pj += op.price.pj;
+      ctx.energy->events += op.price.events;
+      ++ctx.energy->stages;
+      return;
+    }
+  }
+  ctx.meter->charge_stage(static_cast<std::size_t>(op.stage), *ctx.energy);
+}
+
+Result<int> SeiNetwork::run_plan(std::span<const float> image,
+                                 EvalContext& ctx,
+                                 long long image_index) const {
+  for (const StageOp& op : plan_.ops) {
+    if (ctx.cancel && ctx.cancel->expired()) return ctx.cancel->to_error();
+    const MappedLayer& m = layers_[static_cast<std::size_t>(op.stage)];
+    ctx.rng = stage_stream(image_index, op.stage);
+    // Form converts were resolved at compile time; the ops below are no-ops
+    // for almost every stage boundary (engines of adjacent stages agree).
+    if (op.pack_input) quant::pack_bits(ctx.bits, ctx.packed_bits);
+    else if (op.unpack_input) quant::unpack_bits(ctx.packed_bits, ctx.bits);
+    switch (op.engine) {
+      case StageEngine::kDacDense:
+        eval_stage_dac(m, op.dac_kernel, image, ctx.packed_pooled, ctx.scores,
+                       ctx);
+        if (!op.classifier) std::swap(ctx.packed_bits, ctx.packed_pooled);
+        break;
+      case StageEngine::kScalarFloat:
+        eval_stage_float(m, image, ctx.pooled_bits, ctx.scores, ctx);
+        if (!op.classifier) std::swap(ctx.bits, ctx.pooled_bits);
+        break;
+      case StageEngine::kPackedBits:
+        eval_stage_packed(m, op.packed_kernel, ctx.packed_bits,
+                          ctx.packed_pooled, ctx.scores, ctx);
+        if (!op.classifier) std::swap(ctx.packed_bits, ctx.packed_pooled);
+        break;
+      case StageEngine::kScalarBits:
+        eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
+        if (!op.classifier) std::swap(ctx.bits, ctx.pooled_bits);
+        break;
+    }
+    charge(op, ctx);
+    if (op.classifier) {
+      if (ctx.energy) ++ctx.energy->images;
+      return static_cast<int>(
+          std::max_element(ctx.scores.begin(), ctx.scores.end()) -
+          ctx.scores.begin());
+    }
+  }
+  SEI_CHECK_MSG(false, "plan has no classifier op");
   return -1;
 }
 
@@ -1142,15 +1228,16 @@ std::vector<quant::BitMap> SeiNetwork::cache_stage_inputs(
       const std::span<const float> img{
           d.images.data() + static_cast<std::size_t>(i) * per_image,
           per_image};
+      bool packed_live = false;
       for (int s = 0; s < stage; ++s) {
         const MappedLayer& m = layers_[static_cast<std::size_t>(s)];
         SEI_CHECK_MSG(m.binarize, "cannot cache past the classifier");
         ctx.rng = stage_stream(i, s);
-        eval_stage(static_cast<std::size_t>(s), img, ctx);
+        eval_stage(static_cast<std::size_t>(s), img, ctx, packed_live);
       }
       // The cache contract is byte maps; unpack clean 0/1 bytes if the
       // last stage ran packed.
-      if (ctx.packed_live) quant::unpack_bits(ctx.packed_bits, ctx.bits);
+      if (packed_live) quant::unpack_bits(ctx.packed_bits, ctx.bits);
       out[static_cast<std::size_t>(i)] = ctx.bits;
     }
     // Partial evaluations (stages [0, stage) only): charged in bulk, no
@@ -1178,14 +1265,14 @@ double SeiNetwork::error_rate_from(
         long long c = 0;
         for (int i = lo; i < hi; ++i) {
           ctx.bits = inputs[static_cast<std::size_t>(i)];
-          ctx.packed_live = false;
+          bool packed_live = false;
           int pred = -1;
           for (int s = stage; s < stage_count(); ++s) {
             const MappedLayer& m = layers_[static_cast<std::size_t>(s)];
             // Same per-(image, stage) stream a full predict would use, so
             // tail evaluation replays the identical noise draws.
             ctx.rng = stage_stream(i, s);
-            eval_stage(static_cast<std::size_t>(s), {}, ctx);
+            eval_stage(static_cast<std::size_t>(s), {}, ctx, packed_live);
             if (!m.binarize) {
               pred = static_cast<int>(
                   std::max_element(ctx.scores.begin(), ctx.scores.end()) -

@@ -6,6 +6,15 @@
 // input-count compensation), and a digital vote merges the K bits. The
 // final classifier stage sums its block currents and is read out by
 // winner-take-all. The input layer is driven through `input_bits` DACs.
+//
+// Evaluation dispatch is compiled, not interpreted: construction (and
+// every remap / fault / restore / engine switch) lowers the mapped layers
+// into a CompiledPlan (core/plan.hpp) — engines and sub-kernels resolved
+// per stage, explicit byte↔word converts, per-stage energy prices baked
+// in, exact scratch bounds. try_predict runs the plan; the legacy
+// per-stage dispatch remains available as the interpreter
+// (set_plan_mode(false)) and is pinned bit-identical to the plan by
+// tests/test_determinism.cpp.
 #pragma once
 
 #include <span>
@@ -13,6 +22,7 @@
 #include "common/result.hpp"
 #include "core/eval_context.hpp"
 #include "core/mapping.hpp"
+#include "core/plan.hpp"
 #include "data/dataset.hpp"
 
 namespace sei::core {
@@ -37,22 +47,59 @@ class SeiNetwork {
 
   /// Re-maps one stage with an explicit logical row order (fresh crossbars,
   /// fresh programming randomness) — the Table 4 random-order experiment.
+  /// Recompiles the plan.
   void remap_layer(int stage, const std::vector<int>& order);
+
+  /// Rebuilds stage `stage`'s packed decomposition from its current `eff`
+  /// — required after any external mutation of the effective weights
+  /// (fault injection, checkpoint restore), exactly like remap does
+  /// internally. Call rebuild_plan() after the last touched stage.
+  void rebuild_packed(int stage);
+
+  /// Recompiles the execution plan from the current layers, config, engine
+  /// switch, and meter, and bumps the plan epoch. Callers that mutate
+  /// mapped state directly (apply_fault, load_checkpoint) must call this
+  /// once they are done. Bound contexts re-bind lazily on their next
+  /// prepare() if (and only if) the new scratch bounds outgrew them.
+  void rebuild_plan();
+
+  /// The compiled program driving try_predict (diagnostics, benches, docs).
+  const CompiledPlan& plan() const { return plan_; }
+
+  /// Plan executor on/off (default on). Off runs the retained per-stage
+  /// interpreter — the reference the equivalence suite compares against.
+  /// Both produce bit-identical results; this only trades dispatch cost.
+  void set_plan_mode(bool on) { plan_mode_ = on; }
+  bool plan_mode() const { return plan_mode_; }
+
+  /// Ensures `ctx`'s bound capacity covers the current plan (one arena
+  /// allocation on first use; free afterwards — binding is capacity-based,
+  /// so a context hops between same-geometry fleet replicas without ever
+  /// re-binding). Called by try_predict — exposed so serving warmup can
+  /// pre-bind contexts.
+  void prepare(EvalContext& ctx) const;
 
   /// Attaches a per-stage energy price list (arch::make_energy_meter). The
   /// batch entry points below then charge every evaluated stage and publish
   /// the chunk totals to the global metrics registry under path
   /// "sei_batch"; single-image callers attach the meter to their own
   /// EvalContext instead. The meter must outlive the network. nullptr
-  /// detaches.
-  void set_meter(const telemetry::EnergyMeter* meter) { meter_ = meter; }
+  /// detaches. Rebuilds the plan (prices are baked into the ops).
+  void set_meter(const telemetry::EnergyMeter* meter) {
+    meter_ = meter;
+    rebuild_plan();
+  }
   const telemetry::EnergyMeter* meter() const { return meter_; }
 
   /// Engine switch (initialized from cfg.packed_eval): when on, stages with
   /// a valid integer decomposition run the bit-packed AND+popcount core;
   /// when off, everything runs the scalar reference path. Both produce
   /// bit-identical results (docs/kernels.md) — this only trades speed.
-  void set_packed_eval(bool on) { packed_eval_ = on; }
+  /// Recompiles the plan.
+  void set_packed_eval(bool on) {
+    packed_eval_ = on;
+    rebuild_plan();
+  }
   bool packed_eval() const { return packed_eval_; }
 
   /// Number of stages whose packed decomposition is usable (stage 0 also
@@ -110,19 +157,29 @@ class SeiNetwork {
   /// Bit-packed engines (core/bitpack): `eval_stage_packed` is the hidden/
   /// classifier stage on packed words; `eval_stage_dac` the stage-0 variant
   /// that caches the DAC output once per image and accumulates densely.
-  void eval_stage_packed(const MappedLayer& m, const quant::PackedBits& in,
+  /// The sub-kernel is resolved at plan-compile time (core/plan.cpp); the
+  /// interpreter re-derives it per call via select_*_kernel.
+  void eval_stage_packed(const MappedLayer& m, PackedKernel kern,
+                         const quant::PackedBits& in,
                          quant::PackedBits& bits_out,
                          std::vector<float>& scores, EvalContext& ctx) const;
-  void eval_stage_dac(const MappedLayer& m, std::span<const float> in,
-                      quant::PackedBits& bits_out, std::vector<float>& scores,
-                      EvalContext& ctx) const;
+  void eval_stage_dac(const MappedLayer& m, DacKernel kern,
+                      std::span<const float> in, quant::PackedBits& bits_out,
+                      std::vector<float>& scores, EvalContext& ctx) const;
 
-  /// Runs stage `i` on ctx's live activations (`image` feeds stage 0 only),
-  /// picking the engine per stage and leaving the stage output as the live
-  /// activations (ctx.packed_live tracks the representation). For the
-  /// classifier stage, ctx.scores holds the result instead.
+  /// Interpreter step: runs stage `i` on ctx's live activations (`image`
+  /// feeds stage 0 only), re-deriving the engine per call. `packed_live`
+  /// is the caller-tracked live activation form (word vs byte).
   void eval_stage(std::size_t i, std::span<const float> image,
-                  EvalContext& ctx) const;
+                  EvalContext& ctx, bool& packed_live) const;
+
+  /// Plan executor: flat op walk, engines and converts pre-resolved.
+  Result<int> run_plan(std::span<const float> image, EvalContext& ctx,
+                       long long image_index) const;
+
+  /// Charges one completed stage: baked plan price when the context meters
+  /// against the plan's meter, dynamic charge_stage otherwise.
+  void charge(const StageOp& op, EvalContext& ctx) const;
 
   /// Classifier readout: merges one position's block currents into scores.
   void merge_classifier(const MappedLayer& m, std::vector<float>& scores,
@@ -159,6 +216,9 @@ class SeiNetwork {
   std::vector<MappedLayer> layers_;
   const telemetry::EnergyMeter* meter_ = nullptr;
   bool packed_eval_ = true;
+  bool plan_mode_ = true;
+  CompiledPlan plan_;
+  std::uint64_t plan_epoch_ = 0;
 };
 
 }  // namespace sei::core

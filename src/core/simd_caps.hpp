@@ -1,0 +1,29 @@
+// Single source of truth for the SIMD capability gates of the packed
+// engines. Kernel *selection* now happens at plan-compile time
+// (core/plan.cpp) while the kernels themselves live in core/sei_network.cpp
+// and core/bitpack.cpp — both must agree, at compile time, on which kernels
+// exist in this build, so the gate lives here instead of being re-declared
+// per translation unit.
+#pragma once
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__) && \
+    defined(__AVX512VPOPCNTDQ__)
+#include <immintrin.h>
+#define SEI_CORE_AVX512 1
+#endif
+#if !defined(SEI_CORE_AVX512) && defined(__BMI2__)
+#include <immintrin.h>
+#endif
+
+namespace sei::core {
+
+/// True when the AVX-512 packed kernels (batch-of-8, int16 compare,
+/// conv0_tile, decide_append_fast) are compiled into this binary.
+/// SEI_NATIVE=OFF builds are false and take the portable fallbacks.
+#ifdef SEI_CORE_AVX512
+inline constexpr bool kHaveAvx512 = true;
+#else
+inline constexpr bool kHaveAvx512 = false;
+#endif
+
+}  // namespace sei::core

@@ -47,13 +47,20 @@ std::future<FleetResponse> MicroBatcher::submit(
 
 std::vector<std::unique_ptr<FleetRequest>> MicroBatcher::next_batch() {
   std::vector<std::unique_ptr<FleetRequest>> batch;
+  next_batch(batch);
+  return batch;
+}
+
+void MicroBatcher::next_batch(
+    std::vector<std::unique_ptr<FleetRequest>>& batch) {
+  batch.clear();
   batch.reserve(static_cast<std::size_t>(cfg_.max_batch));
   std::unique_lock<std::mutex> lock(mu_);
   // Loop: a pop round can come up empty-handed when every pending request
   // had already expired — that is not the drained-shutdown signal.
   while (batch.empty()) {
     cv_.wait(lock, [this] { return admission_.pending() > 0 || closed_; });
-    if (admission_.pending() == 0) return batch;  // closed and drained
+    if (admission_.pending() == 0) return;  // closed and drained
 
     if (cfg_.linger.count() > 0 && !closed_ &&
         admission_.pending() < static_cast<std::size_t>(cfg_.max_batch)) {
@@ -82,7 +89,6 @@ std::vector<std::unique_ptr<FleetRequest>> MicroBatcher::next_batch() {
   }
   ++stats_.batches;
   stats_.coalesced += batch.size();
-  return batch;
 }
 
 void MicroBatcher::close() {

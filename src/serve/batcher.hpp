@@ -58,6 +58,12 @@ class MicroBatcher {
   /// exit condition. Must only be called from one thread.
   std::vector<std::unique_ptr<FleetRequest>> next_batch();
 
+  /// Allocation-free variant: fills `out` (cleared first) instead of
+  /// returning a fresh vector, so a dispatcher reusing one buffer pays no
+  /// heap traffic per batch once the buffer's capacity has grown to
+  /// max_batch. Same contract otherwise.
+  void next_batch(std::vector<std::unique_ptr<FleetRequest>>& out);
+
   /// Stops admitting (kUnavailable) and unblocks next_batch; already-queued
   /// requests still come out of next_batch so a graceful stop drains.
   void close();

@@ -129,8 +129,16 @@ Result<RuntimeSnapshot> load_checkpoint(core::SeiNetwork& net,
     if (r.remaining() != 0)
       return Error{ErrorCode::kCorrupt,
                    "trailing bytes after checkpoint payload: " + path};
-    for (int s = 0; s < stages; ++s)
+    for (int s = 0; s < stages; ++s) {
       net.layer(s) = std::move(staged[static_cast<std::size_t>(s)]);
+      // Staging copied the pre-restore layer (for its geometry) and then
+      // overwrote `eff` from the checkpoint — the copied packed
+      // decomposition still encodes the PRE-restore weights. Without this
+      // rebuild the packed engine would silently serve the old network
+      // after a resume.
+      net.rebuild_packed(s);
+    }
+    net.rebuild_plan();
     return snap;
   } catch (const CheckError& e) {
     return Error{ErrorCode::kCorrupt,

@@ -38,10 +38,12 @@ void apply_fault(core::SeiNetwork& net, const FaultEvent& ev,
     // The packed AND+popcount decomposition is derived from `eff` at map
     // time; without a rebuild the packed engine would keep evaluating the
     // pre-fault weights and the damage would be invisible to serving.
-    m.packed = core::build_packed_stage(m.eff, m.geom.rows, m.geom.cols,
-                                        m.row_to_block, m.block_count,
-                                        net.config().input_bits);
+    net.rebuild_packed(s);
   }
+  // Damage can flip a stage's engine (non-integral weights forfeit the
+  // packed path): recompile the plan so dispatch and scratch bounds track
+  // the post-fault network, and bound contexts re-bind on next prepare.
+  net.rebuild_plan();
 }
 
 }  // namespace sei::serve

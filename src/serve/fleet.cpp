@@ -8,6 +8,7 @@
 #include "common/io.hpp"
 #include "core/mapping.hpp"
 #include "exec/thread_pool.hpp"
+#include "telemetry/alloc.hpp"
 #include "telemetry/span.hpp"
 
 namespace sei::serve {
@@ -29,6 +30,14 @@ constexpr int kBatchGrain = 4;
 
 constexpr std::uint64_t kFleetMagic = 0x315446454c464553ULL;  // "SEFLET1"+pad
 constexpr std::uint32_t kFleetVersion = 1;
+
+// Dispatched-request count before the zero-alloc contract is measured
+// (context pool fills, stat vectors reach steady capacity).
+constexpr std::uint64_t kAllocWarmupDispatches = 64;
+
+// Spare capacity kept on per-tenant latency logs and the failover log so
+// steady-state push_backs never reallocate mid-batch.
+constexpr std::size_t kLogHeadroom = 1024;
 
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
@@ -192,12 +201,41 @@ std::future<FleetResponse> FleetRuntime::submit(
 }
 
 void FleetRuntime::dispatcher_loop() {
+  // One batch buffer for the life of the dispatcher: next_batch fills it in
+  // place and process_batch takes it by reference, so steady-state dispatch
+  // reuses the same capacity instead of allocating a vector per batch.
+  std::vector<std::unique_ptr<FleetRequest>> batch;
   while (true) {
-    std::vector<std::unique_ptr<FleetRequest>> batch = batcher_.next_batch();
+    batcher_.next_batch(batch);
     if (batch.empty()) return;  // closed and fully drained
     batches_ctr_->add();
-    process_batch(std::move(batch));
+    process_batch(batch);
   }
+}
+
+std::unique_ptr<core::EvalContext> FleetRuntime::acquire_context() {
+  {
+    std::lock_guard<std::mutex> cl(ctx_mu_);
+    if (!ctx_pool_.empty()) {
+      std::unique_ptr<core::EvalContext> ctx = std::move(ctx_pool_.back());
+      ctx_pool_.pop_back();
+      return ctx;
+    }
+  }
+  // Pool dry: build a context bound to the union of every path's scratch
+  // bounds, so it serves any shard AND the ADC fallback without ever
+  // re-binding (binding is capacity-based — see EvalContext::covers).
+  auto ctx = std::make_unique<core::EvalContext>();
+  core::ScratchPlan merged;
+  for (const Shard& sh : shards_) merged.merge(sh.net->plan().scratch);
+  if (fallback_ != nullptr) merged.merge(fallback_->scratch_plan());
+  ctx->bind(merged);
+  return ctx;
+}
+
+void FleetRuntime::release_context(std::unique_ptr<core::EvalContext> ctx) {
+  std::lock_guard<std::mutex> cl(ctx_mu_);
+  ctx_pool_.push_back(std::move(ctx));
 }
 
 void FleetRuntime::record_failover(int tenant, int home, int to) {
@@ -206,12 +244,21 @@ void FleetRuntime::record_failover(int tenant, int home, int to) {
 }
 
 void FleetRuntime::process_batch(
-    std::vector<std::unique_ptr<FleetRequest>> batch) {
+    std::vector<std::unique_ptr<FleetRequest>>& batch) {
   telemetry::Span span("fleet.batch");
   std::lock_guard<std::mutex> fl(fleet_mu_);
   const int nshards = shard_count();
-  std::vector<Pending> seg;
+  // Persistent segment buffer (capacity survives across batches) plus
+  // headroom top-ups for the logs the hot path appends to — growth happens
+  // here, never inside the measured evaluation.
+  std::vector<Pending>& seg = seg_;
+  seg.clear();
   seg.reserve(batch.size());
+  if (failovers_.capacity() - failovers_.size() < kLogHeadroom)
+    failovers_.reserve(failovers_.size() + 4 * kLogHeadroom);
+  for (std::vector<double>& lat : tenant_latencies_)
+    if (lat.capacity() - lat.size() < kLogHeadroom)
+      lat.reserve(lat.size() + 4 * kLogHeadroom);
 
   for (std::unique_ptr<FleetRequest>& reqp : batch) {
     // 1. Storm strikes that came due land before the next dispatch. The
@@ -326,35 +373,51 @@ void FleetRuntime::flush(std::vector<Pending>& seg) {
   if (seg.empty()) return;
   const int n = static_cast<int>(seg.size());
 
-  struct Outcome {
-    bool ok = false;
-    int label = -1;
-    ErrorCode err = ErrorCode::kInternal;
-  };
-  std::vector<Outcome> out(static_cast<std::size_t>(n));
+  std::vector<Outcome>& out = out_;
+  out.assign(static_cast<std::size_t>(n), Outcome{});
 
-  // One deterministic parallel evaluation over the segment: per-chunk
-  // contexts, per-item counter-based RNG streams, no metering on the hot
-  // path (energy is bulk-charged below at the price-list rate).
+  // One deterministic parallel evaluation over the segment: pool-checked-out
+  // plan-bound contexts, per-item counter-based RNG streams, no metering on
+  // the hot path (energy is bulk-charged below at the price-list rate).
+  // Post-warmup chunks run under the allocation guard — the zero-alloc
+  // contract's measurement (docs/plans.md §4).
+  const bool measure = telemetry::alloc_counting_available() &&
+                       total_dispatched_ > kAllocWarmupDispatches;
   exec::parallel_for_chunks(n, kBatchGrain, [&](int lo, int hi) {
-    core::EvalContext ctx;
-    for (int i = lo; i < hi; ++i) {
-      Pending& p = seg[static_cast<std::size_t>(i)];
-      ctx.cancel = &p.req->token;
-      Result<int> res =
-          p.shard >= 0
-              ? shards_[static_cast<std::size_t>(p.shard)].net->try_predict(
-                    p.req->image, ctx, static_cast<long long>(p.sequence))
-              : fallback_->try_predict(p.req->image, ctx);
-      ctx.cancel = nullptr;
-      Outcome& o = out[static_cast<std::size_t>(i)];
-      if (res.ok()) {
-        o.ok = true;
-        o.label = res.value();
-      } else {
-        o.err = res.code();
+    std::unique_ptr<core::EvalContext> ctx = acquire_context();
+    const auto eval_items = [&](core::EvalContext& c) {
+      for (int i = lo; i < hi; ++i) {
+        Pending& p = seg[static_cast<std::size_t>(i)];
+        c.cancel = &p.req->token;
+        Result<int> res =
+            p.shard >= 0
+                ? shards_[static_cast<std::size_t>(p.shard)].net->try_predict(
+                      p.req->image, c, static_cast<long long>(p.sequence))
+                : fallback_->try_predict(p.req->image, c);
+        c.cancel = nullptr;
+        Outcome& o = out[static_cast<std::size_t>(i)];
+        if (res.ok()) {
+          o.ok = true;
+          o.label = res.value();
+        } else {
+          o.err = res.code();
+        }
       }
+    };
+    if (measure) {
+      std::uint64_t allocs;
+      {
+        telemetry::AllocGuard guard;
+        eval_items(*ctx);
+        allocs = guard.count();
+      }
+      hot_allocs_.fetch_add(allocs, std::memory_order_relaxed);
+      alloc_measured_.fetch_add(static_cast<std::uint64_t>(hi - lo),
+                                std::memory_order_relaxed);
+    } else {
+      eval_items(*ctx);
     }
+    release_context(std::move(ctx));
   });
 
   // Bulk energy: each completed evaluation costs the full per-picture
@@ -362,8 +425,10 @@ void FleetRuntime::flush(std::vector<Pending>& seg) {
   // billed — the accounting is per delivered answer, and billing partial
   // stage walks would make tenant bills timing-dependent.
   const int nt = tenant_count();
-  std::vector<std::uint64_t> sei_n(static_cast<std::size_t>(nt), 0);
-  std::vector<std::uint64_t> adc_n(static_cast<std::size_t>(nt), 0);
+  std::vector<std::uint64_t>& sei_n = sei_n_;
+  std::vector<std::uint64_t>& adc_n = adc_n_;
+  sei_n.assign(static_cast<std::size_t>(nt), 0);
+  adc_n.assign(static_cast<std::size_t>(nt), 0);
   for (int i = 0; i < n; ++i) {
     const Pending& p = seg[static_cast<std::size_t>(i)];
     if (!out[static_cast<std::size_t>(i)].ok) continue;
@@ -392,9 +457,12 @@ void FleetRuntime::flush(std::vector<Pending>& seg) {
 
   // Admission bookkeeping in one lock hold: quota billing deltas plus
   // per-tenant outcome counters for the whole segment.
-  std::vector<std::uint64_t> ok_n(static_cast<std::size_t>(nt), 0);
-  std::vector<std::uint64_t> degraded_n(static_cast<std::size_t>(nt), 0);
-  std::vector<std::uint64_t> rejected_n(static_cast<std::size_t>(nt), 0);
+  std::vector<std::uint64_t>& ok_n = ok_n_;
+  std::vector<std::uint64_t>& degraded_n = degraded_n_;
+  std::vector<std::uint64_t>& rejected_n = rejected_n_;
+  ok_n.assign(static_cast<std::size_t>(nt), 0);
+  degraded_n.assign(static_cast<std::size_t>(nt), 0);
+  rejected_n.assign(static_cast<std::size_t>(nt), 0);
   for (int i = 0; i < n; ++i) {
     const Pending& p = seg[static_cast<std::size_t>(i)];
     const Outcome& o = out[static_cast<std::size_t>(i)];
@@ -818,6 +886,8 @@ FleetStats FleetRuntime::stats() const {
     for (int t = 0; t < nt; ++t)
       fs.tenants[static_cast<std::size_t>(t)] = adm.counters(t);
   });
+  fs.alloc_measured_requests = alloc_measured_.load(std::memory_order_relaxed);
+  fs.serve_request_allocs = hot_allocs_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> fl(fleet_mu_);
   fs.total_dispatched = total_dispatched_;
   fs.fallback_served = fallback_served_;

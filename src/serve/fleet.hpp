@@ -98,6 +98,11 @@ struct FleetStats {
   std::uint64_t shed = 0;              // no healthy shard, no fallback
   std::uint64_t failovers = 0;
   std::uint64_t checkpoints = 0;       // complete checkpoint sets written
+  // Zero-allocation contract (docs/plans.md §4): requests evaluated under
+  // the allocation guard after warmup, and the heap allocations observed
+  // across them. Pool-bound contexts must keep serve_request_allocs at 0.
+  std::uint64_t alloc_measured_requests = 0;
+  std::uint64_t serve_request_allocs = 0;
   BatcherStats batcher{};
   std::vector<TenantCounters> tenants;
   std::vector<ShardStats> shards;
@@ -198,8 +203,21 @@ class FleetRuntime {
     telemetry::Counter* shedding = nullptr;
   };
 
+  /// Per-flush evaluation outcome of one pending request.
+  struct Outcome {
+    bool ok = false;
+    int label = -1;
+    ErrorCode err = ErrorCode::kInternal;
+  };
+
   void dispatcher_loop();
-  void process_batch(std::vector<std::unique_ptr<FleetRequest>> batch);
+  void process_batch(std::vector<std::unique_ptr<FleetRequest>>& batch);
+  /// Checks out a plan-bound EvalContext from the pool (all shards share
+  /// one scratch bound — same qnet geometry), creating one only when the
+  /// pool is dry. Steady state: pool size == peak chunk concurrency, zero
+  /// construction or binding per flush.
+  std::unique_ptr<core::EvalContext> acquire_context();
+  void release_context(std::unique_ptr<core::EvalContext> ctx);
   /// Evaluates the segment with one parallel_for, bulk-charges energy,
   /// bills tenant quotas and completes every promise. Clears `seg`.
   void flush(std::vector<Pending>& seg);
@@ -255,6 +273,23 @@ class FleetRuntime {
   double manifest_gpass_ = 0.0;
   EnergySummary energy_;
   core::EvalContext maint_ctx_;  // probes + recovery measurements
+
+  // Flush scratch, persistent across batches so steady-state dispatch
+  // performs no heap allocation: the segment, the per-item outcomes and
+  // the per-tenant tally vectors are assign()ed within retained capacity.
+  std::vector<Pending> seg_;
+  std::vector<Outcome> out_;
+  std::vector<std::uint64_t> sei_n_, adc_n_;
+  std::vector<std::uint64_t> ok_n_, degraded_n_, rejected_n_;
+
+  // Evaluation-context pool for the parallel segment flush (see
+  // acquire_context). Guarded by ctx_mu_ — chunk workers check out/in.
+  std::mutex ctx_mu_;
+  std::vector<std::unique_ptr<core::EvalContext>> ctx_pool_;
+
+  // Zero-alloc accounting (FleetStats::serve_request_allocs).
+  std::atomic<std::uint64_t> alloc_measured_{0};
+  std::atomic<std::uint64_t> hot_allocs_{0};
 
   std::vector<TenantMetrics> tenant_metrics_;
   std::vector<ShardMetrics> shard_metrics_;

@@ -20,6 +20,15 @@ using Clock = std::chrono::steady_clock;
 constexpr long long kProbeIndexBase = 1LL << 40;
 constexpr long long kMeasureIndexBase = 1LL << 41;
 
+// Served-request count before the zero-alloc contract is measured: covers
+// context binding, lazily grown stat vectors, and allocator warm-up.
+constexpr std::uint64_t kAllocWarmupRequests = 64;
+
+// Keep this much spare capacity on the latency log so steady-state
+// push_backs never reallocate inside the measured serve path; maintenance
+// tops it up outside the guard.
+constexpr std::size_t kLatencyHeadroom = 1024;
+
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
@@ -98,6 +107,7 @@ void ServingRuntime::start() {
   {
     std::lock_guard<std::mutex> sl(stats_mu_);
     energy_published_ = false;
+    latencies_ms_.reserve(4 * kLatencyHeadroom);
   }
   {
     std::lock_guard<std::mutex> ql(queue_mu_);
@@ -199,6 +209,12 @@ void ServingRuntime::set_fault_schedule(FaultSchedule schedule) {
 void ServingRuntime::worker_loop() {
   core::EvalContext ctx;
   exec::CancelToken token;
+  {
+    // Bind the scratch arena to the compiled plan before the first request
+    // so even a late-starting worker's first serve is allocation-free.
+    std::shared_lock<std::shared_mutex> nl(net_mu_);
+    net_.prepare(ctx);
+  }
   while (true) {
     std::unique_ptr<Request> req;
     std::uint64_t sequence = 0;
@@ -212,7 +228,20 @@ void ServingRuntime::worker_loop() {
       sequence = snap_.next_sequence++;
       served = ++snap_.requests_served;
     }
-    serve_one(*req, sequence, ctx, token);
+    if (telemetry::alloc_counting_available() &&
+        served > kAllocWarmupRequests) {
+      std::uint64_t allocs;
+      {
+        telemetry::AllocGuard guard;
+        serve_one(*req, sequence, ctx, token);
+        allocs = guard.count();
+      }
+      std::lock_guard<std::mutex> sl(stats_mu_);
+      ++stats_.alloc_measured_requests;
+      stats_.serve_request_allocs += allocs;
+    } else {
+      serve_one(*req, sequence, ctx, token);
+    }
     maintenance(served, ctx);
   }
 }
@@ -299,6 +328,14 @@ void ServingRuntime::maintenance(std::uint64_t served,
                                  core::EvalContext& ctx) {
   std::unique_lock<std::mutex> ml(maint_mu_, std::try_to_lock);
   if (!ml.owns_lock()) return;  // another worker is on maintenance duty
+
+  // 0. Latency-log headroom: grow the vector here, outside the measured
+  // serve path, so finish()'s push_back never reallocates mid-request.
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    if (latencies_ms_.capacity() - latencies_ms_.size() < kLatencyHeadroom)
+      latencies_ms_.reserve(latencies_ms_.size() + 4 * kLatencyHeadroom);
+  }
 
   // 1. Fire scheduled faults that came due.
   while (next_fault_ < schedule_.events.size() &&

@@ -48,6 +48,7 @@
 #include "serve/checkpoint.hpp"
 #include "serve/fault_schedule.hpp"
 #include "serve/sentinel.hpp"
+#include "telemetry/alloc.hpp"
 #include "telemetry/energy.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -115,6 +116,14 @@ struct RuntimeStats {
   int breaker_trips = 0;
   double sentinel_baseline_pct = 0.0;
   double sentinel_window_pct = -1.0;
+  // Zero-allocation contract (docs/plans.md §4): requests measured after
+  // the warmup threshold, and the heap allocations observed across them.
+  // Steady-state serving on a plan-bound context must keep
+  // serve_request_allocs at 0; bench_serving gates it and CI enforces the
+  // gate. Both stay 0 when the build lacks the counting shims
+  // (telemetry::alloc_counting_available()).
+  std::uint64_t alloc_measured_requests = 0;
+  std::uint64_t serve_request_allocs = 0;
 };
 
 class ServingRuntime {

@@ -1,0 +1,110 @@
+#include "telemetry/alloc.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace sei::telemetry {
+namespace {
+
+// POD thread-locals only: these are touched from inside operator new, which
+// can run before any constructor and during TLS teardown — a guarded
+// (dynamically initialized) thread_local would recurse into the allocator.
+thread_local std::uint64_t t_count = 0;
+thread_local int t_armed = 0;
+
+}  // namespace
+
+std::uint64_t alloc_count_arm() {
+  if constexpr (kAllocCountersEnabled) ++t_armed;
+  return t_count;
+}
+
+void alloc_count_disarm() {
+  if constexpr (kAllocCountersEnabled) {
+    if (t_armed > 0) --t_armed;
+  }
+}
+
+std::uint64_t alloc_count() { return t_count; }
+
+}  // namespace sei::telemetry
+
+#if defined(SEI_ALLOC_COUNTERS_ENABLED) && SEI_ALLOC_COUNTERS_ENABLED
+
+// Global operator new/delete replacement ([new.delete.single]): malloc plus
+// one armed-flag test. Alignment overloads forward to aligned_alloc so
+// over-aligned types (the 64-byte Arena block) stay correct.
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  using namespace sei::telemetry;
+  if (t_armed > 0) ++t_count;
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  using namespace sei::telemetry;
+  if (t_armed > 0) ++t_count;
+  if (size == 0) size = align;
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc(size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+
+#endif  // SEI_ALLOC_COUNTERS_ENABLED

@@ -1,0 +1,69 @@
+// Thread-local heap-allocation counters (docs/plans.md §4).
+//
+// The compiled-plan serving contract is *zero heap allocations per request*
+// once a worker is warm: EvalContext scratch is arena-carved, activation
+// vectors are reserved to plan bounds, and the runtimes recycle every
+// per-request object. Contracts that nothing measures rot, so this unit
+// replaces global operator new/delete with forwarding shims that bump a
+// thread-local counter while a scope is "armed":
+//
+//   telemetry::AllocGuard guard;          // arm this thread
+//   ... serve one request ...
+//   std::uint64_t n = guard.count();      // allocations since arming
+//
+// The serving runtimes arm the guard around the post-warmup hot path and
+// publish the count as `serve_request_allocs`; bench_serving gates it at
+// zero and CI runs that gate (.github/workflows/ci.yml, zero-alloc job).
+//
+// Cost when disarmed: one thread-local flag test per new/delete. Builds
+// that cannot afford even that — or that must not replace new/delete at
+// all (sanitizers install their own interposers; SEI_SANITIZE forces the
+// option off) — compile the whole unit out via SEI_ALLOC_COUNTERS_ENABLED=0:
+// the shims vanish, arm/disarm become no-ops, and counts read 0. Callers
+// distinguish "zero allocations" from "not measuring" with
+// alloc_counting_available().
+#pragma once
+
+#include <cstdint>
+
+namespace sei::telemetry {
+
+#if defined(SEI_ALLOC_COUNTERS_ENABLED) && SEI_ALLOC_COUNTERS_ENABLED
+inline constexpr bool kAllocCountersEnabled = true;
+#else
+inline constexpr bool kAllocCountersEnabled = false;
+#endif
+
+/// True when this build actually counts heap traffic (the new/delete shims
+/// are installed). False means every count below is a meaningless 0 and a
+/// zero-alloc gate must skip rather than vacuously pass.
+constexpr bool alloc_counting_available() { return kAllocCountersEnabled; }
+
+/// Arms allocation counting on the calling thread. Nestable: inner arms
+/// keep the thread armed; the count is shared (it tracks the thread, not
+/// the scope). Returns the armed count at the time of the call.
+std::uint64_t alloc_count_arm();
+
+/// Disarms one level of arming; counting stops when the depth hits zero.
+void alloc_count_disarm();
+
+/// Allocations observed on this thread while armed (monotonic; never
+/// reset — subtract two readings to scope a region).
+std::uint64_t alloc_count();
+
+/// RAII scope: arms on construction, disarms on destruction; count() reads
+/// the allocations since construction.
+class AllocGuard {
+ public:
+  AllocGuard() : start_(alloc_count_arm()) {}
+  ~AllocGuard() { alloc_count_disarm(); }
+  AllocGuard(const AllocGuard&) = delete;
+  AllocGuard& operator=(const AllocGuard&) = delete;
+
+  std::uint64_t count() const { return alloc_count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace sei::telemetry

@@ -202,6 +202,102 @@ TEST(Determinism, PackedEngineMatchesFloatUnderNoiseAndSplitting) {
   }
 }
 
+/// Plan-vs-interpreter equivalence harness (docs/plans.md §5): runs `n`
+/// images through the compiled plan and through the retained per-stage
+/// interpreter on the same mapped network, requiring bit-identical
+/// predictions, identical batch error rates at 1/2/8 threads, and metered
+/// energy equal to 1e-6 pJ. The meter is attached to the network so the
+/// plan pass exercises the baked per-op prices while the interpreter pass
+/// prices dynamically — pinning the lowering's price baking too.
+void expect_plan_matches_interpreter(const quant::QNetwork& qnet,
+                                     core::SeiNetwork& hw,
+                                     const data::Dataset& test, int n) {
+  ThreadGuard guard;
+  const telemetry::EnergyMeter meter =
+      arch::make_energy_meter(qnet, hw.config(), core::StructureKind::kSei);
+  hw.set_meter(&meter);
+  const std::size_t per_image = 28 * 28;
+  auto image = [&](int i) {
+    return std::span<const float>{
+        test.images.data() + static_cast<std::size_t>(i) * per_image,
+        per_image};
+  };
+  std::vector<int> pred[2];
+  telemetry::EnergyAccum energy[2];
+  std::vector<double> err[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    hw.set_plan_mode(pass == 0);
+    core::EvalContext ctx;
+    ctx.meter = &meter;
+    ctx.energy = &energy[pass];
+    for (int i = 0; i < n; ++i)
+      pred[pass].push_back(hw.predict(image(i), ctx, i));
+    for (const int threads : {1, 2, 8}) {
+      exec::set_default_threads(threads);
+      err[pass].push_back(hw.error_rate(test, n));
+    }
+  }
+  hw.set_plan_mode(true);
+  hw.set_meter(nullptr);
+  EXPECT_EQ(pred[0], pred[1]);
+  EXPECT_EQ(err[0], err[1]);
+  EXPECT_NEAR(energy[0].pj.total(), energy[1].pj.total(), 1e-6);
+  EXPECT_NEAR(energy[0].pj.interface(), energy[1].pj.interface(), 1e-6);
+  EXPECT_EQ(energy[0].stages, energy[1].stages);
+  EXPECT_EQ(energy[0].events.sa_compares, energy[1].events.sa_compares);
+  EXPECT_EQ(energy[0].events.cell_activations,
+            energy[1].events.cell_activations);
+  EXPECT_EQ(energy[0].events.dac_conversions, energy[1].events.dac_conversions);
+}
+
+TEST(Determinism, PlanMatchesInterpreterAcrossNetworksAndMappings) {
+  // Every paper network under every mapping shape (whole-matrix, split with
+  // homogenized round-robin order, split with natural order), all with
+  // stochastic readout in the loop: the compiled plan must reproduce the
+  // interpreter bit-for-bit in each combination.
+  data::Dataset train = data::generate_synthetic(500, 83);
+  data::Dataset test = data::generate_synthetic(120, 84);
+  for (const char* name : {"network1", "network2", "network3"}) {
+    const workloads::Workload wl = workloads::workload_by_name(name);
+    nn::Network net = workloads::build_float_network(wl.topo, 57);
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    nn::Trainer(tc).fit(net, train.images, train.label_span());
+    quant::SearchConfig sc;
+    sc.max_search_images = 150;
+    sc.step = 0.1;
+    quant::QNetwork qnet = quant::quantize_network(net, wl.topo, train, sc).qnet;
+
+    struct Variant {
+      const char* tag;
+      int max_rows;
+      bool homogenize;
+    };
+    for (const Variant& v : {Variant{"whole", 0, true},
+                             Variant{"split homogenized", 64, true},
+                             Variant{"split natural", 64, false}}) {
+      core::HardwareConfig cfg;
+      cfg.device.read_noise_sigma = 0.05;
+      if (v.max_rows > 0) cfg.limits.max_rows = v.max_rows;
+      cfg.homogenize = v.homogenize;
+      core::SeiNetwork hw(qnet, cfg);
+      SCOPED_TRACE(std::string(name) + " / " + v.tag);
+      expect_plan_matches_interpreter(qnet, hw, test, 60);
+    }
+  }
+}
+
+TEST(Determinism, PlanMatchesInterpreterOnNonIntegralFallback) {
+  // Programming noise breaks integrality, so the plan lowers every stage to
+  // the scalar engines — the compiled dispatch must still match.
+  Fixture& f = fixture();
+  core::HardwareConfig cfg;
+  cfg.device.program_sigma = 0.03;
+  core::SeiNetwork hw(f.qnet, cfg);
+  EXPECT_EQ(hw.packed_stage_count(), 0);
+  expect_plan_matches_interpreter(f.qnet, hw, f.test, 60);
+}
+
 TEST(Determinism, PackedErrorRateIdenticalAcrossThreadCounts) {
   Fixture& f = fixture();
   ThreadGuard guard;

@@ -641,6 +641,74 @@ TEST(Fleet, TenantEnergyQuotaRejectsAfterExhaustion) {
   EXPECT_GT(fleet.stats().tenants[0].energy_j, 1.0e-9);
 }
 
+TEST(FaultSchedule, PlanRebuiltAfterApplyFault) {
+  // apply_fault mutates the live effective weights, so it must rebuild the
+  // packed decompositions and recompile the plan — a stale plan would keep
+  // dispatching engines (and packed words) programmed for the healthy
+  // weights. The compiled path must agree with the pure scalar interpreter
+  // evaluated on the damaged state, and the rebuild must bump the epoch.
+  Fixture& f = fixture();
+  core::SeiNetwork hw(f.qnet, core::HardwareConfig{});
+  const std::uint64_t epoch_before = hw.plan().epoch;
+
+  serve::FaultEvent ev;
+  ev.stage = -1;  // damage every stage
+  ev.stuck_fraction = 0.15;
+  serve::apply_fault(hw, ev, /*seed=*/1234, /*event_index=*/0);
+  EXPECT_GT(hw.plan().epoch, epoch_before);
+
+  // Scalar interpreter reads the damaged `eff` directly — ground truth.
+  std::vector<int> scalar_ref;
+  hw.set_plan_mode(false);
+  hw.set_packed_eval(false);
+  core::EvalContext ctx;
+  for (int i = 0; i < 40; ++i) scalar_ref.push_back(hw.predict(f.image(i), ctx, i));
+  hw.set_packed_eval(true);
+  hw.set_plan_mode(true);
+  for (int i = 0; i < 40; ++i)
+    EXPECT_EQ(hw.predict(f.image(i), ctx, i),
+              scalar_ref[static_cast<std::size_t>(i)])
+        << "image " << i;
+}
+
+TEST(Checkpoint, ResumeRebuildsPackedStateAndPlan) {
+  // load_checkpoint overwrites `eff` wholesale, so the restore must rebuild
+  // each stage's packed decomposition and recompile the plan; a restored
+  // network that kept its pre-restore packed words would serve the old
+  // weights through the packed engines while the scalar path served the
+  // new ones.
+  Fixture& f = fixture();
+  const std::string path = tmp_path("sei_ckpt_plan_rebuild.bin");
+  core::SeiNetwork a(f.qnet, core::HardwareConfig{});
+  serve::FaultEvent ev;
+  ev.stage = -1;
+  ev.stuck_fraction = 0.10;
+  serve::apply_fault(a, ev, /*seed=*/99, /*event_index=*/0);
+  serve::RuntimeSnapshot snap;
+  ASSERT_TRUE(serve::save_checkpoint(a, snap, path).ok());
+
+  core::SeiNetwork b(f.qnet, core::HardwareConfig{});  // healthy pre-restore
+  const std::uint64_t epoch_before = b.plan().epoch;
+  ASSERT_TRUE(serve::load_checkpoint(b, path).ok());
+  EXPECT_GT(b.plan().epoch, epoch_before);
+
+  // b's compiled path must match a's, and must match b's own scalar
+  // interpreter — any stale packed words or stale plan break one of these.
+  core::EvalContext ca, cb;
+  std::vector<int> restored;
+  for (int i = 0; i < 40; ++i) restored.push_back(b.predict(f.image(i), cb, i));
+  for (int i = 0; i < 40; ++i)
+    EXPECT_EQ(restored[static_cast<std::size_t>(i)], a.predict(f.image(i), ca, i))
+        << "image " << i;
+  b.set_plan_mode(false);
+  b.set_packed_eval(false);
+  for (int i = 0; i < 40; ++i)
+    EXPECT_EQ(b.predict(f.image(i), cb, i),
+              restored[static_cast<std::size_t>(i)])
+        << "image " << i;
+  std::filesystem::remove(path);
+}
+
 TEST(Fleet, CrashResumeReplaysBitIdentically) {
   Fixture& f = fixture();
   const auto make_nets = [&] {
