@@ -2,7 +2,7 @@
 // a sharded FleetRuntime, with scripted fault storms that stuck-fault whole
 // shards mid-run. Reports per-tenant p50/p99 latency, availability, the
 // Jain fairness index over weight-normalized service, failover/recovery
-// timelines and checkpoint activity (schema sei-serving-v2).
+// timelines and checkpoint activity (schema sei-serving-v3).
 //
 // Arrival modes:
 //   --rate > 0   open-loop Poisson at that many requests/second (arrival
@@ -64,6 +64,12 @@ struct TenantTally {
   std::uint64_t degraded = 0;
   std::uint64_t rejected = 0;
   std::uint64_t deadline_misses = 0;
+  // Rejection breakout by cause — "rejected" alone can't distinguish a
+  // shedding fleet from a quota-starved tenant or a deadline too tight.
+  std::uint64_t shed = 0;            // kShedding
+  std::uint64_t quota_rejected = 0;  // kQuotaExceeded
+  std::uint64_t queue_full = 0;      // kQueueFull
+  std::uint64_t other_rejected = 0;  // any remaining rejection code
   std::vector<double> latencies_ms;
 
   double availability_pct() const {
@@ -209,7 +215,13 @@ int main(int argc, char** argv) try {
       case serve::FleetResponseStatus::kDegraded: ++tt.degraded; break;
       case serve::FleetResponseStatus::kRejected:
         ++tt.rejected;
-        if (r.error == ErrorCode::kDeadlineExceeded) ++tt.deadline_misses;
+        switch (r.error) {
+          case ErrorCode::kDeadlineExceeded: ++tt.deadline_misses; break;
+          case ErrorCode::kShedding: ++tt.shed; break;
+          case ErrorCode::kQuotaExceeded: ++tt.quota_rejected; break;
+          case ErrorCode::kQueueFull: ++tt.queue_full; break;
+          default: ++tt.other_rejected; break;
+        }
         break;
     }
   };
@@ -307,7 +319,7 @@ int main(int argc, char** argv) try {
 
   JsonWriter j(json_path);
   j.begin_object();
-  j.kv("schema", "sei-serving-v2");
+  j.kv("schema", "sei-serving-v3");
   j.kv("network", net_name);
   j.kv("requests", static_cast<long long>(requests));
   j.kv("submitted", static_cast<long long>(submitted));
@@ -347,6 +359,10 @@ int main(int argc, char** argv) try {
     j.kv("degraded", static_cast<long long>(tt.degraded));
     j.kv("rejected", static_cast<long long>(tt.rejected));
     j.kv("deadline_misses", static_cast<long long>(tt.deadline_misses));
+    j.kv("shed", static_cast<long long>(tt.shed));
+    j.kv("quota_rejected", static_cast<long long>(tt.quota_rejected));
+    j.kv("queue_full", static_cast<long long>(tt.queue_full));
+    j.kv("other_rejected", static_cast<long long>(tt.other_rejected));
     j.kv("queue_rejections", static_cast<long long>(c.queue_rejections));
     j.kv("quota_rejections", static_cast<long long>(c.quota_rejections));
     j.kv("dropped_expired", static_cast<long long>(c.dropped_expired));

@@ -1,0 +1,254 @@
+#include "chaos/crash_matrix.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <future>
+#include <set>
+#include <span>
+#include <utility>
+
+#include "common/io.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace sei::chaos {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::span<const float> image_at(const data::Dataset& images, int i) {
+  const std::size_t per_image =
+      images.images.numel() / static_cast<std::size_t>(images.size());
+  const int k = i % images.size();
+  return {images.images.data() + static_cast<std::size_t>(k) * per_image,
+          per_image};
+}
+
+struct IoHookGuard {
+  explicit IoHookGuard(IoFaultHook hook) { set_io_fault_hook(std::move(hook)); }
+  ~IoHookGuard() { set_io_fault_hook(IoFaultHook{}); }
+  IoHookGuard(const IoHookGuard&) = delete;
+  IoHookGuard& operator=(const IoHookGuard&) = delete;
+};
+
+struct Reply {
+  serve::FleetResponseStatus status = serve::FleetResponseStatus::kRejected;
+  int label = -1;
+  int shard = -1;
+  std::uint64_t ticket = 0;
+  std::uint64_t sequence = 0;
+};
+
+/// Serves requests [lo, hi) with a closed-loop window of 1 — each future
+/// resolves before the next submit, so dispatch order equals submission
+/// order for any tenant mix and any thread count.
+std::vector<Reply> serve_range(serve::FleetRuntime& fleet,
+                               const data::Dataset& images, int lo, int hi) {
+  const int nt = fleet.tenant_count();
+  std::vector<Reply> out;
+  out.reserve(static_cast<std::size_t>(hi - lo));
+  for (int i = lo; i < hi; ++i) {
+    const serve::FleetResponse r =
+        fleet.submit(i % nt, image_at(images, i)).get();
+    out.push_back({r.status, r.label, r.shard, r.ticket, r.sequence});
+  }
+  return out;
+}
+
+/// Checks `got` (requests starting at stream index `lo`) against the
+/// reference; one violation per call — offsets past the first mismatch
+/// are the same defect replayed.
+void compare_replies(const std::vector<Reply>& got,
+                     const std::vector<Reply>& reference, int lo,
+                     const std::string& tag,
+                     std::vector<InvariantViolation>& out) {
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const Reply& g = got[i];
+    const Reply& w = reference[static_cast<std::size_t>(lo) + i];
+    if (g.status == w.status && g.label == w.label && g.shard == w.shard &&
+        g.ticket == w.ticket && g.sequence == w.sequence)
+      continue;
+    out.push_back(
+        {"replay",
+         tag + ": request " + std::to_string(lo + static_cast<int>(i)) +
+             " diverged from the reference (status " +
+             std::string(to_string(g.status)) + "/" + to_string(w.status) +
+             ", label " + std::to_string(g.label) + "/" +
+             std::to_string(w.label) + ", shard " + std::to_string(g.shard) +
+             "/" + std::to_string(w.shard) + ", ticket " +
+             std::to_string(g.ticket) + "/" + std::to_string(w.ticket) +
+             ", sequence " + std::to_string(g.sequence) + "/" +
+             std::to_string(w.sequence) + ")"});
+    return;
+  }
+}
+
+void copy_dir(const std::string& src, const std::string& dst) {
+  fs::remove_all(dst);
+  fs::create_directories(dst);
+  fs::copy(src, dst,
+           fs::copy_options::recursive | fs::copy_options::overwrite_existing);
+}
+
+void check_bills(const serve::FleetStats& st, const std::vector<double>& ref,
+                 double tol_j, const std::string& tag,
+                 std::vector<InvariantViolation>& out) {
+  for (std::size_t t = 0; t < ref.size() && t < st.tenants.size(); ++t) {
+    const double err = std::abs(st.tenants[t].energy_j - ref[t]);
+    if (err > tol_j)
+      out.push_back({"billing",
+                     tag + ": tenant " + std::to_string(t) +
+                         " final bill off the reference by " +
+                         std::to_string(err * 1e12) + " pJ (tolerance " +
+                         std::to_string(tol_j * 1e12) + " pJ)"});
+  }
+}
+
+}  // namespace
+
+CrashMatrixReport run_crash_matrix(const FleetFactory& make_fleet,
+                                   const data::Dataset& images,
+                                   const CrashMatrixConfig& cfg) {
+  CrashMatrixReport rep;
+  const int stride = std::max(1, cfg.stride);
+  const std::vector<int> threads =
+      cfg.threads.empty() ? std::vector<int>{1} : cfg.threads;
+
+  // Uninterrupted reference: the whole stream, no checkpointing.
+  exec::set_default_threads(threads.front());
+  std::vector<Reply> reference;
+  std::vector<double> ref_bill;
+  {
+    std::unique_ptr<serve::FleetRuntime> fleet = make_fleet("");
+    fleet->start();
+    reference = serve_range(*fleet, images, 0, cfg.total);
+    fleet->stop();
+    for (const serve::TenantCounters& c : fleet->stats().tenants)
+      ref_bill.push_back(c.energy_j);
+  }
+
+  // Leg 1 commits a set at cut1; the counting run resumes from it, serves
+  // to cut2 and measures N = IO steps in one commit sequence.
+  const std::string stash = cfg.dir + ".stash";
+  {
+    fs::remove_all(cfg.dir);
+    std::unique_ptr<serve::FleetRuntime> fleet = make_fleet(cfg.dir);
+    fleet->start();
+    compare_replies(serve_range(*fleet, images, 0, cfg.cut1), reference, 0,
+                    "leg1", rep.violations);
+    fleet->stop();
+    fleet.reset();
+    copy_dir(cfg.dir, stash);
+
+    fleet = make_fleet(cfg.dir);
+    fleet->start();
+    if (!fleet->resumed_from_checkpoint() ||
+        fleet->stats().total_dispatched !=
+            static_cast<std::uint64_t>(cfg.cut1)) {
+      rep.violations.push_back(
+          {"crash_matrix",
+           "counting run did not resume at cut1=" + std::to_string(cfg.cut1) +
+               " (dispatched=" +
+               std::to_string(fleet->stats().total_dispatched) + ")"});
+    }
+    compare_replies(serve_range(*fleet, images, cfg.cut1, cfg.cut2), reference,
+                    cfg.cut1, "counting run", rep.violations);
+    std::atomic<int> steps{0};
+    {
+      IoHookGuard guard([&](const IoFaultSite&) {
+        steps.fetch_add(1, std::memory_order_relaxed);
+        return IoFaultAction::kNone;
+      });
+      fleet->stop();
+    }
+    rep.commit_steps = steps.load();
+  }
+  if (rep.commit_steps <= 0) {
+    rep.violations.push_back(
+        {"crash_matrix", "commit sequence exposed no IO steps to the hook"});
+    publish_violations(rep.violations);
+    return rep;
+  }
+
+  std::set<int> offsets;
+  for (const int tc : threads) {
+    exec::set_default_threads(tc);
+    for (int k = 0; k < rep.commit_steps; k += stride) {
+      const std::string tag =
+          "threads=" + std::to_string(tc) + " crash-step=" + std::to_string(k);
+      copy_dir(stash, cfg.dir);
+
+      std::unique_ptr<serve::FleetRuntime> fleet = make_fleet(cfg.dir);
+      fleet->start();
+      if (!fleet->resumed_from_checkpoint() ||
+          fleet->stats().total_dispatched !=
+              static_cast<std::uint64_t>(cfg.cut1)) {
+        rep.violations.push_back(
+            {"crash_matrix", tag + ": leg did not resume at cut1"});
+        fleet->stop();
+        continue;
+      }
+      compare_replies(serve_range(*fleet, images, cfg.cut1, cfg.cut2),
+                      reference, cfg.cut1, tag, rep.violations);
+
+      bool crashed = false;
+      {
+        std::atomic<int> n{0};
+        IoHookGuard guard([&](const IoFaultSite&) {
+          return n.fetch_add(1, std::memory_order_relaxed) == k
+                     ? IoFaultAction::kCrash
+                     : IoFaultAction::kNone;
+        });
+        try {
+          fleet->stop();
+        } catch (const InjectedCrash&) {
+          crashed = true;
+        }
+      }
+      // The commit sequence is deterministic; finishing before step k means
+      // the counting run and this leg disagree on its length.
+      if (!crashed)
+        rep.violations.push_back(
+            {"crash_matrix", tag + ": commit completed before the armed step"});
+      fleet.reset();  // stop() already ran: the destructor is a no-op
+      ++rep.steps_tested;
+      offsets.insert(k);
+
+      fleet = make_fleet(cfg.dir);
+      fleet->start();
+      const std::uint64_t d0 = fleet->stats().total_dispatched;
+      const bool old_set = d0 == static_cast<std::uint64_t>(cfg.cut1);
+      const bool new_set = d0 == static_cast<std::uint64_t>(cfg.cut2);
+      if (!fleet->resumed_from_checkpoint() || (!old_set && !new_set)) {
+        rep.violations.push_back(
+            {"crash_matrix",
+             tag + ": post-crash start landed at dispatched=" +
+                 std::to_string(d0) + " (resumed=" +
+                 (fleet->resumed_from_checkpoint() ? "yes" : "no") +
+                 "), want a committed set at " + std::to_string(cfg.cut1) +
+                 " or " + std::to_string(cfg.cut2)});
+        fleet->stop();
+        continue;
+      }
+      old_set ? ++rep.resumed_from_old : ++rep.resumed_from_new;
+      compare_replies(
+          serve_range(*fleet, images, static_cast<int>(d0), cfg.total),
+          reference, static_cast<int>(d0), tag, rep.violations);
+      fleet->stop();
+      check_bills(fleet->stats(), ref_bill, cfg.billing_tol_j, tag,
+                  rep.violations);
+    }
+  }
+
+  rep.coverage_pct = 100.0 * static_cast<double>(offsets.size()) /
+                     static_cast<double>(rep.commit_steps);
+  fs::remove_all(stash);
+  fs::remove_all(cfg.dir);
+  exec::set_default_threads(0);
+  publish_violations(rep.violations);
+  return rep;
+}
+
+}  // namespace sei::chaos

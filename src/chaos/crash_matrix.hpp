@@ -1,0 +1,87 @@
+// Crash-point matrix: kill the fleet at EVERY write offset of a checkpoint
+// commit and prove each crash resumes bit-identically.
+//
+// The fleet's commit sequence (serve/fleet.cpp write_checkpoints) is a
+// fixed series of durable IO steps — per-shard slot-file writes, fsyncs
+// and renames, then the manifest's, with the manifest rename as the commit
+// point. Every step is visible to the IO fault hook (common/io.hpp), so
+// the matrix can enumerate them: a counting run measures the sequence
+// length N, then one leg per offset k < N re-runs the same serve segment,
+// injects kCrash (simulated kill -9) at exactly step k of the final
+// commit, and verifies the wreckage:
+//
+//   * the next start() must land on a committed set — the previous one for
+//     k before the manifest rename, the new one at the rename's tail — and
+//     stats().total_dispatched must equal that set's cut exactly;
+//   * replaying the remaining request stream must reproduce the
+//     uninterrupted reference run bit-identically (status, label, shard,
+//     ticket, sequence per request);
+//   * the final per-tenant bills must match the reference to
+//     billing_tol_j (default 1e-6 pJ).
+//
+// The runner owns the checkpoint directory: it stashes the committed set
+// before each crash leg and restores it after, so every leg starts from
+// the same on-disk state. Fleet composition stays with the caller through
+// FleetFactory. docs/chaos.md walks through the whole protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.hpp"
+#include "data/dataset.hpp"
+#include "serve/fleet.hpp"
+
+namespace sei::chaos {
+
+/// Builds a fresh, NOT-started fleet whose FleetConfig uses
+/// `checkpoint_dir` (empty = no checkpointing) and checkpoint_every = 0 —
+/// the only commit then happens in stop(), on the caller's thread, which
+/// is what lets the matrix catch InjectedCrash. Every call must configure
+/// the fleet identically (same tenant set, same shard seeds, same storm);
+/// a call may rebuild the backing networks, so the runner destroys the
+/// previous fleet before asking for the next.
+using FleetFactory = std::function<std::unique_ptr<serve::FleetRuntime>(
+    const std::string& checkpoint_dir)>;
+
+struct CrashMatrixConfig {
+  std::string dir;  // working checkpoint dir; created, cleaned, stashed
+  // Request-stream cuts: leg 1 commits at cut1, every crash leg serves
+  // (cut1, cut2] and crashes committing at cut2, the post-crash leg
+  // replays to `total`. Put storm strikes inside (cut1, cut2) to crash
+  // mid-recovery state.
+  int cut1 = 40;
+  int cut2 = 60;
+  int total = 80;
+  // Crash offsets tested: k = 0, stride, 2*stride, ... — stride 1 is the
+  // full matrix (100% coverage), larger strides sample it for quick runs.
+  int stride = 1;
+  // Thread-pool widths the whole matrix repeats under (replays must be
+  // bit-identical at each). The reference run uses threads[0].
+  std::vector<int> threads = {1, 2, 8};
+  double billing_tol_j = 1e-18;  // 1e-6 pJ
+};
+
+struct CrashMatrixReport {
+  int commit_steps = 0;       // IO steps in one commit sequence (N)
+  int steps_tested = 0;       // crash legs run (all thread widths pooled)
+  int resumed_from_old = 0;   // crash left the previous set committed
+  int resumed_from_new = 0;   // crash hit after the manifest rename landed
+  double coverage_pct = 0.0;  // unique offsets tested / commit_steps
+  std::vector<InvariantViolation> violations;  // "crash_matrix" / "replay"
+                                               // / "billing"
+};
+
+/// Runs the matrix. Submissions go round-robin across the factory fleet's
+/// tenants with a closed-loop window of 1, so dispatch order — and with it
+/// the replay contract — is independent of thread count. Violations are
+/// returned AND published to chaos_invariant_violations_total. Restores
+/// the process-default thread count before returning.
+CrashMatrixReport run_crash_matrix(const FleetFactory& make_fleet,
+                                   const data::Dataset& images,
+                                   const CrashMatrixConfig& cfg);
+
+}  // namespace sei::chaos

@@ -1,0 +1,180 @@
+#include "chaos/scenario.hpp"
+
+#include <atomic>
+#include <deque>
+#include <future>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/io.hpp"
+#include "common/rng.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace sei::chaos {
+
+namespace {
+
+// Seed salts keeping the scenario's RNG streams disjoint: IO fault draws
+// and deadline-pressure draws must not correlate just because their
+// ordinals collide.
+constexpr std::uint64_t kIoSalt = 0x10AD5EEDULL;
+constexpr std::uint64_t kDeadlineSalt = 0xD15EA5EDULL;
+
+std::span<const float> image_at(const data::Dataset& images, int i) {
+  const std::size_t per_image =
+      images.images.numel() / static_cast<std::size_t>(images.size());
+  const int k = i % images.size();
+  return {images.images.data() + static_cast<std::size_t>(k) * per_image,
+          per_image};
+}
+
+struct IoHookGuard {
+  explicit IoHookGuard(IoFaultHook hook) { set_io_fault_hook(std::move(hook)); }
+  ~IoHookGuard() { set_io_fault_hook(IoFaultHook{}); }
+  IoHookGuard(const IoHookGuard&) = delete;
+  IoHookGuard& operator=(const IoHookGuard&) = delete;
+};
+
+struct StallHookGuard {
+  explicit StallHookGuard(std::function<void(int)> hook) {
+    exec::set_chunk_delay_hook(std::move(hook));
+  }
+  ~StallHookGuard() { exec::set_chunk_delay_hook({}); }
+  StallHookGuard(const StallHookGuard&) = delete;
+  StallHookGuard& operator=(const StallHookGuard&) = delete;
+};
+
+void tally(const serve::FleetResponse& r, ChaosScenarioReport& rep) {
+  switch (r.status) {
+    case serve::FleetResponseStatus::kOk: ++rep.ok; return;
+    case serve::FleetResponseStatus::kDegraded: ++rep.degraded; return;
+    case serve::FleetResponseStatus::kRejected: break;
+  }
+  switch (r.error) {
+    case ErrorCode::kShedding: ++rep.shed; break;
+    case ErrorCode::kDeadlineExceeded: ++rep.deadline_expired; break;
+    case ErrorCode::kQuotaExceeded: ++rep.quota_rejected; break;
+    case ErrorCode::kQueueFull: ++rep.queue_full; break;
+    default: ++rep.other_rejected; break;
+  }
+}
+
+}  // namespace
+
+ChaosScenarioReport run_chaos_scenario(
+    serve::FleetRuntime& fleet, const std::vector<core::SeiNetwork*>& shards,
+    const data::Dataset& images, const ChaosScenarioConfig& cfg) {
+  ChaosScenarioReport rep;
+
+  // Both hooks draw their injection decision from the ordinal of the call,
+  // so the fault sequence is a function of cfg.seed and injection order —
+  // not of wall-clock timing.
+  std::atomic<std::uint64_t> io_ordinal{0};
+  std::atomic<std::uint64_t> io_injected{0};
+  IoHookGuard io_guard(
+      (cfg.io_fail_prob > 0.0 || cfg.io_short_write_prob > 0.0)
+          ? IoFaultHook([&](const IoFaultSite&) {
+              const std::uint64_t n =
+                  io_ordinal.fetch_add(1, std::memory_order_relaxed);
+              Rng r = Rng::fork(cfg.seed ^ kIoSalt, n);
+              const double u = r.uniform();
+              if (u < cfg.io_fail_prob) {
+                io_injected.fetch_add(1, std::memory_order_relaxed);
+                return IoFaultAction::kFail;
+              }
+              if (u < cfg.io_fail_prob + cfg.io_short_write_prob) {
+                io_injected.fetch_add(1, std::memory_order_relaxed);
+                return IoFaultAction::kShortWrite;
+              }
+              return IoFaultAction::kNone;
+            })
+          : IoFaultHook{});
+
+  std::atomic<std::uint64_t> chunk_ordinal{0};
+  std::atomic<std::uint64_t> stalls{0};
+  StallHookGuard stall_guard(
+      cfg.stall_every > 0 ? std::function<void(int)>([&](int) {
+        const std::uint64_t n =
+            chunk_ordinal.fetch_add(1, std::memory_order_relaxed);
+        if (n % static_cast<std::uint64_t>(cfg.stall_every) != 0) return;
+        stalls.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(cfg.stall);
+      })
+                          : std::function<void(int)>{});
+
+  fleet.start();
+  const serve::FleetStats base = fleet.stats();
+  const std::uint64_t first_ticket = base.total_dispatched;
+  std::vector<double> base_bill_j;
+  base_bill_j.reserve(base.tenants.size());
+  for (const serve::TenantCounters& c : base.tenants)
+    base_bill_j.push_back(c.energy_j);
+
+  const int nt = fleet.tenant_count();
+  std::vector<serve::FleetResponse> responses;
+  responses.reserve(static_cast<std::size_t>(cfg.requests));
+  std::deque<std::future<serve::FleetResponse>> inflight;
+  const auto drain_to = [&](std::size_t n) {
+    while (inflight.size() > n) {
+      responses.push_back(inflight.front().get());
+      inflight.pop_front();
+    }
+  };
+
+  int burst_left = 0;
+  for (int i = 0; i < cfg.requests; ++i) {
+    if (cfg.burst_every > 0 && cfg.burst_size > 0 && i > 0 &&
+        i % cfg.burst_every == 0)
+      burst_left = cfg.burst_size;
+    // A burst submits back-to-back without draining — the in-flight window
+    // temporarily overshoots and the admission queues absorb the spike.
+    if (burst_left > 0)
+      --burst_left;
+    else
+      drain_to(static_cast<std::size_t>(cfg.window) - 1);
+
+    const int tenant = i % nt;
+    const bool tight =
+        cfg.tight_deadline_frac > 0.0 &&
+        Rng::fork(cfg.seed ^ kDeadlineSalt, static_cast<std::uint64_t>(i))
+                .uniform() < cfg.tight_deadline_frac;
+    inflight.push_back(tight
+                           ? fleet.submit(tenant, image_at(images, i),
+                                          cfg.tight_deadline)
+                           : fleet.submit(tenant, image_at(images, i)));
+    ++rep.submitted;
+  }
+  drain_to(0);
+  fleet.stop();
+
+  for (const serve::FleetResponse& r : responses) tally(r, rep);
+  rep.io_faults_injected = io_injected.load();
+  rep.stalls_injected = stalls.load();
+  rep.availability =
+      rep.submitted > 0
+          ? static_cast<double>(rep.ok + rep.degraded) /
+                static_cast<double>(rep.submitted)
+          : 1.0;
+
+  const serve::FleetStats end = fleet.stats();
+  rep.dispatched = end.total_dispatched - base.total_dispatched;
+  check_ticket_conservation(responses, first_ticket, rep.dispatched,
+                            rep.violations);
+  check_billing_conservation(end, base_bill_j, cfg.billing_tol_j,
+                             rep.violations);
+  if (cfg.coherence_images > 0) {
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      const std::string who = "shard" + std::to_string(k);
+      check_plan_coherence(*shards[k], images, cfg.coherence_images, who,
+                           rep.violations);
+      check_arena_rebind_safety(*shards[k], images, cfg.coherence_images, who,
+                                rep.violations);
+    }
+  }
+  publish_violations(rep.violations);
+  return rep;
+}
+
+}  // namespace sei::chaos

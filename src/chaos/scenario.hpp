@@ -1,0 +1,89 @@
+// Compound chaos scenario: every fault class at once, invariants at the end.
+//
+// run_chaos_scenario() drives a caller-configured FleetRuntime through a
+// seeded storm of composed adversity — probabilistic IO faults and short
+// writes on every durable writer, periodic thread-pool worker stalls,
+// admission bursts that overfill the closed-loop window, and a slice of
+// near-impossible deadlines — then stops the fleet and runs the full
+// invariant sweep from invariants.hpp over what actually happened. The
+// caller owns fleet composition (shards, storm schedule, quotas,
+// checkpoint dir); the scenario owns the request stream and the hooks.
+//
+// Everything injected is a pure function of cfg.seed: IO fault decisions
+// draw from counter-based RNG streams indexed by injection ordinal, so two
+// runs with one seed inject the same fault sequence. Stalls perturb timing
+// only — the determinism contract (docs/serving.md) says timing never
+// changes labels, which is exactly what the checkers then verify.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "chaos/invariants.hpp"
+#include "core/sei_network.hpp"
+#include "data/dataset.hpp"
+#include "serve/fleet.hpp"
+
+namespace sei::chaos {
+
+struct ChaosScenarioConfig {
+  std::uint64_t seed = 1;
+  int requests = 2000;  // closed-loop submissions (bursts included)
+  int window = 16;      // max in-flight futures outside a burst
+  // Every burst_every-th submission skips the window drain for the next
+  // burst_size submissions — a saturation spike against the admission
+  // queues. 0 disables.
+  int burst_every = 0;
+  int burst_size = 0;
+  // This fraction of submissions carries tight_deadline instead of the
+  // fleet default — deadline pressure through assembly drop + mid-eval
+  // cancellation. Selection is seeded per submission index.
+  double tight_deadline_frac = 0.0;
+  std::chrono::milliseconds tight_deadline{2};
+  // Per-IO-operation fault probabilities (checkpoint/manifest writers):
+  // kFail aborts the op, kShortWrite truncates the payload mid-buffer.
+  // Crashes are the crash matrix's job (crash_matrix.hpp), not the soak's.
+  double io_fail_prob = 0.0;
+  double io_short_write_prob = 0.0;
+  // Every stall_every-th thread-pool chunk sleeps for `stall` before
+  // running — straggler workers under the evaluation fan-out. 0 disables.
+  int stall_every = 0;
+  std::chrono::microseconds stall{200};
+  // Probe images per shard for the post-run plan-coherence and
+  // arena-rebind checks (0 skips both).
+  int coherence_images = 12;
+  double billing_tol_j = 1e-12;  // 1e-6 µJ
+};
+
+/// Outcome tally plus the invariant verdict. availability counts answered
+/// requests (ok + degraded) over everything submitted.
+struct ChaosScenarioReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t shed = 0;              // kShedding
+  std::uint64_t deadline_expired = 0;  // kDeadlineExceeded
+  std::uint64_t quota_rejected = 0;    // kQuotaExceeded
+  std::uint64_t queue_full = 0;        // kQueueFull
+  std::uint64_t other_rejected = 0;    // any other rejection code
+  std::uint64_t dispatched = 0;        // fleet dispatch delta over the run
+  std::uint64_t io_faults_injected = 0;
+  std::uint64_t stalls_injected = 0;
+  double availability = 0.0;
+  std::vector<InvariantViolation> violations;
+};
+
+/// Runs the compound scenario on a fleet that has been configured (storm,
+/// quotas, checkpoint dir) but NOT started. Installs the IO-fault and
+/// chunk-stall hooks, starts the fleet, drives cfg.requests submissions
+/// round-robin across tenants, stops the fleet, removes the hooks, then
+/// checks ticket conservation, billing conservation, plan coherence and
+/// arena re-bind safety (the latter two on `shards`, quiescent after
+/// stop()). Violations are returned AND published to the
+/// chaos_invariant_violations_total counters.
+ChaosScenarioReport run_chaos_scenario(
+    serve::FleetRuntime& fleet, const std::vector<core::SeiNetwork*>& shards,
+    const data::Dataset& images, const ChaosScenarioConfig& cfg);
+
+}  // namespace sei::chaos

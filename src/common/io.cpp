@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -15,6 +16,39 @@
 namespace sei {
 
 namespace {
+
+// The chaos hook. The flag is the fast-path gate: when clear (the normal
+// case) a writer pays one relaxed load per step and never touches the
+// std::function. Install/clear happens only at quiescent points (contract
+// in the header), so the function object itself needs no lock.
+IoFaultHook g_io_fault_hook;
+std::atomic<bool> g_io_fault_hook_set{false};
+
+/// Consults the hook for one step; returns the action (kNone when unset).
+IoFaultAction consult_io_hook(IoOp op, const std::string& path,
+                              std::size_t bytes) {
+  if (!g_io_fault_hook_set.load(std::memory_order_acquire))
+    return IoFaultAction::kNone;
+  return g_io_fault_hook(IoFaultSite{op, path, bytes});
+}
+
+const char* io_op_name(IoOp op) {
+  switch (op) {
+    case IoOp::kWrite: return "write";
+    case IoOp::kFsync: return "fsync";
+    case IoOp::kRename: return "rename";
+  }
+  return "?";
+}
+
+/// Applies a non-write fault action (fsync/rename steps have no bytes to
+/// tear, so kShortWrite degrades to kFail there).
+void apply_meta_fault(IoFaultAction a, IoOp op, const std::string& path) {
+  if (a == IoFaultAction::kCrash) throw InjectedCrash{};
+  if (a == IoFaultAction::kFail || a == IoFaultAction::kShortWrite)
+    SEI_CHECK_MSG(false, "injected IO failure: " << io_op_name(op) << " for "
+                                                 << path);
+}
 
 // Sentinel preceding the CRC word so a trailer-less (legacy/truncated) file
 // is distinguishable from one whose CRC merely mismatches.
@@ -57,10 +91,28 @@ std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc) {
   return crc ^ 0xffffffffu;
 }
 
+void set_io_fault_hook(IoFaultHook hook) {
+  g_io_fault_hook = std::move(hook);
+  g_io_fault_hook_set.store(static_cast<bool>(g_io_fault_hook),
+                            std::memory_order_release);
+}
+
+bool io_fault_hook_installed() {
+  return g_io_fault_hook_set.load(std::memory_order_acquire);
+}
+
 void atomic_replace_durable(const std::string& tmp_path,
                             const std::string& path) {
+  // Each durability step is a distinct crash point: before the tmp fsync,
+  // before the rename (old file survives), and before the directory fsync
+  // (new file already in place). The hook is consulted *before* the real
+  // operation so a kCrash at step k means steps >= k never happened.
+  apply_meta_fault(consult_io_hook(IoOp::kFsync, path, 0), IoOp::kFsync, path);
   fsync_path(tmp_path);
+  apply_meta_fault(consult_io_hook(IoOp::kRename, path, 0), IoOp::kRename,
+                   path);
   std::filesystem::rename(tmp_path, path);
+  apply_meta_fault(consult_io_hook(IoOp::kFsync, path, 0), IoOp::kFsync, path);
   const std::filesystem::path dir =
       std::filesystem::path(path).parent_path();
   fsync_path(dir.empty() ? "." : dir.string());
@@ -73,13 +125,34 @@ BinaryWriter::BinaryWriter(std::string path)
 }
 
 BinaryWriter::~BinaryWriter() {
-  if (!committed_) {
+  // A simulated kill -9 (crashed_) leaves the torn tmp file on disk, just
+  // like the real signal would; readers already ignore stray tmps.
+  if (!committed_ && !crashed_) {
     out_.close();
     std::remove(tmp_path_.c_str());
   }
 }
 
 void BinaryWriter::raw(const void* p, std::size_t n) {
+  switch (consult_io_hook(IoOp::kWrite, path_, n)) {
+    case IoFaultAction::kNone:
+      break;
+    case IoFaultAction::kFail:
+      SEI_CHECK_MSG(false, "injected IO failure: write for " << path_);
+      break;
+    case IoFaultAction::kShortWrite:
+      out_.write(static_cast<const char*>(p),
+                 static_cast<std::streamsize>(n / 2));
+      out_.flush();
+      SEI_CHECK_MSG(false, "injected short write for " << path_);
+      break;
+    case IoFaultAction::kCrash:
+      out_.write(static_cast<const char*>(p),
+                 static_cast<std::streamsize>(n / 2));
+      out_.flush();
+      crashed_ = true;
+      throw InjectedCrash{};
+  }
   out_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
   SEI_CHECK_MSG(out_.good(), "write failed: " << tmp_path_);
   crc_ = crc32(p, n, crc_);
@@ -118,16 +191,30 @@ void BinaryWriter::write_u8_vec(const std::vector<std::uint8_t>& v) {
 
 void BinaryWriter::commit() {
   SEI_CHECK(!committed_);
-  // Trailer: magic + CRC of everything before it. Written via the stream
-  // directly (not raw()) so the CRC does not fold in its own encoding.
-  const std::uint32_t payload_crc = crc_;
-  out_.write(reinterpret_cast<const char*>(&kCrcTrailerMagic),
-             sizeof kCrcTrailerMagic);
-  out_.write(reinterpret_cast<const char*>(&payload_crc), sizeof payload_crc);
-  out_.flush();
-  SEI_CHECK_MSG(out_.good(), "flush failed: " << tmp_path_);
-  out_.close();
-  atomic_replace_durable(tmp_path_, path_);
+  try {
+    // The trailer write is its own crash point — a crash here leaves a tmp
+    // with a full payload but no (or half a) trailer, which verify_crc()
+    // rejects as truncated.
+    const IoFaultAction a =
+        consult_io_hook(IoOp::kWrite, path_, kCrcTrailerBytes);
+    if (a == IoFaultAction::kCrash) throw InjectedCrash{};
+    if (a != IoFaultAction::kNone)
+      SEI_CHECK_MSG(false, "injected IO failure: trailer for " << path_);
+    // Trailer: magic + CRC of everything before it. Written via the stream
+    // directly (not raw()) so the CRC does not fold in its own encoding.
+    const std::uint32_t payload_crc = crc_;
+    out_.write(reinterpret_cast<const char*>(&kCrcTrailerMagic),
+               sizeof kCrcTrailerMagic);
+    out_.write(reinterpret_cast<const char*>(&payload_crc),
+               sizeof payload_crc);
+    out_.flush();
+    SEI_CHECK_MSG(out_.good(), "flush failed: " << tmp_path_);
+    out_.close();
+    atomic_replace_durable(tmp_path_, path_);
+  } catch (const InjectedCrash&) {
+    crashed_ = true;
+    throw;
+  }
   committed_ = true;
 }
 
@@ -265,13 +352,30 @@ JsonWriter::JsonWriter(std::string path)
 }
 
 JsonWriter::~JsonWriter() {
-  if (!committed_) {
+  if (!committed_ && !crashed_) {
     out_.close();
     std::remove(tmp_path_.c_str());
   }
 }
 
 void JsonWriter::raw(const std::string& s) {
+  switch (consult_io_hook(IoOp::kWrite, path_, s.size())) {
+    case IoFaultAction::kNone:
+      break;
+    case IoFaultAction::kFail:
+      SEI_CHECK_MSG(false, "injected IO failure: write for " << path_);
+      break;
+    case IoFaultAction::kShortWrite:
+      out_ << s.substr(0, s.size() / 2);
+      out_.flush();
+      SEI_CHECK_MSG(false, "injected short write for " << path_);
+      break;
+    case IoFaultAction::kCrash:
+      out_ << s.substr(0, s.size() / 2);
+      out_.flush();
+      crashed_ = true;
+      throw InjectedCrash{};
+  }
   out_ << s;
   SEI_CHECK_MSG(out_.good(), "write failed: " << tmp_path_);
 }
@@ -392,11 +496,16 @@ void JsonWriter::commit() {
   SEI_CHECK(!committed_);
   SEI_CHECK_MSG(stack_.empty() && !key_pending_,
                 "commit() with unclosed JSON containers");
-  raw("\n");
-  out_.flush();
-  SEI_CHECK_MSG(out_.good(), "flush failed: " << tmp_path_);
-  out_.close();
-  atomic_replace_durable(tmp_path_, path_);
+  try {
+    raw("\n");
+    out_.flush();
+    SEI_CHECK_MSG(out_.good(), "flush failed: " << tmp_path_);
+    out_.close();
+    atomic_replace_durable(tmp_path_, path_);
+  } catch (const InjectedCrash&) {
+    crashed_ = true;
+    throw;
+  }
   committed_ = true;
 }
 

@@ -11,12 +11,73 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
 
 namespace sei {
+
+// ---------------------------------------------------------------------------
+// IO fault injection (chaos seam — see docs/chaos.md).
+//
+// Every durable writer in the system (BinaryWriter, JsonWriter and the
+// fsync/rename steps of atomic_replace_durable they share) consults a
+// process-wide hook before each IO step. The hook sees which operation is
+// about to run and against which destination file, and picks an action:
+// proceed, fail cleanly, tear the write short, or simulate a kill -9 at
+// exactly this offset. This generalizes the checkpoint-retry failure hook
+// (serve::RetryPolicy::inject_failure) from one call site to the whole
+// CRC/fsync-rename write path, which is what lets the crash-point matrix
+// visit *every* write offset of a commit sequence.
+// ---------------------------------------------------------------------------
+
+/// Which IO step is about to execute.
+enum class IoOp {
+  kWrite,   // a payload (or trailer) write into the temp file
+  kFsync,   // fsync of the temp file or of the destination directory
+  kRename,  // the atomic rename of tmp onto the destination
+};
+
+/// What the hook wants done to the step.
+enum class IoFaultAction {
+  kNone,        // run the step normally
+  kFail,        // throw CheckError; callers surface it as ErrorCode::kIo
+  kShortWrite,  // write half the bytes, then throw CheckError (torn tmp)
+  kCrash,       // throw InjectedCrash and leave the tmp file torn in place,
+                // exactly as a process killed mid-step would
+};
+
+/// The step the hook is consulted about. `path` is the *destination* file
+/// (never the ".tmp" name), so hooks can target "fleet.manifest" or a shard
+/// checkpoint without knowing writer internals. `bytes` is the payload size
+/// for kWrite steps and 0 otherwise.
+struct IoFaultSite {
+  IoOp op;
+  const std::string& path;
+  std::size_t bytes;
+};
+
+using IoFaultHook = std::function<IoFaultAction(const IoFaultSite&)>;
+
+/// Installs (or with nullptr clears) the process-wide IO fault hook. Not a
+/// synchronization point: install/clear only while no writer is mid-flight
+/// (chaos harnesses arm it around a quiescent fleet). When no hook is set
+/// the per-step cost is one relaxed atomic load.
+void set_io_fault_hook(IoFaultHook hook);
+
+/// True when a hook is currently installed.
+bool io_fault_hook_installed();
+
+/// Thrown for IoFaultAction::kCrash. Deliberately NOT derived from
+/// std::exception: every recovery path in the stack catches
+/// `const std::exception&` (checkpoint save, retry loops, manifest write),
+/// and a simulated kill -9 must sail through all of them to the harness —
+/// a real SIGKILL doesn't unwind politely either.
+struct InjectedCrash {
+  const char* what() const noexcept { return "injected crash (simulated kill -9)"; }
+};
 
 /// Incremental CRC-32 (IEEE 802.3, the zlib polynomial). Feed chunks by
 /// passing the previous return value as `crc`; start from 0.
@@ -58,6 +119,7 @@ class BinaryWriter {
   std::ofstream out_;
   std::uint32_t crc_ = 0;  // running CRC of every payload byte written
   bool committed_ = false;
+  bool crashed_ = false;  // InjectedCrash fired: leave the torn tmp behind
 };
 
 class BinaryReader {
@@ -150,6 +212,7 @@ class JsonWriter {
   std::vector<Frame> stack_;
   bool key_pending_ = false;
   bool committed_ = false;
+  bool crashed_ = false;  // InjectedCrash fired: leave the torn tmp behind
 };
 
 /// True if a regular file exists at `path`.

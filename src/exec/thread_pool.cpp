@@ -14,6 +14,17 @@ namespace sei::exec {
 namespace {
 thread_local bool tl_in_task = false;
 
+// Chaos seam: consulted once per chunk, before the body runs. The flag is
+// the fast-path gate (one relaxed load when unset); the function object is
+// written only at quiescent points per the header contract.
+std::function<void(int)> g_chunk_delay_hook;
+std::atomic<bool> g_chunk_delay_hook_set{false};
+
+inline void maybe_chunk_delay(int chunk) {
+  if (g_chunk_delay_hook_set.load(std::memory_order_acquire))
+    g_chunk_delay_hook(chunk);
+}
+
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -133,6 +144,7 @@ void ThreadPool::drain(const std::function<void(int)>& fn, std::uint64_t gen,
     if constexpr (telemetry::kEnabled) t0 = now_ns();
     std::exception_ptr err;
     try {
+      maybe_chunk_delay(chunk);
       fn(chunk);
     } catch (...) {
       err = std::current_exception();
@@ -192,6 +204,7 @@ void ThreadPool::run_chunks(int chunks, const std::function<void(int)>& fn,
       if (!nested) t0 = now_ns();
     for (int c = 0; c < chunks; ++c) {
       if (token && token->expired()) throw Cancelled("batch cancelled");
+      maybe_chunk_delay(c);
       fn(c);
     }
     if constexpr (telemetry::kEnabled) {
@@ -276,6 +289,16 @@ int default_threads() {
   std::lock_guard<std::mutex> lk(g_default_mu);
   if (g_default_pool) return g_default_pool->thread_count();
   return ThreadPool::resolve_threads(g_default_threads);
+}
+
+void set_chunk_delay_hook(std::function<void(int)> hook) {
+  g_chunk_delay_hook = std::move(hook);
+  g_chunk_delay_hook_set.store(static_cast<bool>(g_chunk_delay_hook),
+                               std::memory_order_release);
+}
+
+bool chunk_delay_hook_installed() {
+  return g_chunk_delay_hook_set.load(std::memory_order_acquire);
 }
 
 }  // namespace sei::exec

@@ -151,6 +151,18 @@ void set_default_threads(int threads);
 /// Thread count the default pool has (or would be created with).
 int default_threads();
 
+/// Chaos seam (docs/chaos.md): when installed, invoked with the chunk index
+/// right before each chunk body runs — pooled workers and the inline path
+/// alike. Injected stalls (sleeps) shift timing only: chunk boundaries and
+/// result slots are data-determined, so the bit-identical contract above is
+/// unaffected, which is exactly what makes worker stalls a safe chaos
+/// ingredient. Install/clear only while no parallel batch is in flight;
+/// nullptr clears. Unset cost: one relaxed atomic load per chunk.
+void set_chunk_delay_hook(std::function<void(int chunk)> hook);
+
+/// True when a chunk-delay hook is currently installed.
+bool chunk_delay_hook_installed();
+
 /// Images-per-chunk default for the evaluation loops: coarse enough to
 /// amortize scratch-buffer construction, fine enough to load-balance.
 inline constexpr int kEvalGrain = 8;

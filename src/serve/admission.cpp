@@ -1,7 +1,10 @@
 #include "serve/admission.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+
+#include "common/cli.hpp"
 
 namespace sei::serve {
 
@@ -25,14 +28,38 @@ std::vector<TenantConfig> parse_tenant_specs(const std::string& spec) {
       TenantConfig t;
       const std::size_t colon = item.find(':');
       if (colon == std::string::npos) {
+        // "A;2" / "A=2" used to slip through as a weight-1 tenant literally
+        // named "A;2" — catch the separator typo with a suggestion.
+        const std::size_t sep = item.find_first_of(";=");
+        if (sep != std::string::npos)
+          throw CliError("malformed tenant spec '" + item +
+                         "' — did you mean '" + item.substr(0, sep) + ":" +
+                         item.substr(sep + 1) + "'?");
         t.name = item;
       } else {
         t.name = item.substr(0, colon);
-        t.weight = std::strtod(item.c_str() + colon + 1, nullptr);
+        const std::string wtext = item.substr(colon + 1);
+        char* end = nullptr;
+        t.weight = std::strtod(wtext.c_str(), &end);
+        if (wtext.empty() || end != wtext.c_str() + wtext.size() ||
+            !std::isfinite(t.weight))
+          throw CliError("malformed weight '" + wtext + "' for tenant '" +
+                         t.name + "' — did you mean '" + t.name +
+                         ":1' (name:weight, weight a finite number)?");
       }
-      SEI_CHECK_MSG(!t.name.empty(), "tenant spec has an empty name: " << spec);
-      SEI_CHECK_MSG(t.weight > 0.0,
-                    "tenant " << t.name << " needs a positive weight");
+      if (t.name.empty())
+        throw CliError("tenant spec has an empty name in '" + spec +
+                       "' — did you mean to drop a stray ',' or ':'?");
+      if (!(t.weight > 0.0))
+        throw CliError("tenant '" + t.name + "' has non-positive weight " +
+                       std::to_string(t.weight) +
+                       " — weights are fair-share ratios and must be > 0 "
+                       "(did you mean '" + t.name + ":1'?)");
+      for (const TenantConfig& prev : out)
+        if (prev.name == t.name)
+          throw CliError("duplicate tenant '" + t.name + "' in '" + spec +
+                         "' — each tenant may appear once (did you mean to "
+                         "merge the weights into one entry?)");
       out.push_back(std::move(t));
     }
     pos = comma + 1;

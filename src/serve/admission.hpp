@@ -43,7 +43,10 @@ struct TenantConfig {
 };
 
 /// Parses "name:weight" tenant specs ("A:3,B:1" → two tenants). A missing
-/// weight means 1. Capacity/quota keep their defaults.
+/// weight means 1. Capacity/quota keep their defaults. Malformed input —
+/// duplicate tenant names, zero/negative/non-numeric weights, wrong
+/// separators — raises CliError with a did-you-mean instead of silently
+/// producing a tenant set the scheduler can't serve fairly.
 std::vector<TenantConfig> parse_tenant_specs(const std::string& spec);
 
 enum class FleetResponseStatus {
@@ -54,13 +57,20 @@ enum class FleetResponseStatus {
 
 const char* to_string(FleetResponseStatus s);
 
+/// FleetResponse::ticket value for a request that never reached dispatch
+/// (rejected at admission or dropped at batch assembly): no fleet ticket was
+/// consumed. Dispatched responses always carry a real ticket, which is what
+/// lets the chaos ticket-conservation checker distinguish "never dispatched"
+/// from "dispatched as ticket 0".
+inline constexpr std::uint64_t kNoTicket = ~0ULL;
+
 struct FleetResponse {
   FleetResponseStatus status = FleetResponseStatus::kRejected;
   int label = -1;                          // kOk / kDegraded only
   ErrorCode error = ErrorCode::kInternal;  // kRejected only
   int tenant = -1;
   int shard = -1;             // serving shard; -1 = fallback path / none
-  std::uint64_t ticket = 0;   // fleet-wide admission ticket (if admitted)
+  std::uint64_t ticket = kNoTicket;  // fleet-wide ticket (if dispatched)
   std::uint64_t sequence = 0; // shard-local RNG stream index (if served)
   double latency_ms = 0.0;    // submit → response
 };

@@ -65,12 +65,25 @@ void MicroBatcher::next_batch(
     if (cfg_.linger.count() > 0 && !closed_ &&
         admission_.pending() < static_cast<std::size_t>(cfg_.max_batch)) {
       // Linger briefly for stragglers; a full batch or close() cuts it
-      // short.
-      cv_.wait_for(lock, cfg_.linger, [this] {
+      // short. The deadline is fixed once against the (possibly injected)
+      // clock; the loop re-reads that clock so injected time controls when
+      // the window closes without ever being able to wedge the wait.
+      const auto full_or_closed = [this] {
         return admission_.pending() >=
                    static_cast<std::size_t>(cfg_.max_batch) ||
                closed_;
-      });
+      };
+      const Clock::time_point deadline = now_locked() + cfg_.linger;
+      while (!full_or_closed() && now_locked() < deadline) {
+        if (now_) {
+          // Injected clock: slice the wait in short real-time steps and
+          // re-poll the fake clock — wait_until against a fake timebase
+          // would compare it to the real clock and sleep wrongly.
+          cv_.wait_for(lock, std::chrono::microseconds(100));
+        } else {
+          cv_.wait_until(lock, deadline, full_or_closed);
+        }
+      }
     }
 
     while (static_cast<int>(batch.size()) < cfg_.max_batch) {
@@ -89,6 +102,15 @@ void MicroBatcher::next_batch(
   }
   ++stats_.batches;
   stats_.coalesced += batch.size();
+}
+
+void MicroBatcher::set_time_source(std::function<Clock::time_point()> now) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ = std::move(now);
+  }
+  // Wake a linger in progress so it re-reads the new timebase promptly.
+  cv_.notify_all();
 }
 
 void MicroBatcher::close() {

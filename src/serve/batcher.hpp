@@ -19,6 +19,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -43,6 +44,12 @@ struct BatcherStats {
 
 class MicroBatcher {
  public:
+  /// All linger arithmetic uses the monotonic clock — wall-clock jumps (NTP
+  /// steps, suspend/resume) must never stretch or collapse a latency-critical
+  /// wait. serve/ holds this property everywhere: deadlines live on
+  /// exec::CancelToken::Clock, which is also steady_clock.
+  using Clock = std::chrono::steady_clock;
+
   MicroBatcher(AdmissionController& admission, BatcherConfig cfg);
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
@@ -80,13 +87,29 @@ class MicroBatcher {
     return fn(admission_);
   }
 
+  /// Deterministic-test / chaos seam: replaces the clock the linger window
+  /// is measured against (nullptr restores the real steady_clock). With an
+  /// injected source the linger wait polls in short real-time slices and
+  /// re-reads the fake clock each round, so a frozen clock keeps the window
+  /// open indefinitely and a jumped-forward clock closes it on the next
+  /// poll — but next_batch() can never wedge on a clock that never
+  /// advances, because close() and a filling batch still cut the wait
+  /// short. The source is called under the batcher lock; it must not call
+  /// back into the batcher.
+  void set_time_source(std::function<Clock::time_point()> now);
+
  private:
+  Clock::time_point now_locked() const {
+    return now_ ? now_() : Clock::now();
+  }
+
   AdmissionController& admission_;
   BatcherConfig cfg_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   BatcherStats stats_;
+  std::function<Clock::time_point()> now_;  // guarded by mu_
   bool closed_ = false;
 };
 

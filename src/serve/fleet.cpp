@@ -29,7 +29,17 @@ constexpr long long kMeasureIndexBase = 1LL << 41;
 constexpr int kBatchGrain = 4;
 
 constexpr std::uint64_t kFleetMagic = 0x315446454c464553ULL;  // "SEFLET1"+pad
-constexpr std::uint32_t kFleetVersion = 1;
+// v2: shard checkpoints moved to two epoch-parity slot files; the manifest's
+// per-shard checkpoint_epoch selects the slot. A v1 manifest (single in-place
+// shard file) cold-starts via the version check below.
+constexpr std::uint32_t kFleetVersion = 2;
+
+/// Slot file for a shard checkpoint at `epoch`. Two slots alternate by epoch
+/// parity, so the set an in-progress commit writes never aliases the set the
+/// current manifest points at — the crash-point matrix depends on this.
+std::string shard_slot_path(const std::string& base, std::uint64_t epoch) {
+  return base + (epoch % 2 == 0 ? ".s0.ckpt" : ".s1.ckpt");
+}
 
 // Dispatched-request count before the zero-alloc contract is measured
 // (context pool fills, stat vectors reach steady capacity).
@@ -72,8 +82,7 @@ FleetRuntime::FleetRuntime(std::vector<core::SeiNetwork*> shards,
     Shard sh{net, Sentinel(probes, cfg_.sentinel), CircuitBreaker(cfg_.breaker),
              RuntimeSnapshot{}, 0, 0, 0, -1, 0, {}, {}};
     if (!cfg_.checkpoint_dir.empty())
-      sh.ckpt_path =
-          cfg_.checkpoint_dir + "/shard" + std::to_string(k) + ".ckpt";
+      sh.ckpt_base = cfg_.checkpoint_dir + "/shard" + std::to_string(k);
     shards_.push_back(std::move(sh));
   }
 
@@ -696,30 +705,37 @@ void FleetRuntime::write_checkpoints() {
   telemetry::Span span("fleet.checkpoint");
   // Shard files first, manifest last: the manifest is the commit point of
   // the set, so a crash mid-sequence leaves the previous manifest pointing
-  // at a consistent (older) fleet state.
+  // at a consistent (older) fleet state. Every attempt targets
+  // manifest_epoch_ + 1 — NOT a per-shard increment — so shard files land
+  // in the slot the committed manifest does *not* point at, and a retry
+  // after a failed or torn commit overwrites only that uncommitted slot.
+  // The committed set stays byte-for-byte intact until the new manifest
+  // rename lands, whatever offset a crash hits (docs/chaos.md).
+  const std::uint64_t target_epoch = manifest_epoch_ + 1;
   for (Shard& sh : shards_) {
     RuntimeSnapshot s = sh.snap;
-    s.checkpoint_epoch += 1;
-    const Status st =
-        save_checkpoint_with_retry(*sh.net, s, sh.ckpt_path,
-                                   cfg_.checkpoint_retry);
+    s.checkpoint_epoch = target_epoch;
+    const Status st = save_checkpoint_with_retry(
+        *sh.net, s, shard_slot_path(sh.ckpt_base, target_epoch),
+        cfg_.checkpoint_retry);
     if (!st.ok()) {
       std::fprintf(stderr, "warning: %s; fleet checkpoint set skipped\n",
                    st.error().message.c_str());
       return;
     }
-    sh.snap.checkpoint_epoch = s.checkpoint_epoch;
   }
-  const Status ms = save_manifest();
+  const Status ms = save_manifest(target_epoch);
   if (!ms.ok()) {
     std::fprintf(stderr, "warning: %s\n", ms.error().message.c_str());
     return;
   }
+  manifest_epoch_ = target_epoch;
+  for (Shard& sh : shards_) sh.snap.checkpoint_epoch = target_epoch;
   checkpoints_ctr_->add();
   ++checkpoints_;
 }
 
-Status FleetRuntime::save_manifest() {
+Status FleetRuntime::save_manifest(std::uint64_t epoch) {
   // Tenant energy bills from the admission side (base + local billing).
   const int nt = tenant_count();
   std::vector<double> energy_j(static_cast<std::size_t>(nt), 0.0);
@@ -746,7 +762,8 @@ Status FleetRuntime::save_manifest() {
       w.write_u64(sh.snap.next_sequence);
       w.write_u64(sh.snap.requests_served);
       w.write_u64(sh.snap.probe_cursor);
-      w.write_u64(sh.snap.checkpoint_epoch);
+      // The epoch this commit targets — on load it selects the slot file.
+      w.write_u64(epoch);
       w.write_u32(static_cast<std::uint32_t>(sh.breaker.state()));
       w.write_i32(sh.breaker.trips());
       w.write_f64(sh.sentinel.baseline_pct());
@@ -832,25 +849,37 @@ bool FleetRuntime::try_resume() {
     }
     if (r.remaining() != 0)
       return cold("trailing bytes after fleet manifest payload: " + path);
+    // One commit writes the whole set at one epoch; diverging records mean
+    // a manifest this code never produced.
+    for (const ShardRecord& rec : recs)
+      if (rec.snap.checkpoint_epoch != recs[0].snap.checkpoint_epoch)
+        return cold("fleet manifest shard epochs diverge: " + path);
 
-    // Network weights per shard. A failure here falls back to cold start;
-    // shards restored before the failure keep their checkpointed weights,
-    // which only matters for a corrupted set (never produced by a clean
-    // kill — save order makes the manifest the commit point).
-    for (Shard& sh : shards_) {
-      const Result<RuntimeSnapshot> res = load_checkpoint(*sh.net, sh.ckpt_path);
+    // Network weights per shard, from the slot the committed manifest
+    // points at. A crash mid-commit may have left the *other* slot torn or
+    // one epoch ahead — it is never read. The loaded file must echo the
+    // manifest's epoch; anything else is a set this manifest didn't commit.
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      Shard& sh = shards_[k];
+      const std::uint64_t epoch = recs[k].snap.checkpoint_epoch;
+      const Result<RuntimeSnapshot> res =
+          load_checkpoint(*sh.net, shard_slot_path(sh.ckpt_base, epoch));
       if (!res.ok()) return cold(res.error().message);
+      if (res.value().checkpoint_epoch != epoch)
+        return cold("shard " + std::to_string(k) + " slot file epoch " +
+                    std::to_string(res.value().checkpoint_epoch) +
+                    " != manifest epoch " + std::to_string(epoch));
     }
 
+    manifest_epoch_ = recs[0].snap.checkpoint_epoch;
     next_ticket_ = next_ticket;
     total_dispatched_ = total_dispatched;
     last_checkpoint_dispatched_ = total_dispatched;
     for (std::size_t k = 0; k < shards_.size(); ++k) {
       Shard& sh = shards_[k];
       const ShardRecord& rec = recs[k];
-      // Manifest counters are authoritative over the per-shard file's (the
-      // manifest commits the set; a shard file can be at most one epoch
-      // ahead after a crash mid-save).
+      // Manifest counters are authoritative: the manifest commits the set,
+      // and the slot check above proved the loaded file belongs to it.
       sh.snap = rec.snap;
       sh.breaker.restore(static_cast<BreakerState>(rec.state), rec.trips);
       sh.sentinel.set_baseline_pct(rec.baseline_pct);
@@ -889,6 +918,10 @@ FleetStats FleetRuntime::stats() const {
   fs.alloc_measured_requests = alloc_measured_.load(std::memory_order_relaxed);
   fs.serve_request_allocs = hot_allocs_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> fl(fleet_mu_);
+  fs.tenant_metered_j.reserve(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t)
+    fs.tenant_metered_j.push_back(
+        tenant_energy_[static_cast<std::size_t>(t)].joules());
   fs.total_dispatched = total_dispatched_;
   fs.fallback_served = fallback_served_;
   fs.shed = shed_;

@@ -27,8 +27,12 @@
 //  * fleet checkpoints — per-shard network checkpoints plus one manifest
 //    holding the fleet counters, scheduler passes, tenant energy bills and
 //    per-shard breaker/sentinel state, written atomically (manifest last =
-//    commit point). start() resumes from a complete set and replays the
-//    remaining request stream bit-identically.
+//    commit point). Shard files alternate between two epoch-parity slots so
+//    an in-progress commit never overwrites the set the current manifest
+//    points at: a crash at *any* write offset of the commit sequence leaves
+//    the previous set intact (the chaos crash-point matrix proves this at
+//    every offset — docs/chaos.md). start() resumes from the last committed
+//    set and replays the remaining request stream bit-identically.
 #pragma once
 
 #include <atomic>
@@ -105,6 +109,11 @@ struct FleetStats {
   std::uint64_t serve_request_allocs = 0;
   BatcherStats batcher{};
   std::vector<TenantCounters> tenants;
+  // Joules metered per tenant by the live EnergyMeter *in this process*
+  // (resets on resume, unlike TenantCounters::energy_j which restores from
+  // the manifest). The chaos billing-conservation invariant checks
+  // energy_j == restored base + tenant_metered_j.
+  std::vector<double> tenant_metered_j;
   std::vector<ShardStats> shards;
 };
 
@@ -178,7 +187,11 @@ class FleetRuntime {
     std::int64_t active_storm = -1;
     std::uint64_t storm_until = 0;
     std::vector<RecoveryRecord> recoveries;
-    std::string ckpt_path;
+    // Checkpoint path prefix; the actual file alternates between two slots
+    // (<base>.s0.ckpt / <base>.s1.ckpt, slot = epoch % 2) so a commit never
+    // overwrites the set the current manifest points at — see
+    // write_checkpoints().
+    std::string ckpt_base;
   };
 
   /// One dispatched-but-not-yet-evaluated request: the unit the segment
@@ -232,7 +245,7 @@ class FleetRuntime {
   /// Parked-shard periodic repair re-attempt (tier-1 while degraded).
   void try_reopen(int k);
   void write_checkpoints();
-  Status save_manifest();
+  Status save_manifest(std::uint64_t epoch);
   bool try_resume();
   void publish_energy_once();
   std::string manifest_path() const;
@@ -259,6 +272,11 @@ class FleetRuntime {
   std::uint64_t total_dispatched_ = 0;
   std::uint64_t last_checkpoint_dispatched_ = 0;
   std::uint64_t checkpoints_ = 0;
+  // Epoch of the last *manifest-committed* checkpoint set. Each commit
+  // attempt targets manifest_epoch_ + 1 and only advances this once the
+  // manifest rename lands, so retries after a failed/torn commit re-target
+  // the same (non-committed) slot and the committed set is never touched.
+  std::uint64_t manifest_epoch_ = 0;
   std::uint64_t fallback_served_ = 0;
   std::uint64_t shed_ = 0;
   std::vector<FailoverEvent> failovers_;

@@ -4,14 +4,17 @@
 // checkpoint retry, replica failover, and crash-resume replay determinism.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/io.hpp"
 #include "core/adc_network.hpp"
 #include "core/sei_network.hpp"
@@ -825,6 +828,173 @@ TEST(Fleet, CrashResumeReplaysBitIdentically) {
     std::filesystem::remove_all(dir);
   }
   exec::set_default_threads(0);  // restore the suite default
+}
+
+// ---------------------------------------------------------------------------
+// Tenant-spec CLI validation: malformed input fails fast with a suggestion.
+
+TEST(Admission, TenantSpecParserRejectsMalformedSpecs) {
+  EXPECT_THROW(serve::parse_tenant_specs("A:1,A:2"), CliError);  // duplicate
+  EXPECT_THROW(serve::parse_tenant_specs("A:0"), CliError);      // zero weight
+  EXPECT_THROW(serve::parse_tenant_specs("A:-1"), CliError);     // negative
+  EXPECT_THROW(serve::parse_tenant_specs("A:x"), CliError);      // non-numeric
+  EXPECT_THROW(serve::parse_tenant_specs(":2"), CliError);       // empty name
+  try {
+    serve::parse_tenant_specs("A;2");
+    FAIL() << "separator typo must not parse as a weight-1 tenant named 'A;2'";
+  } catch (const CliError& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'A:2'"),
+              std::string::npos)
+        << e.what();
+  }
+  const std::vector<serve::TenantConfig> ok = serve::parse_tenant_specs("A:2,B");
+  ASSERT_EQ(ok.size(), 2u);
+  EXPECT_DOUBLE_EQ(ok[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(ok[1].weight, 1.0);  // bare name defaults to weight 1
+}
+
+// ---------------------------------------------------------------------------
+// Batcher linger measured against an injected clock: a 5 s window closes the
+// moment the fake clock jumps past it, without 5 s of real waiting.
+
+TEST(Batcher, InjectedClockDrivesLingerWithoutRealWaiting) {
+  serve::AdmissionController adm(serve::parse_tenant_specs("A:1"));
+  serve::BatcherConfig bc;
+  bc.linger = std::chrono::seconds(5);
+  serve::MicroBatcher batcher(adm, bc);
+  std::atomic<std::int64_t> fake_us{0};
+  batcher.set_time_source([&fake_us] {
+    return serve::MicroBatcher::Clock::time_point(
+        std::chrono::microseconds(fake_us.load()));
+  });
+  std::future<serve::FleetResponse> fut = batcher.submit(make_request(0));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<serve::FleetRequest>> batch;
+  std::thread consumer([&] { batch = batcher.next_batch(); });
+  // Let the consumer enter the linger wait on the frozen clock, then jump
+  // the clock past the window; the poll loop must notice and dispatch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  fake_us.store(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::seconds(6))
+          .count());
+  consumer.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_LT(elapsed, std::chrono::seconds(2))
+      << "the 5 s linger must be paid in fake time, not real time";
+  batch[0]->promise.set_value({});
+  batcher.close();
+  (void)fut;
+}
+
+// ---------------------------------------------------------------------------
+// Torn fleet-manifest commit: shard slot files land but the manifest write
+// dies. The commit must be invisible — the previous manifest's slot files are
+// untouched (they live in the other epoch-parity slot), so the next resume
+// replays from the older cut bit-identically.
+
+TEST(Fleet, TornManifestCommitResumesFromPriorEpoch) {
+  Fixture& f = fixture();
+  const auto make_nets = [&] {
+    std::vector<std::unique_ptr<core::SeiNetwork>> nets;
+    for (int k = 0; k < 2; ++k) {
+      core::HardwareConfig cfg;
+      cfg.seed += static_cast<std::uint64_t>(k) * 1000003ULL;
+      nets.push_back(std::make_unique<core::SeiNetwork>(f.qnet, cfg));
+    }
+    return nets;
+  };
+  const auto ptrs_of = [](auto& nets) {
+    std::vector<core::SeiNetwork*> p;
+    for (auto& n : nets) p.push_back(n.get());
+    return p;
+  };
+  struct Reply {
+    serve::FleetResponseStatus status;
+    int label, shard;
+    std::uint64_t ticket, sequence;
+  };
+  const auto serve_range = [&](serve::FleetRuntime& fleet, int lo, int hi) {
+    std::vector<std::future<serve::FleetResponse>> futs;
+    for (int i = lo; i < hi; ++i) futs.push_back(fleet.submit(0, f.image(i)));
+    std::vector<Reply> out;
+    for (auto& fu : futs) {
+      const serve::FleetResponse r = fu.get();
+      out.push_back({r.status, r.label, r.shard, r.ticket, r.sequence});
+    }
+    return out;
+  };
+  const int cut1 = 30, cut2 = 45, total = 60;
+  const std::string dir = tmp_path("sei_fleet_torn_manifest");
+  std::filesystem::remove_all(dir);
+
+  // Uninterrupted reference run, no checkpoints.
+  std::vector<Reply> reference;
+  {
+    auto nets = make_nets();
+    serve::FleetRuntime fleet(ptrs_of(nets), f.qnet, f.test, f.train,
+                              quiet_fleet_config("A:1"));
+    fleet.start();
+    reference = serve_range(fleet, 0, total);
+    fleet.stop();
+  }
+
+  serve::FleetConfig fc = quiet_fleet_config("A:1");
+  fc.checkpoint_every = 0;  // only stop() commits — one set per leg
+  fc.checkpoint_dir = dir;
+
+  // Leg 1: commit a clean set at cut1.
+  {
+    auto nets = make_nets();
+    serve::FleetRuntime fleet(ptrs_of(nets), f.qnet, f.test, f.train, fc);
+    fleet.start();
+    serve_range(fleet, 0, cut1);
+    fleet.stop();
+  }
+
+  // Leg 2: resume, serve to cut2, then tear the commit — every write to the
+  // manifest fails, after the shard slot files have already been written.
+  {
+    auto nets = make_nets();
+    serve::FleetRuntime fleet(ptrs_of(nets), f.qnet, f.test, f.train, fc);
+    fleet.start();
+    ASSERT_TRUE(fleet.resumed_from_checkpoint());
+    ASSERT_EQ(fleet.stats().total_dispatched,
+              static_cast<std::uint64_t>(cut1));
+    serve_range(fleet, cut1, cut2);
+    set_io_fault_hook([](const IoFaultSite& site) {
+      return site.op == IoOp::kWrite &&
+                     site.path.find("fleet.manifest") != std::string::npos
+                 ? IoFaultAction::kFail
+                 : IoFaultAction::kNone;
+    });
+    fleet.stop();  // commit aborts at the manifest; warning, not an error
+    set_io_fault_hook(IoFaultHook{});
+  }
+
+  // Leg 3: the torn commit must be invisible — resume lands on cut1 and the
+  // replay from there matches the uninterrupted reference field-for-field.
+  {
+    auto nets = make_nets();
+    serve::FleetRuntime fleet(ptrs_of(nets), f.qnet, f.test, f.train, fc);
+    fleet.start();
+    ASSERT_TRUE(fleet.resumed_from_checkpoint());
+    ASSERT_EQ(fleet.stats().total_dispatched, static_cast<std::uint64_t>(cut1))
+        << "torn manifest must not advance the committed cut";
+    const std::vector<Reply> rest = serve_range(fleet, cut1, total);
+    fleet.stop();
+    for (int i = 0; i < total - cut1; ++i) {
+      const Reply& got = rest[static_cast<std::size_t>(i)];
+      const Reply& want = reference[static_cast<std::size_t>(cut1 + i)];
+      EXPECT_EQ(got.status, want.status) << "resumed request " << cut1 + i;
+      EXPECT_EQ(got.label, want.label) << "resumed request " << cut1 + i;
+      EXPECT_EQ(got.shard, want.shard) << "resumed request " << cut1 + i;
+      EXPECT_EQ(got.ticket, want.ticket) << "resumed request " << cut1 + i;
+      EXPECT_EQ(got.sequence, want.sequence) << "resumed request " << cut1 + i;
+    }
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
