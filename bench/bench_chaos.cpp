@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/live_energy.hpp"
 #include "chaos/crash_matrix.hpp"
 #include "chaos/invariants.hpp"
 #include "chaos/scenario.hpp"
@@ -94,6 +95,10 @@ int main(int argc, char** argv) try {
       "io-short-prob", 0.05, "soak: P(injected short write) per operation");
   const int stall_every = cli.get_int(
       "stall-every", 17, "soak: thread-pool chunks per stall (0 = off)");
+  const int skip_bound = cli.get_int(
+      "skip-bound", -1,
+      "soak: word-skip bound on every SEI stage (-1 = dense); when >= 0 the "
+      "billing-envelope invariant is checked too (docs/sparsity.md)");
   const int ckpt_every = cli.get_int(
       "checkpoint-every", 200, "soak: dispatches per checkpoint set");
   const int storm_at = cli.get_int(
@@ -152,6 +157,9 @@ int main(int argc, char** argv) try {
           art.qnet, hw,
           reliability::make_repair_hook(reliability::RepairConfig{},
                                         nullptr)));
+      if (skip_bound >= 0)
+        nets.back()->set_skip_bounds(std::vector<int>(
+            static_cast<std::size_t>(nets.back()->stage_count()), skip_bound));
     }
     return nets;
   };
@@ -183,6 +191,19 @@ int main(int argc, char** argv) try {
     cc.io_fail_prob = io_fail;
     cc.io_short_write_prob = io_short;
     cc.stall_every = stall_every;
+    if (skip_bound >= 0) {
+      // Sparse bills vary per image; the envelope invariant brackets each
+      // tenant's metered delta with the structural [floor, ceiling] prices.
+      const core::HardwareConfig& hw0 = ptrs[0]->config();
+      const telemetry::EnergyMeter sei_m =
+          arch::make_energy_meter(art.qnet, hw0, core::StructureKind::kSei);
+      const telemetry::EnergyMeter adc_m = arch::make_energy_meter(
+          art.qnet, hw0, core::StructureKind::kBinInputAdc);
+      cc.check_envelope = true;
+      cc.envelope.sei_min_image_j = sei_m.network_floor_pj().total() * 1e-12;
+      cc.envelope.sei_max_image_j = sei_m.network_pj().total() * 1e-12;
+      cc.envelope.adc_image_j = adc_m.network_pj().total() * 1e-12;
+    }
     std::printf("chaos soak: %d requests, %d shards, tenants %s, seed %llu\n",
                 requests, nshards, tenant_spec.c_str(),
                 static_cast<unsigned long long>(seed));

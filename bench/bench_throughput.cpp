@@ -86,6 +86,10 @@ int main(int argc, char** argv) try {
   const int repeats = cli.get_int("repeats", 3, "timed runs, best taken");
   const double read_noise = cli.get_double(
       "read-noise", 0.0, "read noise sigma (0 = pure-kernel comparison)");
+  const int skip_bound = cli.get_int(
+      "skip-bound", -1,
+      "word-skip bound on every SEI stage (-1 = dense, 0 = skip idle words "
+      "only — bit-identical; docs/sparsity.md)");
   const std::string json_path = cli.get("json", "BENCH_throughput.json");
   const auto tel = telemetry::telemetry_flags(cli);
   if (!cli.validate("SEI throughput: packed AND+popcount core vs scalar "
@@ -126,6 +130,9 @@ int main(int argc, char** argv) try {
     core::HardwareConfig cfg;
     cfg.device.read_noise_sigma = read_noise;
     core::SeiNetwork net(art.qnet, cfg);
+    if (skip_bound >= 0)
+      net.set_skip_bounds(std::vector<int>(
+          static_cast<std::size_t>(net.stage_count()), skip_bound));
     meters.push_back(
         arch::make_energy_meter(art.qnet, cfg, core::StructureKind::kSei));
     net.set_meter(&meters.back());

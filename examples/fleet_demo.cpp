@@ -45,6 +45,10 @@ int main(int argc, char** argv) try {
       "storm-duration", requests / 3, "dispatches the storm persists");
   const int probe_every =
       cli.get_int("probe-every", 8, "served requests per sentinel probe");
+  const int skip_bound = cli.get_int(
+      "skip-bound", -1,
+      "word-skip bound on every SEI stage (-1 = dense); with a bound set, "
+      "tenants are billed per activated row (docs/sparsity.md)");
   if (!cli.validate("fleet serving demo: failover and weighted fairness"))
     return 0;
   install_shutdown_handler();
@@ -62,6 +66,9 @@ int main(int argc, char** argv) try {
     nets.push_back(std::make_unique<core::SeiNetwork>(
         art.qnet, hw,
         reliability::make_repair_hook(reliability::RepairConfig{}, nullptr)));
+    if (skip_bound >= 0)
+      nets.back()->set_skip_bounds(std::vector<int>(
+          static_cast<std::size_t>(nets.back()->stage_count()), skip_bound));
     ptrs.push_back(nets.back().get());
   }
   core::AdcNetwork fallback(art.qnet, core::AdcConfig{}, data.train);

@@ -43,6 +43,27 @@ telemetry::StageEnergy stage_energy(const StageCost& sc) {
   s.events.digital_adds = u64(hw.digital_adds);
   s.events.buffer_bits = u64(hw.buffer_accesses_bits);
   s.events.wta_reads = u64(hw.wta_reads);
+
+  // Activation-proportional split for SEI hidden/classifier stages: their
+  // rows are gated by per-row transmission gates, so array (rram) current
+  // and the 1-bit drivers scale with the rows actually switched on. The
+  // static table assumed every input row active at every position —
+  // nominal_rows = activations × rows — and plan_stage built both
+  // cell_activations and driver_ops as exact multiples of it, so the
+  // per-row event counts below divide without remainder. Stage 0 is
+  // DAC-driven (no transmission gates) and keeps the uniform price.
+  if (hw.structure == core::StructureKind::kSei && !hw.first_stage) {
+    const long long nominal =
+        hw.geom.activations() * static_cast<long long>(hw.geom.rows);
+    if (nominal > 0) {
+      s.nominal_rows = nominal;
+      const double n = static_cast<double>(nominal);
+      s.row_rram_pj = e.rram / n;
+      s.row_driver_pj = e.driver / n;
+      s.row_cells = s.events.cell_activations / u64(nominal);
+      s.row_drivers = s.events.driver_ops / u64(nominal);
+    }
+  }
   return s;
 }
 

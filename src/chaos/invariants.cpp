@@ -82,6 +82,40 @@ void check_billing_conservation(const serve::FleetStats& stats,
   }
 }
 
+void check_billing_envelope(const serve::FleetStats& base,
+                            const serve::FleetStats& end,
+                            const BillingEnvelope& env, double tol_j,
+                            std::vector<InvariantViolation>& out) {
+  if (end.tenants.size() != base.tenants.size() ||
+      end.tenant_metered_j.size() != end.tenants.size() ||
+      base.tenant_metered_j.size() != base.tenants.size()) {
+    out.push_back({"billing", "envelope: stats windows disagree on tenants"});
+    return;
+  }
+  for (std::size_t t = 0; t < end.tenants.size(); ++t) {
+    const double metered =
+        end.tenant_metered_j[t] - base.tenant_metered_j[t];
+    const double ok =
+        static_cast<double>(end.tenants[t].ok - base.tenants[t].ok);
+    const double degraded = static_cast<double>(end.tenants[t].degraded -
+                                                base.tenants[t].degraded);
+    const double lo = ok * env.sei_min_image_j + degraded * env.adc_image_j;
+    const double hi = ok * env.sei_max_image_j + degraded * env.adc_image_j;
+    if (metered < lo - tol_j || metered > hi + tol_j)
+      out.push_back(
+          {"billing",
+           "tenant " + std::to_string(t) + " metered " +
+               std::to_string(metered * 1e6) + " uJ outside envelope [" +
+               std::to_string(lo * 1e6) + ", " + std::to_string(hi * 1e6) +
+               "] uJ for " + std::to_string(end.tenants[t].ok -
+                                            base.tenants[t].ok) +
+               " sei + " +
+               std::to_string(end.tenants[t].degraded -
+                              base.tenants[t].degraded) +
+               " adc answers"});
+  }
+}
+
 void check_plan_coherence(core::SeiNetwork& net, const data::Dataset& probes,
                           int images, const std::string& who,
                           std::vector<InvariantViolation>& out) {

@@ -75,6 +75,33 @@ void check_billing_conservation(const serve::FleetStats& stats,
                                 double tol_j,
                                 std::vector<InvariantViolation>& out);
 
+/// Per-image price bounds for the billing-envelope check. Under sparsity
+/// accounting a SEI answer's bill varies per image with the rows it
+/// activated (docs/sparsity.md), so exact per-answer prices cannot be
+/// asserted from outside — but every bill is bounded: the meter's
+/// network_floor_pj (zero rows active anywhere) below and network_pj
+/// (every nominal row active) above. A dense fleet collapses the interval
+/// (min == max == the flat price), turning the same check into an
+/// exactness assertion.
+struct BillingEnvelope {
+  double sei_min_image_j = 0.0;  // sei network_floor_pj().total() in J
+  double sei_max_image_j = 0.0;  // sei network_pj().total() in J
+  double adc_image_j = 0.0;      // adc fallback flat per-image price in J
+};
+
+/// Billing envelope per tenant, over the [base, end) stats window: the
+/// metered joules delta must lie within
+///   [ok·sei_min + degraded·adc − tol, ok·sei_max + degraded·adc + tol]
+/// where ok/degraded are that tenant's answered-count deltas. Holds for
+/// any mix of dense and sparse shards as long as env brackets both (a
+/// dense shard's flat price sits inside [floor, ceiling] by construction).
+/// Rejected/abandoned work bills nothing and is excluded by using the
+/// answered counters.
+void check_billing_envelope(const serve::FleetStats& base,
+                            const serve::FleetStats& end,
+                            const BillingEnvelope& env, double tol_j,
+                            std::vector<InvariantViolation>& out);
+
 /// Plan coherence on `net` (quiescent — call after stop()): the compiled
 /// plan path and the pure scalar interpreter must agree on `images` probe
 /// images drawn from `probes` at chaos RNG indices, and the plan epoch must

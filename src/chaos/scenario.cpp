@@ -164,6 +164,9 @@ ChaosScenarioReport run_chaos_scenario(
                             rep.violations);
   check_billing_conservation(end, base_bill_j, cfg.billing_tol_j,
                              rep.violations);
+  if (cfg.check_envelope)
+    check_billing_envelope(base, end, cfg.envelope, cfg.billing_tol_j,
+                           rep.violations);
   if (cfg.coherence_images > 0) {
     for (std::size_t k = 0; k < shards.size(); ++k) {
       const std::string who = "shard" + std::to_string(k);

@@ -54,6 +54,12 @@ struct ChaosScenarioConfig {
   // arena-rebind checks (0 skips both).
   int coherence_images = 12;
   double billing_tol_j = 1e-12;  // 1e-6 µJ
+  // Optional billing envelope (sparsity-aware fleets): when check_envelope
+  // is set, every tenant's metered-joules delta must fall inside the
+  // per-answer price bounds — see chaos/invariants.hpp. Conservation
+  // (bill == base + metered, exact) is always checked regardless.
+  bool check_envelope = false;
+  BillingEnvelope envelope;
 };
 
 /// Outcome tally plus the invariant verdict. availability counts answered

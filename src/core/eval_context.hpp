@@ -46,9 +46,54 @@ struct EvalContext {
   const telemetry::EnergyMeter* meter = nullptr;
   telemetry::EnergyAccum* energy = nullptr;
 
+  /// Per-stage sparsity counters (docs/sparsity.md), reset by each engine
+  /// at stage entry and valid after it returns. Only populated when the
+  /// stage op runs with skip_bound >= 0; the pre-sparsity fast path leaves
+  /// them at the previous stage's values. All deterministic functions of
+  /// (network, image) — never of thread count or evaluation order.
+  std::int64_t sp_rows = 0;     // row-activations actually driven (charged)
+  std::int64_t sp_nominal = 0;  // positions x rows the static table assumed
+  std::int64_t sp_words = 0;    // (position, 9-row input word) decisions
+  std::int64_t sp_skipped = 0;  // of those, masked off by the bound
+
+  /// Optional activity histogram sink: when set and a stage runs with
+  /// skip_bound >= 0, the engine also records each (position, input word)
+  /// selected-input count into this estimator cell (sparsity subsystem).
+  /// Indexed by stage by the caller; passive observation only.
+  struct StageActivity {
+    std::int64_t positions = 0;      // crossbar activations observed
+    std::int64_t words = 0;          // (position, input word) decisions
+    std::int64_t words_skipped = 0;  // masked off by the bound
+    std::int64_t rows_nominal = 0;   // positions x rows
+    std::int64_t rows_active = 0;    // sum of selected-input counts
+    std::int64_t rows_charged = 0;   // active rows in non-masked words
+    // Histogram of per-word selected-input counts: bin p counts 9-row
+    // input words carrying exactly p ones (0..9) — the runtime twin of
+    // the paper's Table 1 distribution. Bin 10 is unused (kept so the
+    // array also fits decile-style consumers).
+    std::int64_t hist[11] = {0};
+
+    void merge(const StageActivity& o) {
+      positions += o.positions;
+      words += o.words;
+      words_skipped += o.words_skipped;
+      rows_nominal += o.rows_nominal;
+      rows_active += o.rows_active;
+      rows_charged += o.rows_charged;
+      for (int i = 0; i < 11; ++i) hist[i] += o.hist[i];
+    }
+  };
+  StageActivity* activity = nullptr;      // caller array, one cell per stage
+  StageActivity* cur_activity = nullptr;  // set by dispatch: activity + stage
+
   // SEI scratch.
   Scratch<double> block_sums;  // per-(block, col) partial sums
   Scratch<int> n_active;       // active inputs per block
+
+  // Scalar-path sparsity scratch: per-position selected-input count of each
+  // 9-row input word, used to apply the word-masking predicate without
+  // packing the window (sei_network.cpp eval_stage_bits).
+  std::vector<int> word_active;
 
   // ADC scratch.
   Scratch<double> plane_sums;        // per-(plane, block, col) partial sums

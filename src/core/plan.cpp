@@ -1,6 +1,7 @@
 #include "core/plan.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/eval_context.hpp"
 #include "core/simd_caps.hpp"
@@ -153,7 +154,8 @@ DacKernel select_dac_kernel(const MappedLayer& m) {
 
 CompiledPlan compile_plan(const std::vector<MappedLayer>& layers,
                           const HardwareConfig& cfg, bool packed_eval,
-                          const telemetry::EnergyMeter* meter) {
+                          const telemetry::EnergyMeter* meter,
+                          const std::vector<int>* skip_bounds) {
   CompiledPlan plan;
   plan.ops.reserve(layers.size());
   plan.priced_for = meter;
@@ -200,6 +202,19 @@ CompiledPlan compile_plan(const std::vector<MappedLayer>& layers,
       op.packed_kernel = select_packed_kernel(m, cfg);
     if (op.engine == StageEngine::kDacDense)
       op.dac_kernel = select_dac_kernel(m);
+    // Sparsity: the skip predicate applies to the SEI hidden/classifier
+    // stages only — stage 0 is DAC-driven through resistor ladders, its
+    // rows have no transmission gates to switch off. A configured bound is
+    // clamped to >= 0 so "bounds present" always implies activity tracking
+    // (and per-row charging), even where the bound itself is 0.
+    if (skip_bounds && !skip_bounds->empty() && op.stage > 0) {
+      const std::size_t si = static_cast<std::size_t>(op.stage);
+      const int b = si < skip_bounds->size() ? (*skip_bounds)[si] : 0;
+      // The bound is a per-9-row-word popcount threshold
+      // (SeiNetwork::kWordRows): bound 0 masks only all-zero words, which
+      // keeps predictions bit-identical to the dense network.
+      op.skip_bound = b > 0 ? b : 0;
+    }
     if (meter && i < meter->stage_count()) {
       op.price = meter->stage(i);
       op.priced = true;

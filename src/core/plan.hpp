@@ -86,6 +86,16 @@ struct StageOp {
   int blocks = 1;
   long long positions = 0;
 
+  // Sparsity skip bound (docs/sparsity.md): resolved at compile time from
+  // the network's per-stage bounds. < 0 means sparsity is off for this op
+  // (the pre-sparsity fast path, no activity tracking); >= 0 means a 9-row
+  // sub-crossbar input word (SeiNetwork::kWordRows) whose selected-input
+  // count is <= skip_bound is masked out of the input window before
+  // accumulation — its rows are never driven — and the stage is charged
+  // per activated row. Always < 0 for stage 0 (DAC-driven, no transmission
+  // gates) and for non-SEI engines.
+  int skip_bound = -1;
+
   // Baked per-stage energy price (valid when `priced`): the executor
   // charges these numbers directly instead of chasing the meter's stage
   // table per request. CompiledPlan::priced_for records which meter the
@@ -156,8 +166,14 @@ DacKernel select_dac_kernel(const MappedLayer& m);
 
 /// Lowers the mapped network into a CompiledPlan. `meter` (optional) bakes
 /// per-stage prices; epoch is left at 0 — the owner stamps it.
+/// `skip_bounds` (optional) resolves each op's sparsity skip bound: empty /
+/// nullptr leaves every op at -1 (sparsity off); otherwise op `i` of a
+/// hidden/classifier SEI stage gets `max(skip_bounds[i], 0)` and stage 0
+/// stays -1 — compile_plan owns this policy so the interpreter and the
+/// executor cannot disagree on where the predicate applies.
 CompiledPlan compile_plan(const std::vector<MappedLayer>& layers,
                           const HardwareConfig& cfg, bool packed_eval,
-                          const telemetry::EnergyMeter* meter = nullptr);
+                          const telemetry::EnergyMeter* meter = nullptr,
+                          const std::vector<int>* skip_bounds = nullptr);
 
 }  // namespace sei::core

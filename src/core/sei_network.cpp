@@ -51,7 +51,8 @@ void SeiNetwork::rebuild_packed(int stage) {
 }
 
 void SeiNetwork::rebuild_plan() {
-  plan_ = compile_plan(layers_, cfg_, packed_eval_, meter_);
+  plan_ = compile_plan(layers_, cfg_, packed_eval_, meter_,
+                       skip_bounds_.empty() ? nullptr : &skip_bounds_);
   plan_.epoch = ++plan_epoch_;
 }
 
@@ -113,13 +114,84 @@ void SeiNetwork::decide_position(const MappedLayer& m,
   }
 }
 
+void SeiNetwork::mask_window_words(int rows, int skip_bound,
+                                   std::uint64_t* window,
+                                   EvalContext& ctx) const {
+  ctx.sp_nominal += rows;
+  EvalContext::StageActivity* act = ctx.cur_activity;
+  if (act) {
+    ++act->positions;
+    act->rows_nominal += rows;
+  }
+  // Walk the 9-row input words (the last one ragged when rows % 9 != 0).
+  // A word straddles at most two u64s of the packed window.
+  for (int r0 = 0; r0 < rows; r0 += kWordRows) {
+    const int wr = std::min(kWordRows, rows - r0);
+    const std::size_t wi = static_cast<std::size_t>(r0) >> 6;
+    const int off = r0 & 63;
+    std::uint64_t bits = window[wi] >> off;
+    if (off + wr > 64) bits |= window[wi + 1] << (64 - off);
+    bits &= (std::uint64_t{1} << wr) - 1;
+    const int pc = std::popcount(bits);
+    ++ctx.sp_words;
+    if (act) {
+      ++act->words;
+      ++act->hist[pc];
+      act->rows_active += pc;
+    }
+    if (pc <= skip_bound) {
+      ++ctx.sp_skipped;
+      if (act) ++act->words_skipped;
+      if (pc > 0) {
+        const int lo = std::min(wr, 64 - off);
+        window[wi] &= ~(((std::uint64_t{1} << lo) - 1) << off);
+        if (off + wr > 64)
+          window[wi + 1] &= ~((std::uint64_t{1} << (off + wr - 64)) - 1);
+      }
+    } else {
+      ctx.sp_rows += pc;
+      if (act) act->rows_charged += pc;
+    }
+  }
+}
+
+void SeiNetwork::mask_window_counts(int rows, int skip_bound, int* counts,
+                                    EvalContext& ctx) const {
+  ctx.sp_nominal += rows;
+  EvalContext::StageActivity* act = ctx.cur_activity;
+  if (act) {
+    ++act->positions;
+    act->rows_nominal += rows;
+  }
+  const int nwords = (rows + kWordRows - 1) / kWordRows;
+  for (int w = 0; w < nwords; ++w) {
+    const int pc = counts[w];
+    ++ctx.sp_words;
+    if (act) {
+      ++act->words;
+      ++act->hist[pc];
+      act->rows_active += pc;
+    }
+    if (pc <= skip_bound) {
+      ++ctx.sp_skipped;
+      if (act) ++act->words_skipped;
+      counts[w] = -1;
+    } else {
+      ctx.sp_rows += pc;
+      if (act) act->rows_charged += pc;
+    }
+  }
+}
+
 void SeiNetwork::eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
                                  quant::BitMap& bits_out,
                                  std::vector<float>& scores,
-                                 EvalContext& ctx) const {
+                                 EvalContext& ctx, int skip_bound) const {
   const quant::StageGeometry& g = m.geom;
   SEI_CHECK(in.size() == static_cast<std::size_t>(g.in_h) * g.in_w * g.in_ch);
   const int cols = g.cols, k = m.block_count;
+  if (skip_bound >= 0)
+    ctx.sp_rows = ctx.sp_nominal = ctx.sp_words = ctx.sp_skipped = 0;
   // Sized once here, zeroed per position below (they start each position
   // dirty with the previous position's sums).
   ctx.block_sums.resize(static_cast<std::size_t>(k) * cols);
@@ -137,6 +209,28 @@ void SeiNetwork::eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
       std::fill(ctx.block_sums.begin(), ctx.block_sums.end(), 0.0);
       std::fill(ctx.n_active.begin(), ctx.n_active.end(), 0);
       const int window_rows = is_conv ? g.kernel : 1;
+      // Sparsity pre-pass: count each 9-row input word's selected inputs,
+      // apply the skip predicate, and drop masked words from the walk
+      // below. The masked rows are never driven, so n_active, sums, votes
+      // and the RNG draw sequence all see the identical reduced input the
+      // packed engines see (they clear the same window bits).
+      const int* wa = nullptr;
+      if (skip_bound >= 0) {
+        const int nwords = (g.rows + kWordRows - 1) / kWordRows;
+        ctx.word_active.assign(static_cast<std::size_t>(nwords), 0);
+        for (int di = 0; di < window_rows; ++di) {
+          const std::uint8_t* in_px =
+              is_conv ? in.data() + (static_cast<std::size_t>(y + di) *
+                                         g.in_w + x) * g.in_ch
+                      : in.data();
+          const int r0 = di * span;
+          for (int t = 0; t < span; ++t)
+            if (in_px[t])
+              ++ctx.word_active[static_cast<std::size_t>(r0 + t) / kWordRows];
+        }
+        mask_window_counts(g.rows, skip_bound, ctx.word_active.data(), ctx);
+        wa = ctx.word_active.data();
+      }
       for (int di = 0; di < window_rows; ++di) {
         const std::uint8_t* in_px =
             is_conv ? in.data() + (static_cast<std::size_t>(y + di) * g.in_w +
@@ -146,6 +240,7 @@ void SeiNetwork::eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
         for (int t = 0; t < span; ++t) {
           if (!in_px[t]) continue;
           const int r = r0 + t;
+          if (wa && wa[r / kWordRows] < 0) continue;
           const int b = m.row_to_block[static_cast<std::size_t>(r)];
           ++ctx.n_active[static_cast<std::size_t>(b)];
           const float* wrow =
@@ -491,12 +586,14 @@ void SeiNetwork::eval_stage_packed(const MappedLayer& m,
                                    const quant::PackedBits& in,
                                    quant::PackedBits& bits_out,
                                    std::vector<float>& scores,
-                                   EvalContext& ctx) const {
+                                   EvalContext& ctx, int skip_bound) const {
   const quant::StageGeometry& g = m.geom;
   const PackedStage& ps = m.packed;
   SEI_CHECK(ps.valid);
   SEI_CHECK(in.bits == static_cast<std::size_t>(g.in_h) * g.in_w * g.in_ch);
   const int cols = g.cols, k = m.block_count;
+  if (skip_bound >= 0)
+    ctx.sp_rows = ctx.sp_nominal = ctx.sp_words = ctx.sp_skipped = 0;
   ctx.block_sums.resize(static_cast<std::size_t>(k) * cols);
   ctx.n_active.resize(static_cast<std::size_t>(k));
 
@@ -508,8 +605,11 @@ void SeiNetwork::eval_stage_packed(const MappedLayer& m,
   const bool is_conv = g.kind == quant::StageSpec::Kind::Conv;
   const int span = is_conv ? g.kernel * g.in_ch : g.rows;
   // FC input is already the full row window (rows == in.bits, zero tail).
+  // Under sparsity the FC window is copied into scratch first — the mask
+  // pass mutates it, and the caller's packed activations must survive.
   const std::uint64_t* window = in.words.data();
-  if (is_conv) ctx.window.resize(static_cast<std::size_t>(ps.words));
+  if (is_conv || skip_bound >= 0)
+    ctx.window.resize(static_cast<std::size_t>(ps.words));
 
 #ifdef SEI_CORE_AVX512
   // Batch-of-8 position pipeline: compact eight conv windows, then run the
@@ -558,6 +658,11 @@ void SeiNetwork::eval_stage_packed(const MappedLayer& m,
                 ctx.window.data(), static_cast<std::size_t>(di) * span,
                 static_cast<std::size_t>(span));
         }
+        // Masking the lane's window before compaction makes the skipped
+        // words' rows invisible to everything downstream — nact8, sums,
+        // votes — exactly as if their transmission gates never opened.
+        if (skip_bound >= 0)
+          mask_window_words(g.rows, skip_bound, ctx.window.data(), ctx);
         for (int b = 0; b < k; ++b) {
           const int bspan = ps.block_span[b];
           ctx.nact8[static_cast<std::size_t>(b) * 8 + p] =
@@ -627,6 +732,17 @@ void SeiNetwork::eval_stage_packed(const MappedLayer& m,
           }
           wptr = ctx.window.data();
         }
+        if (skip_bound >= 0) {
+          // Mask in place (FC copies the caller's words into scratch
+          // first); the row walk below then only ever sees surviving
+          // rows, and an all-masked window naturally compares zero sums.
+          if (!is_conv) {
+            std::copy_n(in.words.data(), static_cast<std::size_t>(ps.words),
+                        ctx.window.data());
+            wptr = ctx.window.data();
+          }
+          mask_window_words(g.rows, skip_bound, ctx.window.data(), ctx);
+        }
         __m512i acc0 = _mm512_setzero_si512();
         __m512i acc1 = _mm512_setzero_si512();
         bool flip = false;
@@ -680,6 +796,17 @@ void SeiNetwork::eval_stage_packed(const MappedLayer& m,
                 static_cast<std::size_t>(span));
         }
         window = ctx.window.data();
+      }
+      if (skip_bound >= 0) {
+        // Mask in place (FC copies the caller's words into scratch first):
+        // the accumulators then see the reduced window directly — skipped
+        // words cost nothing and need no kernel hook.
+        if (!is_conv) {
+          std::copy_n(in.words.data(), static_cast<std::size_t>(ps.words),
+                      ctx.window.data());
+          window = ctx.window.data();
+        }
+        mask_window_words(g.rows, skip_bound, ctx.window.data(), ctx);
       }
       if (ps.rows_ok)
         accumulate_position_rows(ps, cols, k, window, ctx.block_sums.data(),
@@ -1035,9 +1162,12 @@ void SeiNetwork::eval_stage(std::size_t i, std::span<const float> image,
   const MappedLayer& m = layers_[i];
   // Same selection logic the plan compiler runs once — one source of truth
   // for dispatch; here it is re-derived per call (that is the cost the plan
-  // executor removes).
+  // executor removes). The skip bound comes from the always-compiled plan
+  // for the same reason.
   const StageEngine engine =
       select_engine(m, static_cast<int>(i), cfg_, packed_eval_);
+  const int sb = op_skip_bound(i);
+  ctx.cur_activity = ctx.activity ? ctx.activity + i : nullptr;
   switch (engine) {
     case StageEngine::kDacDense:
       eval_stage_dac(m, select_dac_kernel(m), image, ctx.packed_pooled,
@@ -1057,7 +1187,7 @@ void SeiNetwork::eval_stage(std::size_t i, std::span<const float> image,
     case StageEngine::kPackedBits:
       if (!packed_live) quant::pack_bits(ctx.bits, ctx.packed_bits);
       eval_stage_packed(m, select_packed_kernel(m, cfg_), ctx.packed_bits,
-                        ctx.packed_pooled, ctx.scores, ctx);
+                        ctx.packed_pooled, ctx.scores, ctx, sb);
       if (m.binarize) {
         std::swap(ctx.packed_bits, ctx.packed_pooled);
         packed_live = true;
@@ -1065,7 +1195,7 @@ void SeiNetwork::eval_stage(std::size_t i, std::span<const float> image,
       return;
     case StageEngine::kScalarBits:
       if (packed_live) quant::unpack_bits(ctx.packed_bits, ctx.bits);
-      eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
+      eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx, sb);
       if (m.binarize) {
         std::swap(ctx.bits, ctx.pooled_bits);
         packed_live = false;
@@ -1111,7 +1241,14 @@ Result<int> SeiNetwork::try_predict(std::span<const float> image,
     const MappedLayer& m = layers_[i];
     ctx.rng = stage_stream(image_index, static_cast<int>(i));
     eval_stage(i, image, ctx, packed_live);
-    if (ctx.meter && ctx.energy) ctx.meter->charge_stage(i, *ctx.energy);
+    if (ctx.meter && ctx.energy) {
+      // Identical call to the plan executor's charge() — one arithmetic
+      // path, so interpreter and plan energies are bit-equal.
+      if (op_skip_bound(i) >= 0)
+        ctx.meter->charge_stage_rows(i, ctx.sp_rows, *ctx.energy);
+      else
+        ctx.meter->charge_stage(i, *ctx.energy);
+    }
     if (!m.binarize) {
       if (ctx.energy) ++ctx.energy->images;
       return static_cast<int>(
@@ -1125,6 +1262,15 @@ Result<int> SeiNetwork::try_predict(std::span<const float> image,
 
 void SeiNetwork::charge(const StageOp& op, EvalContext& ctx) const {
   if (!ctx.meter || !ctx.energy) return;
+  if (op.skip_bound >= 0) {
+    // Activation-proportional charging: the baked uniform price cannot
+    // apply (energy varies per image), so both executors route through
+    // charge_stage_rows — the single implementation keeps their energies
+    // bit-equal.
+    ctx.meter->charge_stage_rows(static_cast<std::size_t>(op.stage),
+                                 ctx.sp_rows, *ctx.energy);
+    return;
+  }
   if constexpr (telemetry::kEnabled) {
     if (op.priced && ctx.meter == plan_.priced_for) {
       // Baked price: two struct adds instead of chasing the meter's stage
@@ -1146,6 +1292,7 @@ Result<int> SeiNetwork::run_plan(std::span<const float> image,
     if (ctx.cancel && ctx.cancel->expired()) return ctx.cancel->to_error();
     const MappedLayer& m = layers_[static_cast<std::size_t>(op.stage)];
     ctx.rng = stage_stream(image_index, op.stage);
+    ctx.cur_activity = ctx.activity ? ctx.activity + op.stage : nullptr;
     // Form converts were resolved at compile time; the ops below are no-ops
     // for almost every stage boundary (engines of adjacent stages agree).
     if (op.pack_input) quant::pack_bits(ctx.bits, ctx.packed_bits);
@@ -1162,11 +1309,12 @@ Result<int> SeiNetwork::run_plan(std::span<const float> image,
         break;
       case StageEngine::kPackedBits:
         eval_stage_packed(m, op.packed_kernel, ctx.packed_bits,
-                          ctx.packed_pooled, ctx.scores, ctx);
+                          ctx.packed_pooled, ctx.scores, ctx, op.skip_bound);
         if (!op.classifier) std::swap(ctx.packed_bits, ctx.packed_pooled);
         break;
       case StageEngine::kScalarBits:
-        eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx);
+        eval_stage_bits(m, ctx.bits, ctx.pooled_bits, ctx.scores, ctx,
+                        op.skip_bound);
         if (!op.classifier) std::swap(ctx.bits, ctx.pooled_bits);
         break;
     }
@@ -1187,9 +1335,20 @@ double SeiNetwork::error_rate(const data::Dataset& d, int max_images) const {
   SEI_CHECK(n > 0);
   const std::size_t per_image =
       d.images.numel() / static_cast<std::size_t>(d.size());
+  // With sparsity on, energy varies per image — meter through the context
+  // so every stage charges its actual activated rows. Each image's energy
+  // is a pure function of (network, image, index) and publish_energy sums
+  // in femtojoule fixed point, so the chunk totals stay bit-identical at
+  // any thread count.
+  const bool meter_each = sparsity_enabled() && meter_ != nullptr;
   const long long correct = exec::parallel_reduce<long long>(
       n, exec::kEvalGrain, 0LL, [&](int lo, int hi) {
         EvalContext ctx;
+        telemetry::EnergyAccum acc;
+        if (meter_each) {
+          ctx.meter = meter_;
+          ctx.energy = &acc;
+        }
         long long c = 0;
         for (int i = lo; i < hi; ++i) {
           const std::span<const float> img{
@@ -1198,12 +1357,13 @@ double SeiNetwork::error_rate(const data::Dataset& d, int max_images) const {
           if (predict(img, ctx, i) == d.labels[static_cast<std::size_t>(i)])
             ++c;
         }
-        // Batch chunks charge in bulk — every completed image costs the
-        // same whole-network price, so per-stage metering in the hot loop
-        // would only add stores (per-request attribution stays on the
-        // serving path, which meters through EvalContext).
-        if (meter_) {
-          telemetry::EnergyAccum acc;
+        if (meter_each) {
+          telemetry::publish_energy(telemetry::MetricsRegistry::global(),
+                                    "sei_batch", acc);
+        } else if (meter_) {
+          // Dense batch chunks charge in bulk — every completed image
+          // costs the same whole-network price, so per-stage metering in
+          // the hot loop would only add stores.
           const auto images = static_cast<std::uint64_t>(hi - lo);
           meter_->charge_stages(0, meter_->stage_count(), images, acc);
           acc.images = images;
@@ -1222,8 +1382,10 @@ std::vector<quant::BitMap> SeiNetwork::cache_stage_inputs(
   const std::size_t per_image =
       d.images.numel() / static_cast<std::size_t>(d.size());
   std::vector<quant::BitMap> out(static_cast<std::size_t>(n));
+  const bool meter_each = sparsity_enabled() && meter_ != nullptr;
   exec::parallel_for_chunks(n, exec::kEvalGrain, [&](int lo, int hi) {
     EvalContext ctx;
+    telemetry::EnergyAccum acc;
     for (int i = lo; i < hi; ++i) {
       const std::span<const float> img{
           d.images.data() + static_cast<std::size_t>(i) * per_image,
@@ -1234,18 +1396,27 @@ std::vector<quant::BitMap> SeiNetwork::cache_stage_inputs(
         SEI_CHECK_MSG(m.binarize, "cannot cache past the classifier");
         ctx.rng = stage_stream(i, s);
         eval_stage(static_cast<std::size_t>(s), img, ctx, packed_live);
+        // Sparsity on: each stage costs its actual activated rows.
+        if (meter_each) {
+          const std::size_t si = static_cast<std::size_t>(s);
+          if (op_skip_bound(si) >= 0)
+            meter_->charge_stage_rows(si, ctx.sp_rows, acc);
+          else
+            meter_->charge_stage(si, acc);
+        }
       }
       // The cache contract is byte maps; unpack clean 0/1 bytes if the
       // last stage ran packed.
       if (packed_live) quant::unpack_bits(ctx.packed_bits, ctx.bits);
       out[static_cast<std::size_t>(i)] = ctx.bits;
     }
-    // Partial evaluations (stages [0, stage) only): charged in bulk, no
-    // image count — these are not full inferences.
-    if (meter_) {
-      telemetry::EnergyAccum acc;
+    // Partial evaluations (stages [0, stage) only): no image count —
+    // these are not full inferences. Dense networks charge in bulk.
+    if (!meter_each && meter_) {
       meter_->charge_stages(0, static_cast<std::size_t>(stage),
                             static_cast<std::uint64_t>(hi - lo), acc);
+    }
+    if (meter_) {
       telemetry::publish_energy(telemetry::MetricsRegistry::global(),
                                 "sei_batch", acc);
     }
@@ -1259,9 +1430,11 @@ double SeiNetwork::error_rate_from(
   SEI_CHECK(stage >= 1 && stage < stage_count());
   const int n = static_cast<int>(inputs.size());
   SEI_CHECK(n > 0 && n <= d.size());
+  const bool meter_each = sparsity_enabled() && meter_ != nullptr;
   const long long correct = exec::parallel_reduce<long long>(
       n, exec::kEvalGrain, 0LL, [&](int lo, int hi) {
         EvalContext ctx;
+        telemetry::EnergyAccum acc;
         long long c = 0;
         for (int i = lo; i < hi; ++i) {
           ctx.bits = inputs[static_cast<std::size_t>(i)];
@@ -1273,6 +1446,13 @@ double SeiNetwork::error_rate_from(
             // tail evaluation replays the identical noise draws.
             ctx.rng = stage_stream(i, s);
             eval_stage(static_cast<std::size_t>(s), {}, ctx, packed_live);
+            if (meter_each) {
+              const std::size_t si = static_cast<std::size_t>(s);
+              if (op_skip_bound(si) >= 0)
+                meter_->charge_stage_rows(si, ctx.sp_rows, acc);
+              else
+                meter_->charge_stage(si, acc);
+            }
             if (!m.binarize) {
               pred = static_cast<int>(
                   std::max_element(ctx.scores.begin(), ctx.scores.end()) -
@@ -1280,15 +1460,18 @@ double SeiNetwork::error_rate_from(
               break;
             }
           }
+          if (meter_each) ++acc.images;
           if (pred == d.labels[static_cast<std::size_t>(i)]) ++c;
         }
-        // Tail evaluations run stages [stage, end) per image: bulk-charge.
-        if (meter_) {
-          telemetry::EnergyAccum acc;
+        // Tail evaluations run stages [stage, end) per image; dense
+        // networks bulk-charge the uniform price.
+        if (!meter_each && meter_) {
           const auto images = static_cast<std::uint64_t>(hi - lo);
           meter_->charge_stages(static_cast<std::size_t>(stage),
                                 meter_->stage_count(), images, acc);
           acc.images = images;
+        }
+        if (meter_) {
           telemetry::publish_energy(telemetry::MetricsRegistry::global(),
                                     "sei_batch", acc);
         }

@@ -29,6 +29,12 @@ namespace sei::core {
 
 class SeiNetwork {
  public:
+  /// Rows per switched sub-crossbar input word. The paper's Table 1 groups
+  /// a 3x3 binary kernel window's 9 inputs into one "input data" word and
+  /// gates the matching 9 crossbar rows together; the sparsity predicate
+  /// (set_skip_bounds) decides per word, never per row.
+  static constexpr int kWordRows = 9;
+
   /// Maps every stage of `qnet` with default row orders (homogenized where
   /// the stage splits, per cfg). Keeps a reference to `qnet` for remapping —
   /// the QNetwork must outlive the SeiNetwork. `hook` (optional) is the
@@ -91,6 +97,27 @@ class SeiNetwork {
   }
   const telemetry::EnergyMeter* meter() const { return meter_; }
 
+  /// Per-stage sparsity skip bounds (docs/sparsity.md). Empty (the
+  /// default) turns the sparsity engine off — the exact pre-sparsity
+  /// behavior, zero new work on the hot path. Non-empty enables the skip
+  /// predicate at the paper's sub-crossbar granularity: a stage's input
+  /// rows group into 9-row words (kWordRows, Table 1), and a word whose
+  /// selected-input count is <= bounds[stage] is switched off — masked out
+  /// of the input window before accumulation, so its rows are never driven
+  /// and every engine (scalar oracle included) sees the identical reduced
+  /// input. Every SEI stage then switches to activation-proportional
+  /// per-row energy charging. Missing entries read as bound 0; stage 0 is
+  /// always exempt (DAC-driven rows have no transmission gates to switch
+  /// off). At bound 0 only all-zero words mask, which changes no input
+  /// bit, so predictions, noise draws and votes stay bit-identical to the
+  /// dense path. Recompiles the plan.
+  void set_skip_bounds(std::vector<int> bounds) {
+    skip_bounds_ = std::move(bounds);
+    rebuild_plan();
+  }
+  const std::vector<int>& skip_bounds() const { return skip_bounds_; }
+  bool sparsity_enabled() const { return !skip_bounds_.empty(); }
+
   /// Engine switch (initialized from cfg.packed_eval): when on, stages with
   /// a valid integer decomposition run the bit-packed AND+popcount core;
   /// when off, everything runs the scalar reference path. Both produce
@@ -147,9 +174,12 @@ class SeiNetwork {
   /// `bits_out` receives the post-vote (post-pool) activations for hidden
   /// stages; `scores` the classifier sums for the final stage. Scratch and
   /// read noise come from `ctx`.
+  /// `skip_bound` is the op's resolved sparsity bound (core/plan.hpp):
+  /// < 0 runs the pre-sparsity fast path; >= 0 applies the skip predicate
+  /// and maintains ctx's per-stage sparsity counters.
   void eval_stage_bits(const MappedLayer& m, const quant::BitMap& in,
                        quant::BitMap& bits_out, std::vector<float>& scores,
-                       EvalContext& ctx) const;
+                       EvalContext& ctx, int skip_bound) const;
   void eval_stage_float(const MappedLayer& m, std::span<const float> in,
                         quant::BitMap& bits_out, std::vector<float>& scores,
                         EvalContext& ctx) const;
@@ -162,7 +192,8 @@ class SeiNetwork {
   void eval_stage_packed(const MappedLayer& m, PackedKernel kern,
                          const quant::PackedBits& in,
                          quant::PackedBits& bits_out,
-                         std::vector<float>& scores, EvalContext& ctx) const;
+                         std::vector<float>& scores, EvalContext& ctx,
+                         int skip_bound) const;
   void eval_stage_dac(const MappedLayer& m, DacKernel kern,
                       std::span<const float> in, quant::PackedBits& bits_out,
                       std::vector<float>& scores, EvalContext& ctx) const;
@@ -177,9 +208,35 @@ class SeiNetwork {
   Result<int> run_plan(std::span<const float> image, EvalContext& ctx,
                        long long image_index) const;
 
-  /// Charges one completed stage: baked plan price when the context meters
-  /// against the plan's meter, dynamic charge_stage otherwise.
+  /// Charges one completed stage: per activated row when the op ran with
+  /// the sparsity predicate (charge_stage_rows — one implementation, so
+  /// interpreter and plan energies are bit-equal), else the baked plan
+  /// price when the context meters against the plan's meter, dynamic
+  /// charge_stage otherwise.
   void charge(const StageOp& op, EvalContext& ctx) const;
+
+  /// Stage `i`'s resolved skip bound, read from the always-compiled plan —
+  /// compile_plan owns the policy, so the interpreter cannot disagree with
+  /// the executor on where the predicate applies.
+  int op_skip_bound(std::size_t i) const {
+    return i < plan_.ops.size() ? plan_.ops[i].skip_bound : -1;
+  }
+
+  /// Applies the skip predicate to one position's packed input window in
+  /// place: walks the 9-row input words (kWordRows), clears words whose
+  /// popcount is <= skip_bound, and updates ctx's sparsity counters and
+  /// the optional activity histogram cell. Shared by every packed kernel;
+  /// the scalar oracle applies the identical predicate via its per-word
+  /// selected-input counts (mask_window_counts).
+  void mask_window_words(int rows, int skip_bound, std::uint64_t* window,
+                         EvalContext& ctx) const;
+
+  /// Scalar twin of mask_window_words: the same predicate and counter
+  /// updates driven by per-word selected-input counts (ctx.word_active)
+  /// instead of a packed window. Returns via `counts` which words
+  /// survive: a masked word's count is set to -1.
+  void mask_window_counts(int rows, int skip_bound, int* counts,
+                          EvalContext& ctx) const;
 
   /// Classifier readout: merges one position's block currents into scores.
   void merge_classifier(const MappedLayer& m, std::vector<float>& scores,
@@ -215,6 +272,7 @@ class SeiNetwork {
   CrossbarHook hook_;
   std::vector<MappedLayer> layers_;
   const telemetry::EnergyMeter* meter_ = nullptr;
+  std::vector<int> skip_bounds_;  // empty: sparsity off (docs/sparsity.md)
   bool packed_eval_ = true;
   bool plan_mode_ = true;
   CompiledPlan plan_;

@@ -385,11 +385,26 @@ void FleetRuntime::flush(std::vector<Pending>& seg) {
   std::vector<Outcome>& out = out_;
   out.assign(static_cast<std::size_t>(n), Outcome{});
 
+  // Sparsity-enabled shards produce per-image varying bills (the
+  // activation-proportional row charge, docs/sparsity.md), so their items
+  // are metered live into a per-item accumulator during evaluation; dense
+  // shards and the ADC fallback keep the flat bulk charge below.
+  bool any_sparse = false;
+  for (const Shard& sh : shards_)
+    if (sh.net->sparsity_enabled()) {
+      any_sparse = true;
+      break;
+    }
+  std::vector<telemetry::EnergyAccum>& item_e = item_energy_;
+  if (any_sparse)
+    item_e.assign(static_cast<std::size_t>(n), telemetry::EnergyAccum{});
+
   // One deterministic parallel evaluation over the segment: pool-checked-out
   // plan-bound contexts, per-item counter-based RNG streams, no metering on
-  // the hot path (energy is bulk-charged below at the price-list rate).
-  // Post-warmup chunks run under the allocation guard — the zero-alloc
-  // contract's measurement (docs/plans.md §4).
+  // the hot path unless the shard runs sparse (dense energy is bulk-charged
+  // below at the price-list rate). Post-warmup chunks run under the
+  // allocation guard — the zero-alloc contract's measurement
+  // (docs/plans.md §4).
   const bool measure = telemetry::alloc_counting_available() &&
                        total_dispatched_ > kAllocWarmupDispatches;
   exec::parallel_for_chunks(n, kBatchGrain, [&](int lo, int hi) {
@@ -398,12 +413,21 @@ void FleetRuntime::flush(std::vector<Pending>& seg) {
       for (int i = lo; i < hi; ++i) {
         Pending& p = seg[static_cast<std::size_t>(i)];
         c.cancel = &p.req->token;
+        const bool meter_item =
+            p.shard >= 0 &&
+            shards_[static_cast<std::size_t>(p.shard)].net->sparsity_enabled();
+        if (meter_item) {
+          c.meter = &sei_meter_;
+          c.energy = &item_e[static_cast<std::size_t>(i)];
+        }
         Result<int> res =
             p.shard >= 0
                 ? shards_[static_cast<std::size_t>(p.shard)].net->try_predict(
                       p.req->image, c, static_cast<long long>(p.sequence))
                 : fallback_->try_predict(p.req->image, c);
         c.cancel = nullptr;
+        c.meter = nullptr;
+        c.energy = nullptr;
         Outcome& o = out[static_cast<std::size_t>(i)];
         if (res.ok()) {
           o.ok = true;
@@ -429,10 +453,14 @@ void FleetRuntime::flush(std::vector<Pending>& seg) {
     release_context(std::move(ctx));
   });
 
-  // Bulk energy: each completed evaluation costs the full per-picture
-  // price of its path. Abandoned mid-eval work (deadline/cancel) is not
-  // billed — the accounting is per delivered answer, and billing partial
-  // stage walks would make tenant bills timing-dependent.
+  // Energy: each completed evaluation is billed once. Dense-shard and
+  // ADC-fallback answers cost the flat per-picture price (bulk-charged per
+  // tenant); sparse-shard answers carry their live-metered accumulator,
+  // merged in segment order so tenant bills are deterministic at any
+  // thread count. Abandoned mid-eval work (deadline/cancel) is not billed
+  // — the accounting is per delivered answer, and billing partial stage
+  // walks would make tenant bills timing-dependent; a cancelled item's
+  // partial accumulator is simply dropped.
   const int nt = tenant_count();
   std::vector<std::uint64_t>& sei_n = sei_n_;
   std::vector<std::uint64_t>& adc_n = adc_n_;
@@ -441,8 +469,17 @@ void FleetRuntime::flush(std::vector<Pending>& seg) {
   for (int i = 0; i < n; ++i) {
     const Pending& p = seg[static_cast<std::size_t>(i)];
     if (!out[static_cast<std::size_t>(i)].ok) continue;
-    auto& counts = p.shard >= 0 ? sei_n : adc_n;
-    ++counts[static_cast<std::size_t>(p.req->tenant)];
+    const std::size_t ti = static_cast<std::size_t>(p.req->tenant);
+    if (p.shard >= 0 &&
+        shards_[static_cast<std::size_t>(p.shard)].net->sparsity_enabled()) {
+      const telemetry::EnergyAccum& e = item_e[static_cast<std::size_t>(i)];
+      tenant_energy_[ti].merge(e);
+      energy_.sei.merge(e);
+    } else if (p.shard >= 0) {
+      ++sei_n[ti];
+    } else {
+      ++adc_n[ti];
+    }
   }
   for (int t = 0; t < nt; ++t) {
     const std::size_t ti = static_cast<std::size_t>(t);

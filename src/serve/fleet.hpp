@@ -293,10 +293,12 @@ class FleetRuntime {
   core::EvalContext maint_ctx_;  // probes + recovery measurements
 
   // Flush scratch, persistent across batches so steady-state dispatch
-  // performs no heap allocation: the segment, the per-item outcomes and
-  // the per-tenant tally vectors are assign()ed within retained capacity.
+  // performs no heap allocation: the segment, the per-item outcomes, the
+  // per-item energy accumulators (sparsity-enabled shards only) and the
+  // per-tenant tally vectors are assign()ed within retained capacity.
   std::vector<Pending> seg_;
   std::vector<Outcome> out_;
+  std::vector<telemetry::EnergyAccum> item_energy_;
   std::vector<std::uint64_t> sei_n_, adc_n_;
   std::vector<std::uint64_t> ok_n_, degraded_n_, rejected_n_;
 

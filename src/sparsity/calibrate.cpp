@@ -1,0 +1,56 @@
+#include "sparsity/calibrate.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/sei_network.hpp"
+#include "sparsity/activity.hpp"
+
+namespace sei::sparsity {
+
+SparsityConfig calibrate(core::SeiNetwork& net, const data::Dataset& d,
+                         const std::string& network,
+                         const CalibrationOptions& opt) {
+  const int stages = net.stage_count();
+  SEI_CHECK(stages >= 2);
+  SEI_CHECK(!opt.ladder.empty());
+
+  // Dense baseline at all-zero bounds: predictions are bit-identical to
+  // the pre-sparsity network (only all-zero input words mask), so this IS
+  // the dense error — while already exercising the sparsity code path the
+  // calibrated bounds will run on.
+  std::vector<int> bounds(static_cast<std::size_t>(stages), 0);
+  net.set_skip_bounds(bounds);
+  const double base_error = net.error_rate(d, opt.max_images);
+  const double budget = base_error + opt.accuracy_margin_pct;
+
+  // Greedy per-stage sweep, front to back: earlier stages see the most
+  // positions (their skips save the most energy) and their bit flips
+  // propagate to everything downstream, so fixing them first lets later
+  // stages adapt to the accumulated perturbation instead of overshooting.
+  for (int s = 1; s < stages; ++s) {
+    int best = 0;
+    for (const int cand : opt.ladder) {
+      if (cand <= best) continue;
+      bounds[static_cast<std::size_t>(s)] = cand;
+      net.set_skip_bounds(bounds);
+      if (net.error_rate(d, opt.max_images) > budget) break;
+      best = cand;
+    }
+    bounds[static_cast<std::size_t>(s)] = best;
+  }
+
+  net.set_skip_bounds(bounds);
+  SparsityConfig cfg;
+  cfg.bounds = bounds;
+  cfg.network = network;
+  cfg.accuracy_margin_pct = opt.accuracy_margin_pct;
+  cfg.base_error_pct = base_error;
+  cfg.calib_error_pct = net.error_rate(d, opt.max_images);
+  cfg.skip_rate = estimate_activity(net, d, opt.max_images).skip_rate();
+  cfg.calib_images =
+      opt.max_images < 0 ? d.size() : std::min(opt.max_images, d.size());
+  return cfg;
+}
+
+}  // namespace sei::sparsity

@@ -1,0 +1,49 @@
+// Offline calibration of the per-stage skip bounds (docs/sparsity.md §3).
+//
+// Mirrors the paper's Algorithm-1 recipe of sweeping a per-stage knob and
+// keeping the most aggressive setting that preserves accuracy on a held
+// calibration set: for each SEI stage in order, the bound walks up a ladder
+// of per-word popcount thresholds (an input word has at most
+// SeiNetwork::kWordRows = 9 selected rows) and stops just before the
+// calibration error exceeds the dense baseline by more than the configured
+// margin. Greedy and deterministic — error_rate
+// is bit-identical at any thread count, so two calibration runs with
+// different pool sizes derive byte-identical bounds (pinned by
+// tests/test_sparsity.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "sparsity/config.hpp"
+
+namespace sei::core {
+class SeiNetwork;
+}
+
+namespace sei::sparsity {
+
+struct CalibrationOptions {
+  /// Calibration subset: the first `max_images` of the dataset (< 0: all).
+  int max_images = 512;
+  /// Allowed calibration-error increase over the dense baseline, in
+  /// percentage points.
+  double accuracy_margin_pct = 0.5;
+  /// Candidate per-word popcount bounds per stage, tried in ascending
+  /// order (a 9-row word masks when its selected-input count is <= bound,
+  /// so 8 masks everything but saturated words). The sweep stops at the
+  /// first candidate that breaks the margin (bound stays at the last
+  /// passing value; 0 — mask only idle words — is always safe).
+  std::vector<int> ladder = {1, 2, 3, 4, 5, 6, 7, 8};
+};
+
+/// Derives skip bounds for `net` on calibration data `d` and leaves them
+/// applied (net.set_skip_bounds). The returned config carries the bounds
+/// plus provenance: baseline error, calibrated error, word skip rate on
+/// the calibration subset. `network` is recorded verbatim.
+SparsityConfig calibrate(core::SeiNetwork& net, const data::Dataset& d,
+                         const std::string& network,
+                         const CalibrationOptions& opt = {});
+
+}  // namespace sei::sparsity

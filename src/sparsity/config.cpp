@@ -1,0 +1,45 @@
+#include "sparsity/config.hpp"
+
+#include "common/check.hpp"
+#include "common/io.hpp"
+
+namespace sei::sparsity {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53505253;  // "SPRS"
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void save_sparsity_config(const SparsityConfig& cfg, const std::string& path) {
+  BinaryWriter w(path);
+  w.write_u32(kMagic);
+  w.write_u32(kVersion);
+  w.write_string(cfg.network);
+  w.write_i32_vec(cfg.bounds);
+  w.write_f64(cfg.accuracy_margin_pct);
+  w.write_f64(cfg.base_error_pct);
+  w.write_f64(cfg.calib_error_pct);
+  w.write_f64(cfg.skip_rate);
+  w.write_i32(cfg.calib_images);
+  w.commit();
+}
+
+SparsityConfig load_sparsity_config(const std::string& path) {
+  BinaryReader r(path);
+  r.verify_crc();
+  SEI_CHECK_MSG(r.read_u32() == kMagic, "not a sparsity config: " + path);
+  SEI_CHECK_MSG(r.read_u32() == kVersion,
+                "unsupported sparsity config version: " + path);
+  SparsityConfig cfg;
+  cfg.network = r.read_string();
+  cfg.bounds = r.read_i32_vec();
+  cfg.accuracy_margin_pct = r.read_f64();
+  cfg.base_error_pct = r.read_f64();
+  cfg.calib_error_pct = r.read_f64();
+  cfg.skip_rate = r.read_f64();
+  cfg.calib_images = r.read_i32();
+  return cfg;
+}
+
+}  // namespace sei::sparsity

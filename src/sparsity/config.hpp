@@ -1,0 +1,36 @@
+// Calibrated sparsity configuration: the per-stage skip bounds plus the
+// provenance needed to audit them (margin, calibration subset size, the
+// error rates observed). Serialized through common/io's CRC-trailed atomic
+// writer, so a torn or bit-flipped file loads as CheckError — callers treat
+// that as "re-calibrate", never as usable bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sei::sparsity {
+
+struct SparsityConfig {
+  /// Per-stage skip bounds for SeiNetwork::set_skip_bounds. Entry 0 is
+  /// carried for alignment but ignored by the engine (stage 0 is
+  /// DAC-driven — no transmission gates to switch off).
+  std::vector<int> bounds;
+
+  // Calibration provenance.
+  std::string network;              // workload name the bounds were fit on
+  double accuracy_margin_pct = 0.0; // allowed error increase (points)
+  double base_error_pct = 0.0;      // calib-set error at all-zero bounds
+  double calib_error_pct = 0.0;     // calib-set error at these bounds
+  double skip_rate = 0.0;           // input-word skip rate on the calib set
+  std::int32_t calib_images = 0;    // calibration subset size
+};
+
+/// Writes `cfg` to `path` (CRC trailer, fsync + atomic rename).
+void save_sparsity_config(const SparsityConfig& cfg, const std::string& path);
+
+/// Loads a config saved by save_sparsity_config. Throws CheckError on
+/// missing file, bad magic/version, or CRC mismatch.
+SparsityConfig load_sparsity_config(const std::string& path);
+
+}  // namespace sei::sparsity

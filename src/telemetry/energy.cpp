@@ -77,6 +77,18 @@ EnergyBreakdown EnergyMeter::network_pj() const {
   return total;
 }
 
+EnergyBreakdown EnergyMeter::network_floor_pj() const {
+  EnergyBreakdown total;
+  for (const StageEnergy& s : stages_) {
+    total += s.pj;
+    if (s.nominal_rows > 0) {
+      total.rram -= s.pj.rram;
+      total.driver -= s.pj.driver;
+    }
+  }
+  return total;
+}
+
 namespace {
 
 /// pJ -> integer femtojoules, the fixed-point unit for energy counters.

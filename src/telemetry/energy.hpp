@@ -65,9 +65,25 @@ struct EnergyEvents {
 };
 
 /// One stage's per-picture price: energy plus the op counts it stands for.
+///
+/// SEI hidden/classifier stages additionally carry a per-row price split:
+/// the transmission gates mean an inactive row draws no array current, so
+/// the rram + driver components scale with the number of *activated* rows
+/// while everything else (sense amps, decoders, digital votes, buffers,
+/// WTA) is charged per picture regardless. `nominal_rows` is the
+/// activations × rows product the static table assumed; when it is 0 the
+/// stage has no row-proportional model (DAC-driven stage 0, ADC fallback)
+/// and charge_stage_rows falls back to the uniform price.
 struct StageEnergy {
   EnergyBreakdown pj;
   EnergyEvents events;
+
+  // Activation-proportional split (sparsity accounting, docs/sparsity.md).
+  std::int64_t nominal_rows = 0;  // activations(positions) x rows per picture
+  double row_rram_pj = 0.0;       // pj.rram / nominal_rows
+  double row_driver_pj = 0.0;     // pj.driver / nominal_rows
+  std::uint64_t row_cells = 0;    // events.cell_activations / nominal_rows
+  std::uint64_t row_drivers = 0;  // events.driver_ops / nominal_rows
 };
 
 /// Caller-owned accumulator (one per request, per chunk, per batch — merge
@@ -109,6 +125,50 @@ class EnergyMeter {
     ++acc.stages;
   }
 
+  /// Activation-proportional charge: stage `i`'s fixed components at the
+  /// uniform per-picture price, but rram + driver scaled to the `rows`
+  /// row-activations this picture actually drove (transmission gates gate
+  /// the array current per row — docs/sparsity.md). Stages without a row
+  /// model (nominal_rows == 0) fall back to charge_stage, so callers may
+  /// use this unconditionally when sparsity accounting is on. Pure
+  /// arithmetic on baked prices: calling it with the same `rows` yields
+  /// bit-identical accumulators on every path (interpreter, plan, oracle).
+  void charge_stage_rows(std::size_t i, std::int64_t rows,
+                         EnergyAccum& acc) const {
+    if constexpr (!kEnabled) {
+      (void)i;
+      (void)rows;
+      (void)acc;
+      return;
+    }
+    const StageEnergy& s = stages_[i];
+    if (s.nominal_rows <= 0) {
+      charge_stage(i, acc);
+      return;
+    }
+    const double k = static_cast<double>(rows);
+    acc.pj.dac += s.pj.dac;
+    acc.pj.adc += s.pj.adc;
+    acc.pj.sense_amp += s.pj.sense_amp;
+    acc.pj.driver += s.row_driver_pj * k;
+    acc.pj.rram += s.row_rram_pj * k;
+    acc.pj.decoder += s.pj.decoder;
+    acc.pj.digital += s.pj.digital;
+    acc.pj.buffer += s.pj.buffer;
+    acc.pj.wta += s.pj.wta;
+    const std::uint64_t r = static_cast<std::uint64_t>(rows);
+    acc.events.crossbar_reads += s.events.crossbar_reads;
+    acc.events.cell_activations += s.row_cells * r;
+    acc.events.sa_compares += s.events.sa_compares;
+    acc.events.adc_conversions += s.events.adc_conversions;
+    acc.events.dac_conversions += s.events.dac_conversions;
+    acc.events.driver_ops += s.row_drivers * r;
+    acc.events.digital_adds += s.events.digital_adds;
+    acc.events.buffer_bits += s.events.buffer_bits;
+    acc.events.wta_reads += s.events.wta_reads;
+    ++acc.stages;
+  }
+
   /// Bulk equivalent of charge_stage for uniform batches: charges stages
   /// [first, last) for `images` pictures in one scaled add per stage. Batch
   /// evaluation charges a whole chunk this way instead of 19 stores per
@@ -119,6 +179,13 @@ class EnergyMeter {
 
   /// Whole-network per-picture price (sum over stages).
   EnergyBreakdown network_pj() const;
+
+  /// Per-picture floor under activation-proportional accounting: the sum
+  /// over stages with the row-proportional rram + driver components of
+  /// row-modeled stages excluded (the price of a picture that activates
+  /// zero rows everywhere). network_pj() is the matching ceiling — every
+  /// nominal row active. Together they bound any row-charged bill.
+  EnergyBreakdown network_floor_pj() const;
 
  private:
   std::vector<StageEnergy> stages_;

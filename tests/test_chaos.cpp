@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "arch/live_energy.hpp"
 #include "chaos/crash_matrix.hpp"
 #include "chaos/invariants.hpp"
 #include "chaos/scenario.hpp"
@@ -364,6 +365,91 @@ TEST(ChaosScenario, CompoundSoakHoldsEveryInvariant) {
   EXPECT_GE(rep.availability, 0.9);
   EXPECT_FALSE(io_fault_hook_installed()) << "scenario must remove its hook";
   EXPECT_FALSE(exec::chunk_delay_hook_installed());
+}
+
+// Sparse shards: per-image varying bills (activation-proportional row
+// charge) must still conserve exactly AND stay inside the structural
+// price envelope [floor, ceiling] per answered request — under the same
+// compound adversity (storm, bursts, stalls, deadline pressure).
+TEST(ChaosScenario, SparseShardBillsConserveAndFitEnvelope) {
+  Fixture& f = fixture();
+  std::vector<std::unique_ptr<core::SeiNetwork>> nets;
+  std::vector<core::SeiNetwork*> ptrs;
+  for (int k = 0; k < 2; ++k) {
+    core::HardwareConfig cfg;
+    cfg.spare_row_fraction = 0.2;
+    cfg.seed += static_cast<std::uint64_t>(k) * 1000003ULL;
+    nets.push_back(std::make_unique<core::SeiNetwork>(
+        f.qnet, cfg,
+        reliability::make_repair_hook(reliability::RepairConfig{}, nullptr)));
+    // Word-skip bound 1 on every eligible stage: enough to make per-image
+    // bills genuinely vary (synthetic digits carry many near-empty 9-row
+    // input words) without tanking accuracy.
+    nets.back()->set_skip_bounds(
+        std::vector<int>(static_cast<std::size_t>(nets.back()->stage_count()),
+                         1));
+    ptrs.push_back(nets.back().get());
+  }
+  core::AdcNetwork fallback(f.qnet, core::AdcConfig{}, f.train);
+
+  serve::FleetConfig fc;
+  fc.tenants = serve::parse_tenant_specs("A:2,B:1");
+  for (serve::TenantConfig& t : fc.tenants) t.queue_capacity = 1024;
+  fc.sentinel.probe_every = 4;
+  fc.sentinel.probe_count = 48;
+  fc.sentinel.window = 24;
+  fc.sentinel.min_probes = 12;
+  fc.breaker.max_retries = 1;
+  fc.breaker.retry_backoff_ms = 1;
+  fc.breaker.reattempt_interval = 64;
+  fc.calibration.max_images = 240;
+  fc.calibration.gamma_min = 1.0;
+  fc.calibration.gamma_max = 1.0;
+  fc.calibration.gamma_step = 0.1;
+  serve::FleetRuntime fleet(ptrs, f.qnet, f.test, f.train, fc, &fallback);
+  serve::StormSchedule storm;
+  storm.events.push_back({60, 0, {0, -1, 0.10, 1.0}, 10000});
+  fleet.set_storm(storm);
+
+  chaos::ChaosScenarioConfig cc;
+  cc.seed = 11;
+  cc.requests = 240;
+  cc.window = 8;
+  cc.burst_every = 40;
+  cc.burst_size = 12;
+  cc.tight_deadline_frac = 0.05;
+  cc.stall_every = 5;
+  cc.stall = std::chrono::microseconds(100);
+  cc.coherence_images = 8;
+  cc.check_envelope = true;
+  const core::HardwareConfig& cfg0 = ptrs[0]->config();
+  const telemetry::EnergyMeter sei_meter =
+      arch::make_energy_meter(f.qnet, cfg0, core::StructureKind::kSei);
+  const telemetry::EnergyMeter adc_meter =
+      arch::make_energy_meter(f.qnet, cfg0, core::StructureKind::kBinInputAdc);
+  cc.envelope.sei_min_image_j = sei_meter.network_floor_pj().total() * 1e-12;
+  cc.envelope.sei_max_image_j = sei_meter.network_pj().total() * 1e-12;
+  cc.envelope.adc_image_j = adc_meter.network_pj().total() * 1e-12;
+
+  const chaos::ChaosScenarioReport rep =
+      chaos::run_chaos_scenario(fleet, ptrs, f.test, cc);
+
+  print_violations(rep.violations);
+  EXPECT_TRUE(rep.violations.empty());
+  EXPECT_GT(rep.ok, 0u);
+  // Sparsity must actually have engaged: the fleet-wide SEI-path bill for
+  // the ok answers sits strictly below the dense ceiling.
+  const serve::FleetStats st = fleet.stats();
+  double metered = 0.0;
+  std::uint64_t ok_total = 0;
+  for (std::size_t t = 0; t < st.tenants.size(); ++t) ok_total += st.tenants[t].ok;
+  for (const double j : st.tenant_metered_j) metered += j;
+  double adc_answers_j = 0.0;
+  for (const serve::TenantCounters& c : st.tenants)
+    adc_answers_j += static_cast<double>(c.degraded) * cc.envelope.adc_image_j;
+  EXPECT_LT(metered - adc_answers_j,
+            static_cast<double>(ok_total) * cc.envelope.sei_max_image_j)
+      << "sparse bills should be below the every-row-active ceiling";
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,448 @@
+// Sparsity engine contracts (docs/sparsity.md): at bound 0 the skip
+// predicate masks only all-zero 9-row input words, so predictions are
+// bit-identical to the dense network; at ANY bound every engine pair
+// (packed kernels vs scalar oracle, compiled plan vs interpreter) agrees
+// bit-for-bit on predictions AND on activation-proportional energy; and
+// calibration, being built solely from deterministic batch evaluations,
+// derives byte-identical bounds at any thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/live_energy.hpp"
+#include "common/check.hpp"
+#include "core/sei_network.hpp"
+#include "data/synthetic_digits.hpp"
+#include "exec/thread_pool.hpp"
+#include "nn/trainer.hpp"
+#include "quant/threshold_search.hpp"
+#include "sparsity/activity.hpp"
+#include "sparsity/calibrate.hpp"
+#include "sparsity/config.hpp"
+#include "telemetry/metrics.hpp"
+#include "workloads/networks.hpp"
+
+namespace sei {
+namespace {
+
+/// Small trained + quantized network2 shared across tests.
+struct Fixture {
+  workloads::Workload wl = workloads::network2();
+  data::Dataset train = data::generate_synthetic(800, 91);
+  data::Dataset test = data::generate_synthetic(240, 92);
+  quant::QNetwork qnet;
+
+  Fixture() {
+    nn::Network net = workloads::build_float_network(wl.topo, 61);
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    nn::Trainer(tc).fit(net, train.images, train.label_span());
+    quant::SearchConfig sc;
+    sc.max_search_images = 300;
+    sc.step = 0.05;
+    qnet = quant::quantize_network(net, wl.topo, train, sc).qnet;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+struct ThreadGuard {
+  ~ThreadGuard() { exec::set_default_threads(0); }
+};
+
+std::span<const float> image_of(const data::Dataset& d, int i) {
+  const std::size_t per_image = 28 * 28;
+  return {d.images.data() + static_cast<std::size_t>(i) * per_image,
+          per_image};
+}
+
+std::vector<int> uniform_bounds(const core::SeiNetwork& hw, int bound) {
+  return std::vector<int>(static_cast<std::size_t>(hw.stage_count()), bound);
+}
+
+/// Engine-pair agreement harness with the sparsity predicate armed: packed
+/// vs scalar oracle and plan vs interpreter must produce bit-identical
+/// predictions, identical error rates at 1/2/8 threads, and energy equal
+/// to 1e-6 pJ — at ANY bound, because all four paths apply the same skip
+/// predicate to the same selected-input counts and charge the same
+/// activated rows through the same charge_stage_rows arithmetic.
+void expect_sparse_engines_agree(const quant::QNetwork& qnet,
+                                 core::SeiNetwork& hw,
+                                 const data::Dataset& test, int n,
+                                 int bound) {
+  ThreadGuard guard;
+  const telemetry::EnergyMeter meter =
+      arch::make_energy_meter(qnet, hw.config(), core::StructureKind::kSei);
+  hw.set_skip_bounds(uniform_bounds(hw, bound));
+  struct Pass {
+    const char* tag;
+    bool packed;
+    bool plan;
+  };
+  const Pass passes[] = {{"packed+plan", true, true},
+                         {"packed+interp", true, false},
+                         {"scalar+plan", false, true},
+                         {"scalar+interp", false, false}};
+  std::vector<int> pred[4];
+  telemetry::EnergyAccum energy[4];
+  std::vector<double> err[4];
+  for (int p = 0; p < 4; ++p) {
+    hw.set_packed_eval(passes[p].packed);
+    hw.set_plan_mode(passes[p].plan);
+    core::EvalContext ctx;
+    ctx.meter = &meter;
+    ctx.energy = &energy[p];
+    for (int i = 0; i < n; ++i)
+      pred[p].push_back(hw.predict(image_of(test, i), ctx, i));
+    for (const int threads : {1, 2, 8}) {
+      exec::set_default_threads(threads);
+      err[p].push_back(hw.error_rate(test, n));
+    }
+  }
+  hw.set_packed_eval(true);
+  hw.set_plan_mode(true);
+  for (int p = 1; p < 4; ++p) {
+    SCOPED_TRACE(passes[p].tag);
+    EXPECT_EQ(pred[p], pred[0]);
+    EXPECT_EQ(err[p], err[0]);
+    EXPECT_NEAR(energy[p].pj.total(), energy[0].pj.total(), 1e-6);
+    EXPECT_NEAR(energy[p].pj.interface(), energy[0].pj.interface(), 1e-6);
+    EXPECT_EQ(energy[p].events.cell_activations,
+              energy[0].events.cell_activations);
+    EXPECT_EQ(energy[p].events.driver_ops, energy[0].events.driver_ops);
+    EXPECT_EQ(energy[p].stages, energy[0].stages);
+  }
+}
+
+TEST(Sparsity, BoundZeroPredictionsBitIdenticalToDense) {
+  // All three paper networks under every mapping shape: arming the
+  // predicate at bound 0 (only all-zero input words mask, which changes no
+  // input bit) must not flip a single prediction — even under read noise,
+  // because the masked window is bit-identical and so is every RNG draw.
+  data::Dataset train = data::generate_synthetic(500, 93);
+  data::Dataset test = data::generate_synthetic(120, 94);
+  for (const char* name : {"network1", "network2", "network3"}) {
+    const workloads::Workload wl = workloads::workload_by_name(name);
+    nn::Network net = workloads::build_float_network(wl.topo, 63);
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    nn::Trainer(tc).fit(net, train.images, train.label_span());
+    quant::SearchConfig sc;
+    sc.max_search_images = 150;
+    sc.step = 0.1;
+    quant::QNetwork qnet =
+        quant::quantize_network(net, wl.topo, train, sc).qnet;
+
+    struct Variant {
+      const char* tag;
+      int max_rows;
+      bool homogenize;
+      double noise;
+    };
+    for (const Variant& v :
+         {Variant{"whole", 0, true, 0.0},
+          Variant{"whole noisy", 0, true, 0.05},
+          Variant{"split homogenized", 64, true, 0.05},
+          Variant{"split natural", 64, false, 0.05}}) {
+      core::HardwareConfig cfg;
+      if (v.max_rows > 0) cfg.limits.max_rows = v.max_rows;
+      cfg.homogenize = v.homogenize;
+      cfg.device.read_noise_sigma = v.noise;
+      core::SeiNetwork hw(qnet, cfg);
+      SCOPED_TRACE(std::string(name) + " / " + v.tag);
+
+      std::vector<int> dense;
+      for (int i = 0; i < 120; ++i)
+        dense.push_back(hw.predict(image_of(test, i)));
+      const double dense_err = hw.error_rate(test, 120);
+
+      hw.set_skip_bounds(uniform_bounds(hw, 0));
+      std::vector<int> sparse;
+      for (int i = 0; i < 120; ++i)
+        sparse.push_back(hw.predict(image_of(test, i)));
+      EXPECT_EQ(sparse, dense);
+      EXPECT_EQ(hw.error_rate(test, 120), dense_err);
+
+      hw.set_skip_bounds({});  // off again: back to the dense fast path
+      EXPECT_EQ(hw.error_rate(test, 120), dense_err);
+    }
+  }
+}
+
+TEST(Sparsity, EnginesAgreeAtBoundZeroAndNonzero) {
+  Fixture& f = fixture();
+  struct Variant {
+    const char* tag;
+    int max_rows;
+    bool homogenize;
+    double noise;
+  };
+  for (const Variant& v : {Variant{"whole", 0, true, 0.0},
+                           Variant{"whole noisy", 0, true, 0.05},
+                           Variant{"split homogenized", 64, true, 0.0},
+                           Variant{"split natural", 64, false, 0.05}}) {
+    core::HardwareConfig cfg;
+    if (v.max_rows > 0) cfg.limits.max_rows = v.max_rows;
+    cfg.homogenize = v.homogenize;
+    cfg.device.read_noise_sigma = v.noise;
+    core::SeiNetwork hw(f.qnet, cfg);
+    for (const int bound : {0, 3}) {
+      SCOPED_TRACE(std::string(v.tag) + " / bound=" + std::to_string(bound));
+      expect_sparse_engines_agree(f.qnet, hw, f.test, 60, bound);
+    }
+  }
+}
+
+TEST(Sparsity, EnginesAgreeOnNonIntegralFallback) {
+  // Programming noise forces every stage onto the scalar oracle — the
+  // predicate and per-row charging must behave identically there.
+  Fixture& f = fixture();
+  core::HardwareConfig cfg;
+  cfg.device.program_sigma = 0.03;
+  core::SeiNetwork hw(f.qnet, cfg);
+  EXPECT_EQ(hw.packed_stage_count(), 0);
+  expect_sparse_engines_agree(f.qnet, hw, f.test, 60, 2);
+}
+
+TEST(Sparsity, PlanResolvesBoundPolicy) {
+  Fixture& f = fixture();
+  core::HardwareConfig cfg;
+  core::SeiNetwork hw(f.qnet, cfg);
+  // Off: every op carries the sentinel.
+  for (const core::StageOp& op : hw.plan().ops)
+    EXPECT_LT(op.skip_bound, 0) << "stage " << op.stage;
+  // On: stage 0 stays exempt (DAC-driven rows have no transmission
+  // gates); hidden/classifier stages resolve verbatim, with negative
+  // entries and short-vector padding clamped to 0.
+  hw.set_skip_bounds({7, -4});
+  ASSERT_GE(hw.stage_count(), 2);
+  EXPECT_EQ(hw.plan().ops[0].skip_bound, -1);
+  EXPECT_EQ(hw.plan().ops[1].skip_bound, 0);  // -4 clamps to 0
+  for (int s = 2; s < hw.stage_count(); ++s)
+    EXPECT_EQ(hw.plan().ops[static_cast<std::size_t>(s)].skip_bound, 0);
+  std::vector<int> big(static_cast<std::size_t>(hw.stage_count()), 1000);
+  hw.set_skip_bounds(big);
+  for (int s = 1; s < hw.stage_count(); ++s)
+    EXPECT_EQ(hw.plan().ops[static_cast<std::size_t>(s)].skip_bound, 1000);
+  hw.set_skip_bounds({});
+  for (const core::StageOp& op : hw.plan().ops)
+    EXPECT_LT(op.skip_bound, 0) << "stage " << op.stage;
+}
+
+TEST(Sparsity, EnergyIsActivationProportionalAndMonotone) {
+  Fixture& f = fixture();
+  core::HardwareConfig cfg;
+  core::SeiNetwork hw(f.qnet, cfg);
+  const telemetry::EnergyMeter meter =
+      arch::make_energy_meter(f.qnet, cfg, core::StructureKind::kSei);
+  const int n = 60;
+
+  auto measure = [&] {
+    core::EvalContext ctx;
+    telemetry::EnergyAccum acc;
+    ctx.meter = &meter;
+    ctx.energy = &acc;
+    for (int i = 0; i < n; ++i) hw.predict(image_of(f.test, i), ctx, i);
+    return acc;
+  };
+
+  const telemetry::EnergyAccum dense = measure();
+  hw.set_skip_bounds(uniform_bounds(hw, 0));
+  const telemetry::EnergyAccum sparse0 = measure();
+  // Charging only activated rows can never exceed the dense table, and on
+  // digit images (idle margins) it is strictly cheaper.
+  EXPECT_LT(sparse0.pj.total(), dense.pj.total());
+  EXPECT_LT(sparse0.events.cell_activations, dense.events.cell_activations);
+  // Fixed-cost components are untouched: DACs convert every input either
+  // way.
+  EXPECT_EQ(sparse0.events.dac_conversions, dense.events.dac_conversions);
+  EXPECT_EQ(sparse0.events.sa_compares, dense.events.sa_compares);
+
+  // Raising the bound masks more words: charged energy is non-increasing.
+  double prev = sparse0.pj.total();
+  for (const int bound : {2, 4, 8}) {
+    hw.set_skip_bounds(uniform_bounds(hw, bound));
+    const double cur = measure().pj.total();
+    EXPECT_LE(cur, prev) << "bound=" << bound;
+    prev = cur;
+  }
+}
+
+TEST(Sparsity, ActivityEstimateDeterministicAcrossThreadCounts) {
+  Fixture& f = fixture();
+  ThreadGuard guard;
+  core::HardwareConfig cfg;
+  cfg.device.read_noise_sigma = 0.05;
+  core::SeiNetwork hw(f.qnet, cfg);
+  hw.set_skip_bounds(uniform_bounds(hw, 2));
+
+  exec::set_default_threads(1);
+  const sparsity::ActivityEstimator serial =
+      sparsity::estimate_activity(hw, f.test, 120);
+  for (const int threads : {2, 8}) {
+    exec::set_default_threads(threads);
+    const sparsity::ActivityEstimator wide =
+        sparsity::estimate_activity(hw, f.test, 120);
+    ASSERT_EQ(wide.stage_count(), serial.stage_count());
+    for (int s = 0; s < serial.stage_count(); ++s) {
+      const auto& a = serial.stage(s);
+      const auto& b = wide.stage(s);
+      EXPECT_EQ(b.positions, a.positions) << "stage " << s;
+      EXPECT_EQ(b.words, a.words) << "stage " << s;
+      EXPECT_EQ(b.words_skipped, a.words_skipped) << "stage " << s;
+      EXPECT_EQ(b.rows_active, a.rows_active) << "stage " << s;
+      EXPECT_EQ(b.rows_charged, a.rows_charged) << "stage " << s;
+      for (int h = 0; h < 11; ++h)
+        EXPECT_EQ(b.hist[h], a.hist[h]) << "stage " << s << " bin " << h;
+    }
+  }
+}
+
+TEST(Sparsity, ActivityCountersAreInternallyConsistent) {
+  Fixture& f = fixture();
+  core::HardwareConfig cfg;
+  core::SeiNetwork hw(f.qnet, cfg);
+  hw.set_skip_bounds(uniform_bounds(hw, 0));
+  const sparsity::ActivityEstimator est =
+      sparsity::estimate_activity(hw, f.test, 120);
+  // Stage 0 is exempt: its cell must stay empty.
+  EXPECT_EQ(est.stage(0).words, 0);
+  bool saw_data = false;
+  for (int s = 1; s < est.stage_count(); ++s) {
+    const auto& c = est.stage(s);
+    if (c.words == 0) continue;
+    saw_data = true;
+    std::int64_t hist_total = 0;
+    for (int h = 0; h < 11; ++h) hist_total += c.hist[h];
+    EXPECT_EQ(hist_total, c.words) << "stage " << s;
+    EXPECT_LE(c.rows_charged, c.rows_active) << "stage " << s;
+    EXPECT_LE(c.rows_active, c.rows_nominal) << "stage " << s;
+    // Bound 0: exactly the all-zero words mask, and they carry no active
+    // rows — so the skip count IS the zero bin and charging loses nothing.
+    EXPECT_EQ(c.words_skipped, c.hist[0]) << "stage " << s;
+    EXPECT_EQ(c.rows_charged, c.rows_active) << "stage " << s;
+  }
+  EXPECT_TRUE(saw_data);
+  EXPECT_GT(est.skip_rate(), 0.0);
+  EXPECT_LT(est.row_activity(), 1.0);
+}
+
+TEST(Sparsity, CalibrationReproducibleAcrossThreadCounts) {
+  Fixture& f = fixture();
+  ThreadGuard guard;
+  sparsity::CalibrationOptions opt;
+  opt.max_images = 80;
+  opt.accuracy_margin_pct = 1.0;
+  opt.ladder = {1, 2, 3, 4};
+
+  auto calibrate_with = [&](int threads) {
+    exec::set_default_threads(threads);
+    core::HardwareConfig cfg;
+    core::SeiNetwork hw(f.qnet, cfg);
+    return sparsity::calibrate(hw, f.train, "network2", opt);
+  };
+  const sparsity::SparsityConfig serial = calibrate_with(1);
+  const sparsity::SparsityConfig wide = calibrate_with(8);
+  EXPECT_EQ(wide.bounds, serial.bounds);
+  EXPECT_EQ(wide.base_error_pct, serial.base_error_pct);
+  EXPECT_EQ(wide.calib_error_pct, serial.calib_error_pct);
+  EXPECT_EQ(wide.skip_rate, serial.skip_rate);
+  // The margin is honored on the calibration set by construction.
+  EXPECT_LE(serial.calib_error_pct,
+            serial.base_error_pct + opt.accuracy_margin_pct);
+}
+
+TEST(Sparsity, ConfigRoundTripsAndDetectsCorruption) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sei_sparsity.cfg").string();
+  sparsity::SparsityConfig cfg;
+  cfg.bounds = {0, 4, 7, 2};
+  cfg.network = "network2";
+  cfg.accuracy_margin_pct = 0.5;
+  cfg.base_error_pct = 3.25;
+  cfg.calib_error_pct = 3.5;
+  cfg.skip_rate = 0.42;
+  cfg.calib_images = 512;
+  sparsity::save_sparsity_config(cfg, path);
+
+  const sparsity::SparsityConfig got = sparsity::load_sparsity_config(path);
+  EXPECT_EQ(got.bounds, cfg.bounds);
+  EXPECT_EQ(got.network, cfg.network);
+  EXPECT_EQ(got.accuracy_margin_pct, cfg.accuracy_margin_pct);
+  EXPECT_EQ(got.base_error_pct, cfg.base_error_pct);
+  EXPECT_EQ(got.calib_error_pct, cfg.calib_error_pct);
+  EXPECT_EQ(got.skip_rate, cfg.skip_rate);
+  EXPECT_EQ(got.calib_images, cfg.calib_images);
+
+  // Flip one payload byte: the CRC trailer must reject the file.
+  {
+    std::fstream fs(path, std::ios::in | std::ios::out | std::ios::binary);
+    fs.seekp(10);
+    char b;
+    fs.seekg(10);
+    fs.get(b);
+    b = static_cast<char>(b ^ 0x40);
+    fs.seekp(10);
+    fs.put(b);
+  }
+  EXPECT_THROW(sparsity::load_sparsity_config(path), CheckError);
+  std::filesystem::remove(path);
+}
+
+TEST(Sparsity, BatchEnergyAccountsPerImageUnderSparsity) {
+  // error_rate with sparsity on publishes per-image metered energy (each
+  // image costs its actual activated rows); the fixed-point publish makes
+  // the registry totals bit-identical at any thread count.
+  Fixture& f = fixture();
+  ThreadGuard guard;
+  core::HardwareConfig cfg;
+  core::SeiNetwork hw(f.qnet, cfg);
+  const telemetry::EnergyMeter meter =
+      arch::make_energy_meter(f.qnet, cfg, core::StructureKind::kSei);
+  hw.set_meter(&meter);
+  hw.set_skip_bounds(uniform_bounds(hw, 2));
+  const int n = 120;
+
+  // Reference: sum the per-image energies sequentially.
+  telemetry::EnergyAccum want;
+  {
+    core::EvalContext ctx;
+    ctx.meter = &meter;
+    ctx.energy = &want;
+    for (int i = 0; i < n; ++i) hw.predict(image_of(f.test, i), ctx, i);
+  }
+  auto published_fj = [&] {
+    auto& reg = telemetry::MetricsRegistry::global();
+    std::uint64_t total = 0;
+    for (const char* c : {"dac", "adc", "sense_amp", "driver", "rram",
+                          "decoder", "digital", "buffer", "wta"})
+      total += reg.counter(std::string("sei_energy_fj_total{path=\"sei_"
+                                       "batch\",component=\"") +
+                           c + "\"}")
+                   .value();
+    return total;
+  };
+  auto batch_fj = [&](int threads) {
+    exec::set_default_threads(threads);
+    const std::uint64_t before = published_fj();
+    hw.error_rate(f.test, n);
+    return published_fj() - before;
+  };
+  const std::uint64_t serial_fj = batch_fj(1);
+  // publish_energy rounds each chunk accumulator to femtojoules once.
+  EXPECT_NEAR(static_cast<double>(serial_fj) / 1000.0, want.pj.total(), 1.0);
+  for (const int threads : {2, 8})
+    EXPECT_EQ(batch_fj(threads), serial_fj) << "threads=" << threads;
+  hw.set_meter(nullptr);
+}
+
+}  // namespace
+}  // namespace sei
